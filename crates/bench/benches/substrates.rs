@@ -1,0 +1,156 @@
+//! Criterion microbenchmarks for the substrates underlying the evaluation:
+//! multi-version storage, functor computing, decentralized timestamps, the
+//! row codec and Calvin's lock manager. These quantify the constants behind
+//! the figure-level results (e.g. how cheap a functor install is compared to
+//! acquiring a lock).
+
+use std::sync::Arc;
+
+use aloha_common::{Key, PartitionId, ServerId, Timestamp, Value};
+use aloha_epoch::TimestampOracle;
+use aloha_functor::{builtin, Functor, HandlerRegistry};
+use aloha_storage::{LocalOnlyEnv, Partition, VersionChain};
+use aloha_workloads::tpcc::{StockRow, TpccConfig};
+use calvin::{LockManager, LockMode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn ts(v: u64) -> Timestamp {
+    Timestamp::from_raw(v)
+}
+
+fn bench_version_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_chain");
+    group.bench_function("insert_ascending", |b| {
+        b.iter_batched(
+            VersionChain::new,
+            |chain| {
+                for v in 1..=256u64 {
+                    chain.insert(ts(v), Functor::value_i64(v as i64));
+                }
+                chain
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    let chain = VersionChain::new();
+    for v in 1..=1024u64 {
+        chain.insert(ts(v), Functor::value_i64(v as i64));
+    }
+    group.bench_function("lookup_floor_1024", |b| {
+        b.iter(|| chain.latest_at_or_below(black_box(ts(512))));
+    });
+    group.bench_function("watermark_advance", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            chain.advance_watermark(ts(v));
+        });
+    });
+    group.finish();
+}
+
+fn bench_functor_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functor");
+    group.bench_function("apply_numeric_add", |b| {
+        let prev = Value::from_i64(100);
+        b.iter(|| builtin::apply_numeric(black_box(&Functor::Add(7)), Some(&prev)));
+    });
+    group.bench_function("resolve_add_chain_64", |b| {
+        b.iter_batched(
+            || {
+                let p =
+                    Partition::new(PartitionId(0), 1, Arc::new(HandlerRegistry::new()));
+                let k = Key::from("hot");
+                p.install(&k, ts(1), Functor::value_i64(0)).unwrap();
+                for v in 2..=65u64 {
+                    p.install(&k, ts(v), Functor::add(1)).unwrap();
+                }
+                (p, k)
+            },
+            |(p, k)| p.get(&k, ts(1000), &LocalOnlyEnv).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("get_settled_history", |b| {
+        let p = Partition::new(PartitionId(0), 1, Arc::new(HandlerRegistry::new()));
+        let k = Key::from("settled");
+        p.install(&k, ts(1), Functor::value_i64(0)).unwrap();
+        for v in 2..=128u64 {
+            p.install(&k, ts(v), Functor::add(1)).unwrap();
+        }
+        p.get(&k, ts(1000), &LocalOnlyEnv).unwrap(); // settle everything
+        b.iter(|| p.get(&k, black_box(ts(64)), &LocalOnlyEnv).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_timestamps(c: &mut Criterion) {
+    c.bench_function("timestamp_oracle_issue", |b| {
+        let mut oracle = TimestampOracle::new(ServerId(3));
+        let mut now = 1u64;
+        b.iter(|| {
+            now += 1;
+            oracle.issue(now, 0, u64::MAX / 2).unwrap()
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let stock = StockRow { i_id: 7, w_id: 3, quantity: 91, ytd: 1000, order_cnt: 17 };
+    group.bench_function("stock_row_encode", |b| {
+        b.iter(|| black_box(&stock).encode());
+    });
+    let encoded = stock.encode();
+    group.bench_function("stock_row_decode", |b| {
+        b.iter(|| StockRow::decode(black_box(&encoded)).unwrap());
+    });
+    let cfg = TpccConfig::by_warehouse(8, 1);
+    group.bench_function("tpcc_key_build", |b| {
+        b.iter(|| cfg.orderline_key(black_box(3), 7, 3001, 5));
+    });
+    group.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calvin_locks");
+    group.bench_function("acquire_release_uncontended", |b| {
+        let mut lm = LockManager::new();
+        let key = Key::from("k");
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn += 1;
+            lm.acquire(txn, &key, LockMode::Write);
+            lm.release(txn, &key);
+        });
+    });
+    group.bench_function("hot_key_queue_depth_64", |b| {
+        b.iter_batched(
+            || {
+                let mut lm = LockManager::new();
+                let key = Key::from("hot");
+                for txn in 0..64u64 {
+                    lm.acquire(txn, &key, LockMode::Write);
+                }
+                (lm, key)
+            },
+            |(mut lm, key)| {
+                for txn in 0..64u64 {
+                    lm.release(txn, &key);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_version_chain,
+    bench_functor_compute,
+    bench_timestamps,
+    bench_codec,
+    bench_lock_manager
+);
+criterion_main!(benches);

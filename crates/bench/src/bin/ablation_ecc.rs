@@ -1,0 +1,58 @@
+//! Ablation of the ECC engine features around the write-only phase:
+//!
+//! * **straggler window** (§III-C): with the no-authorization window off,
+//!   every epoch switch stalls all transaction starts for the switch
+//!   duration — visible once the network makes switches slow;
+//! * **durability** (§III-A logging): the WAL's cost on the install path;
+//! * **replication** (§III-A): synchronous backup acks double the install
+//!   round trips.
+//!
+//! The paper's evaluation runs with fault tolerance disabled (our baseline
+//! row) and the straggler optimization on; this harness quantifies what each
+//! switch costs on this substrate.
+
+use std::time::Duration;
+
+use aloha_bench::harness::ALOHA_EPOCH;
+use aloha_bench::BenchOpts;
+use aloha_core::{Cluster, ClusterConfig};
+use aloha_net::NetConfig;
+use aloha_workloads::driver::run_windowed;
+use aloha_workloads::ycsb::{self, YcsbConfig};
+
+fn run(name: &str, servers: u16, opts: &BenchOpts, tune: impl Fn(ClusterConfig) -> ClusterConfig) {
+    let cfg = YcsbConfig::with_contention_index(servers, 0.01).with_keys_per_partition(20_000);
+    let base = ClusterConfig::new(servers)
+        .with_epoch_duration(ALOHA_EPOCH)
+        // A visible network cost per message makes epoch switches and
+        // replication acks meaningful.
+        .with_net(NetConfig::with_latency(Duration::from_micros(150)));
+    let mut builder = Cluster::builder(tune(base));
+    ycsb::install_aloha(&mut builder);
+    let cluster = builder.start().expect("start cluster");
+    ycsb::load_aloha(&cluster, &cfg);
+    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg);
+    cluster.reset_stats();
+    let report = run_windowed(&target, &opts.driver(8, 64));
+    println!(
+        "{name},{:.2},{:.2},{:.2}",
+        report.throughput_tps() / 1_000.0,
+        report.mean_latency_micros / 1_000.0,
+        report.p99_latency_micros as f64 / 1_000.0,
+    );
+    cluster.shutdown();
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let servers = opts.servers();
+    println!("# Ablation: ECC engine features, {servers} servers, 150us network");
+    println!("variant,tput_ktps,mean_ms,p99_ms");
+    run("baseline", servers, &opts, |c| c);
+    run("no-straggler-window", servers, &opts, |c| c.with_noauth(false));
+    run("durable-wal", servers, &opts, |c| c.with_durability(true));
+    run("replicated", servers, &opts, |c| c.with_replication(true));
+    run("durable+replicated", servers, &opts, |c| {
+        c.with_durability(true).with_replication(true)
+    });
+}

@@ -1,0 +1,44 @@
+//! Figure 10: latency breakdown by transaction lifecycle stage, under low
+//! (CI = 0.0001) and high (CI = 0.1) contention at light load.
+//!
+//! ALOHA-DB stages: functor installing / waiting for processing /
+//! processing. Calvin stages: sequencing / locking and read / processing.
+//! Paper expectation: in both systems the processing stage is smallest and
+//! most time is spent completing the epoch (waiting / sequencing); Calvin's
+//! locking share grows under high contention while ALOHA-DB's profile stays
+//! unchanged.
+
+use aloha_bench::harness::{aloha_ycsb_run, calvin_ycsb_run, ALOHA_EPOCH, CALVIN_BATCH};
+use aloha_bench::BenchOpts;
+use aloha_workloads::ycsb::YcsbConfig;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let n = opts.servers();
+    // Light load: a small fraction of peak (paper uses 5 %).
+    let driver = opts.driver(1, 4);
+    let keys = if opts.full { 1_000_000 } else { 100_000 };
+
+    println!("# Figure 10: latency breakdown by stage, light load, {n} servers");
+    println!("system,contention_index,stage,mean_micros,fraction");
+    for &ci in &[0.0001f64, 0.1] {
+        let cfg = YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys);
+        let r = aloha_ycsb_run(&cfg, ALOHA_EPOCH, &driver);
+        let total: f64 = r.stage_means_micros.iter().sum();
+        for (name, mean) in ["install", "wait", "process"].iter().zip(r.stage_means_micros) {
+            let fraction = if total > 0.0 { mean / total } else { 0.0 };
+            println!("Aloha,{ci},{name},{mean:.1},{fraction:.3}");
+        }
+    }
+    for &ci in &[0.0001f64, 0.1] {
+        let cfg = YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys);
+        let r = calvin_ycsb_run(&cfg, CALVIN_BATCH, &driver);
+        let total: f64 = r.stage_means_micros.iter().sum();
+        for (name, mean) in
+            ["sequencing", "lock+read", "process"].iter().zip(r.stage_means_micros)
+        {
+            let fraction = if total > 0.0 { mean / total } else { 0.0 };
+            println!("Calvin,{ci},{name},{mean:.1},{fraction:.3}");
+        }
+    }
+}

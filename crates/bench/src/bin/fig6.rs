@@ -1,0 +1,60 @@
+//! Figure 6: throughput vs. latency for NewOrder transactions.
+//!
+//! Series: ALOHA-DB and Calvin, each under TPC-C with 1 or 10 warehouses per
+//! host (1W/10W) and scaled TPC-C with 1 or 10 districts per host (1D/10D).
+//! The offered load is swept by increasing the number of windowed client
+//! threads. Paper expectation: ALOHA-DB reaches 13×–61× higher peak
+//! throughput at comparable or lower latency, and its curves for different
+//! configurations bunch together while Calvin's spread widely.
+
+use aloha_bench::harness::{aloha_tpcc_run, calvin_tpcc_run, ALOHA_EPOCH, CALVIN_BATCH};
+use aloha_bench::BenchOpts;
+use aloha_workloads::tpcc::{TpccConfig, TxnMix};
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let n = opts.servers();
+    let loads: &[(usize, usize)] = if opts.full {
+        &[(1, 4), (2, 8), (4, 16), (8, 32), (16, 64), (32, 64)]
+    } else {
+        &[(1, 4), (2, 8), (4, 16), (8, 32), (16, 64)]
+    };
+    let configs: Vec<(&str, TpccConfig)> = vec![
+        ("1W", TpccConfig::by_warehouse(n, 1)),
+        ("10W", TpccConfig::by_warehouse(n, 10)),
+        ("1D", TpccConfig::scaled(n, 1)),
+        ("10D", TpccConfig::scaled(n, 10)),
+    ];
+
+    println!("# Figure 6: throughput vs latency (NewOrder), {n} servers");
+    println!("system,config,threads,window,tput_ktps,mean_ms,p99_ms,aborted");
+    for (name, cfg) in &configs {
+        for &(threads, window) in loads {
+            let r = aloha_tpcc_run(
+                cfg,
+                ALOHA_EPOCH,
+                TxnMix::NewOrderOnly,
+                true,
+                &opts.driver(threads, window),
+            );
+            println!(
+                "Aloha,{name},{threads},{window},{:.2},{:.2},{:.2},{}",
+                r.tput_ktps, r.mean_latency_ms, r.p99_latency_ms, r.aborted
+            );
+        }
+    }
+    for (name, cfg) in &configs {
+        for &(threads, window) in loads {
+            let r = calvin_tpcc_run(
+                cfg,
+                CALVIN_BATCH,
+                TxnMix::NewOrderOnly,
+                &opts.driver(threads, window),
+            );
+            println!(
+                "Calvin,{name},{threads},{window},{:.2},{:.2},{:.2},{}",
+                r.tput_ktps, r.mean_latency_ms, r.p99_latency_ms, r.aborted
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 8: scale-out — NewOrder throughput vs. number of servers.
+//!
+//! Paper expectation: near-linear scaling for every configuration except
+//! Calvin under scaled TPC-C (whose transactions touch more partitions as
+//! the cluster grows); ALOHA-DB ends 13×–112× ahead at 20 servers (~2 M
+//! txn/s on the paper's hardware).
+
+use aloha_bench::harness::{aloha_tpcc_run, calvin_tpcc_run, ALOHA_EPOCH, CALVIN_BATCH};
+use aloha_bench::BenchOpts;
+use aloha_workloads::tpcc::{TpccConfig, TxnMix};
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let server_counts: &[u16] = if opts.full { &[1, 2, 5, 10, 15, 20] } else { &[1, 2, 4] };
+    // Offered load scales with the cluster so saturation, not the client,
+    // bounds throughput.
+    let mk_driver = |n: u16| opts.driver((2 * n as usize).max(8), 128);
+
+    println!("# Figure 8: scale-out (NewOrder throughput vs servers)");
+    println!("system,config,servers,tput_ktps,mean_ms");
+    for &n in server_counts {
+        let driver = mk_driver(n);
+        let configs: Vec<(&str, TpccConfig)> = vec![
+            ("1W", TpccConfig::by_warehouse(n, 1)),
+            ("10W", TpccConfig::by_warehouse(n, 10)),
+            ("1D", TpccConfig::scaled(n, 1)),
+            ("10D", TpccConfig::scaled(n, 10)),
+        ];
+        for (name, cfg) in &configs {
+            let r = aloha_tpcc_run(cfg, ALOHA_EPOCH, TxnMix::NewOrderOnly, true, &driver);
+            println!("Aloha,{name},{n},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        }
+        for (name, cfg) in &configs {
+            let r = calvin_tpcc_run(cfg, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
+            println!("Calvin,{name},{n},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        }
+    }
+}

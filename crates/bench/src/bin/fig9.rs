@@ -1,0 +1,38 @@
+//! Figure 9: microbenchmark throughput vs. contention index.
+//!
+//! YCSB-like read-modify-write transactions (10 keys, 2 partitions, one hot
+//! key per participant). Paper expectation: Calvin holds its peak until
+//! CI ≈ 0.0017 (600 hot keys) then collapses as the single-threaded lock
+//! manager serializes on hot keys; ALOHA-DB stays nearly flat all the way to
+//! CI = 0.1 because its key-level functors never wait on locks.
+
+use aloha_bench::harness::{aloha_ycsb_run, calvin_ycsb_run, ALOHA_EPOCH, CALVIN_BATCH};
+use aloha_bench::BenchOpts;
+use aloha_workloads::ycsb::YcsbConfig;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let n = opts.servers();
+    let cis: &[f64] = if opts.full {
+        &[0.0001, 0.0005, 0.001, 0.0017, 0.005, 0.01, 0.05, 0.1]
+    } else {
+        &[0.0001, 0.001, 0.01, 0.1]
+    };
+    let keys_per_partition = if opts.full { 1_000_000 } else { 100_000 };
+    let driver = opts.driver((2 * n as usize).max(16), 128);
+
+    println!("# Figure 9: microbenchmark throughput vs contention index, {n} servers");
+    println!("system,contention_index,hot_keys,tput_ktps,mean_ms");
+    for &ci in cis {
+        let cfg = YcsbConfig::with_contention_index(n, ci)
+            .with_keys_per_partition(keys_per_partition);
+        let r = aloha_ycsb_run(&cfg, ALOHA_EPOCH, &driver);
+        println!("Aloha,{ci},{},{:.2},{:.2}", cfg.hot_keys, r.tput_ktps, r.mean_latency_ms);
+    }
+    for &ci in cis {
+        let cfg = YcsbConfig::with_contention_index(n, ci)
+            .with_keys_per_partition(keys_per_partition);
+        let r = calvin_ycsb_run(&cfg, CALVIN_BATCH, &driver);
+        println!("Calvin,{ci},{},{:.2},{:.2}", cfg.hot_keys, r.tput_ktps, r.mean_latency_ms);
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared cluster-lifecycle helpers for the figure binaries.
+
+use std::time::Duration;
+
+use aloha_core::{Cluster, ClusterConfig};
+use aloha_workloads::driver::{run_windowed, DriverConfig};
+use aloha_workloads::tpcc::{self, TpccConfig, TxnMix};
+use aloha_workloads::ycsb::{self, YcsbConfig};
+use calvin::{CalvinCluster, CalvinConfig};
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Paper-scale sweep (more points, longer durations).
+    pub full: bool,
+    /// Cluster size override.
+    pub servers: Option<u16>,
+    /// Per-point measured duration override.
+    pub seconds: Option<f64>,
+}
+
+impl BenchOpts {
+    /// Parses the common flags from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> BenchOpts {
+        let mut opts = BenchOpts { full: false, servers: None, seconds: None };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--servers" => {
+                    let v = args.next().expect("--servers needs a value");
+                    opts.servers = Some(v.parse().expect("--servers must be a number"));
+                }
+                "--seconds" => {
+                    let v = args.next().expect("--seconds needs a value");
+                    opts.seconds = Some(v.parse().expect("--seconds must be a number"));
+                }
+                other => panic!("unknown argument {other}; supported: --full --servers N --seconds S"),
+            }
+        }
+        opts
+    }
+
+    /// Default cluster size: 4 quick, 8 full (the paper's default host count).
+    pub fn servers(&self) -> u16 {
+        self.servers.unwrap_or(if self.full { 8 } else { 4 })
+    }
+
+    /// Measured duration per point.
+    pub fn duration(&self) -> Duration {
+        Duration::from_secs_f64(self.seconds.unwrap_or(if self.full { 5.0 } else { 1.5 }))
+    }
+
+    /// Warm-up duration per point.
+    pub fn warmup(&self) -> Duration {
+        if self.full {
+            Duration::from_secs(2)
+        } else {
+            Duration::from_millis(500)
+        }
+    }
+
+    /// A driver configuration for the given offered load.
+    pub fn driver(&self, threads: usize, window: usize) -> DriverConfig {
+        DriverConfig {
+            threads,
+            window,
+            duration: self.duration(),
+            warmup: self.warmup(),
+            seed: 0x000A_104A,
+            pacing: None,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Throughput in kilo-transactions per second.
+    pub tput_ktps: f64,
+    /// Mean end-to-end latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// p99 latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Mean per-stage latencies in microseconds (system-specific stages).
+    pub stage_means_micros: [f64; 3],
+}
+
+impl RunResult {
+    fn from_parts(
+        report: &aloha_workloads::driver::DriverReport,
+        stage_means_micros: [f64; 3],
+    ) -> RunResult {
+        RunResult {
+            tput_ktps: report.throughput_tps() / 1_000.0,
+            mean_latency_ms: report.mean_latency_micros / 1_000.0,
+            p99_latency_ms: report.p99_latency_micros as f64 / 1_000.0,
+            committed: report.committed,
+            aborted: report.aborted,
+            stage_means_micros,
+        }
+    }
+}
+
+/// Builds, loads, drives and tears down an ALOHA-DB TPC-C cluster.
+pub fn aloha_tpcc_run(
+    cfg: &TpccConfig,
+    epoch: Duration,
+    mix: TxnMix,
+    with_aborts: bool,
+    driver: &DriverConfig,
+) -> RunResult {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions)
+            .with_epoch_duration(epoch)
+            .with_processors(2),
+    );
+    tpcc::aloha::install(&mut builder, cfg);
+    let cluster = builder.start().expect("start aloha cluster");
+    tpcc::aloha::load(&cluster, cfg);
+    let target = tpcc::aloha::AlohaTpcc::new(cluster.database(), cfg.clone(), mix, with_aborts);
+    cluster.reset_stats();
+    let report = run_windowed(&target, driver);
+    let stats = cluster.stats();
+    let result = RunResult::from_parts(&report, stats.stage_means_micros);
+    cluster.shutdown();
+    result
+}
+
+/// Builds, loads, drives and tears down a Calvin TPC-C cluster.
+pub fn calvin_tpcc_run(
+    cfg: &TpccConfig,
+    batch: Duration,
+    mix: TxnMix,
+    driver: &DriverConfig,
+) -> RunResult {
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(cfg.partitions).with_batch_duration(batch).with_workers(2),
+    );
+    tpcc::calvin_impl::install(&mut builder, cfg);
+    let cluster = builder.start().expect("start calvin cluster");
+    tpcc::calvin_impl::load(&cluster, cfg);
+    let target = tpcc::calvin_impl::CalvinTpcc::new(cluster.database(), cfg.clone(), mix);
+    cluster.reset_stats();
+    let report = run_windowed(&target, driver);
+    let stats = cluster.stats();
+    let result = RunResult::from_parts(&report, stats.stage_means_micros);
+    cluster.shutdown();
+    result
+}
+
+/// Builds, loads, drives and tears down an ALOHA-DB microbenchmark cluster.
+pub fn aloha_ycsb_run(cfg: &YcsbConfig, epoch: Duration, driver: &DriverConfig) -> RunResult {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions)
+            .with_epoch_duration(epoch)
+            .with_processors(2),
+    );
+    ycsb::install_aloha(&mut builder);
+    let cluster = builder.start().expect("start aloha cluster");
+    ycsb::load_aloha(&cluster, cfg);
+    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg.clone());
+    cluster.reset_stats();
+    let report = run_windowed(&target, driver);
+    let stats = cluster.stats();
+    let result = RunResult::from_parts(&report, stats.stage_means_micros);
+    cluster.shutdown();
+    result
+}
+
+/// Builds, loads, drives and tears down a Calvin microbenchmark cluster.
+pub fn calvin_ycsb_run(cfg: &YcsbConfig, batch: Duration, driver: &DriverConfig) -> RunResult {
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(cfg.partitions).with_batch_duration(batch).with_workers(2),
+    );
+    ycsb::install_calvin(&mut builder);
+    let cluster = builder.start().expect("start calvin cluster");
+    ycsb::load_calvin(&cluster, cfg);
+    let target = ycsb::CalvinYcsb::new(cluster.database(), cfg.clone());
+    cluster.reset_stats();
+    let report = run_windowed(&target, driver);
+    let stats = cluster.stats();
+    let result = RunResult::from_parts(&report, stats.stage_means_micros);
+    cluster.shutdown();
+    result
+}
+
+/// The paper's epoch duration for ALOHA-DB (§V-A2).
+pub const ALOHA_EPOCH: Duration = Duration::from_millis(25);
+/// The paper's sequencer batch duration for Calvin (§V-A2).
+pub const CALVIN_BATCH: Duration = Duration::from_millis(20);

@@ -1,0 +1,23 @@
+//! Benchmark harness for the ALOHA-DB reproduction.
+//!
+//! One binary per evaluation figure (`fig6` … `fig11`), each printing the
+//! same rows/series the paper reports, plus two ablations (`ablation_push`
+//! for the §IV-B recipient-set push, `ablation_ecc` for the straggler
+//! window / WAL / replication) and Criterion microbenchmarks for the
+//! substrates. Binaries accept:
+//!
+//! * `--full` — paper-scale sweeps (more points, longer durations, more
+//!   servers); the default is a laptop-scale quick mode with the same shape;
+//! * `--servers N` — override the default cluster size;
+//! * `--seconds S` — override the measured duration per point.
+//!
+//! The absolute numbers depend on the host (this is a simulated cluster in
+//! one process, not 20 EC2 VMs); the *shapes* — who wins, by what factor,
+//! where the trends bend — are the reproduction targets. `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+
+pub mod harness;
+
+pub use harness::{
+    aloha_tpcc_run, aloha_ycsb_run, calvin_tpcc_run, calvin_ycsb_run, BenchOpts, RunResult,
+};

@@ -1,0 +1,335 @@
+//! Calvin cluster assembly and client handles.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aloha_common::{Error, Key, PartitionId, Result, ServerId, Value};
+use aloha_net::{Addr, Bus, NetConfig};
+
+use crate::msg::CalvinMsg;
+use crate::program::{CalvinProgram, CalvinRegistry, ProgramId};
+use crate::server::{
+    run_dispatcher, run_scheduler, run_sequencer, run_worker, CalvinServer, CalvinSubmission,
+};
+
+/// Calvin cluster configuration.
+#[derive(Debug, Clone)]
+pub struct CalvinConfig {
+    /// Number of servers (one partition each).
+    pub servers: u16,
+    /// Sequencer batching epoch (paper: 20 ms, §V-A2).
+    pub batch_duration: Duration,
+    /// Simulated network behavior.
+    pub net: NetConfig,
+    /// Execution worker threads per server.
+    pub workers_per_server: usize,
+}
+
+impl CalvinConfig {
+    /// Defaults: 20 ms batches, instant network, two workers per server.
+    pub fn new(servers: u16) -> CalvinConfig {
+        CalvinConfig {
+            servers,
+            batch_duration: Duration::from_millis(20),
+            net: NetConfig::instant(),
+            workers_per_server: 2,
+        }
+    }
+
+    /// Overrides the sequencer batch duration.
+    pub fn with_batch_duration(mut self, duration: Duration) -> CalvinConfig {
+        self.batch_duration = duration;
+        self
+    }
+
+    /// Overrides the network behavior.
+    pub fn with_net(mut self, net: NetConfig) -> CalvinConfig {
+        self.net = net;
+        self
+    }
+
+    /// Overrides the worker pool size.
+    pub fn with_workers(mut self, workers: usize) -> CalvinConfig {
+        self.workers_per_server = workers;
+        self
+    }
+}
+
+/// Builds a [`CalvinCluster`]: registers programs, then starts.
+pub struct CalvinClusterBuilder {
+    config: CalvinConfig,
+    registry: CalvinRegistry,
+}
+
+impl std::fmt::Debug for CalvinClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalvinClusterBuilder").field("config", &self.config).finish()
+    }
+}
+
+impl CalvinClusterBuilder {
+    /// Registers a stored procedure on every server.
+    pub fn register_program(
+        &mut self,
+        id: ProgramId,
+        program: impl CalvinProgram + 'static,
+    ) -> &mut Self {
+        self.registry.register(id, program);
+        self
+    }
+
+    /// Starts the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid configurations.
+    pub fn start(self) -> Result<CalvinCluster> {
+        let n = self.config.servers;
+        if n == 0 {
+            return Err(Error::Config("calvin cluster needs at least one server".into()));
+        }
+        if self.config.workers_per_server == 0 {
+            return Err(Error::Config("need at least one worker per server".into()));
+        }
+        let bus: Bus<CalvinMsg> = Bus::new(self.config.net.clone());
+        let registry = Arc::new(self.registry);
+        let mut servers = Vec::with_capacity(n as usize);
+        let mut threads = Vec::new();
+        for i in 0..n {
+            let endpoint = bus.register(Addr::Server(ServerId(i)));
+            let (server, sched_rx, exec_rx) =
+                CalvinServer::new(ServerId(i), n, Arc::clone(&registry), bus.clone());
+            let s = Arc::clone(&server);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("calvin-dispatch-{i}"))
+                    .spawn(move || run_dispatcher(s, endpoint))
+                    .expect("spawn dispatcher"),
+            );
+            let s = Arc::clone(&server);
+            let batch = self.config.batch_duration;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("calvin-seq-{i}"))
+                    .spawn(move || run_sequencer(s, batch))
+                    .expect("spawn sequencer"),
+            );
+            let s = Arc::clone(&server);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("calvin-sched-{i}"))
+                    .spawn(move || run_scheduler(s, sched_rx))
+                    .expect("spawn scheduler"),
+            );
+            for w in 0..self.config.workers_per_server {
+                let s = Arc::clone(&server);
+                let rx = exec_rx.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("calvin-worker-{i}-{w}"))
+                        .spawn(move || run_worker(s, rx))
+                        .expect("spawn worker"),
+                );
+            }
+            servers.push(server);
+        }
+        Ok(CalvinCluster { servers, bus, threads, total: n })
+    }
+}
+
+/// Aggregated Calvin statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalvinClusterStats {
+    /// Completed transactions (across all origins).
+    pub completed: u64,
+    /// Mean end-to-end latency in microseconds.
+    pub latency_mean_micros: f64,
+    /// Latency sample count.
+    pub latency_count: u64,
+    /// Mean per-stage latency: sequencing / lock+read / processing.
+    pub stage_means_micros: [f64; 3],
+}
+
+/// A running Calvin cluster.
+pub struct CalvinCluster {
+    servers: Vec<Arc<CalvinServer>>,
+    bus: Bus<CalvinMsg>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    total: u16,
+}
+
+impl std::fmt::Debug for CalvinCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalvinCluster").field("servers", &self.total).finish()
+    }
+}
+
+impl CalvinCluster {
+    /// Starts building a cluster.
+    pub fn builder(config: CalvinConfig) -> CalvinClusterBuilder {
+        CalvinClusterBuilder { config, registry: CalvinRegistry::new() }
+    }
+
+    /// The servers, indexed by id.
+    pub fn servers(&self) -> &[Arc<CalvinServer>] {
+        &self.servers
+    }
+
+    /// Number of servers.
+    pub fn size(&self) -> u16 {
+        self.total
+    }
+
+    /// A client handle.
+    pub fn database(&self) -> CalvinDatabase {
+        CalvinDatabase {
+            servers: Arc::new(self.servers.clone()),
+            next: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Loads an initial row into the owning partition (before opening the
+    /// database for transactions).
+    pub fn load(&self, key: Key, value: Value) {
+        let owner = key.partition(self.total);
+        self.servers[owner.index()].store().put(key, value);
+    }
+
+    /// Reads the current value of `key` directly from the owning store.
+    /// Intended for quiescent verification, not as a transaction.
+    pub fn read(&self, key: &Key) -> Option<Value> {
+        let owner = key.partition(self.total);
+        self.servers[owner.index()].store().get(key)
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> CalvinClusterStats {
+        let mut completed = 0;
+        let mut latency_weighted = 0.0;
+        let mut latency_count = 0;
+        let mut stage_sums = [0.0f64; 3];
+        let mut stage_servers = 0usize;
+        for server in &self.servers {
+            let stats = server.stats();
+            completed += stats.completed();
+            let n = stats.latency().count();
+            latency_weighted += stats.latency().mean_micros() * n as f64;
+            latency_count += n;
+            let means = stats.breakdown().means_micros();
+            if means.iter().any(|&m| m > 0.0) {
+                for (sum, m) in stage_sums.iter_mut().zip(means) {
+                    *sum += m;
+                }
+                stage_servers += 1;
+            }
+        }
+        CalvinClusterStats {
+            completed,
+            latency_mean_micros: if latency_count == 0 {
+                0.0
+            } else {
+                latency_weighted / latency_count as f64
+            },
+            latency_count,
+            stage_means_micros: if stage_servers == 0 {
+                [0.0; 3]
+            } else {
+                std::array::from_fn(|i| stage_sums[i] / stage_servers as f64)
+            },
+        }
+    }
+
+    /// Resets every server's statistics.
+    pub fn reset_stats(&self) {
+        for server in &self.servers {
+            server.stats().reset();
+        }
+    }
+
+    /// Stops all servers and joins their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for server in &self.servers {
+            server.mark_shutdown();
+            let _ = self.bus.send(Addr::Server(server.id()), CalvinMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CalvinCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Client handle: submits transactions round-robin across sequencers.
+#[derive(Clone)]
+pub struct CalvinDatabase {
+    servers: Arc<Vec<Arc<CalvinServer>>>,
+    next: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for CalvinDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalvinDatabase").field("servers", &self.servers.len()).finish()
+    }
+}
+
+impl CalvinDatabase {
+    /// Submits a transaction via a round-robin sequencer.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown programs.
+    pub fn execute(&self, program: ProgramId, args: impl AsRef<[u8]>) -> Result<CalvinHandle> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
+        Ok(CalvinHandle { submission: self.servers[i].submit(program, args.as_ref())? })
+    }
+
+    /// Submits with a pinned sequencer.
+    ///
+    /// # Errors
+    ///
+    /// As [`CalvinDatabase::execute`], plus out-of-range servers.
+    pub fn execute_at(
+        &self,
+        origin: ServerId,
+        program: ProgramId,
+        args: impl AsRef<[u8]>,
+    ) -> Result<CalvinHandle> {
+        let server = self
+            .servers
+            .get(origin.index())
+            .ok_or(Error::NoSuchPartition(PartitionId(origin.0)))?;
+        Ok(CalvinHandle { submission: server.submit(program, args.as_ref())? })
+    }
+
+    /// Number of servers.
+    pub fn cluster_size(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// Handle to a submitted Calvin transaction.
+#[derive(Debug)]
+pub struct CalvinHandle {
+    submission: CalvinSubmission,
+}
+
+impl CalvinHandle {
+    /// Blocks until the transaction fully executed on every participant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster shut down first.
+    pub fn wait(self) -> Result<()> {
+        self.submission.wait()
+    }
+}

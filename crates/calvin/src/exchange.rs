@@ -1,0 +1,261 @@
+//! Rendezvous state for redundant execution: read-value exchange between
+//! participants, and completion tracking at the origin server.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use aloha_common::{Key, ServerId, Value};
+use aloha_net::ReplySlot;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::msg::GlobalTxnId;
+
+/// Collects the read-set values broadcast by the other participants of a
+/// transaction; executor threads block until all expected peers reported.
+///
+/// Each waiter registers a private one-shot wakeup channel, so a delivery
+/// wakes exactly the thread that needs it — with hundreds of concurrent
+/// distributed transactions a shared condvar would cause a thundering herd.
+#[derive(Debug, Default)]
+pub struct ReadExchange {
+    state: Mutex<ExchangeState>,
+}
+
+#[derive(Debug, Default)]
+struct ExchangeState {
+    entries: HashMap<GlobalTxnId, ExchangeEntry>,
+    poisoned: bool,
+}
+
+#[derive(Debug, Default)]
+struct ExchangeEntry {
+    received_from: Vec<ServerId>,
+    values: Vec<(Key, Option<Value>)>,
+    expected: Option<usize>,
+    wake: Option<Sender<()>>,
+}
+
+impl ExchangeEntry {
+    fn is_complete(&self) -> bool {
+        self.expected.is_some_and(|e| self.received_from.len() >= e)
+    }
+}
+
+impl ReadExchange {
+    /// Creates an empty exchange.
+    pub fn new() -> ReadExchange {
+        ReadExchange::default()
+    }
+
+    /// Records a peer's broadcast (idempotent per peer).
+    pub fn deliver(&self, txn: GlobalTxnId, from: ServerId, values: Vec<(Key, Option<Value>)>) {
+        let mut state = self.state.lock();
+        let entry = state.entries.entry(txn).or_default();
+        if !entry.received_from.contains(&from) {
+            entry.received_from.push(from);
+            entry.values.extend(values);
+        }
+        if entry.is_complete() {
+            if let Some(wake) = entry.wake.take() {
+                let _ = wake.send(());
+            }
+        }
+    }
+
+    /// Blocks until broadcasts from `expected` peers arrived, then removes
+    /// and returns all collected values. Returns `None` on timeout or
+    /// shutdown.
+    pub fn wait(
+        &self,
+        txn: GlobalTxnId,
+        expected: usize,
+        timeout: Duration,
+    ) -> Option<Vec<(Key, Option<Value>)>> {
+        let rx = {
+            let mut state = self.state.lock();
+            if state.poisoned {
+                state.entries.remove(&txn);
+                return None;
+            }
+            let entry = state.entries.entry(txn).or_default();
+            entry.expected = Some(expected);
+            if entry.is_complete() || expected == 0 {
+                let entry = state.entries.remove(&txn).unwrap_or_default();
+                return Some(entry.values);
+            }
+            let (tx, rx) = bounded(1);
+            entry.wake = Some(tx);
+            rx
+        };
+        let woken = rx.recv_timeout(timeout).is_ok();
+        let mut state = self.state.lock();
+        if woken && !state.poisoned {
+            state.entries.remove(&txn).map(|e| e.values)
+        } else {
+            state.entries.remove(&txn);
+            None
+        }
+    }
+
+    /// Number of transactions with outstanding exchange state.
+    pub fn outstanding(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Wakes every waiter with a `None` result; used at shutdown so worker
+    /// threads do not block joins on the full RPC timeout.
+    pub fn poison(&self) {
+        let mut state = self.state.lock();
+        state.poisoned = true;
+        for entry in state.entries.values_mut() {
+            // Dropping the sender makes the waiter's recv fail immediately.
+            entry.wake.take();
+        }
+    }
+}
+
+/// Tracks client completions at the origin server: a transaction's reply is
+/// fulfilled when every participant reported `TxnDone`.
+#[derive(Debug, Default)]
+pub struct PendingCompletions {
+    state: Mutex<HashMap<GlobalTxnId, Pending>>,
+}
+
+#[derive(Debug, Default)]
+struct Pending {
+    /// Expected participant count, known once `register` ran.
+    expected: Option<usize>,
+    /// `TxnDone` reports received so far (may race ahead of `register`).
+    done: usize,
+    reply: Option<ReplySlot<()>>,
+}
+
+impl Pending {
+    fn is_complete(&self) -> bool {
+        self.expected.is_some_and(|e| self.done >= e) && self.reply.is_some()
+    }
+}
+
+impl PendingCompletions {
+    /// Creates an empty tracker.
+    pub fn new() -> PendingCompletions {
+        PendingCompletions::default()
+    }
+
+    fn resolve_if_complete(
+        state: &mut HashMap<GlobalTxnId, Pending>,
+        txn: GlobalTxnId,
+    ) {
+        if state.get(&txn).is_some_and(Pending::is_complete) {
+            if let Some(reply) = state.remove(&txn).and_then(|p| p.reply) {
+                reply.send(());
+            }
+        }
+    }
+
+    /// Registers a submitted transaction with its participant count.
+    pub fn register(&self, txn: GlobalTxnId, participants: usize, reply: ReplySlot<()>) {
+        let mut state = self.state.lock();
+        let entry = state.entry(txn).or_default();
+        entry.expected = Some(participants);
+        entry.reply = Some(reply);
+        Self::resolve_if_complete(&mut state, txn);
+    }
+
+    /// Records one participant completion; fulfills the reply when all
+    /// participants reported.
+    pub fn done(&self, txn: GlobalTxnId) {
+        let mut state = self.state.lock();
+        let entry = state.entry(txn).or_default();
+        entry.done += 1;
+        Self::resolve_if_complete(&mut state, txn);
+    }
+
+    /// Outstanding transactions (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.state.lock().len()
+    }
+
+    /// Drops every pending reply (waiters observe a disconnect); used at
+    /// shutdown.
+    pub fn fail_all(&self) {
+        self.state.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_net::reply_pair;
+
+    fn txn(seq: u64) -> GlobalTxnId {
+        GlobalTxnId { origin: ServerId(0), seq }
+    }
+
+    #[test]
+    fn exchange_collects_from_all_peers() {
+        let ex = ReadExchange::new();
+        ex.deliver(txn(1), ServerId(1), vec![(Key::from("a"), Some(Value::from_i64(1)))]);
+        ex.deliver(txn(1), ServerId(2), vec![(Key::from("b"), None)]);
+        let values = ex.wait(txn(1), 2, Duration::from_millis(100)).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(ex.outstanding(), 0);
+    }
+
+    #[test]
+    fn exchange_wait_blocks_until_delivery() {
+        use std::sync::Arc;
+        let ex = Arc::new(ReadExchange::new());
+        let ex2 = Arc::clone(&ex);
+        let waiter = std::thread::spawn(move || ex2.wait(txn(5), 1, Duration::from_secs(1)));
+        std::thread::sleep(Duration::from_millis(5));
+        ex.deliver(txn(5), ServerId(3), vec![]);
+        assert!(waiter.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn exchange_times_out_and_cleans_up() {
+        let ex = ReadExchange::new();
+        assert!(ex.wait(txn(9), 1, Duration::from_millis(10)).is_none());
+        assert_eq!(ex.outstanding(), 0);
+    }
+
+    #[test]
+    fn exchange_ignores_duplicate_peer_broadcasts() {
+        let ex = ReadExchange::new();
+        ex.deliver(txn(1), ServerId(1), vec![(Key::from("a"), None)]);
+        ex.deliver(txn(1), ServerId(1), vec![(Key::from("a"), None)]);
+        let values = ex.wait(txn(1), 1, Duration::from_millis(50)).unwrap();
+        assert_eq!(values.len(), 1, "duplicate broadcast must not double values");
+    }
+
+    #[test]
+    fn zero_expected_peers_returns_immediately() {
+        let ex = ReadExchange::new();
+        assert_eq!(ex.wait(txn(2), 0, Duration::from_millis(1)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn completions_fulfil_after_all_participants() {
+        let pc = PendingCompletions::new();
+        let (slot, handle) = reply_pair();
+        pc.register(txn(1), 2, slot);
+        pc.done(txn(1));
+        assert!(handle.try_wait().is_none(), "one participant outstanding");
+        pc.done(txn(1));
+        // Reply slot consumed inside; handle resolves.
+        assert!(handle.wait().is_ok());
+        assert_eq!(pc.outstanding(), 0);
+    }
+
+    #[test]
+    fn completions_tolerate_done_before_register() {
+        let pc = PendingCompletions::new();
+        pc.done(txn(7));
+        pc.done(txn(7));
+        let (slot, handle) = reply_pair();
+        pc.register(txn(7), 2, slot);
+        assert!(handle.wait().is_ok());
+    }
+}

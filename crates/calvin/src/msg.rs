@@ -1,0 +1,72 @@
+//! Calvin cluster protocol messages.
+
+use std::time::Instant;
+
+use aloha_common::{Key, ServerId, Value};
+
+use crate::program::ProgramId;
+
+/// Globally unique transaction id: the originating sequencer plus its local
+/// sequence number. Not the serialization order — that is defined by batch
+/// merge order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalTxnId {
+    /// The sequencer (server) the client submitted to.
+    pub origin: ServerId,
+    /// Monotone per-origin sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for GlobalTxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.origin, self.seq)
+    }
+}
+
+/// A sequenced transaction request.
+#[derive(Debug, Clone)]
+pub struct CalvinTxn {
+    /// Unique id.
+    pub id: GlobalTxnId,
+    /// The stored procedure to run.
+    pub program: ProgramId,
+    /// Client argument blob.
+    pub args: Vec<u8>,
+    /// Submission instant (latency measurement; in-process only).
+    pub submitted_at: Instant,
+}
+
+/// Messages exchanged between Calvin servers.
+#[derive(Debug)]
+pub enum CalvinMsg {
+    /// Sequencer → all schedulers: one sealed batch of a sequencing round.
+    /// Every server broadcasts a (possibly empty) batch every round; a
+    /// scheduler merges round `round` once it holds batches from all peers.
+    Batch {
+        /// The originating sequencer.
+        from: ServerId,
+        /// The sequencing round number.
+        round: u64,
+        /// The transactions sequenced by `from` in this round.
+        txns: Vec<CalvinTxn>,
+    },
+    /// Participant → participant: local read-set values for a transaction
+    /// (the redundant-execution broadcast).
+    ReadResults {
+        /// The transaction being executed.
+        txn: GlobalTxnId,
+        /// The broadcasting participant.
+        from: ServerId,
+        /// Its local read-set values.
+        values: Vec<(Key, Option<Value>)>,
+    },
+    /// Participant → origin: this participant finished the transaction.
+    TxnDone {
+        /// The finished transaction.
+        txn: GlobalTxnId,
+        /// The reporting participant.
+        from: ServerId,
+    },
+    /// Stop the dispatcher.
+    Shutdown,
+}

@@ -1,0 +1,184 @@
+//! Calvin stored procedures: read/write sets known up front, deterministic
+//! execution.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use aloha_common::{Error, Key, Result, Value};
+
+/// Identifier of a registered Calvin stored procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub u32);
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cprog{}", self.0)
+    }
+}
+
+/// The declared access sets of one transaction ("the keys accessed by a
+/// transaction must be known ahead of time", §IV-A — Calvin's restriction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CalvinPlan {
+    /// Keys the procedure reads.
+    pub read_set: Vec<Key>,
+    /// Keys the procedure writes.
+    pub write_set: Vec<Key>,
+}
+
+impl CalvinPlan {
+    /// All keys accessed (reads then writes, possibly overlapping).
+    pub fn all_keys(&self) -> impl Iterator<Item = &Key> {
+        self.read_set.iter().chain(self.write_set.iter())
+    }
+}
+
+/// A deterministic Calvin stored procedure.
+///
+/// `plan` derives the access sets from the arguments; `execute` computes the
+/// writes from the gathered read values. Execution must be a pure function of
+/// `(args, reads)` — it runs redundantly on every participant partition and
+/// all replicas must agree.
+pub trait CalvinProgram: Send + Sync {
+    /// Declares the read and write sets for the given arguments.
+    fn plan(&self, args: &[u8]) -> CalvinPlan;
+
+    /// Computes the writes. `reads` maps every read-set key to its value
+    /// (`None` for missing keys); results are appended to `writes`.
+    fn execute(
+        &self,
+        args: &[u8],
+        reads: &HashMap<Key, Option<Value>>,
+        writes: &mut Vec<(Key, Value)>,
+    );
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Builds a [`CalvinProgram`] from two closures; see the crate example.
+pub fn fn_program<P, E>(plan: P, execute: E) -> FnCalvinProgram<P, E>
+where
+    P: Fn(&[u8]) -> CalvinPlan + Send + Sync,
+    E: Fn(&[u8], &HashMap<Key, Option<Value>>, &mut Vec<(Key, Value)>) + Send + Sync,
+{
+    FnCalvinProgram { plan, execute }
+}
+
+/// Closure-backed [`CalvinProgram`]; see [`fn_program`].
+pub struct FnCalvinProgram<P, E> {
+    plan: P,
+    execute: E,
+}
+
+impl<P, E> CalvinProgram for FnCalvinProgram<P, E>
+where
+    P: Fn(&[u8]) -> CalvinPlan + Send + Sync,
+    E: Fn(&[u8], &HashMap<Key, Option<Value>>, &mut Vec<(Key, Value)>) + Send + Sync,
+{
+    fn plan(&self, args: &[u8]) -> CalvinPlan {
+        (self.plan)(args)
+    }
+
+    fn execute(
+        &self,
+        args: &[u8],
+        reads: &HashMap<Key, Option<Value>>,
+        writes: &mut Vec<(Key, Value)>,
+    ) {
+        (self.execute)(args, reads, writes)
+    }
+
+    fn name(&self) -> &str {
+        "fn-calvin-program"
+    }
+}
+
+/// Registry of Calvin stored procedures, identical on every server.
+#[derive(Default)]
+pub struct CalvinRegistry {
+    programs: HashMap<ProgramId, Arc<dyn CalvinProgram>>,
+}
+
+impl CalvinRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> CalvinRegistry {
+        CalvinRegistry::default()
+    }
+
+    /// Registers `program` under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate ids.
+    pub fn register(&mut self, id: ProgramId, program: impl CalvinProgram + 'static) {
+        let prev = self.programs.insert(id, Arc::new(program));
+        assert!(prev.is_none(), "duplicate calvin program registration for {id}");
+    }
+
+    /// Looks up a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProgram`] for unregistered ids.
+    pub fn get(&self, id: ProgramId) -> Result<&Arc<dyn CalvinProgram>> {
+        self.programs.get(&id).ok_or(Error::UnknownProgram(id.0))
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+}
+
+impl fmt::Debug for CalvinRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CalvinRegistry").field("len", &self.programs.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_program_round_trips() {
+        let p = fn_program(
+            |_args| CalvinPlan { read_set: vec![Key::from("a")], write_set: vec![Key::from("a")] },
+            |_args, reads, writes| {
+                let old = reads[&Key::from("a")].as_ref().and_then(Value::as_i64).unwrap_or(0);
+                writes.push((Key::from("a"), Value::from_i64(old * 2)));
+            },
+        );
+        let plan = p.plan(b"");
+        assert_eq!(plan.read_set.len(), 1);
+        let mut reads = HashMap::new();
+        reads.insert(Key::from("a"), Some(Value::from_i64(21)));
+        let mut writes = Vec::new();
+        p.execute(b"", &reads, &mut writes);
+        assert_eq!(writes, vec![(Key::from("a"), Value::from_i64(42))]);
+    }
+
+    #[test]
+    fn registry_rejects_unknown() {
+        let reg = CalvinRegistry::new();
+        assert!(matches!(reg.get(ProgramId(5)), Err(Error::UnknownProgram(5))));
+    }
+
+    #[test]
+    fn plan_all_keys_chains_sets() {
+        let plan = CalvinPlan {
+            read_set: vec![Key::from("r")],
+            write_set: vec![Key::from("w")],
+        };
+        assert_eq!(plan.all_keys().count(), 2);
+    }
+}

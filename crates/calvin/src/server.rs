@@ -1,0 +1,496 @@
+//! One Calvin server: sequencer, scheduler (single-threaded lock manager)
+//! and execution workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aloha_common::metrics::{duration_micros, Counter, Histogram, StageBreakdown};
+use aloha_common::{Key, Result, ServerId, Value};
+use aloha_net::{reply_pair, Addr, Bus, Endpoint, ReplyHandle};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::exchange::{PendingCompletions, ReadExchange};
+use crate::lock::{LockManager, LockMode};
+use crate::msg::{CalvinMsg, CalvinTxn, GlobalTxnId};
+use crate::program::{CalvinRegistry, ProgramId};
+use crate::store::CalvinStore;
+
+/// Per-server Calvin metrics: the Fig 10 stage breakdown plus counters.
+#[derive(Debug)]
+pub struct CalvinStats {
+    breakdown: StageBreakdown,
+    latency: Histogram,
+    completed: Counter,
+    scheduled: Counter,
+}
+
+impl Default for CalvinStats {
+    fn default() -> Self {
+        CalvinStats {
+            breakdown: StageBreakdown::new(["sequencing", "lock+read", "process"]),
+            latency: Histogram::new(),
+            completed: Counter::new(),
+            scheduled: Counter::new(),
+        }
+    }
+}
+
+impl CalvinStats {
+    /// Stage breakdown: sequencing / locking-and-read / processing (Fig 10).
+    pub fn breakdown(&self) -> &StageBreakdown {
+        &self.breakdown
+    }
+
+    /// End-to-end latency (submit → all participants done).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Transactions completed with this server as origin.
+    pub fn completed(&self) -> u64 {
+        self.completed.get()
+    }
+
+    /// Transactions this partition participated in.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled.get()
+    }
+
+    /// Clears all metrics.
+    pub fn reset(&self) {
+        self.breakdown.reset();
+        self.latency.reset();
+        self.completed.reset();
+        self.scheduled.reset();
+    }
+}
+
+/// Events driving the single scheduler thread.
+pub(crate) enum SchedulerEvent {
+    Batch { from: ServerId, round: u64, txns: Vec<CalvinTxn> },
+    Done { local_seq: u64 },
+}
+
+/// A transaction dispatched to an execution worker.
+pub(crate) struct ExecTask {
+    local_seq: u64,
+    txn: CalvinTxn,
+    lock_requested_at: Instant,
+}
+
+/// One Calvin server process.
+pub struct CalvinServer {
+    id: ServerId,
+    total: u16,
+    store: CalvinStore,
+    registry: Arc<CalvinRegistry>,
+    bus: Bus<CalvinMsg>,
+    exchange: ReadExchange,
+    completions: PendingCompletions,
+    submissions: Mutex<Vec<CalvinTxn>>,
+    next_seq: AtomicU64,
+    sched_tx: Sender<SchedulerEvent>,
+    exec_tx: Sender<ExecTask>,
+    stats: CalvinStats,
+    shutdown: AtomicBool,
+    rpc_timeout: Duration,
+}
+
+impl std::fmt::Debug for CalvinServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalvinServer").field("id", &self.id).finish()
+    }
+}
+
+impl CalvinServer {
+    pub(crate) fn new(
+        id: ServerId,
+        total: u16,
+        registry: Arc<CalvinRegistry>,
+        bus: Bus<CalvinMsg>,
+    ) -> (Arc<CalvinServer>, Receiver<SchedulerEvent>, Receiver<ExecTask>) {
+        let (sched_tx, sched_rx) = crossbeam::channel::unbounded();
+        let (exec_tx, exec_rx) = crossbeam::channel::unbounded();
+        let server = Arc::new(CalvinServer {
+            id,
+            total,
+            store: CalvinStore::new(),
+            registry,
+            bus,
+            exchange: ReadExchange::new(),
+            completions: PendingCompletions::new(),
+            submissions: Mutex::new(Vec::new()),
+            next_seq: AtomicU64::new(0),
+            sched_tx,
+            exec_tx,
+            stats: CalvinStats::default(),
+            shutdown: AtomicBool::new(false),
+            rpc_timeout: Duration::from_secs(30),
+        });
+        (server, sched_rx, exec_rx)
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// This server's partition store.
+    pub fn store(&self) -> &CalvinStore {
+        &self.store
+    }
+
+    /// This server's metrics.
+    pub fn stats(&self) -> &CalvinStats {
+        &self.stats
+    }
+
+    /// The server owning `key`.
+    pub fn owner_of(&self, key: &Key) -> ServerId {
+        ServerId(key.partition(self.total).0)
+    }
+
+    pub(crate) fn mark_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.exchange.poison();
+        self.completions.fail_all();
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Submits a transaction to this server's sequencer. The returned handle
+    /// resolves when every participant finished executing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aloha_common::Error::UnknownProgram`] for unregistered
+    /// programs.
+    pub fn submit(
+        self: &Arc<Self>,
+        program: ProgramId,
+        args: &[u8],
+    ) -> Result<CalvinSubmission> {
+        let plan = self.registry.get(program)?.plan(args);
+        let participants = self.participants_of(&plan);
+        let id = GlobalTxnId { origin: self.id, seq: self.next_seq.fetch_add(1, Ordering::Relaxed) };
+        let (slot, handle) = reply_pair();
+        self.completions.register(id, participants.len(), slot);
+        let submitted_at = Instant::now();
+        self.submissions.lock().push(CalvinTxn {
+            id,
+            program,
+            args: args.to_vec(),
+            submitted_at,
+        });
+        Ok(CalvinSubmission { server: Arc::clone(self), handle, submitted_at })
+    }
+
+    fn participants_of(&self, plan: &crate::program::CalvinPlan) -> Vec<ServerId> {
+        let mut participants: Vec<ServerId> =
+            plan.all_keys().map(|k| self.owner_of(k)).collect();
+        participants.sort();
+        participants.dedup();
+        participants
+    }
+
+    /// Sequencer tick: seals the current batch for `round` and broadcasts it
+    /// to every scheduler (including this server's own).
+    pub(crate) fn seal_batch(&self, round: u64) {
+        let txns = std::mem::take(&mut *self.submissions.lock());
+        for i in 0..self.total {
+            let msg = CalvinMsg::Batch { from: self.id, round, txns: txns.clone() };
+            let _ = self.bus.send(Addr::Server(ServerId(i)), msg);
+        }
+    }
+}
+
+/// A submitted Calvin transaction; resolves on full completion.
+#[derive(Debug)]
+pub struct CalvinSubmission {
+    server: Arc<CalvinServer>,
+    handle: ReplyHandle<()>,
+    submitted_at: Instant,
+}
+
+impl CalvinSubmission {
+    /// Blocks until every participant executed the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cluster shut down before completion.
+    pub fn wait(self) -> Result<()> {
+        self.handle.wait_timeout(self.server.rpc_timeout)?;
+        self.server.stats.latency.record(duration_micros(self.submitted_at.elapsed()));
+        self.server.stats.completed.incr();
+        Ok(())
+    }
+}
+
+/// Dispatcher thread: routes bus messages.
+pub(crate) fn run_dispatcher(server: Arc<CalvinServer>, endpoint: Endpoint<CalvinMsg>) {
+    loop {
+        let msg = match endpoint.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        match msg {
+            CalvinMsg::Batch { from, round, txns } => {
+                let _ = server.sched_tx.send(SchedulerEvent::Batch { from, round, txns });
+            }
+            CalvinMsg::ReadResults { txn, from, values } => {
+                server.exchange.deliver(txn, from, values);
+            }
+            CalvinMsg::TxnDone { txn, from: _ } => {
+                server.completions.done(txn);
+            }
+            CalvinMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Sequencer thread: seals a batch every `batch_duration` (paper: 20 ms).
+pub(crate) fn run_sequencer(server: Arc<CalvinServer>, batch_duration: Duration) {
+    let mut round = 0u64;
+    while !server.is_shutdown() {
+        std::thread::sleep(batch_duration);
+        server.seal_batch(round);
+        round += 1;
+    }
+}
+
+/// State of one transaction while it owns or awaits locks.
+struct ActiveTxn {
+    txn: CalvinTxn,
+    lock_keys: Vec<(Key, LockMode)>,
+    pending_locks: usize,
+    lock_requested_at: Instant,
+}
+
+/// Scheduler thread: merges batches deterministically and drives the
+/// single-threaded lock manager.
+pub(crate) fn run_scheduler(server: Arc<CalvinServer>, events: Receiver<SchedulerEvent>) {
+    let mut locks = LockManager::new();
+    let mut rounds: HashMap<u64, HashMap<ServerId, Vec<CalvinTxn>>> = HashMap::new();
+    let mut next_round = 0u64;
+    let mut next_local_seq = 0u64;
+    let mut active: HashMap<u64, ActiveTxn> = HashMap::new();
+
+    loop {
+        let event = match events.recv_timeout(Duration::from_millis(50)) {
+            Ok(e) => e,
+            Err(RecvTimeoutError::Timeout) => {
+                if server.is_shutdown() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match event {
+            SchedulerEvent::Batch { from, round, txns } => {
+                rounds.entry(round).or_default().insert(from, txns);
+                // Merge every complete round in order.
+                while rounds
+                    .get(&next_round)
+                    .is_some_and(|r| r.len() == server.total as usize)
+                {
+                    let mut batches = rounds.remove(&next_round).expect("checked above");
+                    for origin in 0..server.total {
+                        let Some(txns) = batches.remove(&ServerId(origin)) else { continue };
+                        for txn in txns {
+                            schedule_txn(
+                                &server,
+                                &mut locks,
+                                &mut active,
+                                &mut next_local_seq,
+                                txn,
+                            );
+                        }
+                    }
+                    next_round += 1;
+                }
+            }
+            SchedulerEvent::Done { local_seq } => {
+                let Some(entry) = active.remove(&local_seq) else { continue };
+                for (key, _) in &entry.lock_keys {
+                    for granted in locks.release(local_seq, key) {
+                        if let Some(waiter) = active.get_mut(&granted) {
+                            waiter.pending_locks -= 1;
+                            if waiter.pending_locks == 0 {
+                                dispatch(&server, granted, waiter);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Requests a merged transaction's local locks; dispatches it if all granted.
+fn schedule_txn(
+    server: &Arc<CalvinServer>,
+    locks: &mut LockManager,
+    active: &mut HashMap<u64, ActiveTxn>,
+    next_local_seq: &mut u64,
+    txn: CalvinTxn,
+) {
+    let plan = match server.registry.get(txn.program) {
+        Ok(p) => p.plan(&txn.args),
+        Err(_) => return, // unknown program: sequenced by a misconfigured peer
+    };
+    // Local lock set: keys this partition owns; write mode wins duplicates.
+    let mut modes: HashMap<Key, LockMode> = HashMap::new();
+    for key in &plan.read_set {
+        if server.owner_of(key) == server.id {
+            modes.entry(key.clone()).or_insert(LockMode::Read);
+        }
+    }
+    for key in &plan.write_set {
+        if server.owner_of(key) == server.id {
+            modes.insert(key.clone(), LockMode::Write);
+        }
+    }
+    if modes.is_empty() {
+        return; // not a participant
+    }
+    server.stats.scheduled.incr();
+    server.stats.breakdown.record(0, duration_micros(txn.submitted_at.elapsed()));
+
+    let local_seq = *next_local_seq;
+    *next_local_seq += 1;
+    let lock_keys: Vec<(Key, LockMode)> = modes.into_iter().collect();
+    let mut pending = 0usize;
+    for (key, mode) in &lock_keys {
+        if !locks.acquire(local_seq, key, *mode) {
+            pending += 1;
+        }
+    }
+    let entry = ActiveTxn { txn, lock_keys, pending_locks: pending, lock_requested_at: Instant::now() };
+    let ready = entry.pending_locks == 0;
+    active.insert(local_seq, entry);
+    if ready {
+        let entry = active.get(&local_seq).expect("just inserted");
+        dispatch(server, local_seq, entry);
+    }
+}
+
+fn dispatch(server: &Arc<CalvinServer>, local_seq: u64, entry: &ActiveTxn) {
+    let _ = server.exec_tx.send(ExecTask {
+        local_seq,
+        txn: entry.txn.clone(),
+        lock_requested_at: entry.lock_requested_at,
+    });
+}
+
+/// Execution worker thread: redundant execution with read broadcast.
+///
+/// Single-partition transactions run inline. Distributed transactions block
+/// on the peers' read broadcasts, and the set of granted-but-blocked
+/// transactions is unbounded (it depends on lock-grant interleaving across
+/// partitions), so running them on pool threads can deadlock the pool; they
+/// get a dedicated thread instead, as Calvin implementations do for blocking
+/// remote reads.
+pub(crate) fn run_worker(server: Arc<CalvinServer>, tasks: Receiver<ExecTask>) {
+    loop {
+        let task = match tasks.recv_timeout(Duration::from_millis(50)) {
+            Ok(t) => t,
+            Err(RecvTimeoutError::Timeout) => {
+                if server.is_shutdown() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if is_distributed(&server, &task) {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || execute_txn(&server, task));
+        } else {
+            execute_txn(&server, task);
+        }
+    }
+}
+
+fn is_distributed(server: &Arc<CalvinServer>, task: &ExecTask) -> bool {
+    let Ok(program) = server.registry.get(task.txn.program) else { return false };
+    let plan = program.plan(&task.txn.args);
+    let distributed = plan.all_keys().any(|k| server.owner_of(k) != server.id);
+    distributed
+}
+
+fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
+    let Ok(program) = server.registry.get(task.txn.program) else { return };
+    let plan = program.plan(&task.txn.args);
+    let participants = {
+        let mut p: Vec<ServerId> = plan.all_keys().map(|k| server.owner_of(k)).collect();
+        p.sort();
+        p.dedup();
+        p
+    };
+
+    // Read the local portion of the read set and broadcast it to the other
+    // participants (each of which redundantly executes the procedure).
+    let mut local_values: Vec<(Key, Option<Value>)> = Vec::new();
+    for key in &plan.read_set {
+        if server.owner_of(key) == server.id {
+            local_values.push((key.clone(), server.store.get(key)));
+        }
+    }
+    let others: Vec<ServerId> =
+        participants.iter().copied().filter(|&p| p != server.id).collect();
+    for &peer in &others {
+        let _ = server.bus.send(
+            Addr::Server(peer),
+            CalvinMsg::ReadResults {
+                txn: task.txn.id,
+                from: server.id,
+                values: local_values.clone(),
+            },
+        );
+    }
+    let remote_values = match server.exchange.wait(task.txn.id, others.len(), server.rpc_timeout)
+    {
+        Some(v) => v,
+        None => {
+            // Shutdown or a lost peer: release locks and bail out.
+            let _ = server.sched_tx.send(SchedulerEvent::Done { local_seq: task.local_seq });
+            return;
+        }
+    };
+    let mut reads: HashMap<Key, Option<Value>> = HashMap::new();
+    for (k, v) in local_values.into_iter().chain(remote_values) {
+        reads.insert(k, v);
+    }
+    server
+        .stats
+        .breakdown
+        .record(1, duration_micros(task.lock_requested_at.elapsed()));
+
+    // Execute the stored procedure (redundantly, as every participant does)
+    // and apply only the local writes.
+    let exec_started = Instant::now();
+    let mut writes = Vec::new();
+    program.execute(&task.txn.args, &reads, &mut writes);
+    for (key, value) in writes {
+        if server.owner_of(&key) == server.id {
+            server.store.put(key, value);
+        }
+    }
+    server.stats.breakdown.record(2, duration_micros(exec_started.elapsed()));
+
+    let _ = server.sched_tx.send(SchedulerEvent::Done { local_seq: task.local_seq });
+    if task.txn.id.origin == server.id {
+        server.completions.done(task.txn.id);
+    } else {
+        let _ = server.bus.send(
+            Addr::Server(task.txn.id.origin),
+            CalvinMsg::TxnDone { txn: task.txn.id, from: server.id },
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Calvin's single-version partition store.
+//!
+//! Calvin needs no multi-versioning: the deterministic lock schedule
+//! serializes conflicting accesses, so a plain latest-value table suffices.
+
+use std::collections::HashMap;
+
+use aloha_common::{Key, Value};
+use parking_lot::RwLock;
+
+const SHARDS: usize = 64;
+
+/// One partition's key-value table.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::{Key, Value};
+/// use calvin::CalvinStore;
+///
+/// let store = CalvinStore::new();
+/// store.put(Key::from("a"), Value::from_i64(1));
+/// assert_eq!(store.get(&Key::from("a")).unwrap().as_i64(), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct CalvinStore {
+    shards: Vec<RwLock<HashMap<Key, Value>>>,
+}
+
+impl CalvinStore {
+    /// Creates an empty store.
+    pub fn new() -> CalvinStore {
+        CalvinStore { shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, Value>> {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    /// Reads the current value of `key`.
+    pub fn get(&self, key: &Key) -> Option<Value> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Writes `value` under `key`.
+    pub fn put(&self, key: Key, value: Value) {
+        self.shard(&key).write().insert(key, value);
+    }
+
+    /// Whether the key exists.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for CalvinStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_overwrite() {
+        let s = CalvinStore::new();
+        s.put(Key::from("k"), Value::from_i64(1));
+        s.put(Key::from("k"), Value::from_i64(2));
+        assert_eq!(s.get(&Key::from("k")).unwrap().as_i64(), Some(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let s = CalvinStore::new();
+        assert!(s.get(&Key::from("missing")).is_none());
+        assert!(!s.contains(&Key::from("missing")));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        use std::sync::Arc;
+        let s = Arc::new(CalvinStore::new());
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        s.put(
+                            Key::from_parts(&[&t.to_be_bytes(), &i.to_be_bytes()]),
+                            Value::from_i64(i as i64),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based model check of the deterministic lock manager: under any
+//! interleaving of acquires and releases the granted set is conflict-free,
+//! grants are FIFO (no barging), and nothing is lost or leaked.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use aloha_common::Key;
+use calvin::{LockManager, LockMode};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Acquire (txn chosen by index into live set, key index, write?).
+    Acquire { key: u8, write: bool },
+    /// Release the lock of the oldest holder of the key.
+    ReleaseOldest { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, any::<bool>()).prop_map(|(key, write)| Op::Acquire { key, write }),
+        (0u8..6).prop_map(|key| Op::ReleaseOldest { key }),
+    ]
+}
+
+/// The reference model: a FIFO queue per key; the granted prefix is either
+/// one write at the front or a maximal run of reads.
+#[derive(Default)]
+struct ModelQueue {
+    entries: VecDeque<(u64, LockMode)>,
+}
+
+impl ModelQueue {
+    fn granted(&self) -> Vec<u64> {
+        let mut granted = Vec::new();
+        for (i, (txn, mode)) in self.entries.iter().enumerate() {
+            match mode {
+                LockMode::Write => {
+                    if i == 0 {
+                        granted.push(*txn);
+                    }
+                    break;
+                }
+                LockMode::Read => granted.push(*txn),
+            }
+        }
+        granted
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lock_manager_matches_fifo_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut lm = LockManager::new();
+        let mut model: HashMap<u8, ModelQueue> = HashMap::new();
+        // Which (txn, key) pairs the lock manager reported as granted.
+        let mut granted_now: HashSet<(u64, u8)> = HashSet::new();
+        let mut next_txn = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Acquire { key, write } => {
+                    let txn = next_txn;
+                    next_txn += 1;
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    let k = Key::from_parts(&[b"L", &[key]]);
+                    let immediate = lm.acquire(txn, &k, mode);
+                    let q = model.entry(key).or_default();
+                    let was_granted_before: HashSet<u64> =
+                        q.granted().into_iter().collect();
+                    q.entries.push_back((txn, mode));
+                    let granted_after: HashSet<u64> = q.granted().into_iter().collect();
+                    // The model and the implementation agree on whether this
+                    // request is granted immediately.
+                    prop_assert_eq!(
+                        immediate,
+                        granted_after.contains(&txn),
+                        "grant disagreement for txn {} on key {}", txn, key
+                    );
+                    if immediate {
+                        granted_now.insert((txn, key));
+                    }
+                    // Nothing previously granted may be revoked by a new request.
+                    for g in was_granted_before {
+                        prop_assert!(granted_after.contains(&g));
+                    }
+                }
+                Op::ReleaseOldest { key } => {
+                    let Some(q) = model.get_mut(&key) else { continue };
+                    let Some((txn, _)) = q.entries.front().copied() else { continue };
+                    q.entries.pop_front();
+                    let k = Key::from_parts(&[b"L", &[key]]);
+                    let newly = lm.release(txn, &k);
+                    granted_now.remove(&(txn, key));
+                    let model_granted: HashSet<u64> = q.granted().into_iter().collect();
+                    for g in &newly {
+                        prop_assert!(
+                            model_granted.contains(g),
+                            "impl granted {} which model does not allow", g
+                        );
+                        granted_now.insert((*g, key));
+                    }
+                    // Implementation's granted set equals the model's.
+                    let impl_granted: HashSet<u64> = granted_now
+                        .iter()
+                        .filter(|(_, k2)| *k2 == key)
+                        .map(|(t, _)| *t)
+                        .collect();
+                    prop_assert_eq!(&impl_granted, &model_granted);
+                }
+            }
+            // Global conflict-freedom: per key, granted = all reads or one write.
+            for (key, q) in &model {
+                let granted = q.granted();
+                let writes = granted
+                    .iter()
+                    .filter(|t| {
+                        q.entries
+                            .iter()
+                            .find(|(txn, _)| txn == *t)
+                            .is_some_and(|(_, m)| *m == LockMode::Write)
+                    })
+                    .count();
+                prop_assert!(
+                    writes == 0 || granted.len() == 1,
+                    "key {}: write shares the lock with others", key
+                );
+            }
+        }
+    }
+}

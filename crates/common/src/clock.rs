@@ -1,0 +1,212 @@
+//! Pluggable cluster clocks.
+//!
+//! ECC benefits from tightly synchronized clocks but does not require them for
+//! correctness (§II). To test that claim, the workspace abstracts time behind
+//! the [`Clock`] trait: production code uses [`SystemClock`], unit tests use
+//! [`ManualClock`] for determinism, and correctness tests inject per-server
+//! skew with [`SkewedClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone microsecond clock shared by a simulated server.
+///
+/// Implementations must be cheap to call and safe to share across threads.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds elapsed since the cluster's common clock base.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall-clock backed implementation: microseconds since construction of a
+/// shared [`ClockBase`].
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::clock::{Clock, ClockBase, SystemClock};
+/// let base = ClockBase::new();
+/// let clock = SystemClock::new(base);
+/// let a = clock.now_micros();
+/// let b = clock.now_micros();
+/// assert!(b >= a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    base: ClockBase,
+}
+
+/// The common origin instant all [`SystemClock`]s in one cluster measure from.
+///
+/// Sharing a base keeps timestamps small (they count micros since cluster
+/// start, not since the Unix epoch) which leaves headroom in the 50-bit
+/// microsecond field of [`crate::Timestamp`].
+#[derive(Debug, Clone)]
+pub struct ClockBase {
+    origin: Instant,
+}
+
+impl ClockBase {
+    /// Creates a new clock base anchored at the current instant.
+    pub fn new() -> ClockBase {
+        ClockBase { origin: Instant::now() }
+    }
+}
+
+impl Default for ClockBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemClock {
+    /// Creates a system clock measuring from `base`.
+    pub fn new(base: ClockBase) -> SystemClock {
+        SystemClock { base }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        self.base.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually advanced clock for deterministic unit tests.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::clock::{Clock, ManualClock};
+/// let clock = ManualClock::new(100);
+/// assert_eq!(clock.now_micros(), 100);
+/// clock.advance(50);
+/// assert_eq!(clock.now_micros(), 150);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a manual clock starting at `micros`.
+    pub fn new(micros: u64) -> ManualClock {
+        ManualClock { micros: Arc::new(AtomicU64::new(micros)) }
+    }
+
+    /// Advances the clock by `delta` microseconds.
+    pub fn advance(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute microsecond count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would move the clock backwards; [`Clock`] implementations
+    /// must be monotone.
+    pub fn set(&self, micros: u64) {
+        let prev = self.micros.swap(micros, Ordering::SeqCst);
+        assert!(prev <= micros, "manual clock moved backwards: {prev} -> {micros}");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// Wraps another clock and adds a fixed signed skew, emulating imperfect NTP
+/// synchronization on one server.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::clock::{Clock, ManualClock, SkewedClock};
+/// let inner = ManualClock::new(1_000);
+/// let fast = SkewedClock::new(inner.clone(), 250);
+/// let slow = SkewedClock::new(inner, -250);
+/// assert_eq!(fast.now_micros(), 1_250);
+/// assert_eq!(slow.now_micros(), 750);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkewedClock<C> {
+    inner: C,
+    skew_micros: i64,
+}
+
+impl<C: Clock> SkewedClock<C> {
+    /// Creates a clock reading `inner` plus `skew_micros` (may be negative).
+    pub fn new(inner: C, skew_micros: i64) -> SkewedClock<C> {
+        SkewedClock { inner, skew_micros }
+    }
+}
+
+impl<C: Clock> Clock for SkewedClock<C> {
+    fn now_micros(&self) -> u64 {
+        self.inner.now_micros().saturating_add_signed(self.skew_micros)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now_micros(&self) -> u64 {
+        (**self).now_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::new(ClockBase::new());
+        let mut prev = clock.now_micros();
+        for _ in 0..1000 {
+            let now = clock.now_micros();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn shared_base_gives_comparable_clocks() {
+        let base = ClockBase::new();
+        let a = SystemClock::new(base.clone());
+        let b = SystemClock::new(base);
+        let ra = a.now_micros();
+        let rb = b.now_micros();
+        // Both measure from the same origin, so they should be within a
+        // generous bound of each other.
+        assert!(rb.abs_diff(ra) < 1_000_000);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let c = ManualClock::new(5);
+        c.advance(10);
+        assert_eq!(c.now_micros(), 15);
+        c.set(20);
+        assert_eq!(c.now_micros(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new(100);
+        c.set(50);
+    }
+
+    #[test]
+    fn skew_saturates_instead_of_underflowing() {
+        let c = SkewedClock::new(ManualClock::new(10), -100);
+        assert_eq!(c.now_micros(), 0);
+    }
+
+    #[test]
+    fn arc_clock_delegates() {
+        let c: Arc<dyn Clock> = Arc::new(ManualClock::new(9));
+        assert_eq!(c.now_micros(), 9);
+    }
+}

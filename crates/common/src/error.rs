@@ -1,0 +1,117 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::ids::{PartitionId, TxnId};
+use crate::key::Key;
+use crate::timestamp::Timestamp;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the ALOHA-DB reproduction.
+///
+/// Transaction *aborts* caused by application logic (e.g. insufficient funds,
+/// invalid TPC-C item) are not errors — they are modeled as committed
+/// `ABORTED` versions per §IV-B. `Error` covers genuine failures: malformed
+/// payloads, shut-down components, misconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A binary payload could not be decoded.
+    Codec(String),
+    /// A message was sent to an endpoint that does not exist or has shut down.
+    Disconnected(String),
+    /// A request referenced a partition outside the cluster.
+    NoSuchPartition(PartitionId),
+    /// A transaction program id was not registered.
+    UnknownProgram(u32),
+    /// A functor handler id was not registered.
+    UnknownHandler(u32),
+    /// A `Put` was attempted with a version outside the epoch validity period.
+    VersionOutsideEpoch {
+        /// The offending version.
+        version: Timestamp,
+        /// Start of the valid window.
+        valid_from: Timestamp,
+        /// End of the valid window.
+        valid_until: Timestamp,
+    },
+    /// A read referenced a key with no visible version.
+    KeyNotFound(Key),
+    /// The transaction was rejected before execution (e.g. malformed request).
+    Rejected {
+        /// The rejected transaction.
+        txn: TxnId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A component was asked to do work after shutdown.
+    ShuttingDown,
+    /// Invalid configuration detected at construction time.
+    Config(String),
+    /// An operation timed out (used by bounded client waits in tests).
+    Timeout(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::Disconnected(who) => write!(f, "endpoint disconnected: {who}"),
+            Error::NoSuchPartition(p) => write!(f, "no such partition: {p}"),
+            Error::UnknownProgram(id) => write!(f, "unknown transaction program id {id}"),
+            Error::UnknownHandler(id) => write!(f, "unknown functor handler id {id}"),
+            Error::VersionOutsideEpoch { version, valid_from, valid_until } => write!(
+                f,
+                "version {version} outside epoch validity [{valid_from}, {valid_until}]"
+            ),
+            Error::KeyNotFound(k) => write!(f, "key not found: {k:?}"),
+            Error::Rejected { txn, reason } => write!(f, "transaction {txn} rejected: {reason}"),
+            Error::ShuttingDown => write!(f, "component is shutting down"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errs: Vec<Error> = vec![
+            Error::Codec("x".into()),
+            Error::Disconnected("be3".into()),
+            Error::NoSuchPartition(PartitionId(4)),
+            Error::UnknownProgram(1),
+            Error::ShuttingDown,
+            Error::Timeout("ack".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn version_outside_epoch_reports_window() {
+        let e = Error::VersionOutsideEpoch {
+            version: Timestamp::from_raw(5),
+            valid_from: Timestamp::from_raw(10),
+            valid_until: Timestamp::from_raw(20),
+        };
+        assert!(e.to_string().contains("outside epoch validity"));
+    }
+}

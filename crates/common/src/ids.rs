@@ -1,0 +1,172 @@
+//! Compact identifiers for servers, partitions, transactions and epochs.
+//!
+//! All identifiers are thin newtypes ([C-NEWTYPE]) so that a partition id can
+//! never be confused with a server id at a call site, even though both are
+//! small integers in the simulated cluster.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a server process (an FE/BE pair in ALOHA-DB terms).
+///
+/// In the paper's deployment every host runs one server process; in this
+/// reproduction each `ServerId` names one simulated server inside the test
+/// process. Server ids are also embedded into [`crate::Timestamp`]s to make
+/// decentralized timestamps globally unique, so they must fit into
+/// [`ServerId::BITS`] bits.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::ServerId;
+/// let s = ServerId(7);
+/// assert_eq!(s.index(), 7);
+/// assert_eq!(format!("{s}"), "s7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ServerId(pub u16);
+
+impl ServerId {
+    /// Number of bits a server id occupies inside a [`crate::Timestamp`].
+    pub const BITS: u32 = 8;
+    /// Largest server id representable inside a timestamp.
+    pub const MAX: ServerId = ServerId((1 << Self::BITS) - 1);
+
+    /// Returns the id as a `usize` index, convenient for vector lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u16> for ServerId {
+    fn from(v: u16) -> Self {
+        ServerId(v)
+    }
+}
+
+/// Identifier of a data partition.
+///
+/// ALOHA-DB hash-partitions the key space; each partition is stored by exactly
+/// one backend (BE). In this reproduction partition *i* lives on server *i*,
+/// matching the paper's one-BE-per-host layout.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::PartitionId;
+/// assert_eq!(PartitionId(2).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// Returns the id as a `usize` index, convenient for vector lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for PartitionId {
+    fn from(v: u16) -> Self {
+        PartitionId(v)
+    }
+}
+
+/// Client-visible transaction identifier, unique per front-end.
+///
+/// `TxnId` is assigned when a transaction request enters the system and is
+/// used to correlate acknowledgements; it is *not* the serialization order —
+/// that role belongs to the transaction's [`crate::Timestamp`].
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::TxnId;
+/// let id = TxnId(99);
+/// assert_eq!(format!("{id}"), "t99");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Monotone epoch sequence number handed out by the epoch manager.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::EpochId;
+/// assert!(EpochId(1).next() == EpochId(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct EpochId(pub u64);
+
+impl EpochId {
+    /// Returns the epoch that follows this one.
+    pub fn next(self) -> EpochId {
+        EpochId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_id_round_trips_through_index() {
+        for raw in [0u16, 1, 200, 255] {
+            assert_eq!(ServerId(raw).index(), raw as usize);
+        }
+    }
+
+    #[test]
+    fn server_id_max_fits_bits() {
+        assert_eq!(ServerId::MAX.0 as u32, (1u32 << ServerId::BITS) - 1);
+    }
+
+    #[test]
+    fn epoch_next_is_monotone() {
+        let e = EpochId(41);
+        assert!(e.next() > e);
+        assert_eq!(e.next(), EpochId(42));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty_and_distinct() {
+        assert_eq!(ServerId(1).to_string(), "s1");
+        assert_eq!(PartitionId(1).to_string(), "p1");
+        assert_eq!(TxnId(1).to_string(), "t1");
+        assert_eq!(EpochId(1).to_string(), "e1");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(PartitionId(1) < PartitionId(2));
+        assert!(TxnId(9) < TxnId(10));
+    }
+}

@@ -1,0 +1,352 @@
+//! Keys and values of the hash-partitioned key-functor store.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::PartitionId;
+
+/// An opaque binary key in the distributed table.
+///
+/// ALOHA-DB stores key-functor pairs in a hash-partitioned table (§III-D).
+/// Workloads encode composite keys (table id + primary-key fields) into the
+/// byte payload; [`Key::from_parts`] provides an unambiguous length-prefixed
+/// encoding for that purpose.
+///
+/// Keys are cheaply cloneable ([`Bytes`] is reference counted).
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::Key;
+///
+/// let a = Key::from_parts(&[b"stock", &1u32.to_be_bytes()]);
+/// let b = Key::from_parts(&[b"stock", &1u32.to_be_bytes()]);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Key(Bytes);
+
+impl Key {
+    /// Creates a key from raw bytes.
+    pub fn new(bytes: impl Into<Bytes>) -> Key {
+        Key(bytes.into())
+    }
+
+    /// Builds a composite key from parts using a length-prefixed encoding, so
+    /// `["ab","c"]` and `["a","bc"]` yield different keys.
+    pub fn from_parts(parts: &[&[u8]]) -> Key {
+        let mut buf = Vec::with_capacity(parts.iter().map(|p| p.len() + 2).sum());
+        for part in parts {
+            Self::push_part(&mut buf, part);
+        }
+        Key(Bytes::from(buf))
+    }
+
+    /// Magic prefix marking a key with an explicit routing tag.
+    const ROUTE_MAGIC: [u8; 2] = [0xff, 0xfe];
+
+    /// Builds a composite key with an explicit *routing tag*: the key is
+    /// placed on partition `route % partitions` instead of by hash.
+    ///
+    /// Workloads use routing tags to express placement policies such as
+    /// TPC-C's partition-by-warehouse (all keys of warehouse *w* share route
+    /// *w*) or the scaled TPC-C partition-by-item layout (§V-A1).
+    pub fn with_route(route: u32, parts: &[&[u8]]) -> Key {
+        let mut buf = Vec::with_capacity(6 + parts.iter().map(|p| p.len() + 2).sum::<usize>());
+        buf.extend_from_slice(&Self::ROUTE_MAGIC);
+        buf.extend_from_slice(&route.to_be_bytes());
+        for part in parts {
+            Self::push_part(&mut buf, part);
+        }
+        Key(Bytes::from(buf))
+    }
+
+    fn push_part(buf: &mut Vec<u8>, part: &[u8]) {
+        let len = u16::try_from(part.len()).expect("key part longer than 64 KiB");
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(part);
+    }
+
+    /// The explicit routing tag, if this key carries one.
+    pub fn route(&self) -> Option<u32> {
+        if self.0.len() >= 6 && self.0[..2] == Self::ROUTE_MAGIC {
+            Some(u32::from_be_bytes(self.0[2..6].try_into().expect("checked length")))
+        } else {
+            None
+        }
+    }
+
+    /// The composite parts of the key after any routing tag. Returns `None`
+    /// if the key was not built with `from_parts`/`with_route` framing.
+    pub fn parts(&self) -> Option<Vec<&[u8]>> {
+        let mut rest: &[u8] = if self.route().is_some() { &self.0[6..] } else { &self.0 };
+        let mut parts = Vec::new();
+        while !rest.is_empty() {
+            if rest.len() < 2 {
+                return None;
+            }
+            let len = u16::from_be_bytes(rest[..2].try_into().expect("checked")) as usize;
+            rest = &rest[2..];
+            if rest.len() < len {
+                return None;
+            }
+            parts.push(&rest[..len]);
+            rest = &rest[len..];
+        }
+        Some(parts)
+    }
+
+    /// Returns the raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The partition that owns this key: `route % partitions` for routed
+    /// keys, otherwise FNV-1a hash partitioning. The hash is stable across
+    /// runs (important so that loader and transactions agree on placement)
+    /// and fast for short keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`.
+    pub fn partition(&self, partitions: u16) -> PartitionId {
+        assert!(partitions > 0, "cluster must have at least one partition");
+        match self.route() {
+            Some(route) => PartitionId((route % partitions as u32) as u16),
+            None => PartitionId((self.fnv1a() % partitions as u64) as u16),
+        }
+    }
+
+    fn fnv1a(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.0.iter() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key(")?;
+        for &b in self.0.iter().take(24) {
+            if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.0.len() > 24 {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[u8]> for Key {
+    fn from(bytes: &[u8]) -> Key {
+        Key(Bytes::copy_from_slice(bytes))
+    }
+}
+
+impl From<Vec<u8>> for Key {
+    fn from(bytes: Vec<u8>) -> Key {
+        Key(Bytes::from(bytes))
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Key {
+        Key(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+/// An opaque binary value: the "final form" of a functor (§III-D).
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::Value;
+/// let v = Value::from_i64(150);
+/// assert_eq!(v.as_i64(), Some(150));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn new(bytes: impl Into<Bytes>) -> Value {
+        Value(bytes.into())
+    }
+
+    /// Encodes a signed 64-bit integer value (used by the numeric f-types
+    /// ADD/SUBTR/MAX/MIN and by the microbenchmark counters).
+    pub fn from_i64(v: i64) -> Value {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Decodes the value as a signed 64-bit integer, if it is exactly 8 bytes.
+    pub fn as_i64(&self) -> Option<i64> {
+        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(i64::from_be_bytes(arr))
+    }
+
+    /// Returns the raw value bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(i) = self.as_i64() {
+            write!(f, "Value(i64:{i})")
+        } else {
+            write!(f, "Value({} bytes)", self.0.len())
+        }
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(bytes: Vec<u8>) -> Value {
+        Value(Bytes::from(bytes))
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(bytes: &[u8]) -> Value {
+        Value(Bytes::copy_from_slice(bytes))
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(bytes: Bytes) -> Value {
+        Value(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_is_injective_on_boundaries() {
+        let a = Key::from_parts(&[b"ab", b"c"]);
+        let b = Key::from_parts(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for i in 0..100u32 {
+            let k = Key::from_parts(&[b"item", &i.to_be_bytes()]);
+            let p = k.partition(7);
+            assert_eq!(p, k.partition(7), "same key must map to same partition");
+            assert!(p.index() < 7);
+        }
+    }
+
+    #[test]
+    fn partition_spreads_keys() {
+        let mut seen = [false; 8];
+        for i in 0..256u32 {
+            let k = Key::from_parts(&[b"k", &i.to_be_bytes()]);
+            seen[k.partition(8).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "256 keys should hit all 8 partitions");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = Key::from("x").partition(0);
+    }
+
+    #[test]
+    fn value_i64_round_trips() {
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert_eq!(Value::from_i64(v).as_i64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn value_as_i64_rejects_wrong_width() {
+        assert_eq!(Value::new(vec![1, 2, 3]).as_i64(), None);
+    }
+
+    #[test]
+    fn routed_keys_follow_route_tag() {
+        for total in [1u16, 3, 8] {
+            for route in [0u32, 1, 7, 1000] {
+                let k = Key::with_route(route, &[b"t", b"x"]);
+                assert_eq!(k.partition(total).0 as u32, route % total as u32);
+                assert_eq!(k.route(), Some(route));
+            }
+        }
+    }
+
+    #[test]
+    fn unrouted_keys_have_no_route() {
+        assert_eq!(Key::from_parts(&[b"a"]).route(), None);
+        assert_eq!(Key::from("plain").route(), None);
+    }
+
+    #[test]
+    fn routed_keys_with_same_parts_different_routes_differ() {
+        let a = Key::with_route(1, &[b"t", b"x"]);
+        let b = Key::with_route(2, &[b"t", b"x"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parts_round_trip_with_and_without_route() {
+        let k = Key::with_route(9, &[b"tab", b"\x01\x02"]);
+        assert_eq!(k.parts().unwrap(), vec![b"tab".as_slice(), b"\x01\x02".as_slice()]);
+        let p = Key::from_parts(&[b"a", b"", b"bc"]);
+        assert_eq!(p.parts().unwrap(), vec![b"a".as_slice(), b"".as_slice(), b"bc".as_slice()]);
+    }
+
+    #[test]
+    fn malformed_parts_return_none() {
+        // A raw key whose framing is broken (length prefix points past end).
+        let k = Key::new(vec![0x00, 0xff, 0x01]);
+        assert!(k.parts().is_none());
+    }
+
+    #[test]
+    fn key_debug_is_printable() {
+        let k = Key::from_parts(&[b"w", &[0xff]]);
+        let dbg = format!("{k:?}");
+        assert!(dbg.starts_with("Key(") && dbg.contains("\\xff"), "{dbg}");
+    }
+}

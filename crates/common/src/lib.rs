@@ -1,0 +1,33 @@
+//! Shared substrate for the ALOHA-DB reproduction.
+//!
+//! This crate contains the vocabulary types used by every other crate in the
+//! workspace: compact identifiers ([`ServerId`], [`PartitionId`], [`TxnId`]),
+//! the decentralized [`Timestamp`] scheme of epoch-based concurrency control,
+//! byte-oriented [`Key`]/[`Value`] types with a small fixed [`codec`], a
+//! pluggable [`clock`] abstraction, latency/throughput [`metrics`], and the
+//! workspace-wide [`Error`] type.
+//!
+//! # Examples
+//!
+//! ```
+//! use aloha_common::{Key, Timestamp, ServerId};
+//!
+//! let key = Key::from_parts(&[b"warehouse", b"42"]);
+//! let ts = Timestamp::from_parts(1_000_000, ServerId(3), 0);
+//! assert_eq!(ts.server(), ServerId(3));
+//! assert!(key.as_bytes().len() > 2);
+//! ```
+
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod key;
+pub mod metrics;
+pub mod timestamp;
+
+pub use clock::{Clock, ManualClock, SkewedClock, SystemClock};
+pub use error::{Error, Result};
+pub use ids::{EpochId, PartitionId, ServerId, TxnId};
+pub use key::{Key, Value};
+pub use timestamp::Timestamp;

@@ -1,0 +1,325 @@
+//! Lightweight metrics: counters, latency histograms and per-stage breakdowns.
+//!
+//! The evaluation section of the paper reports throughput (Figs 6-9), mean
+//! latency (Figs 6, 11) and a per-stage latency breakdown (Fig 10). These
+//! types are the measurement substrate: cheap atomic counters and a
+//! log-bucketed histogram suitable for concurrent recording from many server
+//! threads without locks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::Counter;
+/// let c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in [`Histogram`]: one per power of two of microseconds,
+/// covering 1 us .. ~1.1 hours.
+const BUCKETS: usize = 32;
+
+/// A concurrent log-bucketed latency histogram (microsecond samples).
+///
+/// Buckets are powers of two, so quantile estimates carry at most 2× relative
+/// error — sufficient for the latency *shapes* the paper reports. Recording is
+/// a single relaxed atomic increment.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::Histogram;
+/// let h = Histogram::new();
+/// for us in [100, 200, 400, 800] {
+///     h.record(us);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.mean_micros() >= 100.0 && h.mean_micros() <= 1000.0);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_for(micros: u64) -> usize {
+        ((64 - micros.max(1).leading_zeros()) as usize - 1).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_for(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of all samples, in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Largest recorded sample in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the latency at quantile `q` in `[0, 1]`, in microseconds.
+    ///
+    /// The estimate is the upper bound of the bucket containing the quantile,
+    /// so it carries at most 2× relative error.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_micros()
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}us p50={}us p99={}us max={}us",
+            self.count(),
+            self.mean_micros(),
+            self.quantile_micros(0.5),
+            self.quantile_micros(0.99),
+            self.max_micros()
+        )
+    }
+}
+
+/// Per-stage latency breakdown of the transaction lifecycle (Fig 10).
+///
+/// ALOHA-DB stages: functor installing / waiting for processing / processing.
+/// Calvin stages: sequencing / locking-and-read / processing. Both systems
+/// record into three [`Histogram`]s via this shared type; the figure harness
+/// reads back the fraction of time spent in each stage.
+#[derive(Debug, Default)]
+pub struct StageBreakdown {
+    stages: [Histogram; 3],
+    names: [&'static str; 3],
+}
+
+impl StageBreakdown {
+    /// Creates a breakdown with the three given stage names.
+    pub fn new(names: [&'static str; 3]) -> StageBreakdown {
+        StageBreakdown { stages: Default::default(), names }
+    }
+
+    /// Records a sample for stage `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 3`.
+    pub fn record(&self, i: usize, micros: u64) {
+        self.stages[i].record(micros);
+    }
+
+    /// Stage names in order.
+    pub fn names(&self) -> [&'static str; 3] {
+        self.names
+    }
+
+    /// Mean time per stage in microseconds.
+    pub fn means_micros(&self) -> [f64; 3] {
+        std::array::from_fn(|i| self.stages[i].mean_micros())
+    }
+
+    /// Fraction of total mean latency spent in each stage (sums to 1 unless
+    /// nothing was recorded).
+    pub fn fractions(&self) -> [f64; 3] {
+        let means = self.means_micros();
+        let total: f64 = means.iter().sum();
+        if total == 0.0 {
+            [0.0; 3]
+        } else {
+            std::array::from_fn(|i| means[i] / total)
+        }
+    }
+
+    /// Clears all stages.
+    pub fn reset(&self) {
+        for s in &self.stages {
+            s.reset();
+        }
+    }
+}
+
+/// Converts an elapsed [`std::time::Duration`] to whole microseconds,
+/// saturating rather than overflowing.
+pub fn duration_micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let c = Counter::new();
+        c.add(10);
+        c.incr();
+        assert_eq!(c.reset(), 11);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(30);
+        assert_eq!(h.mean_micros(), 20.0);
+        assert_eq!(h.max_micros(), 30);
+    }
+
+    #[test]
+    fn histogram_quantile_brackets_samples() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let p50 = h.quantile_micros(0.5);
+        assert!((1000..=2048).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_samples() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.mean_micros(), 0.0);
+        assert_eq!(h.quantile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = StageBreakdown::new(["install", "wait", "process"]);
+        b.record(0, 100);
+        b.record(1, 200);
+        b.record(2, 100);
+        let f = b.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f[1] > f[0]);
+    }
+
+    #[test]
+    fn breakdown_reset_clears() {
+        let b = StageBreakdown::new(["a", "b", "c"]);
+        b.record(2, 5);
+        b.reset();
+        assert_eq!(b.means_micros(), [0.0; 3]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+    }
+}

@@ -1,0 +1,192 @@
+//! Decentralized transaction timestamps (ECC version numbers).
+//!
+//! ECC orders transactions by timestamps that front-ends generate locally,
+//! without coordination (§II of the paper). A timestamp must be globally
+//! unique and must fall within the validity period of the epoch in which the
+//! transaction starts. We encode a timestamp as a 64-bit integer:
+//!
+//! ```text
+//!  63                         14 13        6 5      0
+//! +-----------------------------+-----------+--------+
+//! |  microseconds since base    | server id |  seq   |
+//! +-----------------------------+-----------+--------+
+//! ```
+//!
+//! Two transactions started by different servers always differ in the server
+//! field; two transactions started in the same microsecond by the same server
+//! differ in the sequence field. Comparisons are plain integer comparisons, so
+//! ordering by timestamp is a total order consistent with (approximate) real
+//! time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ServerId;
+
+/// Bits reserved for the per-microsecond sequence number.
+const SEQ_BITS: u32 = 6;
+/// Bits reserved for the server id.
+const SERVER_BITS: u32 = ServerId::BITS;
+/// Shift applied to the microsecond component.
+const MICROS_SHIFT: u32 = SEQ_BITS + SERVER_BITS;
+
+/// A 64-bit multi-version timestamp: the transaction's version number.
+///
+/// Timestamps double as version numbers in the multi-version store (§III-D):
+/// every write of a transaction is installed at the transaction's timestamp.
+/// [`Timestamp::ZERO`] sorts before every real timestamp and is used for
+/// initial database load versions.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::{ServerId, Timestamp};
+///
+/// let a = Timestamp::from_parts(5, ServerId(0), 0);
+/// let b = Timestamp::from_parts(5, ServerId(1), 0);
+/// assert!(a < b); // same microsecond, tie broken by server id
+/// assert_eq!(b.micros(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The smallest timestamp; sorts before all real transaction timestamps.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+    /// Maximum sequence value per (microsecond, server) pair.
+    pub const MAX_SEQ: u64 = (1 << SEQ_BITS) - 1;
+
+    /// Builds a timestamp from its raw 64-bit representation.
+    pub fn from_raw(raw: u64) -> Timestamp {
+        Timestamp(raw)
+    }
+
+    /// Returns the raw 64-bit representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Composes a timestamp from a microsecond count, a server id and a
+    /// sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` exceeds [`Timestamp::MAX_SEQ`] or the microsecond count
+    /// overflows the 50-bit field; both indicate programmer error at the call
+    /// site rather than recoverable conditions.
+    pub fn from_parts(micros: u64, server: ServerId, seq: u64) -> Timestamp {
+        assert!(seq <= Self::MAX_SEQ, "sequence {seq} exceeds field width");
+        assert!(
+            micros < (1 << (64 - MICROS_SHIFT)),
+            "microsecond count {micros} exceeds field width"
+        );
+        Timestamp((micros << MICROS_SHIFT) | ((server.0 as u64) << SEQ_BITS) | seq)
+    }
+
+    /// The microsecond component (time since the cluster's clock base).
+    pub fn micros(self) -> u64 {
+        self.0 >> MICROS_SHIFT
+    }
+
+    /// The server that generated this timestamp.
+    pub fn server(self) -> ServerId {
+        ServerId(((self.0 >> SEQ_BITS) & ((1 << SERVER_BITS) - 1)) as u16)
+    }
+
+    /// The per-microsecond sequence component.
+    pub fn seq(self) -> u64 {
+        self.0 & Self::MAX_SEQ
+    }
+
+    /// The immediately preceding timestamp, saturating at zero.
+    ///
+    /// Functor computing reads "the latest version strictly below the functor's
+    /// version", expressed in Algorithm 1 as `Get(rk, r.v - 1)`.
+    pub fn pred(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+
+    /// The immediately following timestamp, saturating at the maximum.
+    pub fn succ(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// Returns the earliest timestamp within the given microsecond.
+    pub fn floor_of_micros(micros: u64) -> Timestamp {
+        Timestamp::from_parts(micros, ServerId(0), 0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us/{}#{}", self.micros(), self.server(), self.seq())
+    }
+}
+
+impl From<Timestamp> for u64 {
+    fn from(ts: Timestamp) -> u64 {
+        ts.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip() {
+        let ts = Timestamp::from_parts(123_456, ServerId(9), 17);
+        assert_eq!(ts.micros(), 123_456);
+        assert_eq!(ts.server(), ServerId(9));
+        assert_eq!(ts.seq(), 17);
+    }
+
+    #[test]
+    fn ordering_is_micros_then_server_then_seq() {
+        let base = Timestamp::from_parts(10, ServerId(1), 1);
+        assert!(Timestamp::from_parts(11, ServerId(0), 0) > base);
+        assert!(Timestamp::from_parts(10, ServerId(2), 0) > base);
+        assert!(Timestamp::from_parts(10, ServerId(1), 2) > base);
+        assert!(Timestamp::from_parts(10, ServerId(1), 0) < base);
+    }
+
+    #[test]
+    fn pred_and_succ_are_adjacent() {
+        let ts = Timestamp::from_parts(5, ServerId(3), 3);
+        assert_eq!(ts.pred().succ(), ts);
+        assert!(ts.pred() < ts && ts < ts.succ());
+    }
+
+    #[test]
+    fn pred_saturates_at_zero() {
+        assert_eq!(Timestamp::ZERO.pred(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn zero_sorts_first() {
+        assert!(Timestamp::ZERO < Timestamp::from_parts(0, ServerId(0), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence")]
+    fn oversized_seq_panics() {
+        let _ = Timestamp::from_parts(0, ServerId(0), Timestamp::MAX_SEQ + 1);
+    }
+
+    #[test]
+    fn distinct_servers_never_collide() {
+        let a = Timestamp::from_parts(77, ServerId(1), 5);
+        let b = Timestamp::from_parts(77, ServerId(2), 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let ts = Timestamp::from_parts(4, ServerId(2), 1);
+        let s = ts.to_string();
+        assert!(s.contains("4us") && s.contains("s2") && s.contains("#1"), "{s}");
+    }
+}

@@ -1,0 +1,694 @@
+//! Cluster assembly: servers + epoch manager + bus, and the client-facing
+//! [`Database`] handle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aloha_common::clock::{Clock, ClockBase, SkewedClock, SystemClock};
+use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
+use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
+use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
+use aloha_net::{Addr, Bus, Endpoint, NetConfig};
+use aloha_storage::Partition;
+use aloha_common::{EpochId, PartitionId};
+
+use crate::msg::ServerMsg;
+use crate::program::{ProgramId, ProgramRegistry, TxnProgram};
+use crate::server::{run_dispatcher, run_processor, Server, TxnHandle};
+
+/// Cluster-wide configuration.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use aloha_core::ClusterConfig;
+///
+/// let config = ClusterConfig::new(4)
+///     .with_epoch_duration(Duration::from_millis(25))
+///     .with_processors(2);
+/// assert_eq!(config.servers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated servers (each hosting one partition).
+    pub servers: u16,
+    /// Unified epoch duration (paper default: 25 ms).
+    pub epoch_duration: Duration,
+    /// Simulated network behavior.
+    pub net: NetConfig,
+    /// Functor processor threads per backend.
+    pub processors_per_server: usize,
+    /// Enable the §III-C straggler optimization (transactions without
+    /// authorization during epoch switches).
+    pub allow_noauth: bool,
+    /// Per-server clock skew in microseconds (empty = perfectly synced).
+    pub clock_skew_micros: Vec<i64>,
+    /// Offset added to every clock, in microseconds. A cluster recovering
+    /// from a checkpoint must start its timestamp domain *beyond* the
+    /// checkpoint timestamp (pass `at.micros() + 1`), exactly as a real
+    /// deployment resumes clocks past the recovery point.
+    pub clock_offset_micros: u64,
+    /// Optional background garbage collection: settled versions older than
+    /// `keep` behind the visibility bound are truncated every `interval`.
+    /// `None` (the default) keeps all history, as the paper's multi-version
+    /// store does during experiments.
+    pub gc: Option<GcConfig>,
+    /// Log every install/rollback of the write-only phase to a per-server
+    /// write-ahead log (§III-A). Off by default, matching the paper's
+    /// fault-tolerance-disabled evaluation configuration.
+    pub durable: bool,
+    /// Mirror every install to the next server in the ring before
+    /// acknowledging it (§III-A replication, tolerating a single crash).
+    /// Off by default, as in the paper's experiments.
+    pub replicated: bool,
+}
+
+/// Background garbage-collection knobs (see [`ClusterConfig::with_gc`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// How often the sweeper runs.
+    pub interval: Duration,
+    /// How much settled history (in microseconds of timestamp space) to
+    /// retain behind the visibility bound for historical readers.
+    pub keep_micros: u64,
+}
+
+impl ClusterConfig {
+    /// A default configuration for `servers` hosts: 25 ms epochs, instant
+    /// network, two processors per server, straggler optimization on.
+    pub fn new(servers: u16) -> ClusterConfig {
+        ClusterConfig {
+            servers,
+            epoch_duration: Duration::from_millis(25),
+            net: NetConfig::instant(),
+            processors_per_server: 2,
+            allow_noauth: true,
+            clock_skew_micros: Vec::new(),
+            clock_offset_micros: 0,
+            gc: None,
+            durable: false,
+            replicated: false,
+        }
+    }
+
+    /// Overrides the epoch duration.
+    pub fn with_epoch_duration(mut self, duration: Duration) -> ClusterConfig {
+        self.epoch_duration = duration;
+        self
+    }
+
+    /// Overrides the network behavior.
+    pub fn with_net(mut self, net: NetConfig) -> ClusterConfig {
+        self.net = net;
+        self
+    }
+
+    /// Overrides the processor pool size.
+    pub fn with_processors(mut self, processors: usize) -> ClusterConfig {
+        self.processors_per_server = processors;
+        self
+    }
+
+    /// Enables or disables the straggler (no-authorization) optimization.
+    pub fn with_noauth(mut self, allow: bool) -> ClusterConfig {
+        self.allow_noauth = allow;
+        self
+    }
+
+    /// Sets per-server clock skew for synchronization experiments.
+    pub fn with_clock_skew(mut self, skew_micros: Vec<i64>) -> ClusterConfig {
+        self.clock_skew_micros = skew_micros;
+        self
+    }
+
+    /// Starts every clock at the given microsecond offset (recovery).
+    pub fn with_clock_offset(mut self, offset_micros: u64) -> ClusterConfig {
+        self.clock_offset_micros = offset_micros;
+        self
+    }
+
+    /// Enables the background history sweeper.
+    pub fn with_gc(mut self, interval: Duration, keep_micros: u64) -> ClusterConfig {
+        self.gc = Some(GcConfig { interval, keep_micros });
+        self
+    }
+
+    /// Enables write-ahead logging of the write-only phase.
+    pub fn with_durability(mut self, durable: bool) -> ClusterConfig {
+        self.durable = durable;
+        self
+    }
+
+    /// Enables synchronous primary-backup replication of installs.
+    pub fn with_replication(mut self, replicated: bool) -> ClusterConfig {
+        self.replicated = replicated;
+        self
+    }
+}
+
+type DependencyRule = Arc<dyn Fn(&Key) -> Option<Key> + Send + Sync>;
+
+/// Configures handlers, programs and dependency rules before starting a
+/// [`Cluster`].
+pub struct ClusterBuilder {
+    config: ClusterConfig,
+    handlers: HandlerRegistry,
+    programs: ProgramRegistry,
+    dependency_rules: Vec<DependencyRule>,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder").field("config", &self.config).finish()
+    }
+}
+
+impl ClusterBuilder {
+    /// Registers a functor handler (available on every backend).
+    pub fn register_handler(&mut self, id: HandlerId, handler: impl Handler + 'static) -> &mut Self {
+        self.handlers.register(id, handler);
+        self
+    }
+
+    /// Registers a transaction program (available on every front-end).
+    pub fn register_program(&mut self, id: ProgramId, program: impl TxnProgram + 'static) -> &mut Self {
+        self.programs.register(id, program);
+        self
+    }
+
+    /// Registers a dependent-key rule (§IV-E) on every partition.
+    pub fn add_dependency_rule(
+        &mut self,
+        rule: impl Fn(&Key) -> Option<Key> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.dependency_rules.push(Arc::new(rule));
+        self
+    }
+
+    /// Starts the cluster: spawns servers, processors and the epoch manager.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for invalid configurations.
+    pub fn start(self) -> Result<Cluster> {
+        let n = self.config.servers;
+        if n == 0 {
+            return Err(Error::Config("cluster needs at least one server".into()));
+        }
+        if n as u32 > (1 << aloha_common::ServerId::BITS) {
+            return Err(Error::Config(format!("at most 256 servers supported, got {n}")));
+        }
+        if !self.config.clock_skew_micros.is_empty()
+            && self.config.clock_skew_micros.len() != n as usize
+        {
+            return Err(Error::Config("clock_skew_micros must have one entry per server".into()));
+        }
+        if self.config.processors_per_server == 0 {
+            return Err(Error::Config("need at least one processor per server".into()));
+        }
+
+        let base = ClockBase::new();
+        let bus: Bus<ServerMsg> = Bus::new(self.config.net.clone());
+        let em_endpoint = bus.register(Addr::EpochManager);
+        let handlers = Arc::new(self.handlers);
+        let programs = Arc::new(self.programs);
+
+        let mut servers = Vec::with_capacity(n as usize);
+        let mut threads = Vec::new();
+        for i in 0..n {
+            let skew = self.config.clock_skew_micros.get(i as usize).copied().unwrap_or(0)
+                + self.config.clock_offset_micros as i64;
+            let clock: Arc<dyn Clock> = if skew != 0 {
+                Arc::new(SkewedClock::new(SystemClock::new(base.clone()), skew))
+            } else {
+                Arc::new(SystemClock::new(base.clone()))
+            };
+            let partition =
+                Arc::new(Partition::new(PartitionId(i), n, Arc::clone(&handlers)));
+            for rule in &self.dependency_rules {
+                let rule = Arc::clone(rule);
+                partition.add_dependency_rule(move |k| rule(k));
+            }
+            let epoch = Arc::new(aloha_epoch::EpochClient::new(
+                ServerId(i),
+                clock,
+                self.config.allow_noauth,
+            ));
+            let endpoint = bus.register(Addr::Server(ServerId(i)));
+            let (server, queue_rx) = Server::new(
+                ServerId(i),
+                n,
+                partition,
+                epoch,
+                bus.clone(),
+                Arc::clone(&programs),
+                self.config.durable,
+                self.config.replicated,
+            );
+            let dispatcher_server = Arc::clone(&server);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dispatch-s{i}"))
+                    .spawn(move || run_dispatcher(dispatcher_server, endpoint))
+                    .expect("spawn dispatcher"),
+            );
+            for p in 0..self.config.processors_per_server {
+                let processor_server = Arc::clone(&server);
+                let rx = queue_rx.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("proc-s{i}-{p}"))
+                        .spawn(move || run_processor(processor_server, rx))
+                        .expect("spawn processor"),
+                );
+            }
+            servers.push(server);
+        }
+
+        let em_clock: Arc<dyn Clock> = if self.config.clock_offset_micros != 0 {
+            Arc::new(SkewedClock::new(
+                SystemClock::new(base.clone()),
+                self.config.clock_offset_micros as i64,
+            ))
+        } else {
+            Arc::new(SystemClock::new(base.clone()))
+        };
+        let em_config = EpochConfig {
+            epoch_duration: self.config.epoch_duration,
+            servers: (0..n).map(ServerId).collect(),
+            poll_interval: Duration::from_micros(200),
+        };
+        let em = EpochManager::spawn(
+            em_config,
+            em_clock,
+            BusTransport { bus: bus.clone(), endpoint: em_endpoint },
+        );
+
+        let gc_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        if let Some(gc) = self.config.gc {
+            let sweep_servers = servers.clone();
+            let stop = Arc::clone(&gc_stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gc-sweeper".into())
+                    .spawn(move || {
+                        while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                            std::thread::sleep(gc.interval);
+                            for server in &sweep_servers {
+                                let settled = server.epoch().visible_bound();
+                                let bound = Timestamp::floor_of_micros(
+                                    settled.micros().saturating_sub(gc.keep_micros),
+                                );
+                                server.partition().store().truncate_below(bound);
+                            }
+                        }
+                    })
+                    .expect("spawn gc sweeper"),
+            );
+        }
+
+        Ok(Cluster { servers, em: Some(em), bus, threads, total: n, gc_stop })
+    }
+}
+
+/// EM transport over the cluster bus.
+struct BusTransport {
+    bus: Bus<ServerMsg>,
+    endpoint: Endpoint<ServerMsg>,
+}
+
+impl EpochTransport for BusTransport {
+    fn send_grant(&self, to: ServerId, grant: Grant) {
+        let _ = self.bus.send(Addr::Server(to), ServerMsg::Grant(grant));
+    }
+
+    fn send_revoke(&self, to: ServerId, epoch: EpochId) {
+        let _ = self.bus.send(Addr::Server(to), ServerMsg::Revoke(epoch));
+    }
+
+    fn recv_ack(&self, timeout: Duration) -> Option<RevokedAck> {
+        loop {
+            match self.endpoint.recv_timeout(timeout) {
+                Ok(ServerMsg::RevokedAck(ack)) => return Some(ack),
+                Ok(_) => continue, // stray message; EM only consumes acks
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// Aggregated cluster statistics (sums/means over all servers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterStats {
+    /// Transactions resolved as committed.
+    pub committed: u64,
+    /// Transactions resolved as aborted.
+    pub aborted: u64,
+    /// Functor installs accepted by all backends.
+    pub installs: u64,
+    /// Mean end-to-end latency in microseconds (weighted across servers).
+    pub latency_mean_micros: f64,
+    /// Number of latency samples.
+    pub latency_count: u64,
+    /// Mean per-stage latency: install / wait-for-processing / processing.
+    pub stage_means_micros: [f64; 3],
+}
+
+/// A running ALOHA-DB cluster.
+///
+/// Dropping the cluster shuts it down; prefer calling [`Cluster::shutdown`]
+/// explicitly.
+pub struct Cluster {
+    servers: Vec<Arc<Server>>,
+    em: Option<EpochManager>,
+    bus: Bus<ServerMsg>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    total: u16,
+    gc_stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("servers", &self.total).finish()
+    }
+}
+
+impl Cluster {
+    /// Starts building a cluster with the given configuration.
+    pub fn builder(config: ClusterConfig) -> ClusterBuilder {
+        ClusterBuilder {
+            config,
+            handlers: HandlerRegistry::new(),
+            programs: ProgramRegistry::new(),
+            dependency_rules: Vec::new(),
+        }
+    }
+
+    /// The servers, indexed by [`ServerId`].
+    pub fn servers(&self) -> &[Arc<Server>] {
+        &self.servers
+    }
+
+    /// One server by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn server(&self, id: ServerId) -> &Arc<Server> {
+        &self.servers[id.index()]
+    }
+
+    /// Number of servers/partitions.
+    pub fn size(&self) -> u16 {
+        self.total
+    }
+
+    /// A cheap client handle.
+    pub fn database(&self) -> Database {
+        Database {
+            servers: Arc::new(self.servers.clone()),
+            next_fe: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Loads an initial row directly into the owning partition (version 1,
+    /// below every transaction timestamp). Used by workload loaders before
+    /// opening the database for transactions.
+    pub fn load(&self, key: Key, value: Value) {
+        self.load_functor(key, Functor::Value(value));
+    }
+
+    /// Loads an initial functor directly into the owning partition.
+    pub fn load_functor(&self, key: Key, functor: Functor) {
+        let owner = key.partition(self.total);
+        self.servers[owner.index()].partition().load(&key, functor);
+    }
+
+    /// Aggregated statistics across all servers.
+    pub fn stats(&self) -> ClusterStats {
+        let mut committed = 0;
+        let mut aborted = 0;
+        let mut installs = 0;
+        let mut latency_weighted = 0.0;
+        let mut latency_count = 0u64;
+        let mut stage_sums = [0.0f64; 3];
+        let mut stage_servers = 0usize;
+        for server in &self.servers {
+            let stats = server.stats();
+            committed += stats.committed();
+            aborted += stats.aborted();
+            installs += stats.installs();
+            let n = stats.latency().count();
+            latency_weighted += stats.latency().mean_micros() * n as f64;
+            latency_count += n;
+            let means = stats.breakdown().means_micros();
+            if means.iter().any(|&m| m > 0.0) {
+                for (sum, m) in stage_sums.iter_mut().zip(means) {
+                    *sum += m;
+                }
+                stage_servers += 1;
+            }
+        }
+        ClusterStats {
+            committed,
+            aborted,
+            installs,
+            latency_mean_micros: if latency_count == 0 {
+                0.0
+            } else {
+                latency_weighted / latency_count as f64
+            },
+            latency_count,
+            stage_means_micros: if stage_servers == 0 {
+                [0.0; 3]
+            } else {
+                std::array::from_fn(|i| stage_sums[i] / stage_servers as f64)
+            },
+        }
+    }
+
+    /// Resets every server's statistics (benchmark warm-up boundary).
+    pub fn reset_stats(&self) {
+        for server in &self.servers {
+            server.stats().reset();
+        }
+    }
+
+    /// Takes a consistent checkpoint of every partition at the cluster-wide
+    /// settled bound (the minimum visibility bound across servers), returning
+    /// one blob per partition plus the snapshot timestamp. Implements the
+    /// checkpointing half of the §III-A fault-tolerance strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from on-demand computing.
+    pub fn checkpoint(&self) -> Result<(Timestamp, Vec<Vec<u8>>)> {
+        let at = self
+            .servers
+            .iter()
+            .map(|s| s.epoch().visible_bound())
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        let blobs = self
+            .servers
+            .iter()
+            .map(|s| s.write_checkpoint(at))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((at, blobs))
+    }
+
+    /// Rebuilds partition `lost` from its backup's mirrored records: the
+    /// §III-A single-crash recovery path. Installs every mirrored record
+    /// into the target cluster's partition (ABORTED records re-apply the
+    /// rollback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if replication was not enabled.
+    pub fn rebuild_from_replica(
+        &self,
+        source: &Cluster,
+        lost: ServerId,
+    ) -> Result<usize> {
+        let backup = source.servers[lost.index()].backup_of(lost);
+        let records = source.servers[backup.index()].replica_dump();
+        if !source.servers[backup.index()].is_replicated() {
+            return Err(Error::Config("replication was not enabled on the source".into()));
+        }
+        let target = &self.servers[lost.index()];
+        let mut applied = 0;
+        for (key, version, functor) in records {
+            if functor == aloha_functor::Functor::Aborted {
+                target.partition().abort_version(&key, version);
+            } else {
+                target.partition().store().put(&key, version, functor);
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Snapshot of every server's write-ahead log (empty logs when
+    /// durability is off).
+    pub fn wal_snapshots(&self) -> Vec<Vec<u8>> {
+        self.servers.iter().map(|s| s.wal_snapshot()).collect()
+    }
+
+    /// Replays per-partition write-ahead logs on top of a restored
+    /// checkpoint taken at `checkpoint` (full recovery = `restore` +
+    /// `replay_wals`). Returns total records applied.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt logs or a log-count mismatch.
+    pub fn replay_wals(&self, logs: &[Vec<u8>], checkpoint: Timestamp) -> Result<usize> {
+        if logs.len() != self.servers.len() {
+            return Err(Error::Config(format!(
+                "wal set has {} partitions, cluster has {}",
+                logs.len(),
+                self.servers.len()
+            )));
+        }
+        let mut applied = 0;
+        for (server, log) in self.servers.iter().zip(logs) {
+            applied += server.replay_wal(log, checkpoint)?;
+        }
+        Ok(applied)
+    }
+
+    /// Restores per-partition checkpoint blobs (as produced by
+    /// [`Cluster::checkpoint`]) into this cluster; intended for a freshly
+    /// started cluster before it serves traffic.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed blobs or a blob-count mismatch.
+    pub fn restore(&self, blobs: &[Vec<u8>]) -> Result<()> {
+        if blobs.len() != self.servers.len() {
+            return Err(Error::Config(format!(
+                "checkpoint has {} partitions, cluster has {}",
+                blobs.len(),
+                self.servers.len()
+            )));
+        }
+        for (server, blob) in self.servers.iter().zip(blobs) {
+            server.restore_checkpoint(blob)?;
+        }
+        Ok(())
+    }
+
+    /// Garbage-collects settled history below `bound` on every partition.
+    /// Returns the number of version records dropped.
+    pub fn gc(&self, bound: Timestamp) -> usize {
+        self.servers.iter().map(|s| s.partition().store().truncate_below(bound)).sum()
+    }
+
+    /// Stops the epoch manager, the servers and all their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.gc_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(em) = self.em.take() {
+            em.close();
+        }
+        for server in &self.servers {
+            server.mark_shutdown();
+            let _ = self.bus.send(Addr::Server(server.id()), ServerMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Client handle: submits transactions and reads, choosing front-ends
+/// round-robin (override with the `_at` variants to pin a coordinator).
+#[derive(Clone)]
+pub struct Database {
+    servers: Arc<Vec<Arc<Server>>>,
+    next_fe: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database").field("servers", &self.servers.len()).finish()
+    }
+}
+
+impl Database {
+    fn pick_fe(&self) -> &Arc<Server> {
+        let i = self.next_fe.fetch_add(1, Ordering::Relaxed) % self.servers.len();
+        &self.servers[i]
+    }
+
+    /// Executes a one-shot transaction via a round-robin front-end; returns
+    /// after the write-only phase.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown, unknown programs, transform rejections and
+    /// transport errors.
+    pub fn execute(&self, program: ProgramId, args: impl AsRef<[u8]>) -> Result<TxnHandle> {
+        self.pick_fe().coordinate(program, args.as_ref())
+    }
+
+    /// Executes with a pinned coordinator (e.g. a server that owns part of
+    /// the write set, which makes outcome resolution local).
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::execute`]; additionally [`Error::NoSuchPartition`] for
+    /// an out-of-range server.
+    pub fn execute_at(
+        &self,
+        fe: ServerId,
+        program: ProgramId,
+        args: impl AsRef<[u8]>,
+    ) -> Result<TxnHandle> {
+        let server = self
+            .servers
+            .get(fe.index())
+            .ok_or(Error::NoSuchPartition(PartitionId(fe.0)))?;
+        server.coordinate(program, args.as_ref())
+    }
+
+    /// Latest-version read-only transaction (§III-B): assigned a timestamp
+    /// in the current epoch and processed as a historical read once the
+    /// epoch completes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown or transport errors.
+    pub fn read_latest(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        self.pick_fe().read_latest(keys)
+    }
+
+    /// Historical read at an already-settled timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `ts` is not settled yet, on shutdown, or on transport errors.
+    pub fn read_at(&self, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<Value>>> {
+        self.pick_fe().read_at(keys, ts)
+    }
+
+    /// The current settled visibility bound (any FE's view).
+    pub fn visible_bound(&self) -> Timestamp {
+        self.servers[0].epoch().visible_bound()
+    }
+
+    /// Number of servers.
+    pub fn cluster_size(&self) -> usize {
+        self.servers.len()
+    }
+}

@@ -1,0 +1,136 @@
+//! Cluster message protocol: everything that travels on the bus.
+
+use aloha_common::{EpochId, Key, Result, Timestamp, Value};
+use aloha_epoch::{Grant, RevokedAck};
+use aloha_functor::{Functor, VersionedRead};
+use aloha_net::ReplySlot;
+
+use crate::program::Write;
+
+/// Result of installing one transaction's writes on one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallOutcome {
+    /// All writes installed.
+    Ok,
+    /// A pre-install check failed (e.g. TPC-C invalid item); the coordinator
+    /// must run the second abort round (§V-A2).
+    CheckFailed(String),
+    /// The version was no longer inside an installable epoch (late message).
+    OutsideEpoch,
+}
+
+impl InstallOutcome {
+    /// Whether this partition accepted the writes.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, InstallOutcome::Ok)
+    }
+}
+
+/// Final state of one (key, version) record, reported by `ResolveVersion`.
+///
+/// Any single functor of a transaction suffices to learn the transaction's
+/// outcome, "because any of the functors will result in abort if the
+/// transaction is aborted" (§IV-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionState {
+    /// The version committed with this value.
+    Committed(Value),
+    /// The version is an abort marker.
+    Aborted,
+    /// The version is a delete tombstone (a committed delete).
+    Deleted,
+    /// No record exists at that exact version.
+    Missing,
+}
+
+/// Messages exchanged between servers, the epoch manager and coordinators.
+///
+/// Request/reply interactions carry a [`ReplySlot`]; everything else is
+/// fire-and-forget.
+#[derive(Debug)]
+pub enum ServerMsg {
+    /// EM → FE: a new epoch's authorization.
+    Grant(Grant),
+    /// EM → FE: revoke the authorization of `EpochId`.
+    Revoke(EpochId),
+    /// FE → EM: the epoch has drained here.
+    RevokedAck(RevokedAck),
+    /// FE → BE: install a transaction's writes for this partition
+    /// (the write-only phase).
+    Install {
+        /// The transaction's timestamp (the version to install at).
+        version: Timestamp,
+        /// Writes owned by the destination partition.
+        writes: Vec<Write>,
+        /// Install outcome back to the coordinator.
+        reply: ReplySlot<InstallOutcome>,
+    },
+    /// FE → BE: second abort round — rewrite these versions to `ABORTED`.
+    /// Acked so the coordinator can hold the epoch open until every
+    /// participant has rolled back (otherwise sibling functors of the
+    /// aborted transaction could become visible committed).
+    AbortVersion {
+        /// (key, version) pairs to abort.
+        keys: Vec<(Key, Timestamp)>,
+        /// Rollback acknowledgement.
+        reply: ReplySlot<()>,
+    },
+    /// BE → BE: read the latest final value of `key` at version `<= bound`
+    /// (remote read during functor computing, or a delayed read-only
+    /// transaction touching a remote partition).
+    RemoteGet {
+        /// Key owned by the destination partition.
+        key: Key,
+        /// Inclusive version bound.
+        bound: Timestamp,
+        /// The versioned read result.
+        reply: ReplySlot<Result<VersionedRead>>,
+    },
+    /// BE → BE: install a deferred write produced by a determinate functor
+    /// (§IV-E). Acked so the producer can order its own finalization after
+    /// the install.
+    InstallDeferred {
+        /// Dependent key owned by the destination partition.
+        key: Key,
+        /// The determinate functor's version.
+        version: Timestamp,
+        /// Final-form functor to install.
+        functor: Functor,
+        /// Ack.
+        reply: ReplySlot<()>,
+    },
+    /// Coordinator/BE → BE: compute `key` up to `version` and report the
+    /// state of the record at exactly `version` (used both to learn a
+    /// transaction's outcome and to enforce the §IV-E watermark rule).
+    ResolveVersion {
+        /// Key owned by the destination partition.
+        key: Key,
+        /// Version to settle up to and inspect.
+        version: Timestamp,
+        /// Record state (or transport/compute error).
+        reply: ReplySlot<Result<VersionState>>,
+    },
+    /// BE → BE: proactive value push for a recipient-set functor (§IV-B).
+    PushValue {
+        /// The functor version the push is for.
+        version: Timestamp,
+        /// The key whose value is being pushed.
+        source: Key,
+        /// The pushed versioned read.
+        read: VersionedRead,
+    },
+    /// Primary → backup: mirror write-only-phase records (§III-A
+    /// replication). Acked so the primary can make installs durable-on-two-
+    /// nodes before acknowledging the coordinator.
+    Replicate {
+        /// The primary partition being mirrored.
+        from: aloha_common::PartitionId,
+        /// Install records: (key, version, functor); aborts are encoded as
+        /// `ABORTED` functors at the version.
+        records: Vec<(Key, Timestamp, Functor)>,
+        /// Replication ack.
+        reply: ReplySlot<()>,
+    },
+    /// Cluster shutdown: the dispatcher exits after processing this.
+    Shutdown,
+}

@@ -1,0 +1,303 @@
+//! One-shot transaction programs (§IV-A).
+//!
+//! As in Calvin, clients submit transactions non-interactively: a program id
+//! plus an argument blob. The front-end invokes the registered
+//! [`TxnProgram`], which *transforms* the transaction into key-functor pairs
+//! (§IV-B) — one [`Write`] per write-set key. Programs whose write set
+//! depends on data (dependent transactions, §IV-E) either use determinate
+//! functors with deferred writes, or read a snapshot through
+//! the [`SnapshotReader`] on [`TransformCtx`] and install OCC-validated functors.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use aloha_common::{Error, Key, Result, Timestamp};
+use aloha_functor::{Functor, VersionedRead};
+
+/// Identifier of a registered transaction program (a stored procedure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub u32);
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prog{}", self.0)
+    }
+}
+
+/// A pre-install check evaluated by the backend before accepting a write
+/// (§V-A2: the aborting transaction "includes an item that cannot be found in
+/// the corresponding partition").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Check {
+    /// The given key must have at least one version on the destination
+    /// partition. The key must be co-located with the write it guards.
+    KeyExists(Key),
+}
+
+/// One element of a transaction's write set: the key, its functor, and an
+/// optional install-time check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Write {
+    /// The written key.
+    pub key: Key,
+    /// The functor placeholder for the key's new value.
+    pub functor: Functor,
+    /// Optional pre-install check on the owning partition.
+    pub check: Option<Check>,
+}
+
+/// The transformed form of a transaction: its key-functor pairs.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::Key;
+/// use aloha_core::TxnPlan;
+/// use aloha_functor::Functor;
+///
+/// let plan = TxnPlan::new()
+///     .write(Key::from("a"), Functor::subtr(10))
+///     .write(Key::from("b"), Functor::add(10));
+/// assert_eq!(plan.writes().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnPlan {
+    writes: Vec<Write>,
+}
+
+impl TxnPlan {
+    /// An empty plan (e.g. a read-only transaction).
+    pub fn new() -> TxnPlan {
+        TxnPlan::default()
+    }
+
+    /// Adds a write without a check.
+    pub fn write(mut self, key: Key, functor: Functor) -> TxnPlan {
+        self.writes.push(Write { key, functor, check: None });
+        self
+    }
+
+    /// Adds a write guarded by an install-time check.
+    pub fn write_checked(mut self, key: Key, functor: Functor, check: Check) -> TxnPlan {
+        self.writes.push(Write { key, functor, check: Some(check) });
+        self
+    }
+
+    /// The planned writes.
+    pub fn writes(&self) -> &[Write] {
+        &self.writes
+    }
+
+    /// Consumes the plan, returning the writes.
+    pub fn into_writes(self) -> Vec<Write> {
+        self.writes
+    }
+
+    /// Whether the plan writes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// Read access to the settled snapshot, available during transform.
+///
+/// Reads observe the current visibility bound — the finish timestamp of the
+/// last completed epoch — which is exactly the snapshot an optimistic
+/// dependent transaction validates against (§IV-E).
+pub trait SnapshotReader {
+    /// Reads `key` at the snapshot bound; reports the version found.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures when the key lives on an unreachable partition.
+    fn read(&self, key: &Key) -> Result<VersionedRead>;
+
+    /// The snapshot's inclusive upper version bound.
+    fn snapshot_bound(&self) -> Timestamp;
+}
+
+/// Everything a program sees while transforming a transaction.
+pub struct TransformCtx<'a> {
+    /// The transaction's timestamp (all functors share it, §IV-A).
+    pub ts: Timestamp,
+    /// The client-supplied argument blob.
+    pub args: &'a [u8],
+    /// Settled-snapshot reader for optimistic dependent transactions.
+    pub reader: &'a dyn SnapshotReader,
+}
+
+impl fmt::Debug for TransformCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransformCtx")
+            .field("ts", &self.ts)
+            .field("args_len", &self.args.len())
+            .finish()
+    }
+}
+
+/// A one-shot transaction program: transforms a request into functors.
+///
+/// Programs run on the coordinating front-end. They must be deterministic
+/// given the context (the snapshot reader is the only data access) and fast:
+/// everything data-dependent belongs in functor handlers, which run in the
+/// asynchronous computing phase.
+pub trait TxnProgram: Send + Sync {
+    /// Produces the transaction's write plan.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error rejects the transaction before the write-only phase
+    /// (no versions are installed anywhere).
+    fn transform(&self, ctx: &TransformCtx<'_>) -> Result<TxnPlan>;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Wraps a closure as a [`TxnProgram`].
+///
+/// # Examples
+///
+/// ```
+/// use aloha_core::program::{fn_program, TxnPlan};
+/// use aloha_common::Key;
+/// use aloha_functor::Functor;
+///
+/// let program = fn_program(|ctx| {
+///     Ok(TxnPlan::new().write(Key::from("counter"), Functor::add(1)))
+/// });
+/// ```
+pub fn fn_program<F>(f: F) -> FnProgram<F>
+where
+    F: Fn(&TransformCtx<'_>) -> Result<TxnPlan> + Send + Sync,
+{
+    FnProgram(f)
+}
+
+/// A [`TxnProgram`] backed by a closure; see [`fn_program`].
+pub struct FnProgram<F>(F);
+
+impl<F> TxnProgram for FnProgram<F>
+where
+    F: Fn(&TransformCtx<'_>) -> Result<TxnPlan> + Send + Sync,
+{
+    fn transform(&self, ctx: &TransformCtx<'_>) -> Result<TxnPlan> {
+        (self.0)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        "fn-program"
+    }
+}
+
+/// Registry of transaction programs, immutable after cluster start.
+#[derive(Default)]
+pub struct ProgramRegistry {
+    programs: HashMap<ProgramId, Arc<dyn TxnProgram>>,
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ProgramRegistry {
+        ProgramRegistry::default()
+    }
+
+    /// Registers `program` under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate ids.
+    pub fn register(&mut self, id: ProgramId, program: impl TxnProgram + 'static) {
+        let prev = self.programs.insert(id, Arc::new(program));
+        assert!(prev.is_none(), "duplicate program registration for {id}");
+    }
+
+    /// Looks up a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownProgram`] for unregistered ids.
+    pub fn get(&self, id: ProgramId) -> Result<&Arc<dyn TxnProgram>> {
+        self.programs.get(&id).ok_or(Error::UnknownProgram(id.0))
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+}
+
+impl fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut ids: Vec<_> = self.programs.keys().collect();
+        ids.sort();
+        f.debug_struct("ProgramRegistry").field("ids", &ids).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NullReader;
+    impl SnapshotReader for NullReader {
+        fn read(&self, _key: &Key) -> Result<VersionedRead> {
+            Ok(VersionedRead::missing())
+        }
+        fn snapshot_bound(&self) -> Timestamp {
+            Timestamp::ZERO
+        }
+    }
+
+    #[test]
+    fn plan_builder_collects_writes_in_order() {
+        let plan = TxnPlan::new()
+            .write(Key::from("a"), Functor::add(1))
+            .write_checked(
+                Key::from("b"),
+                Functor::value_i64(0),
+                Check::KeyExists(Key::from("item")),
+            );
+        assert_eq!(plan.writes().len(), 2);
+        assert_eq!(plan.writes()[0].key, Key::from("a"));
+        assert!(plan.writes()[1].check.is_some());
+    }
+
+    #[test]
+    fn registry_round_trips_programs() {
+        let mut reg = ProgramRegistry::new();
+        reg.register(ProgramId(1), fn_program(|_| Ok(TxnPlan::new())));
+        let ctx = TransformCtx { ts: Timestamp::from_raw(1), args: &[], reader: &NullReader };
+        let plan = reg.get(ProgramId(1)).unwrap().transform(&ctx).unwrap();
+        assert!(plan.is_empty());
+        assert!(matches!(reg.get(ProgramId(2)), Err(Error::UnknownProgram(2))));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate program")]
+    fn duplicate_program_panics() {
+        let mut reg = ProgramRegistry::new();
+        reg.register(ProgramId(1), fn_program(|_| Ok(TxnPlan::new())));
+        reg.register(ProgramId(1), fn_program(|_| Ok(TxnPlan::new())));
+    }
+
+    #[test]
+    fn program_sees_args_and_timestamp() {
+        let program = fn_program(|ctx| {
+            assert_eq!(ctx.args, b"payload");
+            assert_eq!(ctx.ts, Timestamp::from_raw(42));
+            Ok(TxnPlan::new())
+        });
+        let ctx =
+            TransformCtx { ts: Timestamp::from_raw(42), args: b"payload", reader: &NullReader };
+        program.transform(&ctx).unwrap();
+    }
+}

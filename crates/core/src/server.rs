@@ -1,0 +1,803 @@
+//! The server process: front-end (coordinator) plus back-end (partition +
+//! functor processors), as in Fig 1 of the paper.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aloha_common::metrics::{duration_micros, Counter, Histogram, StageBreakdown};
+use aloha_common::{Error, Key, Result, ServerId, Timestamp};
+use aloha_epoch::{EpochClient, Grant, RevokedAck};
+use aloha_functor::{Functor, VersionedRead};
+use aloha_net::{reply_pair, Addr, Bus, Endpoint};
+use aloha_storage::{ComputeEnv, Partition};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::msg::{InstallOutcome, ServerMsg, VersionState};
+use crate::program::{Check, ProgramId, ProgramRegistry, SnapshotReader, TransformCtx, Write};
+
+/// Client-visible outcome of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All functors committed.
+    Committed,
+    /// The transaction aborted — at install time (failed check) or in the
+    /// functor computing phase (logic error / constraint violation).
+    Aborted,
+}
+
+/// One buffered functor's metadata, released to the processor queue when its
+/// epoch completes (§IV-D: "their meta-data (key and version), which were
+/// buffered in the previous epoch, are pushed to a queue").
+#[derive(Debug, Clone)]
+pub(crate) struct QueueEntry {
+    pub key: Key,
+    pub version: Timestamp,
+    pub installed_at: Instant,
+}
+
+/// Per-server metrics: the Fig 10 stage breakdown plus transaction counters.
+#[derive(Debug)]
+pub struct ServerStats {
+    breakdown: StageBreakdown,
+    latency: Histogram,
+    committed: Counter,
+    aborted: Counter,
+    installs: Counter,
+    compute_errors: Counter,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            breakdown: StageBreakdown::new(["install", "wait", "process"]),
+            latency: Histogram::new(),
+            committed: Counter::new(),
+            aborted: Counter::new(),
+            installs: Counter::new(),
+            compute_errors: Counter::new(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// The Fig 10 stage breakdown: functor installing / waiting for
+    /// processing / processing.
+    pub fn breakdown(&self) -> &StageBreakdown {
+        &self.breakdown
+    }
+
+    /// End-to-end transaction latency (issue → functors fully processed).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Transactions resolved as committed via this coordinator.
+    pub fn committed(&self) -> u64 {
+        self.committed.get()
+    }
+
+    /// Transactions resolved as aborted via this coordinator.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.get()
+    }
+
+    /// Functor installs accepted by this backend.
+    pub fn installs(&self) -> u64 {
+        self.installs.get()
+    }
+
+    /// Asynchronous computes that returned an error (transport failures
+    /// during shutdown, unknown handlers).
+    pub fn compute_errors(&self) -> u64 {
+        self.compute_errors.get()
+    }
+
+    /// Clears every counter and histogram (benchmark warm-up).
+    pub fn reset(&self) {
+        self.breakdown.reset();
+        self.latency.reset();
+        self.committed.reset();
+        self.aborted.reset();
+        self.installs.reset();
+        self.compute_errors.reset();
+    }
+}
+
+/// An FE/BE pair: one simulated host of the ALOHA-DB cluster.
+pub struct Server {
+    id: ServerId,
+    total_servers: u16,
+    partition: Arc<Partition>,
+    epoch: Arc<EpochClient>,
+    bus: Bus<ServerMsg>,
+    programs: Arc<ProgramRegistry>,
+    queue_tx: Sender<QueueEntry>,
+    pending: Mutex<Vec<QueueEntry>>,
+    prev_settled: Mutex<Timestamp>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    rpc_timeout: Duration,
+    /// Write-ahead log of the write-only phase (§III-A logging), when
+    /// durability is enabled.
+    wal: Option<Mutex<Vec<u8>>>,
+    /// §III-A primary-backup replication: mirrored records of the
+    /// *predecessor* server's partition (`None` when replication is off or
+    /// the cluster has one server).
+    replica: Option<ReplicaStore>,
+}
+
+/// The mirrored write-only-phase records of one partition, held by its
+/// backup server.
+#[derive(Debug, Default)]
+pub(crate) struct ReplicaStore {
+    records: Mutex<Vec<(Key, Timestamp, Functor)>>,
+}
+
+impl ReplicaStore {
+    fn append(&self, mut records: Vec<(Key, Timestamp, Functor)>) {
+        self.records.lock().append(&mut records);
+    }
+
+    fn dump(&self) -> Vec<(Key, Timestamp, Functor)> {
+        self.records.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("id", &self.id).finish()
+    }
+}
+
+impl Server {
+    /// Creates a server; the caller spawns its dispatcher and processor
+    /// threads. Returns the server and the processor queue's receive side.
+    pub(crate) fn new(
+        id: ServerId,
+        total_servers: u16,
+        partition: Arc<Partition>,
+        epoch: Arc<EpochClient>,
+        bus: Bus<ServerMsg>,
+        programs: Arc<ProgramRegistry>,
+        durable: bool,
+        replicated: bool,
+    ) -> (Arc<Server>, Receiver<QueueEntry>) {
+        let (queue_tx, queue_rx) = crossbeam::channel::unbounded();
+        let server = Arc::new(Server {
+            id,
+            total_servers,
+            partition,
+            epoch,
+            bus,
+            programs,
+            queue_tx,
+            pending: Mutex::new(Vec::new()),
+            prev_settled: Mutex::new(Timestamp::ZERO),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+            rpc_timeout: Duration::from_secs(30),
+            wal: durable.then(|| Mutex::new(Vec::new())),
+            replica: (replicated && total_servers > 1).then(ReplicaStore::default),
+        });
+        (server, queue_rx)
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The partition this server's backend stores.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.partition
+    }
+
+    /// This server's epoch client.
+    pub fn epoch(&self) -> &Arc<EpochClient> {
+        &self.epoch
+    }
+
+    /// This server's metrics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The server owning `key`'s partition.
+    pub fn owner_of(&self, key: &Key) -> ServerId {
+        ServerId(key.partition(self.total_servers).0)
+    }
+
+    pub(crate) fn mark_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.epoch.shutdown();
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    // ------------------------------------------------------------------
+    // Front-end: transaction coordination (§IV-A lifecycle).
+    // ------------------------------------------------------------------
+
+    /// Coordinates one transaction: assigns a timestamp, transforms it into
+    /// functors, installs them on every participant partition (write-only
+    /// phase), and issues the second abort round if any install fails.
+    ///
+    /// Returns once the write-only phase has completed; the returned handle
+    /// waits for the asynchronous functor computing phase.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown, unknown programs, transform rejections, and
+    /// transport failures.
+    pub fn coordinate(self: &Arc<Self>, program: ProgramId, args: &[u8]) -> Result<TxnHandle> {
+        let issued_at = Instant::now();
+        let program = Arc::clone(self.programs.get(program)?);
+        let ticket = self.epoch.begin_txn(None).map_err(|e| match e {
+            aloha_epoch::BeginError::ShuttingDown => Error::ShuttingDown,
+            aloha_epoch::BeginError::DeadlineExceeded => Error::Timeout("epoch grant".into()),
+        })?;
+
+        let reader = FeSnapshotReader { server: self, bound: self.epoch.visible_bound() };
+        let plan = match program.transform(&TransformCtx { ts: ticket.ts, args, reader: &reader })
+        {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.finish_ticket(ticket);
+                return Err(e);
+            }
+        };
+        let writes = plan.into_writes();
+        // Prefer a probe key this coordinator owns so the outcome resolution
+        // in `wait_processed` stays local (any functor of the transaction
+        // reflects the abort decision, §IV-A).
+        let probe = writes
+            .iter()
+            .find(|w| self.owner_of(&w.key) == self.id)
+            .or_else(|| writes.first())
+            .map(|w| w.key.clone());
+
+        // Group writes by owning server and install (the write-only phase).
+        let mut groups: HashMap<ServerId, Vec<Write>> = HashMap::new();
+        for w in writes {
+            groups.entry(self.owner_of(&w.key)).or_default().push(w);
+        }
+        let participants: Vec<(ServerId, Vec<Key>)> = groups
+            .iter()
+            .map(|(owner, group)| (*owner, group.iter().map(|w| w.key.clone()).collect()))
+            .collect();
+
+        let mut outcomes = Vec::with_capacity(groups.len());
+        let mut replies = Vec::new();
+        for (owner, group) in groups {
+            if owner == self.id {
+                outcomes.push(self.install_batch(ticket.ts, group));
+            } else {
+                let (slot, handle) = reply_pair();
+                self.bus.send(
+                    Addr::Server(owner),
+                    ServerMsg::Install { version: ticket.ts, writes: group, reply: slot },
+                )?;
+                replies.push(handle);
+            }
+        }
+        for handle in replies {
+            outcomes.push(handle.wait_timeout(self.rpc_timeout)?);
+        }
+        let ok = outcomes.iter().all(InstallOutcome::is_ok);
+
+        if !ok {
+            // Second round (§V-A2): roll the version back to ABORTED on every
+            // participant, and wait for the acks — the epoch must stay open
+            // (this transaction in flight) until every rollback landed, or a
+            // sibling functor could become visible as committed.
+            let mut abort_acks = Vec::new();
+            for (owner, keys) in &participants {
+                let pairs: Vec<(Key, Timestamp)> =
+                    keys.iter().map(|k| (k.clone(), ticket.ts)).collect();
+                if *owner == self.id {
+                    for (k, v) in &pairs {
+                        self.abort_version_logged(k, *v);
+                    }
+                } else {
+                    let (slot, handle) = reply_pair();
+                    let _ = self.bus.send(
+                        Addr::Server(*owner),
+                        ServerMsg::AbortVersion { keys: pairs, reply: slot },
+                    );
+                    abort_acks.push(handle);
+                }
+            }
+            for ack in abort_acks {
+                ack.wait_timeout(self.rpc_timeout)?;
+            }
+        }
+
+        self.finish_ticket(ticket);
+        self.stats.breakdown.record(0, duration_micros(issued_at.elapsed()));
+        Ok(TxnHandle {
+            fe: Arc::clone(self),
+            ts: ticket.ts,
+            probe,
+            aborted_at_install: !ok,
+            issued_at,
+        })
+    }
+
+    /// Executes a latest-version read-only transaction (§III-B): assigns a
+    /// timestamp in the current epoch, waits for the epoch to complete, then
+    /// reads the keys as a historical snapshot at that timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown or transport errors.
+    pub fn read_latest(self: &Arc<Self>, keys: &[Key]) -> Result<Vec<Option<aloha_common::Value>>> {
+        let ts = self.epoch.assign_read_timestamp(None).map_err(|_| Error::ShuttingDown)?;
+        if !self.epoch.wait_visible(ts, None) {
+            return Err(Error::ShuttingDown);
+        }
+        self.read_at(keys, ts)
+    }
+
+    /// Reads a historical snapshot at `ts`, which must already be settled.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Timeout`] semantics if `ts` is not yet visible,
+    /// and on transport errors.
+    pub fn read_at(self: &Arc<Self>, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<aloha_common::Value>>> {
+        if ts > self.epoch.visible_bound() {
+            return Err(Error::Timeout(format!("snapshot {ts} is not settled yet")));
+        }
+        keys.iter()
+            .map(|key| {
+                let read = if self.owner_of(key) == self.id {
+                    self.partition.get(key, ts, self.as_env())?
+                } else {
+                    self.as_env().remote_get(key, ts)?
+                };
+                Ok(read.value)
+            })
+            .collect()
+    }
+
+    fn finish_ticket(&self, ticket: aloha_epoch::TxnTicket) {
+        if let Some(epoch) = self.epoch.txn_finished(ticket) {
+            let ack = RevokedAck { server: self.id, epoch };
+            let _ = self.bus.send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
+        }
+    }
+
+    /// Resolves the record state of (key, version), computing as needed.
+    pub(crate) fn resolve(&self, key: &Key, version: Timestamp) -> Result<VersionState> {
+        if self.owner_of(key) == self.id {
+            self.resolve_local(key, version)
+        } else {
+            let (slot, handle) = reply_pair();
+            self.bus.send(
+                Addr::Server(self.owner_of(key)),
+                ServerMsg::ResolveVersion { key: key.clone(), version, reply: slot },
+            )?;
+            handle.wait_timeout(self.rpc_timeout)?
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Back-end: install, abort, compute.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn install_batch(&self, version: Timestamp, writes: Vec<Write>) -> InstallOutcome {
+        // A version at or below the settled bound can no longer be installed:
+        // its epoch has already been declared complete.
+        if version <= self.epoch.visible_bound() {
+            return InstallOutcome::OutsideEpoch;
+        }
+        // Evaluate checks before touching storage: per-partition installs are
+        // all-or-nothing.
+        for w in &writes {
+            if let Some(Check::KeyExists(key)) = &w.check {
+                let exists = self.partition.store().chain(key).is_some_and(|c| !c.is_empty());
+                if !exists {
+                    return InstallOutcome::CheckFailed(format!("missing key {key:?}"));
+                }
+            }
+        }
+        let installed_at = Instant::now();
+        let mut mirrored = Vec::new();
+        for w in writes {
+            if let Some(wal) = &self.wal {
+                aloha_storage::WalRecord::Install {
+                    key: w.key.clone(),
+                    version,
+                    functor: w.functor.clone(),
+                }
+                .encode_into(&mut wal.lock());
+            }
+            if self.replica.is_some() {
+                mirrored.push((w.key.clone(), version, w.functor.clone()));
+            }
+            if self.partition.install(&w.key, version, w.functor).is_err() {
+                return InstallOutcome::CheckFailed(format!("misrouted key {:?}", w.key));
+            }
+            self.stats.installs.incr();
+            self.pending.lock().push(QueueEntry {
+                key: w.key,
+                version,
+                installed_at,
+            });
+        }
+        // §III-A: acknowledge only once the backup holds the records too.
+        if self.replicate(mirrored).is_err() {
+            return InstallOutcome::CheckFailed("replication to backup failed".into());
+        }
+        InstallOutcome::Ok
+    }
+
+    /// The server holding this partition's backup (§III-A: one crash
+    /// failure tolerated): the next server in the ring.
+    pub fn backup_of(&self, id: ServerId) -> ServerId {
+        ServerId((id.0 + 1) % self.total_servers)
+    }
+
+    /// Whether replication is enabled on this server.
+    pub fn is_replicated(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// Synchronously mirrors write-only-phase records to this partition's
+    /// backup; installs are acknowledged only once both copies exist.
+    fn replicate(&self, records: Vec<(Key, Timestamp, Functor)>) -> Result<()> {
+        if self.replica.is_none() || records.is_empty() {
+            return Ok(());
+        }
+        let backup = self.backup_of(self.id);
+        let (slot, handle) = reply_pair();
+        self.bus.send(
+            Addr::Server(backup),
+            ServerMsg::Replicate {
+                from: aloha_common::PartitionId(self.id.0),
+                records,
+                reply: slot,
+            },
+        )?;
+        handle.wait_timeout(self.rpc_timeout)
+    }
+
+    /// Dump of the mirrored records this server holds for its predecessor's
+    /// partition (empty when replication is off). Used to rebuild a lost
+    /// partition.
+    pub fn replica_dump(&self) -> Vec<(Key, Timestamp, Functor)> {
+        self.replica.as_ref().map(ReplicaStore::dump).unwrap_or_default()
+    }
+
+    /// Rolls (key, version) back to ABORTED, logging the rollback when
+    /// durability is enabled.
+    pub(crate) fn abort_version_logged(&self, key: &Key, version: Timestamp) {
+        if let Some(wal) = &self.wal {
+            aloha_storage::WalRecord::Abort { key: key.clone(), version }
+                .encode_into(&mut wal.lock());
+        }
+        // Mirror the rollback as an ABORTED record (replays idempotently:
+        // the backup's rebuild path force-aborts the version).
+        let _ = self.replicate(vec![(key.clone(), version, Functor::Aborted)]);
+        self.partition.abort_version(key, version);
+    }
+
+    /// Snapshot of this server's write-ahead log (empty if durability is
+    /// off).
+    pub fn wal_snapshot(&self) -> Vec<u8> {
+        self.wal.as_ref().map(|w| w.lock().clone()).unwrap_or_default()
+    }
+
+    /// Replays a write-ahead log into this partition, skipping records at or
+    /// below `checkpoint` (see [`aloha_storage::wal::replay_log`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt logs.
+    pub fn replay_wal(&self, log: &[u8], checkpoint: Timestamp) -> Result<usize> {
+        aloha_storage::wal::replay_log(&self.partition, log, checkpoint)
+    }
+
+    pub(crate) fn resolve_local(&self, key: &Key, version: Timestamp) -> Result<VersionState> {
+        self.partition.compute(key, version, self.as_env())?;
+        let record = self.partition.store().chain(key).and_then(|c| c.record_at(version));
+        Ok(match record {
+            None => VersionState::Missing,
+            Some(rec) => match rec.load() {
+                Functor::Value(v) => VersionState::Committed(v),
+                Functor::Aborted => VersionState::Aborted,
+                Functor::Deleted => VersionState::Deleted,
+                other => unreachable!("compute left non-final functor {other}"),
+            },
+        })
+    }
+
+    fn handle_grant(&self, grant: Grant) {
+        self.epoch.on_grant(grant);
+        // Everything at or below the settled bound is installed; release its
+        // buffered metadata to the processors (§IV-D).
+        let settled = grant.settled;
+        let mut pending = self.pending.lock();
+        let mut keep = Vec::with_capacity(pending.len());
+        for entry in pending.drain(..) {
+            if entry.version <= settled {
+                let _ = self.queue_tx.send(entry);
+            } else {
+                keep.push(entry);
+            }
+        }
+        *pending = keep;
+        drop(pending);
+        // Push-cache entries two grants old can no longer be needed.
+        let mut prev = self.prev_settled.lock();
+        self.partition.push_cache().clear_below(*prev);
+        *prev = settled;
+    }
+
+    pub(crate) fn as_env(&self) -> &dyn ComputeEnv {
+        self
+    }
+
+    /// Serializes this partition's settled state at `at` (see
+    /// [`aloha_storage::snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from on-demand computing.
+    pub fn write_checkpoint(&self, at: Timestamp) -> Result<Vec<u8>> {
+        aloha_storage::snapshot::write_checkpoint(&self.partition, at, self.as_env())
+    }
+
+    /// Restores a checkpoint blob into this partition (before serving
+    /// traffic).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed blobs.
+    pub fn restore_checkpoint(&self, blob: &[u8]) -> Result<Timestamp> {
+        aloha_storage::snapshot::restore_checkpoint(&self.partition, blob)
+    }
+}
+
+impl ComputeEnv for Server {
+    fn remote_get(&self, key: &Key, bound: Timestamp) -> Result<VersionedRead> {
+        let owner = self.owner_of(key);
+        if owner == self.id {
+            return self.partition.get(key, bound, self.as_env());
+        }
+        let (slot, handle) = reply_pair();
+        self.bus.send(
+            Addr::Server(owner),
+            ServerMsg::RemoteGet { key: key.clone(), bound, reply: slot },
+        )?;
+        handle.wait_timeout(self.rpc_timeout)?
+    }
+
+    fn install_deferred(&self, key: &Key, version: Timestamp, functor: Functor) -> Result<()> {
+        let owner = self.owner_of(key);
+        if owner == self.id {
+            self.partition.store().put(key, version, functor);
+            return Ok(());
+        }
+        let (slot, handle) = reply_pair();
+        self.bus.send(
+            Addr::Server(owner),
+            ServerMsg::InstallDeferred { key: key.clone(), version, functor, reply: slot },
+        )?;
+        handle.wait_timeout(self.rpc_timeout)
+    }
+
+    fn ensure_computed(&self, key: &Key, upto: Timestamp) -> Result<()> {
+        let owner = self.owner_of(key);
+        if owner == self.id {
+            return self.partition.compute(key, upto, self.as_env());
+        }
+        let (slot, handle) = reply_pair();
+        self.bus.send(
+            Addr::Server(owner),
+            ServerMsg::ResolveVersion { key: key.clone(), version: upto, reply: slot },
+        )?;
+        handle.wait_timeout(self.rpc_timeout)?.map(|_| ())
+    }
+
+    fn push_value(&self, recipient: &Key, version: Timestamp, source: &Key, read: &VersionedRead) {
+        let owner = self.owner_of(recipient);
+        if owner == self.id {
+            self.partition.push_cache().insert(version, source.clone(), read.clone());
+        } else {
+            let _ = self.bus.send(
+                Addr::Server(owner),
+                ServerMsg::PushValue { version, source: source.clone(), read: read.clone() },
+            );
+        }
+    }
+}
+
+/// FE-side settled-snapshot reader handed to transforms.
+struct FeSnapshotReader<'a> {
+    server: &'a Arc<Server>,
+    bound: Timestamp,
+}
+
+impl SnapshotReader for FeSnapshotReader<'_> {
+    fn read(&self, key: &Key) -> Result<VersionedRead> {
+        if self.server.owner_of(key) == self.server.id {
+            self.server.partition.get(key, self.bound, self.server.as_env())
+        } else {
+            self.server.as_env().remote_get(key, self.bound)
+        }
+    }
+
+    fn snapshot_bound(&self) -> Timestamp {
+        self.bound
+    }
+}
+
+/// Handle to a coordinated transaction: resolves the computing-phase outcome.
+#[derive(Debug)]
+pub struct TxnHandle {
+    fe: Arc<Server>,
+    ts: Timestamp,
+    probe: Option<Key>,
+    aborted_at_install: bool,
+    issued_at: Instant,
+}
+
+impl TxnHandle {
+    /// The transaction's timestamp (its version and serialization position).
+    pub fn timestamp(&self) -> Timestamp {
+        self.ts
+    }
+
+    /// Whether the write-only phase already aborted the transaction.
+    pub fn aborted_at_install(&self) -> bool {
+        self.aborted_at_install
+    }
+
+    /// Blocks until the transaction's functors are fully processed and
+    /// returns the outcome. This matches the paper's latency measurement:
+    /// "from when the transaction is issued ... until its functors are fully
+    /// processed" (§V-A3).
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown or transport errors.
+    pub fn wait_processed(&self) -> Result<TxnOutcome> {
+        let outcome = self.wait_inner()?;
+        self.fe.stats.latency.record(duration_micros(self.issued_at.elapsed()));
+        match outcome {
+            TxnOutcome::Committed => self.fe.stats.committed.incr(),
+            TxnOutcome::Aborted => self.fe.stats.aborted.incr(),
+        }
+        Ok(outcome)
+    }
+
+    fn wait_inner(&self) -> Result<TxnOutcome> {
+        if self.aborted_at_install {
+            return Ok(TxnOutcome::Aborted);
+        }
+        let Some(probe) = &self.probe else {
+            return Ok(TxnOutcome::Committed); // empty write set
+        };
+        if !self.fe.epoch.wait_visible(self.ts, None) {
+            return Err(Error::ShuttingDown);
+        }
+        match self.fe.resolve(probe, self.ts)? {
+            VersionState::Committed(_) | VersionState::Deleted => Ok(TxnOutcome::Committed),
+            VersionState::Aborted => Ok(TxnOutcome::Aborted),
+            VersionState::Missing => Err(Error::KeyNotFound(probe.clone())),
+        }
+    }
+}
+
+/// Dispatcher thread body: routes bus messages to the server.
+pub(crate) fn run_dispatcher(server: Arc<Server>, endpoint: Endpoint<ServerMsg>) {
+    loop {
+        let msg = match endpoint.recv() {
+            Ok(m) => m,
+            Err(_) => break, // bus gone
+        };
+        match msg {
+            ServerMsg::Grant(grant) => server.handle_grant(grant),
+            ServerMsg::Revoke(epoch) => {
+                if server.epoch.on_revoke(epoch) {
+                    let ack = RevokedAck { server: server.id, epoch };
+                    let _ = server.bus.send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
+                }
+            }
+            ServerMsg::RevokedAck(_) => {} // only the EM endpoint receives these
+            // With replication on, install_batch blocks on the backup's
+            // ack; three blocked dispatchers can form a ring deadlock, so
+            // replicated installs run on their own thread. Without
+            // replication the handler is non-blocking and runs inline.
+            ServerMsg::Install { version, writes, reply } => {
+                if server.is_replicated() {
+                    let s = Arc::clone(&server);
+                    std::thread::spawn(move || {
+                        reply.send(s.install_batch(version, writes));
+                    });
+                } else {
+                    reply.send(server.install_batch(version, writes));
+                }
+            }
+            ServerMsg::AbortVersion { keys, reply } => {
+                if server.is_replicated() {
+                    let s = Arc::clone(&server);
+                    std::thread::spawn(move || {
+                        for (key, version) in keys {
+                            s.abort_version_logged(&key, version);
+                        }
+                        reply.send(());
+                    });
+                } else {
+                    for (key, version) in keys {
+                        server.abort_version_logged(&key, version);
+                    }
+                    reply.send(());
+                }
+            }
+            // Requests that may themselves block on other partitions run on
+            // their own thread so the dispatcher never deadlocks. Functor
+            // recursion strictly decreases versions, so the spawn depth is
+            // bounded by the dependency chain.
+            ServerMsg::RemoteGet { key, bound, reply } => {
+                let s = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    reply.send(s.partition.get(&key, bound, s.as_env()));
+                });
+            }
+            ServerMsg::InstallDeferred { key, version, functor, reply } => {
+                server.partition.store().put(&key, version, functor);
+                reply.send(());
+            }
+            ServerMsg::ResolveVersion { key, version, reply } => {
+                let s = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    reply.send(s.resolve_local(&key, version));
+                });
+            }
+            ServerMsg::PushValue { version, source, read } => {
+                server.partition.push_cache().insert(version, source, read);
+            }
+            ServerMsg::Replicate { from: _, records, reply } => {
+                if let Some(replica) = &server.replica {
+                    replica.append(records);
+                }
+                reply.send(());
+            }
+            ServerMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Processor thread body: the BE's asynchronous functor computing pool
+/// (§IV-D).
+pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
+    loop {
+        match queue.recv_timeout(Duration::from_millis(50)) {
+            Ok(entry) => {
+                server.stats.breakdown.record(1, duration_micros(entry.installed_at.elapsed()));
+                let started = Instant::now();
+                if server
+                    .partition
+                    .compute(&entry.key, entry.version, server.as_env())
+                    .is_err()
+                {
+                    server.stats.compute_errors.incr();
+                }
+                server.stats.breakdown.record(2, duration_micros(started.elapsed()));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if server.is_shutdown() {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}

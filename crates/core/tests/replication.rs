@@ -1,0 +1,168 @@
+//! §III-A primary-backup replication: every install is mirrored to the next
+//! server in the ring before it is acknowledged, so a single crashed
+//! partition can be rebuilt from its backup.
+
+use std::time::Duration;
+
+use aloha_common::{Key, ServerId, Value};
+use aloha_core::{fn_program, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan};
+use aloha_functor::Functor;
+
+const INCR: ProgramId = ProgramId(1);
+
+fn build(servers: u16, replicated: bool, clock_offset: u64) -> Cluster {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(servers)
+            .with_epoch_duration(Duration::from_millis(3))
+            .with_replication(replicated)
+            .with_clock_offset(clock_offset),
+    );
+    builder.register_program(
+        INCR,
+        fn_program(|ctx| {
+            let key = Key::from(&ctx.args[..]);
+            Ok(TxnPlan::new().write(key, Functor::add(1)))
+        }),
+    );
+    builder.start().unwrap()
+}
+
+fn keys_on_partition(partition: u16, total: u16, count: usize) -> Vec<Key> {
+    (0..)
+        .map(|i: u32| Key::from_parts(&[b"rk", &i.to_be_bytes()]))
+        .filter(|k| k.partition(total).0 == partition)
+        .take(count)
+        .collect()
+}
+
+#[test]
+fn installs_are_mirrored_on_the_backup() {
+    let total = 3u16;
+    let cluster = build(total, true, 0);
+    let key = keys_on_partition(0, total, 1).remove(0);
+    cluster.load(key.clone(), Value::from_i64(0));
+    let db = cluster.database();
+    for _ in 0..5 {
+        assert_eq!(
+            db.execute(INCR, key.as_bytes()).unwrap().wait_processed().unwrap(),
+            TxnOutcome::Committed
+        );
+    }
+    // Partition 0's backup is server 1; it must hold the 5 mirrored functors.
+    let backup = cluster.server(ServerId(1));
+    let mirrored = backup.replica_dump();
+    assert_eq!(mirrored.len(), 5);
+    assert!(mirrored.iter().all(|(k, _, f)| *k == key && *f == Functor::Add(1)));
+    cluster.shutdown();
+}
+
+#[test]
+fn lost_partition_rebuilds_from_backup_exactly() {
+    let total = 3u16;
+    let cluster = build(total, true, 0);
+    // Work across all partitions so the rebuild is selective.
+    let keys: Vec<Key> =
+        (0..total).map(|p| keys_on_partition(p, total, 1).remove(0)).collect();
+    for k in &keys {
+        cluster.load(k.clone(), Value::from_i64(0));
+    }
+    let db = cluster.database();
+    for (i, k) in keys.iter().enumerate() {
+        for _ in 0..=i {
+            db.execute(INCR, k.as_bytes()).unwrap().wait_processed().unwrap();
+        }
+    }
+    let expected: Vec<i64> = db
+        .read_latest(&keys)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .collect();
+    let highest = db.visible_bound();
+
+    // "Crash" partition 0: build a fresh cluster, reload the loader rows
+    // (base data is durable via checkpoints in a real deployment), then
+    // rebuild partition 0 from the old cluster's backup copy.
+    let recovered = build(total, true, highest.micros() + 1);
+    for k in &keys {
+        recovered.load(k.clone(), Value::from_i64(0));
+    }
+    let applied = recovered.rebuild_from_replica(&cluster, ServerId(0)).unwrap();
+    assert_eq!(applied, 1, "partition 0 received exactly one increment");
+    // The other partitions are rebuilt through their own backups as well.
+    recovered.rebuild_from_replica(&cluster, ServerId(1)).unwrap();
+    recovered.rebuild_from_replica(&cluster, ServerId(2)).unwrap();
+    cluster.shutdown();
+
+    let rdb = recovered.database();
+    let got: Vec<i64> = rdb
+        .read_latest(&keys)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .collect();
+    assert_eq!(got, expected, "rebuilt cluster must match the primary");
+    recovered.shutdown();
+}
+
+#[test]
+fn aborted_transactions_replicate_their_rollback() {
+    use aloha_core::Check;
+    const DOOMED: ProgramId = ProgramId(2);
+    let total = 2u16;
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(total)
+            .with_epoch_duration(Duration::from_millis(3))
+            .with_replication(true),
+    );
+    builder.register_program(
+        DOOMED,
+        fn_program(|ctx| {
+            let key = Key::from(&ctx.args[..]);
+            Ok(TxnPlan::new().write_checked(
+                key,
+                Functor::add(1),
+                Check::KeyExists(Key::from("guard-that-never-exists")),
+            ))
+        }),
+    );
+    let cluster = builder.start().unwrap();
+    let key = keys_on_partition(0, total, 1).remove(0);
+    cluster.load(key.clone(), Value::from_i64(7));
+    let db = cluster.database();
+    let h = db.execute(DOOMED, key.as_bytes()).unwrap();
+    assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Aborted);
+    // The backup saw the rollback marker (an ABORTED record).
+    let backup = cluster.server(ServerId(1));
+    let mirrored = backup.replica_dump();
+    assert!(
+        mirrored.iter().any(|(_, _, f)| *f == Functor::Aborted),
+        "rollback must be mirrored, got {mirrored:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn replication_off_keeps_replica_empty() {
+    let cluster = build(2, false, 0);
+    let key = keys_on_partition(0, 2, 1).remove(0);
+    cluster.load(key.clone(), Value::from_i64(0));
+    let db = cluster.database();
+    db.execute(INCR, key.as_bytes()).unwrap().wait_processed().unwrap();
+    assert!(cluster.server(ServerId(1)).replica_dump().is_empty());
+    assert!(cluster
+        .rebuild_from_replica(&cluster, ServerId(0))
+        .is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn single_server_cluster_disables_replication_gracefully() {
+    let cluster = build(1, true, 0);
+    cluster.load(Key::from("x"), Value::from_i64(0));
+    let db = cluster.database();
+    db.execute(INCR, Key::from("x").as_bytes()).unwrap().wait_processed().unwrap();
+    // No second server to mirror to: the flag is a no-op, not a hang.
+    assert!(cluster.server(ServerId(0)).replica_dump().is_empty());
+    cluster.shutdown();
+}

@@ -1,0 +1,142 @@
+//! Authorizations and grants: the epoch lease protocol messages.
+
+use aloha_common::{EpochId, ServerId, Timestamp};
+
+/// An epoch authorization: permission to start transactions whose timestamps
+/// fall within a validity period (§II).
+///
+/// ALOHA-DB uses unified epochs (§III-B), so every authorization is a *write*
+/// authorization; historical reads never need one.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::{EpochId, ServerId, Timestamp};
+/// use aloha_epoch::Authorization;
+///
+/// let auth = Authorization::new(EpochId(3), 1_000, 26_000);
+/// let inside = Timestamp::from_parts(10_000, ServerId(0), 0);
+/// let outside = Timestamp::from_parts(30_000, ServerId(0), 0);
+/// assert!(auth.contains(inside));
+/// assert!(!auth.contains(outside));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Authorization {
+    epoch: EpochId,
+    start_micros: u64,
+    end_micros: u64,
+}
+
+impl Authorization {
+    /// Creates an authorization for `epoch` valid over
+    /// `[start_micros, end_micros]` (inclusive, in cluster microseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    pub fn new(epoch: EpochId, start_micros: u64, end_micros: u64) -> Authorization {
+        assert!(start_micros <= end_micros, "empty authorization window");
+        Authorization { epoch, start_micros, end_micros }
+    }
+
+    /// The epoch this authorization belongs to.
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
+    }
+
+    /// First microsecond of the validity period.
+    pub fn start_micros(&self) -> u64 {
+        self.start_micros
+    }
+
+    /// Last microsecond of the validity period (inclusive).
+    pub fn end_micros(&self) -> u64 {
+        self.end_micros
+    }
+
+    /// The smallest timestamp belonging to this epoch.
+    pub fn start_ts(&self) -> Timestamp {
+        Timestamp::floor_of_micros(self.start_micros)
+    }
+
+    /// The largest timestamp belonging to this epoch (the epoch's *finish
+    /// timestamp*): every transaction of the epoch has a timestamp at or
+    /// below it.
+    pub fn finish_ts(&self) -> Timestamp {
+        Timestamp::from_parts(self.end_micros, ServerId::MAX, Timestamp::MAX_SEQ)
+    }
+
+    /// Whether `ts` lies within the validity period.
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        (self.start_micros..=self.end_micros).contains(&ts.micros())
+    }
+
+    /// Whether the local clock reading `now_micros` is within the validity
+    /// period (a server "can only start a transaction when its local clock is
+    /// within the validity period", §II).
+    pub fn clock_within(&self, now_micros: u64) -> bool {
+        (self.start_micros..=self.end_micros).contains(&now_micros)
+    }
+}
+
+/// The grant message the EM sends when a new epoch begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The new epoch's authorization.
+    pub auth: Authorization,
+    /// Everything at or below this timestamp is settled: all transactions of
+    /// earlier epochs have completed their write-only phase, so historical
+    /// reads up to this bound observe a stable prefix. This is the previous
+    /// epoch's finish timestamp ([`Timestamp::ZERO`] for the first epoch).
+    pub settled: Timestamp,
+    /// Duration of the epoch in microseconds; also bounds the timestamps of
+    /// unauthorized straggler-window transactions (§III-C: a no-auth
+    /// timestamp may not exceed the previous finish plus the next epoch's
+    /// duration).
+    pub epoch_duration_micros: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_ts_dominates_every_member_timestamp() {
+        let auth = Authorization::new(EpochId(1), 100, 200);
+        let member = Timestamp::from_parts(200, ServerId::MAX, Timestamp::MAX_SEQ);
+        assert!(auth.contains(member));
+        assert!(member <= auth.finish_ts());
+        let next_epoch = Timestamp::from_parts(201, ServerId(0), 0);
+        assert!(next_epoch > auth.finish_ts());
+    }
+
+    #[test]
+    fn start_ts_precedes_every_member_timestamp() {
+        let auth = Authorization::new(EpochId(1), 100, 200);
+        assert!(auth.start_ts() <= Timestamp::from_parts(100, ServerId(0), 0));
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let auth = Authorization::new(EpochId(1), 100, 200);
+        assert!(auth.contains(Timestamp::from_parts(100, ServerId(0), 0)));
+        assert!(auth.contains(Timestamp::from_parts(200, ServerId(3), 5)));
+        assert!(!auth.contains(Timestamp::from_parts(99, ServerId(0), 0)));
+        assert!(!auth.contains(Timestamp::from_parts(201, ServerId(0), 0)));
+    }
+
+    #[test]
+    fn clock_gate_matches_window() {
+        let auth = Authorization::new(EpochId(1), 100, 200);
+        assert!(!auth.clock_within(99));
+        assert!(auth.clock_within(100));
+        assert!(auth.clock_within(200));
+        assert!(!auth.clock_within(201));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty authorization")]
+    fn inverted_window_panics() {
+        let _ = Authorization::new(EpochId(1), 10, 5);
+    }
+}

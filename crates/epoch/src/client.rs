@@ -1,0 +1,489 @@
+//! The front-end epoch state machine.
+//!
+//! An [`EpochClient`] tracks the server's current authorization, issues
+//! transaction timestamps, counts in-flight transactions so that revocation
+//! can be acknowledged only when the epoch has drained (§II), exposes the
+//! visibility bound for reads (§III-B), and implements the §III-C straggler
+//! optimization: after a revocation the client may keep starting transactions
+//! *without* authorization, as long as their timestamps do not exceed the
+//! previous epoch's finish plus the next epoch's duration.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aloha_common::{Clock, EpochId, ServerId, Timestamp};
+use parking_lot::{Condvar, Mutex};
+
+use crate::auth::{Authorization, Grant};
+use crate::oracle::TimestampOracle;
+
+/// Reasons [`EpochClient::begin_txn`] can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginError {
+    /// The client is shutting down.
+    ShuttingDown,
+    /// The supplied deadline passed before a timestamp could be issued.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for BeginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeginError::ShuttingDown => write!(f, "epoch client is shutting down"),
+            BeginError::DeadlineExceeded => write!(f, "deadline exceeded waiting for an epoch"),
+        }
+    }
+}
+
+impl std::error::Error for BeginError {}
+
+/// Permission to run one transaction: its timestamp, the epoch whose
+/// revocation it blocks, and whether it was started under an authorization
+/// or in the §III-C no-authorization window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnTicket {
+    /// The transaction's timestamp — its version number and serialization
+    /// position.
+    pub ts: Timestamp,
+    /// The epoch this transaction is accounted to.
+    pub epoch: EpochId,
+    /// `false` if started in the straggler window without authorization.
+    pub authorized: bool,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    auth: Option<Authorization>,
+    /// Epoch whose revoke has been received but not yet acknowledged.
+    revoke_pending: Option<EpochId>,
+    /// No-authorization window: (first allowed microsecond, last allowed
+    /// microsecond, epoch the transactions will be accounted to).
+    noauth_window: Option<(u64, u64, EpochId)>,
+    /// In-flight transaction counts per accounting epoch.
+    in_flight: HashMap<EpochId, usize>,
+    /// Reads at or below this timestamp observe settled history.
+    visible: Timestamp,
+    oracle: TimestampOracle,
+    shutdown: bool,
+}
+
+/// The per-server ECC participant.
+///
+/// Thread-safe: the hosting server calls [`EpochClient::begin_txn`] from many
+/// worker threads while a network thread feeds [`EpochClient::on_grant`] /
+/// [`EpochClient::on_revoke`].
+pub struct EpochClient {
+    server: ServerId,
+    clock: Arc<dyn Clock>,
+    allow_noauth: bool,
+    poll: Duration,
+    state: Mutex<ClientState>,
+    changed: Condvar,
+}
+
+impl std::fmt::Debug for EpochClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("EpochClient")
+            .field("server", &self.server)
+            .field("auth", &state.auth)
+            .field("visible", &state.visible)
+            .finish()
+    }
+}
+
+impl EpochClient {
+    /// Creates a client for `server`. `allow_noauth` enables the §III-C
+    /// straggler optimization.
+    pub fn new(server: ServerId, clock: Arc<dyn Clock>, allow_noauth: bool) -> EpochClient {
+        EpochClient {
+            server,
+            clock,
+            allow_noauth,
+            poll: Duration::from_micros(200),
+            state: Mutex::new(ClientState {
+                auth: None,
+                revoke_pending: None,
+                noauth_window: None,
+                in_flight: HashMap::new(),
+                visible: Timestamp::ZERO,
+                oracle: TimestampOracle::new(server),
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// The server this client belongs to.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// Handles a grant from the EM: installs the new authorization and
+    /// advances the visibility bound to the settled prefix.
+    pub fn on_grant(&self, grant: Grant) {
+        let mut state = self.state.lock();
+        state.auth = Some(grant.auth);
+        state.noauth_window = None;
+        if grant.settled > state.visible {
+            state.visible = grant.settled;
+        }
+        self.changed.notify_all();
+    }
+
+    /// Handles a revocation from the EM. Returns `true` if the caller must
+    /// acknowledge immediately (no transactions of that epoch are in
+    /// flight); otherwise the acknowledgement is returned later by
+    /// [`EpochClient::txn_finished`].
+    pub fn on_revoke(&self, epoch: EpochId) -> bool {
+        let mut state = self.state.lock();
+        let Some(auth) = state.auth else {
+            return false; // stale revoke for an epoch we already released
+        };
+        if auth.epoch() != epoch {
+            return false;
+        }
+        // Open the no-authorization window immediately (§III-C): transactions
+        // started from now on are accounted to the next epoch and capped at
+        // finish(previous) + duration(next).
+        if self.allow_noauth {
+            let duration = auth.end_micros() - auth.start_micros();
+            state.noauth_window =
+                Some((auth.end_micros() + 1, auth.end_micros() + duration, epoch.next()));
+        }
+        state.auth = None;
+        if state.in_flight.get(&epoch).copied().unwrap_or(0) == 0 {
+            state.revoke_pending = None;
+            self.changed.notify_all();
+            true
+        } else {
+            state.revoke_pending = Some(epoch);
+            self.changed.notify_all();
+            false
+        }
+    }
+
+    /// Starts a transaction: blocks until a timestamp can be issued under the
+    /// current authorization or (if enabled) the no-authorization window.
+    ///
+    /// # Errors
+    ///
+    /// [`BeginError::ShuttingDown`] after [`EpochClient::shutdown`];
+    /// [`BeginError::DeadlineExceeded`] if `deadline` passes first.
+    pub fn begin_txn(&self, deadline: Option<Instant>) -> Result<TxnTicket, BeginError> {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutdown {
+                return Err(BeginError::ShuttingDown);
+            }
+            let now = self.clock.now_micros();
+            if let Some(auth) = state.auth {
+                if auth.clock_within(now) || now < auth.start_micros() {
+                    // Clamp early clocks to the window start (the oracle
+                    // does this); issue if the window still has room.
+                    if let Some(ts) =
+                        state.oracle.issue(now, auth.start_micros(), auth.end_micros())
+                    {
+                        let epoch = auth.epoch();
+                        *state.in_flight.entry(epoch).or_insert(0) += 1;
+                        return Ok(TxnTicket { ts, epoch, authorized: true });
+                    }
+                }
+                // Window exhausted or clock past the end: wait for revoke +
+                // next grant (or the no-auth window).
+            } else if let Some((lo, hi, epoch)) = state.noauth_window {
+                if let Some(ts) = state.oracle.issue(now, lo, hi) {
+                    *state.in_flight.entry(epoch).or_insert(0) += 1;
+                    return Ok(TxnTicket { ts, epoch, authorized: false });
+                }
+                // No-auth window exhausted; fall through and wait for grant.
+            }
+            if self.wait(&mut state, deadline) {
+                return Err(BeginError::DeadlineExceeded);
+            }
+        }
+    }
+
+    /// Assigns a timestamp to a latest-version read-only transaction
+    /// (§III-B): the timestamp names the snapshot the read will observe once
+    /// the epoch completes. Does not count as in-flight — read-only
+    /// transactions never block revocation because they perform no writes in
+    /// the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EpochClient::begin_txn`].
+    pub fn assign_read_timestamp(&self, deadline: Option<Instant>) -> Result<Timestamp, BeginError> {
+        let mut state = self.state.lock();
+        loop {
+            if state.shutdown {
+                return Err(BeginError::ShuttingDown);
+            }
+            let now = self.clock.now_micros();
+            let window = match (state.auth, state.noauth_window) {
+                (Some(auth), _) => Some((auth.start_micros(), auth.end_micros())),
+                (None, Some((lo, hi, _))) => Some((lo, hi)),
+                (None, None) => None,
+            };
+            if let Some((lo, hi)) = window {
+                if let Some(ts) = state.oracle.issue(now, lo, hi) {
+                    return Ok(ts);
+                }
+            }
+            if self.wait(&mut state, deadline) {
+                return Err(BeginError::DeadlineExceeded);
+            }
+        }
+    }
+
+    /// Marks a transaction's write-only phase complete. Returns
+    /// `Some(epoch)` when this completion allows a pending revocation to be
+    /// acknowledged — the caller must then send the ack to the EM.
+    pub fn txn_finished(&self, ticket: TxnTicket) -> Option<EpochId> {
+        let mut state = self.state.lock();
+        let count = state
+            .in_flight
+            .get_mut(&ticket.epoch)
+            .expect("finishing a transaction that was never started");
+        *count -= 1;
+        let drained = *count == 0;
+        if drained {
+            state.in_flight.remove(&ticket.epoch);
+        }
+        if drained && state.revoke_pending == Some(ticket.epoch) {
+            state.revoke_pending = None;
+            self.changed.notify_all();
+            return Some(ticket.epoch);
+        }
+        None
+    }
+
+    /// The settled visibility bound: reads at or below it observe immutable
+    /// history (modulo functor computing, which is deterministic).
+    pub fn visible_bound(&self) -> Timestamp {
+        self.state.lock().visible
+    }
+
+    /// Blocks until the visibility bound reaches `ts` — i.e. until the epoch
+    /// that contains `ts` has completed (§III-B latest-version reads).
+    ///
+    /// Returns `false` on shutdown or deadline.
+    pub fn wait_visible(&self, ts: Timestamp, deadline: Option<Instant>) -> bool {
+        let mut state = self.state.lock();
+        loop {
+            if state.visible >= ts {
+                return true;
+            }
+            if state.shutdown {
+                return false;
+            }
+            if self.wait(&mut state, deadline) {
+                return false;
+            }
+        }
+    }
+
+    /// Number of transactions currently in flight (all epochs).
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().in_flight.values().sum()
+    }
+
+    /// Current authorization, if any.
+    pub fn current_auth(&self) -> Option<Authorization> {
+        self.state.lock().auth
+    }
+
+    /// Wakes all waiters and makes subsequent calls fail.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock();
+        state.shutdown = true;
+        self.changed.notify_all();
+    }
+
+    /// Waits for a state change or the poll interval (whichever first),
+    /// respecting `deadline`. Returns `true` if the deadline has passed.
+    fn wait(&self, state: &mut parking_lot::MutexGuard<'_, ClientState>, deadline: Option<Instant>) -> bool {
+        // Poll-bounded wait: the clock may be a manual test clock that
+        // advances without notifying the condvar, so never sleep unbounded.
+        let until = match deadline {
+            Some(d) => {
+                if Instant::now() >= d {
+                    return true;
+                }
+                (Instant::now() + self.poll).min(d)
+            }
+            None => Instant::now() + self.poll,
+        };
+        self.changed.wait_until(state, until);
+        deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_common::ManualClock;
+
+    fn client_with_clock(allow_noauth: bool) -> (Arc<EpochClient>, ManualClock) {
+        let clock = ManualClock::new(0);
+        let client =
+            Arc::new(EpochClient::new(ServerId(1), Arc::new(clock.clone()), allow_noauth));
+        (client, clock)
+    }
+
+    fn grant(epoch: u64, start: u64, end: u64, settled: Timestamp) -> Grant {
+        Grant {
+            auth: Authorization::new(EpochId(epoch), start, end),
+            settled,
+            epoch_duration_micros: end - start,
+        }
+    }
+
+    #[test]
+    fn begin_txn_issues_within_authorization() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 100, 200, Timestamp::ZERO));
+        clock.set(150);
+        let ticket = client.begin_txn(None).unwrap();
+        assert!(ticket.authorized);
+        assert_eq!(ticket.epoch, EpochId(1));
+        assert!((100..=200).contains(&ticket.ts.micros()));
+        assert_eq!(client.in_flight(), 1);
+    }
+
+    #[test]
+    fn begin_txn_waits_for_first_grant() {
+        let (client, clock) = client_with_clock(false);
+        clock.set(50);
+        let c2 = Arc::clone(&client);
+        let t = std::thread::spawn(move || c2.begin_txn(None).unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+        client.on_grant(grant(1, 40, 400, Timestamp::ZERO));
+        let ticket = t.join().unwrap();
+        assert_eq!(ticket.epoch, EpochId(1));
+    }
+
+    #[test]
+    fn revoke_with_no_in_flight_acks_immediately() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        assert!(client.on_revoke(EpochId(1)));
+        assert!(client.current_auth().is_none());
+    }
+
+    #[test]
+    fn revoke_waits_for_in_flight_txn() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        let ticket = client.begin_txn(None).unwrap();
+        assert!(!client.on_revoke(EpochId(1)), "ack must be deferred");
+        let ack = client.txn_finished(ticket);
+        assert_eq!(ack, Some(EpochId(1)), "last finisher carries the ack");
+    }
+
+    #[test]
+    fn stale_revoke_is_ignored() {
+        let (client, _clock) = client_with_clock(false);
+        client.on_grant(grant(2, 0, 100, Timestamp::ZERO));
+        assert!(!client.on_revoke(EpochId(1)));
+        assert!(client.current_auth().is_some(), "current auth untouched");
+    }
+
+    #[test]
+    fn noauth_window_issues_bounded_timestamps() {
+        let (client, clock) = client_with_clock(true);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        assert!(client.on_revoke(EpochId(1)));
+        clock.set(120);
+        let ticket = client.begin_txn(None).unwrap();
+        assert!(!ticket.authorized);
+        assert_eq!(ticket.epoch, EpochId(2), "no-auth txns account to the next epoch");
+        // §III-C bound: ts <= finish(prev) + duration(next) = 100 + 100.
+        assert!(ticket.ts.micros() > 100 && ticket.ts.micros() <= 200, "{}", ticket.ts);
+    }
+
+    #[test]
+    fn noauth_disabled_blocks_until_next_grant() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        client.on_revoke(EpochId(1));
+        clock.set(120);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let err = client.begin_txn(Some(deadline)).unwrap_err();
+        assert_eq!(err, BeginError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn noauth_txn_blocks_next_epochs_revoke() {
+        let (client, clock) = client_with_clock(true);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        client.on_revoke(EpochId(1));
+        clock.set(110);
+        let noauth_ticket = client.begin_txn(None).unwrap();
+        assert_eq!(noauth_ticket.epoch, EpochId(2));
+        // Epoch 2 is granted and then revoked while the no-auth txn runs.
+        client.on_grant(grant(2, 150, 250, Timestamp::from_raw(1)));
+        assert!(!client.on_revoke(EpochId(2)), "no-auth txn must hold epoch 2 open");
+        assert_eq!(client.txn_finished(noauth_ticket), Some(EpochId(2)));
+    }
+
+    #[test]
+    fn visibility_advances_with_grants() {
+        let (client, _clock) = client_with_clock(false);
+        assert_eq!(client.visible_bound(), Timestamp::ZERO);
+        let settled = Timestamp::from_raw(12345);
+        client.on_grant(grant(2, 200, 300, settled));
+        assert_eq!(client.visible_bound(), settled);
+    }
+
+    #[test]
+    fn wait_visible_unblocks_on_grant() {
+        let (client, _clock) = client_with_clock(false);
+        let target = Timestamp::from_raw(500);
+        let c2 = Arc::clone(&client);
+        let waiter = std::thread::spawn(move || c2.wait_visible(target, None));
+        std::thread::sleep(Duration::from_millis(5));
+        client.on_grant(grant(2, 200, 300, Timestamp::from_raw(1000)));
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn read_timestamp_does_not_block_revocation() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        let _ts = client.assign_read_timestamp(None).unwrap();
+        assert!(client.on_revoke(EpochId(1)), "read-only assignment holds nothing open");
+    }
+
+    #[test]
+    fn shutdown_fails_pending_and_future_begins() {
+        let (client, _clock) = client_with_clock(false);
+        let c2 = Arc::clone(&client);
+        let t = std::thread::spawn(move || c2.begin_txn(None));
+        std::thread::sleep(Duration::from_millis(5));
+        client.shutdown();
+        assert_eq!(t.join().unwrap().unwrap_err(), BeginError::ShuttingDown);
+        assert_eq!(client.begin_txn(None).unwrap_err(), BeginError::ShuttingDown);
+    }
+
+    #[test]
+    fn tickets_are_strictly_increasing_across_epochs() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(50);
+        let t1 = client.begin_txn(None).unwrap();
+        client.txn_finished(t1);
+        client.on_revoke(EpochId(1));
+        client.on_grant(grant(2, 101, 200, Timestamp::ZERO));
+        clock.set(150);
+        let t2 = client.begin_txn(None).unwrap();
+        assert!(t2.ts > t1.ts);
+    }
+}

@@ -1,0 +1,43 @@
+//! Epoch-based concurrency control (ECC) for ALOHA-DB.
+//!
+//! ECC (§II) schedules transactions into *epochs* controlled by a central
+//! epoch manager (EM). A server may start transactions only while it holds an
+//! *authorization* — an epoch type plus a validity period — and transaction
+//! timestamps are generated decentrally by each front-end within that period.
+//! ALOHA-DB unifies read and write epochs into a single series of write
+//! epochs (§III-B): write transactions and historical reads proceed at any
+//! time, while latest-version reads are delayed to the next epoch.
+//!
+//! This crate implements:
+//!
+//! * [`Authorization`] / [`Grant`] — the epoch lease handed to front-ends.
+//! * [`TimestampOracle`] — decentralized, globally unique, monotone
+//!   timestamp generation within a validity window.
+//! * [`EpochClient`] — the front-end state machine: grant/revoke handling,
+//!   in-flight transaction tracking, visibility waits, and the straggler
+//!   optimization of §III-C (starting transactions *without* authorization
+//!   during an epoch switch, with a bounded timestamp).
+//! * [`EpochManager`] — the EM driver thread, generic over a transport.
+//!
+//! # Examples
+//!
+//! ```
+//! use aloha_common::{EpochId, ServerId, Timestamp};
+//! use aloha_epoch::{Authorization, TimestampOracle};
+//!
+//! let auth = Authorization::new(EpochId(1), 1_000, 26_000);
+//! let mut oracle = TimestampOracle::new(ServerId(2));
+//! let ts = oracle.issue(5_000, auth.start_micros(), auth.end_micros()).unwrap();
+//! assert!(auth.contains(ts));
+//! assert_eq!(ts.server(), ServerId(2));
+//! ```
+
+pub mod auth;
+pub mod client;
+pub mod manager;
+pub mod oracle;
+
+pub use auth::{Authorization, Grant};
+pub use client::{BeginError, EpochClient, TxnTicket};
+pub use manager::{EpochConfig, EpochManager, EpochTransport, RevokedAck};
+pub use oracle::TimestampOracle;

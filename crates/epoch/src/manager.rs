@@ -1,0 +1,365 @@
+//! The epoch manager (EM) driver.
+//!
+//! The EM "controls epoch changes by granting and revoking authorization at
+//! all the FEs, and thus determines when the FEs may start executing
+//! transactions" (§III-A). The driver is generic over an [`EpochTransport`]
+//! so the engine can run it over the cluster bus while tests run it over
+//! plain channels.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aloha_common::metrics::{Counter, Histogram};
+use aloha_common::{Clock, EpochId, ServerId, Timestamp};
+
+use crate::auth::{Authorization, Grant};
+
+/// Acknowledgement that a server has drained an epoch after revocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevokedAck {
+    /// The acknowledging server.
+    pub server: ServerId,
+    /// The epoch that finished draining there.
+    pub epoch: EpochId,
+}
+
+/// How the EM talks to the front-ends.
+pub trait EpochTransport: Send + 'static {
+    /// Delivers a grant to one server.
+    fn send_grant(&self, to: ServerId, grant: Grant);
+    /// Delivers a revocation to one server.
+    fn send_revoke(&self, to: ServerId, epoch: EpochId);
+    /// Receives the next ack, waiting at most `timeout`.
+    fn recv_ack(&self, timeout: Duration) -> Option<RevokedAck>;
+}
+
+/// EM configuration.
+#[derive(Debug, Clone)]
+pub struct EpochConfig {
+    /// Length of each unified (write) epoch. The paper's default is 25 ms.
+    pub epoch_duration: Duration,
+    /// The servers to authorize.
+    pub servers: Vec<ServerId>,
+    /// Granularity at which the EM polls its clock and the ack stream.
+    pub poll_interval: Duration,
+}
+
+impl EpochConfig {
+    /// A configuration with the paper's 25 ms epochs.
+    pub fn new(servers: Vec<ServerId>) -> EpochConfig {
+        EpochConfig {
+            epoch_duration: Duration::from_millis(25),
+            servers,
+            poll_interval: Duration::from_micros(200),
+        }
+    }
+
+    /// Overrides the epoch duration.
+    pub fn with_duration(mut self, duration: Duration) -> EpochConfig {
+        self.epoch_duration = duration;
+        self
+    }
+}
+
+/// Aggregate EM statistics.
+#[derive(Debug, Default)]
+pub struct EmStats {
+    epochs_completed: Counter,
+    switch_micros: Histogram,
+}
+
+impl EmStats {
+    /// Number of fully completed (granted, revoked, drained) epochs.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed.get()
+    }
+
+    /// Distribution of epoch-switch durations (revoke sent → all acks in),
+    /// during which no transaction can start under authorization.
+    pub fn switch_micros(&self) -> &Histogram {
+        &self.switch_micros
+    }
+}
+
+/// The epoch manager background thread.
+///
+/// Runs the grant → wait → revoke → drain cycle until shut down. Dropping the
+/// manager shuts it down and joins the thread.
+pub struct EpochManager {
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<EmStats>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EpochManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochManager")
+            .field("epochs_completed", &self.stats.epochs_completed())
+            .finish()
+    }
+}
+
+impl EpochManager {
+    /// Spawns the EM thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.servers` is empty.
+    pub fn spawn(
+        config: EpochConfig,
+        clock: Arc<dyn Clock>,
+        transport: impl EpochTransport,
+    ) -> EpochManager {
+        assert!(!config.servers.is_empty(), "epoch manager needs at least one server");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(EmStats::default());
+        let thread_shutdown = Arc::clone(&shutdown);
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("epoch-manager".into())
+            .spawn(move || run(config, clock, transport, thread_shutdown, thread_stats))
+            .expect("spawn epoch manager thread");
+        EpochManager { shutdown, stats, handle: Some(handle) }
+    }
+
+    /// EM statistics.
+    pub fn stats(&self) -> &EmStats {
+        &self.stats
+    }
+
+    /// Stops the EM and joins its thread.
+    pub fn close(mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for EpochManager {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run(
+    config: EpochConfig,
+    clock: Arc<dyn Clock>,
+    transport: impl EpochTransport,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<EmStats>,
+) {
+    let duration_micros = config.epoch_duration.as_micros() as u64;
+    let mut prev_finish_micros = clock.now_micros();
+    let mut prev_finish_ts = Timestamp::ZERO;
+    let mut epoch = EpochId(1);
+
+    while !shutdown.load(Ordering::SeqCst) {
+        let start = clock.now_micros().max(prev_finish_micros + 1);
+        let auth = Authorization::new(epoch, start, start + duration_micros);
+        let grant =
+            Grant { auth, settled: prev_finish_ts, epoch_duration_micros: duration_micros };
+        for &server in &config.servers {
+            transport.send_grant(server, grant);
+        }
+
+        // Let the epoch run out on the wall clock.
+        while clock.now_micros() < auth.end_micros() {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(config.poll_interval);
+        }
+
+        // Revoke and wait for every server to drain its in-flight
+        // transactions; this is the epoch-switch window.
+        let switch_started = std::time::Instant::now();
+        for &server in &config.servers {
+            transport.send_revoke(server, epoch);
+        }
+        let mut pending: HashSet<ServerId> = config.servers.iter().copied().collect();
+        while !pending.is_empty() {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(ack) = transport.recv_ack(config.poll_interval) {
+                if ack.epoch == epoch {
+                    pending.remove(&ack.server);
+                }
+            }
+        }
+        stats.switch_micros.record(switch_started.elapsed().as_micros() as u64);
+        stats.epochs_completed.incr();
+
+        prev_finish_micros = auth.end_micros();
+        prev_finish_ts = auth.finish_ts();
+        epoch = epoch.next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_common::clock::{ClockBase, SystemClock};
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use parking_lot::Mutex;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Event {
+        Grant(ServerId, Grant),
+        Revoke(ServerId, EpochId),
+    }
+
+    struct ChannelTransport {
+        events: Sender<Event>,
+        acks: Mutex<Receiver<RevokedAck>>,
+    }
+
+    impl EpochTransport for ChannelTransport {
+        fn send_grant(&self, to: ServerId, grant: Grant) {
+            let _ = self.events.send(Event::Grant(to, grant));
+        }
+        fn send_revoke(&self, to: ServerId, epoch: EpochId) {
+            let _ = self.events.send(Event::Revoke(to, epoch));
+        }
+        fn recv_ack(&self, timeout: Duration) -> Option<RevokedAck> {
+            self.acks.lock().recv_timeout(timeout).ok()
+        }
+    }
+
+    fn harness() -> (ChannelTransport, Receiver<Event>, Sender<RevokedAck>) {
+        let (etx, erx) = unbounded();
+        let (atx, arx) = unbounded();
+        (ChannelTransport { events: etx, acks: Mutex::new(arx) }, erx, atx)
+    }
+
+    #[test]
+    fn grants_then_revokes_then_next_epoch() {
+        let (transport, events, acks) = harness();
+        let servers = vec![ServerId(0), ServerId(1)];
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
+        let config = EpochConfig::new(servers.clone())
+            .with_duration(Duration::from_millis(3));
+        let em = EpochManager::spawn(config, clock, transport);
+
+        // Epoch 1: grants to both servers.
+        let mut grants = Vec::new();
+        for _ in 0..2 {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Grant(s, g) => grants.push((s, g)),
+                other => panic!("expected grant, got {other:?}"),
+            }
+        }
+        assert_eq!(grants[0].1.auth.epoch(), EpochId(1));
+        assert_eq!(grants[0].1.settled, Timestamp::ZERO);
+
+        // Revokes follow once the epoch expires.
+        for _ in 0..2 {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Revoke(s, e) => {
+                    assert_eq!(e, EpochId(1));
+                    acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                }
+                other => panic!("expected revoke, got {other:?}"),
+            }
+        }
+
+        // Epoch 2 grants arrive, with the settled bound at epoch 1's finish.
+        let mut second = Vec::new();
+        for _ in 0..2 {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Grant(s, g) => second.push((s, g)),
+                other => panic!("expected grant, got {other:?}"),
+            }
+        }
+        let e1_auth = grants[0].1.auth;
+        assert_eq!(second[0].1.auth.epoch(), EpochId(2));
+        assert_eq!(second[0].1.settled, e1_auth.finish_ts());
+        assert!(second[0].1.auth.start_micros() > e1_auth.end_micros());
+        em.close();
+    }
+
+    #[test]
+    fn missing_ack_stalls_next_epoch() {
+        let (transport, events, acks) = harness();
+        let servers = vec![ServerId(0), ServerId(1)];
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
+        let config =
+            EpochConfig::new(servers).with_duration(Duration::from_millis(2));
+        let em = EpochManager::spawn(config, clock, transport);
+
+        for _ in 0..2 {
+            assert!(matches!(events.recv_timeout(Duration::from_secs(1)).unwrap(), Event::Grant(..)));
+        }
+        // Only server 0 acks; server 1 is a straggler.
+        for _ in 0..2 {
+            if let Event::Revoke(s, e) = events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                if s == ServerId(0) {
+                    acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                }
+            }
+        }
+        // No grant for epoch 2 while the straggler holds the epoch open.
+        assert!(events.recv_timeout(Duration::from_millis(30)).is_err());
+        // Straggler finally acks; epoch 2 proceeds.
+        acks.send(RevokedAck { server: ServerId(1), epoch: EpochId(1) }).unwrap();
+        match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+            Event::Grant(_, g) => assert_eq!(g.auth.epoch(), EpochId(2)),
+            other => panic!("expected epoch-2 grant, got {other:?}"),
+        }
+        em.close();
+    }
+
+    #[test]
+    fn epochs_do_not_overlap() {
+        let (transport, events, acks) = harness();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
+        let config = EpochConfig::new(vec![ServerId(0)])
+            .with_duration(Duration::from_millis(2));
+        let em = EpochManager::spawn(config, clock, transport);
+        let mut last_end = 0u64;
+        let mut completed = 0;
+        while completed < 3 {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Grant(_, g) => {
+                    assert!(g.auth.start_micros() > last_end, "epochs must not overlap");
+                    last_end = g.auth.end_micros();
+                }
+                Event::Revoke(s, e) => {
+                    acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                    completed += 1;
+                }
+            }
+        }
+        em.close();
+    }
+
+    #[test]
+    fn stats_count_completed_epochs() {
+        let (transport, events, acks) = harness();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
+        let config = EpochConfig::new(vec![ServerId(0)])
+            .with_duration(Duration::from_millis(1));
+        let em = EpochManager::spawn(config, clock, transport);
+        let mut completed = 0;
+        while completed < 5 {
+            if let Ok(Event::Revoke(s, e)) = events.recv_timeout(Duration::from_secs(1)) {
+                acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                completed += 1;
+            }
+        }
+        // Allow the EM to record the last ack.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(em.stats().epochs_completed() >= 4);
+        em.close();
+    }
+}

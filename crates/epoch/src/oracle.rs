@@ -1,0 +1,172 @@
+//! Decentralized timestamp generation (§II).
+//!
+//! Each front-end owns a [`TimestampOracle`]. Timestamps embed the server id,
+//! so oracles on different servers can never collide; one oracle issues
+//! strictly increasing timestamps, so a single server's transactions are
+//! totally ordered. No cross-server coordination is ever required — this is
+//! the "decentralized timestamp assignment method" that lets ECC resolve
+//! transaction ordering across servers without a sequencer.
+
+use aloha_common::{ServerId, Timestamp};
+
+/// Issues globally unique, strictly increasing timestamps for one server.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::ServerId;
+/// use aloha_epoch::TimestampOracle;
+///
+/// let mut oracle = TimestampOracle::new(ServerId(1));
+/// let a = oracle.issue(100, 100, 200).unwrap();
+/// let b = oracle.issue(100, 100, 200).unwrap();
+/// assert!(b > a);
+/// ```
+#[derive(Debug)]
+pub struct TimestampOracle {
+    server: ServerId,
+    last: Timestamp,
+}
+
+impl TimestampOracle {
+    /// Creates an oracle for `server`.
+    pub fn new(server: ServerId) -> TimestampOracle {
+        TimestampOracle { server, last: Timestamp::ZERO }
+    }
+
+    /// The server this oracle stamps for.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// The most recently issued timestamp ([`Timestamp::ZERO`] if none).
+    pub fn last_issued(&self) -> Timestamp {
+        self.last
+    }
+
+    /// Issues the next timestamp for a transaction, given the local clock
+    /// reading `now_micros` and the validity window
+    /// `[window_start_micros, window_end_micros]` of the current
+    /// authorization (or of the §III-C no-authorization straggler window).
+    ///
+    /// The issued timestamp:
+    /// * has a microsecond component within the window,
+    /// * tracks the local clock when possible (so cross-server order
+    ///   approximates real time),
+    /// * is strictly greater than every timestamp issued before.
+    ///
+    /// Returns `None` when the window is exhausted — the clock has passed
+    /// `window_end_micros` or the sequence numbers within the last allowed
+    /// microsecond are used up. The caller then waits for the next epoch.
+    pub fn issue(
+        &mut self,
+        now_micros: u64,
+        window_start_micros: u64,
+        window_end_micros: u64,
+    ) -> Option<Timestamp> {
+        debug_assert!(window_start_micros <= window_end_micros);
+        if now_micros > window_end_micros {
+            return None;
+        }
+        let target_micros = now_micros.max(window_start_micros);
+        let candidate = Timestamp::from_parts(target_micros, self.server, 0);
+        let ts = if candidate > self.last {
+            candidate
+        } else {
+            // Same or earlier microsecond as the previous issue: bump the
+            // sequence, or spill into the next microsecond.
+            let last_micros = self.last.micros();
+            if self.last.seq() < Timestamp::MAX_SEQ {
+                Timestamp::from_parts(last_micros, self.server, self.last.seq() + 1)
+            } else if last_micros < window_end_micros {
+                Timestamp::from_parts(last_micros + 1, self.server, 0)
+            } else {
+                return None;
+            }
+        };
+        if ts.micros() > window_end_micros {
+            return None;
+        }
+        self.last = ts;
+        Some(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_are_strictly_increasing() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        let mut prev = Timestamp::ZERO;
+        for i in 0..1000 {
+            let ts = o.issue(100 + i / 100, 100, 200).expect("window not exhausted");
+            assert!(ts > prev, "issue {i} not increasing");
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn clock_before_window_clamps_to_window_start() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        let ts = o.issue(50, 100, 200).unwrap();
+        assert_eq!(ts.micros(), 100);
+    }
+
+    #[test]
+    fn clock_after_window_yields_none() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        assert!(o.issue(201, 100, 200).is_none());
+    }
+
+    #[test]
+    fn seq_exhaustion_spills_to_next_microsecond() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        for _ in 0..=Timestamp::MAX_SEQ {
+            o.issue(100, 100, 200).unwrap();
+        }
+        let spilled = o.issue(100, 100, 200).unwrap();
+        assert_eq!(spilled.micros(), 101);
+        assert_eq!(spilled.seq(), 0);
+    }
+
+    #[test]
+    fn window_fully_exhausted_yields_none() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        // Burn through every slot of a one-microsecond window.
+        for _ in 0..=Timestamp::MAX_SEQ {
+            assert!(o.issue(100, 100, 100).is_some());
+        }
+        assert!(o.issue(100, 100, 100).is_none());
+    }
+
+    #[test]
+    fn different_servers_never_collide() {
+        let mut a = TimestampOracle::new(ServerId(1));
+        let mut b = TimestampOracle::new(ServerId(2));
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500u64 {
+            assert!(seen.insert(a.issue(i, 0, 1000).unwrap()));
+            assert!(seen.insert(b.issue(i, 0, 1000).unwrap()));
+        }
+    }
+
+    #[test]
+    fn timestamps_stay_within_window() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        for now in [0u64, 120, 150, 500] {
+            if let Some(ts) = o.issue(now, 100, 200) {
+                assert!((100..=200).contains(&ts.micros()), "{ts}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_window_continues_monotone_across_epochs() {
+        let mut o = TimestampOracle::new(ServerId(0));
+        let last_old = o.issue(200, 100, 200).unwrap();
+        let first_new = o.issue(250, 250, 350).unwrap();
+        assert!(first_new > last_old);
+    }
+}

@@ -1,0 +1,152 @@
+//! Randomized state-machine tests for the front-end epoch client: whatever
+//! order grants, revokes, transaction starts and finishes arrive in, the
+//! safety invariants of ECC must hold.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aloha_common::{Clock, EpochId, ManualClock, ServerId, Timestamp};
+use aloha_epoch::{Authorization, EpochClient, Grant, TxnTicket};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Advance the manual clock by this many microseconds.
+    Tick(u16),
+    /// Try to start a transaction (non-blocking deadline).
+    Begin,
+    /// Finish the oldest in-flight transaction.
+    Finish,
+    /// Grant the next epoch.
+    Grant,
+    /// Revoke the current epoch.
+    Revoke,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u16..2_000).prop_map(Op::Tick),
+        Just(Op::Begin),
+        Just(Op::Finish),
+        Just(Op::Grant),
+        Just(Op::Revoke),
+    ]
+}
+
+#[derive(Default)]
+struct Model {
+    epoch: u64,
+    granted: Option<Authorization>,
+    last_finish_micros: u64,
+    acks: Vec<EpochId>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn client_invariants_hold_under_random_schedules(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        duration in 1_000u64..20_000,
+    ) {
+        let clock = ManualClock::new(0);
+        let client = Arc::new(EpochClient::new(
+            ServerId(1),
+            Arc::new(clock.clone()),
+            true,
+        ));
+        let mut model = Model::default();
+        let mut in_flight: Vec<TxnTicket> = Vec::new();
+        let mut last_ts = Timestamp::ZERO;
+
+        for op in ops {
+            match op {
+                Op::Tick(d) => clock.advance(d as u64),
+                Op::Grant => {
+                    // EM grants only after the previous epoch fully acked;
+                    // model that precondition.
+                    if model.granted.is_none() {
+                        model.epoch += 1;
+                        let start = clock.now_micros().max(model.last_finish_micros + 1);
+                        let auth = Authorization::new(EpochId(model.epoch), start, start + duration);
+                        model.granted = Some(auth);
+                        client.on_grant(Grant {
+                            auth,
+                            settled: if model.epoch == 1 {
+                                Timestamp::ZERO
+                            } else {
+                                Timestamp::from_parts(
+                                    model.last_finish_micros,
+                                    ServerId::MAX,
+                                    Timestamp::MAX_SEQ,
+                                )
+                            },
+                            epoch_duration_micros: duration,
+                        });
+                    }
+                }
+                Op::Revoke => {
+                    if let Some(auth) = model.granted.take() {
+                        model.last_finish_micros = auth.end_micros();
+                        if client.on_revoke(auth.epoch()) {
+                            model.acks.push(auth.epoch());
+                        }
+                    }
+                }
+                Op::Begin => {
+                    let deadline = Some(Instant::now() + Duration::from_millis(2));
+                    if let Ok(ticket) = client.begin_txn(deadline) {
+                        // Invariant 1: strictly increasing timestamps.
+                        prop_assert!(ticket.ts > last_ts, "timestamps must increase");
+                        last_ts = ticket.ts;
+                        // Invariant 2: authorized tickets lie inside the
+                        // authorization window; unauthorized ones inside the
+                        // §III-C bound.
+                        if ticket.authorized {
+                            let auth = model.granted.expect("authorized ticket without grant");
+                            prop_assert!(auth.contains(ticket.ts));
+                            prop_assert_eq!(ticket.epoch, auth.epoch());
+                        } else {
+                            prop_assert!(ticket.ts.micros() > model.last_finish_micros);
+                            prop_assert!(
+                                ticket.ts.micros() <= model.last_finish_micros + duration,
+                                "no-auth ts {} beyond bound {}",
+                                ticket.ts.micros(),
+                                model.last_finish_micros + duration
+                            );
+                            prop_assert_eq!(ticket.epoch, EpochId(model.epoch + 1));
+                        }
+                        in_flight.push(ticket);
+                    }
+                }
+                Op::Finish => {
+                    if let Some(ticket) = in_flight.pop() {
+                        if let Some(acked) = client.txn_finished(ticket) {
+                            model.acks.push(acked);
+                        }
+                    }
+                }
+            }
+        }
+        // Invariant 3: each epoch acked at most once and only revoked epochs
+        // are acked.
+        let mut acks = model.acks.clone();
+        acks.sort();
+        let unique = {
+            let mut a = acks.clone();
+            a.dedup();
+            a
+        };
+        prop_assert_eq!(acks.len(), unique.len(), "duplicate revoke acks");
+        for ack in &acks {
+            prop_assert!(ack.0 <= model.epoch);
+        }
+        // Drain remaining transactions: every pending revoke must ack.
+        while let Some(ticket) = in_flight.pop() {
+            if let Some(acked) = client.txn_finished(ticket) {
+                model.acks.push(acked);
+            }
+        }
+        prop_assert_eq!(client.in_flight(), 0);
+    }
+}

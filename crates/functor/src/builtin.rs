@@ -1,0 +1,215 @@
+//! Computation of the built-in f-types and the OCC validation handler.
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::{Error, Key, Result, Timestamp, Value};
+
+use crate::ftype::Functor;
+use crate::handler::{ComputeInput, Handler, HandlerOutput};
+
+/// Applies a numeric f-type (`ADD`/`SUBTR`/`MAX`/`MIN`) to the previous value
+/// of its own key.
+///
+/// Missing previous values are treated as the identity for the operation: 0
+/// for `ADD`/`SUBTR`, and the argument itself for `MAX`/`MIN` — i.e. the
+/// first write through a `MAX` functor establishes the value.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] if the previous value exists but is not an i64,
+/// or if the functor is not a numeric f-type. Callers map such logic errors
+/// to a transaction abort (§IV-C "arbitrary abort").
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::Value;
+/// use aloha_functor::{builtin, Functor};
+///
+/// let v = builtin::apply_numeric(&Functor::Max(10), Some(&Value::from_i64(3))).unwrap();
+/// assert_eq!(v.as_i64(), Some(10));
+/// let first = builtin::apply_numeric(&Functor::Min(7), None).unwrap();
+/// assert_eq!(first.as_i64(), Some(7));
+/// ```
+pub fn apply_numeric(functor: &Functor, prev: Option<&Value>) -> Result<Value> {
+    let prev_num = match prev {
+        Some(v) => Some(
+            v.as_i64()
+                .ok_or_else(|| Error::Codec("numeric functor over non-i64 value".into()))?,
+        ),
+        None => None,
+    };
+    let out = match (functor, prev_num) {
+        (Functor::Add(d), p) => p.unwrap_or(0).wrapping_add(*d),
+        (Functor::Subtr(d), p) => p.unwrap_or(0).wrapping_sub(*d),
+        (Functor::Max(d), Some(p)) => p.max(*d),
+        (Functor::Max(d), None) => *d,
+        (Functor::Min(d), Some(p)) => p.min(*d),
+        (Functor::Min(d), None) => *d,
+        (other, _) => {
+            return Err(Error::Codec(format!(
+                "apply_numeric called on non-numeric f-type {}",
+                other.ftype_name()
+            )))
+        }
+    };
+    Ok(Value::from_i64(out))
+}
+
+/// The optimistic method for dependent transactions (§IV-E, Hyder-style).
+///
+/// The front-end executes a dependent transaction against a snapshot at
+/// `tsr`, records the version of every read, pre-computes the write value,
+/// and installs an `OccValidate` functor at `tsw`. Computing the functor
+/// re-reads the read set at versions `< tsw` and aborts iff any read-set key
+/// changed after `tsr` — i.e. its latest version differs from the recorded
+/// snapshot version. Unlike Hyder's central log melding, each functor
+/// validates independently and in parallel.
+///
+/// The argument blob is produced by [`OccValidateHandler::encode_args`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OccValidateHandler;
+
+impl OccValidateHandler {
+    /// Encodes the OCC argument blob: the snapshot versions of the read set
+    /// and the pre-computed value to commit on successful validation.
+    pub fn encode_args(snapshot: &[(Key, Timestamp)], value: &Value) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(snapshot.len() as u32);
+        for (key, version) in snapshot {
+            w.put_bytes(key.as_bytes());
+            w.put_u64(version.raw());
+        }
+        w.put_bytes(value.as_bytes());
+        w.into_bytes()
+    }
+
+    fn decode_and_validate(&self, input: &ComputeInput<'_>) -> Result<HandlerOutput> {
+        let mut r = Reader::new(input.args);
+        let n = r.get_u32()?;
+        for _ in 0..n {
+            let key = Key::from(r.get_bytes()?);
+            let recorded = Timestamp::from_raw(r.get_u64()?);
+            let current = input
+                .reads
+                .get(&key)
+                .map(|vr| vr.version)
+                .unwrap_or(Timestamp::ZERO);
+            if current != recorded {
+                return Ok(HandlerOutput::abort());
+            }
+        }
+        let value = Value::from(r.get_bytes()?.to_vec());
+        Ok(HandlerOutput::commit(value))
+    }
+}
+
+impl Handler for OccValidateHandler {
+    fn compute(&self, input: &ComputeInput<'_>) -> HandlerOutput {
+        // A malformed argument blob is a logic error: abort the transaction
+        // rather than wedge the processor.
+        self.decode_and_validate(input).unwrap_or_else(|_| HandlerOutput::abort())
+    }
+
+    fn name(&self) -> &str {
+        "occ-validate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::{Reads, VersionedRead};
+
+    #[test]
+    fn add_and_subtr_treat_missing_as_zero() {
+        assert_eq!(apply_numeric(&Functor::Add(5), None).unwrap().as_i64(), Some(5));
+        assert_eq!(apply_numeric(&Functor::Subtr(5), None).unwrap().as_i64(), Some(-5));
+    }
+
+    #[test]
+    fn add_subtr_compose_with_previous() {
+        let prev = Value::from_i64(100);
+        assert_eq!(apply_numeric(&Functor::Add(50), Some(&prev)).unwrap().as_i64(), Some(150));
+        assert_eq!(apply_numeric(&Functor::Subtr(30), Some(&prev)).unwrap().as_i64(), Some(70));
+    }
+
+    #[test]
+    fn max_min_clamp() {
+        let prev = Value::from_i64(10);
+        assert_eq!(apply_numeric(&Functor::Max(3), Some(&prev)).unwrap().as_i64(), Some(10));
+        assert_eq!(apply_numeric(&Functor::Max(30), Some(&prev)).unwrap().as_i64(), Some(30));
+        assert_eq!(apply_numeric(&Functor::Min(3), Some(&prev)).unwrap().as_i64(), Some(3));
+        assert_eq!(apply_numeric(&Functor::Min(30), Some(&prev)).unwrap().as_i64(), Some(10));
+    }
+
+    #[test]
+    fn add_wraps_rather_than_panicking() {
+        let prev = Value::from_i64(i64::MAX);
+        let v = apply_numeric(&Functor::Add(1), Some(&prev)).unwrap();
+        assert_eq!(v.as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn non_numeric_previous_value_is_an_error() {
+        let prev = Value::new(vec![1, 2, 3]);
+        assert!(apply_numeric(&Functor::Add(1), Some(&prev)).is_err());
+    }
+
+    #[test]
+    fn non_numeric_ftype_is_an_error() {
+        assert!(apply_numeric(&Functor::Aborted, None).is_err());
+    }
+
+    fn occ_input_parts(
+        key: &Key,
+        snapshot_version: Timestamp,
+        current_version: Timestamp,
+    ) -> (Vec<u8>, Reads) {
+        let args = OccValidateHandler::encode_args(
+            &[(key.clone(), snapshot_version)],
+            &Value::from_i64(99),
+        );
+        let mut reads = Reads::new();
+        reads.insert(key.clone(), VersionedRead::found(current_version, Value::from_i64(1)));
+        (args, reads)
+    }
+
+    #[test]
+    fn occ_commits_when_versions_unchanged() {
+        let key = Key::from("a");
+        let ts = Timestamp::from_raw(10);
+        let (args, reads) = occ_input_parts(&key, ts, ts);
+        let input = ComputeInput { key: &key, version: Timestamp::from_raw(20), reads: &reads, args: &args };
+        let out = OccValidateHandler.compute(&input);
+        assert_eq!(out, HandlerOutput::commit(Value::from_i64(99)));
+    }
+
+    #[test]
+    fn occ_aborts_when_read_set_changed() {
+        let key = Key::from("a");
+        let (args, reads) = occ_input_parts(&key, Timestamp::from_raw(10), Timestamp::from_raw(15));
+        let input = ComputeInput { key: &key, version: Timestamp::from_raw(20), reads: &reads, args: &args };
+        let out = OccValidateHandler.compute(&input);
+        assert_eq!(out, HandlerOutput::abort());
+    }
+
+    #[test]
+    fn occ_aborts_when_snapshot_key_vanished() {
+        let key = Key::from("a");
+        let args = OccValidateHandler::encode_args(
+            &[(key.clone(), Timestamp::from_raw(10))],
+            &Value::from_i64(1),
+        );
+        let reads = Reads::new(); // key not gathered at all
+        let input = ComputeInput { key: &key, version: Timestamp::from_raw(20), reads: &reads, args: &args };
+        assert_eq!(OccValidateHandler.compute(&input), HandlerOutput::abort());
+    }
+
+    #[test]
+    fn occ_malformed_args_abort() {
+        let key = Key::from("a");
+        let reads = Reads::new();
+        let input = ComputeInput { key: &key, version: Timestamp::from_raw(1), reads: &reads, args: &[1] };
+        assert_eq!(OccValidateHandler.compute(&input), HandlerOutput::abort());
+    }
+}

@@ -1,0 +1,345 @@
+//! Handlers: the stored-procedure side of user-defined f-types.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use aloha_common::{Error, Key, Result, Timestamp, Value};
+
+use crate::ftype::{Functor, HandlerId};
+
+/// One gathered read: the version at which a value was found and the value
+/// itself (`None` when the key was deleted or never written).
+///
+/// The version is reported so that validation-style handlers (e.g. the OCC
+/// method for dependent transactions, §IV-E) can detect that a read-set key
+/// changed between two timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedRead {
+    /// Version the value was found at ([`Timestamp::ZERO`] when none).
+    pub version: Timestamp,
+    /// The value, or `None` for deleted/never-written keys.
+    pub value: Option<Value>,
+}
+
+impl VersionedRead {
+    /// A read that found nothing.
+    pub fn missing() -> VersionedRead {
+        VersionedRead { version: Timestamp::ZERO, value: None }
+    }
+
+    /// A read that found `value` at `version`.
+    pub fn found(version: Timestamp, value: Value) -> VersionedRead {
+        VersionedRead { version, value: Some(value) }
+    }
+}
+
+/// The gathered read-set values passed to a handler.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::{Key, Timestamp, Value};
+/// use aloha_functor::{Reads, VersionedRead};
+///
+/// let mut reads = Reads::new();
+/// reads.insert(Key::from("a"), VersionedRead::found(Timestamp::from_raw(1), Value::from_i64(5)));
+/// assert_eq!(reads.value(&Key::from("a")).unwrap().as_i64(), Some(5));
+/// assert!(reads.value(&Key::from("b")).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Reads {
+    entries: HashMap<Key, VersionedRead>,
+}
+
+impl Reads {
+    /// Creates an empty read set.
+    pub fn new() -> Reads {
+        Reads::default()
+    }
+
+    /// Records the read for `key`.
+    pub fn insert(&mut self, key: Key, read: VersionedRead) {
+        self.entries.insert(key, read);
+    }
+
+    /// The full read entry for `key`, if it was gathered.
+    pub fn get(&self, key: &Key) -> Option<&VersionedRead> {
+        self.entries.get(key)
+    }
+
+    /// Just the value for `key` (`None` if missing, deleted, or not gathered).
+    pub fn value(&self, key: &Key) -> Option<&Value> {
+        self.entries.get(key).and_then(|r| r.value.as_ref())
+    }
+
+    /// The i64 decoding of the value for `key`.
+    pub fn i64(&self, key: &Key) -> Option<i64> {
+        self.value(key).and_then(Value::as_i64)
+    }
+
+    /// Number of gathered reads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no reads were gathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over (key, read) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &VersionedRead)> {
+        self.entries.iter()
+    }
+}
+
+/// Everything a handler may inspect while computing one functor.
+#[derive(Debug)]
+pub struct ComputeInput<'a> {
+    /// The key the functor was written to.
+    pub key: &'a Key,
+    /// The functor's version (the transaction's timestamp).
+    pub version: Timestamp,
+    /// Values of the functor read set at versions `< version`.
+    pub reads: &'a Reads,
+    /// The f-argument blob.
+    pub args: &'a [u8],
+}
+
+/// The committed outcome of computing a functor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The key takes this value at the functor's version.
+    Commit(Value),
+    /// The transaction aborts; every functor of the transaction must reach
+    /// this same decision (§IV-C "arbitrary abort").
+    Abort,
+    /// The key is deleted at the functor's version.
+    Delete,
+}
+
+impl Outcome {
+    /// Converts the outcome into the final-form functor stored in its place.
+    pub fn into_functor(self) -> Functor {
+        match self {
+            Outcome::Commit(v) => Functor::Value(v),
+            Outcome::Abort => Functor::Aborted,
+            Outcome::Delete => Functor::Deleted,
+        }
+    }
+}
+
+/// A handler's full result: the outcome for the functor's own key plus any
+/// deferred writes to *dependent keys* (§IV-E key-dependency method).
+///
+/// Deferred writes are installed at the same version as the determinate
+/// functor that produced them, "because all the writes belong to the same
+/// transaction".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerOutput {
+    /// Outcome for the functor's own key.
+    pub outcome: Outcome,
+    /// Writes to dependent keys discovered during computation.
+    pub deferred_writes: Vec<(Key, Functor)>,
+}
+
+impl HandlerOutput {
+    /// A plain commit with no deferred writes.
+    pub fn commit(value: Value) -> HandlerOutput {
+        HandlerOutput { outcome: Outcome::Commit(value), deferred_writes: Vec::new() }
+    }
+
+    /// An abort decision.
+    pub fn abort() -> HandlerOutput {
+        HandlerOutput { outcome: Outcome::Abort, deferred_writes: Vec::new() }
+    }
+
+    /// A delete decision.
+    pub fn delete() -> HandlerOutput {
+        HandlerOutput { outcome: Outcome::Delete, deferred_writes: Vec::new() }
+    }
+
+    /// Attaches deferred writes to this output.
+    pub fn with_deferred(mut self, writes: Vec<(Key, Functor)>) -> HandlerOutput {
+        self.deferred_writes = writes;
+        self
+    }
+}
+
+/// A user-defined functor computing procedure.
+///
+/// Handlers must be deterministic functions of their [`ComputeInput`]: a
+/// functor may be computed speculatively by more than one thread, and all
+/// computations must agree. Handlers must not perform side effects other than
+/// returning deferred writes.
+pub trait Handler: Send + Sync {
+    /// Computes the functor's outcome from its gathered reads and argument.
+    fn compute(&self, input: &ComputeInput<'_>) -> HandlerOutput;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&ComputeInput<'_>) -> HandlerOutput + Send + Sync,
+{
+    fn compute(&self, input: &ComputeInput<'_>) -> HandlerOutput {
+        self(input)
+    }
+
+    fn name(&self) -> &str {
+        "closure"
+    }
+}
+
+/// Registry mapping [`HandlerId`]s to handlers.
+///
+/// The registry is immutable after construction (handlers are registered at
+/// cluster start, like stored procedures), so lookups need no lock.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_functor::{ComputeInput, HandlerId, HandlerOutput, HandlerRegistry};
+/// use aloha_common::Value;
+///
+/// let mut reg = HandlerRegistry::new();
+/// reg.register(HandlerId(1), |_input: &ComputeInput<'_>| {
+///     HandlerOutput::commit(Value::from_i64(7))
+/// });
+/// assert!(reg.get(HandlerId(1)).is_ok());
+/// assert!(reg.get(HandlerId(2)).is_err());
+/// ```
+#[derive(Default)]
+pub struct HandlerRegistry {
+    handlers: HashMap<HandlerId, Arc<dyn Handler>>,
+}
+
+impl HandlerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> HandlerRegistry {
+        HandlerRegistry::default()
+    }
+
+    /// Registers `handler` under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate ids — handler wiring is static configuration, so a
+    /// collision is a programming error.
+    pub fn register(&mut self, id: HandlerId, handler: impl Handler + 'static) {
+        let prev = self.handlers.insert(id, Arc::new(handler));
+        assert!(prev.is_none(), "duplicate handler registration for {id}");
+    }
+
+    /// Registers an already-shared handler under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate ids.
+    pub fn register_arc(&mut self, id: HandlerId, handler: Arc<dyn Handler>) {
+        let prev = self.handlers.insert(id, handler);
+        assert!(prev.is_none(), "duplicate handler registration for {id}");
+    }
+
+    /// Looks up the handler for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownHandler`] if no handler is registered.
+    pub fn get(&self, id: HandlerId) -> Result<&Arc<dyn Handler>> {
+        self.handlers.get(&id).ok_or(Error::UnknownHandler(id.0))
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+impl fmt::Debug for HandlerRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut ids: Vec<_> = self.handlers.keys().collect();
+        ids.sort();
+        f.debug_struct("HandlerRegistry").field("ids", &ids).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_handler(v: i64) -> impl Handler {
+        move |_input: &ComputeInput<'_>| HandlerOutput::commit(Value::from_i64(v))
+    }
+
+    #[test]
+    fn registry_dispatches() {
+        let mut reg = HandlerRegistry::new();
+        reg.register(HandlerId(1), constant_handler(5));
+        let reads = Reads::new();
+        let key = Key::from("k");
+        let input =
+            ComputeInput { key: &key, version: Timestamp::from_raw(9), reads: &reads, args: &[] };
+        let out = reg.get(HandlerId(1)).unwrap().compute(&input);
+        assert_eq!(out.outcome, Outcome::Commit(Value::from_i64(5)));
+    }
+
+    #[test]
+    fn unknown_handler_is_error() {
+        let reg = HandlerRegistry::new();
+        assert!(matches!(reg.get(HandlerId(9)), Err(Error::UnknownHandler(9))));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate handler")]
+    fn duplicate_registration_panics() {
+        let mut reg = HandlerRegistry::new();
+        reg.register(HandlerId(1), constant_handler(1));
+        reg.register(HandlerId(1), constant_handler(2));
+    }
+
+    #[test]
+    fn outcome_to_functor_mapping() {
+        assert_eq!(
+            Outcome::Commit(Value::from_i64(1)).into_functor(),
+            Functor::Value(Value::from_i64(1))
+        );
+        assert_eq!(Outcome::Abort.into_functor(), Functor::Aborted);
+        assert_eq!(Outcome::Delete.into_functor(), Functor::Deleted);
+    }
+
+    #[test]
+    fn reads_lookup_and_missing() {
+        let mut reads = Reads::new();
+        let k = Key::from("x");
+        reads.insert(k.clone(), VersionedRead::found(Timestamp::from_raw(4), Value::from_i64(2)));
+        assert_eq!(reads.i64(&k), Some(2));
+        assert_eq!(reads.get(&k).unwrap().version, Timestamp::from_raw(4));
+        assert!(reads.value(&Key::from("y")).is_none());
+        assert_eq!(reads.len(), 1);
+    }
+
+    #[test]
+    fn deferred_writes_attach() {
+        let out = HandlerOutput::commit(Value::from_i64(1))
+            .with_deferred(vec![(Key::from("dep"), Functor::value_i64(2))]);
+        assert_eq!(out.deferred_writes.len(), 1);
+    }
+
+    #[test]
+    fn missing_read_has_zero_version() {
+        let m = VersionedRead::missing();
+        assert_eq!(m.version, Timestamp::ZERO);
+        assert!(m.value.is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Functors: typed placeholders for the future value of a key.
+//!
+//! A *functor* (§IV of the paper) is written into the multi-version store in
+//! place of a concrete value during a write epoch, and is *computed* — turned
+//! into its immutable final form — asynchronously after the epoch, or on
+//! demand when a read encounters it. Functor computing only reads historical
+//! versions, so it needs no locks; this is what lets ECC support serializable
+//! read-write transactions without aborting on conflicts.
+//!
+//! The crate provides:
+//!
+//! * [`Functor`] — the f-type/f-argument representation of Table I:
+//!   `VALUE`, `ABORTED`, `DELETED`, the numeric self-referential types
+//!   `ADD`/`SUBTR`/`MAX`/`MIN`, and user-defined functors carrying a read set,
+//!   argument blob and recipient set.
+//! * [`Handler`] and [`HandlerRegistry`] — the stored-procedure side of
+//!   user-defined f-types.
+//! * [`builtin`] — computation of the numeric f-types and the
+//!   [`builtin::OccValidateHandler`] used by the optimistic method for
+//!   dependent transactions (§IV-E).
+//!
+//! # Examples
+//!
+//! ```
+//! use aloha_common::Value;
+//! use aloha_functor::{builtin, Functor};
+//!
+//! // An ADD functor applied to a previous balance of 150 yields 250.
+//! let functor = Functor::add(100);
+//! let out = builtin::apply_numeric(&functor, Some(&Value::from_i64(150))).unwrap();
+//! assert_eq!(out.as_i64(), Some(250));
+//! ```
+
+pub mod builtin;
+pub mod ftype;
+pub mod handler;
+
+pub use ftype::{Functor, HandlerId, UserFunctor};
+pub use handler::{
+    ComputeInput, Handler, HandlerOutput, HandlerRegistry, Outcome, Reads, VersionedRead,
+};

@@ -1,0 +1,348 @@
+//! The cluster message bus: named endpoints plus fire-and-forget delivery.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aloha_common::metrics::Counter;
+use aloha_common::{Error, Result, ServerId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+
+use crate::delay::{DelayLine, NetConfig};
+
+/// A network address inside the simulated cluster.
+///
+/// Matches the paper's process roles: one FE/BE server process per host, one
+/// epoch manager, and external client drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Addr {
+    /// A server process (front-end + back-end pair).
+    Server(ServerId),
+    /// The epoch manager process.
+    EpochManager,
+    /// A client driver, identified by an arbitrary number.
+    Client(u64),
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Server(s) => write!(f, "{s}"),
+            Addr::EpochManager => write!(f, "em"),
+            Addr::Client(c) => write!(f, "c{c}"),
+        }
+    }
+}
+
+/// Aggregate traffic statistics for a [`Bus`].
+#[derive(Debug, Default)]
+pub struct NetStats {
+    messages: Counter,
+    dropped: Counter,
+}
+
+impl NetStats {
+    /// Total messages successfully handed to an endpoint queue.
+    pub fn messages(&self) -> u64 {
+        self.messages.get()
+    }
+
+    /// Messages addressed to missing or shut-down endpoints.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+type Registry<M> = Arc<RwLock<HashMap<Addr, Sender<M>>>>;
+
+struct BusInner<M: Send + 'static> {
+    registry: Registry<M>,
+    delay: Option<DelayLine<(Addr, M)>>,
+    stats: Arc<NetStats>,
+}
+
+/// The shared in-process network connecting every simulated process.
+///
+/// Cloning a `Bus` is cheap; all clones deliver into the same endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::ServerId;
+/// use aloha_net::{Addr, Bus, NetConfig};
+///
+/// let bus: Bus<u64> = Bus::new(NetConfig::instant());
+/// let ep = bus.register(Addr::Server(ServerId(1)));
+/// bus.send(Addr::Server(ServerId(1)), 7).unwrap();
+/// assert_eq!(ep.recv().unwrap(), 7);
+/// ```
+pub struct Bus<M: Send + 'static> {
+    inner: Arc<BusInner<M>>,
+}
+
+impl<M: Send + 'static> Clone for Bus<M> {
+    fn clone(&self) -> Self {
+        Bus { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Send + 'static> fmt::Debug for Bus<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus")
+            .field("endpoints", &self.inner.registry.read().len())
+            .field("messages", &self.inner.stats.messages())
+            .finish()
+    }
+}
+
+fn deliver_direct<M: Send>(registry: &Registry<M>, stats: &NetStats, to: Addr, msg: M) {
+    let guard = registry.read();
+    match guard.get(&to) {
+        Some(tx) if tx.send(msg).is_ok() => stats.messages.incr(),
+        _ => stats.dropped.incr(),
+    }
+}
+
+impl<M: Send + 'static> Bus<M> {
+    /// Creates a bus with the given network behavior.
+    pub fn new(config: NetConfig) -> Bus<M> {
+        let registry: Registry<M> = Arc::new(RwLock::new(HashMap::new()));
+        let stats = Arc::new(NetStats::default());
+        let delay = if config.is_instant() {
+            None
+        } else {
+            let reg = Arc::clone(&registry);
+            let st = Arc::clone(&stats);
+            Some(DelayLine::spawn(config, move |(to, msg)| {
+                deliver_direct(&reg, &st, to, msg);
+            }))
+        };
+        Bus { inner: Arc::new(BusInner { registry, delay, stats }) }
+    }
+
+    /// Registers an endpoint, returning its receive side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already registered — cluster wiring is static in
+    /// this reproduction, so a duplicate registration is a programming error.
+    pub fn register(&self, addr: Addr) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        let prev = self.inner.registry.write().insert(addr, tx);
+        assert!(prev.is_none(), "duplicate endpoint registration for {addr}");
+        Endpoint { addr, rx }
+    }
+
+    /// Removes an endpoint; subsequent sends to it are counted as dropped.
+    pub fn deregister(&self, addr: Addr) {
+        self.inner.registry.write().remove(&addr);
+    }
+
+    /// Sends a message to `to`, applying the configured network delay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the destination is not currently
+    /// registered and the network is instant (with a delay line the miss is
+    /// only observable asynchronously, so it is counted in
+    /// [`NetStats::dropped`] instead).
+    pub fn send(&self, to: Addr, msg: M) -> Result<()> {
+        match &self.inner.delay {
+            Some(line) => {
+                line.push((to, msg));
+                Ok(())
+            }
+            None => {
+                let guard = self.inner.registry.read();
+                match guard.get(&to) {
+                    Some(tx) if tx.send(msg).is_ok() => {
+                        self.inner.stats.messages.incr();
+                        Ok(())
+                    }
+                    _ => {
+                        self.inner.stats.dropped.incr();
+                        Err(Error::Disconnected(to.to_string()))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Traffic statistics for this bus.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Addresses currently registered.
+    pub fn addresses(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = self.inner.registry.read().keys().copied().collect();
+        addrs.sort();
+        addrs
+    }
+}
+
+/// The receive side of a registered bus address.
+#[derive(Debug)]
+pub struct Endpoint<M> {
+    addr: Addr,
+    rx: Receiver<M>,
+}
+
+impl<M> Endpoint<M> {
+    /// The address this endpoint is registered under.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] once the bus is gone and the queue is
+    /// drained.
+    pub fn recv(&self) -> Result<M> {
+        self.rx.recv().map_err(|_| Error::Disconnected(self.addr.to_string()))
+    }
+
+    /// Blocks for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timeout`] on timeout, [`Error::Disconnected`] if the
+    /// bus is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<M> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout(format!("recv on {}", self.addr))),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Disconnected(self.addr.to_string()))
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<M> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of queued messages.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(i: u16) -> Addr {
+        Addr::Server(ServerId(i))
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let bus: Bus<u32> = Bus::new(NetConfig::instant());
+        let a = bus.register(server(0));
+        let b = bus.register(server(1));
+        bus.send(server(0), 10).unwrap();
+        bus.send(server(1), 20).unwrap();
+        assert_eq!(a.recv().unwrap(), 10);
+        assert_eq!(b.recv().unwrap(), 20);
+        assert_eq!(bus.stats().messages(), 2);
+    }
+
+    #[test]
+    fn unknown_destination_errors_when_instant() {
+        let bus: Bus<u32> = Bus::new(NetConfig::instant());
+        let err = bus.send(server(9), 1).unwrap_err();
+        assert!(matches!(err, Error::Disconnected(_)));
+        assert_eq!(bus.stats().dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate endpoint")]
+    fn duplicate_registration_panics() {
+        let bus: Bus<u32> = Bus::new(NetConfig::instant());
+        let _a = bus.register(server(0));
+        let _b = bus.register(server(0));
+    }
+
+    #[test]
+    fn delayed_delivery_reaches_endpoint() {
+        let bus: Bus<u32> = Bus::new(NetConfig::with_latency(Duration::from_millis(2)));
+        let ep = bus.register(server(0));
+        bus.send(server(0), 5).unwrap();
+        assert_eq!(ep.recv_timeout(Duration::from_secs(1)).unwrap(), 5);
+    }
+
+    #[test]
+    fn deregistered_endpoint_counts_drops() {
+        let bus: Bus<u32> = Bus::new(NetConfig::instant());
+        let ep = bus.register(server(0));
+        bus.deregister(server(0));
+        let _ = bus.send(server(0), 1);
+        assert_eq!(bus.stats().dropped(), 1);
+        drop(ep);
+    }
+
+    #[test]
+    fn per_sender_fifo_is_preserved() {
+        let bus: Bus<u32> = Bus::new(NetConfig::instant());
+        let ep = bus.register(server(0));
+        for i in 0..100 {
+            bus.send(server(0), i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(ep.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn many_senders_one_receiver() {
+        let bus: Bus<u64> = Bus::new(NetConfig::instant());
+        let ep = bus.register(server(0));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let bus = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        bus.send(server(0), t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(m) = ep.try_recv() {
+            got.push(m);
+        }
+        assert_eq!(got.len(), 800);
+    }
+
+    #[test]
+    fn addresses_are_sorted() {
+        let bus: Bus<u8> = Bus::new(NetConfig::instant());
+        let _em = bus.register(Addr::EpochManager);
+        let _s1 = bus.register(server(1));
+        let _s0 = bus.register(server(0));
+        assert_eq!(
+            bus.addresses(),
+            vec![server(0), server(1), Addr::EpochManager]
+        );
+    }
+
+    #[test]
+    fn endpoint_backlog_reflects_queue() {
+        let bus: Bus<u8> = Bus::new(NetConfig::instant());
+        let ep = bus.register(server(0));
+        bus.send(server(0), 1).unwrap();
+        bus.send(server(0), 2).unwrap();
+        assert_eq!(ep.backlog(), 2);
+        ep.recv().unwrap();
+        assert_eq!(ep.backlog(), 1);
+    }
+}

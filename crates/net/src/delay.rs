@@ -1,0 +1,295 @@
+//! Latency injection: a delay line that holds messages until their delivery
+//! deadline.
+//!
+//! With [`NetConfig::instant`] messages bypass the delay line entirely
+//! (function-call latency), which is the default for throughput benchmarks on
+//! one machine. With a nonzero base latency the [`DelayLine`] thread releases
+//! each message after `latency ± jitter`, emulating a datacenter network hop
+//! as described in §III-A of the paper ("good network performance and
+//! predictability, e.g. low jitter, help our system").
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Network behavior knobs for a simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use aloha_net::NetConfig;
+///
+/// let lan = NetConfig::with_latency(Duration::from_micros(100));
+/// assert!(!lan.is_instant());
+/// assert!(NetConfig::instant().is_instant());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Base one-way delivery latency applied to every message.
+    pub latency: Duration,
+    /// Uniform jitter in `[0, jitter]` added on top of `latency`.
+    pub jitter: Duration,
+    /// Seed for the jitter generator, so simulated runs are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl NetConfig {
+    /// Zero-latency configuration: messages are delivered synchronously.
+    pub fn instant() -> NetConfig {
+        NetConfig { latency: Duration::ZERO, jitter: Duration::ZERO, jitter_seed: 0 }
+    }
+
+    /// Fixed-latency configuration without jitter.
+    pub fn with_latency(latency: Duration) -> NetConfig {
+        NetConfig { latency, jitter: Duration::ZERO, jitter_seed: 0 }
+    }
+
+    /// Latency plus uniform jitter.
+    pub fn with_jitter(latency: Duration, jitter: Duration, seed: u64) -> NetConfig {
+        NetConfig { latency, jitter, jitter_seed: seed }
+    }
+
+    /// Whether messages bypass the delay line.
+    pub fn is_instant(&self) -> bool {
+        self.latency.is_zero() && self.jitter.is_zero()
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+struct Pending<T> {
+    due: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+struct Shared<T> {
+    queue: Mutex<DelayState<T>>,
+    wakeup: Condvar,
+}
+
+struct DelayState<T> {
+    heap: BinaryHeap<Reverse<Pending<T>>>,
+    rng: SmallRng,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// A background thread that releases items after a configured delay, in due
+/// order, by invoking a delivery callback.
+///
+/// Items with equal deadlines are released in submission order, so a
+/// zero-jitter delay line preserves per-sender FIFO ordering — matching TCP
+/// semantics that the paper's RPC layer relies on.
+pub struct DelayLine<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    config: NetConfig,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DelayLine").field("config", &self.config).finish()
+    }
+}
+
+impl<T: Send + 'static> DelayLine<T> {
+    /// Spawns a delay line delivering via `deliver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with an instant configuration; callers should bypass
+    /// the delay line instead (see [`NetConfig::is_instant`]).
+    pub fn spawn(config: NetConfig, deliver: impl Fn(T) + Send + 'static) -> DelayLine<T> {
+        assert!(!config.is_instant(), "use direct delivery for instant networks");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(DelayState {
+                heap: BinaryHeap::new(),
+                rng: SmallRng::seed_from_u64(config.jitter_seed),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("net-delay".into())
+            .spawn(move || Self::run(worker_shared, deliver))
+            .expect("spawn delay line thread");
+        DelayLine { shared, config, worker: Some(worker) }
+    }
+
+    fn run(shared: Arc<Shared<T>>, deliver: impl Fn(T)) {
+        let mut guard = shared.queue.lock();
+        loop {
+            if guard.shutdown && guard.heap.is_empty() {
+                return;
+            }
+            let now = Instant::now();
+            match guard.heap.peek() {
+                Some(Reverse(head)) if head.due <= now => {
+                    let Reverse(p) = guard.heap.pop().expect("peeked entry exists");
+                    // Deliver outside the lock so callbacks may re-enqueue.
+                    drop(guard);
+                    deliver(p.item);
+                    guard = shared.queue.lock();
+                }
+                Some(Reverse(head)) => {
+                    let due = head.due;
+                    shared.wakeup.wait_until(&mut guard, due);
+                }
+                None => {
+                    if guard.shutdown {
+                        return;
+                    }
+                    shared.wakeup.wait(&mut guard);
+                }
+            }
+        }
+    }
+
+    /// Enqueues an item for delayed delivery.
+    pub fn push(&self, item: T) {
+        let mut guard = self.shared.queue.lock();
+        if guard.shutdown {
+            return;
+        }
+        let jitter = if self.config.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let nanos = guard.rng.gen_range(0..=self.config.jitter.as_nanos() as u64);
+            Duration::from_nanos(nanos)
+        };
+        let due = Instant::now() + self.config.latency + jitter;
+        let seq = guard.next_seq;
+        guard.next_seq += 1;
+        guard.heap.push(Reverse(Pending { due, seq, item }));
+        self.shared.wakeup.notify_one();
+    }
+
+    /// Requests shutdown and waits for all pending items to be delivered.
+    pub fn close(mut self) {
+        self.begin_shutdown();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut guard = self.shared.queue.lock();
+        guard.shutdown = true;
+        self.shared.wakeup.notify_all();
+    }
+}
+
+impl<T: Send + 'static> Drop for DelayLine<T> {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn delivers_after_latency() {
+        let (tx, rx) = mpsc::channel();
+        let line = DelayLine::spawn(NetConfig::with_latency(Duration::from_millis(5)), move |v| {
+            tx.send(v).unwrap();
+        });
+        let start = Instant::now();
+        line.push(1u32);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        line.close();
+    }
+
+    #[test]
+    fn preserves_fifo_without_jitter() {
+        let (tx, rx) = mpsc::channel();
+        let line = DelayLine::spawn(NetConfig::with_latency(Duration::from_millis(1)), move |v| {
+            tx.send(v).unwrap();
+        });
+        for i in 0..100u32 {
+            line.push(i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        line.close();
+    }
+
+    #[test]
+    fn close_flushes_pending() {
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&delivered);
+        let line = DelayLine::spawn(NetConfig::with_latency(Duration::from_millis(2)), move |_: u8| {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        for _ in 0..10 {
+            line.push(0);
+        }
+        line.close();
+        assert_eq!(delivered.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let (tx, rx) = mpsc::channel();
+        let line = DelayLine::spawn(
+            NetConfig::with_jitter(Duration::from_millis(1), Duration::from_millis(2), 42),
+            move |v: Instant| {
+                tx.send((v, Instant::now())).unwrap();
+            },
+        );
+        for _ in 0..20 {
+            line.push(Instant::now());
+        }
+        for _ in 0..20 {
+            let (sent, got) = rx.recv().unwrap();
+            let dt = got - sent;
+            assert!(dt >= Duration::from_millis(1), "{dt:?}");
+            assert!(dt < Duration::from_millis(50), "{dt:?}");
+        }
+        line.close();
+    }
+
+    #[test]
+    #[should_panic(expected = "instant")]
+    fn instant_config_panics() {
+        let _ = DelayLine::spawn(NetConfig::instant(), |_: u8| {});
+    }
+}

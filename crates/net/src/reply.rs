@@ -1,0 +1,131 @@
+//! One-shot reply channels for request/reply messaging.
+//!
+//! A request message carries a [`ReplySlot`]; the responder fulfils it once
+//! via [`ReplySlot::send`], and the requester blocks on the matching
+//! [`ReplyHandle`]. This mirrors RPC response correlation in the paper's
+//! fbthrift layer without a real wire protocol.
+
+use std::time::Duration;
+
+use aloha_common::{Error, Result};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+/// The responder's half of a one-shot reply channel.
+///
+/// Dropping an unfulfilled slot causes the requester to observe
+/// [`Error::Disconnected`], modeling a responder crash.
+#[derive(Debug)]
+pub struct ReplySlot<T> {
+    tx: Sender<T>,
+}
+
+/// The requester's half of a one-shot reply channel.
+#[derive(Debug)]
+pub struct ReplyHandle<T> {
+    rx: Receiver<T>,
+}
+
+/// Creates a connected ([`ReplySlot`], [`ReplyHandle`]) pair.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_net::reply_pair;
+/// let (slot, handle) = reply_pair::<u32>();
+/// slot.send(7);
+/// assert_eq!(handle.wait().unwrap(), 7);
+/// ```
+pub fn reply_pair<T>() -> (ReplySlot<T>, ReplyHandle<T>) {
+    let (tx, rx) = bounded(1);
+    (ReplySlot { tx }, ReplyHandle { rx })
+}
+
+impl<T> ReplySlot<T> {
+    /// Fulfils the reply. Returns `false` if the requester has gone away
+    /// (which responders treat as harmless).
+    pub fn send(self, value: T) -> bool {
+        self.tx.send(value).is_ok()
+    }
+}
+
+impl<T> ReplyHandle<T> {
+    /// Blocks until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the responder dropped its slot
+    /// without replying.
+    pub fn wait(self) -> Result<T> {
+        self.rx.recv().map_err(|_| Error::Disconnected("reply slot dropped".into()))
+    }
+
+    /// Blocks until the reply arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timeout`] on timeout and [`Error::Disconnected`] if
+    /// the responder dropped its slot.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout("rpc reply".into())),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Disconnected("reply slot dropped".into()))
+            }
+        }
+    }
+
+    /// Polls for the reply without blocking.
+    pub fn try_wait(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let (slot, handle) = reply_pair();
+        assert!(slot.send(41));
+        assert_eq!(handle.wait().unwrap(), 41);
+    }
+
+    #[test]
+    fn dropped_slot_is_disconnected() {
+        let (slot, handle) = reply_pair::<()>();
+        drop(slot);
+        assert!(matches!(handle.wait(), Err(Error::Disconnected(_))));
+    }
+
+    #[test]
+    fn dropped_handle_makes_send_return_false() {
+        let (slot, handle) = reply_pair::<u8>();
+        drop(handle);
+        assert!(!slot.send(1));
+    }
+
+    #[test]
+    fn timeout_fires_when_no_reply() {
+        let (_slot, handle) = reply_pair::<u8>();
+        let err = handle.wait_timeout(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)));
+    }
+
+    #[test]
+    fn cross_thread_reply() {
+        let (slot, handle) = reply_pair();
+        let t = std::thread::spawn(move || slot.send(99));
+        assert_eq!(handle.wait().unwrap(), 99);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_wait_is_nonblocking() {
+        let (slot, handle) = reply_pair();
+        assert!(handle.try_wait().is_none());
+        slot.send(5);
+        assert_eq!(handle.try_wait(), Some(5));
+    }
+}

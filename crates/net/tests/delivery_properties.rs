@@ -1,0 +1,77 @@
+//! Delivery-guarantee tests for the simulated network: exactly-once
+//! delivery, per-sender ordering without jitter, and no loss under jitter.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use aloha_common::ServerId;
+use aloha_net::{Addr, Bus, NetConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With latency but no jitter, each sender's messages arrive in order
+    /// and exactly once, regardless of the interleaving of senders.
+    #[test]
+    fn fifo_exactly_once_per_sender(
+        counts in proptest::collection::vec(1usize..40, 1..4),
+        latency_us in 1u64..500,
+    ) {
+        let bus: Bus<(usize, usize)> = Bus::new(NetConfig::with_latency(
+            Duration::from_micros(latency_us),
+        ));
+        let rx = bus.register(Addr::Server(ServerId(0)));
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(sender, &n)| {
+                let bus = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        bus.send(Addr::Server(ServerId(0)), (sender, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = counts.iter().sum();
+        let mut last_per_sender: HashMap<usize, usize> = HashMap::new();
+        let mut received = 0usize;
+        while received < total {
+            let (sender, i) = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            if let Some(prev) = last_per_sender.get(&sender) {
+                prop_assert!(i > *prev, "sender {} reordered: {} after {}", sender, i, prev);
+            }
+            last_per_sender.insert(sender, i);
+            received += 1;
+        }
+        prop_assert!(rx.try_recv().is_none(), "duplicate deliveries");
+    }
+
+    /// With jitter, ordering may change but delivery stays exactly-once.
+    #[test]
+    fn jitter_preserves_exactly_once(
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let bus: Bus<usize> = Bus::new(NetConfig::with_jitter(
+            Duration::from_micros(10),
+            Duration::from_micros(200),
+            seed,
+        ));
+        let rx = bus.register(Addr::Server(ServerId(0)));
+        for i in 0..n {
+            bus.send(Addr::Server(ServerId(0)), i).unwrap();
+        }
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let i = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            prop_assert!(!seen[i], "message {} delivered twice", i);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "missing messages");
+    }
+}

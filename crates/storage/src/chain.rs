@@ -1,0 +1,351 @@
+//! Per-key ordered version chains with value watermarks (Fig 4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aloha_common::Timestamp;
+use aloha_functor::Functor;
+use parking_lot::RwLock;
+
+/// One version record: a version number plus a functor cell that is replaced
+/// by its final form at most once.
+///
+/// The paper stores `<version, f-type, f-argument>` triples; here the functor
+/// enum carries both the f-type and the f-argument. The cell is guarded by a
+/// light reader-writer lock: once a record sinks below its key's value
+/// watermark it is immutable and the lock is always uncontended.
+#[derive(Debug)]
+pub struct Record {
+    version: Timestamp,
+    cell: RwLock<Functor>,
+}
+
+impl Record {
+    fn new(version: Timestamp, functor: Functor) -> Record {
+        Record { version, cell: RwLock::new(functor) }
+    }
+
+    /// The version (transaction timestamp) of this record.
+    pub fn version(&self) -> Timestamp {
+        self.version
+    }
+
+    /// Snapshot of the current functor.
+    pub fn load(&self) -> Functor {
+        self.cell.read().clone()
+    }
+
+    /// Whether the record already holds a final form.
+    pub fn is_final(&self) -> bool {
+        self.cell.read().is_final()
+    }
+
+    /// Replaces the functor with its final form, once.
+    ///
+    /// Returns `true` if this call performed the replacement, `false` if the
+    /// record was already final (another thread computed it first — benign,
+    /// because functor computation is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_form` is not final; storing a non-final functor here
+    /// would violate the compute-at-most-once invariant.
+    pub fn finalize(&self, final_form: Functor) -> bool {
+        assert!(final_form.is_final(), "finalize called with non-final functor {final_form}");
+        let mut guard = self.cell.write();
+        if guard.is_final() {
+            return false;
+        }
+        *guard = final_form;
+        true
+    }
+
+    /// Forcibly rewrites the record to `ABORTED`.
+    ///
+    /// Used by the coordinator's second-round abort (§V-A2) for versions
+    /// installed in the current epoch; such versions are not yet visible to
+    /// readers, so the rewrite is safe even if the record was final.
+    pub fn force_abort(&self) {
+        *self.cell.write() = Functor::Aborted;
+    }
+}
+
+/// The ordered multi-version chain for one key.
+///
+/// Versions are kept sorted ascending. Writes arrive in nearly sorted order
+/// (timestamps are drawn from synchronized clocks within an epoch), so
+/// insertion is amortized O(1): push at the tail and rotate backwards past
+/// the few out-of-order predecessors. The paper uses a linked list of arrays;
+/// a contiguous growable vector gives the same ordered-scan behavior with
+/// better locality in Rust.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::Timestamp;
+/// use aloha_functor::Functor;
+/// use aloha_storage::VersionChain;
+///
+/// let chain = VersionChain::new();
+/// chain.insert(Timestamp::from_raw(10), Functor::value_i64(1));
+/// chain.insert(Timestamp::from_raw(5), Functor::value_i64(0));
+/// let rec = chain.latest_at_or_below(Timestamp::from_raw(7)).unwrap();
+/// assert_eq!(rec.version(), Timestamp::from_raw(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct VersionChain {
+    records: RwLock<Vec<Arc<Record>>>,
+    /// Versions `<=` this are all final (the paper's *value watermark*;
+    /// `Timestamp::ZERO.raw()` when nothing is settled).
+    watermark: AtomicU64,
+}
+
+impl VersionChain {
+    /// Creates an empty chain.
+    pub fn new() -> VersionChain {
+        VersionChain::default()
+    }
+
+    /// Inserts a record, keeping versions sorted.
+    ///
+    /// Returns `false` (and changes nothing) if the version already exists:
+    /// installs are idempotent so that deferred writes and retried messages
+    /// are harmless.
+    pub fn insert(&self, version: Timestamp, functor: Functor) -> bool {
+        let mut recs = self.records.write();
+        // Fast path: strictly ascending append.
+        if recs.last().is_none_or(|r| r.version < version) {
+            recs.push(Arc::new(Record::new(version, functor)));
+            return true;
+        }
+        match recs.binary_search_by_key(&version, |r| r.version) {
+            Ok(_) => false,
+            Err(pos) => {
+                recs.insert(pos, Arc::new(Record::new(version, functor)));
+                true
+            }
+        }
+    }
+
+    /// The record with exactly this version, if present.
+    pub fn record_at(&self, version: Timestamp) -> Option<Arc<Record>> {
+        let recs = self.records.read();
+        recs.binary_search_by_key(&version, |r| r.version).ok().map(|i| Arc::clone(&recs[i]))
+    }
+
+    /// The latest record with version `<= bound`, if any (Alg 1 line 17).
+    pub fn latest_at_or_below(&self, bound: Timestamp) -> Option<Arc<Record>> {
+        let recs = self.records.read();
+        let idx = recs.partition_point(|r| r.version <= bound);
+        idx.checked_sub(1).map(|i| Arc::clone(&recs[i]))
+    }
+
+    /// All records with versions in `[from, to]` that still need computing,
+    /// ascending (Alg 1 line 4).
+    pub fn uncomputed_in(&self, from: Timestamp, to: Timestamp) -> Vec<Arc<Record>> {
+        let recs = self.records.read();
+        let start = recs.partition_point(|r| r.version < from);
+        recs[start..]
+            .iter()
+            .take_while(|r| r.version <= to)
+            .filter(|r| !r.is_final())
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// Current value watermark.
+    pub fn watermark(&self) -> Timestamp {
+        Timestamp::from_raw(self.watermark.load(Ordering::Acquire))
+    }
+
+    /// Raises the watermark to at least `to` (Alg 1 lines 7-9: CAS loop).
+    pub fn advance_watermark(&self, to: Timestamp) {
+        let mut cur = self.watermark.load(Ordering::Acquire);
+        while cur < to.raw() {
+            match self.watermark.compare_exchange_weak(
+                cur,
+                to.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Number of stored versions.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the chain has no versions.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// All versions in ascending order (diagnostics and tests).
+    pub fn versions(&self) -> Vec<Timestamp> {
+        self.records.read().iter().map(|r| r.version).collect()
+    }
+
+    /// Snapshot of `(version, functor)` pairs, ascending (diagnostics).
+    pub fn dump(&self) -> Vec<(Timestamp, Functor)> {
+        self.records.read().iter().map(|r| (r.version, r.load())).collect()
+    }
+
+    /// Garbage-collects history: drops all records with version `< bound`
+    /// except the latest final one at or below `bound`, which readers of
+    /// historical snapshots `>= bound` still need. Records above the
+    /// watermark are never collected. Returns the number of dropped records.
+    pub fn truncate_below(&self, bound: Timestamp) -> usize {
+        let effective = bound.min(self.watermark());
+        let mut recs = self.records.write();
+        let cut = recs.partition_point(|r| r.version <= effective);
+        // Keep the newest record at or below the cut as the snapshot base.
+        let drop_upto = cut.saturating_sub(1);
+        recs.drain(..drop_upto).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_common::Value;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::from_raw(v)
+    }
+
+    #[test]
+    fn insert_keeps_sorted_under_out_of_order_arrivals() {
+        let chain = VersionChain::new();
+        for v in [50u64, 10, 30, 20, 40] {
+            assert!(chain.insert(ts(v), Functor::value_i64(v as i64)));
+        }
+        assert_eq!(chain.versions(), vec![ts(10), ts(20), ts(30), ts(40), ts(50)]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let chain = VersionChain::new();
+        assert!(chain.insert(ts(10), Functor::value_i64(1)));
+        assert!(!chain.insert(ts(10), Functor::value_i64(2)));
+        let rec = chain.record_at(ts(10)).unwrap();
+        assert_eq!(rec.load(), Functor::value_i64(1));
+    }
+
+    #[test]
+    fn latest_at_or_below_finds_floor() {
+        let chain = VersionChain::new();
+        chain.insert(ts(10), Functor::value_i64(1));
+        chain.insert(ts(20), Functor::value_i64(2));
+        assert!(chain.latest_at_or_below(ts(9)).is_none());
+        assert_eq!(chain.latest_at_or_below(ts(10)).unwrap().version(), ts(10));
+        assert_eq!(chain.latest_at_or_below(ts(15)).unwrap().version(), ts(10));
+        assert_eq!(chain.latest_at_or_below(ts(99)).unwrap().version(), ts(20));
+    }
+
+    #[test]
+    fn finalize_happens_once() {
+        let rec = Record::new(ts(5), Functor::add(1));
+        assert!(!rec.is_final());
+        assert!(rec.finalize(Functor::value_i64(3)));
+        assert!(!rec.finalize(Functor::value_i64(9)), "second finalize must lose");
+        assert_eq!(rec.load(), Functor::value_i64(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-final")]
+    fn finalize_rejects_non_final_form() {
+        let rec = Record::new(ts(5), Functor::add(1));
+        rec.finalize(Functor::add(2));
+    }
+
+    #[test]
+    fn force_abort_overwrites_even_final() {
+        let rec = Record::new(ts(5), Functor::Value(Value::from_i64(1)));
+        rec.force_abort();
+        assert_eq!(rec.load(), Functor::Aborted);
+    }
+
+    #[test]
+    fn uncomputed_scan_respects_range_and_finality() {
+        let chain = VersionChain::new();
+        chain.insert(ts(10), Functor::value_i64(0)); // final
+        chain.insert(ts(20), Functor::add(1));
+        chain.insert(ts(30), Functor::add(2));
+        chain.insert(ts(40), Functor::add(3));
+        let pending = chain.uncomputed_in(ts(15), ts(30));
+        let versions: Vec<_> = pending.iter().map(|r| r.version()).collect();
+        assert_eq!(versions, vec![ts(20), ts(30)]);
+    }
+
+    #[test]
+    fn watermark_advances_monotonically() {
+        let chain = VersionChain::new();
+        chain.advance_watermark(ts(10));
+        chain.advance_watermark(ts(5)); // no-op
+        assert_eq!(chain.watermark(), ts(10));
+        chain.advance_watermark(ts(30));
+        assert_eq!(chain.watermark(), ts(30));
+    }
+
+    #[test]
+    fn concurrent_watermark_advance_takes_max() {
+        let chain = Arc::new(VersionChain::new());
+        let handles: Vec<_> = (1..=8u64)
+            .map(|i| {
+                let c = Arc::clone(&chain);
+                std::thread::spawn(move || c.advance_watermark(ts(i * 100)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(chain.watermark(), ts(800));
+    }
+
+    #[test]
+    fn truncate_keeps_snapshot_base_and_unsettled_tail() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30, 40] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(30));
+        let dropped = chain.truncate_below(ts(30));
+        assert_eq!(dropped, 2); // 10 and 20 go; 30 stays as base; 40 unsettled
+        assert_eq!(chain.versions(), vec![ts(30), ts(40)]);
+    }
+
+    #[test]
+    fn truncate_never_crosses_watermark() {
+        let chain = VersionChain::new();
+        chain.insert(ts(10), Functor::add(1));
+        chain.insert(ts(20), Functor::add(1));
+        // watermark still ZERO: nothing settled, nothing may be dropped
+        assert_eq!(chain.truncate_below(ts(99)), 0);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_order_and_count() {
+        let chain = Arc::new(VersionChain::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let c = Arc::clone(&chain);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        c.insert(ts(t * 1000 + i + 1), Functor::value_i64(0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let versions = chain.versions();
+        assert_eq!(versions.len(), 1000);
+        assert!(versions.windows(2).all(|w| w[0] < w[1]), "versions must stay sorted");
+    }
+}

@@ -1,0 +1,44 @@
+//! Multi-version key-functor storage for ALOHA-DB (§III-D, §IV-C/D).
+//!
+//! Each key owns an ordered chain of versioned records (Fig 4 of the paper);
+//! a record holds a [`aloha_functor::Functor`] that is replaced by its final
+//! form at most once. A per-key *value watermark* marks the version below
+//! which every record is final, enabling synchronization-free reads of
+//! settled history.
+//!
+//! The [`Partition`] type implements Algorithm 1 — `Compute`, `Func` and
+//! `Get` — over one partition's [`VersionedStore`], delegating cross-partition
+//! reads, deferred installs and proactive value pushes to a [`ComputeEnv`]
+//! supplied by the hosting server.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use aloha_common::{Key, PartitionId, Timestamp, Value};
+//! use aloha_functor::{Functor, HandlerRegistry};
+//! use aloha_storage::{LocalOnlyEnv, Partition};
+//!
+//! let partition = Partition::new(PartitionId(0), 1, Arc::new(HandlerRegistry::new()));
+//! let key = Key::from("acct");
+//! partition.install(&key, Timestamp::from_raw(10), Functor::value_i64(150)).unwrap();
+//! partition.install(&key, Timestamp::from_raw(20), Functor::add(100)).unwrap();
+//!
+//! let env = LocalOnlyEnv;
+//! let read = partition.get(&key, Timestamp::from_raw(25), &env).unwrap();
+//! assert_eq!(read.value.unwrap().as_i64(), Some(250));
+//! ```
+
+pub mod chain;
+pub mod partition;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use chain::{Record, VersionChain};
+pub use partition::{
+    ComputeEnv, DependencyRules, LocalOnlyEnv, Partition, PartitionStats, PushCache,
+};
+pub use snapshot::{restore_checkpoint, write_checkpoint};
+pub use store::{StoreStats, VersionedStore};
+pub use wal::{read_log, replay_log, WalRecord};

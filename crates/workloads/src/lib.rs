@@ -1,0 +1,24 @@
+//! Benchmark workloads for the ALOHA-DB reproduction (§V-A1).
+//!
+//! Three workloads drive the evaluation:
+//!
+//! * **TPC-C** ([`tpcc`]) — NewOrder and Payment transactions over the
+//!   conventional partition-by-warehouse layout, as in the Calvin papers.
+//! * **Scaled TPC-C** — the Rococo-style variant that treats the database as
+//!   one large warehouse partitioned by item and district, stressing
+//!   distributed transactions.
+//! * **YCSB-like microbenchmark** ([`ycsb`]) — Calvin's read-modify-write
+//!   microbenchmark with a *contention index* knob: each transaction updates
+//!   10 keys across two partitions, touching exactly one hot key per
+//!   participant partition; CI = 1/(hot keys per partition).
+//!
+//! Every workload is implemented twice — once against the ALOHA-DB engine
+//! (`aloha-core`) and once against the Calvin baseline — behind the common
+//! [`driver::Workload`] interface, so the figure harnesses in `aloha-bench`
+//! can sweep both systems identically.
+
+pub mod driver;
+pub mod tpcc;
+pub mod ycsb;
+
+pub use driver::{run_windowed, DriverConfig, DriverReport, Workload};

@@ -1,0 +1,269 @@
+//! TPC-C on ALOHA-DB: functor transforms, handlers, loader and workload
+//! target.
+//!
+//! * **NewOrder** is the paper's showcase dependent transaction (§IV-E,
+//!   §V-A2): the district's `next_o_id` key carries a *determinate functor*
+//!   that reads the previous order id, emits the Order/NewOrder/OrderLine
+//!   rows as deferred writes at the same version, and commits `next_o_id+1`.
+//!   Each stock row gets its own key-level functor applying the TPC-C
+//!   quantity rule. The 1 % invalid-item aborts are detected by an
+//!   install-time item check on the stock partition; the coordinator then
+//!   runs the second abort round.
+//! * **Payment** is expressed entirely with numeric functors (`ADD` on
+//!   `w_ytd`/`d_ytd`, `SUBTR` on the customer balance) plus a `VALUE` history
+//!   row.
+
+use std::sync::Arc;
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::{Error, Key, Result, ServerId, Value};
+use aloha_core::{
+    fn_program, Check, Cluster, ClusterBuilder, Database, ProgramId, TxnHandle, TxnOutcome,
+    TxnPlan,
+};
+use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
+use rand::rngs::SmallRng;
+
+use super::gen::{gen_new_order, gen_payment, NewOrderReq, PaymentReq, TxnMix};
+use super::schema::{ItemRow, OrderLineRow, OrderRow, StockRow};
+use super::TpccConfig;
+
+/// NewOrder program id.
+pub const NEW_ORDER: ProgramId = ProgramId(11);
+/// Payment program id.
+pub const PAYMENT: ProgramId = ProgramId(12);
+/// Stock-update functor handler.
+pub const H_STOCK_UPDATE: HandlerId = HandlerId(21);
+/// District NewOrder determinate functor handler.
+pub const H_DISTRICT_NEWORDER: HandlerId = HandlerId(22);
+
+/// Registers TPC-C handlers, programs and the §IV-E dependency rule.
+pub fn install(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
+    let cfg = Arc::new(cfg.clone());
+    builder.add_dependency_rule(cfg.dependency_rule());
+
+    // Stock update: read own row, apply the TPC-C quantity rule.
+    builder.register_handler(H_STOCK_UPDATE, |input: &ComputeInput<'_>| {
+        let mut r = Reader::new(input.args);
+        let Ok(qty) = r.get_u32() else { return HandlerOutput::abort() };
+        let Some(raw) = input.reads.value(input.key) else {
+            // The stock row must exist (install checks item validity); a
+            // missing row is a load bug — abort the version.
+            return HandlerOutput::abort();
+        };
+        let Ok(mut stock) = StockRow::decode(raw) else { return HandlerOutput::abort() };
+        stock.apply_order(qty as i64);
+        HandlerOutput::commit(stock.encode())
+    });
+
+    // District determinate functor: assigns the order id and defers the
+    // order-family row writes (§IV-E key-dependency method).
+    let handler_cfg = Arc::clone(&cfg);
+    builder.register_handler(H_DISTRICT_NEWORDER, move |input: &ComputeInput<'_>| {
+        let Ok(req) = NewOrderReq::decode(input.args) else { return HandlerOutput::abort() };
+        let Some(o_id) = input.reads.i64(input.key) else { return HandlerOutput::abort() };
+        let cfg = &handler_cfg;
+        let district_partition = input.key.partition(cfg.partitions).0;
+        let mut deferred: Vec<(Key, Functor)> = Vec::with_capacity(req.lines.len() + 2);
+        deferred.push((
+            cfg.order_key(req.w, req.d, o_id),
+            Functor::Value(
+                OrderRow {
+                    o_id,
+                    d_id: req.d,
+                    w_id: req.w,
+                    c_id: req.c,
+                    ol_cnt: req.lines.len() as u32,
+                }
+                .encode(),
+            ),
+        ));
+        deferred.push((
+            cfg.neworder_key(req.w, req.d, o_id),
+            Functor::Value(Value::from_i64(o_id)),
+        ));
+        for (number, line) in req.lines.iter().enumerate() {
+            let item_key = cfg.item_key(district_partition, line.i_id);
+            // Invalid items abort at install time on the stock partition;
+            // by the time this functor computes, every line is valid. The
+            // abort below is defense in depth for load bugs.
+            let Some(raw) = input.reads.value(&item_key) else {
+                return HandlerOutput::abort();
+            };
+            let Ok(item) = ItemRow::decode(raw) else { return HandlerOutput::abort() };
+            deferred.push((
+                cfg.orderline_key(req.w, req.d, o_id, number as u32),
+                Functor::Value(
+                    OrderLineRow {
+                        o_id,
+                        number: number as u32,
+                        i_id: line.i_id,
+                        supply_w: line.supply_w,
+                        qty: line.qty,
+                        amount_cents: line.qty as i64 * item.price_cents,
+                    }
+                    .encode(),
+                ),
+            ));
+        }
+        HandlerOutput::commit(Value::from_i64(o_id + 1)).with_deferred(deferred)
+    });
+
+    // NewOrder transform: one determinate functor on the district plus one
+    // stock functor per order line (§V-A2).
+    let program_cfg = Arc::clone(&cfg);
+    builder.register_program(
+        NEW_ORDER,
+        fn_program(move |ctx| {
+            let req = NewOrderReq::decode(ctx.args)?;
+            let cfg = &program_cfg;
+            let dnoid = cfg.district_noid_key(req.w, req.d);
+            let district_partition = dnoid.partition(cfg.partitions).0;
+            let mut read_set = Vec::with_capacity(req.lines.len() + 1);
+            read_set.push(dnoid.clone());
+            for line in &req.lines {
+                read_set.push(cfg.item_key(district_partition, line.i_id));
+            }
+            let mut plan = TxnPlan::new().write(
+                dnoid,
+                Functor::User(UserFunctor::new(
+                    H_DISTRICT_NEWORDER,
+                    read_set,
+                    ctx.args.to_vec(),
+                )),
+            );
+            for line in &req.lines {
+                let stock_key = cfg.stock_key(line.supply_w, line.i_id);
+                let stock_partition = stock_key.partition(cfg.partitions).0;
+                let mut args = Writer::new();
+                args.put_u32(line.qty);
+                plan = plan.write_checked(
+                    stock_key.clone(),
+                    Functor::User(UserFunctor::new(
+                        H_STOCK_UPDATE,
+                        vec![stock_key],
+                        args.into_bytes(),
+                    )),
+                    Check::KeyExists(cfg.item_key(stock_partition, line.i_id)),
+                );
+            }
+            Ok(plan)
+        }),
+    );
+
+    // Payment: pure numeric functors plus a history row.
+    let payment_cfg = Arc::clone(&cfg);
+    builder.register_program(
+        PAYMENT,
+        fn_program(move |ctx| {
+            let cfg = &payment_cfg;
+            if !cfg.supports_payment() {
+                return Err(Error::Config(
+                    "payment requires the ByWarehouse layout (scaled TPC-C drops w_ytd)".into(),
+                ));
+            }
+            let req = PaymentReq::decode(ctx.args)?;
+            let mut history = Writer::new();
+            history.put_u32(req.w).put_u32(req.d).put_u32(req.c).put_i64(req.amount_cents);
+            Ok(TxnPlan::new()
+                .write(cfg.wytd_key(req.w), Functor::add(req.amount_cents))
+                .write(cfg.dytd_key(req.w, req.d), Functor::add(req.amount_cents))
+                .write(cfg.cbal_key(req.c_w, req.c_d, req.c), Functor::subtr(req.amount_cents))
+                .write(
+                    cfg.history_key(req.w, req.d, req.c, req.unique),
+                    Functor::Value(Value::from(history.into_bytes())),
+                ))
+        }),
+    );
+}
+
+/// Loads the TPC-C database into an ALOHA cluster.
+pub fn load(cluster: &Cluster, cfg: &TpccConfig) {
+    // Replicated item catalogue: one copy per partition.
+    for p in 0..cfg.partitions {
+        for i in 0..cfg.items {
+            let row = ItemRow {
+                i_id: i,
+                name: format!("item-{i}"),
+                price_cents: 100 + (i as i64 * 37) % 9_900,
+            };
+            cluster.load(cfg.item_key(p, i), row.encode());
+        }
+    }
+    for w in 0..cfg.warehouses {
+        if cfg.supports_payment() {
+            cluster.load(cfg.wytd_key(w), Value::from_i64(0));
+        }
+        for i in 0..cfg.items {
+            let stock = StockRow {
+                i_id: i,
+                w_id: w,
+                quantity: 50 + (i as i64 % 50),
+                ytd: 0,
+                order_cnt: 0,
+            };
+            cluster.load(cfg.stock_key(w, i), stock.encode());
+        }
+        for d in 0..cfg.districts {
+            cluster.load(
+                cfg.district_noid_key(w, d),
+                Value::from_i64(TpccConfig::INITIAL_NEXT_O_ID),
+            );
+            if cfg.supports_payment() {
+                cluster.load(cfg.dytd_key(w, d), Value::from_i64(0));
+            }
+            for c in 0..cfg.customers_per_district {
+                cluster.load(cfg.cbal_key(w, d, c), Value::from_i64(-1_000));
+            }
+        }
+    }
+}
+
+/// The ALOHA-DB TPC-C workload target.
+#[derive(Debug)]
+pub struct AlohaTpcc {
+    db: Database,
+    cfg: Arc<TpccConfig>,
+    mix: TxnMix,
+    with_aborts: bool,
+}
+
+impl AlohaTpcc {
+    /// Binds the workload to a database handle.
+    ///
+    /// `with_aborts` enables the TPC-C 1 % invalid-item abort requirement
+    /// (which the paper's ALOHA-DB honors, unlike Calvin, §V-A2).
+    pub fn new(db: Database, cfg: TpccConfig, mix: TxnMix, with_aborts: bool) -> AlohaTpcc {
+        AlohaTpcc { db, cfg: Arc::new(cfg), mix, with_aborts }
+    }
+}
+
+impl crate::driver::Workload for AlohaTpcc {
+    type Handle = TxnHandle;
+
+    fn submit(&self, rng: &mut SmallRng) -> Result<TxnHandle> {
+        match self.mix {
+            TxnMix::NewOrderOnly => {
+                let req = gen_new_order(rng, &self.cfg, self.with_aborts);
+                // Coordinate from the home district's server (clients connect
+                // to the FE nearest their data).
+                let fe = ServerId(
+                    self.cfg
+                        .district_noid_key(req.w, req.d)
+                        .partition(self.cfg.partitions)
+                        .0,
+                );
+                self.db.execute_at(fe, NEW_ORDER, req.encode())
+            }
+            TxnMix::PaymentOnly => {
+                let req = gen_payment(rng, &self.cfg);
+                let fe = ServerId(self.cfg.partition_of_route(req.w));
+                self.db.execute_at(fe, PAYMENT, req.encode())
+            }
+        }
+    }
+
+    fn wait(&self, handle: TxnHandle) -> Result<bool> {
+        Ok(handle.wait_processed()? == TxnOutcome::Committed)
+    }
+}

@@ -1,0 +1,258 @@
+//! TPC-C on the Calvin baseline.
+//!
+//! The Calvin NewOrder pre-assigns the order id at the sequencer (possible
+//! because Calvin never aborts, §V-A2) so the full write set — including the
+//! Order/NewOrder/OrderLine row keys — is known before execution, satisfying
+//! Calvin's known-access-set restriction. Invalid items are silently skipped:
+//! "Calvin's implementation does not support aborted transactions because of
+//! its deterministic design".
+
+use std::sync::Arc;
+
+use aloha_common::{Key, Result, ServerId, Value};
+use calvin::{CalvinDatabase, CalvinClusterBuilder, CalvinHandle, CalvinPlan, CalvinProgram, ProgramId};
+use rand::rngs::SmallRng;
+
+use super::gen::{
+    gen_new_order, gen_payment, NewOrderReq, OidAssigner, PaymentReq, TxnMix, INVALID_ITEM,
+};
+use super::schema::{ItemRow, OrderLineRow, OrderRow, StockRow};
+use super::TpccConfig;
+
+/// NewOrder program id (Calvin registry).
+pub const NEW_ORDER: ProgramId = ProgramId(11);
+/// Payment program id (Calvin registry).
+pub const PAYMENT: ProgramId = ProgramId(12);
+
+struct NewOrderCalvin {
+    cfg: Arc<TpccConfig>,
+}
+
+impl CalvinProgram for NewOrderCalvin {
+    fn plan(&self, args: &[u8]) -> CalvinPlan {
+        let Ok(req) = NewOrderReq::decode(args) else { return CalvinPlan::default() };
+        let o_id = req.o_id.expect("calvin neworder requires a pre-assigned order id");
+        let cfg = &self.cfg;
+        let dnoid = cfg.district_noid_key(req.w, req.d);
+        let mut read_set = vec![dnoid.clone()];
+        let mut write_set = vec![dnoid];
+        for line in &req.lines {
+            let stock = cfg.stock_key(line.supply_w, line.i_id);
+            let stock_partition = stock.partition(cfg.partitions).0;
+            read_set.push(cfg.item_key(stock_partition, line.i_id));
+            read_set.push(stock.clone());
+            write_set.push(stock);
+        }
+        write_set.push(cfg.order_key(req.w, req.d, o_id));
+        write_set.push(cfg.neworder_key(req.w, req.d, o_id));
+        for number in 0..req.lines.len() as u32 {
+            write_set.push(cfg.orderline_key(req.w, req.d, o_id, number));
+        }
+        CalvinPlan { read_set, write_set }
+    }
+
+    fn execute(
+        &self,
+        args: &[u8],
+        reads: &std::collections::HashMap<Key, Option<Value>>,
+        writes: &mut Vec<(Key, Value)>,
+    ) {
+        let Ok(req) = NewOrderReq::decode(args) else { return };
+        let o_id = req.o_id.expect("pre-assigned order id");
+        let cfg = &self.cfg;
+        let mut valid_lines = 0u32;
+        for (number, line) in req.lines.iter().enumerate() {
+            if line.i_id == INVALID_ITEM {
+                continue; // Calvin cannot abort; skip the bad line (§V-A2)
+            }
+            let stock_key = cfg.stock_key(line.supply_w, line.i_id);
+            let stock_partition = stock_key.partition(cfg.partitions).0;
+            let Some(Some(stock_raw)) = reads.get(&stock_key) else { continue };
+            let Ok(mut stock) = StockRow::decode(stock_raw) else { continue };
+            stock.apply_order(line.qty as i64);
+            writes.push((stock_key, stock.encode()));
+            let price = reads
+                .get(&cfg.item_key(stock_partition, line.i_id))
+                .and_then(|v| v.as_ref())
+                .and_then(|v| ItemRow::decode(v).ok())
+                .map_or(0, |item| item.price_cents);
+            writes.push((
+                cfg.orderline_key(req.w, req.d, o_id, number as u32),
+                OrderLineRow {
+                    o_id,
+                    number: number as u32,
+                    i_id: line.i_id,
+                    supply_w: line.supply_w,
+                    qty: line.qty,
+                    amount_cents: line.qty as i64 * price,
+                }
+                .encode(),
+            ));
+            valid_lines += 1;
+        }
+        writes.push((
+            cfg.order_key(req.w, req.d, o_id),
+            OrderRow { o_id, d_id: req.d, w_id: req.w, c_id: req.c, ol_cnt: valid_lines }
+                .encode(),
+        ));
+        writes.push((cfg.neworder_key(req.w, req.d, o_id), Value::from_i64(o_id)));
+        // Order ids are pre-assigned in submission order but executed in
+        // deterministic lock order, which may differ; the counter advances to
+        // the highest assigned id regardless of interleaving.
+        let dnoid = cfg.district_noid_key(req.w, req.d);
+        let current = reads
+            .get(&dnoid)
+            .and_then(|v| v.as_ref())
+            .and_then(Value::as_i64)
+            .unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+        writes.push((dnoid, Value::from_i64(current.max(o_id + 1))));
+    }
+
+    fn name(&self) -> &str {
+        "tpcc-neworder"
+    }
+}
+
+struct PaymentCalvin {
+    cfg: Arc<TpccConfig>,
+}
+
+impl CalvinProgram for PaymentCalvin {
+    fn plan(&self, args: &[u8]) -> CalvinPlan {
+        let Ok(req) = PaymentReq::decode(args) else { return CalvinPlan::default() };
+        let cfg = &self.cfg;
+        let keys = vec![
+            cfg.wytd_key(req.w),
+            cfg.dytd_key(req.w, req.d),
+            cfg.cbal_key(req.c_w, req.c_d, req.c),
+        ];
+        let mut write_set = keys.clone();
+        write_set.push(cfg.history_key(req.w, req.d, req.c, req.unique));
+        CalvinPlan { read_set: keys, write_set }
+    }
+
+    fn execute(
+        &self,
+        args: &[u8],
+        reads: &std::collections::HashMap<Key, Option<Value>>,
+        writes: &mut Vec<(Key, Value)>,
+    ) {
+        let Ok(req) = PaymentReq::decode(args) else { return };
+        let cfg = &self.cfg;
+        let get = |k: &Key| reads.get(k).and_then(|v| v.as_ref()).and_then(Value::as_i64).unwrap_or(0);
+        let wytd = cfg.wytd_key(req.w);
+        let dytd = cfg.dytd_key(req.w, req.d);
+        let cbal = cfg.cbal_key(req.c_w, req.c_d, req.c);
+        writes.push((wytd.clone(), Value::from_i64(get(&wytd) + req.amount_cents)));
+        writes.push((dytd.clone(), Value::from_i64(get(&dytd) + req.amount_cents)));
+        writes.push((cbal.clone(), Value::from_i64(get(&cbal) - req.amount_cents)));
+        let mut history = aloha_common::codec::Writer::new();
+        history.put_u32(req.w).put_u32(req.d).put_u32(req.c).put_i64(req.amount_cents);
+        writes.push((
+            cfg.history_key(req.w, req.d, req.c, req.unique),
+            Value::from(history.into_bytes()),
+        ));
+    }
+
+    fn name(&self) -> &str {
+        "tpcc-payment"
+    }
+}
+
+/// Registers the TPC-C stored procedures on a Calvin cluster builder.
+pub fn install(builder: &mut CalvinClusterBuilder, cfg: &TpccConfig) {
+    let cfg = Arc::new(cfg.clone());
+    builder.register_program(NEW_ORDER, NewOrderCalvin { cfg: Arc::clone(&cfg) });
+    builder.register_program(PAYMENT, PaymentCalvin { cfg });
+}
+
+/// Loads the TPC-C database into a Calvin cluster (same rows as the ALOHA
+/// loader).
+pub fn load(cluster: &calvin::CalvinCluster, cfg: &TpccConfig) {
+    for p in 0..cfg.partitions {
+        for i in 0..cfg.items {
+            let row = ItemRow {
+                i_id: i,
+                name: format!("item-{i}"),
+                price_cents: 100 + (i as i64 * 37) % 9_900,
+            };
+            cluster.load(cfg.item_key(p, i), row.encode());
+        }
+    }
+    for w in 0..cfg.warehouses {
+        if cfg.supports_payment() {
+            cluster.load(cfg.wytd_key(w), Value::from_i64(0));
+        }
+        for i in 0..cfg.items {
+            let stock = StockRow {
+                i_id: i,
+                w_id: w,
+                quantity: 50 + (i as i64 % 50),
+                ytd: 0,
+                order_cnt: 0,
+            };
+            cluster.load(cfg.stock_key(w, i), stock.encode());
+        }
+        for d in 0..cfg.districts {
+            cluster.load(
+                cfg.district_noid_key(w, d),
+                Value::from_i64(TpccConfig::INITIAL_NEXT_O_ID),
+            );
+            if cfg.supports_payment() {
+                cluster.load(cfg.dytd_key(w, d), Value::from_i64(0));
+            }
+            for c in 0..cfg.customers_per_district {
+                cluster.load(cfg.cbal_key(w, d, c), Value::from_i64(-1_000));
+            }
+        }
+    }
+}
+
+/// The Calvin TPC-C workload target.
+#[derive(Debug)]
+pub struct CalvinTpcc {
+    db: CalvinDatabase,
+    cfg: Arc<TpccConfig>,
+    mix: TxnMix,
+    oids: OidAssigner,
+}
+
+impl CalvinTpcc {
+    /// Binds the workload to a Calvin database handle.
+    pub fn new(db: CalvinDatabase, cfg: TpccConfig, mix: TxnMix) -> CalvinTpcc {
+        let oids = OidAssigner::new(&cfg);
+        CalvinTpcc { db, cfg: Arc::new(cfg), mix, oids }
+    }
+}
+
+impl crate::driver::Workload for CalvinTpcc {
+    type Handle = CalvinHandle;
+
+    fn submit(&self, rng: &mut SmallRng) -> Result<CalvinHandle> {
+        match self.mix {
+            TxnMix::NewOrderOnly => {
+                // Calvin never aborts, so invalid items are never generated;
+                // order ids are pre-assigned by the sequencer side.
+                let mut req = gen_new_order(rng, &self.cfg, false);
+                req.o_id = Some(self.oids.assign(req.w, req.d));
+                let origin = ServerId(
+                    self.cfg
+                        .district_noid_key(req.w, req.d)
+                        .partition(self.cfg.partitions)
+                        .0,
+                );
+                self.db.execute_at(origin, NEW_ORDER, req.encode())
+            }
+            TxnMix::PaymentOnly => {
+                let req = gen_payment(rng, &self.cfg);
+                let origin = ServerId(self.cfg.partition_of_route(req.w));
+                self.db.execute_at(origin, PAYMENT, req.encode())
+            }
+        }
+    }
+
+    fn wait(&self, handle: CalvinHandle) -> Result<bool> {
+        handle.wait()?;
+        Ok(true) // deterministic execution never aborts
+    }
+}

@@ -1,0 +1,397 @@
+//! TPC-C request generation, following the Calvin papers' conventions: every
+//! generated transaction is *distributed* — a NewOrder always sources one
+//! order line from a warehouse on a different server, and a Payment always
+//! pays for a customer of a remote warehouse (§V-A1).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::Result;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::{PartitionMode, TpccConfig};
+
+/// Sentinel item id that exists in no partition: triggers the 1 % NewOrder
+/// abort requirement via the install-time item check.
+pub const INVALID_ITEM: u32 = u32::MAX;
+
+/// Which transaction type a workload target submits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnMix {
+    /// Only NewOrder transactions.
+    NewOrderOnly,
+    /// Only Payment transactions (`ByWarehouse` only).
+    PaymentOnly,
+}
+
+/// One requested order line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderLineReq {
+    /// Ordered item.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub supply_w: u32,
+    /// Quantity (1–10).
+    pub qty: u32,
+}
+
+/// A NewOrder request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewOrderReq {
+    /// Home warehouse.
+    pub w: u32,
+    /// District.
+    pub d: u32,
+    /// Customer.
+    pub c: u32,
+    /// Order lines (5–15).
+    pub lines: Vec<OrderLineReq>,
+    /// Pre-assigned order id (Calvin only; ALOHA-DB assigns it dynamically
+    /// in the determinate functor, §V-A2).
+    pub o_id: Option<i64>,
+}
+
+impl NewOrderReq {
+    /// Encodes the request as an argument blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.w).put_u32(self.d).put_u32(self.c).put_i64(self.o_id.unwrap_or(-1));
+        w.put_u32(self.lines.len() as u32);
+        for line in &self.lines {
+            w.put_u32(line.i_id).put_u32(line.supply_w).put_u32(line.qty);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(args: &[u8]) -> Result<NewOrderReq> {
+        let mut r = Reader::new(args);
+        let w = r.get_u32()?;
+        let d = r.get_u32()?;
+        let c = r.get_u32()?;
+        let o_raw = r.get_i64()?;
+        let n = r.get_u32()?;
+        let mut lines = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            lines.push(OrderLineReq {
+                i_id: r.get_u32()?,
+                supply_w: r.get_u32()?,
+                qty: r.get_u32()?,
+            });
+        }
+        Ok(NewOrderReq { w, d, c, lines, o_id: (o_raw >= 0).then_some(o_raw) })
+    }
+
+    /// Whether the request references the invalid item (must abort).
+    pub fn has_invalid_item(&self) -> bool {
+        self.lines.iter().any(|l| l.i_id == INVALID_ITEM)
+    }
+}
+
+/// A Payment request (`ByWarehouse` only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaymentReq {
+    /// Warehouse receiving the payment.
+    pub w: u32,
+    /// District receiving the payment.
+    pub d: u32,
+    /// The paying customer's warehouse (remote, per Calvin's generator).
+    pub c_w: u32,
+    /// The paying customer's district.
+    pub c_d: u32,
+    /// The paying customer.
+    pub c: u32,
+    /// Amount in cents.
+    pub amount_cents: i64,
+    /// Uniquifier for the history row key.
+    pub unique: u64,
+}
+
+impl PaymentReq {
+    /// Encodes the request as an argument blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.w)
+            .put_u32(self.d)
+            .put_u32(self.c_w)
+            .put_u32(self.c_d)
+            .put_u32(self.c)
+            .put_i64(self.amount_cents)
+            .put_u64(self.unique);
+        w.into_bytes()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(args: &[u8]) -> Result<PaymentReq> {
+        let mut r = Reader::new(args);
+        Ok(PaymentReq {
+            w: r.get_u32()?,
+            d: r.get_u32()?,
+            c_w: r.get_u32()?,
+            c_d: r.get_u32()?,
+            c: r.get_u32()?,
+            amount_cents: r.get_i64()?,
+            unique: r.get_u64()?,
+        })
+    }
+}
+
+/// TPC-C NURand non-uniform random: `((random(0,A) | random(x,y)) + C) %
+/// (y - x + 1) + x` (TPC-C §2.1.6). Skews customer and item selection toward
+/// hot rows as the standard requires.
+pub fn nurand(rng: &mut SmallRng, a: u32, x: u32, y: u32) -> u32 {
+    // C is a per-run constant; a fixed odd value satisfies §2.1.6.1's
+    // validity conditions for our scaled-down key ranges.
+    const C: u32 = 123;
+    (((rng.gen_range(0..=a) | rng.gen_range(x..=y)) + C) % (y - x + 1)) + x
+}
+
+/// Picks a customer id with the standard NURand(1023) skew.
+pub fn nurand_customer(rng: &mut SmallRng, customers: u32) -> u32 {
+    if customers <= 1 {
+        return 0;
+    }
+    nurand(rng, 1023.min(customers - 1), 0, customers - 1)
+}
+
+/// Picks an item id with the standard NURand(8191) skew.
+pub fn nurand_item(rng: &mut SmallRng, items: u32) -> u32 {
+    if items <= 1 {
+        return 0;
+    }
+    nurand(rng, 8191.min(items - 1), 0, items - 1)
+}
+
+/// Picks a warehouse on a different *server* than `w` (Calvin's distributed
+/// transaction rule). Falls back to `w` when impossible (single server or
+/// single warehouse).
+fn remote_warehouse(rng: &mut SmallRng, cfg: &TpccConfig, w: u32) -> u32 {
+    if cfg.partitions <= 1 || cfg.warehouses <= 1 {
+        return w;
+    }
+    let home_server = cfg.partition_of_route(w);
+    for _ in 0..64 {
+        let candidate = rng.gen_range(0..cfg.warehouses);
+        if cfg.partition_of_route(candidate) != home_server {
+            return candidate;
+        }
+    }
+    w
+}
+
+/// Generates one NewOrder request. `with_aborts` enables the 1 % invalid
+/// item requirement.
+pub fn gen_new_order(rng: &mut SmallRng, cfg: &TpccConfig, with_aborts: bool) -> NewOrderReq {
+    let w = match cfg.mode {
+        PartitionMode::ByWarehouse => rng.gen_range(0..cfg.warehouses),
+        PartitionMode::ByItemDistrict => 0,
+    };
+    let d = rng.gen_range(0..cfg.districts);
+    let c = nurand_customer(rng, cfg.customers_per_district);
+    let ol_cnt = rng.gen_range(5..=15usize);
+    let mut lines = Vec::with_capacity(ol_cnt);
+    let mut used = std::collections::HashSet::new();
+    while lines.len() < ol_cnt {
+        let i_id = nurand_item(rng, cfg.items);
+        if !used.insert(i_id) {
+            continue;
+        }
+        lines.push(OrderLineReq { i_id, supply_w: w, qty: rng.gen_range(1..=10) });
+    }
+    if cfg.mode == PartitionMode::ByWarehouse {
+        // One line is always supplied by a warehouse on another server.
+        let remote_line = rng.gen_range(0..lines.len());
+        lines[remote_line].supply_w = remote_warehouse(rng, cfg, w);
+    }
+    if with_aborts && rng.gen_bool(cfg.invalid_item_fraction) {
+        lines[0].i_id = INVALID_ITEM;
+    }
+    NewOrderReq { w, d, c, lines, o_id: None }
+}
+
+/// Generates one Payment request; the paying customer always belongs to a
+/// warehouse on a different server.
+pub fn gen_payment(rng: &mut SmallRng, cfg: &TpccConfig) -> PaymentReq {
+    debug_assert!(cfg.supports_payment(), "payment requires the ByWarehouse layout");
+    let w = rng.gen_range(0..cfg.warehouses);
+    let d = rng.gen_range(0..cfg.districts);
+    let c_w = remote_warehouse(rng, cfg, w);
+    PaymentReq {
+        w,
+        d,
+        c_w,
+        c_d: rng.gen_range(0..cfg.districts),
+        c: nurand_customer(rng, cfg.customers_per_district),
+        amount_cents: rng.gen_range(100..=500_000),
+        unique: rng.gen(),
+    }
+}
+
+/// Pre-assigns order ids for Calvin, which cannot abort and therefore
+/// assigns ids at the sequencer (§V-A2). One atomic counter per district.
+#[derive(Debug)]
+pub struct OidAssigner {
+    counters: Vec<AtomicI64>,
+    districts: u32,
+}
+
+impl OidAssigner {
+    /// Creates counters for every (warehouse, district) pair.
+    pub fn new(cfg: &TpccConfig) -> OidAssigner {
+        let total = (cfg.warehouses * cfg.districts) as usize;
+        OidAssigner {
+            counters: (0..total).map(|_| AtomicI64::new(TpccConfig::INITIAL_NEXT_O_ID)).collect(),
+            districts: cfg.districts,
+        }
+    }
+
+    /// Assigns the next order id of (w, d).
+    pub fn assign(&self, w: u32, d: u32) -> i64 {
+        self.counters[(w * self.districts + d) as usize].fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn new_order_round_trips() {
+        let cfg = TpccConfig::by_warehouse(4, 2);
+        let req = gen_new_order(&mut rng(), &cfg, false);
+        let decoded = NewOrderReq::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn payment_round_trips() {
+        let cfg = TpccConfig::by_warehouse(4, 2);
+        let req = gen_payment(&mut rng(), &cfg);
+        assert_eq!(PaymentReq::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn new_order_is_always_distributed_by_warehouse() {
+        let cfg = TpccConfig::by_warehouse(4, 2);
+        let mut r = rng();
+        for _ in 0..100 {
+            let req = gen_new_order(&mut r, &cfg, false);
+            let home = cfg.partition_of_route(req.w);
+            assert!(
+                req.lines.iter().any(|l| cfg.partition_of_route(l.supply_w) != home),
+                "every NewOrder must touch a second server"
+            );
+        }
+    }
+
+    #[test]
+    fn new_order_lines_have_valid_shape() {
+        let cfg = TpccConfig::by_warehouse(2, 1);
+        let mut r = rng();
+        for _ in 0..50 {
+            let req = gen_new_order(&mut r, &cfg, false);
+            assert!((5..=15).contains(&req.lines.len()));
+            let mut ids: Vec<u32> = req.lines.iter().map(|l| l.i_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), req.lines.len(), "items must be distinct");
+            assert!(req.lines.iter().all(|l| (1..=10).contains(&l.qty)));
+        }
+    }
+
+    #[test]
+    fn abort_fraction_appears() {
+        let cfg = TpccConfig::by_warehouse(2, 1).with_invalid_fraction(0.5);
+        let mut r = rng();
+        let invalid =
+            (0..200).filter(|_| gen_new_order(&mut r, &cfg, true).has_invalid_item()).count();
+        assert!((50..150).contains(&invalid), "≈50% expected, got {invalid}");
+    }
+
+    #[test]
+    fn no_aborts_when_disabled() {
+        let cfg = TpccConfig::by_warehouse(2, 1).with_invalid_fraction(0.5);
+        let mut r = rng();
+        assert!((0..100).all(|_| !gen_new_order(&mut r, &cfg, false).has_invalid_item()));
+    }
+
+    #[test]
+    fn payment_customer_is_remote() {
+        let cfg = TpccConfig::by_warehouse(4, 2);
+        let mut r = rng();
+        for _ in 0..50 {
+            let req = gen_payment(&mut r, &cfg);
+            assert_ne!(
+                cfg.partition_of_route(req.w),
+                cfg.partition_of_route(req.c_w),
+                "payment customer must live on another server"
+            );
+        }
+    }
+
+    #[test]
+    fn oid_assigner_is_dense_and_unique() {
+        let cfg = TpccConfig::by_warehouse(2, 1);
+        let assigner = OidAssigner::new(&cfg);
+        let a = assigner.assign(0, 0);
+        let b = assigner.assign(0, 0);
+        let other = assigner.assign(1, 0);
+        assert_eq!(a, TpccConfig::INITIAL_NEXT_O_ID);
+        assert_eq!(b, a + 1);
+        assert_eq!(other, TpccConfig::INITIAL_NEXT_O_ID);
+    }
+
+    #[test]
+    fn nurand_stays_in_range_and_skews() {
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            let v = nurand(&mut r, 1023, 0, 99);
+            assert!(v < 100);
+            counts[v as usize] += 1;
+        }
+        // Non-uniform: the most popular decile should clearly beat the least
+        // popular one.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let low: usize = sorted[..10].iter().sum();
+        let high: usize = sorted[90..].iter().sum();
+        assert!(high > low * 2, "NURand should skew: high={high} low={low}");
+    }
+
+    #[test]
+    fn nurand_handles_tiny_domains() {
+        let mut r = rng();
+        assert_eq!(nurand_customer(&mut r, 1), 0);
+        assert_eq!(nurand_item(&mut r, 1), 0);
+        for _ in 0..100 {
+            assert!(nurand_customer(&mut r, 3) < 3);
+            assert!(nurand_item(&mut r, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn scaled_new_order_uses_single_warehouse() {
+        let cfg = TpccConfig::scaled(4, 2);
+        let mut r = rng();
+        for _ in 0..20 {
+            let req = gen_new_order(&mut r, &cfg, false);
+            assert_eq!(req.w, 0);
+            assert!(req.d < cfg.districts);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! TPC-C and Scaled TPC-C (§V-A1).
+//!
+//! Two partitioning layouts are implemented:
+//!
+//! * **Partition by warehouse** (`TPC-C`): every key of warehouse *w* carries
+//!   routing tag *w*, so a host stores `warehouses_per_host` complete
+//!   warehouses — the layout used in the Calvin papers. Distributed NewOrder
+//!   transactions always source one order line from a warehouse on another
+//!   server, exactly as in Calvin's generator.
+//! * **Partition by item/district** (`Scaled TPC-C`, from Rococo): the whole
+//!   database is one huge warehouse; stock rows are routed by item id and
+//!   district rows by district id, so a NewOrder touches as many partitions
+//!   as it has distinct item routes. The `w_ytd` column is dropped, so
+//!   Payment is not available in this mode.
+//!
+//! The item table is read-only and replicated to every partition (one routed
+//! copy per partition index), the standard practice for TPC-C item lookups.
+
+pub mod aloha;
+pub mod calvin_impl;
+pub mod gen;
+pub mod read_txns;
+pub mod schema;
+
+pub use gen::{NewOrderReq, OidAssigner, OrderLineReq, PaymentReq, TxnMix};
+pub use read_txns::{order_status, stock_level, DeliveryReq, OrderStatus};
+pub use schema::{
+    CustomerRow, DistrictInfoRow, ItemRow, OrderLineRow, OrderRow, StockRow, WarehouseRow,
+};
+
+/// How the database is spread over partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Conventional TPC-C: all data of a warehouse on one partition.
+    ByWarehouse,
+    /// Scaled TPC-C: one giant warehouse partitioned by item and district.
+    ByItemDistrict,
+}
+
+/// Scale and layout parameters for a TPC-C database.
+///
+/// The defaults are scaled down from the standard (100k items, 3k customers
+/// per district) so CI-sized runs stay fast; the figure harnesses raise them.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Partitioning layout.
+    pub mode: PartitionMode,
+    /// Number of partitions (= servers).
+    pub partitions: u16,
+    /// Total warehouses (`ByWarehouse`) — always 1 in `ByItemDistrict`.
+    pub warehouses: u32,
+    /// Districts per warehouse (`ByWarehouse`, fixed 10 in standard TPC-C)
+    /// or total districts (`ByItemDistrict`).
+    pub districts: u32,
+    /// Items in the catalogue.
+    pub items: u32,
+    /// Customers per district.
+    pub customers_per_district: u32,
+    /// Fraction of NewOrder transactions that reference an invalid item and
+    /// must abort (TPC-C requires 1 %).
+    pub invalid_item_fraction: f64,
+}
+
+impl TpccConfig {
+    /// Conventional TPC-C with `warehouses_per_host` warehouses per server.
+    pub fn by_warehouse(partitions: u16, warehouses_per_host: u32) -> TpccConfig {
+        TpccConfig {
+            mode: PartitionMode::ByWarehouse,
+            partitions,
+            warehouses: warehouses_per_host * partitions as u32,
+            districts: 10,
+            items: 1_000,
+            customers_per_district: 100,
+            invalid_item_fraction: 0.01,
+        }
+    }
+
+    /// Scaled TPC-C with `districts_per_host` districts per server.
+    pub fn scaled(partitions: u16, districts_per_host: u32) -> TpccConfig {
+        TpccConfig {
+            mode: PartitionMode::ByItemDistrict,
+            partitions,
+            warehouses: 1,
+            districts: districts_per_host * partitions as u32,
+            items: 1_000,
+            customers_per_district: 100,
+            invalid_item_fraction: 0.01,
+        }
+    }
+
+    /// Overrides the item count.
+    pub fn with_items(mut self, items: u32) -> TpccConfig {
+        self.items = items;
+        self
+    }
+
+    /// Overrides the customers per district.
+    pub fn with_customers(mut self, customers: u32) -> TpccConfig {
+        self.customers_per_district = customers;
+        self
+    }
+
+    /// Overrides the invalid-item (abort) fraction.
+    pub fn with_invalid_fraction(mut self, fraction: f64) -> TpccConfig {
+        self.invalid_item_fraction = fraction;
+        self
+    }
+
+    /// Routing tag for all order-family keys of (warehouse, district) — the
+    /// same partition that stores the district row, so the deferred writes of
+    /// the NewOrder determinate functor are local installs.
+    pub fn order_family_route(&self, w: u32, d: u32) -> u32 {
+        match self.mode {
+            PartitionMode::ByWarehouse => w,
+            PartitionMode::ByItemDistrict => d,
+        }
+    }
+
+    /// Routing tag for a stock row.
+    pub fn stock_route(&self, supply_w: u32, i_id: u32) -> u32 {
+        match self.mode {
+            PartitionMode::ByWarehouse => supply_w,
+            PartitionMode::ByItemDistrict => i_id,
+        }
+    }
+
+    /// Partition index a route maps to.
+    pub fn partition_of_route(&self, route: u32) -> u16 {
+        (route % self.partitions as u32) as u16
+    }
+
+    /// Whether Payment transactions are supported (the scaled layout drops
+    /// `w_ytd`, §V-A1).
+    pub fn supports_payment(&self) -> bool {
+        self.mode == PartitionMode::ByWarehouse
+    }
+
+    /// First valid order id (TPC-C databases are loaded with 3000 orders).
+    pub const INITIAL_NEXT_O_ID: i64 = 3001;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_warehouse_scales_with_hosts() {
+        let cfg = TpccConfig::by_warehouse(4, 10);
+        assert_eq!(cfg.warehouses, 40);
+        assert_eq!(cfg.districts, 10);
+        assert!(cfg.supports_payment());
+    }
+
+    #[test]
+    fn scaled_uses_single_warehouse() {
+        let cfg = TpccConfig::scaled(4, 10);
+        assert_eq!(cfg.warehouses, 1);
+        assert_eq!(cfg.districts, 40);
+        assert!(!cfg.supports_payment());
+    }
+
+    #[test]
+    fn routes_follow_mode() {
+        let bw = TpccConfig::by_warehouse(4, 1);
+        assert_eq!(bw.order_family_route(3, 7), 3);
+        assert_eq!(bw.stock_route(2, 999), 2);
+        let sc = TpccConfig::scaled(4, 1);
+        assert_eq!(sc.order_family_route(0, 7), 7);
+        assert_eq!(sc.stock_route(0, 999), 999);
+    }
+}

@@ -1,0 +1,281 @@
+//! The remaining TPC-C transaction types, implemented for ALOHA-DB as
+//! extensions beyond the paper's NewOrder/Payment evaluation:
+//!
+//! * **OrderStatus** — read-only: a customer's balance and their most recent
+//!   order with its lines. Runs as a §III-B *delayed latest-version read*:
+//!   a timestamp is assigned in the current epoch and the reads execute
+//!   against that historical snapshot once the epoch completes.
+//! * **StockLevel** — read-only: how many of a district's recently ordered
+//!   items have stock below a threshold. Also a delayed snapshot read.
+//! * **Delivery** — read-write and *dependent* (§IV-E): the oldest
+//!   undelivered order of each district is only known at computing time, so
+//!   the district's delivery cursor is the determinate key; its functor
+//!   reads the cursor and emits the customer-balance credit as a deferred
+//!   write at the same version.
+//!
+//! OrderStatus and StockLevel are client-side snapshot procedures (they
+//! issue reads, not functors); Delivery is a registered one-shot program.
+
+use std::sync::Arc;
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::{Error, Key, Result, Value};
+use aloha_core::{fn_program, ClusterBuilder, Database, ProgramId, TxnPlan};
+use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
+
+use super::schema::{tag, OrderLineRow, OrderRow};
+use super::TpccConfig;
+
+/// Delivery program id.
+pub const DELIVERY: ProgramId = ProgramId(14);
+/// Delivery determinate-functor handler.
+pub const H_DELIVERY: HandlerId = HandlerId(23);
+
+impl TpccConfig {
+    /// The district's delivery cursor: the next order id to deliver.
+    /// Determinate key of the Delivery transaction.
+    pub fn delivery_cursor_key(&self, w: u32, d: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::DISTRICT_INFO], b"dlv", &w.to_be_bytes(), &d.to_be_bytes()],
+        )
+    }
+}
+
+/// Result of an OrderStatus inquiry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderStatus {
+    /// The customer's balance in cents.
+    pub balance_cents: i64,
+    /// The most recent order, if the customer has any.
+    pub last_order: Option<OrderRow>,
+    /// Its order lines.
+    pub lines: Vec<OrderLineRow>,
+}
+
+/// Runs the OrderStatus read-only transaction: a consistent snapshot of the
+/// customer's balance and their latest order. The snapshot timestamp is
+/// assigned in the current epoch and the reads run once that epoch settles
+/// (`Database::read_latest` implements the §III-B delay).
+///
+/// The scan for "the customer's most recent order" walks order ids downward
+/// from the district's `next_o_id`; with key-value storage this is the
+/// standard secondary-index-free formulation.
+///
+/// # Errors
+///
+/// Transport/shutdown failures.
+pub fn order_status(
+    db: &Database,
+    cfg: &TpccConfig,
+    w: u32,
+    d: u32,
+    c: u32,
+) -> Result<OrderStatus> {
+    let reads =
+        db.read_latest(&[cfg.cbal_key(w, d, c), cfg.district_noid_key(w, d)])?;
+    let balance_cents = reads[0].as_ref().and_then(Value::as_i64).unwrap_or(0);
+    let next_o_id =
+        reads[1].as_ref().and_then(Value::as_i64).unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+
+    // Walk recent orders newest-first until one belongs to this customer.
+    let mut last_order = None;
+    let mut o_id = next_o_id - 1;
+    let floor = (next_o_id - 64).max(TpccConfig::INITIAL_NEXT_O_ID - 1);
+    while o_id > floor {
+        if let Some(raw) = db.read_latest(&[cfg.order_key(w, d, o_id)])?[0].as_ref() {
+            let order = OrderRow::decode(raw)?;
+            if order.c_id == c {
+                last_order = Some(order);
+                break;
+            }
+        }
+        o_id -= 1;
+    }
+    let mut lines = Vec::new();
+    if let Some(order) = &last_order {
+        for number in 0..order.ol_cnt {
+            if let Some(raw) =
+                db.read_latest(&[cfg.orderline_key(w, d, order.o_id, number)])?[0].as_ref()
+            {
+                lines.push(OrderLineRow::decode(raw)?);
+            }
+        }
+    }
+    Ok(OrderStatus { balance_cents, last_order, lines })
+}
+
+/// Runs the StockLevel read-only transaction: of the items in the district's
+/// last `recent_orders` orders, how many have stock strictly below
+/// `threshold`. A single consistent snapshot covers the district counter,
+/// the order lines and the stock rows — the kind of multi-partition
+/// analytic read ECC serves without touching any write path.
+///
+/// # Errors
+///
+/// Transport/shutdown failures.
+pub fn stock_level(
+    db: &Database,
+    cfg: &TpccConfig,
+    w: u32,
+    d: u32,
+    recent_orders: i64,
+    threshold: i64,
+) -> Result<usize> {
+    let next_o_id = db.read_latest(&[cfg.district_noid_key(w, d)])?[0]
+        .as_ref()
+        .and_then(Value::as_i64)
+        .unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+    let mut item_supply: std::collections::HashSet<(u32, u32)> = Default::default();
+    let lo = (next_o_id - recent_orders).max(TpccConfig::INITIAL_NEXT_O_ID);
+    for o_id in lo..next_o_id {
+        let Some(raw) = db.read_latest(&[cfg.order_key(w, d, o_id)])?[0].as_ref().cloned()
+        else {
+            continue;
+        };
+        let order = OrderRow::decode(&raw)?;
+        for number in 0..order.ol_cnt {
+            if let Some(ol_raw) =
+                db.read_latest(&[cfg.orderline_key(w, d, o_id, number)])?[0].as_ref()
+            {
+                let ol = OrderLineRow::decode(ol_raw)?;
+                item_supply.insert((ol.supply_w, ol.i_id));
+            }
+        }
+    }
+    let mut low = 0usize;
+    for (supply_w, i_id) in item_supply {
+        if let Some(raw) = db.read_latest(&[cfg.stock_key(supply_w, i_id)])?[0].as_ref() {
+            let stock = super::schema::StockRow::decode(raw)?;
+            if stock.quantity < threshold {
+                low += 1;
+            }
+        }
+    }
+    Ok(low)
+}
+
+/// Argument blob for Delivery: warehouse and district.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryReq {
+    /// Warehouse.
+    pub w: u32,
+    /// District to deliver in.
+    pub d: u32,
+}
+
+impl DeliveryReq {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut wr = Writer::new();
+        wr.put_u32(self.w).put_u32(self.d);
+        wr.into_bytes()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors on malformed payloads.
+    pub fn decode(args: &[u8]) -> Result<DeliveryReq> {
+        let mut r = Reader::new(args);
+        Ok(DeliveryReq { w: r.get_u32()?, d: r.get_u32()? })
+    }
+}
+
+/// Registers the Delivery transaction. Call *in addition to*
+/// [`super::aloha::install`]; the loader must also seed the delivery cursor
+/// via [`load_delivery_cursors`].
+pub fn install_delivery(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
+    let cfg = Arc::new(cfg.clone());
+    let handler_cfg = Arc::clone(&cfg);
+    builder.register_handler(H_DELIVERY, move |input: &ComputeInput<'_>| {
+        let Ok(req) = DeliveryReq::decode(input.args) else { return HandlerOutput::abort() };
+        let cfg = &handler_cfg;
+        let cursor = input.reads.i64(input.key).unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+        // The oldest undelivered order (if any): only known here, in the
+        // computing phase — the defining trait of a dependent transaction.
+        let order_key = cfg.order_key(req.w, req.d, cursor);
+        let Some(raw) = input.reads.value(&order_key) else {
+            // Nothing to deliver: commit the cursor unchanged ("skipped
+            // delivery" in TPC-C terms).
+            return HandlerOutput::commit(Value::from_i64(cursor));
+        };
+        let Ok(order) = OrderRow::decode(raw) else { return HandlerOutput::abort() };
+        // Sum the order's line amounts to credit the customer.
+        let mut amount = 0i64;
+        for number in 0..order.ol_cnt {
+            let ol_key = cfg.orderline_key(req.w, req.d, cursor, number);
+            if let Some(ol_raw) = input.reads.value(&ol_key) {
+                if let Ok(ol) = OrderLineRow::decode(ol_raw) {
+                    amount += ol.amount_cents;
+                }
+            }
+        }
+        let balance_key = cfg.cbal_key(req.w, req.d, order.c_id);
+        let prior = input.reads.i64(&balance_key).unwrap_or(0);
+        HandlerOutput::commit(Value::from_i64(cursor + 1)).with_deferred(vec![
+            // Credit the customer at this version (deferred write).
+            (balance_key, Functor::Value(Value::from_i64(prior + amount))),
+            // Remove the NewOrder row: the order is no longer "new".
+            (cfg.neworder_key(req.w, req.d, cursor), Functor::Deleted),
+        ])
+    });
+
+    let program_cfg = Arc::clone(&cfg);
+    builder.register_program(
+        DELIVERY,
+        fn_program(move |ctx| {
+            let req = DeliveryReq::decode(ctx.args)?;
+            let cfg = &program_cfg;
+            if !cfg.supports_payment() {
+                return Err(Error::Config(
+                    "delivery uses customer balances, which the scaled layout omits".into(),
+                ));
+            }
+            let cursor_key = cfg.delivery_cursor_key(req.w, req.d);
+            // The functor must read the cursor, the candidate order and its
+            // lines, and the customer's balance. Orders/lines/balances are
+            // co-located with the cursor (same order-family route), and the
+            // read set must cover whatever the handler may touch: the read
+            // gathering resolves exact keys lazily via a snapshot read of the
+            // cursor during transform.
+            let snapshot_cursor = ctx
+                .reader
+                .read(&cursor_key)?
+                .value
+                .as_ref()
+                .and_then(Value::as_i64)
+                .unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+            let mut read_set = vec![cursor_key.clone()];
+            // The settled snapshot may trail the computing-phase state by the
+            // in-flight epochs; cover a window of candidate orders so the
+            // handler finds its inputs in the gathered reads.
+            for o_id in snapshot_cursor..snapshot_cursor + 4 {
+                read_set.push(cfg.order_key(req.w, req.d, o_id));
+                for number in 0..16u32 {
+                    read_set.push(cfg.orderline_key(req.w, req.d, o_id, number));
+                }
+            }
+            for c in 0..cfg.customers_per_district {
+                read_set.push(cfg.cbal_key(req.w, req.d, c));
+            }
+            Ok(TxnPlan::new().write(
+                cursor_key,
+                Functor::User(UserFunctor::new(H_DELIVERY, read_set, ctx.args.to_vec())),
+            ))
+        }),
+    );
+}
+
+/// Seeds the delivery cursors (call after [`super::aloha::load`]).
+pub fn load_delivery_cursors(cluster: &aloha_core::Cluster, cfg: &TpccConfig) {
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts {
+            cluster.load(
+                cfg.delivery_cursor_key(w, d),
+                Value::from_i64(TpccConfig::INITIAL_NEXT_O_ID),
+            );
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! TPC-C table schemas: key builders and row codecs.
+//!
+//! Each table gets a one-byte tag; hot mutable columns that the benchmark
+//! transactions update through numeric functors (`w_ytd`, `d_ytd`,
+//! `c_balance`, `d_next_o_id`) are stored as dedicated i64 keys, while the
+//! static row payloads live under their own keys. This mirrors common
+//! column-splitting practice in key-value-backed TPC-C implementations and
+//! lets ALOHA-DB express Payment entirely with `ADD`/`SUBTR` functors.
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::{Key, Result, Value};
+
+use super::TpccConfig;
+
+/// Table tags (first key part).
+pub mod tag {
+    /// Item catalogue (replicated per partition).
+    pub const ITEM: u8 = 1;
+    /// Stock rows.
+    pub const STOCK: u8 = 2;
+    /// District `next_o_id` counter (determinate key of NewOrder).
+    pub const DISTRICT_NOID: u8 = 3;
+    /// District static info.
+    pub const DISTRICT_INFO: u8 = 4;
+    /// Warehouse `w_ytd` counter.
+    pub const WAREHOUSE_YTD: u8 = 5;
+    /// Customer balance counter.
+    pub const CUSTOMER_BAL: u8 = 6;
+    /// Customer static info.
+    pub const CUSTOMER_INFO: u8 = 7;
+    /// Order rows (dependent keys).
+    pub const ORDER: u8 = 8;
+    /// NewOrder rows (dependent keys).
+    pub const NEW_ORDER: u8 = 9;
+    /// OrderLine rows (dependent keys).
+    pub const ORDER_LINE: u8 = 10;
+    /// Payment history rows.
+    pub const HISTORY: u8 = 11;
+    /// Warehouse static info.
+    pub const WAREHOUSE_INFO: u8 = 12;
+}
+
+impl TpccConfig {
+    /// Replicated item row for partition index `partition`.
+    pub fn item_key(&self, partition: u16, i_id: u32) -> Key {
+        Key::with_route(partition as u32, &[&[tag::ITEM], &i_id.to_be_bytes()])
+    }
+
+    /// Stock row of item `i_id` supplied by warehouse `supply_w`.
+    pub fn stock_key(&self, supply_w: u32, i_id: u32) -> Key {
+        Key::with_route(
+            self.stock_route(supply_w, i_id),
+            &[&[tag::STOCK], &supply_w.to_be_bytes(), &i_id.to_be_bytes()],
+        )
+    }
+
+    /// District next-order-id counter (the NewOrder determinate key).
+    pub fn district_noid_key(&self, w: u32, d: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::DISTRICT_NOID], &w.to_be_bytes(), &d.to_be_bytes()],
+        )
+    }
+
+    /// District static info row.
+    pub fn district_info_key(&self, w: u32, d: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::DISTRICT_INFO], &w.to_be_bytes(), &d.to_be_bytes()],
+        )
+    }
+
+    /// District year-to-date counter (Payment).
+    pub fn dytd_key(&self, w: u32, d: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::DISTRICT_INFO], b"ytd", &w.to_be_bytes(), &d.to_be_bytes()],
+        )
+    }
+
+    /// Warehouse year-to-date counter (Payment; `ByWarehouse` only).
+    pub fn wytd_key(&self, w: u32) -> Key {
+        Key::with_route(w, &[&[tag::WAREHOUSE_YTD], &w.to_be_bytes()])
+    }
+
+    /// Warehouse static info row.
+    pub fn warehouse_info_key(&self, w: u32) -> Key {
+        Key::with_route(w, &[&[tag::WAREHOUSE_INFO], &w.to_be_bytes()])
+    }
+
+    /// Customer balance counter.
+    pub fn cbal_key(&self, w: u32, d: u32, c: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::CUSTOMER_BAL], &w.to_be_bytes(), &d.to_be_bytes(), &c.to_be_bytes()],
+        )
+    }
+
+    /// Customer static info row.
+    pub fn customer_info_key(&self, w: u32, d: u32, c: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::CUSTOMER_INFO], &w.to_be_bytes(), &d.to_be_bytes(), &c.to_be_bytes()],
+        )
+    }
+
+    /// Order row (dependent key: the order id is assigned by the determinate
+    /// functor).
+    pub fn order_key(&self, w: u32, d: u32, o_id: i64) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::ORDER], &w.to_be_bytes(), &d.to_be_bytes(), &o_id.to_be_bytes()],
+        )
+    }
+
+    /// NewOrder row (dependent key).
+    pub fn neworder_key(&self, w: u32, d: u32, o_id: i64) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[&[tag::NEW_ORDER], &w.to_be_bytes(), &d.to_be_bytes(), &o_id.to_be_bytes()],
+        )
+    }
+
+    /// OrderLine row (dependent key).
+    pub fn orderline_key(&self, w: u32, d: u32, o_id: i64, number: u32) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[
+                &[tag::ORDER_LINE],
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+                &o_id.to_be_bytes(),
+                &number.to_be_bytes(),
+            ],
+        )
+    }
+
+    /// History row; `unique` disambiguates (the transaction timestamp).
+    pub fn history_key(&self, w: u32, d: u32, c: u32, unique: u64) -> Key {
+        Key::with_route(
+            self.order_family_route(w, d),
+            &[
+                &[tag::HISTORY],
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+                &c.to_be_bytes(),
+                &unique.to_be_bytes(),
+            ],
+        )
+    }
+
+    /// The §IV-E dependency rule for this layout: order-family rows are
+    /// dependent keys governed by their district's `next_o_id` determinate
+    /// key.
+    pub fn dependency_rule(&self) -> impl Fn(&Key) -> Option<Key> + Send + Sync + 'static {
+        let cfg = self.clone();
+        move |key: &Key| {
+            let parts = key.parts()?;
+            let t = *parts.first()?.first()?;
+            if !matches!(t, tag::ORDER | tag::NEW_ORDER | tag::ORDER_LINE) {
+                return None;
+            }
+            let w = u32::from_be_bytes(parts.get(1)?.as_ref().try_into().ok()?);
+            let d = u32::from_be_bytes(parts.get(2)?.as_ref().try_into().ok()?);
+            Some(cfg.district_noid_key(w, d))
+        }
+    }
+}
+
+/// Item catalogue row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemRow {
+    /// Item id.
+    pub i_id: u32,
+    /// Item name.
+    pub name: String,
+    /// Price in cents.
+    pub price_cents: i64,
+}
+
+impl ItemRow {
+    /// Encodes the row into a value.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_u32(self.i_id).put_str(&self.name).put_i64(self.price_cents);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<ItemRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(ItemRow {
+            i_id: r.get_u32()?,
+            name: r.get_str()?.to_string(),
+            price_cents: r.get_i64()?,
+        })
+    }
+}
+
+/// Stock row: the columns NewOrder updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StockRow {
+    /// Item id.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub w_id: u32,
+    /// Quantity on hand.
+    pub quantity: i64,
+    /// Year-to-date units sold.
+    pub ytd: i64,
+    /// Number of orders touching this stock.
+    pub order_cnt: i64,
+}
+
+impl StockRow {
+    /// Applies the TPC-C NewOrder stock update rule for `qty` units.
+    pub fn apply_order(&mut self, qty: i64) {
+        if self.quantity - qty >= 10 {
+            self.quantity -= qty;
+        } else {
+            self.quantity += 91 - qty;
+        }
+        self.ytd += qty;
+        self.order_cnt += 1;
+    }
+
+    /// Encodes the row.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_u32(self.i_id)
+            .put_u32(self.w_id)
+            .put_i64(self.quantity)
+            .put_i64(self.ytd)
+            .put_i64(self.order_cnt);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<StockRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(StockRow {
+            i_id: r.get_u32()?,
+            w_id: r.get_u32()?,
+            quantity: r.get_i64()?,
+            ytd: r.get_i64()?,
+            order_cnt: r.get_i64()?,
+        })
+    }
+}
+
+/// Order header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRow {
+    /// Order id.
+    pub o_id: i64,
+    /// District.
+    pub d_id: u32,
+    /// Warehouse.
+    pub w_id: u32,
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+}
+
+impl OrderRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_i64(self.o_id)
+            .put_u32(self.d_id)
+            .put_u32(self.w_id)
+            .put_u32(self.c_id)
+            .put_u32(self.ol_cnt);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<OrderRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(OrderRow {
+            o_id: r.get_i64()?,
+            d_id: r.get_u32()?,
+            w_id: r.get_u32()?,
+            c_id: r.get_u32()?,
+            ol_cnt: r.get_u32()?,
+        })
+    }
+}
+
+/// Order line row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderLineRow {
+    /// Order id.
+    pub o_id: i64,
+    /// Line number within the order.
+    pub number: u32,
+    /// Ordered item.
+    pub i_id: u32,
+    /// Supplying warehouse.
+    pub supply_w: u32,
+    /// Quantity.
+    pub qty: u32,
+    /// Line amount in cents (= qty × price).
+    pub amount_cents: i64,
+}
+
+impl OrderLineRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_i64(self.o_id)
+            .put_u32(self.number)
+            .put_u32(self.i_id)
+            .put_u32(self.supply_w)
+            .put_u32(self.qty)
+            .put_i64(self.amount_cents);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<OrderLineRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(OrderLineRow {
+            o_id: r.get_i64()?,
+            number: r.get_u32()?,
+            i_id: r.get_u32()?,
+            supply_w: r.get_u32()?,
+            qty: r.get_u32()?,
+            amount_cents: r.get_i64()?,
+        })
+    }
+}
+
+/// Customer static row (loaded once; Payment updates only the balance key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomerRow {
+    /// Customer id.
+    pub c_id: u32,
+    /// Last name (used by TPC-C name lookups; kept for schema completeness).
+    pub last_name: String,
+    /// Credit flag.
+    pub good_credit: bool,
+}
+
+impl CustomerRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_u32(self.c_id).put_str(&self.last_name).put_u8(self.good_credit as u8);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<CustomerRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(CustomerRow {
+            c_id: r.get_u32()?,
+            last_name: r.get_str()?.to_string(),
+            good_credit: r.get_u8()? != 0,
+        })
+    }
+}
+
+/// District static row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistrictInfoRow {
+    /// District id.
+    pub d_id: u32,
+    /// Warehouse id.
+    pub w_id: u32,
+    /// Sales tax in basis points.
+    pub tax_bp: u32,
+}
+
+impl DistrictInfoRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_u32(self.d_id).put_u32(self.w_id).put_u32(self.tax_bp);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<DistrictInfoRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(DistrictInfoRow { d_id: r.get_u32()?, w_id: r.get_u32()?, tax_bp: r.get_u32()? })
+    }
+}
+
+/// Warehouse static row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarehouseRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// Sales tax in basis points.
+    pub tax_bp: u32,
+}
+
+impl WarehouseRow {
+    /// Encodes the row.
+    pub fn encode(&self) -> Value {
+        let mut w = Writer::new();
+        w.put_u32(self.w_id).put_u32(self.tax_bp);
+        Value::from(w.into_bytes())
+    }
+
+    /// Decodes a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for malformed payloads.
+    pub fn decode(value: &Value) -> Result<WarehouseRow> {
+        let mut r = Reader::new(value.as_bytes());
+        Ok(WarehouseRow { w_id: r.get_u32()?, tax_bp: r.get_u32()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::PartitionMode;
+
+    fn cfg() -> TpccConfig {
+        TpccConfig::by_warehouse(4, 1)
+    }
+
+    #[test]
+    fn warehouse_keys_colocate_by_warehouse() {
+        let cfg = cfg();
+        let n = cfg.partitions;
+        for w in 0..4u32 {
+            let p = cfg.district_noid_key(w, 3).partition(n);
+            assert_eq!(cfg.wytd_key(w).partition(n), p);
+            assert_eq!(cfg.stock_key(w, 77).partition(n), p);
+            assert_eq!(cfg.order_key(w, 3, 5000).partition(n), p);
+            assert_eq!(cfg.cbal_key(w, 3, 9).partition(n), p);
+        }
+    }
+
+    #[test]
+    fn scaled_keys_spread_by_item_and_district() {
+        let cfg = TpccConfig::scaled(4, 10);
+        assert_eq!(cfg.mode, PartitionMode::ByItemDistrict);
+        let n = cfg.partitions;
+        // Stock of items 0..4 lands on four different partitions.
+        let parts: std::collections::HashSet<_> =
+            (0..4u32).map(|i| cfg.stock_key(0, i).partition(n)).collect();
+        assert_eq!(parts.len(), 4);
+        // District rows spread by district.
+        let dparts: std::collections::HashSet<_> =
+            (0..4u32).map(|d| cfg.district_noid_key(0, d).partition(n)).collect();
+        assert_eq!(dparts.len(), 4);
+    }
+
+    #[test]
+    fn dependency_rule_maps_order_family_to_district() {
+        let cfg = cfg();
+        let rule = cfg.dependency_rule();
+        let dnoid = cfg.district_noid_key(2, 5);
+        assert_eq!(rule(&cfg.order_key(2, 5, 3001)), Some(dnoid.clone()));
+        assert_eq!(rule(&cfg.neworder_key(2, 5, 3001)), Some(dnoid.clone()));
+        assert_eq!(rule(&cfg.orderline_key(2, 5, 3001, 4)), Some(dnoid.clone()));
+        assert_eq!(rule(&cfg.stock_key(2, 5)), None);
+        assert_eq!(rule(&dnoid), None);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let item = ItemRow { i_id: 7, name: "widget".into(), price_cents: 1299 };
+        assert_eq!(ItemRow::decode(&item.encode()).unwrap(), item);
+        let stock = StockRow { i_id: 7, w_id: 1, quantity: 50, ytd: 10, order_cnt: 3 };
+        assert_eq!(StockRow::decode(&stock.encode()).unwrap(), stock);
+        let order = OrderRow { o_id: 3001, d_id: 1, w_id: 2, c_id: 3, ol_cnt: 5 };
+        assert_eq!(OrderRow::decode(&order.encode()).unwrap(), order);
+        let ol = OrderLineRow {
+            o_id: 3001,
+            number: 1,
+            i_id: 7,
+            supply_w: 2,
+            qty: 3,
+            amount_cents: 3897,
+        };
+        assert_eq!(OrderLineRow::decode(&ol.encode()).unwrap(), ol);
+        let cust = CustomerRow { c_id: 3, last_name: "BARBARBAR".into(), good_credit: true };
+        assert_eq!(CustomerRow::decode(&cust.encode()).unwrap(), cust);
+        let dist = DistrictInfoRow { d_id: 1, w_id: 2, tax_bp: 850 };
+        assert_eq!(DistrictInfoRow::decode(&dist.encode()).unwrap(), dist);
+        let wh = WarehouseRow { w_id: 2, tax_bp: 777 };
+        assert_eq!(WarehouseRow::decode(&wh.encode()).unwrap(), wh);
+    }
+
+    #[test]
+    fn stock_update_rule_matches_tpcc() {
+        let mut s = StockRow { i_id: 1, w_id: 1, quantity: 50, ytd: 0, order_cnt: 0 };
+        s.apply_order(5);
+        assert_eq!(s.quantity, 45);
+        // Near-empty stock is replenished by 91.
+        let mut low = StockRow { i_id: 1, w_id: 1, quantity: 12, ytd: 0, order_cnt: 0 };
+        low.apply_order(5);
+        assert_eq!(low.quantity, 12 + 91 - 5);
+        assert_eq!(low.ytd, 5);
+        assert_eq!(low.order_cnt, 1);
+    }
+
+    #[test]
+    fn item_copies_exist_per_partition() {
+        let cfg = cfg();
+        for p in 0..cfg.partitions {
+            assert_eq!(cfg.item_key(p, 42).partition(cfg.partitions).0, p);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ItemRow::decode(&Value::new(vec![1, 2])).is_err());
+        assert!(StockRow::decode(&Value::new(vec![])).is_err());
+    }
+}

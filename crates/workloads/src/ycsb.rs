@@ -1,0 +1,306 @@
+//! The YCSB-like microbenchmark from the Calvin evaluations (§V-A1).
+//!
+//! Each partition holds `keys_per_partition` records whose first `hot_keys`
+//! are "hot". A transaction reads 10 keys and increments each by one,
+//! touching exactly two partitions and exactly one hot key per participant
+//! partition. The *contention index* CI = 1/`hot_keys` sets how contended
+//! the hot keys are: CI = 0.1 means 10 hot keys per partition, CI = 0.0001
+//! means 10 000.
+
+use std::sync::Arc;
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::{Key, Result, ServerId, Value};
+use aloha_core::{fn_program, ClusterBuilder, Database, TxnHandle, TxnOutcome, TxnPlan};
+use aloha_functor::Functor;
+use calvin::{CalvinClusterBuilder, CalvinDatabase, CalvinHandle, CalvinPlan};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Table tag for microbenchmark keys.
+const YCSB_TAG: u8 = 20;
+
+/// ALOHA program id.
+pub const YCSB_ALOHA: aloha_core::ProgramId = aloha_core::ProgramId(13);
+/// Calvin program id.
+pub const YCSB_CALVIN: calvin::ProgramId = calvin::ProgramId(13);
+
+/// Microbenchmark parameters.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of partitions (= servers).
+    pub partitions: u16,
+    /// Records per partition (paper: 1 M; default scaled down for CI runs).
+    pub keys_per_partition: u32,
+    /// Hot keys per partition; the contention index is `1 / hot_keys`.
+    pub hot_keys: u32,
+    /// Keys accessed per transaction (paper: 10).
+    pub keys_per_txn: usize,
+    /// Partitions touched per transaction (paper: 2).
+    pub partitions_per_txn: usize,
+}
+
+impl YcsbConfig {
+    /// A configuration with the paper's transaction shape and the given
+    /// contention index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contention_index` is not in `(0, 1]`.
+    pub fn with_contention_index(partitions: u16, contention_index: f64) -> YcsbConfig {
+        assert!(
+            contention_index > 0.0 && contention_index <= 1.0,
+            "contention index must be in (0, 1]"
+        );
+        let hot_keys = (1.0 / contention_index).round().max(1.0) as u32;
+        YcsbConfig {
+            partitions,
+            keys_per_partition: 100_000.max(hot_keys * 2),
+            hot_keys,
+            keys_per_txn: 10,
+            partitions_per_txn: 2,
+        }
+    }
+
+    /// Overrides the record count per partition.
+    pub fn with_keys_per_partition(mut self, keys: u32) -> YcsbConfig {
+        self.keys_per_partition = keys.max(self.hot_keys * 2);
+        self
+    }
+
+    /// The contention index CI = 1 / hot keys.
+    pub fn contention_index(&self) -> f64 {
+        1.0 / self.hot_keys as f64
+    }
+
+    /// The key for record `idx` of partition `p`.
+    pub fn key(&self, p: u16, idx: u32) -> Key {
+        Key::with_route(p as u32, &[&[YCSB_TAG], &idx.to_be_bytes()])
+    }
+}
+
+/// Generates the key set of one transaction: `partitions_per_txn` distinct
+/// partitions; on each, one hot key plus an equal share of cold keys.
+pub fn gen_txn_keys(rng: &mut SmallRng, cfg: &YcsbConfig) -> Vec<Key> {
+    let touched = cfg.partitions_per_txn.min(cfg.partitions as usize);
+    let mut parts: Vec<u16> = Vec::with_capacity(touched);
+    while parts.len() < touched {
+        let p = rng.gen_range(0..cfg.partitions);
+        if !parts.contains(&p) {
+            parts.push(p);
+        }
+    }
+    let per_part = cfg.keys_per_txn / touched;
+    let mut keys = Vec::with_capacity(cfg.keys_per_txn);
+    for &p in &parts {
+        // Exactly one hot key on each participant partition.
+        keys.push(cfg.key(p, rng.gen_range(0..cfg.hot_keys)));
+        let mut cold_used = std::collections::HashSet::new();
+        while cold_used.len() < per_part - 1 {
+            let idx = rng.gen_range(cfg.hot_keys..cfg.keys_per_partition);
+            if cold_used.insert(idx) {
+                keys.push(cfg.key(p, idx));
+            }
+        }
+    }
+    keys
+}
+
+fn encode_keys(keys: &[Key]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(keys.len() as u32);
+    for key in keys {
+        w.put_bytes(key.as_bytes());
+    }
+    w.into_bytes()
+}
+
+fn decode_keys(args: &[u8]) -> Result<Vec<Key>> {
+    let mut r = Reader::new(args);
+    let n = r.get_u32()?;
+    (0..n).map(|_| Ok(Key::from(r.get_bytes()?))).collect()
+}
+
+/// Registers the microbenchmark program on an ALOHA cluster builder. Each
+/// key becomes an `ADD(1)` functor — the read-modify-write collapses into a
+/// single self-reading functor, needing no remote reads at all.
+pub fn install_aloha(builder: &mut ClusterBuilder) {
+    builder.register_program(
+        YCSB_ALOHA,
+        fn_program(|ctx| {
+            let keys = decode_keys(ctx.args)?;
+            let mut plan = TxnPlan::new();
+            for key in keys {
+                plan = plan.write(key, Functor::add(1));
+            }
+            Ok(plan)
+        }),
+    );
+}
+
+/// Registers the microbenchmark program on a Calvin cluster builder:
+/// read set = write set = the 10 keys; execute adds one to each.
+pub fn install_calvin(builder: &mut CalvinClusterBuilder) {
+    builder.register_program(
+        YCSB_CALVIN,
+        calvin::fn_program(
+            |args| {
+                let keys = decode_keys(args).unwrap_or_default();
+                CalvinPlan { read_set: keys.clone(), write_set: keys }
+            },
+            |args, reads, writes| {
+                for key in decode_keys(args).unwrap_or_default() {
+                    let old = reads
+                        .get(&key)
+                        .and_then(|v| v.as_ref())
+                        .and_then(Value::as_i64)
+                        .unwrap_or(0);
+                    writes.push((key, Value::from_i64(old + 1)));
+                }
+            },
+        ),
+    );
+}
+
+/// Loads all records (initialized to zero) into an ALOHA cluster.
+pub fn load_aloha(cluster: &aloha_core::Cluster, cfg: &YcsbConfig) {
+    for p in 0..cfg.partitions {
+        for idx in 0..cfg.keys_per_partition {
+            cluster.load(cfg.key(p, idx), Value::from_i64(0));
+        }
+    }
+}
+
+/// Loads all records into a Calvin cluster.
+pub fn load_calvin(cluster: &calvin::CalvinCluster, cfg: &YcsbConfig) {
+    for p in 0..cfg.partitions {
+        for idx in 0..cfg.keys_per_partition {
+            cluster.load(cfg.key(p, idx), Value::from_i64(0));
+        }
+    }
+}
+
+/// The ALOHA microbenchmark workload target.
+#[derive(Debug)]
+pub struct AlohaYcsb {
+    db: Database,
+    cfg: Arc<YcsbConfig>,
+}
+
+impl AlohaYcsb {
+    /// Binds the workload to a database handle.
+    pub fn new(db: Database, cfg: YcsbConfig) -> AlohaYcsb {
+        AlohaYcsb { db, cfg: Arc::new(cfg) }
+    }
+}
+
+impl crate::driver::Workload for AlohaYcsb {
+    type Handle = TxnHandle;
+
+    fn submit(&self, rng: &mut SmallRng) -> Result<TxnHandle> {
+        let keys = gen_txn_keys(rng, &self.cfg);
+        // Coordinate from the first participant partition.
+        let fe = ServerId(keys[0].partition(self.cfg.partitions).0);
+        self.db.execute_at(fe, YCSB_ALOHA, encode_keys(&keys))
+    }
+
+    fn wait(&self, handle: TxnHandle) -> Result<bool> {
+        Ok(handle.wait_processed()? == TxnOutcome::Committed)
+    }
+}
+
+/// The Calvin microbenchmark workload target.
+#[derive(Debug)]
+pub struct CalvinYcsb {
+    db: CalvinDatabase,
+    cfg: Arc<YcsbConfig>,
+}
+
+impl CalvinYcsb {
+    /// Binds the workload to a Calvin database handle.
+    pub fn new(db: CalvinDatabase, cfg: YcsbConfig) -> CalvinYcsb {
+        CalvinYcsb { db, cfg: Arc::new(cfg) }
+    }
+}
+
+impl crate::driver::Workload for CalvinYcsb {
+    type Handle = CalvinHandle;
+
+    fn submit(&self, rng: &mut SmallRng) -> Result<CalvinHandle> {
+        let keys = gen_txn_keys(rng, &self.cfg);
+        let origin = ServerId(keys[0].partition(self.cfg.partitions).0);
+        self.db.execute_at(origin, YCSB_CALVIN, encode_keys(&keys))
+    }
+
+    fn wait(&self, handle: CalvinHandle) -> Result<bool> {
+        handle.wait()?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> YcsbConfig {
+        YcsbConfig::with_contention_index(4, 0.01).with_keys_per_partition(1_000)
+    }
+
+    #[test]
+    fn contention_index_round_trips() {
+        let c = YcsbConfig::with_contention_index(4, 0.01);
+        assert_eq!(c.hot_keys, 100);
+        assert!((c.contention_index() - 0.01).abs() < 1e-12);
+        let extreme = YcsbConfig::with_contention_index(4, 0.1);
+        assert_eq!(extreme.hot_keys, 10);
+    }
+
+    #[test]
+    fn txn_touches_exactly_two_partitions_with_one_hot_key_each() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let keys = gen_txn_keys(&mut rng, &cfg);
+            assert_eq!(keys.len(), cfg.keys_per_txn);
+            let partitions: std::collections::HashSet<_> =
+                keys.iter().map(|k| k.partition(cfg.partitions)).collect();
+            assert_eq!(partitions.len(), 2);
+            // One hot key per partition: hot keys have idx < hot_keys.
+            for p in &partitions {
+                let hot = keys
+                    .iter()
+                    .filter(|k| k.partition(cfg.partitions) == *p)
+                    .filter(|k| {
+                        let parts = k.parts().unwrap();
+                        u32::from_be_bytes(parts[1].try_into().unwrap()) < cfg.hot_keys
+                    })
+                    .count();
+                assert_eq!(hot, 1, "exactly one hot key per participant");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_round_trip_through_args() {
+        let cfg = cfg();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let keys = gen_txn_keys(&mut rng, &cfg);
+        assert_eq!(decode_keys(&encode_keys(&keys)).unwrap(), keys);
+    }
+
+    #[test]
+    #[should_panic(expected = "contention index")]
+    fn zero_contention_index_panics() {
+        let _ = YcsbConfig::with_contention_index(2, 0.0);
+    }
+
+    #[test]
+    fn single_partition_cluster_degrades_gracefully() {
+        let cfg = YcsbConfig::with_contention_index(1, 0.1).with_keys_per_partition(100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let keys = gen_txn_keys(&mut rng, &cfg);
+        assert_eq!(keys.len(), cfg.keys_per_txn);
+        assert!(keys.iter().all(|k| k.partition(1).0 == 0));
+    }
+}

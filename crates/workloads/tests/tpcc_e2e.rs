@@ -1,0 +1,321 @@
+//! End-to-end workload tests: TPC-C and YCSB on both systems, checking
+//! database consistency invariants after the run.
+
+use std::time::Duration;
+
+use aloha_common::Value;
+use aloha_core::{Cluster, ClusterConfig, TxnOutcome};
+use aloha_workloads::driver::{run_windowed, DriverConfig, Workload};
+use aloha_workloads::tpcc::{self, gen, TpccConfig, TxnMix};
+use aloha_workloads::ycsb;
+use calvin::{CalvinCluster, CalvinConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_tpcc(partitions: u16) -> TpccConfig {
+    TpccConfig::by_warehouse(partitions, 1).with_items(100).with_customers(10)
+}
+
+fn aloha_cluster(cfg: &TpccConfig) -> Cluster {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions).with_epoch_duration(Duration::from_millis(3)),
+    );
+    tpcc::aloha::install(&mut builder, cfg);
+    let cluster = builder.start().unwrap();
+    tpcc::aloha::load(&cluster, cfg);
+    cluster
+}
+
+#[test]
+fn aloha_new_order_assigns_sequential_order_ids() {
+    let cfg = small_tpcc(2);
+    let cluster = aloha_cluster(&cfg);
+    let db = cluster.database();
+    let mut rng = SmallRng::seed_from_u64(11);
+
+    // Submit a burst of NewOrders, all to warehouse 0 / district 0.
+    let mut handles = Vec::new();
+    for _ in 0..20 {
+        let mut req = gen::gen_new_order(&mut rng, &cfg, false);
+        req.w = 0;
+        req.d = 0;
+        handles.push(db.execute(tpcc::aloha::NEW_ORDER, req.encode()).unwrap());
+    }
+    let mut committed = 0;
+    for h in handles {
+        if h.wait_processed().unwrap() == TxnOutcome::Committed {
+            committed += 1;
+        }
+    }
+    assert_eq!(committed, 20);
+
+    // next_o_id advanced by exactly the committed count.
+    let noid = db.read_latest(&[cfg.district_noid_key(0, 0)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(noid, TpccConfig::INITIAL_NEXT_O_ID + 20);
+
+    // Every order row exists (dependent keys were installed by deferred
+    // writes) with sequential ids.
+    for o in 0..20i64 {
+        let o_id = TpccConfig::INITIAL_NEXT_O_ID + o;
+        let row = db.read_latest(&[cfg.order_key(0, 0, o_id)]).unwrap()[0].clone();
+        let order = tpcc::OrderRow::decode(row.as_ref().expect("order row must exist")).unwrap();
+        assert_eq!(order.o_id, o_id);
+        assert!((5..=15).contains(&(order.ol_cnt as usize)));
+        // Its order lines exist too, with consistent amounts.
+        for number in 0..order.ol_cnt {
+            let ol_val = db
+                .read_latest(&[cfg.orderline_key(0, 0, o_id, number)])
+                .unwrap()[0]
+                .clone()
+                .expect("order line must exist");
+            let ol = tpcc::OrderLineRow::decode(&ol_val).unwrap();
+            assert_eq!(ol.o_id, o_id);
+            assert!(ol.amount_cents > 0);
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn aloha_new_order_invalid_items_abort_and_roll_back() {
+    let cfg = small_tpcc(2).with_invalid_fraction(1.0); // every txn aborts
+    let cluster = aloha_cluster(&cfg);
+    let db = cluster.database();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut handles = Vec::new();
+    for _ in 0..10 {
+        let mut req = gen::gen_new_order(&mut rng, &cfg, true);
+        req.w = 0;
+        req.d = 0;
+        assert!(req.has_invalid_item());
+        handles.push(db.execute(tpcc::aloha::NEW_ORDER, req.encode()).unwrap());
+    }
+    for h in handles {
+        assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Aborted);
+    }
+    // The district counter must be untouched: aborted versions are skipped.
+    let noid = db.read_latest(&[cfg.district_noid_key(0, 0)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(noid, TpccConfig::INITIAL_NEXT_O_ID);
+    // And no order rows leaked.
+    let row = db
+        .read_latest(&[cfg.order_key(0, 0, TpccConfig::INITIAL_NEXT_O_ID)])
+        .unwrap()[0]
+        .clone();
+    assert!(row.is_none(), "aborted NewOrder must not create order rows");
+    cluster.shutdown();
+}
+
+#[test]
+fn aloha_payment_conserves_totals() {
+    let cfg = small_tpcc(2);
+    let cluster = aloha_cluster(&cfg);
+    let db = cluster.database();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut handles = Vec::new();
+    let mut total = 0i64;
+    let mut reqs = Vec::new();
+    for _ in 0..15 {
+        let req = gen::gen_payment(&mut rng, &cfg);
+        total += req.amount_cents;
+        handles.push(db.execute(tpcc::aloha::PAYMENT, req.encode()).unwrap());
+        reqs.push(req);
+    }
+    for h in handles {
+        assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
+    }
+    // Sum of warehouse YTDs equals the total paid.
+    let wytd_keys: Vec<_> = (0..cfg.warehouses).map(|w| cfg.wytd_key(w)).collect();
+    let wytds = db.read_latest(&wytd_keys).unwrap();
+    let wsum: i64 = wytds.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    assert_eq!(wsum, total);
+    // Customer balances decreased by the same total (started at -1000 each).
+    let mut expected_balance_delta = 0i64;
+    for req in &reqs {
+        expected_balance_delta += req.amount_cents;
+        let bal = db.read_latest(&[cfg.cbal_key(req.c_w, req.c_d, req.c)]).unwrap()[0]
+            .as_ref()
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert!(bal < -1_000, "balance must have decreased");
+    }
+    assert!(expected_balance_delta > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn aloha_scaled_tpcc_spreads_across_partitions() {
+    let cfg = TpccConfig::scaled(3, 2).with_items(99).with_customers(10);
+    let cluster = aloha_cluster(&cfg);
+    let db = cluster.database();
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut handles = Vec::new();
+    for _ in 0..15 {
+        let req = gen::gen_new_order(&mut rng, &cfg, false);
+        handles.push(db.execute(tpcc::aloha::NEW_ORDER, req.encode()).unwrap());
+    }
+    for h in handles {
+        assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
+    }
+    // All district counters sum to initial + committed.
+    let keys: Vec<_> = (0..cfg.districts).map(|d| cfg.district_noid_key(0, d)).collect();
+    let noids = db.read_latest(&keys).unwrap();
+    let sum: i64 = noids.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    assert_eq!(sum, cfg.districts as i64 * TpccConfig::INITIAL_NEXT_O_ID + 15);
+    cluster.shutdown();
+}
+
+#[test]
+fn calvin_new_order_matches_district_counters() {
+    let cfg = small_tpcc(2);
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(cfg.partitions).with_batch_duration(Duration::from_millis(3)),
+    );
+    tpcc::calvin_impl::install(&mut builder, &cfg);
+    let cluster = builder.start().unwrap();
+    tpcc::calvin_impl::load(&cluster, &cfg);
+    let db = cluster.database();
+    let target = tpcc::calvin_impl::CalvinTpcc::new(db, cfg.clone(), TxnMix::NewOrderOnly);
+    let mut rng = SmallRng::seed_from_u64(31);
+    let mut handles = Vec::new();
+    for _ in 0..20 {
+        handles.push(target.submit(&mut rng).unwrap());
+    }
+    for h in handles {
+        assert!(target.wait(h).unwrap());
+    }
+    // Total orders created across districts equals 20.
+    let mut created = 0i64;
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts {
+            let noid = cluster
+                .read(&cfg.district_noid_key(w, d))
+                .unwrap()
+                .as_i64()
+                .unwrap();
+            created += noid - TpccConfig::INITIAL_NEXT_O_ID;
+        }
+    }
+    assert_eq!(created, 20);
+    cluster.shutdown();
+}
+
+#[test]
+fn ycsb_increments_are_exact_on_both_systems() {
+    let ycfg = ycsb::YcsbConfig::with_contention_index(2, 0.1).with_keys_per_partition(200);
+
+    // ALOHA.
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(3)),
+    );
+    ycsb::install_aloha(&mut builder);
+    let cluster = builder.start().unwrap();
+    ycsb::load_aloha(&cluster, &ycfg);
+    let target = ycsb::AlohaYcsb::new(cluster.database(), ycfg.clone());
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut handles = Vec::new();
+    for _ in 0..30 {
+        handles.push(target.submit(&mut rng).unwrap());
+    }
+    for h in handles {
+        assert!(target.wait(h).unwrap());
+    }
+    let mut sum = 0i64;
+    let db = cluster.database();
+    for p in 0..ycfg.partitions {
+        let keys: Vec<_> = (0..ycfg.keys_per_partition).map(|i| ycfg.key(p, i)).collect();
+        for chunk in keys.chunks(500) {
+            for v in db.read_latest(chunk).unwrap() {
+                sum += v.as_ref().and_then(Value::as_i64).unwrap_or(0);
+            }
+        }
+    }
+    assert_eq!(sum as usize, 30 * ycfg.keys_per_txn, "every increment applied exactly once");
+    cluster.shutdown();
+
+    // Calvin.
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)),
+    );
+    ycsb::install_calvin(&mut builder);
+    let ccluster = builder.start().unwrap();
+    ycsb::load_calvin(&ccluster, &ycfg);
+    let ctarget = ycsb::CalvinYcsb::new(ccluster.database(), ycfg.clone());
+    let mut handles = Vec::new();
+    for _ in 0..30 {
+        handles.push(ctarget.submit(&mut rng).unwrap());
+    }
+    for h in handles {
+        assert!(ctarget.wait(h).unwrap());
+    }
+    let mut csum = 0i64;
+    for p in 0..ycfg.partitions {
+        for i in 0..ycfg.keys_per_partition {
+            csum += ccluster.read(&ycfg.key(p, i)).and_then(|v| v.as_i64()).unwrap_or(0);
+        }
+    }
+    assert_eq!(csum as usize, 30 * ycfg.keys_per_txn);
+    ccluster.shutdown();
+}
+
+#[test]
+fn driver_runs_aloha_tpcc_under_load() {
+    let cfg = small_tpcc(2);
+    let cluster = aloha_cluster(&cfg);
+    let target =
+        tpcc::aloha::AlohaTpcc::new(cluster.database(), cfg.clone(), TxnMix::NewOrderOnly, true);
+    let report = run_windowed(
+        &target,
+        &DriverConfig {
+            threads: 2,
+            window: 8,
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(100),
+            seed: 1,
+            pacing: None,
+        },
+    );
+    assert!(report.completed > 0, "driver must complete transactions");
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput_tps() > 0.0);
+    // With 1% invalid items a small abort share is expected but not certain
+    // in a short run; committed must dominate.
+    assert!(report.committed > report.aborted);
+    cluster.shutdown();
+}
+
+#[test]
+fn driver_runs_calvin_tpcc_under_load() {
+    let cfg = small_tpcc(2);
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(cfg.partitions).with_batch_duration(Duration::from_millis(3)),
+    );
+    tpcc::calvin_impl::install(&mut builder, &cfg);
+    let cluster = builder.start().unwrap();
+    tpcc::calvin_impl::load(&cluster, &cfg);
+    let target =
+        tpcc::calvin_impl::CalvinTpcc::new(cluster.database(), cfg.clone(), TxnMix::NewOrderOnly);
+    let report = run_windowed(
+        &target,
+        &DriverConfig {
+            threads: 2,
+            window: 8,
+            duration: Duration::from_millis(300),
+            warmup: Duration::from_millis(100),
+            seed: 2,
+            pacing: None,
+        },
+    );
+    assert!(report.completed > 0);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.aborted, 0, "calvin never aborts");
+    cluster.shutdown();
+}

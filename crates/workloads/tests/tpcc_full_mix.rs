@@ -1,0 +1,195 @@
+//! The extension TPC-C transactions: OrderStatus, StockLevel (delayed
+//! read-only) and Delivery (dependent read-write).
+
+use std::time::Duration;
+
+use aloha_core::{Cluster, ClusterConfig, TxnOutcome};
+use aloha_workloads::tpcc::{self, gen, read_txns, DeliveryReq, TpccConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn build(cfg: &TpccConfig) -> Cluster {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions).with_epoch_duration(Duration::from_millis(3)),
+    );
+    tpcc::aloha::install(&mut builder, cfg);
+    read_txns::install_delivery(&mut builder, cfg);
+    let cluster = builder.start().unwrap();
+    tpcc::aloha::load(&cluster, cfg);
+    read_txns::load_delivery_cursors(&cluster, cfg);
+    cluster
+}
+
+fn place_orders(cluster: &Cluster, cfg: &TpccConfig, count: usize, w: u32, d: u32) -> Vec<u32> {
+    let db = cluster.database();
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut customers = Vec::new();
+    let mut handles = Vec::new();
+    for _ in 0..count {
+        let mut req = gen::gen_new_order(&mut rng, cfg, false);
+        req.w = w;
+        req.d = d;
+        customers.push(req.c);
+        handles.push(db.execute(tpcc::aloha::NEW_ORDER, req.encode()).unwrap());
+    }
+    for h in handles {
+        assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
+    }
+    customers
+}
+
+#[test]
+fn order_status_finds_latest_order_of_customer() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(50).with_customers(5);
+    let cluster = build(&cfg);
+    let customers = place_orders(&cluster, &cfg, 8, 0, 0);
+    let db = cluster.database();
+    let target = *customers.last().unwrap();
+    let status = read_txns::order_status(&db, &cfg, 0, 0, target).unwrap();
+    let order = status.last_order.expect("customer just ordered");
+    assert_eq!(order.c_id, target);
+    // The latest order of this customer is the last one they placed.
+    let expected_o_id = TpccConfig::INITIAL_NEXT_O_ID
+        + customers.iter().rposition(|&c| c == target).unwrap() as i64;
+    assert_eq!(order.o_id, expected_o_id);
+    assert_eq!(status.lines.len(), order.ol_cnt as usize);
+    assert!(status.lines.iter().all(|l| l.o_id == order.o_id));
+    cluster.shutdown();
+}
+
+#[test]
+fn order_status_for_idle_customer_is_empty() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(50).with_customers(8);
+    let cluster = build(&cfg);
+    let db = cluster.database();
+    let status = read_txns::order_status(&db, &cfg, 0, 3, 7).unwrap();
+    assert!(status.last_order.is_none());
+    assert!(status.lines.is_empty());
+    assert_eq!(status.balance_cents, -1_000, "loaded balance");
+    cluster.shutdown();
+}
+
+#[test]
+fn stock_level_counts_low_stock_items() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(40).with_customers(5);
+    let cluster = build(&cfg);
+    place_orders(&cluster, &cfg, 5, 0, 0);
+    let db = cluster.database();
+    // Threshold above every possible quantity: everything ordered is "low".
+    let all = read_txns::stock_level(&db, &cfg, 0, 0, 5, 1_000).unwrap();
+    assert!(all > 0);
+    // Threshold below every possible quantity: nothing is low.
+    let none = read_txns::stock_level(&db, &cfg, 0, 0, 5, 0).unwrap();
+    assert_eq!(none, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn delivery_advances_cursor_and_credits_customer() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(50).with_customers(5);
+    let cluster = build(&cfg);
+    let customers = place_orders(&cluster, &cfg, 3, 0, 0);
+    let db = cluster.database();
+
+    // Balance of the first order's customer before delivery.
+    let first_customer = customers[0];
+    let before = db.read_latest(&[cfg.cbal_key(0, 0, first_customer)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    // The first order's total.
+    let status = read_txns::order_status(&db, &cfg, 0, 0, first_customer).unwrap();
+    let _ = status;
+
+    let h = db
+        .execute(read_txns::DELIVERY, DeliveryReq { w: 0, d: 0 }.encode())
+        .unwrap();
+    assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
+
+    // Cursor advanced past the first order.
+    let cursor = db.read_latest(&[cfg.delivery_cursor_key(0, 0)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(cursor, TpccConfig::INITIAL_NEXT_O_ID + 1);
+    // The NewOrder row of the delivered order is gone.
+    let no_row = db
+        .read_latest(&[cfg.neworder_key(0, 0, TpccConfig::INITIAL_NEXT_O_ID)])
+        .unwrap()[0]
+        .clone();
+    assert!(no_row.is_none(), "delivered order must leave the new-order table");
+    // The customer got credited with the order total.
+    let after = db.read_latest(&[cfg.cbal_key(0, 0, first_customer)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    let lines_total: i64 = {
+        let order_raw = db
+            .read_latest(&[cfg.order_key(0, 0, TpccConfig::INITIAL_NEXT_O_ID)])
+            .unwrap()[0]
+            .clone()
+            .unwrap();
+        let order = tpcc::OrderRow::decode(&order_raw).unwrap();
+        (0..order.ol_cnt)
+            .map(|n| {
+                let raw = db
+                    .read_latest(&[cfg.orderline_key(0, 0, order.o_id, n)])
+                    .unwrap()[0]
+                    .clone()
+                    .unwrap();
+                tpcc::OrderLineRow::decode(&raw).unwrap().amount_cents
+            })
+            .sum()
+    };
+    assert_eq!(after, before + lines_total);
+    cluster.shutdown();
+}
+
+#[test]
+fn delivery_on_empty_district_is_a_skipped_delivery() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(30).with_customers(5);
+    let cluster = build(&cfg);
+    let db = cluster.database();
+    let h = db
+        .execute(read_txns::DELIVERY, DeliveryReq { w: 0, d: 9 }.encode())
+        .unwrap();
+    assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
+    let cursor = db.read_latest(&[cfg.delivery_cursor_key(0, 9)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(cursor, TpccConfig::INITIAL_NEXT_O_ID, "nothing delivered: cursor unchanged");
+    cluster.shutdown();
+}
+
+#[test]
+fn sequential_deliveries_drain_the_new_order_queue() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(40).with_customers(4);
+    let cluster = build(&cfg);
+    place_orders(&cluster, &cfg, 3, 0, 0);
+    let db = cluster.database();
+    for _ in 0..3 {
+        db.execute(read_txns::DELIVERY, DeliveryReq { w: 0, d: 0 }.encode())
+            .unwrap()
+            .wait_processed()
+            .unwrap();
+    }
+    for o in 0..3i64 {
+        let row = db
+            .read_latest(&[cfg.neworder_key(0, 0, TpccConfig::INITIAL_NEXT_O_ID + o)])
+            .unwrap()[0]
+            .clone();
+        assert!(row.is_none(), "order {o} must be delivered");
+    }
+    let cursor = db.read_latest(&[cfg.delivery_cursor_key(0, 0)]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(cursor, TpccConfig::INITIAL_NEXT_O_ID + 3);
+    cluster.shutdown();
+}

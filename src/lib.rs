@@ -1,0 +1,13 @@
+//! Facade package for the ALOHA-DB reproduction workspace.
+//!
+//! Hosts the runnable examples under `examples/` and the cross-crate
+//! integration tests under `tests/`. Re-exports the most commonly used types.
+
+pub use aloha_common as common;
+pub use aloha_core as core_engine;
+pub use aloha_epoch as epoch;
+pub use aloha_functor as functor;
+pub use aloha_net as net;
+pub use aloha_storage as storage;
+pub use aloha_workloads as workloads;
+pub use calvin;

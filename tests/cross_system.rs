@@ -1,0 +1,264 @@
+//! Cross-system equivalence: the same workload pushed through ALOHA-DB and
+//! through Calvin must converge to the same database state — both systems
+//! claim serializability, so on commutative workloads the final states are
+//! equal, and on TPC-C the same consistency conditions hold.
+
+use std::time::Duration;
+
+use aloha_common::{Key, Value};
+use aloha_db::core_engine::{Cluster, ClusterConfig};
+use aloha_workloads::driver::Workload;
+use aloha_workloads::tpcc::{self, TpccConfig};
+use aloha_workloads::ycsb::{self, YcsbConfig};
+use calvin::{CalvinCluster, CalvinConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn ycsb_final_state_identical_across_systems() {
+    let cfg = YcsbConfig::with_contention_index(2, 0.05).with_keys_per_partition(300);
+
+    // Generate one fixed transaction sequence.
+    let mut rng = SmallRng::seed_from_u64(77);
+    let txns: Vec<Vec<Key>> = (0..40).map(|_| ycsb::gen_txn_keys(&mut rng, &cfg)).collect();
+
+    // ALOHA.
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(3)));
+    ycsb::install_aloha(&mut builder);
+    let aloha = builder.start().unwrap();
+    ycsb::load_aloha(&aloha, &cfg);
+    {
+        let db = aloha.database();
+        let handles: Vec<_> = txns
+            .iter()
+            .map(|keys| {
+                let mut args = Vec::new();
+                args.extend_from_slice(&(keys.len() as u32).to_be_bytes());
+                for k in keys {
+                    args.extend_from_slice(&(k.as_bytes().len() as u32).to_be_bytes());
+                    args.extend_from_slice(k.as_bytes());
+                }
+                db.execute(ycsb::YCSB_ALOHA, args).unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait_processed().unwrap();
+        }
+    }
+
+    // Calvin.
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)),
+    );
+    ycsb::install_calvin(&mut builder);
+    let calvin_cluster = builder.start().unwrap();
+    ycsb::load_calvin(&calvin_cluster, &cfg);
+    {
+        let db = calvin_cluster.database();
+        let handles: Vec<_> = txns
+            .iter()
+            .map(|keys| {
+                let mut args = Vec::new();
+                args.extend_from_slice(&(keys.len() as u32).to_be_bytes());
+                for k in keys {
+                    args.extend_from_slice(&(k.as_bytes().len() as u32).to_be_bytes());
+                    args.extend_from_slice(k.as_bytes());
+                }
+                db.execute(ycsb::YCSB_CALVIN, args).unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    // Every record must hold the same count in both systems.
+    let adb = aloha.database();
+    for p in 0..cfg.partitions {
+        let keys: Vec<Key> = (0..cfg.keys_per_partition).map(|i| cfg.key(p, i)).collect();
+        for chunk in keys.chunks(100) {
+            let aloha_vals = adb.read_latest(chunk).unwrap();
+            for (key, av) in chunk.iter().zip(aloha_vals) {
+                let a = av.as_ref().and_then(Value::as_i64).unwrap_or(0);
+                let c = calvin_cluster.read(key).and_then(|v| v.as_i64()).unwrap_or(0);
+                assert_eq!(a, c, "divergence at {key:?}");
+            }
+        }
+    }
+    aloha.shutdown();
+    calvin_cluster.shutdown();
+}
+
+#[test]
+fn tpcc_stock_totals_agree_across_systems() {
+    // Both systems run the same NewOrder request stream (Calvin with
+    // pre-assigned order ids); total units sold (sum of stock YTD) must be
+    // equal, and per-district order counts must match.
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(60).with_customers(10);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let reqs: Vec<tpcc::NewOrderReq> =
+        (0..30).map(|_| tpcc::gen::gen_new_order(&mut rng, &cfg, false)).collect();
+
+    // ALOHA.
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions).with_epoch_duration(Duration::from_millis(3)),
+    );
+    tpcc::aloha::install(&mut builder, &cfg);
+    let aloha = builder.start().unwrap();
+    tpcc::aloha::load(&aloha, &cfg);
+    {
+        let db = aloha.database();
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|r| db.execute(tpcc::aloha::NEW_ORDER, r.encode()).unwrap())
+            .collect();
+        for h in handles {
+            h.wait_processed().unwrap();
+        }
+    }
+
+    // Calvin (same requests, ids pre-assigned in submission order).
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(cfg.partitions).with_batch_duration(Duration::from_millis(3)),
+    );
+    tpcc::calvin_impl::install(&mut builder, &cfg);
+    let cc = builder.start().unwrap();
+    tpcc::calvin_impl::load(&cc, &cfg);
+    {
+        let db = cc.database();
+        let oids = tpcc::OidAssigner::new(&cfg);
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.o_id = Some(oids.assign(r.w, r.d));
+                db.execute(tpcc::calvin_impl::NEW_ORDER, r.encode()).unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    // Compare stock YTD totals.
+    let adb = aloha.database();
+    let mut aloha_ytd = 0i64;
+    let mut calvin_ytd = 0i64;
+    for w in 0..cfg.warehouses {
+        for i in 0..cfg.items {
+            let key = cfg.stock_key(w, i);
+            if let Some(v) = adb.read_latest(std::slice::from_ref(&key)).unwrap()[0].as_ref() {
+                aloha_ytd += tpcc::StockRow::decode(v).unwrap().ytd;
+            }
+            if let Some(v) = cc.read(&key) {
+                calvin_ytd += tpcc::StockRow::decode(&v).unwrap().ytd;
+            }
+        }
+    }
+    let expected: i64 =
+        reqs.iter().flat_map(|r| r.lines.iter()).map(|l| l.qty as i64).sum();
+    assert_eq!(aloha_ytd, expected, "aloha sold-units total");
+    assert_eq!(calvin_ytd, expected, "calvin sold-units total");
+
+    // Compare per-district order counts.
+    for w in 0..cfg.warehouses {
+        for d in 0..cfg.districts {
+            let key = cfg.district_noid_key(w, d);
+            let a = adb.read_latest(std::slice::from_ref(&key)).unwrap()[0]
+                .as_ref()
+                .unwrap()
+                .as_i64()
+                .unwrap();
+            let c = cc.read(&key).unwrap().as_i64().unwrap();
+            assert_eq!(a, c, "district (w={w}, d={d}) order counters diverged");
+        }
+    }
+    aloha.shutdown();
+    cc.shutdown();
+}
+
+#[test]
+fn payment_totals_agree_across_systems() {
+    let cfg = TpccConfig::by_warehouse(2, 1).with_items(20).with_customers(10);
+    let mut rng = SmallRng::seed_from_u64(13);
+    let reqs: Vec<tpcc::PaymentReq> =
+        (0..25).map(|_| tpcc::gen::gen_payment(&mut rng, &cfg)).collect();
+    let total: i64 = reqs.iter().map(|r| r.amount_cents).sum();
+
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions).with_epoch_duration(Duration::from_millis(3)),
+    );
+    tpcc::aloha::install(&mut builder, &cfg);
+    let aloha = builder.start().unwrap();
+    tpcc::aloha::load(&aloha, &cfg);
+    let db = aloha.database();
+    let handles: Vec<_> =
+        reqs.iter().map(|r| db.execute(tpcc::aloha::PAYMENT, r.encode()).unwrap()).collect();
+    for h in handles {
+        h.wait_processed().unwrap();
+    }
+
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(cfg.partitions).with_batch_duration(Duration::from_millis(3)),
+    );
+    tpcc::calvin_impl::install(&mut builder, &cfg);
+    let cc = builder.start().unwrap();
+    tpcc::calvin_impl::load(&cc, &cfg);
+    let cdb = cc.database();
+    let handles: Vec<_> = reqs
+        .iter()
+        .map(|r| cdb.execute(tpcc::calvin_impl::PAYMENT, r.encode()).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+
+    for cluster_sum in [
+        (0..cfg.warehouses)
+            .map(|w| {
+                db.read_latest(&[cfg.wytd_key(w)]).unwrap()[0]
+                    .as_ref()
+                    .unwrap()
+                    .as_i64()
+                    .unwrap()
+            })
+            .sum::<i64>(),
+        (0..cfg.warehouses)
+            .map(|w| cc.read(&cfg.wytd_key(w)).unwrap().as_i64().unwrap())
+            .sum::<i64>(),
+    ] {
+        assert_eq!(cluster_sum, total);
+    }
+    aloha.shutdown();
+    cc.shutdown();
+}
+
+#[test]
+fn driver_reports_are_sane_for_both_systems() {
+    // A smoke check that the shared Workload abstraction gives both systems
+    // a fair, working driver.
+    let cfg = YcsbConfig::with_contention_index(2, 0.1).with_keys_per_partition(200);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(3)));
+    ycsb::install_aloha(&mut builder);
+    let aloha = builder.start().unwrap();
+    ycsb::load_aloha(&aloha, &cfg);
+    let target = ycsb::AlohaYcsb::new(aloha.database(), cfg.clone());
+    let h = target.submit(&mut rng).unwrap();
+    assert!(target.wait(h).unwrap());
+    aloha.shutdown();
+
+    let mut builder = CalvinCluster::builder(
+        CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)),
+    );
+    ycsb::install_calvin(&mut builder);
+    let cc = builder.start().unwrap();
+    ycsb::load_calvin(&cc, &cfg);
+    let target = ycsb::CalvinYcsb::new(cc.database(), cfg);
+    let h = target.submit(&mut rng).unwrap();
+    assert!(target.wait(h).unwrap());
+    cc.shutdown();
+}

@@ -1,0 +1,179 @@
+//! ECC semantics at cluster level: unified-epoch visibility, the bounded
+//! read-latency penalty of §III-B, the §III-C straggler optimization, and
+//! robustness to clock skew.
+
+use std::time::{Duration, Instant};
+
+use aloha_common::{Key, Value};
+use aloha_db::core_engine::{fn_program, Cluster, ClusterConfig, ProgramId, TxnPlan};
+use aloha_functor::Functor;
+
+const INCR: ProgramId = ProgramId(1);
+
+fn incr_cluster(config: ClusterConfig) -> Cluster {
+    let mut builder = Cluster::builder(config);
+    builder.register_program(
+        INCR,
+        fn_program(|_| Ok(TxnPlan::new().write(Key::from("k"), Functor::add(1)))),
+    );
+    let cluster = builder.start().unwrap();
+    cluster.load(Key::from("k"), Value::from_i64(0));
+    cluster
+}
+
+#[test]
+fn latest_read_penalty_is_bounded_by_epoch_duration() {
+    // §III-B: "the penalty on read latency for this optimization is bounded
+    // by the epoch duration length". Allow generous slack for scheduling.
+    let epoch = Duration::from_millis(10);
+    let cluster = incr_cluster(ClusterConfig::new(2).with_epoch_duration(epoch));
+    let db = cluster.database();
+    // Warm up: wait until epochs are rolling.
+    db.read_latest(&[Key::from("k")]).unwrap();
+    for _ in 0..5 {
+        let started = Instant::now();
+        db.read_latest(&[Key::from("k")]).unwrap();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < epoch * 4,
+            "latest read took {elapsed:?}, expected ≲ one epoch ({epoch:?}) plus slack"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn writes_become_visible_in_the_next_epoch_not_sooner() {
+    let cluster = incr_cluster(
+        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(20)),
+    );
+    let db = cluster.database();
+    let h = db.execute(INCR, b"").unwrap();
+    let write_ts = h.timestamp();
+    // Immediately after install, the write's epoch has not ended: the
+    // visibility bound must still be below the transaction's timestamp.
+    let bound_now = db.visible_bound();
+    assert!(
+        bound_now < write_ts,
+        "write at {write_ts} must not be visible at bound {bound_now} within its own epoch"
+    );
+    // After processing completes, visibility has advanced past it.
+    h.wait_processed().unwrap();
+    assert!(db.visible_bound() >= write_ts);
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_works_with_noauth_disabled() {
+    // The straggler optimization is an optimization, not a correctness
+    // requirement (§III-C): with it disabled everything still commits.
+    let cluster = incr_cluster(
+        ClusterConfig::new(2)
+            .with_epoch_duration(Duration::from_millis(3))
+            .with_noauth(false),
+    );
+    let db = cluster.database();
+    let handles: Vec<_> = (0..30).map(|_| db.execute(INCR, b"").unwrap()).collect();
+    for h in handles {
+        h.wait_processed().unwrap();
+    }
+    let v = db.read_latest(&[Key::from("k")]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(v, 30);
+    cluster.shutdown();
+}
+
+#[test]
+fn noauth_txns_appear_during_epoch_switches() {
+    // With very short epochs and continuous load, some transactions start
+    // in the no-authorization window; all must still commit exactly once.
+    let cluster = incr_cluster(
+        ClusterConfig::new(2)
+            .with_epoch_duration(Duration::from_millis(2))
+            .with_noauth(true),
+    );
+    let db = cluster.database();
+    let mut done = 0u64;
+    let deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < deadline {
+        let handles: Vec<_> = (0..16).map(|_| db.execute(INCR, b"").unwrap()).collect();
+        for h in handles {
+            h.wait_processed().unwrap();
+            done += 1;
+        }
+    }
+    let v = db.read_latest(&[Key::from("k")]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(v as u64, done, "every transaction applied exactly once across epoch switches");
+    cluster.shutdown();
+}
+
+#[test]
+fn correctness_survives_heavy_clock_skew() {
+    // ECC requires no tight synchronization for correctness (§II): give the
+    // two servers ±2 ms of skew (same order as the epoch itself).
+    let cluster = incr_cluster(
+        ClusterConfig::new(2)
+            .with_epoch_duration(Duration::from_millis(5))
+            .with_clock_skew(vec![2_000, -2_000]),
+    );
+    let db = cluster.database();
+    let handles: Vec<_> = (0..40).map(|_| db.execute(INCR, b"").unwrap()).collect();
+    for h in handles {
+        h.wait_processed().unwrap();
+    }
+    let v = db.read_latest(&[Key::from("k")]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(v, 40);
+    cluster.shutdown();
+}
+
+#[test]
+fn historical_snapshots_are_immutable_under_later_writes() {
+    let cluster = incr_cluster(
+        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(3)),
+    );
+    let db = cluster.database();
+    let h = db.execute(INCR, b"").unwrap();
+    h.wait_processed().unwrap();
+    let snapshot = h.timestamp();
+    let before = db.read_at(&[Key::from("k")], snapshot).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    for _ in 0..10 {
+        db.execute(INCR, b"").unwrap().wait_processed().unwrap();
+    }
+    let after = db.read_at(&[Key::from("k")], snapshot).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(before, after, "settled snapshots must never change");
+    cluster.shutdown();
+}
+
+#[test]
+fn reading_unsettled_snapshot_is_rejected_not_wrong() {
+    let cluster = incr_cluster(
+        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(50)),
+    );
+    let db = cluster.database();
+    let h = db.execute(INCR, b"").unwrap();
+    // The transaction's epoch is still open: reading at its timestamp must
+    // fail cleanly rather than expose in-epoch state.
+    let err = db.read_at(&[Key::from("k")], h.timestamp()).unwrap_err();
+    assert!(err.to_string().contains("not settled"), "{err}");
+    h.wait_processed().unwrap();
+    cluster.shutdown();
+}

@@ -1,0 +1,200 @@
+//! Property-based tests on the core data structures and on Algorithm 1.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aloha_common::{Key, PartitionId, ServerId, Timestamp, Value};
+use aloha_epoch::TimestampOracle;
+use aloha_functor::{builtin, Functor, HandlerRegistry};
+use aloha_storage::{LocalOnlyEnv, Partition, VersionChain};
+use aloha_workloads::tpcc::{ItemRow, OrderLineRow, OrderRow, StockRow};
+use proptest::prelude::*;
+
+fn ts(v: u64) -> Timestamp {
+    Timestamp::from_raw(v)
+}
+
+proptest! {
+    /// The version chain behaves exactly like a sorted map under arbitrary
+    /// interleavings of inserts and floor lookups.
+    #[test]
+    fn version_chain_matches_btreemap_model(
+        ops in proptest::collection::vec((0u64..500, any::<i64>()), 1..120),
+        probes in proptest::collection::vec(0u64..600, 1..40),
+    ) {
+        let chain = VersionChain::new();
+        let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+        for (v, x) in &ops {
+            let inserted = chain.insert(ts(*v + 1), Functor::value_i64(*x));
+            let was_new = !model.contains_key(v);
+            prop_assert_eq!(inserted, was_new);
+            model.entry(*v).or_insert(*x);
+        }
+        prop_assert_eq!(chain.len(), model.len());
+        for probe in &probes {
+            let got = chain
+                .latest_at_or_below(ts(*probe + 1))
+                .map(|r| (r.version().raw() - 1, r.load()));
+            let expected = model
+                .range(..=probe)
+                .next_back()
+                .map(|(v, x)| (*v, Functor::value_i64(*x)));
+            prop_assert_eq!(got, expected);
+        }
+        // Versions remain sorted no matter the insertion order.
+        let versions = chain.versions();
+        prop_assert!(versions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Numeric functor chains resolve to the same value as a sequential
+    /// left-fold over the committed operations in version order.
+    #[test]
+    fn numeric_chain_equals_sequential_fold(
+        initial in -1_000i64..1_000,
+        ops in proptest::collection::vec((0u8..4, -50i64..50, any::<bool>()), 0..40),
+    ) {
+        let partition = Partition::new(
+            PartitionId(0), 1, Arc::new(HandlerRegistry::new()),
+        );
+        let key = Key::from("k");
+        partition.install(&key, ts(1), Functor::value_i64(initial)).unwrap();
+        let mut expected = initial;
+        for (i, (kind, arg, aborted)) in ops.iter().enumerate() {
+            let version = ts(10 + i as u64);
+            let functor = match kind {
+                0 => Functor::Add(*arg),
+                1 => Functor::Subtr(*arg),
+                2 => Functor::Max(*arg),
+                _ => Functor::Min(*arg),
+            };
+            partition.install(&key, version, functor.clone()).unwrap();
+            if *aborted {
+                partition.abort_version(&key, version);
+            } else {
+                expected = builtin::apply_numeric(&functor, Some(&Value::from_i64(expected)))
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+            }
+        }
+        let read = partition.get(&key, Timestamp::MAX, &LocalOnlyEnv).unwrap();
+        prop_assert_eq!(read.value.unwrap().as_i64(), Some(expected));
+    }
+
+    /// Historical reads at every intermediate version match the prefix fold.
+    #[test]
+    fn historical_reads_match_prefix_folds(
+        adds in proptest::collection::vec(-20i64..20, 1..25),
+    ) {
+        let partition = Partition::new(
+            PartitionId(0), 1, Arc::new(HandlerRegistry::new()),
+        );
+        let key = Key::from("k");
+        partition.install(&key, ts(1), Functor::value_i64(0)).unwrap();
+        for (i, d) in adds.iter().enumerate() {
+            partition.install(&key, ts(2 + i as u64), Functor::Add(*d)).unwrap();
+        }
+        // Settle everything first.
+        partition.get(&key, Timestamp::MAX, &LocalOnlyEnv).unwrap();
+        let mut prefix = 0i64;
+        for (i, d) in adds.iter().enumerate() {
+            prefix += d;
+            let read = partition.get(&key, ts(2 + i as u64), &LocalOnlyEnv).unwrap();
+            prop_assert_eq!(read.value.unwrap().as_i64(), Some(prefix));
+        }
+    }
+
+    /// Timestamp component round-trips and order embedding.
+    #[test]
+    fn timestamp_parts_round_trip(
+        micros in 0u64..(1u64 << 40),
+        server in 0u16..=255,
+        seq in 0u64..=Timestamp::MAX_SEQ,
+    ) {
+        let t = Timestamp::from_parts(micros, ServerId(server), seq);
+        prop_assert_eq!(t.micros(), micros);
+        prop_assert_eq!(t.server(), ServerId(server));
+        prop_assert_eq!(t.seq(), seq);
+        prop_assert_eq!(Timestamp::from_raw(t.raw()), t);
+    }
+
+    /// The oracle never goes backwards and never leaves the window, for any
+    /// clock behavior (even a wildly jumping one).
+    #[test]
+    fn oracle_is_monotone_in_any_clock(
+        clocks in proptest::collection::vec(0u64..2_000, 1..200),
+    ) {
+        let mut oracle = TimestampOracle::new(ServerId(1));
+        let mut last = Timestamp::ZERO;
+        for now in clocks {
+            if let Some(issued) = oracle.issue(now, 500, 1_500) {
+                prop_assert!(issued > last);
+                prop_assert!((500..=1_500).contains(&issued.micros()));
+                last = issued;
+            } else {
+                // Refusal is only allowed when the clock is past the window
+                // or the window is exhausted at its end.
+                prop_assert!(now > 1_500 || last.micros() == 1_500);
+            }
+        }
+    }
+
+    /// TPC-C row codecs round-trip arbitrary field values.
+    #[test]
+    fn tpcc_rows_round_trip(
+        i_id in any::<u32>(),
+        w_id in any::<u32>(),
+        price in any::<i64>(),
+        qty in any::<i64>(),
+        name in "[a-zA-Z0-9 ]{0,40}",
+    ) {
+        let item = ItemRow { i_id, name: name.clone(), price_cents: price };
+        prop_assert_eq!(ItemRow::decode(&item.encode()).unwrap(), item);
+        let stock = StockRow { i_id, w_id, quantity: qty, ytd: price, order_cnt: qty };
+        prop_assert_eq!(StockRow::decode(&stock.encode()).unwrap(), stock);
+        let order = OrderRow { o_id: price, d_id: i_id, w_id, c_id: i_id, ol_cnt: w_id };
+        prop_assert_eq!(OrderRow::decode(&order.encode()).unwrap(), order);
+        let ol = OrderLineRow {
+            o_id: price, number: i_id, i_id, supply_w: w_id, qty: w_id, amount_cents: qty,
+        };
+        prop_assert_eq!(OrderLineRow::decode(&ol.encode()).unwrap(), ol);
+    }
+
+    /// Routed keys always land on their target partition; parts round-trip.
+    #[test]
+    fn routed_key_placement(
+        route in any::<u32>(),
+        partitions in 1u16..=64,
+        payload in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let key = Key::with_route(route, &[&payload]);
+        prop_assert_eq!(key.partition(partitions).0 as u32, route % partitions as u32);
+        prop_assert_eq!(key.route(), Some(route));
+        prop_assert_eq!(key.parts().unwrap(), vec![payload.as_slice()]);
+    }
+
+    /// Get with a bound below every version is missing; with a bound at or
+    /// above the max it finds the last non-aborted version.
+    #[test]
+    fn get_bounds_are_tight(
+        versions in proptest::collection::btree_set(2u64..1_000, 1..30),
+    ) {
+        let partition = Partition::new(
+            PartitionId(0), 1, Arc::new(HandlerRegistry::new()),
+        );
+        let key = Key::from("k");
+        for (i, v) in versions.iter().enumerate() {
+            partition.install(&key, ts(*v), Functor::value_i64(i as i64)).unwrap();
+        }
+        let min = *versions.iter().next().unwrap();
+        let max = *versions.iter().next_back().unwrap();
+        let below = partition.get(&key, ts(min - 1), &LocalOnlyEnv).unwrap();
+        prop_assert!(below.value.is_none());
+        let at_max = partition.get(&key, ts(max), &LocalOnlyEnv).unwrap();
+        prop_assert_eq!(at_max.version, ts(max));
+        prop_assert_eq!(
+            at_max.value.unwrap().as_i64(),
+            Some(versions.len() as i64 - 1)
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Serializability oracle tests: ALOHA-DB's final state must equal a
+//! sequential replay of the committed transactions in timestamp order.
+//!
+//! This is the core correctness claim of functor-enabled ECC: transactions
+//! never abort on conflicts, yet the outcome is as if they executed one at a
+//! time in timestamp order (§I, §IV).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aloha_common::{Key, Value};
+use aloha_db::core_engine::{
+    fn_program, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan,
+};
+use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const AFFINE: ProgramId = ProgramId(1);
+const H_AFFINE: HandlerId = HandlerId(1);
+
+fn key(i: usize) -> Key {
+    Key::from_parts(&[b"reg", &(i as u32).to_be_bytes()])
+}
+
+/// Builds a cluster running "affine" transactions: `dst := 2*src + c`,
+/// a non-commutative cross-key operation, so any reordering or lost
+/// intermediate version changes the final state.
+fn affine_cluster(servers: u16) -> Cluster {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(servers).with_epoch_duration(Duration::from_millis(2)),
+    );
+    builder.register_handler(H_AFFINE, |input: &ComputeInput<'_>| {
+        let src = Key::from(&input.args[0..input.args.len() - 8]);
+        let c = i64::from_be_bytes(input.args[input.args.len() - 8..].try_into().unwrap());
+        let v = input.reads.i64(&src).unwrap_or(0);
+        HandlerOutput::commit(Value::from_i64(v.wrapping_mul(2).wrapping_add(c)))
+    });
+    builder.register_program(
+        AFFINE,
+        fn_program(|ctx| {
+            // args = [dst_len u16][dst][src][c i64]
+            let dst_len = u16::from_be_bytes(ctx.args[0..2].try_into().unwrap()) as usize;
+            let dst = Key::from(&ctx.args[2..2 + dst_len]);
+            let rest = &ctx.args[2 + dst_len..];
+            let src = Key::from(&rest[..rest.len() - 8]);
+            let mut handler_args = src.as_bytes().to_vec();
+            handler_args.extend_from_slice(&rest[rest.len() - 8..]);
+            Ok(TxnPlan::new().write(
+                dst,
+                Functor::User(UserFunctor::new(H_AFFINE, vec![src], handler_args)),
+            ))
+        }),
+    );
+    builder.start().unwrap()
+}
+
+fn encode_affine(dst: &Key, src: &Key, c: i64) -> Vec<u8> {
+    let mut args = Vec::new();
+    args.extend_from_slice(&(dst.as_bytes().len() as u16).to_be_bytes());
+    args.extend_from_slice(dst.as_bytes());
+    args.extend_from_slice(src.as_bytes());
+    args.extend_from_slice(&c.to_be_bytes());
+    args
+}
+
+fn run_oracle_check(servers: u16, keys: usize, txns: usize, threads: usize, seed: u64) {
+    let cluster = affine_cluster(servers);
+    for i in 0..keys {
+        cluster.load(key(i), Value::from_i64(i as i64));
+    }
+    let db = cluster.database();
+
+    // Fire transactions concurrently and record (timestamp, dst, src, c).
+    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let db = db.clone();
+            let log = Arc::clone(&log);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed + t as u64);
+                let mut handles = Vec::new();
+                for _ in 0..txns / threads {
+                    let dst = key(rng.gen_range(0..keys));
+                    let src = key(rng.gen_range(0..keys));
+                    let c: i64 = rng.gen_range(-100..=100);
+                    let h = db.execute(AFFINE, encode_affine(&dst, &src, c)).unwrap();
+                    handles.push((h, dst, src, c));
+                }
+                for (h, dst, src, c) in handles {
+                    assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
+                    log.lock().push((h.timestamp(), dst, src, c));
+                }
+            });
+        }
+    });
+
+    // Sequential replay in timestamp order.
+    let mut entries = log.lock().clone();
+    entries.sort_by_key(|(ts, ..)| *ts);
+    assert_eq!(entries.len(), (txns / threads) * threads);
+    let mut model: std::collections::HashMap<Key, i64> =
+        (0..keys).map(|i| (key(i), i as i64)).collect();
+    for (_, dst, src, c) in &entries {
+        let v = model.get(src).copied().unwrap_or(0);
+        model.insert(dst.clone(), v.wrapping_mul(2).wrapping_add(*c));
+    }
+
+    // Final states must match exactly.
+    let key_list: Vec<Key> = (0..keys).map(key).collect();
+    let actual = db.read_latest(&key_list).unwrap();
+    for (i, value) in actual.iter().enumerate() {
+        let got = value.as_ref().unwrap().as_i64().unwrap();
+        let expected = model[&key(i)];
+        assert_eq!(
+            got, expected,
+            "key {i}: cluster state diverged from sequential replay in timestamp order"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_affine_txns_match_sequential_replay_small() {
+    run_oracle_check(2, 4, 60, 3, 1);
+}
+
+#[test]
+fn concurrent_affine_txns_match_sequential_replay_contended() {
+    // Tiny key pool: almost every transaction conflicts with another.
+    run_oracle_check(2, 2, 80, 4, 2);
+}
+
+#[test]
+fn concurrent_affine_txns_match_sequential_replay_wide() {
+    run_oracle_check(4, 16, 120, 4, 3);
+}
+
+#[test]
+fn snapshot_reads_are_transactionally_atomic() {
+    // A transaction writes the same value to two keys; concurrent
+    // latest-version readers must never observe them unequal.
+    const PAIR: ProgramId = ProgramId(9);
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(2)),
+    );
+    builder.register_program(
+        PAIR,
+        fn_program(|ctx| {
+            let v = i64::from_be_bytes(ctx.args.try_into().unwrap());
+            Ok(TxnPlan::new()
+                .write(Key::from("left"), Functor::value_i64(v))
+                .write(Key::from("right"), Functor::value_i64(v)))
+        }),
+    );
+    let cluster = builder.start().unwrap();
+    cluster.load(Key::from("left"), Value::from_i64(0));
+    cluster.load(Key::from("right"), Value::from_i64(0));
+    let db = cluster.database();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let writer_db = db.clone();
+        let writer_stop = Arc::clone(&stop);
+        scope.spawn(move || {
+            let mut v = 1i64;
+            while !writer_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let h = writer_db.execute(PAIR, v.to_be_bytes()).unwrap();
+                h.wait_processed().unwrap();
+                v += 1;
+            }
+        });
+        for _ in 0..2 {
+            let reader_db = db.clone();
+            let reader_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                while !reader_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let vals = reader_db
+                        .read_latest(&[Key::from("left"), Key::from("right")])
+                        .unwrap();
+                    let l = vals[0].as_ref().unwrap().as_i64().unwrap();
+                    let r = vals[1].as_ref().unwrap().as_i64().unwrap();
+                    assert_eq!(l, r, "torn read: snapshot saw a partial transaction");
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    cluster.shutdown();
+}
+
+#[test]
+fn aborted_transactions_leave_no_trace_in_replay() {
+    // Mix committed increments with guaranteed-abort transactions; the
+    // final counter must count only commits.
+    const INCR: ProgramId = ProgramId(1);
+    const DOOMED: ProgramId = ProgramId(2);
+    const H_ABORT: HandlerId = HandlerId(5);
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(2)),
+    );
+    builder.register_handler(H_ABORT, |_: &ComputeInput<'_>| HandlerOutput::abort());
+    builder.register_program(
+        INCR,
+        fn_program(|_| Ok(TxnPlan::new().write(Key::from("ctr"), Functor::add(1)))),
+    );
+    builder.register_program(
+        DOOMED,
+        fn_program(|_| {
+            Ok(TxnPlan::new().write(
+                Key::from("ctr"),
+                Functor::User(UserFunctor::new(H_ABORT, vec![], Vec::new())),
+            ))
+        }),
+    );
+    let cluster = builder.start().unwrap();
+    cluster.load(Key::from("ctr"), Value::from_i64(0));
+    let db = cluster.database();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut commits = 0i64;
+    let mut handles = Vec::new();
+    for _ in 0..60 {
+        if rng.gen_bool(0.5) {
+            commits += 1;
+            handles.push((db.execute(INCR, b"").unwrap(), true));
+        } else {
+            handles.push((db.execute(DOOMED, b"").unwrap(), false));
+        }
+    }
+    for (h, should_commit) in handles {
+        let outcome = h.wait_processed().unwrap();
+        assert_eq!(outcome == TxnOutcome::Committed, should_commit);
+    }
+    let v = db.read_latest(&[Key::from("ctr")]).unwrap()[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(v, commits);
+    cluster.shutdown();
+}
