@@ -58,8 +58,7 @@ fn bench_functor_compute(c: &mut Criterion) {
     group.bench_function("resolve_add_chain_64", |b| {
         b.iter_batched(
             || {
-                let p =
-                    Partition::new(PartitionId(0), 1, Arc::new(HandlerRegistry::new()));
+                let p = Partition::new(PartitionId(0), 1, Arc::new(HandlerRegistry::new()));
                 let k = Key::from("hot");
                 p.install(&k, ts(1), Functor::value_i64(0)).unwrap();
                 for v in 2..=65u64 {
@@ -97,7 +96,13 @@ fn bench_timestamps(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    let stock = StockRow { i_id: 7, w_id: 3, quantity: 91, ytd: 1000, order_cnt: 17 };
+    let stock = StockRow {
+        i_id: 7,
+        w_id: 3,
+        quantity: 91,
+        ytd: 1000,
+        order_cnt: 17,
+    };
     group.bench_function("stock_row_encode", |b| {
         b.iter(|| black_box(&stock).encode());
     });

@@ -49,7 +49,9 @@ fn main() {
     println!("# Ablation: ECC engine features, {servers} servers, 150us network");
     println!("variant,tput_ktps,mean_ms,p99_ms");
     run("baseline", servers, &opts, |c| c);
-    run("no-straggler-window", servers, &opts, |c| c.with_noauth(false));
+    run("no-straggler-window", servers, &opts, |c| {
+        c.with_noauth(false)
+    });
     run("durable-wal", servers, &opts, |c| c.with_durability(true));
     run("replicated", servers, &opts, |c| c.with_replication(true));
     run("durable+replicated", servers, &opts, |c| {

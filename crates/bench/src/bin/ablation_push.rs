@@ -49,7 +49,8 @@ impl Workload for CopyWorkload {
         args.extend_from_slice(&(src.as_bytes().len() as u32).to_be_bytes());
         args.extend_from_slice(src.as_bytes());
         args.extend_from_slice(dst.as_bytes());
-        self.db.execute_at(aloha_common::ServerId(p_src), COPY, args)
+        self.db
+            .execute_at(aloha_common::ServerId(p_src), COPY, args)
     }
 
     fn wait(&self, handle: Self::Handle) -> aloha_common::Result<bool> {
@@ -59,7 +60,9 @@ impl Workload for CopyWorkload {
 
 fn build_cluster(servers: u16, net: aloha_net::NetConfig) -> Cluster {
     let mut builder = Cluster::builder(
-        ClusterConfig::new(servers).with_epoch_duration(ALOHA_EPOCH).with_net(net),
+        ClusterConfig::new(servers)
+            .with_epoch_duration(ALOHA_EPOCH)
+            .with_net(net),
     );
     // src's functor: increment own value (and optionally push to dst).
     builder.register_handler(H_TOUCH, |input: &ComputeInput<'_>| {
@@ -76,17 +79,14 @@ fn build_cluster(servers: u16, net: aloha_net::NetConfig) -> Cluster {
         COPY,
         fn_program(|ctx| {
             let with_push = ctx.args[0] != 0;
-            let src_len =
-                u32::from_be_bytes(ctx.args[1..5].try_into().expect("length")) as usize;
+            let src_len = u32::from_be_bytes(ctx.args[1..5].try_into().expect("length")) as usize;
             let src = Key::from(&ctx.args[5..5 + src_len]);
             let dst = Key::from(&ctx.args[5 + src_len..]);
-            let mut src_functor =
-                UserFunctor::new(H_TOUCH, vec![src.clone()], Vec::new());
+            let mut src_functor = UserFunctor::new(H_TOUCH, vec![src.clone()], Vec::new());
             if with_push {
                 src_functor = src_functor.with_recipients(vec![dst.clone()]);
             }
-            let dst_functor =
-                UserFunctor::new(H_COPY, vec![src.clone()], src.as_bytes().to_vec());
+            let dst_functor = UserFunctor::new(H_COPY, vec![src.clone()], src.as_bytes().to_vec());
             Ok(TxnPlan::new()
                 .write(src, Functor::User(src_functor))
                 .write(dst, Functor::User(dst_functor)))
@@ -103,44 +103,47 @@ fn main() {
     println!("network,mode,tput_ktps,mean_ms,remote_reads,push_hits,push_hit_rate");
     let networks = [
         ("instant", aloha_net::NetConfig::instant()),
-        ("200us", aloha_net::NetConfig::with_latency(Duration::from_micros(200))),
+        (
+            "200us",
+            aloha_net::NetConfig::with_latency(Duration::from_micros(200)),
+        ),
     ];
     for (net_name, net) in &networks {
-    for with_push in [false, true] {
-        let cluster = build_cluster(servers, net.clone());
-        for p in 0..servers {
-            for i in 0..keys_per_partition {
-                cluster.load(key(p, i), Value::from_i64(0));
+        for with_push in [false, true] {
+            let cluster = build_cluster(servers, net.clone());
+            for p in 0..servers {
+                for i in 0..keys_per_partition {
+                    cluster.load(key(p, i), Value::from_i64(0));
+                }
             }
+            let workload = CopyWorkload {
+                db: cluster.database(),
+                partitions: servers,
+                keys_per_partition,
+                with_push,
+            };
+            cluster.reset_stats();
+            let report = run_windowed(&workload, &opts.driver(8, 64));
+            let mut remote_reads = 0;
+            let mut push_hits = 0;
+            for server in cluster.servers() {
+                remote_reads += server.partition().stats().remote_reads();
+                push_hits += server.partition().stats().push_hits();
+            }
+            let rate = if remote_reads + push_hits > 0 {
+                push_hits as f64 / (remote_reads + push_hits) as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{net_name},{},{:.2},{:.2},{remote_reads},{push_hits},{rate:.3}",
+                if with_push { "push" } else { "remote-read" },
+                report.throughput_tps() / 1_000.0,
+                report.mean_latency_micros / 1_000.0,
+            );
+            cluster.shutdown();
+            // Give OS threads a moment to wind down between runs.
+            std::thread::sleep(Duration::from_millis(100));
         }
-        let workload = CopyWorkload {
-            db: cluster.database(),
-            partitions: servers,
-            keys_per_partition,
-            with_push,
-        };
-        cluster.reset_stats();
-        let report = run_windowed(&workload, &opts.driver(8, 64));
-        let mut remote_reads = 0;
-        let mut push_hits = 0;
-        for server in cluster.servers() {
-            remote_reads += server.partition().stats().remote_reads();
-            push_hits += server.partition().stats().push_hits();
-        }
-        let rate = if remote_reads + push_hits > 0 {
-            push_hits as f64 / (remote_reads + push_hits) as f64
-        } else {
-            0.0
-        };
-        println!(
-            "{net_name},{},{:.2},{:.2},{remote_reads},{push_hits},{rate:.3}",
-            if with_push { "push" } else { "remote-read" },
-            report.throughput_tps() / 1_000.0,
-            report.mean_latency_micros / 1_000.0,
-        );
-        cluster.shutdown();
-        // Give OS threads a moment to wind down between runs.
-        std::thread::sleep(Duration::from_millis(100));
-    }
     }
 }

@@ -25,7 +25,10 @@ fn main() {
         let cfg = YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys);
         let r = aloha_ycsb_run(&cfg, ALOHA_EPOCH, &driver);
         let total: f64 = r.stage_means_micros.iter().sum();
-        for (name, mean) in ["install", "wait", "process"].iter().zip(r.stage_means_micros) {
+        for (name, mean) in ["install", "wait", "process"]
+            .iter()
+            .zip(r.stage_means_micros)
+        {
             let fraction = if total > 0.0 { mean / total } else { 0.0 };
             println!("Aloha,{ci},{name},{mean:.1},{fraction:.3}");
         }
@@ -34,8 +37,9 @@ fn main() {
         let cfg = YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys);
         let r = calvin_ycsb_run(&cfg, CALVIN_BATCH, &driver);
         let total: f64 = r.stage_means_micros.iter().sum();
-        for (name, mean) in
-            ["sequencing", "lock+read", "process"].iter().zip(r.stage_means_micros)
+        for (name, mean) in ["sequencing", "lock+read", "process"]
+            .iter()
+            .zip(r.stage_means_micros)
         {
             let fraction = if total > 0.0 { mean / total } else { 0.0 };
             println!("Calvin,{ci},{name},{mean:.1},{fraction:.3}");

@@ -32,13 +32,19 @@ fn main() {
     for &ms in epochs_ms {
         let driver = base_driver.clone().with_pacing(Duration::from_millis(ms));
         let r = aloha_ycsb_run(&cfg, Duration::from_millis(ms), &driver);
-        println!("Aloha,{ms},{:.2},{:.2}", r.mean_latency_ms, r.p99_latency_ms);
+        println!(
+            "Aloha,{ms},{:.2},{:.2}",
+            r.mean_latency_ms, r.p99_latency_ms
+        );
     }
     // The open-source Calvin generates most transactions at the start of
     // each batch (§V-C2), so Calvin keeps the unpaced closed loop, which
     // reproduces exactly that submission pattern.
     for &ms in epochs_ms {
         let r = calvin_ycsb_run(&cfg, Duration::from_millis(ms), &base_driver);
-        println!("Calvin,{ms},{:.2},{:.2}", r.mean_latency_ms, r.p99_latency_ms);
+        println!(
+            "Calvin,{ms},{:.2},{:.2}",
+            r.mean_latency_ms, r.p99_latency_ms
+        );
     }
 }

@@ -13,8 +13,11 @@ use aloha_workloads::tpcc::{TpccConfig, TxnMix};
 fn main() {
     let opts = BenchOpts::parse();
     let n = opts.servers();
-    let per_host: &[u32] =
-        if opts.full { &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10] } else { &[1, 2, 5, 10] };
+    let per_host: &[u32] = if opts.full {
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+    } else {
+        &[1, 2, 5, 10]
+    };
     let driver = opts.driver((2 * n as usize).max(8), 128);
 
     println!("# Figure 7: throughput vs warehouses/districts per host, {n} servers");
@@ -23,16 +26,34 @@ fn main() {
         let stpcc = TpccConfig::scaled(n, k);
         let tpcc = TpccConfig::by_warehouse(n, k);
         let r = aloha_tpcc_run(&stpcc, ALOHA_EPOCH, TxnMix::NewOrderOnly, true, &driver);
-        println!("Aloha,STPCC-NewOrder,{k},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Aloha,STPCC-NewOrder,{k},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms
+        );
         let r = aloha_tpcc_run(&tpcc, ALOHA_EPOCH, TxnMix::NewOrderOnly, true, &driver);
-        println!("Aloha,TPCC-NewOrder,{k},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Aloha,TPCC-NewOrder,{k},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms
+        );
         let r = aloha_tpcc_run(&tpcc, ALOHA_EPOCH, TxnMix::PaymentOnly, false, &driver);
-        println!("Aloha,TPCC-Payment,{k},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Aloha,TPCC-Payment,{k},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms
+        );
         let r = calvin_tpcc_run(&stpcc, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
-        println!("Calvin,STPCC-NewOrder,{k},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Calvin,STPCC-NewOrder,{k},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms
+        );
         let r = calvin_tpcc_run(&tpcc, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
-        println!("Calvin,TPCC-NewOrder,{k},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Calvin,TPCC-NewOrder,{k},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms
+        );
         let r = calvin_tpcc_run(&tpcc, CALVIN_BATCH, TxnMix::PaymentOnly, &driver);
-        println!("Calvin,TPCC-Payment,{k},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Calvin,TPCC-Payment,{k},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms
+        );
     }
 }

@@ -11,7 +11,11 @@ use aloha_workloads::tpcc::{TpccConfig, TxnMix};
 
 fn main() {
     let opts = BenchOpts::parse();
-    let server_counts: &[u16] = if opts.full { &[1, 2, 5, 10, 15, 20] } else { &[1, 2, 4] };
+    let server_counts: &[u16] = if opts.full {
+        &[1, 2, 5, 10, 15, 20]
+    } else {
+        &[1, 2, 4]
+    };
     // Offered load scales with the cluster so saturation, not the client,
     // bounds throughput.
     let mk_driver = |n: u16| opts.driver((2 * n as usize).max(8), 128);
@@ -28,11 +32,17 @@ fn main() {
         ];
         for (name, cfg) in &configs {
             let r = aloha_tpcc_run(cfg, ALOHA_EPOCH, TxnMix::NewOrderOnly, true, &driver);
-            println!("Aloha,{name},{n},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+            println!(
+                "Aloha,{name},{n},{:.2},{:.2}",
+                r.tput_ktps, r.mean_latency_ms
+            );
         }
         for (name, cfg) in &configs {
             let r = calvin_tpcc_run(cfg, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
-            println!("Calvin,{name},{n},{:.2},{:.2}", r.tput_ktps, r.mean_latency_ms);
+            println!(
+                "Calvin,{name},{n},{:.2},{:.2}",
+                r.tput_ktps, r.mean_latency_ms
+            );
         }
     }
 }

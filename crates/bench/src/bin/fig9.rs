@@ -24,15 +24,21 @@ fn main() {
     println!("# Figure 9: microbenchmark throughput vs contention index, {n} servers");
     println!("system,contention_index,hot_keys,tput_ktps,mean_ms");
     for &ci in cis {
-        let cfg = YcsbConfig::with_contention_index(n, ci)
-            .with_keys_per_partition(keys_per_partition);
+        let cfg =
+            YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys_per_partition);
         let r = aloha_ycsb_run(&cfg, ALOHA_EPOCH, &driver);
-        println!("Aloha,{ci},{},{:.2},{:.2}", cfg.hot_keys, r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Aloha,{ci},{},{:.2},{:.2}",
+            cfg.hot_keys, r.tput_ktps, r.mean_latency_ms
+        );
     }
     for &ci in cis {
-        let cfg = YcsbConfig::with_contention_index(n, ci)
-            .with_keys_per_partition(keys_per_partition);
+        let cfg =
+            YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys_per_partition);
         let r = calvin_ycsb_run(&cfg, CALVIN_BATCH, &driver);
-        println!("Calvin,{ci},{},{:.2},{:.2}", cfg.hot_keys, r.tput_ktps, r.mean_latency_ms);
+        println!(
+            "Calvin,{ci},{},{:.2},{:.2}",
+            cfg.hot_keys, r.tput_ktps, r.mean_latency_ms
+        );
     }
 }

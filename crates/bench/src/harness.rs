@@ -26,7 +26,11 @@ impl BenchOpts {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse() -> BenchOpts {
-        let mut opts = BenchOpts { full: false, servers: None, seconds: None };
+        let mut opts = BenchOpts {
+            full: false,
+            servers: None,
+            seconds: None,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -39,7 +43,9 @@ impl BenchOpts {
                     let v = args.next().expect("--seconds needs a value");
                     opts.seconds = Some(v.parse().expect("--seconds must be a number"));
                 }
-                other => panic!("unknown argument {other}; supported: --full --servers N --seconds S"),
+                other => {
+                    panic!("unknown argument {other}; supported: --full --servers N --seconds S")
+                }
             }
         }
         opts
@@ -143,7 +149,9 @@ pub fn calvin_tpcc_run(
     driver: &DriverConfig,
 ) -> RunResult {
     let mut builder = CalvinCluster::builder(
-        CalvinConfig::new(cfg.partitions).with_batch_duration(batch).with_workers(2),
+        CalvinConfig::new(cfg.partitions)
+            .with_batch_duration(batch)
+            .with_workers(2),
     );
     tpcc::calvin_impl::install(&mut builder, cfg);
     let cluster = builder.start().expect("start calvin cluster");
@@ -179,7 +187,9 @@ pub fn aloha_ycsb_run(cfg: &YcsbConfig, epoch: Duration, driver: &DriverConfig) 
 /// Builds, loads, drives and tears down a Calvin microbenchmark cluster.
 pub fn calvin_ycsb_run(cfg: &YcsbConfig, batch: Duration, driver: &DriverConfig) -> RunResult {
     let mut builder = CalvinCluster::builder(
-        CalvinConfig::new(cfg.partitions).with_batch_duration(batch).with_workers(2),
+        CalvinConfig::new(cfg.partitions)
+            .with_batch_duration(batch)
+            .with_workers(2),
     );
     ycsb::install_calvin(&mut builder);
     let cluster = builder.start().expect("start calvin cluster");

@@ -10,7 +10,8 @@ use aloha_net::{Addr, Bus, NetConfig};
 use crate::msg::CalvinMsg;
 use crate::program::{CalvinProgram, CalvinRegistry, ProgramId};
 use crate::server::{
-    run_dispatcher, run_scheduler, run_sequencer, run_worker, CalvinServer, CalvinSubmission,
+    run_dispatcher, run_scheduler, run_sequencer, run_worker, CalvinHistory, CalvinServer,
+    CalvinSubmission,
 };
 
 /// Calvin cluster configuration.
@@ -24,6 +25,9 @@ pub struct CalvinConfig {
     pub net: NetConfig,
     /// Execution worker threads per server.
     pub workers_per_server: usize,
+    /// Record the merged deterministic order on every scheduler for the
+    /// serializability checker (test builds only).
+    pub record_history: bool,
 }
 
 impl CalvinConfig {
@@ -34,6 +38,7 @@ impl CalvinConfig {
             batch_duration: Duration::from_millis(20),
             net: NetConfig::instant(),
             workers_per_server: 2,
+            record_history: false,
         }
     }
 
@@ -54,6 +59,12 @@ impl CalvinConfig {
         self.workers_per_server = workers;
         self
     }
+
+    /// Enables schedule-history recording for the serializability checker.
+    pub fn with_history(mut self) -> CalvinConfig {
+        self.record_history = true;
+        self
+    }
 }
 
 /// Builds a [`CalvinCluster`]: registers programs, then starts.
@@ -64,7 +75,9 @@ pub struct CalvinClusterBuilder {
 
 impl std::fmt::Debug for CalvinClusterBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CalvinClusterBuilder").field("config", &self.config).finish()
+        f.debug_struct("CalvinClusterBuilder")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -87,7 +100,9 @@ impl CalvinClusterBuilder {
     pub fn start(self) -> Result<CalvinCluster> {
         let n = self.config.servers;
         if n == 0 {
-            return Err(Error::Config("calvin cluster needs at least one server".into()));
+            return Err(Error::Config(
+                "calvin cluster needs at least one server".into(),
+            ));
         }
         if self.config.workers_per_server == 0 {
             return Err(Error::Config("need at least one worker per server".into()));
@@ -98,8 +113,12 @@ impl CalvinClusterBuilder {
         let mut threads = Vec::new();
         for i in 0..n {
             let endpoint = bus.register(Addr::Server(ServerId(i)));
+            let history = self
+                .config
+                .record_history
+                .then(|| Arc::new(CalvinHistory::new()));
             let (server, sched_rx, exec_rx) =
-                CalvinServer::new(ServerId(i), n, Arc::clone(&registry), bus.clone());
+                CalvinServer::new(ServerId(i), n, Arc::clone(&registry), bus.clone(), history);
             let s = Arc::clone(&server);
             threads.push(
                 std::thread::Builder::new()
@@ -134,7 +153,12 @@ impl CalvinClusterBuilder {
             }
             servers.push(server);
         }
-        Ok(CalvinCluster { servers, bus, threads, total: n })
+        Ok(CalvinCluster {
+            servers,
+            bus,
+            threads,
+            total: n,
+        })
     }
 }
 
@@ -161,14 +185,19 @@ pub struct CalvinCluster {
 
 impl std::fmt::Debug for CalvinCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CalvinCluster").field("servers", &self.total).finish()
+        f.debug_struct("CalvinCluster")
+            .field("servers", &self.total)
+            .finish()
     }
 }
 
 impl CalvinCluster {
     /// Starts building a cluster.
     pub fn builder(config: CalvinConfig) -> CalvinClusterBuilder {
-        CalvinClusterBuilder { config, registry: CalvinRegistry::new() }
+        CalvinClusterBuilder {
+            config,
+            registry: CalvinRegistry::new(),
+        }
     }
 
     /// The servers, indexed by id.
@@ -179,6 +208,27 @@ impl CalvinCluster {
     /// Number of servers.
     pub fn size(&self) -> u16 {
         self.total
+    }
+
+    /// The most complete per-server record of the merged global order, or
+    /// `None` when history recording is off. Under fault injection a
+    /// scheduler that ends mid-disruption may hold a prefix, so the longest
+    /// log is the authoritative schedule.
+    pub fn history(&self) -> Option<Vec<crate::msg::CalvinTxn>> {
+        self.servers
+            .iter()
+            .filter_map(|s| s.history().map(|h| h.snapshot()))
+            .max_by_key(Vec::len)
+    }
+
+    /// The active fault plan, if the network configuration injects faults.
+    pub fn fault_plan(&self) -> Option<&aloha_net::FaultPlan> {
+        self.bus.fault_plan()
+    }
+
+    /// Bus traffic counters, including injected fault counts.
+    pub fn net_stats(&self) -> &aloha_net::NetStats {
+        self.bus.stats()
     }
 
     /// A client handle.
@@ -255,7 +305,9 @@ impl CalvinCluster {
     fn shutdown_inner(&mut self) {
         for server in &self.servers {
             server.mark_shutdown();
-            let _ = self.bus.send(Addr::Server(server.id()), CalvinMsg::Shutdown);
+            let _ = self
+                .bus
+                .send_reliable(Addr::Server(server.id()), CalvinMsg::Shutdown);
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -278,7 +330,9 @@ pub struct CalvinDatabase {
 
 impl std::fmt::Debug for CalvinDatabase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CalvinDatabase").field("servers", &self.servers.len()).finish()
+        f.debug_struct("CalvinDatabase")
+            .field("servers", &self.servers.len())
+            .finish()
     }
 }
 
@@ -290,7 +344,9 @@ impl CalvinDatabase {
     /// Fails for unknown programs.
     pub fn execute(&self, program: ProgramId, args: impl AsRef<[u8]>) -> Result<CalvinHandle> {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
-        Ok(CalvinHandle { submission: self.servers[i].submit(program, args.as_ref())? })
+        Ok(CalvinHandle {
+            submission: self.servers[i].submit(program, args.as_ref())?,
+        })
     }
 
     /// Submits with a pinned sequencer.
@@ -308,7 +364,9 @@ impl CalvinDatabase {
             .servers
             .get(origin.index())
             .ok_or(Error::NoSuchPartition(PartitionId(origin.0)))?;
-        Ok(CalvinHandle { submission: server.submit(program, args.as_ref())? })
+        Ok(CalvinHandle {
+            submission: server.submit(program, args.as_ref())?,
+        })
     }
 
     /// Number of servers.

@@ -1,7 +1,7 @@
 //! Rendezvous state for redundant execution: read-value exchange between
 //! participants, and completion tracking at the origin server.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 use aloha_common::{Key, ServerId, Value};
@@ -10,6 +10,37 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use crate::msg::GlobalTxnId;
+
+/// How many finished transactions each tracker remembers, so that late
+/// duplicate deliveries (fault-layer retransmissions and re-broadcasts) do
+/// not resurrect state for transactions that already completed. Bounded so
+/// long runs do not grow without limit; a duplicate older than the window is
+/// harmless anyway — it creates a stale entry that times out.
+const RETIRED_WINDOW: usize = 1024;
+
+/// Bounded memory of recently finished transaction ids.
+#[derive(Debug, Default)]
+struct RetiredSet {
+    order: VecDeque<GlobalTxnId>,
+    members: HashSet<GlobalTxnId>,
+}
+
+impl RetiredSet {
+    fn insert(&mut self, txn: GlobalTxnId) {
+        if self.members.insert(txn) {
+            self.order.push_back(txn);
+            if self.order.len() > RETIRED_WINDOW {
+                if let Some(old) = self.order.pop_front() {
+                    self.members.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, txn: &GlobalTxnId) -> bool {
+        self.members.contains(txn)
+    }
+}
 
 /// Collects the read-set values broadcast by the other participants of a
 /// transaction; executor threads block until all expected peers reported.
@@ -25,6 +56,7 @@ pub struct ReadExchange {
 #[derive(Debug, Default)]
 struct ExchangeState {
     entries: HashMap<GlobalTxnId, ExchangeEntry>,
+    retired: RetiredSet,
     poisoned: bool,
 }
 
@@ -48,9 +80,13 @@ impl ReadExchange {
         ReadExchange::default()
     }
 
-    /// Records a peer's broadcast (idempotent per peer).
+    /// Records a peer's broadcast (idempotent per peer; late broadcasts for
+    /// already-finished transactions are dropped).
     pub fn deliver(&self, txn: GlobalTxnId, from: ServerId, values: Vec<(Key, Option<Value>)>) {
         let mut state = self.state.lock();
+        if state.retired.contains(&txn) {
+            return;
+        }
         let entry = state.entries.entry(txn).or_default();
         if !entry.received_from.contains(&from) {
             entry.received_from.push(from);
@@ -65,7 +101,9 @@ impl ReadExchange {
 
     /// Blocks until broadcasts from `expected` peers arrived, then removes
     /// and returns all collected values. Returns `None` on timeout or
-    /// shutdown.
+    /// shutdown; partial state survives a timeout, so the caller can
+    /// re-broadcast its own values and wait again ([`ReadExchange::abandon`]
+    /// cleans up when it gives up for good).
     pub fn wait(
         &self,
         txn: GlobalTxnId,
@@ -82,6 +120,7 @@ impl ReadExchange {
             entry.expected = Some(expected);
             if entry.is_complete() || expected == 0 {
                 let entry = state.entries.remove(&txn).unwrap_or_default();
+                state.retired.insert(txn);
                 return Some(entry.values);
             }
             let (tx, rx) = bounded(1);
@@ -91,11 +130,23 @@ impl ReadExchange {
         let woken = rx.recv_timeout(timeout).is_ok();
         let mut state = self.state.lock();
         if woken && !state.poisoned {
+            state.retired.insert(txn);
             state.entries.remove(&txn).map(|e| e.values)
         } else {
-            state.entries.remove(&txn);
+            // Keep whatever arrived; just drop the stale wakeup channel.
+            if let Some(entry) = state.entries.get_mut(&txn) {
+                entry.wake = None;
+            }
             None
         }
+    }
+
+    /// Drops a transaction's partial exchange state after the caller gave up
+    /// waiting, and retires the id so late broadcasts are ignored.
+    pub fn abandon(&self, txn: GlobalTxnId) {
+        let mut state = self.state.lock();
+        state.entries.remove(&txn);
+        state.retired.insert(txn);
     }
 
     /// Number of transactions with outstanding exchange state.
@@ -119,21 +170,29 @@ impl ReadExchange {
 /// fulfilled when every participant reported `TxnDone`.
 #[derive(Debug, Default)]
 pub struct PendingCompletions {
-    state: Mutex<HashMap<GlobalTxnId, Pending>>,
+    state: Mutex<CompletionState>,
+}
+
+#[derive(Debug, Default)]
+struct CompletionState {
+    pending: HashMap<GlobalTxnId, Pending>,
+    retired: RetiredSet,
 }
 
 #[derive(Debug, Default)]
 struct Pending {
     /// Expected participant count, known once `register` ran.
     expected: Option<usize>,
-    /// `TxnDone` reports received so far (may race ahead of `register`).
-    done: usize,
+    /// Participants that reported `TxnDone` (may race ahead of `register`).
+    /// Deduplicated per server: the fault layer can duplicate reports, and
+    /// re-broadcast recovery resends them deliberately.
+    done_from: Vec<ServerId>,
     reply: Option<ReplySlot<()>>,
 }
 
 impl Pending {
     fn is_complete(&self) -> bool {
-        self.expected.is_some_and(|e| self.done >= e) && self.reply.is_some()
+        self.expected.is_some_and(|e| self.done_from.len() >= e) && self.reply.is_some()
     }
 }
 
@@ -143,13 +202,11 @@ impl PendingCompletions {
         PendingCompletions::default()
     }
 
-    fn resolve_if_complete(
-        state: &mut HashMap<GlobalTxnId, Pending>,
-        txn: GlobalTxnId,
-    ) {
-        if state.get(&txn).is_some_and(Pending::is_complete) {
-            if let Some(reply) = state.remove(&txn).and_then(|p| p.reply) {
+    fn resolve_if_complete(state: &mut CompletionState, txn: GlobalTxnId) {
+        if state.pending.get(&txn).is_some_and(Pending::is_complete) {
+            if let Some(reply) = state.pending.remove(&txn).and_then(|p| p.reply) {
                 reply.send(());
+                state.retired.insert(txn);
             }
         }
     }
@@ -157,30 +214,35 @@ impl PendingCompletions {
     /// Registers a submitted transaction with its participant count.
     pub fn register(&self, txn: GlobalTxnId, participants: usize, reply: ReplySlot<()>) {
         let mut state = self.state.lock();
-        let entry = state.entry(txn).or_default();
+        let entry = state.pending.entry(txn).or_default();
         entry.expected = Some(participants);
         entry.reply = Some(reply);
         Self::resolve_if_complete(&mut state, txn);
     }
 
-    /// Records one participant completion; fulfills the reply when all
-    /// participants reported.
-    pub fn done(&self, txn: GlobalTxnId) {
+    /// Records one participant's completion report (idempotent per
+    /// participant); fulfills the reply when all participants reported.
+    pub fn done(&self, txn: GlobalTxnId, from: ServerId) {
         let mut state = self.state.lock();
-        let entry = state.entry(txn).or_default();
-        entry.done += 1;
+        if state.retired.contains(&txn) {
+            return;
+        }
+        let entry = state.pending.entry(txn).or_default();
+        if !entry.done_from.contains(&from) {
+            entry.done_from.push(from);
+        }
         Self::resolve_if_complete(&mut state, txn);
     }
 
     /// Outstanding transactions (diagnostics).
     pub fn outstanding(&self) -> usize {
-        self.state.lock().len()
+        self.state.lock().pending.len()
     }
 
     /// Drops every pending reply (waiters observe a disconnect); used at
     /// shutdown.
     pub fn fail_all(&self) {
-        self.state.lock().clear();
+        self.state.lock().pending.clear();
     }
 }
 
@@ -190,13 +252,20 @@ mod tests {
     use aloha_net::reply_pair;
 
     fn txn(seq: u64) -> GlobalTxnId {
-        GlobalTxnId { origin: ServerId(0), seq }
+        GlobalTxnId {
+            origin: ServerId(0),
+            seq,
+        }
     }
 
     #[test]
     fn exchange_collects_from_all_peers() {
         let ex = ReadExchange::new();
-        ex.deliver(txn(1), ServerId(1), vec![(Key::from("a"), Some(Value::from_i64(1)))]);
+        ex.deliver(
+            txn(1),
+            ServerId(1),
+            vec![(Key::from("a"), Some(Value::from_i64(1)))],
+        );
         ex.deliver(txn(1), ServerId(2), vec![(Key::from("b"), None)]);
         let values = ex.wait(txn(1), 2, Duration::from_millis(100)).unwrap();
         assert_eq!(values.len(), 2);
@@ -215,9 +284,27 @@ mod tests {
     }
 
     #[test]
-    fn exchange_times_out_and_cleans_up() {
+    fn exchange_timeout_preserves_partial_state() {
         let ex = ReadExchange::new();
-        assert!(ex.wait(txn(9), 1, Duration::from_millis(10)).is_none());
+        ex.deliver(txn(9), ServerId(1), vec![(Key::from("a"), None)]);
+        assert!(ex.wait(txn(9), 2, Duration::from_millis(10)).is_none());
+        // The early delivery survives the timeout; one more peer completes it.
+        assert_eq!(ex.outstanding(), 1);
+        ex.deliver(txn(9), ServerId(2), vec![(Key::from("b"), None)]);
+        let values = ex.wait(txn(9), 2, Duration::from_millis(10)).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(ex.outstanding(), 0);
+    }
+
+    #[test]
+    fn exchange_abandon_cleans_up_and_retires() {
+        let ex = ReadExchange::new();
+        ex.deliver(txn(9), ServerId(1), vec![(Key::from("a"), None)]);
+        assert!(ex.wait(txn(9), 2, Duration::from_millis(5)).is_none());
+        ex.abandon(txn(9));
+        assert_eq!(ex.outstanding(), 0);
+        // Late re-broadcasts for the abandoned transaction leave no state.
+        ex.deliver(txn(9), ServerId(2), vec![(Key::from("b"), None)]);
         assert_eq!(ex.outstanding(), 0);
     }
 
@@ -227,13 +314,30 @@ mod tests {
         ex.deliver(txn(1), ServerId(1), vec![(Key::from("a"), None)]);
         ex.deliver(txn(1), ServerId(1), vec![(Key::from("a"), None)]);
         let values = ex.wait(txn(1), 1, Duration::from_millis(50)).unwrap();
-        assert_eq!(values.len(), 1, "duplicate broadcast must not double values");
+        assert_eq!(
+            values.len(),
+            1,
+            "duplicate broadcast must not double values"
+        );
+    }
+
+    #[test]
+    fn exchange_drops_late_broadcasts_after_completion() {
+        let ex = ReadExchange::new();
+        ex.deliver(txn(4), ServerId(1), vec![(Key::from("a"), None)]);
+        assert!(ex.wait(txn(4), 1, Duration::from_millis(50)).is_some());
+        // A fault-layer duplicate arriving after completion must not leak.
+        ex.deliver(txn(4), ServerId(1), vec![(Key::from("a"), None)]);
+        assert_eq!(ex.outstanding(), 0);
     }
 
     #[test]
     fn zero_expected_peers_returns_immediately() {
         let ex = ReadExchange::new();
-        assert_eq!(ex.wait(txn(2), 0, Duration::from_millis(1)).unwrap().len(), 0);
+        assert_eq!(
+            ex.wait(txn(2), 0, Duration::from_millis(1)).unwrap().len(),
+            0
+        );
     }
 
     #[test]
@@ -241,9 +345,9 @@ mod tests {
         let pc = PendingCompletions::new();
         let (slot, handle) = reply_pair();
         pc.register(txn(1), 2, slot);
-        pc.done(txn(1));
+        pc.done(txn(1), ServerId(0));
         assert!(handle.try_wait().is_none(), "one participant outstanding");
-        pc.done(txn(1));
+        pc.done(txn(1), ServerId(1));
         // Reply slot consumed inside; handle resolves.
         assert!(handle.wait().is_ok());
         assert_eq!(pc.outstanding(), 0);
@@ -252,10 +356,29 @@ mod tests {
     #[test]
     fn completions_tolerate_done_before_register() {
         let pc = PendingCompletions::new();
-        pc.done(txn(7));
-        pc.done(txn(7));
+        pc.done(txn(7), ServerId(0));
+        pc.done(txn(7), ServerId(1));
         let (slot, handle) = reply_pair();
         pc.register(txn(7), 2, slot);
         assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn completions_dedup_duplicate_reports() {
+        let pc = PendingCompletions::new();
+        let (slot, handle) = reply_pair();
+        pc.register(txn(3), 2, slot);
+        pc.done(txn(3), ServerId(1));
+        pc.done(txn(3), ServerId(1));
+        pc.done(txn(3), ServerId(1));
+        assert!(
+            handle.try_wait().is_none(),
+            "duplicates must not count twice"
+        );
+        pc.done(txn(3), ServerId(2));
+        assert!(handle.wait().is_ok());
+        // A straggler duplicate after resolution must not recreate state.
+        pc.done(txn(3), ServerId(2));
+        assert_eq!(pc.outstanding(), 0);
     }
 }

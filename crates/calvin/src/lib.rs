@@ -60,8 +60,11 @@ pub mod program;
 pub mod server;
 pub mod store;
 
-pub use cluster::{CalvinCluster, CalvinClusterBuilder, CalvinConfig, CalvinDatabase, CalvinHandle};
+pub use cluster::{
+    CalvinCluster, CalvinClusterBuilder, CalvinConfig, CalvinDatabase, CalvinHandle,
+};
 pub use lock::{LockManager, LockMode};
 pub use msg::{CalvinMsg, CalvinTxn, GlobalTxnId};
 pub use program::{fn_program, CalvinPlan, CalvinProgram, CalvinRegistry, ProgramId};
+pub use server::CalvinHistory;
 pub use store::CalvinStore;

@@ -99,7 +99,11 @@ impl LockManager {
             queue.entries.iter().all(|e| e.txn != txn),
             "duplicate lock request for txn {txn}"
         );
-        queue.entries.push_back(LockRequest { txn, mode, granted: false });
+        queue.entries.push_back(LockRequest {
+            txn,
+            mode,
+            granted: false,
+        });
         let newly = queue.grant_prefix();
         newly.contains(&txn)
     }
@@ -138,10 +142,20 @@ mod tests {
     fn reads_share_writes_exclude() {
         let mut lm = LockManager::new();
         assert!(lm.acquire(1, &k("a"), LockMode::Read));
-        assert!(lm.acquire(2, &k("a"), LockMode::Read), "shared readers coexist");
-        assert!(!lm.acquire(3, &k("a"), LockMode::Write), "writer waits for readers");
+        assert!(
+            lm.acquire(2, &k("a"), LockMode::Read),
+            "shared readers coexist"
+        );
+        assert!(
+            !lm.acquire(3, &k("a"), LockMode::Write),
+            "writer waits for readers"
+        );
         assert!(lm.release(1, &k("a")).is_empty(), "one reader left");
-        assert_eq!(lm.release(2, &k("a")), vec![3], "writer granted when readers gone");
+        assert_eq!(
+            lm.release(2, &k("a")),
+            vec![3],
+            "writer granted when readers gone"
+        );
     }
 
     #[test]

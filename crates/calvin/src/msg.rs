@@ -37,7 +37,12 @@ pub struct CalvinTxn {
 }
 
 /// Messages exchanged between Calvin servers.
-#[derive(Debug)]
+///
+/// `Clone` so the fault-injection layer can duplicate messages in flight;
+/// every receive path tolerates duplicates (batch rounds are keyed by
+/// `(from, round)`, read deliveries dedup per peer, completions dedup per
+/// participant).
+#[derive(Debug, Clone)]
 pub enum CalvinMsg {
     /// Sequencer → all schedulers: one sealed batch of a sequencing round.
     /// Every server broadcasts a (possibly empty) batch every round; a

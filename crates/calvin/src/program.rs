@@ -116,7 +116,10 @@ impl CalvinRegistry {
     /// Panics on duplicate ids.
     pub fn register(&mut self, id: ProgramId, program: impl CalvinProgram + 'static) {
         let prev = self.programs.insert(id, Arc::new(program));
-        assert!(prev.is_none(), "duplicate calvin program registration for {id}");
+        assert!(
+            prev.is_none(),
+            "duplicate calvin program registration for {id}"
+        );
     }
 
     /// Looks up a program.
@@ -141,7 +144,9 @@ impl CalvinRegistry {
 
 impl fmt::Debug for CalvinRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CalvinRegistry").field("len", &self.programs.len()).finish()
+        f.debug_struct("CalvinRegistry")
+            .field("len", &self.programs.len())
+            .finish()
     }
 }
 
@@ -152,9 +157,15 @@ mod tests {
     #[test]
     fn fn_program_round_trips() {
         let p = fn_program(
-            |_args| CalvinPlan { read_set: vec![Key::from("a")], write_set: vec![Key::from("a")] },
+            |_args| CalvinPlan {
+                read_set: vec![Key::from("a")],
+                write_set: vec![Key::from("a")],
+            },
             |_args, reads, writes| {
-                let old = reads[&Key::from("a")].as_ref().and_then(Value::as_i64).unwrap_or(0);
+                let old = reads[&Key::from("a")]
+                    .as_ref()
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
                 writes.push((Key::from("a"), Value::from_i64(old * 2)));
             },
         );
@@ -170,7 +181,10 @@ mod tests {
     #[test]
     fn registry_rejects_unknown() {
         let reg = CalvinRegistry::new();
-        assert!(matches!(reg.get(ProgramId(5)), Err(Error::UnknownProgram(5))));
+        assert!(matches!(
+            reg.get(ProgramId(5)),
+            Err(Error::UnknownProgram(5))
+        ));
     }
 
     #[test]

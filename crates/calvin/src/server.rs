@@ -1,13 +1,13 @@
 //! One Calvin server: sequencer, scheduler (single-threaded lock manager)
 //! and execution workers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aloha_common::metrics::{duration_micros, Counter, Histogram, StageBreakdown};
-use aloha_common::{Key, Result, ServerId, Value};
+use aloha_common::{HistoryLog, Key, Result, ServerId, Value};
 use aloha_net::{reply_pair, Addr, Bus, Endpoint, ReplyHandle};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -17,6 +17,30 @@ use crate::lock::{LockManager, LockMode};
 use crate::msg::{CalvinMsg, CalvinTxn, GlobalTxnId};
 use crate::program::{CalvinRegistry, ProgramId};
 use crate::store::CalvinStore;
+
+/// Per-server record of the merged deterministic order: every scheduler logs
+/// the full global transaction order (not just the transactions it
+/// participates in), so any server's log replays the whole workload.
+pub type CalvinHistory = HistoryLog<CalvinTxn>;
+
+/// How many sealed rounds each sequencer re-broadcasts while fault injection
+/// is active. Schedulers merge rounds strictly in order, so one dropped batch
+/// stalls every later round on that scheduler until a re-broadcast arrives;
+/// the ring must therefore out-last the longest injected disruption
+/// (32 rounds ≈ 32 × batch_duration).
+const SEALED_ROUNDS_RING: usize = 32;
+
+/// How many finished executions each server remembers for re-broadcast. A
+/// peer whose `ReadResults`/`TxnDone` was dropped recovers from the next
+/// sequencer tick's re-send.
+const RECENT_EXECS_RING: usize = 128;
+
+/// One finished execution, kept for re-broadcast under fault injection.
+struct RecentExec {
+    txn: GlobalTxnId,
+    others: Vec<ServerId>,
+    values: Vec<(Key, Option<Value>)>,
+}
 
 /// Per-server Calvin metrics: the Fig 10 stage breakdown plus counters.
 #[derive(Debug)]
@@ -70,8 +94,14 @@ impl CalvinStats {
 
 /// Events driving the single scheduler thread.
 pub(crate) enum SchedulerEvent {
-    Batch { from: ServerId, round: u64, txns: Vec<CalvinTxn> },
-    Done { local_seq: u64 },
+    Batch {
+        from: ServerId,
+        round: u64,
+        txns: Vec<CalvinTxn>,
+    },
+    Done {
+        local_seq: u64,
+    },
 }
 
 /// A transaction dispatched to an execution worker.
@@ -97,11 +127,19 @@ pub struct CalvinServer {
     stats: CalvinStats,
     shutdown: AtomicBool,
     rpc_timeout: Duration,
+    /// Sealed (round, batch) pairs re-broadcast every tick under faults.
+    sealed_rounds: Mutex<VecDeque<(u64, Vec<CalvinTxn>)>>,
+    /// Finished executions re-broadcast every tick under faults.
+    recent_execs: Mutex<VecDeque<RecentExec>>,
+    /// The merged global order, recorded when history recording is on.
+    history: Option<Arc<CalvinHistory>>,
 }
 
 impl std::fmt::Debug for CalvinServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CalvinServer").field("id", &self.id).finish()
+        f.debug_struct("CalvinServer")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -111,7 +149,12 @@ impl CalvinServer {
         total: u16,
         registry: Arc<CalvinRegistry>,
         bus: Bus<CalvinMsg>,
-    ) -> (Arc<CalvinServer>, Receiver<SchedulerEvent>, Receiver<ExecTask>) {
+        history: Option<Arc<CalvinHistory>>,
+    ) -> (
+        Arc<CalvinServer>,
+        Receiver<SchedulerEvent>,
+        Receiver<ExecTask>,
+    ) {
         let (sched_tx, sched_rx) = crossbeam::channel::unbounded();
         let (exec_tx, exec_rx) = crossbeam::channel::unbounded();
         let server = Arc::new(CalvinServer {
@@ -129,8 +172,23 @@ impl CalvinServer {
             stats: CalvinStats::default(),
             shutdown: AtomicBool::new(false),
             rpc_timeout: Duration::from_secs(30),
+            sealed_rounds: Mutex::new(VecDeque::new()),
+            recent_execs: Mutex::new(VecDeque::new()),
+            history,
         });
         (server, sched_rx, exec_rx)
+    }
+
+    /// Whether loss-recovery re-broadcasts are active (only under fault
+    /// injection; the ordinary reliable bus needs none of it).
+    fn resend_enabled(&self) -> bool {
+        self.bus.fault_plan().is_some()
+    }
+
+    /// This server's record of the merged global order (present when history
+    /// recording is on).
+    pub fn history(&self) -> Option<&Arc<CalvinHistory>> {
+        self.history.as_ref()
     }
 
     /// This server's id.
@@ -170,14 +228,13 @@ impl CalvinServer {
     ///
     /// Returns [`aloha_common::Error::UnknownProgram`] for unregistered
     /// programs.
-    pub fn submit(
-        self: &Arc<Self>,
-        program: ProgramId,
-        args: &[u8],
-    ) -> Result<CalvinSubmission> {
+    pub fn submit(self: &Arc<Self>, program: ProgramId, args: &[u8]) -> Result<CalvinSubmission> {
         let plan = self.registry.get(program)?.plan(args);
         let participants = self.participants_of(&plan);
-        let id = GlobalTxnId { origin: self.id, seq: self.next_seq.fetch_add(1, Ordering::Relaxed) };
+        let id = GlobalTxnId {
+            origin: self.id,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+        };
         let (slot, handle) = reply_pair();
         self.completions.register(id, participants.len(), slot);
         let submitted_at = Instant::now();
@@ -187,12 +244,15 @@ impl CalvinServer {
             args: args.to_vec(),
             submitted_at,
         });
-        Ok(CalvinSubmission { server: Arc::clone(self), handle, submitted_at })
+        Ok(CalvinSubmission {
+            server: Arc::clone(self),
+            handle,
+            submitted_at,
+        })
     }
 
     fn participants_of(&self, plan: &crate::program::CalvinPlan) -> Vec<ServerId> {
-        let mut participants: Vec<ServerId> =
-            plan.all_keys().map(|k| self.owner_of(k)).collect();
+        let mut participants: Vec<ServerId> = plan.all_keys().map(|k| self.owner_of(k)).collect();
         participants.sort();
         participants.dedup();
         participants
@@ -200,11 +260,81 @@ impl CalvinServer {
 
     /// Sequencer tick: seals the current batch for `round` and broadcasts it
     /// to every scheduler (including this server's own).
+    ///
+    /// Under fault injection the whole ring of recently sealed rounds is
+    /// re-broadcast each tick (schedulers drop batches for rounds they
+    /// already merged), and so are recently finished executions — together
+    /// these recover any dropped `Batch`, `ReadResults` or `TxnDone` within
+    /// one tick of the fault clearing.
     pub(crate) fn seal_batch(&self, round: u64) {
         let txns = std::mem::take(&mut *self.submissions.lock());
-        for i in 0..self.total {
-            let msg = CalvinMsg::Batch { from: self.id, round, txns: txns.clone() };
-            let _ = self.bus.send(Addr::Server(ServerId(i)), msg);
+        if !self.resend_enabled() {
+            for i in 0..self.total {
+                let msg = CalvinMsg::Batch {
+                    from: self.id,
+                    round,
+                    txns: txns.clone(),
+                };
+                let _ = self.bus.send(Addr::Server(ServerId(i)), msg);
+            }
+            return;
+        }
+        let ring: Vec<(u64, Vec<CalvinTxn>)> = {
+            let mut sealed = self.sealed_rounds.lock();
+            sealed.push_back((round, txns));
+            if sealed.len() > SEALED_ROUNDS_RING {
+                sealed.pop_front();
+            }
+            sealed.iter().cloned().collect()
+        };
+        for (r, t) in &ring {
+            for i in 0..self.total {
+                let msg = CalvinMsg::Batch {
+                    from: self.id,
+                    round: *r,
+                    txns: t.clone(),
+                };
+                let _ = self.bus.send(Addr::Server(ServerId(i)), msg);
+            }
+        }
+        self.resend_recent_execs();
+    }
+
+    /// Re-sends `ReadResults` and `TxnDone` for recently finished
+    /// executions. Receivers dedup (exchange per peer, completions per
+    /// participant) and drop messages for retired transactions, so
+    /// re-sending is always safe.
+    fn resend_recent_execs(&self) {
+        let recents = self.recent_execs.lock();
+        for exec in recents.iter() {
+            for &peer in &exec.others {
+                let _ = self.bus.send(
+                    Addr::Server(peer),
+                    CalvinMsg::ReadResults {
+                        txn: exec.txn,
+                        from: self.id,
+                        values: exec.values.clone(),
+                    },
+                );
+            }
+            if exec.txn.origin != self.id {
+                let _ = self.bus.send(
+                    Addr::Server(exec.txn.origin),
+                    CalvinMsg::TxnDone {
+                        txn: exec.txn,
+                        from: self.id,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Remembers a finished execution for fault-recovery re-broadcast.
+    fn remember_exec(&self, exec: RecentExec) {
+        let mut recents = self.recent_execs.lock();
+        recents.push_back(exec);
+        if recents.len() > RECENT_EXECS_RING {
+            recents.pop_front();
         }
     }
 }
@@ -225,7 +355,10 @@ impl CalvinSubmission {
     /// Fails if the cluster shut down before completion.
     pub fn wait(self) -> Result<()> {
         self.handle.wait_timeout(self.server.rpc_timeout)?;
-        self.server.stats.latency.record(duration_micros(self.submitted_at.elapsed()));
+        self.server
+            .stats
+            .latency
+            .record(duration_micros(self.submitted_at.elapsed()));
         self.server.stats.completed.incr();
         Ok(())
     }
@@ -233,20 +366,18 @@ impl CalvinSubmission {
 
 /// Dispatcher thread: routes bus messages.
 pub(crate) fn run_dispatcher(server: Arc<CalvinServer>, endpoint: Endpoint<CalvinMsg>) {
-    loop {
-        let msg = match endpoint.recv() {
-            Ok(m) => m,
-            Err(_) => break,
-        };
+    while let Ok(msg) = endpoint.recv() {
         match msg {
             CalvinMsg::Batch { from, round, txns } => {
-                let _ = server.sched_tx.send(SchedulerEvent::Batch { from, round, txns });
+                let _ = server
+                    .sched_tx
+                    .send(SchedulerEvent::Batch { from, round, txns });
             }
             CalvinMsg::ReadResults { txn, from, values } => {
                 server.exchange.deliver(txn, from, values);
             }
-            CalvinMsg::TxnDone { txn, from: _ } => {
-                server.completions.done(txn);
+            CalvinMsg::TxnDone { txn, from } => {
+                server.completions.done(txn, from);
             }
             CalvinMsg::Shutdown => break,
         }
@@ -293,6 +424,12 @@ pub(crate) fn run_scheduler(server: Arc<CalvinServer>, events: Receiver<Schedule
         };
         match event {
             SchedulerEvent::Batch { from, round, txns } => {
+                // Already-merged rounds re-arrive as fault-layer duplicates
+                // and recovery re-broadcasts; dropping them keeps the rounds
+                // map from accumulating stale entries.
+                if round < next_round {
+                    continue;
+                }
                 rounds.entry(round).or_default().insert(from, txns);
                 // Merge every complete round in order.
                 while rounds
@@ -301,8 +438,16 @@ pub(crate) fn run_scheduler(server: Arc<CalvinServer>, events: Receiver<Schedule
                 {
                     let mut batches = rounds.remove(&next_round).expect("checked above");
                     for origin in 0..server.total {
-                        let Some(txns) = batches.remove(&ServerId(origin)) else { continue };
+                        let Some(txns) = batches.remove(&ServerId(origin)) else {
+                            continue;
+                        };
                         for txn in txns {
+                            // Record the merged global order before the
+                            // participant filter: every server's history
+                            // holds the full deterministic schedule.
+                            if let Some(log) = &server.history {
+                                log.record(txn.clone());
+                            }
                             schedule_txn(
                                 &server,
                                 &mut locks,
@@ -316,7 +461,9 @@ pub(crate) fn run_scheduler(server: Arc<CalvinServer>, events: Receiver<Schedule
                 }
             }
             SchedulerEvent::Done { local_seq } => {
-                let Some(entry) = active.remove(&local_seq) else { continue };
+                let Some(entry) = active.remove(&local_seq) else {
+                    continue;
+                };
                 for (key, _) in &entry.lock_keys {
                     for granted in locks.release(local_seq, key) {
                         if let Some(waiter) = active.get_mut(&granted) {
@@ -360,7 +507,10 @@ fn schedule_txn(
         return; // not a participant
     }
     server.stats.scheduled.incr();
-    server.stats.breakdown.record(0, duration_micros(txn.submitted_at.elapsed()));
+    server
+        .stats
+        .breakdown
+        .record(0, duration_micros(txn.submitted_at.elapsed()));
 
     let local_seq = *next_local_seq;
     *next_local_seq += 1;
@@ -371,7 +521,12 @@ fn schedule_txn(
             pending += 1;
         }
     }
-    let entry = ActiveTxn { txn, lock_keys, pending_locks: pending, lock_requested_at: Instant::now() };
+    let entry = ActiveTxn {
+        txn,
+        lock_keys,
+        pending_locks: pending,
+        lock_requested_at: Instant::now(),
+    };
     let ready = entry.pending_locks == 0;
     active.insert(local_seq, entry);
     if ready {
@@ -418,14 +573,18 @@ pub(crate) fn run_worker(server: Arc<CalvinServer>, tasks: Receiver<ExecTask>) {
 }
 
 fn is_distributed(server: &Arc<CalvinServer>, task: &ExecTask) -> bool {
-    let Ok(program) = server.registry.get(task.txn.program) else { return false };
+    let Ok(program) = server.registry.get(task.txn.program) else {
+        return false;
+    };
     let plan = program.plan(&task.txn.args);
     let distributed = plan.all_keys().any(|k| server.owner_of(k) != server.id);
     distributed
 }
 
 fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
-    let Ok(program) = server.registry.get(task.txn.program) else { return };
+    let Ok(program) = server.registry.get(task.txn.program) else {
+        return;
+    };
     let plan = program.plan(&task.txn.args);
     let participants = {
         let mut p: Vec<ServerId> = plan.all_keys().map(|k| server.owner_of(k)).collect();
@@ -442,29 +601,59 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
             local_values.push((key.clone(), server.store.get(key)));
         }
     }
-    let others: Vec<ServerId> =
-        participants.iter().copied().filter(|&p| p != server.id).collect();
-    for &peer in &others {
-        let _ = server.bus.send(
-            Addr::Server(peer),
-            CalvinMsg::ReadResults {
-                txn: task.txn.id,
-                from: server.id,
-                values: local_values.clone(),
-            },
-        );
-    }
-    let remote_values = match server.exchange.wait(task.txn.id, others.len(), server.rpc_timeout)
-    {
+    let others: Vec<ServerId> = participants
+        .iter()
+        .copied()
+        .filter(|&p| p != server.id)
+        .collect();
+    let broadcast_reads = |srv: &CalvinServer| {
+        for &peer in &others {
+            let _ = srv.bus.send(
+                Addr::Server(peer),
+                CalvinMsg::ReadResults {
+                    txn: task.txn.id,
+                    from: srv.id,
+                    values: local_values.clone(),
+                },
+            );
+        }
+    };
+    broadcast_reads(server);
+    // Under fault injection the broadcast may be dropped on any link, so
+    // wait in short slices and re-broadcast between them (the exchange keeps
+    // partial deliveries across timeouts and dedups per peer). On a reliable
+    // bus a single full-timeout wait is used unchanged.
+    let slice = if server.resend_enabled() {
+        Duration::from_millis(10).min(server.rpc_timeout)
+    } else {
+        server.rpc_timeout
+    };
+    let mut waited = Duration::ZERO;
+    let remote_values = loop {
+        match server.exchange.wait(task.txn.id, others.len(), slice) {
+            Some(v) => break Some(v),
+            None => {
+                waited += slice;
+                if waited >= server.rpc_timeout || server.is_shutdown() {
+                    break None;
+                }
+                broadcast_reads(server);
+            }
+        }
+    };
+    let remote_values = match remote_values {
         Some(v) => v,
         None => {
             // Shutdown or a lost peer: release locks and bail out.
-            let _ = server.sched_tx.send(SchedulerEvent::Done { local_seq: task.local_seq });
+            server.exchange.abandon(task.txn.id);
+            let _ = server.sched_tx.send(SchedulerEvent::Done {
+                local_seq: task.local_seq,
+            });
             return;
         }
     };
     let mut reads: HashMap<Key, Option<Value>> = HashMap::new();
-    for (k, v) in local_values.into_iter().chain(remote_values) {
+    for (k, v) in local_values.iter().cloned().chain(remote_values) {
         reads.insert(k, v);
     }
     server
@@ -482,15 +671,33 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
             server.store.put(key, value);
         }
     }
-    server.stats.breakdown.record(2, duration_micros(exec_started.elapsed()));
+    server
+        .stats
+        .breakdown
+        .record(2, duration_micros(exec_started.elapsed()));
 
-    let _ = server.sched_tx.send(SchedulerEvent::Done { local_seq: task.local_seq });
+    let _ = server.sched_tx.send(SchedulerEvent::Done {
+        local_seq: task.local_seq,
+    });
     if task.txn.id.origin == server.id {
-        server.completions.done(task.txn.id);
+        server.completions.done(task.txn.id, server.id);
     } else {
         let _ = server.bus.send(
             Addr::Server(task.txn.id.origin),
-            CalvinMsg::TxnDone { txn: task.txn.id, from: server.id },
+            CalvinMsg::TxnDone {
+                txn: task.txn.id,
+                from: server.id,
+            },
         );
+    }
+    if server.resend_enabled() {
+        // An asymmetric drop may have cost a *peer* this execution's
+        // broadcasts even though we finished; keep the execution around so
+        // the sequencer tick re-sends it until it ages out of the ring.
+        server.remember_exec(RecentExec {
+            txn: task.txn.id,
+            others,
+            values: local_values,
+        });
     }
 }

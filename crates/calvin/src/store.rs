@@ -30,7 +30,9 @@ pub struct CalvinStore {
 impl CalvinStore {
     /// Creates an empty store.
     pub fn new() -> CalvinStore {
-        CalvinStore { shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
+        CalvinStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
     }
 
     fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, Value>> {

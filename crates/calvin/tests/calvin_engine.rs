@@ -23,11 +23,18 @@ fn increment_program() -> impl calvin::CalvinProgram {
     fn_program(
         |args| {
             let key = Key::from(args);
-            CalvinPlan { read_set: vec![key.clone()], write_set: vec![key] }
+            CalvinPlan {
+                read_set: vec![key.clone()],
+                write_set: vec![key],
+            }
         },
         |args, reads, writes| {
             let key = Key::from(args);
-            let old = reads.get(&key).and_then(|v| v.as_ref()).and_then(Value::as_i64).unwrap_or(0);
+            let old = reads
+                .get(&key)
+                .and_then(|v| v.as_ref())
+                .and_then(Value::as_i64)
+                .unwrap_or(0);
             writes.push((key, Value::from_i64(old + 1)));
         },
     )
@@ -39,7 +46,10 @@ fn transfer_program() -> impl calvin::CalvinProgram {
         |args| {
             let a = Key::from(&args[0..8]);
             let b = Key::from(&args[8..16]);
-            CalvinPlan { read_set: vec![a.clone(), b.clone()], write_set: vec![a, b] }
+            CalvinPlan {
+                read_set: vec![a.clone(), b.clone()],
+                write_set: vec![a, b],
+            }
         },
         |args, reads, writes| {
             let a = Key::from(&args[0..8]);
@@ -61,8 +71,9 @@ fn single_partition_increments_apply_exactly_once() {
     let key = Key::from("ctr");
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
-    let handles: Vec<_> =
-        (0..50).map(|_| db.execute(ProgramId(1), key.as_bytes()).unwrap()).collect();
+    let handles: Vec<_> = (0..50)
+        .map(|_| db.execute(ProgramId(1), key.as_bytes()).unwrap())
+        .collect();
     for h in handles {
         h.wait().unwrap();
     }
@@ -76,8 +87,9 @@ fn distributed_transfer_conserves_money() {
     let mut builder = CalvinCluster::builder(fast_config(total));
     builder.register_program(ProgramId(1), transfer_program());
     let cluster = builder.start().unwrap();
-    let accounts: Vec<Key> =
-        (0..total).map(|p| keys_on_partition(p, total, 1).remove(0)).collect();
+    let accounts: Vec<Key> = (0..total)
+        .map(|p| keys_on_partition(p, total, 1).remove(0))
+        .collect();
     for a in &accounts {
         cluster.load(a.clone(), Value::from_i64(1000));
     }
@@ -95,8 +107,10 @@ fn distributed_transfer_conserves_money() {
     for h in handles {
         h.wait().unwrap();
     }
-    let sum: i64 =
-        accounts.iter().map(|a| cluster.read(a).unwrap().as_i64().unwrap()).sum();
+    let sum: i64 = accounts
+        .iter()
+        .map(|a| cluster.read(a).unwrap().as_i64().unwrap())
+        .sum();
     assert_eq!(sum, 4000);
     cluster.shutdown();
 }
@@ -115,8 +129,9 @@ fn hot_key_contention_is_serialized_correctly() {
             let db = db.clone();
             let hot = hot.clone();
             std::thread::spawn(move || {
-                let handles: Vec<_> =
-                    (0..25).map(|_| db.execute(ProgramId(1), hot.as_bytes()).unwrap()).collect();
+                let handles: Vec<_> = (0..25)
+                    .map(|_| db.execute(ProgramId(1), hot.as_bytes()).unwrap())
+                    .collect();
                 for h in handles {
                     h.wait().unwrap();
                 }
@@ -174,12 +189,21 @@ fn stats_track_latency_and_stage_breakdown() {
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
     for _ in 0..5 {
-        db.execute(ProgramId(1), key.as_bytes()).unwrap().wait().unwrap();
+        db.execute(ProgramId(1), key.as_bytes())
+            .unwrap()
+            .wait()
+            .unwrap();
     }
     let stats = cluster.stats();
     assert_eq!(stats.completed, 5);
-    assert!(stats.latency_mean_micros >= 1000.0, "latency includes batch wait");
-    assert!(stats.stage_means_micros[0] > 0.0, "sequencing stage recorded");
+    assert!(
+        stats.latency_mean_micros >= 1000.0,
+        "latency includes batch wait"
+    );
+    assert!(
+        stats.stage_means_micros[0] > 0.0,
+        "sequencing stage recorded"
+    );
     cluster.shutdown();
 }
 
@@ -192,8 +216,9 @@ fn deterministic_outcome_under_interleaving() {
         let mut builder = CalvinCluster::builder(fast_config(total));
         builder.register_program(ProgramId(1), transfer_program());
         let cluster = builder.start().unwrap();
-        let accounts: Vec<Key> =
-            (0..total).map(|p| keys_on_partition(p, total, 1).remove(0)).collect();
+        let accounts: Vec<Key> = (0..total)
+            .map(|p| keys_on_partition(p, total, 1).remove(0))
+            .collect();
         for a in &accounts {
             cluster.load(a.clone(), Value::from_i64(100));
         }
@@ -209,8 +234,10 @@ fn deterministic_outcome_under_interleaving() {
         for h in handles {
             h.wait().unwrap();
         }
-        let sum: i64 =
-            accounts.iter().map(|a| cluster.read(a).unwrap().as_i64().unwrap()).sum();
+        let sum: i64 = accounts
+            .iter()
+            .map(|a| cluster.read(a).unwrap().as_i64().unwrap())
+            .sum();
         assert_eq!(sum, 300);
         cluster.shutdown();
     }
@@ -227,7 +254,10 @@ fn empty_batches_do_not_stall_rounds() {
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
     let start = std::time::Instant::now();
-    db.execute(ProgramId(1), key.as_bytes()).unwrap().wait().unwrap();
+    db.execute(ProgramId(1), key.as_bytes())
+        .unwrap()
+        .wait()
+        .unwrap();
     assert!(start.elapsed() < Duration::from_secs(2));
     assert_eq!(cluster.read(&key).unwrap().as_i64(), Some(1));
     cluster.shutdown();
@@ -242,7 +272,10 @@ fn read_modify_write_chains_compose() {
         fn_program(
             |args| {
                 let key = Key::from(args);
-                CalvinPlan { read_set: vec![key.clone()], write_set: vec![key] }
+                CalvinPlan {
+                    read_set: vec![key.clone()],
+                    write_set: vec![key],
+                }
             },
             |args, reads: &HashMap<Key, Option<Value>>, writes| {
                 let key = Key::from(args);
@@ -256,7 +289,10 @@ fn read_modify_write_chains_compose() {
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
     for _ in 0..8 {
-        db.execute(ProgramId(1), key.as_bytes()).unwrap().wait().unwrap();
+        db.execute(ProgramId(1), key.as_bytes())
+            .unwrap()
+            .wait()
+            .unwrap();
     }
     // x_{n+1} = 2x + 1, x_0 = 0 → x_8 = 2^8 - 1 = 255.
     assert_eq!(cluster.read(&key).unwrap().as_i64(), Some(255));

@@ -49,7 +49,9 @@ pub struct ClockBase {
 impl ClockBase {
     /// Creates a new clock base anchored at the current instant.
     pub fn new() -> ClockBase {
-        ClockBase { origin: Instant::now() }
+        ClockBase {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -91,7 +93,9 @@ pub struct ManualClock {
 impl ManualClock {
     /// Creates a manual clock starting at `micros`.
     pub fn new(micros: u64) -> ManualClock {
-        ManualClock { micros: Arc::new(AtomicU64::new(micros)) }
+        ManualClock {
+            micros: Arc::new(AtomicU64::new(micros)),
+        }
     }
 
     /// Advances the clock by `delta` microseconds.
@@ -107,7 +111,10 @@ impl ManualClock {
     /// must be monotone.
     pub fn set(&self, micros: u64) {
         let prev = self.micros.swap(micros, Ordering::SeqCst);
-        assert!(prev <= micros, "manual clock moved backwards: {prev} -> {micros}");
+        assert!(
+            prev <= micros,
+            "manual clock moved backwards: {prev} -> {micros}"
+        );
     }
 }
 
@@ -145,7 +152,9 @@ impl<C: Clock> SkewedClock<C> {
 
 impl<C: Clock> Clock for SkewedClock<C> {
     fn now_micros(&self) -> u64 {
-        self.inner.now_micros().saturating_add_signed(self.skew_micros)
+        self.inner
+            .now_micros()
+            .saturating_add_signed(self.skew_micros)
     }
 }
 

@@ -62,7 +62,11 @@ impl fmt::Display for Error {
             Error::NoSuchPartition(p) => write!(f, "no such partition: {p}"),
             Error::UnknownProgram(id) => write!(f, "unknown transaction program id {id}"),
             Error::UnknownHandler(id) => write!(f, "unknown functor handler id {id}"),
-            Error::VersionOutsideEpoch { version, valid_from, valid_until } => write!(
+            Error::VersionOutsideEpoch {
+                version,
+                valid_from,
+                valid_until,
+            } => write!(
                 f,
                 "version {version} outside epoch validity [{valid_from}, {valid_until}]"
             ),

@@ -1,0 +1,103 @@
+//! A concurrent append-only event log for recording committed-transaction
+//! histories.
+//!
+//! Engines append one event per transaction (ALOHA-DB: at the coordinator
+//! when the write-only phase resolves; Calvin: at the scheduler when the
+//! merged order is fixed), and a checker later snapshots the log and replays
+//! it sequentially to validate serializability. The log is engine-agnostic:
+//! each engine defines its own event type.
+//!
+//! # Examples
+//!
+//! ```
+//! use aloha_common::history::HistoryLog;
+//!
+//! let log: HistoryLog<u32> = HistoryLog::new();
+//! log.record(7);
+//! log.record(8);
+//! assert_eq!(log.snapshot(), vec![7, 8]);
+//! ```
+
+use parking_lot::Mutex;
+
+/// A thread-safe append-only log of history events.
+///
+/// Appends are cheap (one mutex acquisition); the log is intended for test
+/// and validation builds, not for the benchmark hot path, so no effort is
+/// made to shard the lock.
+#[derive(Debug)]
+pub struct HistoryLog<E> {
+    events: Mutex<Vec<E>>,
+}
+
+impl<E> Default for HistoryLog<E> {
+    fn default() -> Self {
+        HistoryLog {
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<E> HistoryLog<E> {
+    /// Creates an empty log.
+    pub fn new() -> HistoryLog<E> {
+        HistoryLog::default()
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: E) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl<E: Clone> HistoryLog<E> {
+    /// A copy of every event recorded so far, in append order.
+    pub fn snapshot(&self) -> Vec<E> {
+        self.events.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_in_append_order() {
+        let log = HistoryLog::new();
+        assert!(log.is_empty());
+        for i in 0..10 {
+            log.record(i);
+        }
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.snapshot(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_appends_all_land() {
+        let log = Arc::new(HistoryLog::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        log.record(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let mut events = log.snapshot();
+        events.sort_unstable();
+        assert_eq!(events, (0..400).collect::<Vec<_>>());
+    }
+}

@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a server process (an FE/BE pair in ALOHA-DB terms).
 ///
 /// In the paper's deployment every host runs one server process; in this
@@ -26,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.index(), 7);
 /// assert_eq!(format!("{s}"), "s7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ServerId(pub u16);
 
 impl ServerId {
@@ -65,7 +63,7 @@ impl From<u16> for ServerId {
 /// use aloha_common::PartitionId;
 /// assert_eq!(PartitionId(2).index(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PartitionId(pub u16);
 
 impl PartitionId {
@@ -100,7 +98,7 @@ impl From<u16> for PartitionId {
 /// let id = TxnId(99);
 /// assert_eq!(format!("{id}"), "t99");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {
@@ -117,7 +115,7 @@ impl fmt::Display for TxnId {
 /// use aloha_common::EpochId;
 /// assert!(EpochId(1).next() == EpochId(2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EpochId(pub u64);
 
 impl EpochId {

@@ -4,7 +4,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::ids::PartitionId;
 
@@ -26,7 +25,7 @@ use crate::ids::PartitionId;
 /// let b = Key::from_parts(&[b"stock", &1u32.to_be_bytes()]);
 /// assert_eq!(a, b);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct Key(Bytes);
 
 impl Key {
@@ -73,7 +72,9 @@ impl Key {
     /// The explicit routing tag, if this key carries one.
     pub fn route(&self) -> Option<u32> {
         if self.0.len() >= 6 && self.0[..2] == Self::ROUTE_MAGIC {
-            Some(u32::from_be_bytes(self.0[2..6].try_into().expect("checked length")))
+            Some(u32::from_be_bytes(
+                self.0[2..6].try_into().expect("checked length"),
+            ))
         } else {
             None
         }
@@ -82,7 +83,11 @@ impl Key {
     /// The composite parts of the key after any routing tag. Returns `None`
     /// if the key was not built with `from_parts`/`with_route` framing.
     pub fn parts(&self) -> Option<Vec<&[u8]>> {
-        let mut rest: &[u8] = if self.route().is_some() { &self.0[6..] } else { &self.0 };
+        let mut rest: &[u8] = if self.route().is_some() {
+            &self.0[6..]
+        } else {
+            &self.0
+        };
         let mut parts = Vec::new();
         while !rest.is_empty() {
             if rest.len() < 2 {
@@ -190,7 +195,7 @@ impl From<&str> for Key {
 /// let v = Value::from_i64(150);
 /// assert_eq!(v.as_i64(), Some(150));
 /// ```
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct Value(Bytes);
 
 impl Value {
@@ -283,7 +288,10 @@ mod tests {
             let k = Key::from_parts(&[b"k", &i.to_be_bytes()]);
             seen[k.partition(8).index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "256 keys should hit all 8 partitions");
+        assert!(
+            seen.iter().all(|&s| s),
+            "256 keys should hit all 8 partitions"
+        );
     }
 
     #[test]
@@ -331,9 +339,15 @@ mod tests {
     #[test]
     fn parts_round_trip_with_and_without_route() {
         let k = Key::with_route(9, &[b"tab", b"\x01\x02"]);
-        assert_eq!(k.parts().unwrap(), vec![b"tab".as_slice(), b"\x01\x02".as_slice()]);
+        assert_eq!(
+            k.parts().unwrap(),
+            vec![b"tab".as_slice(), b"\x01\x02".as_slice()]
+        );
         let p = Key::from_parts(&[b"a", b"", b"bc"]);
-        assert_eq!(p.parts().unwrap(), vec![b"a".as_slice(), b"".as_slice(), b"bc".as_slice()]);
+        assert_eq!(
+            p.parts().unwrap(),
+            vec![b"a".as_slice(), b"".as_slice(), b"bc".as_slice()]
+        );
     }
 
     #[test]

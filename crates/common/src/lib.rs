@@ -21,6 +21,7 @@
 pub mod clock;
 pub mod codec;
 pub mod error;
+pub mod history;
 pub mod ids;
 pub mod key;
 pub mod metrics;
@@ -28,6 +29,7 @@ pub mod timestamp;
 
 pub use clock::{Clock, ManualClock, SkewedClock, SystemClock};
 pub use error::{Error, Result};
+pub use history::HistoryLog;
 pub use ids::{EpochId, PartitionId, ServerId, TxnId};
 pub use key::{Key, Value};
 pub use timestamp::Timestamp;

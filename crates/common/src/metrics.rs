@@ -188,7 +188,10 @@ pub struct StageBreakdown {
 impl StageBreakdown {
     /// Creates a breakdown with the three given stage names.
     pub fn new(names: [&'static str; 3]) -> StageBreakdown {
-        StageBreakdown { stages: Default::default(), names }
+        StageBreakdown {
+            stages: Default::default(),
+            names,
+        }
     }
 
     /// Records a sample for stage `i` (0-based).

@@ -20,8 +20,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::ServerId;
 
 /// Bits reserved for the per-microsecond sequence number.
@@ -48,7 +46,7 @@ const MICROS_SHIFT: u32 = SEQ_BITS + SERVER_BITS;
 /// assert!(a < b); // same microsecond, tie broken by server id
 /// assert_eq!(b.micros(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(u64);
 
 impl Timestamp {
@@ -187,6 +185,9 @@ mod tests {
     fn display_mentions_all_parts() {
         let ts = Timestamp::from_parts(4, ServerId(2), 1);
         let s = ts.to_string();
-        assert!(s.contains("4us") && s.contains("s2") && s.contains("#1"), "{s}");
+        assert!(
+            s.contains("4us") && s.contains("s2") && s.contains("#1"),
+            "{s}"
+        );
     }
 }

@@ -1,0 +1,326 @@
+//! Serializability history checker for the simulated cluster.
+//!
+//! Under fault injection the cluster must still produce outcomes equivalent
+//! to *some* serial execution. ALOHA-DB's serial order is fixed by design —
+//! transaction timestamps are the serialization order (§III-B) — so the
+//! check is direct: record every coordinated transaction into a cluster-wide
+//! [`History`], replay the log **sequentially in timestamp order** against a
+//! single-threaded model store, and diff the model's final state against the
+//! cluster's. Any divergence means a committed functor observed or produced
+//! a value it could not have seen in the serial order — lost writes,
+//! resurrected aborts, duplicated applications, and reordered
+//! non-commutative writes all surface this way.
+//!
+//! The replay evaluates functors with the same building blocks the cluster
+//! uses ([`builtin::apply_numeric`] and the shared [`HandlerRegistry`]), so
+//! expected values come from the workload's own logic, not a parallel
+//! re-implementation.
+
+use std::collections::HashMap;
+
+use aloha_common::{HistoryLog, Key, Result, Timestamp, Value};
+use aloha_functor::{
+    builtin, ComputeInput, Functor, HandlerRegistry, Outcome, Reads, VersionedRead,
+};
+
+/// One coordinated transaction, as recorded by its coordinating front-end
+/// when the write-only phase resolves.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// The transaction's timestamp — its position in the serial order.
+    pub ts: Timestamp,
+    /// The installed (key, functor) pairs.
+    pub writes: Vec<(Key, Functor)>,
+    /// Versions the front-end transform observed from its settled snapshot
+    /// (diagnostic: transform reads are *not* part of the serializable read
+    /// set, which the functor read-sets define).
+    pub reads: Vec<(Key, Timestamp)>,
+    /// Whether the write-only phase aborted the transaction (failed check or
+    /// unreachable participant); aborted transactions must leave no effects.
+    pub aborted_at_install: bool,
+}
+
+/// Cluster-wide commit history: one shared log appended by every coordinator.
+pub type History = HistoryLog<CommitRecord>;
+
+/// One key whose final cluster state differs from the serial replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The diverging key.
+    pub key: Key,
+    /// Value the serial replay expects (`None` = absent/deleted).
+    pub expected: Option<Value>,
+    /// Value the cluster actually holds (`None` = absent/deleted).
+    pub actual: Option<Value>,
+}
+
+/// Replays a commit history sequentially in timestamp order and returns the
+/// model's final state.
+///
+/// Each transaction's functors are all evaluated against the state *before*
+/// the transaction (functor read-sets see versions strictly below the
+/// functor's own version), and — matching the cluster's all-or-nothing
+/// abort rule (§IV-C) — if **any** functor of the transaction aborts, the
+/// whole transaction contributes nothing. Deferred writes of determinate
+/// functors (§IV-E) land at the same version, also atomically.
+///
+/// # Errors
+///
+/// Fails on histories referencing unregistered handlers or applying numeric
+/// functors over non-numeric values — both indicate a corrupted record, not
+/// a serializability violation.
+pub fn replay_history(
+    records: &[CommitRecord],
+    handlers: &HandlerRegistry,
+) -> Result<HashMap<Key, Value>> {
+    let mut sorted: Vec<&CommitRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.ts);
+    let mut model: HashMap<Key, (Timestamp, Value)> = HashMap::new();
+    for record in sorted {
+        if record.aborted_at_install {
+            continue;
+        }
+        if let Some(effects) = eval_txn(record, &model, handlers)? {
+            for (key, value) in effects {
+                match value {
+                    Some(v) => {
+                        model.insert(key, (record.ts, v));
+                    }
+                    None => {
+                        model.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+    Ok(model.into_iter().map(|(k, (_, v))| (k, v)).collect())
+}
+
+/// Evaluates every functor of one transaction against the pre-transaction
+/// model. Returns `None` when the transaction aborts (any functor decides
+/// abort), otherwise the atomic effect set: `Some(value)` sets the key,
+/// `None` deletes it.
+/// The atomic effect set of one transaction: `Some(value)` sets the key,
+/// `None` deletes it.
+type TxnEffects = Vec<(Key, Option<Value>)>;
+
+fn eval_txn(
+    record: &CommitRecord,
+    model: &HashMap<Key, (Timestamp, Value)>,
+    handlers: &HandlerRegistry,
+) -> Result<Option<TxnEffects>> {
+    let mut effects = Vec::with_capacity(record.writes.len());
+    for (key, functor) in &record.writes {
+        match functor {
+            Functor::Value(v) => effects.push((key.clone(), Some(v.clone()))),
+            Functor::Deleted | Functor::Aborted => effects.push((key.clone(), None)),
+            Functor::Add(_) | Functor::Subtr(_) | Functor::Max(_) | Functor::Min(_) => {
+                let prev = model.get(key).map(|(_, v)| v);
+                match builtin::apply_numeric(functor, prev) {
+                    Ok(v) => effects.push((key.clone(), Some(v))),
+                    // The cluster aborts the transaction when a functor's
+                    // computation errors; mirror that.
+                    Err(_) => return Ok(None),
+                }
+            }
+            Functor::User(user) => {
+                let handler = handlers.get(user.handler)?;
+                let mut reads = Reads::new();
+                for rk in &user.read_set {
+                    let read = match model.get(rk) {
+                        Some((ver, val)) => VersionedRead::found(*ver, val.clone()),
+                        None => VersionedRead::missing(),
+                    };
+                    reads.insert(rk.clone(), read);
+                }
+                let input = ComputeInput {
+                    key,
+                    version: record.ts,
+                    reads: &reads,
+                    args: &user.args,
+                };
+                let output = handler.compute(&input);
+                match output.outcome {
+                    Outcome::Abort => return Ok(None),
+                    Outcome::Commit(v) => effects.push((key.clone(), Some(v))),
+                    Outcome::Delete => effects.push((key.clone(), None)),
+                }
+                for (dk, df) in output.deferred_writes {
+                    let dv = match df {
+                        Functor::Value(v) => Some(v),
+                        Functor::Deleted => None,
+                        other => {
+                            let prev = model.get(&dk).map(|(_, v)| v);
+                            Some(builtin::apply_numeric(&other, prev)?)
+                        }
+                    };
+                    effects.push((dk, dv));
+                }
+            }
+        }
+    }
+    Ok(Some(effects))
+}
+
+/// Diffs the serial replay's final state against the cluster's, returning
+/// every key whose value differs. `actual` maps keys to the cluster's final
+/// committed value (`None` = the key is absent or deleted); only keys
+/// present in either map are compared.
+pub fn diff_states(
+    expected: &HashMap<Key, Value>,
+    actual: &HashMap<Key, Option<Value>>,
+) -> Vec<Divergence> {
+    let mut divergences = Vec::new();
+    let mut keys: Vec<&Key> = expected.keys().chain(actual.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let want = expected.get(key);
+        let got = actual.get(key).and_then(Option::as_ref);
+        if want != got {
+            divergences.push(Divergence {
+                key: key.clone(),
+                expected: want.cloned(),
+                actual: got.cloned(),
+            });
+        }
+    }
+    divergences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_common::ServerId;
+
+    fn ts(micros: u64) -> Timestamp {
+        Timestamp::from_parts(micros, ServerId(0), 0)
+    }
+
+    fn committed(at: u64, writes: Vec<(Key, Functor)>) -> CommitRecord {
+        CommitRecord {
+            ts: ts(at),
+            writes,
+            reads: Vec::new(),
+            aborted_at_install: false,
+        }
+    }
+
+    fn actual_of(pairs: &[(&Key, i64)]) -> HashMap<Key, Option<Value>> {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).clone(), Some(Value::from_i64(*v))))
+            .collect()
+    }
+
+    /// A correct interleaving of blind and numeric writes replays clean.
+    #[test]
+    fn serializable_history_has_no_divergence() {
+        let handlers = HandlerRegistry::new();
+        let k = Key::from("acct");
+        let records = vec![
+            committed(10, vec![(k.clone(), Functor::value_i64(100))]),
+            committed(20, vec![(k.clone(), Functor::add(5))]),
+            committed(30, vec![(k.clone(), Functor::subtr(2))]),
+        ];
+        let expected = replay_history(&records, &handlers).unwrap();
+        assert_eq!(expected.get(&k), Some(&Value::from_i64(103)));
+        let divergences = diff_states(&expected, &actual_of(&[(&k, 103)]));
+        assert!(
+            divergences.is_empty(),
+            "clean history flagged: {divergences:?}"
+        );
+    }
+
+    /// A lost intermediate version (an ADD that the cluster dropped) shows
+    /// up as exactly one diverging key.
+    #[test]
+    fn lost_intermediate_version_is_flagged() {
+        let handlers = HandlerRegistry::new();
+        let k = Key::from("acct");
+        let records = vec![
+            committed(10, vec![(k.clone(), Functor::value_i64(100))]),
+            committed(20, vec![(k.clone(), Functor::add(5))]),
+            committed(30, vec![(k.clone(), Functor::add(7))]),
+        ];
+        let expected = replay_history(&records, &handlers).unwrap();
+        // The cluster lost the ts-20 increment: final state is 107, not 112.
+        let divergences = diff_states(&expected, &actual_of(&[(&k, 107)]));
+        assert_eq!(divergences.len(), 1);
+        assert_eq!(divergences[0].key, k);
+        assert_eq!(divergences[0].expected, Some(Value::from_i64(112)));
+        assert_eq!(divergences[0].actual, Some(Value::from_i64(107)));
+    }
+
+    /// Two non-commutative blind writes applied in the wrong order leave the
+    /// earlier value on top — flagged, while an untouched key stays clean.
+    #[test]
+    fn reordered_non_commutative_writes_are_flagged() {
+        let handlers = HandlerRegistry::new();
+        let k = Key::from("config");
+        let quiet = Key::from("quiet");
+        let records = vec![
+            committed(10, vec![(quiet.clone(), Functor::value_i64(1))]),
+            committed(20, vec![(k.clone(), Functor::value_i64(20))]),
+            committed(30, vec![(k.clone(), Functor::value_i64(30))]),
+        ];
+        let expected = replay_history(&records, &handlers).unwrap();
+        // The cluster applied ts-30 before ts-20: 20 won.
+        let divergences = diff_states(&expected, &actual_of(&[(&k, 20), (&quiet, 1)]));
+        assert_eq!(divergences.len(), 1);
+        assert_eq!(divergences[0].key, k);
+        assert_eq!(divergences[0].expected, Some(Value::from_i64(30)));
+        assert_eq!(divergences[0].actual, Some(Value::from_i64(20)));
+    }
+
+    /// Install-aborted transactions contribute nothing; a cluster where the
+    /// abort leaked its write diverges.
+    #[test]
+    fn aborted_transactions_leave_no_effects() {
+        let handlers = HandlerRegistry::new();
+        let k = Key::from("acct");
+        let records = vec![
+            committed(10, vec![(k.clone(), Functor::value_i64(1))]),
+            CommitRecord {
+                ts: ts(20),
+                writes: vec![(k.clone(), Functor::value_i64(999))],
+                reads: Vec::new(),
+                aborted_at_install: true,
+            },
+        ];
+        let expected = replay_history(&records, &handlers).unwrap();
+        assert_eq!(expected.get(&k), Some(&Value::from_i64(1)));
+        let divergences = diff_states(&expected, &actual_of(&[(&k, 999)]));
+        assert_eq!(divergences.len(), 1);
+    }
+
+    /// Replay is order-insensitive on input: records arriving in any append
+    /// order replay identically because the checker sorts by timestamp.
+    #[test]
+    fn replay_sorts_by_timestamp() {
+        let handlers = HandlerRegistry::new();
+        let k = Key::from("k");
+        let shuffled = vec![
+            committed(30, vec![(k.clone(), Functor::value_i64(30))]),
+            committed(10, vec![(k.clone(), Functor::value_i64(10))]),
+            committed(20, vec![(k.clone(), Functor::value_i64(20))]),
+        ];
+        let expected = replay_history(&shuffled, &handlers).unwrap();
+        assert_eq!(expected.get(&k), Some(&Value::from_i64(30)));
+    }
+
+    /// Deletes remove the key from the model; a missing key and an absent
+    /// actual entry agree.
+    #[test]
+    fn deletes_remove_keys() {
+        let handlers = HandlerRegistry::new();
+        let k = Key::from("gone");
+        let records = vec![
+            committed(10, vec![(k.clone(), Functor::value_i64(5))]),
+            committed(20, vec![(k.clone(), Functor::Deleted)]),
+        ];
+        let expected = replay_history(&records, &handlers).unwrap();
+        assert!(!expected.contains_key(&k));
+        assert!(diff_states(&expected, &HashMap::new()).is_empty());
+    }
+}

@@ -1,18 +1,19 @@
 //! Cluster assembly: servers + epoch manager + bus, and the client-facing
 //! [`Database`] handle.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aloha_common::clock::{Clock, ClockBase, SkewedClock, SystemClock};
+use aloha_common::{EpochId, PartitionId};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
 use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
 use aloha_net::{Addr, Bus, Endpoint, NetConfig};
 use aloha_storage::Partition;
-use aloha_common::{EpochId, PartitionId};
 
+use crate::checker::History;
 use crate::msg::ServerMsg;
 use crate::program::{ProgramId, ProgramRegistry, TxnProgram};
 use crate::server::{run_dispatcher, run_processor, Server, TxnHandle};
@@ -63,6 +64,15 @@ pub struct ClusterConfig {
     /// acknowledging it (§III-A replication, tolerating a single crash).
     /// Off by default, as in the paper's experiments.
     pub replicated: bool,
+    /// How long one attempt of an internal RPC waits before the requester
+    /// retransmits (idempotent requests) or gives up. Keep well above the
+    /// simulated network latency; lower it (e.g. to a few ms) under fault
+    /// injection so retransmissions recover dropped requests quickly.
+    pub rpc_timeout: Duration,
+    /// Record every coordinated transaction into a cluster-wide commit
+    /// [`History`] for the serializability checker (test builds only; adds
+    /// one mutex append per transaction).
+    pub record_history: bool,
 }
 
 /// Background garbage-collection knobs (see [`ClusterConfig::with_gc`]).
@@ -90,6 +100,8 @@ impl ClusterConfig {
             gc: None,
             durable: false,
             replicated: false,
+            rpc_timeout: Duration::from_secs(30),
+            record_history: false,
         }
     }
 
@@ -131,7 +143,10 @@ impl ClusterConfig {
 
     /// Enables the background history sweeper.
     pub fn with_gc(mut self, interval: Duration, keep_micros: u64) -> ClusterConfig {
-        self.gc = Some(GcConfig { interval, keep_micros });
+        self.gc = Some(GcConfig {
+            interval,
+            keep_micros,
+        });
         self
     }
 
@@ -144,6 +159,18 @@ impl ClusterConfig {
     /// Enables synchronous primary-backup replication of installs.
     pub fn with_replication(mut self, replicated: bool) -> ClusterConfig {
         self.replicated = replicated;
+        self
+    }
+
+    /// Overrides the per-attempt internal RPC timeout.
+    pub fn with_rpc_timeout(mut self, timeout: Duration) -> ClusterConfig {
+        self.rpc_timeout = timeout;
+        self
+    }
+
+    /// Enables commit-history recording for the serializability checker.
+    pub fn with_history(mut self) -> ClusterConfig {
+        self.record_history = true;
         self
     }
 }
@@ -161,19 +188,29 @@ pub struct ClusterBuilder {
 
 impl std::fmt::Debug for ClusterBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ClusterBuilder").field("config", &self.config).finish()
+        f.debug_struct("ClusterBuilder")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
 impl ClusterBuilder {
     /// Registers a functor handler (available on every backend).
-    pub fn register_handler(&mut self, id: HandlerId, handler: impl Handler + 'static) -> &mut Self {
+    pub fn register_handler(
+        &mut self,
+        id: HandlerId,
+        handler: impl Handler + 'static,
+    ) -> &mut Self {
         self.handlers.register(id, handler);
         self
     }
 
     /// Registers a transaction program (available on every front-end).
-    pub fn register_program(&mut self, id: ProgramId, program: impl TxnProgram + 'static) -> &mut Self {
+    pub fn register_program(
+        &mut self,
+        id: ProgramId,
+        program: impl TxnProgram + 'static,
+    ) -> &mut Self {
         self.programs.register(id, program);
         self
     }
@@ -198,15 +235,21 @@ impl ClusterBuilder {
             return Err(Error::Config("cluster needs at least one server".into()));
         }
         if n as u32 > (1 << aloha_common::ServerId::BITS) {
-            return Err(Error::Config(format!("at most 256 servers supported, got {n}")));
+            return Err(Error::Config(format!(
+                "at most 256 servers supported, got {n}"
+            )));
         }
         if !self.config.clock_skew_micros.is_empty()
             && self.config.clock_skew_micros.len() != n as usize
         {
-            return Err(Error::Config("clock_skew_micros must have one entry per server".into()));
+            return Err(Error::Config(
+                "clock_skew_micros must have one entry per server".into(),
+            ));
         }
         if self.config.processors_per_server == 0 {
-            return Err(Error::Config("need at least one processor per server".into()));
+            return Err(Error::Config(
+                "need at least one processor per server".into(),
+            ));
         }
 
         let base = ClockBase::new();
@@ -215,18 +258,23 @@ impl ClusterBuilder {
         let handlers = Arc::new(self.handlers);
         let programs = Arc::new(self.programs);
 
+        let history = self.config.record_history.then(|| Arc::new(History::new()));
         let mut servers = Vec::with_capacity(n as usize);
         let mut threads = Vec::new();
         for i in 0..n {
-            let skew = self.config.clock_skew_micros.get(i as usize).copied().unwrap_or(0)
+            let skew = self
+                .config
+                .clock_skew_micros
+                .get(i as usize)
+                .copied()
+                .unwrap_or(0)
                 + self.config.clock_offset_micros as i64;
             let clock: Arc<dyn Clock> = if skew != 0 {
                 Arc::new(SkewedClock::new(SystemClock::new(base.clone()), skew))
             } else {
                 Arc::new(SystemClock::new(base.clone()))
             };
-            let partition =
-                Arc::new(Partition::new(PartitionId(i), n, Arc::clone(&handlers)));
+            let partition = Arc::new(Partition::new(PartitionId(i), n, Arc::clone(&handlers)));
             for rule in &self.dependency_rules {
                 let rule = Arc::clone(rule);
                 partition.add_dependency_rule(move |k| rule(k));
@@ -246,6 +294,8 @@ impl ClusterBuilder {
                 Arc::clone(&programs),
                 self.config.durable,
                 self.config.replicated,
+                self.config.rpc_timeout,
+                history.clone(),
             );
             let dispatcher_server = Arc::clone(&server);
             threads.push(
@@ -279,11 +329,17 @@ impl ClusterBuilder {
             epoch_duration: self.config.epoch_duration,
             servers: (0..n).map(ServerId).collect(),
             poll_interval: Duration::from_micros(200),
+            // Retransmit unacked revokes fast enough to ride out dropped
+            // Revoke/ack messages without stretching epochs noticeably.
+            revoke_resend_interval: (self.config.epoch_duration / 4).max(Duration::from_millis(2)),
         };
         let em = EpochManager::spawn(
             em_config,
             em_clock,
-            BusTransport { bus: bus.clone(), endpoint: em_endpoint },
+            BusTransport {
+                bus: bus.clone(),
+                endpoint: em_endpoint,
+            },
         );
 
         let gc_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -309,7 +365,15 @@ impl ClusterBuilder {
             );
         }
 
-        Ok(Cluster { servers, em: Some(em), bus, threads, total: n, gc_stop })
+        Ok(Cluster {
+            servers,
+            em: Some(em),
+            bus,
+            threads,
+            total: n,
+            gc_stop,
+            history,
+        })
     }
 }
 
@@ -367,11 +431,14 @@ pub struct Cluster {
     threads: Vec<std::thread::JoinHandle<()>>,
     total: u16,
     gc_stop: Arc<std::sync::atomic::AtomicBool>,
+    history: Option<Arc<History>>,
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("servers", &self.total).finish()
+        f.debug_struct("Cluster")
+            .field("servers", &self.total)
+            .finish()
     }
 }
 
@@ -405,11 +472,28 @@ impl Cluster {
         self.total
     }
 
+    /// The cluster-wide commit history (present when the configuration
+    /// enabled [`ClusterConfig::with_history`]).
+    pub fn history(&self) -> Option<&Arc<History>> {
+        self.history.as_ref()
+    }
+
+    /// The active fault plan, if the network configuration injects faults.
+    pub fn fault_plan(&self) -> Option<&aloha_net::FaultPlan> {
+        self.bus.fault_plan()
+    }
+
+    /// Bus traffic counters, including injected fault counts.
+    pub fn net_stats(&self) -> &aloha_net::NetStats {
+        self.bus.stats()
+    }
+
     /// A cheap client handle.
     pub fn database(&self) -> Database {
         Database {
             servers: Arc::new(self.servers.clone()),
             next_fe: Arc::new(AtomicUsize::new(0)),
+            session: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -507,15 +591,13 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`Error::Config`] if replication was not enabled.
-    pub fn rebuild_from_replica(
-        &self,
-        source: &Cluster,
-        lost: ServerId,
-    ) -> Result<usize> {
+    pub fn rebuild_from_replica(&self, source: &Cluster, lost: ServerId) -> Result<usize> {
         let backup = source.servers[lost.index()].backup_of(lost);
         let records = source.servers[backup.index()].replica_dump();
         if !source.servers[backup.index()].is_replicated() {
-            return Err(Error::Config("replication was not enabled on the source".into()));
+            return Err(Error::Config(
+                "replication was not enabled on the source".into(),
+            ));
         }
         let target = &self.servers[lost.index()];
         let mut applied = 0;
@@ -582,7 +664,10 @@ impl Cluster {
     /// Garbage-collects settled history below `bound` on every partition.
     /// Returns the number of version records dropped.
     pub fn gc(&self, bound: Timestamp) -> usize {
-        self.servers.iter().map(|s| s.partition().store().truncate_below(bound)).sum()
+        self.servers
+            .iter()
+            .map(|s| s.partition().store().truncate_below(bound))
+            .sum()
     }
 
     /// Stops the epoch manager, the servers and all their threads.
@@ -591,13 +676,16 @@ impl Cluster {
     }
 
     fn shutdown_inner(&mut self) {
-        self.gc_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.gc_stop
+            .store(true, std::sync::atomic::Ordering::SeqCst);
         if let Some(em) = self.em.take() {
             em.close();
         }
         for server in &self.servers {
             server.mark_shutdown();
-            let _ = self.bus.send(Addr::Server(server.id()), ServerMsg::Shutdown);
+            let _ = self
+                .bus
+                .send_reliable(Addr::Server(server.id()), ServerMsg::Shutdown);
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -617,11 +705,20 @@ impl Drop for Cluster {
 pub struct Database {
     servers: Arc<Vec<Arc<Server>>>,
     next_fe: Arc<AtomicUsize>,
+    /// Highest settled bound this handle has observed (raw timestamp).
+    /// Front-ends learn the settled bound at different times (it rides on
+    /// epoch grants), so round-robin dispatch alone would let a transaction
+    /// transform against a snapshot older than a read this same handle
+    /// already returned. Waiting for the picked FE to catch up restores
+    /// monotone reads per handle.
+    session: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Database").field("servers", &self.servers.len()).finish()
+        f.debug_struct("Database")
+            .field("servers", &self.servers.len())
+            .finish()
     }
 }
 
@@ -629,6 +726,21 @@ impl Database {
     fn pick_fe(&self) -> &Arc<Server> {
         let i = self.next_fe.fetch_add(1, Ordering::Relaxed) % self.servers.len();
         &self.servers[i]
+    }
+
+    /// Records that this handle observed `bound` settled.
+    fn note_session(&self, bound: Timestamp) {
+        self.session.fetch_max(bound.raw(), Ordering::Relaxed);
+    }
+
+    /// Blocks (bounded) until `fe` has settled everything this handle has
+    /// already observed, so per-handle reads and transforms are monotone.
+    fn sync_session(&self, fe: &Arc<Server>) {
+        let bound = Timestamp::from_raw(self.session.load(Ordering::Relaxed));
+        if bound > fe.epoch().visible_bound() {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            fe.epoch().wait_visible(bound, Some(deadline));
+        }
     }
 
     /// Executes a one-shot transaction via a round-robin front-end; returns
@@ -639,7 +751,9 @@ impl Database {
     /// Fails on shutdown, unknown programs, transform rejections and
     /// transport errors.
     pub fn execute(&self, program: ProgramId, args: impl AsRef<[u8]>) -> Result<TxnHandle> {
-        self.pick_fe().coordinate(program, args.as_ref())
+        let fe = self.pick_fe();
+        self.sync_session(fe);
+        fe.coordinate(program, args.as_ref())
     }
 
     /// Executes with a pinned coordinator (e.g. a server that owns part of
@@ -670,7 +784,10 @@ impl Database {
     ///
     /// Fails on shutdown or transport errors.
     pub fn read_latest(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        self.pick_fe().read_latest(keys)
+        let fe = self.pick_fe();
+        let values = fe.read_latest(keys)?;
+        self.note_session(fe.epoch().visible_bound());
+        Ok(values)
     }
 
     /// Historical read at an already-settled timestamp.
@@ -679,7 +796,9 @@ impl Database {
     ///
     /// Fails if `ts` is not settled yet, on shutdown, or on transport errors.
     pub fn read_at(&self, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<Value>>> {
-        self.pick_fe().read_at(keys, ts)
+        let values = self.pick_fe().read_at(keys, ts)?;
+        self.note_session(ts);
+        Ok(values)
     }
 
     /// The current settled visibility bound (any FE's view).

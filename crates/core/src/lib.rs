@@ -41,11 +41,13 @@
 //! # }
 //! ```
 
+pub mod checker;
 pub mod cluster;
 pub mod msg;
 pub mod program;
 pub mod server;
 
+pub use checker::{diff_states, replay_history, CommitRecord, Divergence, History};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, ClusterStats, Database, GcConfig};
 pub use msg::{InstallOutcome, ServerMsg, VersionState};
 pub use program::{

@@ -47,7 +47,11 @@ pub enum VersionState {
 ///
 /// Request/reply interactions carry a [`ReplySlot`]; everything else is
 /// fire-and-forget.
-#[derive(Debug)]
+///
+/// Messages are `Clone` so the fault-injection layer can duplicate them in
+/// flight: a duplicated request carries a clone of the same [`ReplySlot`],
+/// and the requester consumes whichever reply lands first.
+#[derive(Debug, Clone)]
 pub enum ServerMsg {
     /// EM → FE: a new epoch's authorization.
     Grant(Grant),

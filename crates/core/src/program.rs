@@ -74,13 +74,21 @@ impl TxnPlan {
 
     /// Adds a write without a check.
     pub fn write(mut self, key: Key, functor: Functor) -> TxnPlan {
-        self.writes.push(Write { key, functor, check: None });
+        self.writes.push(Write {
+            key,
+            functor,
+            check: None,
+        });
         self
     }
 
     /// Adds a write guarded by an install-time check.
     pub fn write_checked(mut self, key: Key, functor: Functor, check: Check) -> TxnPlan {
-        self.writes.push(Write { key, functor, check: Some(check) });
+        self.writes.push(Write {
+            key,
+            functor,
+            check: Some(check),
+        });
         self
     }
 
@@ -239,7 +247,9 @@ impl fmt::Debug for ProgramRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut ids: Vec<_> = self.programs.keys().collect();
         ids.sort();
-        f.debug_struct("ProgramRegistry").field("ids", &ids).finish()
+        f.debug_struct("ProgramRegistry")
+            .field("ids", &ids)
+            .finish()
     }
 }
 
@@ -275,10 +285,17 @@ mod tests {
     fn registry_round_trips_programs() {
         let mut reg = ProgramRegistry::new();
         reg.register(ProgramId(1), fn_program(|_| Ok(TxnPlan::new())));
-        let ctx = TransformCtx { ts: Timestamp::from_raw(1), args: &[], reader: &NullReader };
+        let ctx = TransformCtx {
+            ts: Timestamp::from_raw(1),
+            args: &[],
+            reader: &NullReader,
+        };
         let plan = reg.get(ProgramId(1)).unwrap().transform(&ctx).unwrap();
         assert!(plan.is_empty());
-        assert!(matches!(reg.get(ProgramId(2)), Err(Error::UnknownProgram(2))));
+        assert!(matches!(
+            reg.get(ProgramId(2)),
+            Err(Error::UnknownProgram(2))
+        ));
     }
 
     #[test]
@@ -296,8 +313,11 @@ mod tests {
             assert_eq!(ctx.ts, Timestamp::from_raw(42));
             Ok(TxnPlan::new())
         });
-        let ctx =
-            TransformCtx { ts: Timestamp::from_raw(42), args: b"payload", reader: &NullReader };
+        let ctx = TransformCtx {
+            ts: Timestamp::from_raw(42),
+            args: b"payload",
+            reader: &NullReader,
+        };
         program.transform(&ctx).unwrap();
     }
 }

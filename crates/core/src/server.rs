@@ -10,13 +10,21 @@ use aloha_common::metrics::{duration_micros, Counter, Histogram, StageBreakdown}
 use aloha_common::{Error, Key, Result, ServerId, Timestamp};
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
-use aloha_net::{reply_pair, Addr, Bus, Endpoint};
+use aloha_net::{reply_pair, Addr, Bus, Endpoint, ReplyHandle, ReplySlot};
 use aloha_storage::{ComputeEnv, Partition};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::checker::{CommitRecord, History};
 use crate::msg::{InstallOutcome, ServerMsg, VersionState};
 use crate::program::{Check, ProgramId, ProgramRegistry, SnapshotReader, TransformCtx, Write};
+
+/// How many times an idempotent RPC is (re)sent before giving up. The fault
+/// layer drops only the request leg (replies travel on direct channels), so
+/// retransmission from the requester fully recovers lost messages; eight
+/// attempts make a retry failure vanishingly unlikely at test loss rates and
+/// outlast the partition windows the chaos tests inject.
+const RPC_ATTEMPTS: usize = 8;
 
 /// Client-visible outcome of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +135,9 @@ pub struct Server {
     /// *predecessor* server's partition (`None` when replication is off or
     /// the cluster has one server).
     replica: Option<ReplicaStore>,
+    /// Cluster-shared commit history for the serializability checker
+    /// (`None` unless history recording is enabled).
+    history: Option<Arc<History>>,
 }
 
 /// The mirrored write-only-phase records of one partition, held by its
@@ -155,6 +166,7 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Creates a server; the caller spawns its dispatcher and processor
     /// threads. Returns the server and the processor queue's receive side.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: ServerId,
         total_servers: u16,
@@ -164,6 +176,8 @@ impl Server {
         programs: Arc<ProgramRegistry>,
         durable: bool,
         replicated: bool,
+        rpc_timeout: Duration,
+        history: Option<Arc<History>>,
     ) -> (Arc<Server>, Receiver<QueueEntry>) {
         let (queue_tx, queue_rx) = crossbeam::channel::unbounded();
         let server = Arc::new(Server {
@@ -178,9 +192,10 @@ impl Server {
             prev_settled: Mutex::new(Timestamp::ZERO),
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
-            rpc_timeout: Duration::from_secs(30),
+            rpc_timeout,
             wal: durable.then(|| Mutex::new(Vec::new())),
             replica: (replicated && total_servers > 1).then(ReplicaStore::default),
+            history,
         });
         (server, queue_rx)
     }
@@ -220,6 +235,52 @@ impl Server {
     }
 
     // ------------------------------------------------------------------
+    // RPC with retransmission.
+    //
+    // The simulated fault layer can drop or delay the request leg of any
+    // RPC (replies ride on direct one-shot channels and cannot be lost), so
+    // every request sent here must be idempotent at the receiver: duplicate
+    // installs are first-write-wins, duplicate aborts re-abort, reads and
+    // resolves have no side effects, and replication appends replay
+    // idempotently during rebuild.
+    // ------------------------------------------------------------------
+
+    /// Sends an idempotent request and waits for the reply, retransmitting
+    /// on timeout up to [`RPC_ATTEMPTS`] times.
+    fn rpc<R>(&self, to: ServerId, mut make: impl FnMut(ReplySlot<R>) -> ServerMsg) -> Result<R> {
+        let (slot, handle) = reply_pair();
+        self.bus.send(Addr::Server(to), make(slot))?;
+        self.wait_retry(handle, to, make)
+    }
+
+    /// Waits on an already-sent request's reply, retransmitting a fresh copy
+    /// (built by `make`) whenever the wait times out. A `Disconnected` reply
+    /// (responder dropped the slot without answering) is retried the same
+    /// way, modeling a request lost inside a restarting responder.
+    fn wait_retry<R>(
+        &self,
+        mut handle: ReplyHandle<R>,
+        to: ServerId,
+        mut make: impl FnMut(ReplySlot<R>) -> ServerMsg,
+    ) -> Result<R> {
+        for attempt in 1.. {
+            match handle.wait_timeout(self.rpc_timeout) {
+                Ok(reply) => return Ok(reply),
+                Err(e @ (Error::Timeout(_) | Error::Disconnected(_))) => {
+                    if attempt >= RPC_ATTEMPTS || self.is_shutdown() {
+                        return Err(e);
+                    }
+                    let (slot, next) = reply_pair();
+                    self.bus.send(Addr::Server(to), make(slot))?;
+                    handle = next;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("retry loop returns from within")
+    }
+
+    // ------------------------------------------------------------------
     // Front-end: transaction coordination (§IV-A lifecycle).
     // ------------------------------------------------------------------
 
@@ -242,9 +303,17 @@ impl Server {
             aloha_epoch::BeginError::DeadlineExceeded => Error::Timeout("epoch grant".into()),
         })?;
 
-        let reader = FeSnapshotReader { server: self, bound: self.epoch.visible_bound() };
-        let plan = match program.transform(&TransformCtx { ts: ticket.ts, args, reader: &reader })
-        {
+        let reader = FeSnapshotReader {
+            server: self,
+            bound: self.epoch.visible_bound(),
+            record: self.history.is_some(),
+            reads: Mutex::new(Vec::new()),
+        };
+        let plan = match program.transform(&TransformCtx {
+            ts: ticket.ts,
+            args,
+            reader: &reader,
+        }) {
             Ok(plan) => plan,
             Err(e) => {
                 self.finish_ticket(ticket);
@@ -260,6 +329,12 @@ impl Server {
             .find(|w| self.owner_of(&w.key) == self.id)
             .or_else(|| writes.first())
             .map(|w| w.key.clone());
+        let recorded_writes = self.history.as_ref().map(|_| {
+            writes
+                .iter()
+                .map(|w| (w.key.clone(), w.functor.clone()))
+                .collect()
+        });
 
         // Group writes by owning server and install (the write-only phase).
         let mut groups: HashMap<ServerId, Vec<Write>> = HashMap::new();
@@ -271,34 +346,94 @@ impl Server {
             .map(|(owner, group)| (*owner, group.iter().map(|w| w.key.clone()).collect()))
             .collect();
 
+        // Whatever happens during the write-only phase, the ticket must be
+        // finished: a leaked in-flight transaction stalls its epoch forever.
+        let phase = self.run_write_phase(ticket.ts, &groups, &participants);
+        self.finish_ticket(ticket);
+
+        let ok = matches!(phase, Ok(true));
+        if let Some(log) = &self.history {
+            log.record(CommitRecord {
+                ts: ticket.ts,
+                writes: recorded_writes.unwrap_or_default(),
+                reads: reader.reads.into_inner(),
+                aborted_at_install: !ok,
+            });
+        }
+        phase?;
+        self.stats
+            .breakdown
+            .record(0, duration_micros(issued_at.elapsed()));
+        Ok(TxnHandle {
+            fe: Arc::clone(self),
+            ts: ticket.ts,
+            probe,
+            aborted_at_install: !ok,
+            issued_at,
+        })
+    }
+
+    /// The write-only phase: installs every per-partition group (fanning out
+    /// to remote participants, retransmitting on loss) and, when any install
+    /// is rejected or unreachable, runs the second abort round (§V-A2).
+    ///
+    /// Returns `Ok(true)` when all installs landed, `Ok(false)` when the
+    /// transaction was aborted by a failed check, and `Err` when a
+    /// participant stayed unreachable through all retries — in which case the
+    /// abort round has already rolled the reachable participants back.
+    fn run_write_phase(
+        &self,
+        version: Timestamp,
+        groups: &HashMap<ServerId, Vec<Write>>,
+        participants: &[(ServerId, Vec<Key>)],
+    ) -> Result<bool> {
         let mut outcomes = Vec::with_capacity(groups.len());
         let mut replies = Vec::new();
+        let mut install_err = None;
         for (owner, group) in groups {
-            if owner == self.id {
-                outcomes.push(self.install_batch(ticket.ts, group));
+            if *owner == self.id {
+                outcomes.push(self.install_batch(version, group.clone()));
             } else {
                 let (slot, handle) = reply_pair();
                 self.bus.send(
-                    Addr::Server(owner),
-                    ServerMsg::Install { version: ticket.ts, writes: group, reply: slot },
+                    Addr::Server(*owner),
+                    ServerMsg::Install {
+                        version,
+                        writes: group.clone(),
+                        reply: slot,
+                    },
                 )?;
-                replies.push(handle);
+                replies.push((*owner, handle));
             }
         }
-        for handle in replies {
-            outcomes.push(handle.wait_timeout(self.rpc_timeout)?);
+        for (owner, handle) in replies {
+            let resend = |reply| ServerMsg::Install {
+                version,
+                writes: groups[&owner].clone(),
+                reply,
+            };
+            match self.wait_retry(handle, owner, resend) {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => {
+                    install_err = Some(e);
+                    break;
+                }
+            }
         }
-        let ok = outcomes.iter().all(InstallOutcome::is_ok);
+        let ok = install_err.is_none() && outcomes.iter().all(InstallOutcome::is_ok);
 
         if !ok {
             // Second round (§V-A2): roll the version back to ABORTED on every
             // participant, and wait for the acks — the epoch must stay open
             // (this transaction in flight) until every rollback landed, or a
-            // sibling functor could become visible as committed.
+            // sibling functor could become visible as committed. An install
+            // that is still in flight when its abort lands is harmless:
+            // `abort_version` pre-inserts the ABORTED record and the late
+            // install becomes a first-write-wins no-op.
             let mut abort_acks = Vec::new();
-            for (owner, keys) in &participants {
+            for (owner, keys) in participants {
                 let pairs: Vec<(Key, Timestamp)> =
-                    keys.iter().map(|k| (k.clone(), ticket.ts)).collect();
+                    keys.iter().map(|k| (k.clone(), version)).collect();
                 if *owner == self.id {
                     for (k, v) in &pairs {
                         self.abort_version_logged(k, *v);
@@ -307,25 +442,26 @@ impl Server {
                     let (slot, handle) = reply_pair();
                     let _ = self.bus.send(
                         Addr::Server(*owner),
-                        ServerMsg::AbortVersion { keys: pairs, reply: slot },
+                        ServerMsg::AbortVersion {
+                            keys: pairs.clone(),
+                            reply: slot,
+                        },
                     );
-                    abort_acks.push(handle);
+                    abort_acks.push((*owner, pairs, handle));
                 }
             }
-            for ack in abort_acks {
-                ack.wait_timeout(self.rpc_timeout)?;
+            for (owner, pairs, handle) in abort_acks {
+                let resend = |reply| ServerMsg::AbortVersion {
+                    keys: pairs.clone(),
+                    reply,
+                };
+                self.wait_retry(handle, owner, resend)?;
             }
         }
-
-        self.finish_ticket(ticket);
-        self.stats.breakdown.record(0, duration_micros(issued_at.elapsed()));
-        Ok(TxnHandle {
-            fe: Arc::clone(self),
-            ts: ticket.ts,
-            probe,
-            aborted_at_install: !ok,
-            issued_at,
-        })
+        match install_err {
+            Some(e) => Err(e),
+            None => Ok(ok),
+        }
     }
 
     /// Executes a latest-version read-only transaction (§III-B): assigns a
@@ -336,7 +472,10 @@ impl Server {
     ///
     /// Fails on shutdown or transport errors.
     pub fn read_latest(self: &Arc<Self>, keys: &[Key]) -> Result<Vec<Option<aloha_common::Value>>> {
-        let ts = self.epoch.assign_read_timestamp(None).map_err(|_| Error::ShuttingDown)?;
+        let ts = self
+            .epoch
+            .assign_read_timestamp(None)
+            .map_err(|_| Error::ShuttingDown)?;
         if !self.epoch.wait_visible(ts, None) {
             return Err(Error::ShuttingDown);
         }
@@ -349,7 +488,11 @@ impl Server {
     ///
     /// Fails with [`Error::Timeout`] semantics if `ts` is not yet visible,
     /// and on transport errors.
-    pub fn read_at(self: &Arc<Self>, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<aloha_common::Value>>> {
+    pub fn read_at(
+        self: &Arc<Self>,
+        keys: &[Key],
+        ts: Timestamp,
+    ) -> Result<Vec<Option<aloha_common::Value>>> {
         if ts > self.epoch.visible_bound() {
             return Err(Error::Timeout(format!("snapshot {ts} is not settled yet")));
         }
@@ -367,8 +510,13 @@ impl Server {
 
     fn finish_ticket(&self, ticket: aloha_epoch::TxnTicket) {
         if let Some(epoch) = self.epoch.txn_finished(ticket) {
-            let ack = RevokedAck { server: self.id, epoch };
-            let _ = self.bus.send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
+            let ack = RevokedAck {
+                server: self.id,
+                epoch,
+            };
+            let _ = self
+                .bus
+                .send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
         }
     }
 
@@ -377,12 +525,11 @@ impl Server {
         if self.owner_of(key) == self.id {
             self.resolve_local(key, version)
         } else {
-            let (slot, handle) = reply_pair();
-            self.bus.send(
-                Addr::Server(self.owner_of(key)),
-                ServerMsg::ResolveVersion { key: key.clone(), version, reply: slot },
-            )?;
-            handle.wait_timeout(self.rpc_timeout)?
+            self.rpc(self.owner_of(key), |reply| ServerMsg::ResolveVersion {
+                key: key.clone(),
+                version,
+                reply,
+            })?
         }
     }
 
@@ -400,7 +547,11 @@ impl Server {
         // all-or-nothing.
         for w in &writes {
             if let Some(Check::KeyExists(key)) = &w.check {
-                let exists = self.partition.store().chain(key).is_some_and(|c| !c.is_empty());
+                let exists = self
+                    .partition
+                    .store()
+                    .chain(key)
+                    .is_some_and(|c| !c.is_empty());
                 if !exists {
                     return InstallOutcome::CheckFailed(format!("missing key {key:?}"));
                 }
@@ -455,31 +606,34 @@ impl Server {
             return Ok(());
         }
         let backup = self.backup_of(self.id);
-        let (slot, handle) = reply_pair();
-        self.bus.send(
-            Addr::Server(backup),
-            ServerMsg::Replicate {
-                from: aloha_common::PartitionId(self.id.0),
-                records,
-                reply: slot,
-            },
-        )?;
-        handle.wait_timeout(self.rpc_timeout)
+        // Duplicated or retransmitted Replicate batches replay idempotently:
+        // the backup's rebuild path first-write-wins per (key, version).
+        self.rpc(backup, |reply| ServerMsg::Replicate {
+            from: aloha_common::PartitionId(self.id.0),
+            records: records.clone(),
+            reply,
+        })
     }
 
     /// Dump of the mirrored records this server holds for its predecessor's
     /// partition (empty when replication is off). Used to rebuild a lost
     /// partition.
     pub fn replica_dump(&self) -> Vec<(Key, Timestamp, Functor)> {
-        self.replica.as_ref().map(ReplicaStore::dump).unwrap_or_default()
+        self.replica
+            .as_ref()
+            .map(ReplicaStore::dump)
+            .unwrap_or_default()
     }
 
     /// Rolls (key, version) back to ABORTED, logging the rollback when
     /// durability is enabled.
     pub(crate) fn abort_version_logged(&self, key: &Key, version: Timestamp) {
         if let Some(wal) = &self.wal {
-            aloha_storage::WalRecord::Abort { key: key.clone(), version }
-                .encode_into(&mut wal.lock());
+            aloha_storage::WalRecord::Abort {
+                key: key.clone(),
+                version,
+            }
+            .encode_into(&mut wal.lock());
         }
         // Mirror the rollback as an ABORTED record (replays idempotently:
         // the backup's rebuild path force-aborts the version).
@@ -490,7 +644,10 @@ impl Server {
     /// Snapshot of this server's write-ahead log (empty if durability is
     /// off).
     pub fn wal_snapshot(&self) -> Vec<u8> {
-        self.wal.as_ref().map(|w| w.lock().clone()).unwrap_or_default()
+        self.wal
+            .as_ref()
+            .map(|w| w.lock().clone())
+            .unwrap_or_default()
     }
 
     /// Replays a write-ahead log into this partition, skipping records at or
@@ -505,7 +662,11 @@ impl Server {
 
     pub(crate) fn resolve_local(&self, key: &Key, version: Timestamp) -> Result<VersionState> {
         self.partition.compute(key, version, self.as_env())?;
-        let record = self.partition.store().chain(key).and_then(|c| c.record_at(version));
+        let record = self
+            .partition
+            .store()
+            .chain(key)
+            .and_then(|c| c.record_at(version));
         Ok(match record {
             None => VersionState::Missing,
             Some(rec) => match rec.load() {
@@ -570,12 +731,11 @@ impl ComputeEnv for Server {
         if owner == self.id {
             return self.partition.get(key, bound, self.as_env());
         }
-        let (slot, handle) = reply_pair();
-        self.bus.send(
-            Addr::Server(owner),
-            ServerMsg::RemoteGet { key: key.clone(), bound, reply: slot },
-        )?;
-        handle.wait_timeout(self.rpc_timeout)?
+        self.rpc(owner, |reply| ServerMsg::RemoteGet {
+            key: key.clone(),
+            bound,
+            reply,
+        })?
     }
 
     fn install_deferred(&self, key: &Key, version: Timestamp, functor: Functor) -> Result<()> {
@@ -584,12 +744,12 @@ impl ComputeEnv for Server {
             self.partition.store().put(key, version, functor);
             return Ok(());
         }
-        let (slot, handle) = reply_pair();
-        self.bus.send(
-            Addr::Server(owner),
-            ServerMsg::InstallDeferred { key: key.clone(), version, functor, reply: slot },
-        )?;
-        handle.wait_timeout(self.rpc_timeout)
+        self.rpc(owner, |reply| ServerMsg::InstallDeferred {
+            key: key.clone(),
+            version,
+            functor: functor.clone(),
+            reply,
+        })
     }
 
     fn ensure_computed(&self, key: &Key, upto: Timestamp) -> Result<()> {
@@ -597,22 +757,28 @@ impl ComputeEnv for Server {
         if owner == self.id {
             return self.partition.compute(key, upto, self.as_env());
         }
-        let (slot, handle) = reply_pair();
-        self.bus.send(
-            Addr::Server(owner),
-            ServerMsg::ResolveVersion { key: key.clone(), version: upto, reply: slot },
-        )?;
-        handle.wait_timeout(self.rpc_timeout)?.map(|_| ())
+        self.rpc(owner, |reply| ServerMsg::ResolveVersion {
+            key: key.clone(),
+            version: upto,
+            reply,
+        })?
+        .map(|_| ())
     }
 
     fn push_value(&self, recipient: &Key, version: Timestamp, source: &Key, read: &VersionedRead) {
         let owner = self.owner_of(recipient);
         if owner == self.id {
-            self.partition.push_cache().insert(version, source.clone(), read.clone());
+            self.partition
+                .push_cache()
+                .insert(version, source.clone(), read.clone());
         } else {
             let _ = self.bus.send(
                 Addr::Server(owner),
-                ServerMsg::PushValue { version, source: source.clone(), read: read.clone() },
+                ServerMsg::PushValue {
+                    version,
+                    source: source.clone(),
+                    read: read.clone(),
+                },
             );
         }
     }
@@ -622,15 +788,25 @@ impl ComputeEnv for Server {
 struct FeSnapshotReader<'a> {
     server: &'a Arc<Server>,
     bound: Timestamp,
+    /// Whether to log (key, version) pairs for the history checker.
+    record: bool,
+    /// Versions observed by this transaction's transform, in read order.
+    reads: Mutex<Vec<(Key, Timestamp)>>,
 }
 
 impl SnapshotReader for FeSnapshotReader<'_> {
     fn read(&self, key: &Key) -> Result<VersionedRead> {
-        if self.server.owner_of(key) == self.server.id {
-            self.server.partition.get(key, self.bound, self.server.as_env())
+        let read = if self.server.owner_of(key) == self.server.id {
+            self.server
+                .partition
+                .get(key, self.bound, self.server.as_env())
         } else {
             self.server.as_env().remote_get(key, self.bound)
+        }?;
+        if self.record {
+            self.reads.lock().push((key.clone(), read.version));
         }
+        Ok(read)
     }
 
     fn snapshot_bound(&self) -> Timestamp {
@@ -669,7 +845,10 @@ impl TxnHandle {
     /// Fails on shutdown or transport errors.
     pub fn wait_processed(&self) -> Result<TxnOutcome> {
         let outcome = self.wait_inner()?;
-        self.fe.stats.latency.record(duration_micros(self.issued_at.elapsed()));
+        self.fe
+            .stats
+            .latency
+            .record(duration_micros(self.issued_at.elapsed()));
         match outcome {
             TxnOutcome::Committed => self.fe.stats.committed.incr(),
             TxnOutcome::Aborted => self.fe.stats.aborted.incr(),
@@ -706,8 +885,13 @@ pub(crate) fn run_dispatcher(server: Arc<Server>, endpoint: Endpoint<ServerMsg>)
             ServerMsg::Grant(grant) => server.handle_grant(grant),
             ServerMsg::Revoke(epoch) => {
                 if server.epoch.on_revoke(epoch) {
-                    let ack = RevokedAck { server: server.id, epoch };
-                    let _ = server.bus.send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
+                    let ack = RevokedAck {
+                        server: server.id,
+                        epoch,
+                    };
+                    let _ = server
+                        .bus
+                        .send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
                 }
             }
             ServerMsg::RevokedAck(_) => {} // only the EM endpoint receives these
@@ -715,7 +899,11 @@ pub(crate) fn run_dispatcher(server: Arc<Server>, endpoint: Endpoint<ServerMsg>)
             // ack; three blocked dispatchers can form a ring deadlock, so
             // replicated installs run on their own thread. Without
             // replication the handler is non-blocking and runs inline.
-            ServerMsg::Install { version, writes, reply } => {
+            ServerMsg::Install {
+                version,
+                writes,
+                reply,
+            } => {
                 if server.is_replicated() {
                     let s = Arc::clone(&server);
                     std::thread::spawn(move || {
@@ -751,20 +939,37 @@ pub(crate) fn run_dispatcher(server: Arc<Server>, endpoint: Endpoint<ServerMsg>)
                     reply.send(s.partition.get(&key, bound, s.as_env()));
                 });
             }
-            ServerMsg::InstallDeferred { key, version, functor, reply } => {
+            ServerMsg::InstallDeferred {
+                key,
+                version,
+                functor,
+                reply,
+            } => {
                 server.partition.store().put(&key, version, functor);
                 reply.send(());
             }
-            ServerMsg::ResolveVersion { key, version, reply } => {
+            ServerMsg::ResolveVersion {
+                key,
+                version,
+                reply,
+            } => {
                 let s = Arc::clone(&server);
                 std::thread::spawn(move || {
                     reply.send(s.resolve_local(&key, version));
                 });
             }
-            ServerMsg::PushValue { version, source, read } => {
+            ServerMsg::PushValue {
+                version,
+                source,
+                read,
+            } => {
                 server.partition.push_cache().insert(version, source, read);
             }
-            ServerMsg::Replicate { from: _, records, reply } => {
+            ServerMsg::Replicate {
+                from: _,
+                records,
+                reply,
+            } => {
                 if let Some(replica) = &server.replica {
                     replica.append(records);
                 }
@@ -781,7 +986,10 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
     loop {
         match queue.recv_timeout(Duration::from_millis(50)) {
             Ok(entry) => {
-                server.stats.breakdown.record(1, duration_micros(entry.installed_at.elapsed()));
+                server
+                    .stats
+                    .breakdown
+                    .record(1, duration_micros(entry.installed_at.elapsed()));
                 let started = Instant::now();
                 if server
                     .partition
@@ -790,7 +998,10 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
                 {
                     server.stats.compute_errors.incr();
                 }
-                server.stats.breakdown.record(2, duration_micros(started.elapsed()));
+                server
+                    .stats
+                    .breakdown
+                    .record(2, duration_micros(started.elapsed()));
             }
             Err(RecvTimeoutError::Timeout) => {
                 if server.is_shutdown() {

@@ -24,9 +24,8 @@ fn keys_on_partition(partition: u16, total: u16, count: usize) -> Vec<Key> {
 /// partition determines the id of a log-entry key that hashes to wherever
 /// (usually another partition).
 fn log_cluster(total: u16, counter: Key, entry_prefix: &'static [u8]) -> Cluster {
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(total).with_epoch_duration(Duration::from_millis(3)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(total).with_epoch_duration(Duration::from_millis(3)));
     builder.register_handler(H_APPEND, move |input: &ComputeInput<'_>| {
         let id = input.reads.i64(input.key).unwrap_or(0);
         let entry_key = Key::from_parts(&[entry_prefix, &id.to_be_bytes()]);
@@ -82,7 +81,8 @@ fn deferred_writes_land_on_remote_partitions() {
     // hash-placed keys over 4 partitions).
     let keys: Vec<Key> = (0..12).map(|i| entry_key(b"logent", i)).collect();
     assert!(
-        keys.iter().any(|k| k.partition(total) != counter.partition(total)),
+        keys.iter()
+            .any(|k| k.partition(total) != counter.partition(total)),
         "test setup: entries must spread beyond the counter's partition"
     );
     let values = db.read_latest(&keys).unwrap();
@@ -169,8 +169,10 @@ fn chained_determinate_functors_preserve_order_under_concurrency() {
     assert_eq!(count, 40, "dense ids: every append got exactly one slot");
     let keys: Vec<Key> = (0..40).map(|i| entry_key(b"seq", i)).collect();
     let values = db.read_latest(&keys).unwrap();
-    let mut payloads: Vec<u8> =
-        values.iter().map(|v| v.as_ref().unwrap().as_bytes()[0]).collect();
+    let mut payloads: Vec<u8> = values
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_bytes()[0])
+        .collect();
     payloads.sort_unstable();
     payloads.dedup();
     assert_eq!(payloads.len(), 40, "every payload appended exactly once");

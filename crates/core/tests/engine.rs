@@ -4,9 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::{Key, ServerId, Value};
-use aloha_core::{
-    fn_program, Check, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan,
-};
+use aloha_core::{fn_program, Check, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan};
 use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
 use aloha_net::NetConfig;
 
@@ -29,8 +27,10 @@ fn write_then_read_round_trip() {
     builder.register_program(
         ProgramId(1),
         fn_program(|ctx| {
-            Ok(TxnPlan::new()
-                .write(Key::from("greeting"), Functor::Value(Value::new(ctx.args.to_vec()))))
+            Ok(TxnPlan::new().write(
+                Key::from("greeting"),
+                Functor::Value(Value::new(ctx.args.to_vec())),
+            ))
         }),
     );
     let cluster = builder.start().unwrap();
@@ -84,7 +84,10 @@ fn cross_partition_transfer_conserves_money() {
         assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
     }
     let values = db.read_latest(&accounts).unwrap();
-    let total: i64 = values.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    let total: i64 = values
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
     assert_eq!(total, 4000, "money must be conserved");
     cluster.shutdown();
 }
@@ -101,7 +104,10 @@ fn failed_install_check_aborts_all_partitions() {
         .into_iter()
         .find(|k| *k != other_key)
         .unwrap();
-    assert_eq!(check_key.partition(total_servers), other_key.partition(total_servers));
+    assert_eq!(
+        check_key.partition(total_servers),
+        other_key.partition(total_servers)
+    );
     let _ = missing;
 
     let gk = good_key.clone();
@@ -189,7 +195,10 @@ fn handler_abort_is_visible_to_client() {
     cluster.load(Key::from("doomed"), Value::from_i64(1));
     let db = cluster.database();
     let handle = db.execute(ProgramId(1), b"").unwrap();
-    assert!(!handle.aborted_at_install(), "install succeeds; compute aborts");
+    assert!(
+        !handle.aborted_at_install(),
+        "install succeeds; compute aborts"
+    );
     assert_eq!(handle.wait_processed().unwrap(), TxnOutcome::Aborted);
     // The pre-transaction value is still visible.
     let values = db.read_latest(&[Key::from("doomed")]).unwrap();
@@ -208,7 +217,10 @@ fn read_latest_observes_all_prior_commits() {
     cluster.load(Key::from("ctr"), Value::from_i64(0));
     let db = cluster.database();
     for _ in 0..10 {
-        db.execute(ProgramId(1), b"").unwrap().wait_processed().unwrap();
+        db.execute(ProgramId(1), b"")
+            .unwrap()
+            .wait_processed()
+            .unwrap();
     }
     let values = db.read_latest(&[Key::from("ctr")]).unwrap();
     assert_eq!(values[0].as_ref().unwrap().as_i64(), Some(10));
@@ -226,7 +238,9 @@ fn concurrent_increments_from_many_clients_are_all_applied() {
         }),
     );
     let cluster = builder.start().unwrap();
-    let keys: Vec<Key> = (0..3u16).map(|p| keys_on_partition(p, 3, 1).remove(0)).collect();
+    let keys: Vec<Key> = (0..3u16)
+        .map(|p| keys_on_partition(p, 3, 1).remove(0))
+        .collect();
     for k in &keys {
         cluster.load(k.clone(), Value::from_i64(0));
     }
@@ -250,7 +264,10 @@ fn concurrent_increments_from_many_clients_are_all_applied() {
         t.join().unwrap();
     }
     let values = db.read_latest(&keys).unwrap();
-    let total: i64 = values.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    let total: i64 = values
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
     assert_eq!(total, 120, "every increment must be applied exactly once");
     cluster.shutdown();
 }
@@ -269,7 +286,10 @@ fn historical_reads_return_old_snapshots() {
     h1.wait_processed().unwrap();
     let snapshot = h1.timestamp();
     for _ in 0..5 {
-        db.execute(ProgramId(1), b"").unwrap().wait_processed().unwrap();
+        db.execute(ProgramId(1), b"")
+            .unwrap()
+            .wait_processed()
+            .unwrap();
     }
     let old = db.read_at(&[Key::from("x")], snapshot).unwrap();
     assert_eq!(old[0].as_ref().unwrap().as_i64(), Some(1));
@@ -297,7 +317,9 @@ fn works_with_network_latency_and_clock_skew() {
         }),
     );
     let cluster = builder.start().unwrap();
-    let keys: Vec<Key> = (0..2u16).map(|p| keys_on_partition(p, 2, 1).remove(0)).collect();
+    let keys: Vec<Key> = (0..2u16)
+        .map(|p| keys_on_partition(p, 2, 1).remove(0))
+        .collect();
     for k in &keys {
         cluster.load(k.clone(), Value::from_i64(0));
     }
@@ -310,7 +332,10 @@ fn works_with_network_latency_and_clock_skew() {
         assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
     }
     let values = db.read_latest(&keys).unwrap();
-    let total: i64 = values.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    let total: i64 = values
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
     assert_eq!(total, 20);
     cluster.shutdown();
 }
@@ -337,9 +362,15 @@ fn stats_reflect_outcomes() {
     cluster.load(Key::from("bad"), Value::from_i64(0));
     let db = cluster.database();
     for _ in 0..3 {
-        db.execute(ProgramId(1), b"").unwrap().wait_processed().unwrap();
+        db.execute(ProgramId(1), b"")
+            .unwrap()
+            .wait_processed()
+            .unwrap();
     }
-    db.execute(ProgramId(2), b"").unwrap().wait_processed().unwrap();
+    db.execute(ProgramId(2), b"")
+        .unwrap()
+        .wait_processed()
+        .unwrap();
     let stats = cluster.stats();
     assert_eq!(stats.committed, 3);
     assert_eq!(stats.aborted, 1);
@@ -388,7 +419,9 @@ fn pinned_coordinator_executes_locally() {
     let key = keys_on_partition(2, total_servers, 1).remove(0);
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
-    let handle = db.execute_at(ServerId(2), ProgramId(1), key.as_bytes()).unwrap();
+    let handle = db
+        .execute_at(ServerId(2), ProgramId(1), key.as_bytes())
+        .unwrap();
     assert_eq!(handle.wait_processed().unwrap(), TxnOutcome::Committed);
     let v = db.read_latest(std::slice::from_ref(&key)).unwrap();
     assert_eq!(v[0].as_ref().unwrap().as_i64(), Some(5));
@@ -412,7 +445,10 @@ fn gc_reclaims_settled_versions() {
         last = Some(h.timestamp());
     }
     let dropped = cluster.gc(last.unwrap());
-    assert!(dropped >= 9, "expected most settled versions dropped, got {dropped}");
+    assert!(
+        dropped >= 9,
+        "expected most settled versions dropped, got {dropped}"
+    );
     let values = db.read_latest(&[Key::from("gc")]).unwrap();
     assert_eq!(values[0].as_ref().unwrap().as_i64(), Some(10));
     cluster.shutdown();
@@ -468,7 +504,10 @@ fn snapshot_reader_sees_settled_data_during_transform() {
     let db = cluster.database();
     // Wait for the first epoch to settle the loaded data.
     db.read_latest(&[Key::from("seed")]).unwrap();
-    db.execute(ProgramId(1), b"").unwrap().wait_processed().unwrap();
+    db.execute(ProgramId(1), b"")
+        .unwrap()
+        .wait_processed()
+        .unwrap();
     assert_eq!(*probe.lock(), Some(Some(77)));
     cluster.shutdown();
 }

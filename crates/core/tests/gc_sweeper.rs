@@ -44,11 +44,17 @@ fn sweeper_reclaims_old_versions_and_preserves_latest() {
         .unwrap();
     assert_eq!(v, 100);
     // ...and the chain is much shorter than the 101 versions written.
-    let owner = cluster.server(aloha_common::ServerId(
-        Key::from("hot").partition(2).0,
-    ));
-    let chain_len = owner.partition().store().chain(&Key::from("hot")).unwrap().len();
-    assert!(chain_len < 70, "sweeper should have truncated, chain still has {chain_len}");
+    let owner = cluster.server(aloha_common::ServerId(Key::from("hot").partition(2).0));
+    let chain_len = owner
+        .partition()
+        .store()
+        .chain(&Key::from("hot"))
+        .unwrap()
+        .len();
+    assert!(
+        chain_len < 70,
+        "sweeper should have truncated, chain still has {chain_len}"
+    );
     cluster.shutdown();
 }
 

@@ -31,12 +31,12 @@ fn build_with_offset(servers: u16, clock_offset_micros: u64) -> Cluster {
 }
 
 fn keys(total: u16, count: usize) -> Vec<Key> {
-    let keys: Vec<Key> =
-        (0..count as u32).map(|i| Key::from_parts(&[b"ck", &i.to_be_bytes()])).collect();
+    let keys: Vec<Key> = (0..count as u32)
+        .map(|i| Key::from_parts(&[b"ck", &i.to_be_bytes()]))
+        .collect();
     // Sanity: keys spread over more than one partition when possible.
     if total > 1 {
-        let parts: std::collections::HashSet<_> =
-            keys.iter().map(|k| k.partition(total)).collect();
+        let parts: std::collections::HashSet<_> = keys.iter().map(|k| k.partition(total)).collect();
         assert!(parts.len() > 1);
     }
     keys
@@ -114,7 +114,9 @@ fn checkpoint_is_consistent_under_concurrent_load() {
         fn_program(|ctx| {
             let a = Key::from(&ctx.args[0..ctx.args.len() / 2]);
             let b = Key::from(&ctx.args[ctx.args.len() / 2..]);
-            Ok(TxnPlan::new().write(a, Functor::subtr(5)).write(b, Functor::add(5)))
+            Ok(TxnPlan::new()
+                .write(a, Functor::subtr(5))
+                .write(b, Functor::add(5)))
         }),
     );
     let cluster = builder.start().unwrap();
@@ -152,7 +154,13 @@ fn checkpoint_is_consistent_under_concurrent_load() {
     recovered.restore(&blobs).unwrap();
     let rdb = recovered.database();
     let values = rdb.read_latest(&key_list).unwrap();
-    let sum: i64 = values.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
-    assert_eq!(sum, 4000, "checkpoint must capture a transactionally consistent cut");
+    let sum: i64 = values
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
+    assert_eq!(
+        sum, 4000,
+        "checkpoint must capture a transactionally consistent cut"
+    );
     recovered.shutdown();
 }

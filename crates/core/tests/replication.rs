@@ -20,7 +20,7 @@ fn build(servers: u16, replicated: bool, clock_offset: u64) -> Cluster {
     builder.register_program(
         INCR,
         fn_program(|ctx| {
-            let key = Key::from(&ctx.args[..]);
+            let key = Key::from(ctx.args);
             Ok(TxnPlan::new().write(key, Functor::add(1)))
         }),
     );
@@ -44,7 +44,10 @@ fn installs_are_mirrored_on_the_backup() {
     let db = cluster.database();
     for _ in 0..5 {
         assert_eq!(
-            db.execute(INCR, key.as_bytes()).unwrap().wait_processed().unwrap(),
+            db.execute(INCR, key.as_bytes())
+                .unwrap()
+                .wait_processed()
+                .unwrap(),
             TxnOutcome::Committed
         );
     }
@@ -52,7 +55,9 @@ fn installs_are_mirrored_on_the_backup() {
     let backup = cluster.server(ServerId(1));
     let mirrored = backup.replica_dump();
     assert_eq!(mirrored.len(), 5);
-    assert!(mirrored.iter().all(|(k, _, f)| *k == key && *f == Functor::Add(1)));
+    assert!(mirrored
+        .iter()
+        .all(|(k, _, f)| *k == key && *f == Functor::Add(1)));
     cluster.shutdown();
 }
 
@@ -61,15 +66,19 @@ fn lost_partition_rebuilds_from_backup_exactly() {
     let total = 3u16;
     let cluster = build(total, true, 0);
     // Work across all partitions so the rebuild is selective.
-    let keys: Vec<Key> =
-        (0..total).map(|p| keys_on_partition(p, total, 1).remove(0)).collect();
+    let keys: Vec<Key> = (0..total)
+        .map(|p| keys_on_partition(p, total, 1).remove(0))
+        .collect();
     for k in &keys {
         cluster.load(k.clone(), Value::from_i64(0));
     }
     let db = cluster.database();
     for (i, k) in keys.iter().enumerate() {
         for _ in 0..=i {
-            db.execute(INCR, k.as_bytes()).unwrap().wait_processed().unwrap();
+            db.execute(INCR, k.as_bytes())
+                .unwrap()
+                .wait_processed()
+                .unwrap();
         }
     }
     let expected: Vec<i64> = db
@@ -87,11 +96,17 @@ fn lost_partition_rebuilds_from_backup_exactly() {
     for k in &keys {
         recovered.load(k.clone(), Value::from_i64(0));
     }
-    let applied = recovered.rebuild_from_replica(&cluster, ServerId(0)).unwrap();
+    let applied = recovered
+        .rebuild_from_replica(&cluster, ServerId(0))
+        .unwrap();
     assert_eq!(applied, 1, "partition 0 received exactly one increment");
     // The other partitions are rebuilt through their own backups as well.
-    recovered.rebuild_from_replica(&cluster, ServerId(1)).unwrap();
-    recovered.rebuild_from_replica(&cluster, ServerId(2)).unwrap();
+    recovered
+        .rebuild_from_replica(&cluster, ServerId(1))
+        .unwrap();
+    recovered
+        .rebuild_from_replica(&cluster, ServerId(2))
+        .unwrap();
     cluster.shutdown();
 
     let rdb = recovered.database();
@@ -118,7 +133,7 @@ fn aborted_transactions_replicate_their_rollback() {
     builder.register_program(
         DOOMED,
         fn_program(|ctx| {
-            let key = Key::from(&ctx.args[..]);
+            let key = Key::from(ctx.args);
             Ok(TxnPlan::new().write_checked(
                 key,
                 Functor::add(1),
@@ -148,11 +163,12 @@ fn replication_off_keeps_replica_empty() {
     let key = keys_on_partition(0, 2, 1).remove(0);
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
-    db.execute(INCR, key.as_bytes()).unwrap().wait_processed().unwrap();
+    db.execute(INCR, key.as_bytes())
+        .unwrap()
+        .wait_processed()
+        .unwrap();
     assert!(cluster.server(ServerId(1)).replica_dump().is_empty());
-    assert!(cluster
-        .rebuild_from_replica(&cluster, ServerId(0))
-        .is_err());
+    assert!(cluster.rebuild_from_replica(&cluster, ServerId(0)).is_err());
     cluster.shutdown();
 }
 
@@ -161,7 +177,10 @@ fn single_server_cluster_disables_replication_gracefully() {
     let cluster = build(1, true, 0);
     cluster.load(Key::from("x"), Value::from_i64(0));
     let db = cluster.database();
-    db.execute(INCR, Key::from("x").as_bytes()).unwrap().wait_processed().unwrap();
+    db.execute(INCR, Key::from("x").as_bytes())
+        .unwrap()
+        .wait_processed()
+        .unwrap();
     // No second server to mirror to: the flag is a no-op, not a hang.
     assert!(cluster.server(ServerId(0)).replica_dump().is_empty());
     cluster.shutdown();

@@ -24,7 +24,9 @@ fn concurrent_replicated_transfers_complete_and_conserve() {
             let half = ctx.args.len() / 2;
             let a = Key::from(&ctx.args[..half]);
             let b = Key::from(&ctx.args[half..]);
-            Ok(TxnPlan::new().write(a, Functor::subtr(1)).write(b, Functor::add(1)))
+            Ok(TxnPlan::new()
+                .write(a, Functor::subtr(1))
+                .write(b, Functor::add(1)))
         }),
     );
     let cluster = builder.start().unwrap();
@@ -73,11 +75,17 @@ fn concurrent_replicated_transfers_complete_and_conserve() {
     });
 
     let values = db.read_latest(&keys).unwrap();
-    let sum: i64 = values.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    let sum: i64 = values
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
     assert_eq!(sum, 300, "replication must not lose or duplicate transfers");
     // Every partition's installs were mirrored somewhere.
-    let mirrored: usize =
-        cluster.servers().iter().map(|s| s.replica_dump().len()).sum();
+    let mirrored: usize = cluster
+        .servers()
+        .iter()
+        .map(|s| s.replica_dump().len())
+        .sum();
     assert_eq!(mirrored, 6 * 15 * 2, "every write mirrored exactly once");
     cluster.shutdown();
 }

@@ -21,7 +21,7 @@ fn build(servers: u16, clock_offset: u64) -> Cluster {
     builder.register_program(
         INCR,
         fn_program(|ctx| {
-            let key = Key::from(&ctx.args[..]);
+            let key = Key::from(ctx.args);
             Ok(TxnPlan::new().write(key, Functor::add(1)))
         }),
     );
@@ -30,7 +30,7 @@ fn build(servers: u16, clock_offset: u64) -> Cluster {
     builder.register_program(
         DOOMED,
         fn_program(|ctx| {
-            let key = Key::from(&ctx.args[..]);
+            let key = Key::from(ctx.args);
             Ok(TxnPlan::new().write_checked(
                 key,
                 Functor::add(1_000_000),
@@ -42,7 +42,9 @@ fn build(servers: u16, clock_offset: u64) -> Cluster {
 }
 
 fn keys(count: usize) -> Vec<Key> {
-    (0..count as u32).map(|i| Key::from_parts(&[b"wk", &i.to_be_bytes()])).collect()
+    (0..count as u32)
+        .map(|i| Key::from_parts(&[b"wk", &i.to_be_bytes()]))
+        .collect()
 }
 
 #[test]
@@ -57,14 +59,20 @@ fn checkpoint_plus_wal_replay_recovers_exact_state() {
 
     // Phase 1: some committed work, then a checkpoint.
     for k in &key_list {
-        db.execute(INCR, k.as_bytes()).unwrap().wait_processed().unwrap();
+        db.execute(INCR, k.as_bytes())
+            .unwrap()
+            .wait_processed()
+            .unwrap();
     }
     let (checkpoint_at, checkpoint) = cluster.checkpoint().unwrap();
 
     // Phase 2: more commits and some aborted transactions after the
     // checkpoint — all of it only in the WAL.
     for k in &key_list[..3] {
-        db.execute(INCR, k.as_bytes()).unwrap().wait_processed().unwrap();
+        db.execute(INCR, k.as_bytes())
+            .unwrap()
+            .wait_processed()
+            .unwrap();
     }
     for k in &key_list[3..] {
         let h = db.execute(DOOMED, k.as_bytes()).unwrap();
@@ -77,7 +85,10 @@ fn checkpoint_plus_wal_replay_recovers_exact_state() {
         .map(|v| v.as_ref().and_then(Value::as_i64))
         .collect();
     let logs = cluster.wal_snapshots();
-    assert!(logs.iter().any(|l| !l.is_empty()), "durability must produce log records");
+    assert!(
+        logs.iter().any(|l| !l.is_empty()),
+        "durability must produce log records"
+    );
     let highest = db.visible_bound();
     cluster.shutdown();
 
@@ -93,7 +104,10 @@ fn checkpoint_plus_wal_replay_recovers_exact_state() {
         .iter()
         .map(|v| v.as_ref().and_then(Value::as_i64))
         .collect();
-    assert_eq!(got, expected, "recovered state must match the primary exactly");
+    assert_eq!(
+        got, expected,
+        "recovered state must match the primary exactly"
+    );
     // Keys 0..3 were incremented twice; 3..6 once (the doomed txns aborted).
     assert_eq!(got[0], Some(2));
     assert_eq!(got[5], Some(1));
@@ -109,7 +123,10 @@ fn wal_replay_alone_recovers_from_empty_database() {
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
     for _ in 0..5 {
-        db.execute(INCR, key.as_bytes()).unwrap().wait_processed().unwrap();
+        db.execute(INCR, key.as_bytes())
+            .unwrap()
+            .wait_processed()
+            .unwrap();
     }
     let logs = cluster.wal_snapshots();
     let highest = db.visible_bound();
@@ -131,20 +148,22 @@ fn wal_replay_alone_recovers_from_empty_database() {
 
 #[test]
 fn durability_off_produces_empty_logs() {
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(3)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(3)));
     builder.register_program(
         INCR,
         fn_program(|ctx| {
-            let key = Key::from(&ctx.args[..]);
+            let key = Key::from(ctx.args);
             Ok(TxnPlan::new().write(key, Functor::add(1)))
         }),
     );
     let cluster = builder.start().unwrap();
     cluster.load(Key::from("k"), Value::from_i64(0));
     let db = cluster.database();
-    db.execute(INCR, Key::from("k").as_bytes()).unwrap().wait_processed().unwrap();
+    db.execute(INCR, Key::from("k").as_bytes())
+        .unwrap()
+        .wait_processed()
+        .unwrap();
     assert!(cluster.wal_snapshots().iter().all(Vec::is_empty));
     cluster.shutdown();
 }

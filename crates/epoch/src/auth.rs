@@ -36,7 +36,11 @@ impl Authorization {
     /// Panics if the interval is empty.
     pub fn new(epoch: EpochId, start_micros: u64, end_micros: u64) -> Authorization {
         assert!(start_micros <= end_micros, "empty authorization window");
-        Authorization { epoch, start_micros, end_micros }
+        Authorization {
+            epoch,
+            start_micros,
+            end_micros,
+        }
     }
 
     /// The epoch this authorization belongs to.

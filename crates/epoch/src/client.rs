@@ -55,6 +55,10 @@ pub struct TxnTicket {
 #[derive(Debug)]
 struct ClientState {
     auth: Option<Authorization>,
+    /// Highest epoch this client has ever held authorization for. Guards
+    /// against duplicated or reordered grants re-installing a released
+    /// epoch's authorization.
+    max_epoch_seen: EpochId,
     /// Epoch whose revoke has been received but not yet acknowledged.
     revoke_pending: Option<EpochId>,
     /// No-authorization window: (first allowed microsecond, last allowed
@@ -104,6 +108,7 @@ impl EpochClient {
             poll: Duration::from_micros(200),
             state: Mutex::new(ClientState {
                 auth: None,
+                max_epoch_seen: EpochId(0),
                 revoke_pending: None,
                 noauth_window: None,
                 in_flight: HashMap::new(),
@@ -122,12 +127,20 @@ impl EpochClient {
 
     /// Handles a grant from the EM: installs the new authorization and
     /// advances the visibility bound to the settled prefix.
+    ///
+    /// Robust against an unreliable network: a duplicated or reordered grant
+    /// for an epoch at or below the highest epoch already seen is not
+    /// re-installed (it may have been revoked since), but its settled bound —
+    /// monotone information — is still absorbed.
     pub fn on_grant(&self, grant: Grant) {
         let mut state = self.state.lock();
-        state.auth = Some(grant.auth);
-        state.noauth_window = None;
         if grant.settled > state.visible {
             state.visible = grant.settled;
+        }
+        if grant.auth.epoch() > state.max_epoch_seen {
+            state.max_epoch_seen = grant.auth.epoch();
+            state.auth = Some(grant.auth);
+            state.noauth_window = None;
         }
         self.changed.notify_all();
     }
@@ -136,25 +149,49 @@ impl EpochClient {
     /// acknowledge immediately (no transactions of that epoch are in
     /// flight); otherwise the acknowledgement is returned later by
     /// [`EpochClient::txn_finished`].
+    ///
+    /// Robust against an unreliable network:
+    ///
+    /// - A revoke for an epoch *older* than the current authorization is a
+    ///   late duplicate — the EM must already hold our ack, or it could not
+    ///   have granted the newer epoch. Ignored.
+    /// - A revoke received while holding no matching authorization (the
+    ///   grant was dropped, or the original ack was lost and the EM is
+    ///   retransmitting) is acknowledged as soon as no transaction of that
+    ///   epoch is in flight: re-acking is idempotent at the EM, and *not*
+    ///   re-acking would stall the cluster forever.
     pub fn on_revoke(&self, epoch: EpochId) -> bool {
         let mut state = self.state.lock();
-        let Some(auth) = state.auth else {
-            return false; // stale revoke for an epoch we already released
-        };
-        if auth.epoch() != epoch {
-            return false;
+        match state.auth {
+            Some(auth) if auth.epoch() == epoch => {
+                // Open the no-authorization window immediately (§III-C):
+                // transactions started from now on are accounted to the next
+                // epoch and capped at finish(previous) + duration(next).
+                if self.allow_noauth {
+                    let duration = auth.end_micros() - auth.start_micros();
+                    state.noauth_window = Some((
+                        auth.end_micros() + 1,
+                        auth.end_micros() + duration,
+                        epoch.next(),
+                    ));
+                }
+                state.auth = None;
+            }
+            Some(auth) if auth.epoch() > epoch => {
+                return false; // late duplicate; the EM has moved past `epoch`
+            }
+            Some(_) | None => {
+                // Authorization for `epoch` was never received (dropped
+                // grant) or already released (retransmitted revoke). An
+                // older-than-`epoch` authorization is long expired: drop it
+                // so it cannot issue timestamps behind the EM's back.
+                state.auth = None;
+            }
         }
-        // Open the no-authorization window immediately (§III-C): transactions
-        // started from now on are accounted to the next epoch and capped at
-        // finish(previous) + duration(next).
-        if self.allow_noauth {
-            let duration = auth.end_micros() - auth.start_micros();
-            state.noauth_window =
-                Some((auth.end_micros() + 1, auth.end_micros() + duration, epoch.next()));
-        }
-        state.auth = None;
         if state.in_flight.get(&epoch).copied().unwrap_or(0) == 0 {
-            state.revoke_pending = None;
+            if state.revoke_pending == Some(epoch) {
+                state.revoke_pending = None;
+            }
             self.changed.notify_all();
             true
         } else {
@@ -183,19 +220,46 @@ impl EpochClient {
                     // Clamp early clocks to the window start (the oracle
                     // does this); issue if the window still has room.
                     if let Some(ts) =
-                        state.oracle.issue(now, auth.start_micros(), auth.end_micros())
+                        state
+                            .oracle
+                            .issue(now, auth.start_micros(), auth.end_micros())
                     {
                         let epoch = auth.epoch();
                         *state.in_flight.entry(epoch).or_insert(0) += 1;
-                        return Ok(TxnTicket { ts, epoch, authorized: true });
+                        return Ok(TxnTicket {
+                            ts,
+                            epoch,
+                            authorized: true,
+                        });
                     }
+                }
+                if self.allow_noauth && now > auth.end_micros() {
+                    // The authorization expired and no revoke has arrived —
+                    // it may have been dropped, or this server may be
+                    // partitioned from the EM. Behave exactly as if revoked
+                    // (the EM revokes at the epoch's end anyway): release
+                    // the authorization and open the §III-C window. The
+                    // eventual revoke finds no matching authorization and is
+                    // acknowledged once the epoch drains.
+                    let duration = auth.end_micros() - auth.start_micros();
+                    state.noauth_window = Some((
+                        auth.end_micros() + 1,
+                        auth.end_micros() + duration,
+                        auth.epoch().next(),
+                    ));
+                    state.auth = None;
+                    continue;
                 }
                 // Window exhausted or clock past the end: wait for revoke +
                 // next grant (or the no-auth window).
             } else if let Some((lo, hi, epoch)) = state.noauth_window {
                 if let Some(ts) = state.oracle.issue(now, lo, hi) {
                     *state.in_flight.entry(epoch).or_insert(0) += 1;
-                    return Ok(TxnTicket { ts, epoch, authorized: false });
+                    return Ok(TxnTicket {
+                        ts,
+                        epoch,
+                        authorized: false,
+                    });
                 }
                 // No-auth window exhausted; fall through and wait for grant.
             }
@@ -214,7 +278,10 @@ impl EpochClient {
     /// # Errors
     ///
     /// Same conditions as [`EpochClient::begin_txn`].
-    pub fn assign_read_timestamp(&self, deadline: Option<Instant>) -> Result<Timestamp, BeginError> {
+    pub fn assign_read_timestamp(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<Timestamp, BeginError> {
         let mut state = self.state.lock();
         loop {
             if state.shutdown {
@@ -303,7 +370,11 @@ impl EpochClient {
 
     /// Waits for a state change or the poll interval (whichever first),
     /// respecting `deadline`. Returns `true` if the deadline has passed.
-    fn wait(&self, state: &mut parking_lot::MutexGuard<'_, ClientState>, deadline: Option<Instant>) -> bool {
+    fn wait(
+        &self,
+        state: &mut parking_lot::MutexGuard<'_, ClientState>,
+        deadline: Option<Instant>,
+    ) -> bool {
         // Poll-bounded wait: the clock may be a manual test clock that
         // advances without notifying the condvar, so never sleep unbounded.
         let until = match deadline {
@@ -327,8 +398,11 @@ mod tests {
 
     fn client_with_clock(allow_noauth: bool) -> (Arc<EpochClient>, ManualClock) {
         let clock = ManualClock::new(0);
-        let client =
-            Arc::new(EpochClient::new(ServerId(1), Arc::new(clock.clone()), allow_noauth));
+        let client = Arc::new(EpochClient::new(
+            ServerId(1),
+            Arc::new(clock.clone()),
+            allow_noauth,
+        ));
         (client, clock)
     }
 
@@ -401,9 +475,17 @@ mod tests {
         clock.set(120);
         let ticket = client.begin_txn(None).unwrap();
         assert!(!ticket.authorized);
-        assert_eq!(ticket.epoch, EpochId(2), "no-auth txns account to the next epoch");
+        assert_eq!(
+            ticket.epoch,
+            EpochId(2),
+            "no-auth txns account to the next epoch"
+        );
         // §III-C bound: ts <= finish(prev) + duration(next) = 100 + 100.
-        assert!(ticket.ts.micros() > 100 && ticket.ts.micros() <= 200, "{}", ticket.ts);
+        assert!(
+            ticket.ts.micros() > 100 && ticket.ts.micros() <= 200,
+            "{}",
+            ticket.ts
+        );
     }
 
     #[test]
@@ -429,7 +511,10 @@ mod tests {
         assert_eq!(noauth_ticket.epoch, EpochId(2));
         // Epoch 2 is granted and then revoked while the no-auth txn runs.
         client.on_grant(grant(2, 150, 250, Timestamp::from_raw(1)));
-        assert!(!client.on_revoke(EpochId(2)), "no-auth txn must hold epoch 2 open");
+        assert!(
+            !client.on_revoke(EpochId(2)),
+            "no-auth txn must hold epoch 2 open"
+        );
         assert_eq!(client.txn_finished(noauth_ticket), Some(EpochId(2)));
     }
 
@@ -459,7 +544,10 @@ mod tests {
         client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
         clock.set(10);
         let _ts = client.assign_read_timestamp(None).unwrap();
-        assert!(client.on_revoke(EpochId(1)), "read-only assignment holds nothing open");
+        assert!(
+            client.on_revoke(EpochId(1)),
+            "read-only assignment holds nothing open"
+        );
     }
 
     #[test]
@@ -470,7 +558,106 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         client.shutdown();
         assert_eq!(t.join().unwrap().unwrap_err(), BeginError::ShuttingDown);
-        assert_eq!(client.begin_txn(None).unwrap_err(), BeginError::ShuttingDown);
+        assert_eq!(
+            client.begin_txn(None).unwrap_err(),
+            BeginError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn duplicate_grant_does_not_resurrect_revoked_epoch() {
+        let (client, clock) = client_with_clock(false);
+        let g1 = grant(1, 0, 100, Timestamp::ZERO);
+        client.on_grant(g1);
+        clock.set(10);
+        assert!(client.on_revoke(EpochId(1)));
+        // A duplicated copy of the epoch-1 grant arrives after the revoke.
+        client.on_grant(g1);
+        assert!(
+            client.current_auth().is_none(),
+            "released epoch must stay released"
+        );
+    }
+
+    #[test]
+    fn reordered_old_grant_does_not_roll_back_auth() {
+        let (client, _clock) = client_with_clock(false);
+        client.on_grant(grant(2, 200, 300, Timestamp::from_raw(100)));
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        let auth = client.current_auth().unwrap();
+        assert_eq!(auth.epoch(), EpochId(2));
+        // The stale grant's settled bound (lower) must not regress visibility.
+        assert_eq!(client.visible_bound(), Timestamp::from_raw(100));
+    }
+
+    #[test]
+    fn stale_grant_still_advances_visibility() {
+        let (client, _clock) = client_with_clock(false);
+        client.on_grant(grant(2, 200, 300, Timestamp::ZERO));
+        // Reordered: an old-epoch grant carrying a *newer* settled bound
+        // (possible when the bound piggybacks on retransmissions).
+        client.on_grant(grant(1, 0, 100, Timestamp::from_raw(77)));
+        assert_eq!(client.current_auth().unwrap().epoch(), EpochId(2));
+        assert_eq!(client.visible_bound(), Timestamp::from_raw(77));
+    }
+
+    #[test]
+    fn revoke_without_grant_is_acked() {
+        // The grant for epoch 1 was dropped; the revoke still needs an ack
+        // or the EM stalls the whole cluster.
+        let (client, _clock) = client_with_clock(false);
+        assert!(client.on_revoke(EpochId(1)));
+    }
+
+    #[test]
+    fn retransmitted_revoke_is_reacked_after_release() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        assert!(
+            client.on_revoke(EpochId(1)),
+            "first revoke acks (nothing in flight)"
+        );
+        // The ack was lost; the EM retransmits. We must ack again.
+        assert!(client.on_revoke(EpochId(1)));
+    }
+
+    #[test]
+    fn duplicate_revoke_while_draining_stays_deferred() {
+        let (client, clock) = client_with_clock(false);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(10);
+        let ticket = client.begin_txn(None).unwrap();
+        assert!(!client.on_revoke(EpochId(1)));
+        assert!(
+            !client.on_revoke(EpochId(1)),
+            "duplicate must not ack early"
+        );
+        assert_eq!(client.txn_finished(ticket), Some(EpochId(1)));
+    }
+
+    #[test]
+    fn expired_auth_self_opens_noauth_window() {
+        // The revoke never arrives (partition): a no-auth-enabled client
+        // keeps issuing timestamps in the §III-C window on its own.
+        let (client, clock) = client_with_clock(true);
+        client.on_grant(grant(1, 0, 100, Timestamp::ZERO));
+        clock.set(150);
+        let ticket = client.begin_txn(None).unwrap();
+        assert!(!ticket.authorized);
+        assert_eq!(ticket.epoch, EpochId(2));
+        assert!(
+            ticket.ts.micros() > 100 && ticket.ts.micros() <= 200,
+            "{}",
+            ticket.ts
+        );
+        // When the revoke finally lands, the drain accounting still works.
+        assert!(client.on_revoke(EpochId(1)), "no epoch-1 txns in flight");
+        assert_eq!(
+            client.txn_finished(ticket),
+            None,
+            "epoch-2 accounting unaffected"
+        );
     }
 
     #[test]

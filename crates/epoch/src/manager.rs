@@ -44,6 +44,11 @@ pub struct EpochConfig {
     pub servers: Vec<ServerId>,
     /// Granularity at which the EM polls its clock and the ack stream.
     pub poll_interval: Duration,
+    /// How long to wait for outstanding drain acks before retransmitting the
+    /// revoke to the servers that have not answered. On a reliable network
+    /// the retransmission never fires; on a lossy one it recovers from a
+    /// dropped revoke, a dropped ack, or a server that missed its grant.
+    pub revoke_resend_interval: Duration,
 }
 
 impl EpochConfig {
@@ -53,12 +58,19 @@ impl EpochConfig {
             epoch_duration: Duration::from_millis(25),
             servers,
             poll_interval: Duration::from_micros(200),
+            revoke_resend_interval: Duration::from_millis(5),
         }
     }
 
     /// Overrides the epoch duration.
     pub fn with_duration(mut self, duration: Duration) -> EpochConfig {
         self.epoch_duration = duration;
+        self
+    }
+
+    /// Overrides the revoke retransmission interval.
+    pub fn with_revoke_resend(mut self, interval: Duration) -> EpochConfig {
+        self.revoke_resend_interval = interval;
         self
     }
 }
@@ -112,7 +124,10 @@ impl EpochManager {
         clock: Arc<dyn Clock>,
         transport: impl EpochTransport,
     ) -> EpochManager {
-        assert!(!config.servers.is_empty(), "epoch manager needs at least one server");
+        assert!(
+            !config.servers.is_empty(),
+            "epoch manager needs at least one server"
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(EmStats::default());
         let thread_shutdown = Arc::clone(&shutdown);
@@ -121,7 +136,11 @@ impl EpochManager {
             .name("epoch-manager".into())
             .spawn(move || run(config, clock, transport, thread_shutdown, thread_stats))
             .expect("spawn epoch manager thread");
-        EpochManager { shutdown, stats, handle: Some(handle) }
+        EpochManager {
+            shutdown,
+            stats,
+            handle: Some(handle),
+        }
     }
 
     /// EM statistics.
@@ -166,8 +185,11 @@ fn run(
     while !shutdown.load(Ordering::SeqCst) {
         let start = clock.now_micros().max(prev_finish_micros + 1);
         let auth = Authorization::new(epoch, start, start + duration_micros);
-        let grant =
-            Grant { auth, settled: prev_finish_ts, epoch_duration_micros: duration_micros };
+        let grant = Grant {
+            auth,
+            settled: prev_finish_ts,
+            epoch_duration_micros: duration_micros,
+        };
         for &server in &config.servers {
             transport.send_grant(server, grant);
         }
@@ -187,6 +209,7 @@ fn run(
             transport.send_revoke(server, epoch);
         }
         let mut pending: HashSet<ServerId> = config.servers.iter().copied().collect();
+        let mut last_resend = std::time::Instant::now();
         while !pending.is_empty() {
             if shutdown.load(Ordering::SeqCst) {
                 return;
@@ -196,8 +219,16 @@ fn run(
                     pending.remove(&ack.server);
                 }
             }
+            if last_resend.elapsed() >= config.revoke_resend_interval {
+                for &server in &pending {
+                    transport.send_revoke(server, epoch);
+                }
+                last_resend = std::time::Instant::now();
+            }
         }
-        stats.switch_micros.record(switch_started.elapsed().as_micros() as u64);
+        stats
+            .switch_micros
+            .record(switch_started.elapsed().as_micros() as u64);
         stats.epochs_completed.incr();
 
         prev_finish_micros = auth.end_micros();
@@ -239,7 +270,14 @@ mod tests {
     fn harness() -> (ChannelTransport, Receiver<Event>, Sender<RevokedAck>) {
         let (etx, erx) = unbounded();
         let (atx, arx) = unbounded();
-        (ChannelTransport { events: etx, acks: Mutex::new(arx) }, erx, atx)
+        (
+            ChannelTransport {
+                events: etx,
+                acks: Mutex::new(arx),
+            },
+            erx,
+            atx,
+        )
     }
 
     #[test]
@@ -248,7 +286,8 @@ mod tests {
         let servers = vec![ServerId(0), ServerId(1)];
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
         let config = EpochConfig::new(servers.clone())
-            .with_duration(Duration::from_millis(3));
+            .with_duration(Duration::from_millis(3))
+            .with_revoke_resend(Duration::from_secs(60));
         let em = EpochManager::spawn(config, clock, transport);
 
         // Epoch 1: grants to both servers.
@@ -267,7 +306,11 @@ mod tests {
             match events.recv_timeout(Duration::from_secs(1)).unwrap() {
                 Event::Revoke(s, e) => {
                     assert_eq!(e, EpochId(1));
-                    acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                    acks.send(RevokedAck {
+                        server: s,
+                        epoch: e,
+                    })
+                    .unwrap();
                 }
                 other => panic!("expected revoke, got {other:?}"),
             }
@@ -293,28 +336,82 @@ mod tests {
         let (transport, events, acks) = harness();
         let servers = vec![ServerId(0), ServerId(1)];
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
-        let config =
-            EpochConfig::new(servers).with_duration(Duration::from_millis(2));
+        let config = EpochConfig::new(servers)
+            .with_duration(Duration::from_millis(2))
+            .with_revoke_resend(Duration::from_secs(60));
         let em = EpochManager::spawn(config, clock, transport);
 
         for _ in 0..2 {
-            assert!(matches!(events.recv_timeout(Duration::from_secs(1)).unwrap(), Event::Grant(..)));
+            assert!(matches!(
+                events.recv_timeout(Duration::from_secs(1)).unwrap(),
+                Event::Grant(..)
+            ));
         }
         // Only server 0 acks; server 1 is a straggler.
         for _ in 0..2 {
             if let Event::Revoke(s, e) = events.recv_timeout(Duration::from_secs(1)).unwrap() {
                 if s == ServerId(0) {
-                    acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                    acks.send(RevokedAck {
+                        server: s,
+                        epoch: e,
+                    })
+                    .unwrap();
                 }
             }
         }
         // No grant for epoch 2 while the straggler holds the epoch open.
         assert!(events.recv_timeout(Duration::from_millis(30)).is_err());
         // Straggler finally acks; epoch 2 proceeds.
-        acks.send(RevokedAck { server: ServerId(1), epoch: EpochId(1) }).unwrap();
+        acks.send(RevokedAck {
+            server: ServerId(1),
+            epoch: EpochId(1),
+        })
+        .unwrap();
         match events.recv_timeout(Duration::from_secs(1)).unwrap() {
             Event::Grant(_, g) => assert_eq!(g.auth.epoch(), EpochId(2)),
             other => panic!("expected epoch-2 grant, got {other:?}"),
+        }
+        em.close();
+    }
+
+    #[test]
+    fn lost_revoke_is_retransmitted() {
+        let (transport, events, acks) = harness();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
+        let config = EpochConfig::new(vec![ServerId(0)])
+            .with_duration(Duration::from_millis(2))
+            .with_revoke_resend(Duration::from_millis(5));
+        let em = EpochManager::spawn(config, clock, transport);
+        assert!(matches!(
+            events.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Event::Grant(..)
+        ));
+        // Pretend the first revoke was lost: don't ack it. The EM must try
+        // again rather than stall forever.
+        let mut revokes = 0;
+        while revokes < 2 {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Revoke(_, e) => {
+                    assert_eq!(e, EpochId(1));
+                    revokes += 1;
+                }
+                other => panic!("expected retransmitted revoke, got {other:?}"),
+            }
+        }
+        // Acking the retransmission unblocks epoch 2.
+        acks.send(RevokedAck {
+            server: ServerId(0),
+            epoch: EpochId(1),
+        })
+        .unwrap();
+        loop {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Grant(_, g) => {
+                    assert_eq!(g.auth.epoch(), EpochId(2));
+                    break;
+                }
+                Event::Revoke(..) => continue, // late retransmissions
+            }
         }
         em.close();
     }
@@ -324,7 +421,8 @@ mod tests {
         let (transport, events, acks) = harness();
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
         let config = EpochConfig::new(vec![ServerId(0)])
-            .with_duration(Duration::from_millis(2));
+            .with_duration(Duration::from_millis(2))
+            .with_revoke_resend(Duration::from_secs(60));
         let em = EpochManager::spawn(config, clock, transport);
         let mut last_end = 0u64;
         let mut completed = 0;
@@ -335,7 +433,11 @@ mod tests {
                     last_end = g.auth.end_micros();
                 }
                 Event::Revoke(s, e) => {
-                    acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                    acks.send(RevokedAck {
+                        server: s,
+                        epoch: e,
+                    })
+                    .unwrap();
                     completed += 1;
                 }
             }
@@ -348,12 +450,17 @@ mod tests {
         let (transport, events, acks) = harness();
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
         let config = EpochConfig::new(vec![ServerId(0)])
-            .with_duration(Duration::from_millis(1));
+            .with_duration(Duration::from_millis(1))
+            .with_revoke_resend(Duration::from_secs(60));
         let em = EpochManager::spawn(config, clock, transport);
         let mut completed = 0;
         while completed < 5 {
             if let Ok(Event::Revoke(s, e)) = events.recv_timeout(Duration::from_secs(1)) {
-                acks.send(RevokedAck { server: s, epoch: e }).unwrap();
+                acks.send(RevokedAck {
+                    server: s,
+                    epoch: e,
+                })
+                .unwrap();
                 completed += 1;
             }
         }

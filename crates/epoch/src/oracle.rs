@@ -31,7 +31,10 @@ pub struct TimestampOracle {
 impl TimestampOracle {
     /// Creates an oracle for `server`.
     pub fn new(server: ServerId) -> TimestampOracle {
-        TimestampOracle { server, last: Timestamp::ZERO }
+        TimestampOracle {
+            server,
+            last: Timestamp::ZERO,
+        }
     }
 
     /// The server this oracle stamps for.
@@ -101,7 +104,9 @@ mod tests {
         let mut o = TimestampOracle::new(ServerId(0));
         let mut prev = Timestamp::ZERO;
         for i in 0..1000 {
-            let ts = o.issue(100 + i / 100, 100, 200).expect("window not exhausted");
+            let ts = o
+                .issue(100 + i / 100, 100, 200)
+                .expect("window not exhausted");
             assert!(ts > prev, "issue {i} not increasing");
             prev = ts;
         }

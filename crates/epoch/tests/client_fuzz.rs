@@ -107,6 +107,17 @@ proptest! {
                             prop_assert!(auth.contains(ticket.ts));
                             prop_assert_eq!(ticket.epoch, auth.epoch());
                         } else {
+                            // The client self-opens the §III-C window once
+                            // the clock passes the authorization's end, even
+                            // before a revoke arrives (partition survival);
+                            // the bound is then relative to the epoch that
+                            // just expired.
+                            if let Some(auth) = model.granted {
+                                if clock.now_micros() > auth.end_micros() {
+                                    model.last_finish_micros = auth.end_micros();
+                                    model.granted = None;
+                                }
+                            }
                             prop_assert!(ticket.ts.micros() > model.last_finish_micros);
                             prop_assert!(
                                 ticket.ts.micros() <= model.last_finish_micros + duration,

@@ -107,7 +107,8 @@ impl Handler for OccValidateHandler {
     fn compute(&self, input: &ComputeInput<'_>) -> HandlerOutput {
         // A malformed argument blob is a logic error: abort the transaction
         // rather than wedge the processor.
-        self.decode_and_validate(input).unwrap_or_else(|_| HandlerOutput::abort())
+        self.decode_and_validate(input)
+            .unwrap_or_else(|_| HandlerOutput::abort())
     }
 
     fn name(&self) -> &str {
@@ -122,24 +123,60 @@ mod tests {
 
     #[test]
     fn add_and_subtr_treat_missing_as_zero() {
-        assert_eq!(apply_numeric(&Functor::Add(5), None).unwrap().as_i64(), Some(5));
-        assert_eq!(apply_numeric(&Functor::Subtr(5), None).unwrap().as_i64(), Some(-5));
+        assert_eq!(
+            apply_numeric(&Functor::Add(5), None).unwrap().as_i64(),
+            Some(5)
+        );
+        assert_eq!(
+            apply_numeric(&Functor::Subtr(5), None).unwrap().as_i64(),
+            Some(-5)
+        );
     }
 
     #[test]
     fn add_subtr_compose_with_previous() {
         let prev = Value::from_i64(100);
-        assert_eq!(apply_numeric(&Functor::Add(50), Some(&prev)).unwrap().as_i64(), Some(150));
-        assert_eq!(apply_numeric(&Functor::Subtr(30), Some(&prev)).unwrap().as_i64(), Some(70));
+        assert_eq!(
+            apply_numeric(&Functor::Add(50), Some(&prev))
+                .unwrap()
+                .as_i64(),
+            Some(150)
+        );
+        assert_eq!(
+            apply_numeric(&Functor::Subtr(30), Some(&prev))
+                .unwrap()
+                .as_i64(),
+            Some(70)
+        );
     }
 
     #[test]
     fn max_min_clamp() {
         let prev = Value::from_i64(10);
-        assert_eq!(apply_numeric(&Functor::Max(3), Some(&prev)).unwrap().as_i64(), Some(10));
-        assert_eq!(apply_numeric(&Functor::Max(30), Some(&prev)).unwrap().as_i64(), Some(30));
-        assert_eq!(apply_numeric(&Functor::Min(3), Some(&prev)).unwrap().as_i64(), Some(3));
-        assert_eq!(apply_numeric(&Functor::Min(30), Some(&prev)).unwrap().as_i64(), Some(10));
+        assert_eq!(
+            apply_numeric(&Functor::Max(3), Some(&prev))
+                .unwrap()
+                .as_i64(),
+            Some(10)
+        );
+        assert_eq!(
+            apply_numeric(&Functor::Max(30), Some(&prev))
+                .unwrap()
+                .as_i64(),
+            Some(30)
+        );
+        assert_eq!(
+            apply_numeric(&Functor::Min(3), Some(&prev))
+                .unwrap()
+                .as_i64(),
+            Some(3)
+        );
+        assert_eq!(
+            apply_numeric(&Functor::Min(30), Some(&prev))
+                .unwrap()
+                .as_i64(),
+            Some(10)
+        );
     }
 
     #[test]
@@ -170,7 +207,10 @@ mod tests {
             &Value::from_i64(99),
         );
         let mut reads = Reads::new();
-        reads.insert(key.clone(), VersionedRead::found(current_version, Value::from_i64(1)));
+        reads.insert(
+            key.clone(),
+            VersionedRead::found(current_version, Value::from_i64(1)),
+        );
         (args, reads)
     }
 
@@ -179,7 +219,12 @@ mod tests {
         let key = Key::from("a");
         let ts = Timestamp::from_raw(10);
         let (args, reads) = occ_input_parts(&key, ts, ts);
-        let input = ComputeInput { key: &key, version: Timestamp::from_raw(20), reads: &reads, args: &args };
+        let input = ComputeInput {
+            key: &key,
+            version: Timestamp::from_raw(20),
+            reads: &reads,
+            args: &args,
+        };
         let out = OccValidateHandler.compute(&input);
         assert_eq!(out, HandlerOutput::commit(Value::from_i64(99)));
     }
@@ -188,7 +233,12 @@ mod tests {
     fn occ_aborts_when_read_set_changed() {
         let key = Key::from("a");
         let (args, reads) = occ_input_parts(&key, Timestamp::from_raw(10), Timestamp::from_raw(15));
-        let input = ComputeInput { key: &key, version: Timestamp::from_raw(20), reads: &reads, args: &args };
+        let input = ComputeInput {
+            key: &key,
+            version: Timestamp::from_raw(20),
+            reads: &reads,
+            args: &args,
+        };
         let out = OccValidateHandler.compute(&input);
         assert_eq!(out, HandlerOutput::abort());
     }
@@ -201,7 +251,12 @@ mod tests {
             &Value::from_i64(1),
         );
         let reads = Reads::new(); // key not gathered at all
-        let input = ComputeInput { key: &key, version: Timestamp::from_raw(20), reads: &reads, args: &args };
+        let input = ComputeInput {
+            key: &key,
+            version: Timestamp::from_raw(20),
+            reads: &reads,
+            args: &args,
+        };
         assert_eq!(OccValidateHandler.compute(&input), HandlerOutput::abort());
     }
 
@@ -209,7 +264,12 @@ mod tests {
     fn occ_malformed_args_abort() {
         let key = Key::from("a");
         let reads = Reads::new();
-        let input = ComputeInput { key: &key, version: Timestamp::from_raw(1), reads: &reads, args: &[1] };
+        let input = ComputeInput {
+            key: &key,
+            version: Timestamp::from_raw(1),
+            reads: &reads,
+            args: &[1],
+        };
         assert_eq!(OccValidateHandler.compute(&input), HandlerOutput::abort());
     }
 }

@@ -50,7 +50,12 @@ pub struct UserFunctor {
 impl UserFunctor {
     /// Creates a user functor with no recipient set.
     pub fn new(handler: HandlerId, read_set: Vec<Key>, args: impl Into<Bytes>) -> UserFunctor {
-        UserFunctor { handler, read_set, args: args.into(), recipient_set: Vec::new() }
+        UserFunctor {
+            handler,
+            read_set,
+            args: args.into(),
+            recipient_set: Vec::new(),
+        }
     }
 
     /// Adds a recipient set (proactive push optimization).
@@ -117,7 +122,10 @@ impl Functor {
     /// Whether this functor is already in final form (`VALUE`, `ABORTED` or
     /// `DELETED`) and therefore needs no computing phase.
     pub fn is_final(&self) -> bool {
-        matches!(self, Functor::Value(_) | Functor::Aborted | Functor::Deleted)
+        matches!(
+            self,
+            Functor::Value(_) | Functor::Aborted | Functor::Deleted
+        )
     }
 
     /// Whether this functor requires the computing phase.
@@ -171,7 +179,13 @@ impl fmt::Display for Functor {
             Functor::Max(d) => write!(f, "MAX({d})"),
             Functor::Min(d) => write!(f, "MIN({d})"),
             Functor::User(u) => {
-                write!(f, "USER({}, reads={}, args={}B)", u.handler, u.read_set.len(), u.args.len())
+                write!(
+                    f,
+                    "USER({}, reads={}, args={}B)",
+                    u.handler,
+                    u.read_set.len(),
+                    u.args.len()
+                )
             }
         }
     }
@@ -192,7 +206,12 @@ mod tests {
         assert!(Functor::Value(Value::from_i64(0)).is_final());
         assert!(Functor::Aborted.is_final());
         assert!(Functor::Deleted.is_final());
-        for f in [Functor::Add(1), Functor::Subtr(1), Functor::Max(1), Functor::Min(1)] {
+        for f in [
+            Functor::Add(1),
+            Functor::Subtr(1),
+            Functor::Max(1),
+            Functor::Min(1),
+        ] {
             assert!(f.needs_compute(), "{f} must need compute");
         }
         let user = Functor::User(UserFunctor::new(HandlerId(1), vec![], Bytes::new()));

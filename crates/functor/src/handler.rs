@@ -25,12 +25,18 @@ pub struct VersionedRead {
 impl VersionedRead {
     /// A read that found nothing.
     pub fn missing() -> VersionedRead {
-        VersionedRead { version: Timestamp::ZERO, value: None }
+        VersionedRead {
+            version: Timestamp::ZERO,
+            value: None,
+        }
     }
 
     /// A read that found `value` at `version`.
     pub fn found(version: Timestamp, value: Value) -> VersionedRead {
-        VersionedRead { version, value: Some(value) }
+        VersionedRead {
+            version,
+            value: Some(value),
+        }
     }
 }
 
@@ -147,17 +153,26 @@ pub struct HandlerOutput {
 impl HandlerOutput {
     /// A plain commit with no deferred writes.
     pub fn commit(value: Value) -> HandlerOutput {
-        HandlerOutput { outcome: Outcome::Commit(value), deferred_writes: Vec::new() }
+        HandlerOutput {
+            outcome: Outcome::Commit(value),
+            deferred_writes: Vec::new(),
+        }
     }
 
     /// An abort decision.
     pub fn abort() -> HandlerOutput {
-        HandlerOutput { outcome: Outcome::Abort, deferred_writes: Vec::new() }
+        HandlerOutput {
+            outcome: Outcome::Abort,
+            deferred_writes: Vec::new(),
+        }
     }
 
     /// A delete decision.
     pub fn delete() -> HandlerOutput {
-        HandlerOutput { outcome: Outcome::Delete, deferred_writes: Vec::new() }
+        HandlerOutput {
+            outcome: Outcome::Delete,
+            deferred_writes: Vec::new(),
+        }
     }
 
     /// Attaches deferred writes to this output.
@@ -270,7 +285,9 @@ impl fmt::Debug for HandlerRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut ids: Vec<_> = self.handlers.keys().collect();
         ids.sort();
-        f.debug_struct("HandlerRegistry").field("ids", &ids).finish()
+        f.debug_struct("HandlerRegistry")
+            .field("ids", &ids)
+            .finish()
     }
 }
 
@@ -288,8 +305,12 @@ mod tests {
         reg.register(HandlerId(1), constant_handler(5));
         let reads = Reads::new();
         let key = Key::from("k");
-        let input =
-            ComputeInput { key: &key, version: Timestamp::from_raw(9), reads: &reads, args: &[] };
+        let input = ComputeInput {
+            key: &key,
+            version: Timestamp::from_raw(9),
+            reads: &reads,
+            args: &[],
+        };
         let out = reg.get(HandlerId(1)).unwrap().compute(&input);
         assert_eq!(out.outcome, Outcome::Commit(Value::from_i64(5)));
     }
@@ -297,7 +318,10 @@ mod tests {
     #[test]
     fn unknown_handler_is_error() {
         let reg = HandlerRegistry::new();
-        assert!(matches!(reg.get(HandlerId(9)), Err(Error::UnknownHandler(9))));
+        assert!(matches!(
+            reg.get(HandlerId(9)),
+            Err(Error::UnknownHandler(9))
+        ));
     }
 
     #[test]
@@ -322,7 +346,10 @@ mod tests {
     fn reads_lookup_and_missing() {
         let mut reads = Reads::new();
         let k = Key::from("x");
-        reads.insert(k.clone(), VersionedRead::found(Timestamp::from_raw(4), Value::from_i64(2)));
+        reads.insert(
+            k.clone(),
+            VersionedRead::found(Timestamp::from_raw(4), Value::from_i64(2)),
+        );
         assert_eq!(reads.i64(&k), Some(2));
         assert_eq!(reads.get(&k).unwrap().version, Timestamp::from_raw(4));
         assert!(reads.value(&Key::from("y")).is_none());

@@ -11,6 +11,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 
 use crate::delay::{DelayLine, NetConfig};
+use crate::fault::{FaultDecision, FaultPlan, FaultState};
 
 /// A network address inside the simulated cluster.
 ///
@@ -41,6 +42,9 @@ impl fmt::Display for Addr {
 pub struct NetStats {
     messages: Counter,
     dropped: Counter,
+    injected_drops: Counter,
+    injected_dups: Counter,
+    injected_reorders: Counter,
 }
 
 impl NetStats {
@@ -53,6 +57,21 @@ impl NetStats {
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
     }
+
+    /// Messages dropped by the fault layer (random loss or a partition).
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops.get()
+    }
+
+    /// Messages duplicated by the fault layer.
+    pub fn injected_dups(&self) -> u64 {
+        self.injected_dups.get()
+    }
+
+    /// Messages the fault layer delayed past their natural order.
+    pub fn injected_reorders(&self) -> u64 {
+        self.injected_reorders.get()
+    }
 }
 
 type Registry<M> = Arc<RwLock<HashMap<Addr, Sender<M>>>>;
@@ -60,6 +79,7 @@ type Registry<M> = Arc<RwLock<HashMap<Addr, Sender<M>>>>;
 struct BusInner<M: Send + 'static> {
     registry: Registry<M>,
     delay: Option<DelayLine<(Addr, M)>>,
+    fault: Option<FaultState>,
     stats: Arc<NetStats>,
 }
 
@@ -84,7 +104,9 @@ pub struct Bus<M: Send + 'static> {
 
 impl<M: Send + 'static> Clone for Bus<M> {
     fn clone(&self) -> Self {
-        Bus { inner: Arc::clone(&self.inner) }
+        Bus {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -110,6 +132,7 @@ impl<M: Send + 'static> Bus<M> {
     pub fn new(config: NetConfig) -> Bus<M> {
         let registry: Registry<M> = Arc::new(RwLock::new(HashMap::new()));
         let stats = Arc::new(NetStats::default());
+        let fault = config.fault.clone().map(FaultState::new);
         let delay = if config.is_instant() {
             None
         } else {
@@ -119,7 +142,14 @@ impl<M: Send + 'static> Bus<M> {
                 deliver_direct(&reg, &st, to, msg);
             }))
         };
-        Bus { inner: Arc::new(BusInner { registry, delay, stats }) }
+        Bus {
+            inner: Arc::new(BusInner {
+                registry,
+                delay,
+                fault,
+                stats,
+            }),
+        }
     }
 
     /// Registers an endpoint, returning its receive side.
@@ -140,15 +170,98 @@ impl<M: Send + 'static> Bus<M> {
         self.inner.registry.write().remove(&addr);
     }
 
-    /// Sends a message to `to`, applying the configured network delay.
+    /// Traffic statistics for this bus.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// The fault plan this bus was created with, if any. Chaos harnesses
+    /// print it alongside failures so runs are reproducible from one line.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.inner.fault.as_ref().map(|f| f.plan())
+    }
+
+    /// Sends a control-plane message directly, bypassing the fault layer
+    /// and the delay line. Harness teardown must not ride the lossy data
+    /// plane: a dropped `Shutdown` would hang the test harness, not the
+    /// system under test. Direct delivery may overtake in-flight delayed
+    /// messages, which is acceptable for teardown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Disconnected`] if the destination is not registered.
+    pub fn send_reliable(&self, to: Addr, msg: M) -> Result<()> {
+        let guard = self.inner.registry.read();
+        match guard.get(&to) {
+            Some(tx) if tx.send(msg).is_ok() => {
+                self.inner.stats.messages.incr();
+                Ok(())
+            }
+            _ => {
+                self.inner.stats.dropped.incr();
+                Err(Error::Disconnected(to.to_string()))
+            }
+        }
+    }
+
+    /// Addresses currently registered.
+    pub fn addresses(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = self.inner.registry.read().keys().copied().collect();
+        addrs.sort();
+        addrs
+    }
+}
+
+impl<M: Send + Clone + 'static> Bus<M> {
+    /// Sends a message to `to`, applying the configured network delay and
+    /// any fault plan (`Clone` is required so the fault layer can duplicate
+    /// messages; replies are one-shot, so duplicated RPCs resolve to the
+    /// first fulfilled reply).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Disconnected`] if the destination is not currently
     /// registered and the network is instant (with a delay line the miss is
     /// only observable asynchronously, so it is counted in
-    /// [`NetStats::dropped`] instead).
+    /// [`NetStats::dropped`] instead). Fault-injected drops return `Ok` —
+    /// a real network gives the sender no signal either.
     pub fn send(&self, to: Addr, msg: M) -> Result<()> {
+        if let Some(fault) = &self.inner.fault {
+            let line = self
+                .inner
+                .delay
+                .as_ref()
+                .expect("a fault plan always spawns a delay line");
+            match fault.decide(to) {
+                FaultDecision::Drop => {
+                    self.inner.stats.injected_drops.incr();
+                    return Ok(());
+                }
+                FaultDecision::Deliver {
+                    extras,
+                    duplicated,
+                    reordered,
+                } => {
+                    if duplicated {
+                        self.inner.stats.injected_dups.incr();
+                    }
+                    if reordered {
+                        self.inner.stats.injected_reorders.incr();
+                    }
+                    let mut msg = Some(msg);
+                    let copies = extras.len();
+                    for (i, extra) in extras.into_iter().enumerate() {
+                        let m = if i + 1 == copies {
+                            msg.take().expect("last copy consumes the message")
+                        } else {
+                            msg.as_ref().expect("copy before last").clone()
+                        };
+                        line.push_after((to, m), extra);
+                    }
+                    return Ok(());
+                }
+            }
+        }
         match &self.inner.delay {
             Some(line) => {
                 line.push((to, msg));
@@ -168,18 +281,6 @@ impl<M: Send + 'static> Bus<M> {
                 }
             }
         }
-    }
-
-    /// Traffic statistics for this bus.
-    pub fn stats(&self) -> &NetStats {
-        &self.inner.stats
-    }
-
-    /// Addresses currently registered.
-    pub fn addresses(&self) -> Vec<Addr> {
-        let mut addrs: Vec<Addr> = self.inner.registry.read().keys().copied().collect();
-        addrs.sort();
-        addrs
     }
 }
 
@@ -203,7 +304,9 @@ impl<M> Endpoint<M> {
     /// Returns [`Error::Disconnected`] once the bus is gone and the queue is
     /// drained.
     pub fn recv(&self) -> Result<M> {
-        self.rx.recv().map_err(|_| Error::Disconnected(self.addr.to_string()))
+        self.rx
+            .recv()
+            .map_err(|_| Error::Disconnected(self.addr.to_string()))
     }
 
     /// Blocks for at most `timeout`.
@@ -216,9 +319,7 @@ impl<M> Endpoint<M> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(m),
             Err(RecvTimeoutError::Timeout) => Err(Error::Timeout(format!("recv on {}", self.addr))),
-            Err(RecvTimeoutError::Disconnected) => {
-                Err(Error::Disconnected(self.addr.to_string()))
-            }
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Disconnected(self.addr.to_string())),
         }
     }
 
@@ -333,6 +434,60 @@ mod tests {
             bus.addresses(),
             vec![server(0), server(1), Addr::EpochManager]
         );
+    }
+
+    #[test]
+    fn fault_drop_all_delivers_nothing() {
+        use crate::fault::{FaultPlan, LinkFault};
+        let plan =
+            FaultPlan::new(11).with_default_link(LinkFault::lossy(1.0, 0.0, 0.0, Duration::ZERO));
+        let bus: Bus<u32> = Bus::new(NetConfig::instant().with_fault(plan));
+        let ep = bus.register(server(0));
+        for i in 0..20 {
+            bus.send(server(0), i).unwrap();
+        }
+        assert!(ep.recv_timeout(Duration::from_millis(30)).is_err());
+        assert_eq!(bus.stats().injected_drops(), 20);
+        assert_eq!(bus.stats().messages(), 0);
+    }
+
+    #[test]
+    fn fault_duplicate_all_delivers_twice() {
+        use crate::fault::{FaultPlan, LinkFault};
+        let plan =
+            FaultPlan::new(11).with_default_link(LinkFault::lossy(0.0, 1.0, 0.0, Duration::ZERO));
+        let bus: Bus<u32> = Bus::new(NetConfig::instant().with_fault(plan));
+        let ep = bus.register(server(0));
+        bus.send(server(0), 7).unwrap();
+        assert_eq!(ep.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        assert_eq!(ep.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        assert_eq!(bus.stats().injected_dups(), 1);
+    }
+
+    #[test]
+    fn fault_partition_blocks_only_window() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(3).with_partition(
+            Duration::ZERO,
+            Duration::from_millis(40),
+            vec![ServerId(0)],
+        );
+        let bus: Bus<u32> = Bus::new(NetConfig::instant().with_fault(plan));
+        let ep = bus.register(server(0));
+        bus.send(server(0), 1).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        bus.send(server(0), 2).unwrap();
+        assert_eq!(ep.recv_timeout(Duration::from_secs(1)).unwrap(), 2);
+        assert_eq!(bus.stats().injected_drops(), 1);
+    }
+
+    #[test]
+    fn fault_plan_is_reported() {
+        use crate::fault::FaultPlan;
+        let bus: Bus<u8> = Bus::new(NetConfig::instant().with_fault(FaultPlan::new(5)));
+        assert_eq!(bus.fault_plan().map(|p| p.seed), Some(5));
+        let plain: Bus<u8> = Bus::new(NetConfig::instant());
+        assert!(plain.fault_plan().is_none());
     }
 
     #[test]

@@ -17,6 +17,8 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::FaultPlan;
+
 /// Network behavior knobs for a simulated cluster.
 ///
 /// # Examples
@@ -37,27 +39,54 @@ pub struct NetConfig {
     pub jitter: Duration,
     /// Seed for the jitter generator, so simulated runs are reproducible.
     pub jitter_seed: u64,
+    /// Optional deterministic fault schedule (drops, duplicates, reorders,
+    /// partitions, pauses) applied by the bus on the send path.
+    pub fault: Option<FaultPlan>,
 }
 
 impl NetConfig {
     /// Zero-latency configuration: messages are delivered synchronously.
     pub fn instant() -> NetConfig {
-        NetConfig { latency: Duration::ZERO, jitter: Duration::ZERO, jitter_seed: 0 }
+        NetConfig {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            jitter_seed: 0,
+            fault: None,
+        }
     }
 
     /// Fixed-latency configuration without jitter.
     pub fn with_latency(latency: Duration) -> NetConfig {
-        NetConfig { latency, jitter: Duration::ZERO, jitter_seed: 0 }
+        NetConfig {
+            latency,
+            ..Self::instant()
+        }
     }
 
     /// Latency plus uniform jitter.
     pub fn with_jitter(latency: Duration, jitter: Duration, seed: u64) -> NetConfig {
-        NetConfig { latency, jitter, jitter_seed: seed }
+        NetConfig {
+            latency,
+            jitter,
+            jitter_seed: seed,
+            fault: None,
+        }
+    }
+
+    /// Attaches a deterministic fault schedule; the bus routes everything
+    /// through the delay line once a plan is present, even at zero latency.
+    pub fn with_fault(mut self, plan: FaultPlan) -> NetConfig {
+        self.fault = Some(plan);
+        self
     }
 
     /// Whether messages bypass the delay line.
+    ///
+    /// A configuration with a fault plan is never instant: injected delays
+    /// (reorders, pause backlogs) need the delay line even at zero base
+    /// latency.
     pub fn is_instant(&self) -> bool {
-        self.latency.is_zero() && self.jitter.is_zero()
+        self.latency.is_zero() && self.jitter.is_zero() && self.fault.is_none()
     }
 }
 
@@ -116,7 +145,9 @@ pub struct DelayLine<T: Send + 'static> {
 
 impl<T: Send + 'static> std::fmt::Debug for DelayLine<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DelayLine").field("config", &self.config).finish()
+        f.debug_struct("DelayLine")
+            .field("config", &self.config)
+            .finish()
     }
 }
 
@@ -128,7 +159,10 @@ impl<T: Send + 'static> DelayLine<T> {
     /// Panics if called with an instant configuration; callers should bypass
     /// the delay line instead (see [`NetConfig::is_instant`]).
     pub fn spawn(config: NetConfig, deliver: impl Fn(T) + Send + 'static) -> DelayLine<T> {
-        assert!(!config.is_instant(), "use direct delivery for instant networks");
+        assert!(
+            !config.is_instant(),
+            "use direct delivery for instant networks"
+        );
         let shared = Arc::new(Shared {
             queue: Mutex::new(DelayState {
                 heap: BinaryHeap::new(),
@@ -143,7 +177,11 @@ impl<T: Send + 'static> DelayLine<T> {
             .name("net-delay".into())
             .spawn(move || Self::run(worker_shared, deliver))
             .expect("spawn delay line thread");
-        DelayLine { shared, config, worker: Some(worker) }
+        DelayLine {
+            shared,
+            config,
+            worker: Some(worker),
+        }
     }
 
     fn run(shared: Arc<Shared<T>>, deliver: impl Fn(T)) {
@@ -177,6 +215,14 @@ impl<T: Send + 'static> DelayLine<T> {
 
     /// Enqueues an item for delayed delivery.
     pub fn push(&self, item: T) {
+        self.push_after(item, Duration::ZERO);
+    }
+
+    /// Enqueues an item with an extra delay on top of the configured latency
+    /// and jitter. The release time is never earlier than
+    /// `now + latency + extra`; the fault layer uses the extra delay for
+    /// reordered copies and pause-window backlogs.
+    pub fn push_after(&self, item: T, extra: Duration) {
         let mut guard = self.shared.queue.lock();
         if guard.shutdown {
             return;
@@ -184,10 +230,12 @@ impl<T: Send + 'static> DelayLine<T> {
         let jitter = if self.config.jitter.is_zero() {
             Duration::ZERO
         } else {
-            let nanos = guard.rng.gen_range(0..=self.config.jitter.as_nanos() as u64);
+            let nanos = guard
+                .rng
+                .gen_range(0..=self.config.jitter.as_nanos() as u64);
             Duration::from_nanos(nanos)
         };
-        let due = Instant::now() + self.config.latency + jitter;
+        let due = Instant::now() + self.config.latency + jitter + extra;
         let seq = guard.next_seq;
         guard.next_seq += 1;
         guard.heap.push(Reverse(Pending { due, seq, item }));
@@ -227,9 +275,12 @@ mod tests {
     #[test]
     fn delivers_after_latency() {
         let (tx, rx) = mpsc::channel();
-        let line = DelayLine::spawn(NetConfig::with_latency(Duration::from_millis(5)), move |v| {
-            tx.send(v).unwrap();
-        });
+        let line = DelayLine::spawn(
+            NetConfig::with_latency(Duration::from_millis(5)),
+            move |v| {
+                tx.send(v).unwrap();
+            },
+        );
         let start = Instant::now();
         line.push(1u32);
         assert_eq!(rx.recv().unwrap(), 1);
@@ -240,9 +291,12 @@ mod tests {
     #[test]
     fn preserves_fifo_without_jitter() {
         let (tx, rx) = mpsc::channel();
-        let line = DelayLine::spawn(NetConfig::with_latency(Duration::from_millis(1)), move |v| {
-            tx.send(v).unwrap();
-        });
+        let line = DelayLine::spawn(
+            NetConfig::with_latency(Duration::from_millis(1)),
+            move |v| {
+                tx.send(v).unwrap();
+            },
+        );
         for i in 0..100u32 {
             line.push(i);
         }
@@ -256,9 +310,12 @@ mod tests {
     fn close_flushes_pending() {
         let delivered = Arc::new(AtomicUsize::new(0));
         let d = Arc::clone(&delivered);
-        let line = DelayLine::spawn(NetConfig::with_latency(Duration::from_millis(2)), move |_: u8| {
-            d.fetch_add(1, Ordering::SeqCst);
-        });
+        let line = DelayLine::spawn(
+            NetConfig::with_latency(Duration::from_millis(2)),
+            move |_: u8| {
+                d.fetch_add(1, Ordering::SeqCst);
+            },
+        );
         for _ in 0..10 {
             line.push(0);
         }
@@ -285,6 +342,32 @@ mod tests {
             assert!(dt < Duration::from_millis(50), "{dt:?}");
         }
         line.close();
+    }
+
+    #[test]
+    fn push_after_adds_extra_delay() {
+        let (tx, rx) = mpsc::channel();
+        let line = DelayLine::spawn(
+            NetConfig::with_latency(Duration::from_millis(1)),
+            move |v| {
+                tx.send(v).unwrap();
+            },
+        );
+        let start = Instant::now();
+        line.push_after(1u32, Duration::from_millis(10));
+        line.push(2u32);
+        // The un-delayed message overtakes the delayed one.
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(start.elapsed() >= Duration::from_millis(11));
+        line.close();
+    }
+
+    #[test]
+    fn fault_plan_forces_delay_line() {
+        use crate::fault::FaultPlan;
+        let config = NetConfig::instant().with_fault(FaultPlan::new(1));
+        assert!(!config.is_instant());
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes message-level faults (per-link drop, duplicate
+//! and reorder probabilities), scheduled network partitions, and server pause
+//! windows. All randomness is drawn from one `SmallRng` seeded with
+//! [`FaultPlan::seed`], so a failing run is reproducible from the plan alone —
+//! test harnesses print the plan's `Display` form on failure and a developer
+//! can replay it verbatim.
+//!
+//! Faults are applied on the *request* path only: replies travel through
+//! [`ReplySlot`](crate::ReplySlot) channels embedded in messages, not through
+//! the bus, so a lost reply manifests to callers exactly like a lost request
+//! (an RPC timeout). Retrying the request is therefore the one recovery
+//! mechanism protocol layers need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use aloha_common::ServerId;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bus::Addr;
+
+/// Message-level fault probabilities for one link (sender → destination).
+///
+/// Probabilities are evaluated independently per message: first the drop
+/// check, then (for surviving messages) duplication, then an extra reorder
+/// delay per delivered copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability in `[0, 1]` that a message is delivered twice.
+    pub dup_p: f64,
+    /// Probability in `[0, 1]` that a delivered copy is delayed by a uniform
+    /// extra amount in `(0, reorder_window]`, letting later sends overtake it.
+    pub reorder_p: f64,
+    /// Maximum extra delay applied to reordered copies.
+    pub reorder_window: Duration,
+}
+
+impl LinkFault {
+    /// A link with no injected faults.
+    pub fn none() -> LinkFault {
+        LinkFault {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            reorder_window: Duration::ZERO,
+        }
+    }
+
+    /// A lossy link: drops, duplicates and reorders with the given
+    /// probabilities, using `reorder_window` as the reorder horizon.
+    pub fn lossy(drop_p: f64, dup_p: f64, reorder_p: f64, reorder_window: Duration) -> LinkFault {
+        for (name, p) in [
+            ("drop_p", drop_p),
+            ("dup_p", dup_p),
+            ("reorder_p", reorder_p),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
+        }
+        LinkFault {
+            drop_p,
+            dup_p,
+            reorder_p,
+            reorder_window,
+        }
+    }
+
+    /// Whether this link injects any fault at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0
+    }
+}
+
+impl Default for LinkFault {
+    fn default() -> LinkFault {
+        LinkFault::none()
+    }
+}
+
+impl fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "drop={},dup={},reorder={}@{:?}",
+            self.drop_p, self.dup_p, self.reorder_p, self.reorder_window
+        )
+    }
+}
+
+/// A scheduled partition: between `start` and `end` (measured from bus
+/// creation) the `isolated` servers receive no bus traffic.
+///
+/// Because RPC replies bypass the bus (see the module docs), severing a
+/// server's inbound request leg is equivalent to cutting both directions of
+/// its request/reply traffic; fire-and-forget messages *from* an isolated
+/// server still leave, which models an asymmetric partition — the harsher
+/// case for epoch-based protocols, since the manager keeps hearing from a
+/// server that can no longer hear grants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Window start, relative to bus creation.
+    pub start: Duration,
+    /// Window end, relative to bus creation.
+    pub end: Duration,
+    /// Servers cut off from inbound traffic during the window.
+    pub isolated: Vec<ServerId>,
+}
+
+/// A scheduled pause: between `start` and `end` the server processes nothing.
+///
+/// Modeled by holding the server's inbound messages until the window ends
+/// (plus normal latency), which is how a paused-then-resumed process observes
+/// the world: a burst of stale messages on resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseWindow {
+    /// The paused server.
+    pub server: ServerId,
+    /// Window start, relative to bus creation.
+    pub start: Duration,
+    /// Window end, relative to bus creation.
+    pub end: Duration,
+}
+
+/// A complete, self-describing fault schedule for one simulated run.
+///
+/// Every random decision derives from [`seed`](FaultPlan::seed), so two
+/// buses given equal plans and equal message sequences make identical fault
+/// choices. The [`Display`] form is a single line embedding every knob;
+/// chaos tests print it on failure so any run can be reproduced.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use aloha_common::ServerId;
+/// use aloha_net::{FaultPlan, LinkFault};
+///
+/// let plan = FaultPlan::new(42)
+///     .with_default_link(LinkFault::lossy(0.05, 0.05, 0.1, Duration::from_millis(2)))
+///     .with_partition(Duration::from_millis(50), Duration::from_millis(90), vec![ServerId(1)]);
+/// assert!(format!("{plan}").contains("seed=42"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic fault decision.
+    pub seed: u64,
+    /// Fault profile applied to links without a per-destination override.
+    pub default_link: LinkFault,
+    /// Per-destination overrides, keyed by destination address.
+    pub links: Vec<(Addr, LinkFault)>,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// Scheduled server pauses.
+    pub pauses: Vec<PauseWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; add faults with the
+    /// builder methods.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            default_link: LinkFault::none(),
+            links: Vec::new(),
+            partitions: Vec::new(),
+            pauses: Vec::new(),
+        }
+    }
+
+    /// Sets the fault profile for every link without an override.
+    pub fn with_default_link(mut self, link: LinkFault) -> FaultPlan {
+        self.default_link = link;
+        self
+    }
+
+    /// Overrides the fault profile for messages addressed to `dest`.
+    pub fn with_link(mut self, dest: Addr, link: LinkFault) -> FaultPlan {
+        self.links.push((dest, link));
+        self
+    }
+
+    /// Schedules a partition isolating `isolated` during `[start, end)`.
+    pub fn with_partition(
+        mut self,
+        start: Duration,
+        end: Duration,
+        isolated: Vec<ServerId>,
+    ) -> FaultPlan {
+        assert!(start <= end, "partition window ends before it starts");
+        self.partitions.push(PartitionWindow {
+            start,
+            end,
+            isolated,
+        });
+        self
+    }
+
+    /// Schedules a pause of `server` during `[start, end)`.
+    pub fn with_pause(mut self, server: ServerId, start: Duration, end: Duration) -> FaultPlan {
+        assert!(start <= end, "pause window ends before it starts");
+        self.pauses.push(PauseWindow { server, start, end });
+        self
+    }
+
+    /// The fault profile for messages addressed to `dest`.
+    pub fn link_for(&self, dest: Addr) -> &LinkFault {
+        self.links
+            .iter()
+            .find(|(a, _)| *a == dest)
+            .map(|(_, l)| l)
+            .unwrap_or(&self.default_link)
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_noop(&self) -> bool {
+        self.default_link.is_none()
+            && self.links.iter().all(|(_, l)| l.is_none())
+            && self.partitions.is_empty()
+            && self.pauses.is_empty()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FaultPlan{{seed={}, link{{{}}}",
+            self.seed, self.default_link
+        )?;
+        for (addr, link) in &self.links {
+            write!(f, ", link[{addr}]{{{link}}}")?;
+        }
+        for p in &self.partitions {
+            write!(f, ", partition[{:?}..{:?}:", p.start, p.end)?;
+            for (i, s) in p.isolated.iter().enumerate() {
+                write!(f, "{}{s}", if i == 0 { " " } else { "," })?;
+            }
+            write!(f, "]")?;
+        }
+        for p in &self.pauses {
+            write!(f, ", pause[{}: {:?}..{:?}]", p.server, p.start, p.end)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// What the fault layer decided for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum FaultDecision {
+    /// Drop the message (partition or random loss).
+    Drop,
+    /// Deliver one copy per entry, each after the given extra delay on top
+    /// of the configured network latency.
+    Deliver {
+        /// Extra delay per delivered copy (length 1 or 2).
+        extras: Vec<Duration>,
+        /// Whether duplication fired (for stats).
+        duplicated: bool,
+        /// Whether any copy got a reorder delay (for stats).
+        reordered: bool,
+    },
+}
+
+/// Runtime fault state: the plan, its RNG, and the bus creation instant that
+/// anchors partition/pause windows.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: Mutex<SmallRng>,
+    epoch: Instant,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        let rng = Mutex::new(SmallRng::seed_from_u64(plan.seed));
+        FaultState {
+            plan,
+            rng,
+            epoch: Instant::now(),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of a message addressed to `to`, sent now.
+    pub(crate) fn decide(&self, to: Addr) -> FaultDecision {
+        let elapsed = self.epoch.elapsed();
+        if let Addr::Server(sid) = to {
+            if self
+                .plan
+                .partitions
+                .iter()
+                .any(|p| p.start <= elapsed && elapsed < p.end && p.isolated.contains(&sid))
+            {
+                return FaultDecision::Drop;
+            }
+        }
+        let link = self.plan.link_for(to);
+        let mut rng = self.rng.lock();
+        if link.drop_p > 0.0 && rng.gen_bool(link.drop_p) {
+            return FaultDecision::Drop;
+        }
+        let duplicated = link.dup_p > 0.0 && rng.gen_bool(link.dup_p);
+        let copies = if duplicated { 2 } else { 1 };
+        // A paused destination holds all inbound traffic until its window
+        // ends; the backlog is released (in due order) on resume.
+        let pause_extra = match to {
+            Addr::Server(sid) => self
+                .plan
+                .pauses
+                .iter()
+                .filter(|p| p.server == sid && p.start <= elapsed && elapsed < p.end)
+                .map(|p| p.end - elapsed)
+                .max()
+                .unwrap_or(Duration::ZERO),
+            _ => Duration::ZERO,
+        };
+        let mut reordered = false;
+        let extras = (0..copies)
+            .map(|_| {
+                let mut extra = pause_extra;
+                if link.reorder_p > 0.0
+                    && !link.reorder_window.is_zero()
+                    && rng.gen_bool(link.reorder_p)
+                {
+                    reordered = true;
+                    let nanos = rng.gen_range(1..=link.reorder_window.as_nanos() as u64);
+                    extra += Duration::from_nanos(nanos);
+                }
+                extra
+            })
+            .collect();
+        FaultDecision::Deliver {
+            extras,
+            duplicated,
+            reordered,
+        }
+    }
+}
+
+impl fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultState")
+            .field("plan", &self.plan)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_reproducible_line() {
+        let plan = FaultPlan::new(7)
+            .with_default_link(LinkFault::lossy(0.1, 0.2, 0.3, Duration::from_millis(4)))
+            .with_link(Addr::EpochManager, LinkFault::none())
+            .with_partition(
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                vec![ServerId(0), ServerId(2)],
+            )
+            .with_pause(
+                ServerId(1),
+                Duration::from_millis(5),
+                Duration::from_millis(9),
+            );
+        let line = format!("{plan}");
+        assert!(!line.contains('\n'));
+        assert!(line.contains("seed=7"), "{line}");
+        assert!(line.contains("drop=0.1"), "{line}");
+        assert!(line.contains("link[em]"), "{line}");
+        assert!(line.contains("partition["), "{line}");
+        assert!(line.contains("pause[s1"), "{line}");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::new(99).with_default_link(LinkFault::lossy(
+            0.3,
+            0.3,
+            0.3,
+            Duration::from_millis(1),
+        ));
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan);
+        for _ in 0..200 {
+            assert_eq!(a.decide(Addr::EpochManager), b.decide(Addr::EpochManager));
+        }
+    }
+
+    #[test]
+    fn partition_window_drops_only_isolated_servers() {
+        let plan = FaultPlan::new(1).with_partition(
+            Duration::ZERO,
+            Duration::from_secs(3600),
+            vec![ServerId(1)],
+        );
+        let state = FaultState::new(plan);
+        assert_eq!(state.decide(Addr::Server(ServerId(1))), FaultDecision::Drop);
+        assert!(matches!(
+            state.decide(Addr::Server(ServerId(0))),
+            FaultDecision::Deliver { .. }
+        ));
+        assert!(matches!(
+            state.decide(Addr::EpochManager),
+            FaultDecision::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn pause_window_delays_until_window_end() {
+        let plan =
+            FaultPlan::new(1).with_pause(ServerId(0), Duration::ZERO, Duration::from_secs(3600));
+        let state = FaultState::new(plan);
+        match state.decide(Addr::Server(ServerId(0))) {
+            FaultDecision::Deliver { extras, .. } => {
+                assert!(extras[0] > Duration::from_secs(3000), "{extras:?}");
+            }
+            other => panic!("expected delayed delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_destination_override_wins() {
+        let plan = FaultPlan::new(5)
+            .with_default_link(LinkFault::lossy(1.0, 0.0, 0.0, Duration::ZERO))
+            .with_link(Addr::EpochManager, LinkFault::none());
+        let state = FaultState::new(plan);
+        assert!(matches!(
+            state.decide(Addr::EpochManager),
+            FaultDecision::Deliver { .. }
+        ));
+        assert_eq!(state.decide(Addr::Client(0)), FaultDecision::Drop);
+    }
+
+    #[test]
+    fn certain_duplication_yields_two_copies() {
+        let plan =
+            FaultPlan::new(5).with_default_link(LinkFault::lossy(0.0, 1.0, 0.0, Duration::ZERO));
+        let state = FaultState::new(plan);
+        match state.decide(Addr::Client(1)) {
+            FaultDecision::Deliver {
+                extras, duplicated, ..
+            } => {
+                assert_eq!(extras.len(), 2);
+                assert!(duplicated);
+            }
+            other => panic!("expected duplicate delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noop_plan_reports_noop() {
+        assert!(FaultPlan::new(3).is_noop());
+        assert!(!FaultPlan::new(3)
+            .with_pause(ServerId(0), Duration::ZERO, Duration::from_millis(1))
+            .is_noop());
+    }
+}

@@ -25,8 +25,10 @@
 
 pub mod bus;
 pub mod delay;
+pub mod fault;
 pub mod reply;
 
 pub use bus::{Addr, Bus, Endpoint, NetStats};
 pub use delay::{DelayLine, NetConfig};
+pub use fault::{FaultPlan, LinkFault, PartitionWindow, PauseWindow};
 pub use reply::{reply_pair, ReplyHandle, ReplySlot};

@@ -14,9 +14,22 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 ///
 /// Dropping an unfulfilled slot causes the requester to observe
 /// [`Error::Disconnected`], modeling a responder crash.
+///
+/// Cloning is supported so the fault layer can duplicate request messages:
+/// each delivered copy fulfils its own slot clone, and the requester
+/// consumes whichever reply lands first (later replies to a one-shot
+/// channel are discarded with the channel).
 #[derive(Debug)]
 pub struct ReplySlot<T> {
     tx: Sender<T>,
+}
+
+impl<T> Clone for ReplySlot<T> {
+    fn clone(&self) -> Self {
+        ReplySlot {
+            tx: self.tx.clone(),
+        }
+    }
 }
 
 /// The requester's half of a one-shot reply channel.
@@ -56,7 +69,9 @@ impl<T> ReplyHandle<T> {
     /// Returns [`Error::Disconnected`] if the responder dropped its slot
     /// without replying.
     pub fn wait(self) -> Result<T> {
-        self.rx.recv().map_err(|_| Error::Disconnected("reply slot dropped".into()))
+        self.rx
+            .recv()
+            .map_err(|_| Error::Disconnected("reply slot dropped".into()))
     }
 
     /// Blocks until the reply arrives or `timeout` elapses.
@@ -119,6 +134,17 @@ mod tests {
         let t = std::thread::spawn(move || slot.send(99));
         assert_eq!(handle.wait().unwrap(), 99);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn duplicated_slot_first_reply_wins() {
+        let (slot, handle) = reply_pair();
+        let dup = slot.clone();
+        assert!(slot.send(1));
+        // The duplicate's reply must not block or panic even though the
+        // one-shot channel already holds a value.
+        dup.send(2);
+        assert_eq!(handle.wait().unwrap(), 1);
     }
 
     #[test]

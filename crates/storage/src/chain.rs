@@ -22,7 +22,10 @@ pub struct Record {
 
 impl Record {
     fn new(version: Timestamp, functor: Functor) -> Record {
-        Record { version, cell: RwLock::new(functor) }
+        Record {
+            version,
+            cell: RwLock::new(functor),
+        }
     }
 
     /// The version (transaction timestamp) of this record.
@@ -51,7 +54,10 @@ impl Record {
     /// Panics if `final_form` is not final; storing a non-final functor here
     /// would violate the compute-at-most-once invariant.
     pub fn finalize(&self, final_form: Functor) -> bool {
-        assert!(final_form.is_final(), "finalize called with non-final functor {final_form}");
+        assert!(
+            final_form.is_final(),
+            "finalize called with non-final functor {final_form}"
+        );
         let mut guard = self.cell.write();
         if guard.is_final() {
             return false;
@@ -130,7 +136,9 @@ impl VersionChain {
     /// The record with exactly this version, if present.
     pub fn record_at(&self, version: Timestamp) -> Option<Arc<Record>> {
         let recs = self.records.read();
-        recs.binary_search_by_key(&version, |r| r.version).ok().map(|i| Arc::clone(&recs[i]))
+        recs.binary_search_by_key(&version, |r| r.version)
+            .ok()
+            .map(|i| Arc::clone(&recs[i]))
     }
 
     /// The latest record with version `<= bound`, if any (Alg 1 line 17).
@@ -191,7 +199,11 @@ impl VersionChain {
 
     /// Snapshot of `(version, functor)` pairs, ascending (diagnostics).
     pub fn dump(&self) -> Vec<(Timestamp, Functor)> {
-        self.records.read().iter().map(|r| (r.version, r.load())).collect()
+        self.records
+            .read()
+            .iter()
+            .map(|r| (r.version, r.load()))
+            .collect()
     }
 
     /// Garbage-collects history: drops all records with version `< bound`
@@ -223,7 +235,10 @@ mod tests {
         for v in [50u64, 10, 30, 20, 40] {
             assert!(chain.insert(ts(v), Functor::value_i64(v as i64)));
         }
-        assert_eq!(chain.versions(), vec![ts(10), ts(20), ts(30), ts(40), ts(50)]);
+        assert_eq!(
+            chain.versions(),
+            vec![ts(10), ts(20), ts(30), ts(40), ts(50)]
+        );
     }
 
     #[test]
@@ -251,7 +266,10 @@ mod tests {
         let rec = Record::new(ts(5), Functor::add(1));
         assert!(!rec.is_final());
         assert!(rec.finalize(Functor::value_i64(3)));
-        assert!(!rec.finalize(Functor::value_i64(9)), "second finalize must lose");
+        assert!(
+            !rec.finalize(Functor::value_i64(9)),
+            "second finalize must lose"
+        );
         assert_eq!(rec.load(), Functor::value_i64(3));
     }
 
@@ -346,6 +364,9 @@ mod tests {
         }
         let versions = chain.versions();
         assert_eq!(versions.len(), 1000);
-        assert!(versions.windows(2).all(|w| w[0] < w[1]), "versions must stay sorted");
+        assert!(
+            versions.windows(2).all(|w| w[0] < w[1]),
+            "versions must stay sorted"
+        );
     }
 }

@@ -67,15 +67,21 @@ pub struct LocalOnlyEnv;
 
 impl ComputeEnv for LocalOnlyEnv {
     fn remote_get(&self, key: &Key, _bound: Timestamp) -> Result<VersionedRead> {
-        Err(Error::Disconnected(format!("local-only env cannot read remote key {key:?}")))
+        Err(Error::Disconnected(format!(
+            "local-only env cannot read remote key {key:?}"
+        )))
     }
 
     fn install_deferred(&self, key: &Key, _version: Timestamp, _functor: Functor) -> Result<()> {
-        Err(Error::Disconnected(format!("local-only env cannot install remote key {key:?}")))
+        Err(Error::Disconnected(format!(
+            "local-only env cannot install remote key {key:?}"
+        )))
     }
 
     fn ensure_computed(&self, key: &Key, _upto: Timestamp) -> Result<()> {
-        Err(Error::Disconnected(format!("local-only env cannot reach remote key {key:?}")))
+        Err(Error::Disconnected(format!(
+            "local-only env cannot reach remote key {key:?}"
+        )))
     }
 }
 
@@ -102,7 +108,10 @@ impl PushCache {
     /// Looks up a pushed value (non-consuming: several functors of the same
     /// transaction on this partition may read the same source key).
     pub fn get(&self, version: Timestamp, source: &Key) -> Option<VersionedRead> {
-        self.entries.lock().get(&(version.raw(), source.clone())).cloned()
+        self.entries
+            .lock()
+            .get(&(version.raw(), source.clone()))
+            .cloned()
     }
 
     /// Drops entries for versions below `bound`; called when history settles.
@@ -166,7 +175,9 @@ impl DependencyRules {
 
 impl std::fmt::Debug for DependencyRules {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DependencyRules").field("rules", &self.rules.len()).finish()
+        f.debug_struct("DependencyRules")
+            .field("rules", &self.rules.len())
+            .finish()
     }
 }
 
@@ -245,8 +256,15 @@ impl Partition {
     /// # Panics
     ///
     /// Panics if `total_partitions` is zero or `id` is out of range.
-    pub fn new(id: PartitionId, total_partitions: u16, registry: Arc<HandlerRegistry>) -> Partition {
-        assert!(total_partitions > 0, "cluster must have at least one partition");
+    pub fn new(
+        id: PartitionId,
+        total_partitions: u16,
+        registry: Arc<HandlerRegistry>,
+    ) -> Partition {
+        assert!(
+            total_partitions > 0,
+            "cluster must have at least one partition"
+        );
         assert!(id.0 < total_partitions, "partition id {id} out of range");
         Partition {
             id,
@@ -338,7 +356,9 @@ impl Partition {
 
     /// Current value watermark for `key` ([`Timestamp::ZERO`] if unknown).
     pub fn watermark(&self, key: &Key) -> Timestamp {
-        self.store.chain(key).map_or(Timestamp::ZERO, |c| c.watermark())
+        self.store
+            .chain(key)
+            .map_or(Timestamp::ZERO, |c| c.watermark())
     }
 
     /// Algorithm 1 `Get`: the latest final value of `key` at version
@@ -384,7 +404,10 @@ impl Partition {
             match functor {
                 Functor::Value(v) => return Ok(VersionedRead::found(rec.version(), v)),
                 Functor::Deleted => {
-                    return Ok(VersionedRead { version: rec.version(), value: None })
+                    return Ok(VersionedRead {
+                        version: rec.version(),
+                        value: None,
+                    })
                 }
                 // Alg 1 lines 22-23: skip aborted versions.
                 Functor::Aborted => cursor = rec.version().pred(),
@@ -474,8 +497,12 @@ impl Partition {
                     };
                     reads.insert(rk.clone(), read);
                 }
-                let input =
-                    ComputeInput { key, version, reads: &reads, args: &user.args };
+                let input = ComputeInput {
+                    key,
+                    version,
+                    reads: &reads,
+                    args: &user.args,
+                };
                 match self.registry.get(user.handler) {
                     Ok(handler) => handler.compute(&input),
                     // An unregistered handler is a deployment error; abort the
@@ -648,13 +675,21 @@ mod tests {
         p.install(
             &a,
             ts(19_600),
-            Functor::User(UserFunctor::new(HandlerId(1), vec![a.clone()], amount.clone())),
+            Functor::User(UserFunctor::new(
+                HandlerId(1),
+                vec![a.clone()],
+                amount.clone(),
+            )),
         )
         .unwrap();
         p.install(
             &b,
             ts(19_600),
-            Functor::User(UserFunctor::new(HandlerId(2), vec![a.clone(), b.clone()], amount)),
+            Functor::User(UserFunctor::new(
+                HandlerId(2),
+                vec![a.clone(), b.clone()],
+                amount,
+            )),
         )
         .unwrap();
 
@@ -667,7 +702,10 @@ mod tests {
         assert_eq!(read_b.version, ts(15_480));
         // The T3 records themselves are finalized as ABORTED.
         let chain_a = p.store().chain(&a).unwrap();
-        assert_eq!(chain_a.record_at(ts(19_600)).unwrap().load(), Functor::Aborted);
+        assert_eq!(
+            chain_a.record_at(ts(19_600)).unwrap().load(),
+            Functor::Aborted
+        );
     }
 
     #[test]
@@ -682,8 +720,19 @@ mod tests {
             p.install(&a, v, Functor::subtr(*amount)).unwrap();
             p.install(&b, v, Functor::add(*amount)).unwrap();
         }
-        let total = p.get(&a, ts(999), &LocalOnlyEnv).unwrap().value.unwrap().as_i64().unwrap()
-            + p.get(&b, ts(999), &LocalOnlyEnv).unwrap().value.unwrap().as_i64().unwrap();
+        let total = p
+            .get(&a, ts(999), &LocalOnlyEnv)
+            .unwrap()
+            .value
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            + p.get(&b, ts(999), &LocalOnlyEnv)
+                .unwrap()
+                .value
+                .unwrap()
+                .as_i64()
+                .unwrap();
         assert_eq!(total, 1000);
     }
 
@@ -719,11 +768,16 @@ mod tests {
         });
         let p = single_partition(registry);
         let determinate = Key::from("next-order-id");
-        p.install(&determinate, ts(10), Functor::value_i64(100)).unwrap();
+        p.install(&determinate, ts(10), Functor::value_i64(100))
+            .unwrap();
         p.install(
             &determinate,
             ts(20),
-            Functor::User(UserFunctor::new(HandlerId(1), vec![determinate.clone()], Vec::new())),
+            Functor::User(UserFunctor::new(
+                HandlerId(1),
+                vec![determinate.clone()],
+                Vec::new(),
+            )),
         )
         .unwrap();
         // Register the §IV-E rule: the dependent row waits on the determinate key.
@@ -748,17 +802,27 @@ mod tests {
         let source = Key::from("src");
         let src_for_handler = source.clone();
         registry.register(HandlerId(1), move |input: &ComputeInput<'_>| {
-            HandlerOutput::commit(Value::from_i64(input.reads.i64(&src_for_handler).unwrap_or(-1)))
+            HandlerOutput::commit(Value::from_i64(
+                input.reads.i64(&src_for_handler).unwrap_or(-1),
+            ))
         });
         let p = single_partition(registry);
         let target = Key::from("dst");
         p.install(&target, ts(10), Functor::value_i64(0)).unwrap();
         // Pre-populate the push cache as a remote push would.
-        p.push_cache().insert(ts(20), source.clone(), VersionedRead::found(ts(5), Value::from_i64(77)));
+        p.push_cache().insert(
+            ts(20),
+            source.clone(),
+            VersionedRead::found(ts(5), Value::from_i64(77)),
+        );
         p.install(
             &target,
             ts(20),
-            Functor::User(UserFunctor::new(HandlerId(1), vec![source.clone()], Vec::new())),
+            Functor::User(UserFunctor::new(
+                HandlerId(1),
+                vec![source.clone()],
+                Vec::new(),
+            )),
         )
         .unwrap();
         // `source` is not stored locally; without the push the LocalOnlyEnv
@@ -781,7 +845,12 @@ mod tests {
                 let p = Arc::clone(&p);
                 let k = k.clone();
                 std::thread::spawn(move || {
-                    p.get(&k, ts(999), &LocalOnlyEnv).unwrap().value.unwrap().as_i64().unwrap()
+                    p.get(&k, ts(999), &LocalOnlyEnv)
+                        .unwrap()
+                        .value
+                        .unwrap()
+                        .as_i64()
+                        .unwrap()
                 })
             })
             .collect();
@@ -801,7 +870,9 @@ mod tests {
             .map(|i| Key::from_parts(&[b"probe", &i.to_be_bytes()]))
             .find(|k| !p.owns(k))
             .expect("some probe key lands elsewhere");
-        let err = p.install(&foreign, ts(1), Functor::value_i64(0)).unwrap_err();
+        let err = p
+            .install(&foreign, ts(1), Functor::value_i64(0))
+            .unwrap_err();
         assert!(matches!(err, Error::NoSuchPartition(_)));
     }
 
@@ -827,8 +898,12 @@ mod tests {
         let p = single_partition(registry);
         let k = Key::from("victim");
         p.install(&k, ts(10), Functor::value_i64(1)).unwrap();
-        p.install(&k, ts(20), Functor::User(UserFunctor::new(HandlerId(1), vec![], Vec::new())))
-            .unwrap();
+        p.install(
+            &k,
+            ts(20),
+            Functor::User(UserFunctor::new(HandlerId(1), vec![], Vec::new())),
+        )
+        .unwrap();
         let read = p.get(&k, ts(99), &LocalOnlyEnv).unwrap();
         assert!(read.value.is_none());
         assert_eq!(read.version, ts(20));

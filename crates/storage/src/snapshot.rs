@@ -31,7 +31,9 @@ pub fn write_checkpoint(
     env: &dyn ComputeEnv,
 ) -> Result<Vec<u8>> {
     let mut keys: Vec<Key> = Vec::new();
-    partition.store().for_each_chain(|key, _| keys.push(key.clone()));
+    partition
+        .store()
+        .for_each_chain(|key, _| keys.push(key.clone()));
     keys.sort();
 
     let mut w = Writer::new();
@@ -154,9 +156,18 @@ mod tests {
         let restored = partition();
         restore_checkpoint(&restored, &blob).unwrap();
         // Reading below the original version finds nothing; at it, the value.
-        assert!(restored.get(&k, ts(9), &LocalOnlyEnv).unwrap().value.is_none());
+        assert!(restored
+            .get(&k, ts(9), &LocalOnlyEnv)
+            .unwrap()
+            .value
+            .is_none());
         assert_eq!(
-            restored.get(&k, ts(10), &LocalOnlyEnv).unwrap().value.unwrap().as_i64(),
+            restored
+                .get(&k, ts(10), &LocalOnlyEnv)
+                .unwrap()
+                .value
+                .unwrap()
+                .as_i64(),
             Some(7)
         );
     }

@@ -97,7 +97,10 @@ impl VersionedStore {
 
     /// Total number of stored version records.
     pub fn version_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().values().map(|c| c.len()).sum::<usize>()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|c| c.len()).sum::<usize>())
+            .sum()
     }
 
     /// Access statistics.

@@ -133,7 +133,11 @@ impl WalRecord {
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut w = Writer::new();
         match self {
-            WalRecord::Install { key, version, functor } => {
+            WalRecord::Install {
+                key,
+                version,
+                functor,
+            } => {
                 w.put_u8(TAG_INSTALL);
                 w.put_bytes(key.as_bytes());
                 w.put_u64(version.raw());
@@ -184,8 +188,7 @@ pub fn read_log(buf: &[u8]) -> impl Iterator<Item = Result<WalRecord>> + '_ {
             failed = true;
             return Some(Err(Error::Codec("truncated wal frame header".into())));
         }
-        let len =
-            u32::from_be_bytes(buf[offset..offset + 4].try_into().expect("checked")) as usize;
+        let len = u32::from_be_bytes(buf[offset..offset + 4].try_into().expect("checked")) as usize;
         offset += 4;
         if buf.len() - offset < len {
             failed = true;
@@ -208,7 +211,11 @@ pub fn replay_log(partition: &Partition, buf: &[u8], checkpoint: Timestamp) -> R
     let mut applied = 0;
     for record in read_log(buf) {
         match record? {
-            WalRecord::Install { key, version, functor } => {
+            WalRecord::Install {
+                key,
+                version,
+                functor,
+            } => {
                 if version > checkpoint {
                     partition.store().put(&key, version, functor);
                     applied += 1;
@@ -274,7 +281,10 @@ mod tests {
                 version: ts(10),
                 functor: Functor::add(1),
             },
-            WalRecord::Abort { key: Key::from("x"), version: ts(10) },
+            WalRecord::Abort {
+                key: Key::from("x"),
+                version: ts(10),
+            },
             WalRecord::Install {
                 key: Key::from("y"),
                 version: ts(11),
@@ -285,15 +295,18 @@ mod tests {
         for r in &records {
             r.encode_into(&mut buf);
         }
-        let decoded: Vec<WalRecord> =
-            read_log(&buf).collect::<Result<Vec<_>>>().unwrap();
+        let decoded: Vec<WalRecord> = read_log(&buf).collect::<Result<Vec<_>>>().unwrap();
         assert_eq!(decoded, records);
     }
 
     #[test]
     fn truncated_log_reports_error_once() {
         let mut buf = Vec::new();
-        WalRecord::Abort { key: Key::from("x"), version: ts(1) }.encode_into(&mut buf);
+        WalRecord::Abort {
+            key: Key::from("x"),
+            version: ts(1),
+        }
+        .encode_into(&mut buf);
         buf.truncate(buf.len() - 2);
         let results: Vec<_> = read_log(&buf).collect();
         assert_eq!(results.len(), 1);
@@ -309,8 +322,12 @@ mod tests {
         let key = Key::from("acct");
         let mut log = Vec::new();
         let mut log_install = |k: &Key, v: Timestamp, f: Functor| {
-            WalRecord::Install { key: k.clone(), version: v, functor: f.clone() }
-                .encode_into(&mut log);
+            WalRecord::Install {
+                key: k.clone(),
+                version: v,
+                functor: f.clone(),
+            }
+            .encode_into(&mut log);
             primary.install(k, v, f).unwrap();
         };
         log_install(&key, ts(10), Functor::value_i64(100));
@@ -320,7 +337,11 @@ mod tests {
             crate::snapshot::write_checkpoint(&primary, ts(25), &LocalOnlyEnv).unwrap();
         log_install(&key, ts(30), Functor::subtr(30));
         log_install(&key, ts(40), Functor::add(7));
-        WalRecord::Abort { key: key.clone(), version: ts(40) }.encode_into(&mut log);
+        WalRecord::Abort {
+            key: key.clone(),
+            version: ts(40),
+        }
+        .encode_into(&mut log);
         primary.abort_version(&key, ts(40));
 
         // Recover: snapshot + replay of the suffix.
@@ -352,15 +373,27 @@ mod tests {
             (ts(1), Functor::value_i64(2)),
             (
                 ts(2),
-                Functor::User(UserFunctor::new(HandlerId(1), vec![key.clone()], Vec::new())),
+                Functor::User(UserFunctor::new(
+                    HandlerId(1),
+                    vec![key.clone()],
+                    Vec::new(),
+                )),
             ),
             (
                 ts(3),
-                Functor::User(UserFunctor::new(HandlerId(1), vec![key.clone()], Vec::new())),
+                Functor::User(UserFunctor::new(
+                    HandlerId(1),
+                    vec![key.clone()],
+                    Vec::new(),
+                )),
             ),
         ] {
-            WalRecord::Install { key: key.clone(), version: v, functor: f.clone() }
-                .encode_into(&mut log);
+            WalRecord::Install {
+                key: key.clone(),
+                version: v,
+                functor: f.clone(),
+            }
+            .encode_into(&mut log);
             primary.install(&key, v, f).unwrap();
         }
         let recovered = Partition::new(PartitionId(0), 1, registry);

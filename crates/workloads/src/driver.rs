@@ -227,21 +227,32 @@ mod tests {
 
     #[test]
     fn driver_measures_throughput_and_latency() {
-        let w = FakeWorkload { submitted: AtomicU64::new(0) };
+        let w = FakeWorkload {
+            submitted: AtomicU64::new(0),
+        };
         let report = run_windowed(&w, &DriverConfig::quick());
         assert!(report.completed > 0);
         assert_eq!(report.errors, 0);
         assert_eq!(report.completed, report.committed);
         assert!(report.throughput_tps() > 0.0);
-        assert!(report.mean_latency_micros >= 150.0, "{}", report.mean_latency_micros);
+        assert!(
+            report.mean_latency_micros >= 150.0,
+            "{}",
+            report.mean_latency_micros
+        );
     }
 
     #[test]
     fn pacing_delays_but_still_completes() {
-        let w = FakeWorkload { submitted: AtomicU64::new(0) };
+        let w = FakeWorkload {
+            submitted: AtomicU64::new(0),
+        };
         let config = DriverConfig::quick().with_pacing(Duration::from_micros(500));
         let report = run_windowed(&w, &config);
-        assert!(report.completed > 0, "paced driver must still make progress");
+        assert!(
+            report.completed > 0,
+            "paced driver must still make progress"
+        );
         assert_eq!(report.errors, 0);
     }
 

@@ -18,8 +18,7 @@ use std::sync::Arc;
 use aloha_common::codec::{Reader, Writer};
 use aloha_common::{Error, Key, Result, ServerId, Value};
 use aloha_core::{
-    fn_program, Check, Cluster, ClusterBuilder, Database, ProgramId, TxnHandle, TxnOutcome,
-    TxnPlan,
+    fn_program, Check, Cluster, ClusterBuilder, Database, ProgramId, TxnHandle, TxnOutcome, TxnPlan,
 };
 use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
 use rand::rngs::SmallRng;
@@ -45,13 +44,17 @@ pub fn install(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
     // Stock update: read own row, apply the TPC-C quantity rule.
     builder.register_handler(H_STOCK_UPDATE, |input: &ComputeInput<'_>| {
         let mut r = Reader::new(input.args);
-        let Ok(qty) = r.get_u32() else { return HandlerOutput::abort() };
+        let Ok(qty) = r.get_u32() else {
+            return HandlerOutput::abort();
+        };
         let Some(raw) = input.reads.value(input.key) else {
             // The stock row must exist (install checks item validity); a
             // missing row is a load bug — abort the version.
             return HandlerOutput::abort();
         };
-        let Ok(mut stock) = StockRow::decode(raw) else { return HandlerOutput::abort() };
+        let Ok(mut stock) = StockRow::decode(raw) else {
+            return HandlerOutput::abort();
+        };
         stock.apply_order(qty as i64);
         HandlerOutput::commit(stock.encode())
     });
@@ -60,8 +63,12 @@ pub fn install(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
     // order-family row writes (§IV-E key-dependency method).
     let handler_cfg = Arc::clone(&cfg);
     builder.register_handler(H_DISTRICT_NEWORDER, move |input: &ComputeInput<'_>| {
-        let Ok(req) = NewOrderReq::decode(input.args) else { return HandlerOutput::abort() };
-        let Some(o_id) = input.reads.i64(input.key) else { return HandlerOutput::abort() };
+        let Ok(req) = NewOrderReq::decode(input.args) else {
+            return HandlerOutput::abort();
+        };
+        let Some(o_id) = input.reads.i64(input.key) else {
+            return HandlerOutput::abort();
+        };
         let cfg = &handler_cfg;
         let district_partition = input.key.partition(cfg.partitions).0;
         let mut deferred: Vec<(Key, Functor)> = Vec::with_capacity(req.lines.len() + 2);
@@ -90,7 +97,9 @@ pub fn install(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
             let Some(raw) = input.reads.value(&item_key) else {
                 return HandlerOutput::abort();
             };
-            let Ok(item) = ItemRow::decode(raw) else { return HandlerOutput::abort() };
+            let Ok(item) = ItemRow::decode(raw) else {
+                return HandlerOutput::abort();
+            };
             deferred.push((
                 cfg.orderline_key(req.w, req.d, o_id, number as u32),
                 Functor::Value(
@@ -164,11 +173,18 @@ pub fn install(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
             }
             let req = PaymentReq::decode(ctx.args)?;
             let mut history = Writer::new();
-            history.put_u32(req.w).put_u32(req.d).put_u32(req.c).put_i64(req.amount_cents);
+            history
+                .put_u32(req.w)
+                .put_u32(req.d)
+                .put_u32(req.c)
+                .put_i64(req.amount_cents);
             Ok(TxnPlan::new()
                 .write(cfg.wytd_key(req.w), Functor::add(req.amount_cents))
                 .write(cfg.dytd_key(req.w, req.d), Functor::add(req.amount_cents))
-                .write(cfg.cbal_key(req.c_w, req.c_d, req.c), Functor::subtr(req.amount_cents))
+                .write(
+                    cfg.cbal_key(req.c_w, req.c_d, req.c),
+                    Functor::subtr(req.amount_cents),
+                )
                 .write(
                     cfg.history_key(req.w, req.d, req.c, req.unique),
                     Functor::Value(Value::from(history.into_bytes())),
@@ -234,7 +250,12 @@ impl AlohaTpcc {
     /// `with_aborts` enables the TPC-C 1 % invalid-item abort requirement
     /// (which the paper's ALOHA-DB honors, unlike Calvin, §V-A2).
     pub fn new(db: Database, cfg: TpccConfig, mix: TxnMix, with_aborts: bool) -> AlohaTpcc {
-        AlohaTpcc { db, cfg: Arc::new(cfg), mix, with_aborts }
+        AlohaTpcc {
+            db,
+            cfg: Arc::new(cfg),
+            mix,
+            with_aborts,
+        }
     }
 }
 

@@ -10,7 +10,9 @@
 use std::sync::Arc;
 
 use aloha_common::{Key, Result, ServerId, Value};
-use calvin::{CalvinDatabase, CalvinClusterBuilder, CalvinHandle, CalvinPlan, CalvinProgram, ProgramId};
+use calvin::{
+    CalvinClusterBuilder, CalvinDatabase, CalvinHandle, CalvinPlan, CalvinProgram, ProgramId,
+};
 use rand::rngs::SmallRng;
 
 use super::gen::{
@@ -30,8 +32,12 @@ struct NewOrderCalvin {
 
 impl CalvinProgram for NewOrderCalvin {
     fn plan(&self, args: &[u8]) -> CalvinPlan {
-        let Ok(req) = NewOrderReq::decode(args) else { return CalvinPlan::default() };
-        let o_id = req.o_id.expect("calvin neworder requires a pre-assigned order id");
+        let Ok(req) = NewOrderReq::decode(args) else {
+            return CalvinPlan::default();
+        };
+        let o_id = req
+            .o_id
+            .expect("calvin neworder requires a pre-assigned order id");
         let cfg = &self.cfg;
         let dnoid = cfg.district_noid_key(req.w, req.d);
         let mut read_set = vec![dnoid.clone()];
@@ -48,7 +54,10 @@ impl CalvinProgram for NewOrderCalvin {
         for number in 0..req.lines.len() as u32 {
             write_set.push(cfg.orderline_key(req.w, req.d, o_id, number));
         }
-        CalvinPlan { read_set, write_set }
+        CalvinPlan {
+            read_set,
+            write_set,
+        }
     }
 
     fn execute(
@@ -57,7 +66,9 @@ impl CalvinProgram for NewOrderCalvin {
         reads: &std::collections::HashMap<Key, Option<Value>>,
         writes: &mut Vec<(Key, Value)>,
     ) {
-        let Ok(req) = NewOrderReq::decode(args) else { return };
+        let Ok(req) = NewOrderReq::decode(args) else {
+            return;
+        };
         let o_id = req.o_id.expect("pre-assigned order id");
         let cfg = &self.cfg;
         let mut valid_lines = 0u32;
@@ -67,8 +78,12 @@ impl CalvinProgram for NewOrderCalvin {
             }
             let stock_key = cfg.stock_key(line.supply_w, line.i_id);
             let stock_partition = stock_key.partition(cfg.partitions).0;
-            let Some(Some(stock_raw)) = reads.get(&stock_key) else { continue };
-            let Ok(mut stock) = StockRow::decode(stock_raw) else { continue };
+            let Some(Some(stock_raw)) = reads.get(&stock_key) else {
+                continue;
+            };
+            let Ok(mut stock) = StockRow::decode(stock_raw) else {
+                continue;
+            };
             stock.apply_order(line.qty as i64);
             writes.push((stock_key, stock.encode()));
             let price = reads
@@ -92,8 +107,14 @@ impl CalvinProgram for NewOrderCalvin {
         }
         writes.push((
             cfg.order_key(req.w, req.d, o_id),
-            OrderRow { o_id, d_id: req.d, w_id: req.w, c_id: req.c, ol_cnt: valid_lines }
-                .encode(),
+            OrderRow {
+                o_id,
+                d_id: req.d,
+                w_id: req.w,
+                c_id: req.c,
+                ol_cnt: valid_lines,
+            }
+            .encode(),
         ));
         writes.push((cfg.neworder_key(req.w, req.d, o_id), Value::from_i64(o_id)));
         // Order ids are pre-assigned in submission order but executed in
@@ -119,7 +140,9 @@ struct PaymentCalvin {
 
 impl CalvinProgram for PaymentCalvin {
     fn plan(&self, args: &[u8]) -> CalvinPlan {
-        let Ok(req) = PaymentReq::decode(args) else { return CalvinPlan::default() };
+        let Ok(req) = PaymentReq::decode(args) else {
+            return CalvinPlan::default();
+        };
         let cfg = &self.cfg;
         let keys = vec![
             cfg.wytd_key(req.w),
@@ -128,7 +151,10 @@ impl CalvinProgram for PaymentCalvin {
         ];
         let mut write_set = keys.clone();
         write_set.push(cfg.history_key(req.w, req.d, req.c, req.unique));
-        CalvinPlan { read_set: keys, write_set }
+        CalvinPlan {
+            read_set: keys,
+            write_set,
+        }
     }
 
     fn execute(
@@ -137,9 +163,17 @@ impl CalvinProgram for PaymentCalvin {
         reads: &std::collections::HashMap<Key, Option<Value>>,
         writes: &mut Vec<(Key, Value)>,
     ) {
-        let Ok(req) = PaymentReq::decode(args) else { return };
+        let Ok(req) = PaymentReq::decode(args) else {
+            return;
+        };
         let cfg = &self.cfg;
-        let get = |k: &Key| reads.get(k).and_then(|v| v.as_ref()).and_then(Value::as_i64).unwrap_or(0);
+        let get = |k: &Key| {
+            reads
+                .get(k)
+                .and_then(|v| v.as_ref())
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+        };
         let wytd = cfg.wytd_key(req.w);
         let dytd = cfg.dytd_key(req.w, req.d);
         let cbal = cfg.cbal_key(req.c_w, req.c_d, req.c);
@@ -147,7 +181,11 @@ impl CalvinProgram for PaymentCalvin {
         writes.push((dytd.clone(), Value::from_i64(get(&dytd) + req.amount_cents)));
         writes.push((cbal.clone(), Value::from_i64(get(&cbal) - req.amount_cents)));
         let mut history = aloha_common::codec::Writer::new();
-        history.put_u32(req.w).put_u32(req.d).put_u32(req.c).put_i64(req.amount_cents);
+        history
+            .put_u32(req.w)
+            .put_u32(req.d)
+            .put_u32(req.c)
+            .put_i64(req.amount_cents);
         writes.push((
             cfg.history_key(req.w, req.d, req.c, req.unique),
             Value::from(history.into_bytes()),
@@ -162,7 +200,12 @@ impl CalvinProgram for PaymentCalvin {
 /// Registers the TPC-C stored procedures on a Calvin cluster builder.
 pub fn install(builder: &mut CalvinClusterBuilder, cfg: &TpccConfig) {
     let cfg = Arc::new(cfg.clone());
-    builder.register_program(NEW_ORDER, NewOrderCalvin { cfg: Arc::clone(&cfg) });
+    builder.register_program(
+        NEW_ORDER,
+        NewOrderCalvin {
+            cfg: Arc::clone(&cfg),
+        },
+    );
     builder.register_program(PAYMENT, PaymentCalvin { cfg });
 }
 
@@ -221,7 +264,12 @@ impl CalvinTpcc {
     /// Binds the workload to a Calvin database handle.
     pub fn new(db: CalvinDatabase, cfg: TpccConfig, mix: TxnMix) -> CalvinTpcc {
         let oids = OidAssigner::new(&cfg);
-        CalvinTpcc { db, cfg: Arc::new(cfg), mix, oids }
+        CalvinTpcc {
+            db,
+            cfg: Arc::new(cfg),
+            mix,
+            oids,
+        }
     }
 }
 

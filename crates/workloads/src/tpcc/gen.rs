@@ -56,10 +56,15 @@ impl NewOrderReq {
     /// Encodes the request as an argument blob.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u32(self.w).put_u32(self.d).put_u32(self.c).put_i64(self.o_id.unwrap_or(-1));
+        w.put_u32(self.w)
+            .put_u32(self.d)
+            .put_u32(self.c)
+            .put_i64(self.o_id.unwrap_or(-1));
         w.put_u32(self.lines.len() as u32);
         for line in &self.lines {
-            w.put_u32(line.i_id).put_u32(line.supply_w).put_u32(line.qty);
+            w.put_u32(line.i_id)
+                .put_u32(line.supply_w)
+                .put_u32(line.qty);
         }
         w.into_bytes()
     }
@@ -84,7 +89,13 @@ impl NewOrderReq {
                 qty: r.get_u32()?,
             });
         }
-        Ok(NewOrderReq { w, d, c, lines, o_id: (o_raw >= 0).then_some(o_raw) })
+        Ok(NewOrderReq {
+            w,
+            d,
+            c,
+            lines,
+            o_id: (o_raw >= 0).then_some(o_raw),
+        })
     }
 
     /// Whether the request references the invalid item (must abort).
@@ -205,7 +216,11 @@ pub fn gen_new_order(rng: &mut SmallRng, cfg: &TpccConfig, with_aborts: bool) ->
         if !used.insert(i_id) {
             continue;
         }
-        lines.push(OrderLineReq { i_id, supply_w: w, qty: rng.gen_range(1..=10) });
+        lines.push(OrderLineReq {
+            i_id,
+            supply_w: w,
+            qty: rng.gen_range(1..=10),
+        });
     }
     if cfg.mode == PartitionMode::ByWarehouse {
         // One line is always supplied by a warehouse on another server.
@@ -215,13 +230,22 @@ pub fn gen_new_order(rng: &mut SmallRng, cfg: &TpccConfig, with_aborts: bool) ->
     if with_aborts && rng.gen_bool(cfg.invalid_item_fraction) {
         lines[0].i_id = INVALID_ITEM;
     }
-    NewOrderReq { w, d, c, lines, o_id: None }
+    NewOrderReq {
+        w,
+        d,
+        c,
+        lines,
+        o_id: None,
+    }
 }
 
 /// Generates one Payment request; the paying customer always belongs to a
 /// warehouse on a different server.
 pub fn gen_payment(rng: &mut SmallRng, cfg: &TpccConfig) -> PaymentReq {
-    debug_assert!(cfg.supports_payment(), "payment requires the ByWarehouse layout");
+    debug_assert!(
+        cfg.supports_payment(),
+        "payment requires the ByWarehouse layout"
+    );
     let w = rng.gen_range(0..cfg.warehouses);
     let d = rng.gen_range(0..cfg.districts);
     let c_w = remote_warehouse(rng, cfg, w);
@@ -249,7 +273,9 @@ impl OidAssigner {
     pub fn new(cfg: &TpccConfig) -> OidAssigner {
         let total = (cfg.warehouses * cfg.districts) as usize;
         OidAssigner {
-            counters: (0..total).map(|_| AtomicI64::new(TpccConfig::INITIAL_NEXT_O_ID)).collect(),
+            counters: (0..total)
+                .map(|_| AtomicI64::new(TpccConfig::INITIAL_NEXT_O_ID))
+                .collect(),
             districts: cfg.districts,
         }
     }
@@ -292,7 +318,9 @@ mod tests {
             let req = gen_new_order(&mut r, &cfg, false);
             let home = cfg.partition_of_route(req.w);
             assert!(
-                req.lines.iter().any(|l| cfg.partition_of_route(l.supply_w) != home),
+                req.lines
+                    .iter()
+                    .any(|l| cfg.partition_of_route(l.supply_w) != home),
                 "every NewOrder must touch a second server"
             );
         }
@@ -317,8 +345,9 @@ mod tests {
     fn abort_fraction_appears() {
         let cfg = TpccConfig::by_warehouse(2, 1).with_invalid_fraction(0.5);
         let mut r = rng();
-        let invalid =
-            (0..200).filter(|_| gen_new_order(&mut r, &cfg, true).has_invalid_item()).count();
+        let invalid = (0..200)
+            .filter(|_| gen_new_order(&mut r, &cfg, true).has_invalid_item())
+            .count();
         assert!((50..150).contains(&invalid), "≈50% expected, got {invalid}");
     }
 

@@ -37,7 +37,12 @@ impl TpccConfig {
     pub fn delivery_cursor_key(&self, w: u32, d: u32) -> Key {
         Key::with_route(
             self.order_family_route(w, d),
-            &[&[tag::DISTRICT_INFO], b"dlv", &w.to_be_bytes(), &d.to_be_bytes()],
+            &[
+                &[tag::DISTRICT_INFO],
+                b"dlv",
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+            ],
         )
     }
 }
@@ -72,11 +77,12 @@ pub fn order_status(
     d: u32,
     c: u32,
 ) -> Result<OrderStatus> {
-    let reads =
-        db.read_latest(&[cfg.cbal_key(w, d, c), cfg.district_noid_key(w, d)])?;
+    let reads = db.read_latest(&[cfg.cbal_key(w, d, c), cfg.district_noid_key(w, d)])?;
     let balance_cents = reads[0].as_ref().and_then(Value::as_i64).unwrap_or(0);
-    let next_o_id =
-        reads[1].as_ref().and_then(Value::as_i64).unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+    let next_o_id = reads[1]
+        .as_ref()
+        .and_then(Value::as_i64)
+        .unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
 
     // Walk recent orders newest-first until one belongs to this customer.
     let mut last_order = None;
@@ -102,7 +108,11 @@ pub fn order_status(
             }
         }
     }
-    Ok(OrderStatus { balance_cents, last_order, lines })
+    Ok(OrderStatus {
+        balance_cents,
+        last_order,
+        lines,
+    })
 }
 
 /// Runs the StockLevel read-only transaction: of the items in the district's
@@ -129,7 +139,9 @@ pub fn stock_level(
     let mut item_supply: std::collections::HashSet<(u32, u32)> = Default::default();
     let lo = (next_o_id - recent_orders).max(TpccConfig::INITIAL_NEXT_O_ID);
     for o_id in lo..next_o_id {
-        let Some(raw) = db.read_latest(&[cfg.order_key(w, d, o_id)])?[0].as_ref().cloned()
+        let Some(raw) = db.read_latest(&[cfg.order_key(w, d, o_id)])?[0]
+            .as_ref()
+            .cloned()
         else {
             continue;
         };
@@ -179,7 +191,10 @@ impl DeliveryReq {
     /// Codec errors on malformed payloads.
     pub fn decode(args: &[u8]) -> Result<DeliveryReq> {
         let mut r = Reader::new(args);
-        Ok(DeliveryReq { w: r.get_u32()?, d: r.get_u32()? })
+        Ok(DeliveryReq {
+            w: r.get_u32()?,
+            d: r.get_u32()?,
+        })
     }
 }
 
@@ -190,9 +205,14 @@ pub fn install_delivery(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
     let cfg = Arc::new(cfg.clone());
     let handler_cfg = Arc::clone(&cfg);
     builder.register_handler(H_DELIVERY, move |input: &ComputeInput<'_>| {
-        let Ok(req) = DeliveryReq::decode(input.args) else { return HandlerOutput::abort() };
+        let Ok(req) = DeliveryReq::decode(input.args) else {
+            return HandlerOutput::abort();
+        };
         let cfg = &handler_cfg;
-        let cursor = input.reads.i64(input.key).unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
+        let cursor = input
+            .reads
+            .i64(input.key)
+            .unwrap_or(TpccConfig::INITIAL_NEXT_O_ID);
         // The oldest undelivered order (if any): only known here, in the
         // computing phase — the defining trait of a dependent transaction.
         let order_key = cfg.order_key(req.w, req.d, cursor);
@@ -201,7 +221,9 @@ pub fn install_delivery(builder: &mut ClusterBuilder, cfg: &TpccConfig) {
             // delivery" in TPC-C terms).
             return HandlerOutput::commit(Value::from_i64(cursor));
         };
-        let Ok(order) = OrderRow::decode(raw) else { return HandlerOutput::abort() };
+        let Ok(order) = OrderRow::decode(raw) else {
+            return HandlerOutput::abort();
+        };
         // Sum the order's line amounts to credit the customer.
         let mut amount = 0i64;
         for number in 0..order.ol_cnt {

@@ -74,7 +74,12 @@ impl TpccConfig {
     pub fn dytd_key(&self, w: u32, d: u32) -> Key {
         Key::with_route(
             self.order_family_route(w, d),
-            &[&[tag::DISTRICT_INFO], b"ytd", &w.to_be_bytes(), &d.to_be_bytes()],
+            &[
+                &[tag::DISTRICT_INFO],
+                b"ytd",
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+            ],
         )
     }
 
@@ -92,7 +97,12 @@ impl TpccConfig {
     pub fn cbal_key(&self, w: u32, d: u32, c: u32) -> Key {
         Key::with_route(
             self.order_family_route(w, d),
-            &[&[tag::CUSTOMER_BAL], &w.to_be_bytes(), &d.to_be_bytes(), &c.to_be_bytes()],
+            &[
+                &[tag::CUSTOMER_BAL],
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+                &c.to_be_bytes(),
+            ],
         )
     }
 
@@ -100,7 +110,12 @@ impl TpccConfig {
     pub fn customer_info_key(&self, w: u32, d: u32, c: u32) -> Key {
         Key::with_route(
             self.order_family_route(w, d),
-            &[&[tag::CUSTOMER_INFO], &w.to_be_bytes(), &d.to_be_bytes(), &c.to_be_bytes()],
+            &[
+                &[tag::CUSTOMER_INFO],
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+                &c.to_be_bytes(),
+            ],
         )
     }
 
@@ -109,7 +124,12 @@ impl TpccConfig {
     pub fn order_key(&self, w: u32, d: u32, o_id: i64) -> Key {
         Key::with_route(
             self.order_family_route(w, d),
-            &[&[tag::ORDER], &w.to_be_bytes(), &d.to_be_bytes(), &o_id.to_be_bytes()],
+            &[
+                &[tag::ORDER],
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+                &o_id.to_be_bytes(),
+            ],
         )
     }
 
@@ -117,7 +137,12 @@ impl TpccConfig {
     pub fn neworder_key(&self, w: u32, d: u32, o_id: i64) -> Key {
         Key::with_route(
             self.order_family_route(w, d),
-            &[&[tag::NEW_ORDER], &w.to_be_bytes(), &d.to_be_bytes(), &o_id.to_be_bytes()],
+            &[
+                &[tag::NEW_ORDER],
+                &w.to_be_bytes(),
+                &d.to_be_bytes(),
+                &o_id.to_be_bytes(),
+            ],
         )
     }
 
@@ -182,7 +207,9 @@ impl ItemRow {
     /// Encodes the row into a value.
     pub fn encode(&self) -> Value {
         let mut w = Writer::new();
-        w.put_u32(self.i_id).put_str(&self.name).put_i64(self.price_cents);
+        w.put_u32(self.i_id)
+            .put_str(&self.name)
+            .put_i64(self.price_cents);
         Value::from(w.into_bytes())
     }
 
@@ -363,7 +390,9 @@ impl CustomerRow {
     /// Encodes the row.
     pub fn encode(&self) -> Value {
         let mut w = Writer::new();
-        w.put_u32(self.c_id).put_str(&self.last_name).put_u8(self.good_credit as u8);
+        w.put_u32(self.c_id)
+            .put_str(&self.last_name)
+            .put_u8(self.good_credit as u8);
         Value::from(w.into_bytes())
     }
 
@@ -408,7 +437,11 @@ impl DistrictInfoRow {
     /// Returns a codec error for malformed payloads.
     pub fn decode(value: &Value) -> Result<DistrictInfoRow> {
         let mut r = Reader::new(value.as_bytes());
-        Ok(DistrictInfoRow { d_id: r.get_u32()?, w_id: r.get_u32()?, tax_bp: r.get_u32()? })
+        Ok(DistrictInfoRow {
+            d_id: r.get_u32()?,
+            w_id: r.get_u32()?,
+            tax_bp: r.get_u32()?,
+        })
     }
 }
 
@@ -436,7 +469,10 @@ impl WarehouseRow {
     /// Returns a codec error for malformed payloads.
     pub fn decode(value: &Value) -> Result<WarehouseRow> {
         let mut r = Reader::new(value.as_bytes());
-        Ok(WarehouseRow { w_id: r.get_u32()?, tax_bp: r.get_u32()? })
+        Ok(WarehouseRow {
+            w_id: r.get_u32()?,
+            tax_bp: r.get_u32()?,
+        })
     }
 }
 
@@ -468,12 +504,14 @@ mod tests {
         assert_eq!(cfg.mode, PartitionMode::ByItemDistrict);
         let n = cfg.partitions;
         // Stock of items 0..4 lands on four different partitions.
-        let parts: std::collections::HashSet<_> =
-            (0..4u32).map(|i| cfg.stock_key(0, i).partition(n)).collect();
+        let parts: std::collections::HashSet<_> = (0..4u32)
+            .map(|i| cfg.stock_key(0, i).partition(n))
+            .collect();
         assert_eq!(parts.len(), 4);
         // District rows spread by district.
-        let dparts: std::collections::HashSet<_> =
-            (0..4u32).map(|d| cfg.district_noid_key(0, d).partition(n)).collect();
+        let dparts: std::collections::HashSet<_> = (0..4u32)
+            .map(|d| cfg.district_noid_key(0, d).partition(n))
+            .collect();
         assert_eq!(dparts.len(), 4);
     }
 
@@ -491,11 +529,27 @@ mod tests {
 
     #[test]
     fn rows_round_trip() {
-        let item = ItemRow { i_id: 7, name: "widget".into(), price_cents: 1299 };
+        let item = ItemRow {
+            i_id: 7,
+            name: "widget".into(),
+            price_cents: 1299,
+        };
         assert_eq!(ItemRow::decode(&item.encode()).unwrap(), item);
-        let stock = StockRow { i_id: 7, w_id: 1, quantity: 50, ytd: 10, order_cnt: 3 };
+        let stock = StockRow {
+            i_id: 7,
+            w_id: 1,
+            quantity: 50,
+            ytd: 10,
+            order_cnt: 3,
+        };
         assert_eq!(StockRow::decode(&stock.encode()).unwrap(), stock);
-        let order = OrderRow { o_id: 3001, d_id: 1, w_id: 2, c_id: 3, ol_cnt: 5 };
+        let order = OrderRow {
+            o_id: 3001,
+            d_id: 1,
+            w_id: 2,
+            c_id: 3,
+            ol_cnt: 5,
+        };
         assert_eq!(OrderRow::decode(&order.encode()).unwrap(), order);
         let ol = OrderLineRow {
             o_id: 3001,
@@ -506,21 +560,44 @@ mod tests {
             amount_cents: 3897,
         };
         assert_eq!(OrderLineRow::decode(&ol.encode()).unwrap(), ol);
-        let cust = CustomerRow { c_id: 3, last_name: "BARBARBAR".into(), good_credit: true };
+        let cust = CustomerRow {
+            c_id: 3,
+            last_name: "BARBARBAR".into(),
+            good_credit: true,
+        };
         assert_eq!(CustomerRow::decode(&cust.encode()).unwrap(), cust);
-        let dist = DistrictInfoRow { d_id: 1, w_id: 2, tax_bp: 850 };
+        let dist = DistrictInfoRow {
+            d_id: 1,
+            w_id: 2,
+            tax_bp: 850,
+        };
         assert_eq!(DistrictInfoRow::decode(&dist.encode()).unwrap(), dist);
-        let wh = WarehouseRow { w_id: 2, tax_bp: 777 };
+        let wh = WarehouseRow {
+            w_id: 2,
+            tax_bp: 777,
+        };
         assert_eq!(WarehouseRow::decode(&wh.encode()).unwrap(), wh);
     }
 
     #[test]
     fn stock_update_rule_matches_tpcc() {
-        let mut s = StockRow { i_id: 1, w_id: 1, quantity: 50, ytd: 0, order_cnt: 0 };
+        let mut s = StockRow {
+            i_id: 1,
+            w_id: 1,
+            quantity: 50,
+            ytd: 0,
+            order_cnt: 0,
+        };
         s.apply_order(5);
         assert_eq!(s.quantity, 45);
         // Near-empty stock is replenished by 91.
-        let mut low = StockRow { i_id: 1, w_id: 1, quantity: 12, ytd: 0, order_cnt: 0 };
+        let mut low = StockRow {
+            i_id: 1,
+            w_id: 1,
+            quantity: 12,
+            ytd: 0,
+            order_cnt: 0,
+        };
         low.apply_order(5);
         assert_eq!(low.quantity, 12 + 91 - 5);
         assert_eq!(low.ytd, 5);

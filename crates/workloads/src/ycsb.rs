@@ -146,7 +146,10 @@ pub fn install_calvin(builder: &mut CalvinClusterBuilder) {
         calvin::fn_program(
             |args| {
                 let keys = decode_keys(args).unwrap_or_default();
-                CalvinPlan { read_set: keys.clone(), write_set: keys }
+                CalvinPlan {
+                    read_set: keys.clone(),
+                    write_set: keys,
+                }
             },
             |args, reads, writes| {
                 for key in decode_keys(args).unwrap_or_default() {
@@ -190,7 +193,10 @@ pub struct AlohaYcsb {
 impl AlohaYcsb {
     /// Binds the workload to a database handle.
     pub fn new(db: Database, cfg: YcsbConfig) -> AlohaYcsb {
-        AlohaYcsb { db, cfg: Arc::new(cfg) }
+        AlohaYcsb {
+            db,
+            cfg: Arc::new(cfg),
+        }
     }
 }
 
@@ -219,7 +225,10 @@ pub struct CalvinYcsb {
 impl CalvinYcsb {
     /// Binds the workload to a Calvin database handle.
     pub fn new(db: CalvinDatabase, cfg: YcsbConfig) -> CalvinYcsb {
-        CalvinYcsb { db, cfg: Arc::new(cfg) }
+        CalvinYcsb {
+            db,
+            cfg: Arc::new(cfg),
+        }
     }
 }
 

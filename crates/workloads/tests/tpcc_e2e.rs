@@ -13,7 +13,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn small_tpcc(partitions: u16) -> TpccConfig {
-    TpccConfig::by_warehouse(partitions, 1).with_items(100).with_customers(10)
+    TpccConfig::by_warehouse(partitions, 1)
+        .with_items(100)
+        .with_customers(10)
 }
 
 fn aloha_cluster(cfg: &TpccConfig) -> Cluster {
@@ -134,13 +136,18 @@ fn aloha_payment_conserves_totals() {
     // Sum of warehouse YTDs equals the total paid.
     let wytd_keys: Vec<_> = (0..cfg.warehouses).map(|w| cfg.wytd_key(w)).collect();
     let wytds = db.read_latest(&wytd_keys).unwrap();
-    let wsum: i64 = wytds.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
+    let wsum: i64 = wytds
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
     assert_eq!(wsum, total);
     // Customer balances decreased by the same total (started at -1000 each).
     let mut expected_balance_delta = 0i64;
     for req in &reqs {
         expected_balance_delta += req.amount_cents;
-        let bal = db.read_latest(&[cfg.cbal_key(req.c_w, req.c_d, req.c)]).unwrap()[0]
+        let bal = db
+            .read_latest(&[cfg.cbal_key(req.c_w, req.c_d, req.c)])
+            .unwrap()[0]
             .as_ref()
             .unwrap()
             .as_i64()
@@ -166,10 +173,18 @@ fn aloha_scaled_tpcc_spreads_across_partitions() {
         assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
     }
     // All district counters sum to initial + committed.
-    let keys: Vec<_> = (0..cfg.districts).map(|d| cfg.district_noid_key(0, d)).collect();
+    let keys: Vec<_> = (0..cfg.districts)
+        .map(|d| cfg.district_noid_key(0, d))
+        .collect();
     let noids = db.read_latest(&keys).unwrap();
-    let sum: i64 = noids.iter().map(|v| v.as_ref().unwrap().as_i64().unwrap()).sum();
-    assert_eq!(sum, cfg.districts as i64 * TpccConfig::INITIAL_NEXT_O_ID + 15);
+    let sum: i64 = noids
+        .iter()
+        .map(|v| v.as_ref().unwrap().as_i64().unwrap())
+        .sum();
+    assert_eq!(
+        sum,
+        cfg.districts as i64 * TpccConfig::INITIAL_NEXT_O_ID + 15
+    );
     cluster.shutdown();
 }
 
@@ -213,9 +228,8 @@ fn ycsb_increments_are_exact_on_both_systems() {
     let ycfg = ycsb::YcsbConfig::with_contention_index(2, 0.1).with_keys_per_partition(200);
 
     // ALOHA.
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(3)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(3)));
     ycsb::install_aloha(&mut builder);
     let cluster = builder.start().unwrap();
     ycsb::load_aloha(&cluster, &ycfg);
@@ -231,20 +245,25 @@ fn ycsb_increments_are_exact_on_both_systems() {
     let mut sum = 0i64;
     let db = cluster.database();
     for p in 0..ycfg.partitions {
-        let keys: Vec<_> = (0..ycfg.keys_per_partition).map(|i| ycfg.key(p, i)).collect();
+        let keys: Vec<_> = (0..ycfg.keys_per_partition)
+            .map(|i| ycfg.key(p, i))
+            .collect();
         for chunk in keys.chunks(500) {
             for v in db.read_latest(chunk).unwrap() {
                 sum += v.as_ref().and_then(Value::as_i64).unwrap_or(0);
             }
         }
     }
-    assert_eq!(sum as usize, 30 * ycfg.keys_per_txn, "every increment applied exactly once");
+    assert_eq!(
+        sum as usize,
+        30 * ycfg.keys_per_txn,
+        "every increment applied exactly once"
+    );
     cluster.shutdown();
 
     // Calvin.
-    let mut builder = CalvinCluster::builder(
-        CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)),
-    );
+    let mut builder =
+        CalvinCluster::builder(CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)));
     ycsb::install_calvin(&mut builder);
     let ccluster = builder.start().unwrap();
     ycsb::load_calvin(&ccluster, &ycfg);
@@ -259,7 +278,10 @@ fn ycsb_increments_are_exact_on_both_systems() {
     let mut csum = 0i64;
     for p in 0..ycfg.partitions {
         for i in 0..ycfg.keys_per_partition {
-            csum += ccluster.read(&ycfg.key(p, i)).and_then(|v| v.as_i64()).unwrap_or(0);
+            csum += ccluster
+                .read(&ycfg.key(p, i))
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0);
         }
     }
     assert_eq!(csum as usize, 30 * ycfg.keys_per_txn);

@@ -40,7 +40,9 @@ fn place_orders(cluster: &Cluster, cfg: &TpccConfig, count: usize, w: u32, d: u3
 
 #[test]
 fn order_status_finds_latest_order_of_customer() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(50).with_customers(5);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(50)
+        .with_customers(5);
     let cluster = build(&cfg);
     let customers = place_orders(&cluster, &cfg, 8, 0, 0);
     let db = cluster.database();
@@ -59,7 +61,9 @@ fn order_status_finds_latest_order_of_customer() {
 
 #[test]
 fn order_status_for_idle_customer_is_empty() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(50).with_customers(8);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(50)
+        .with_customers(8);
     let cluster = build(&cfg);
     let db = cluster.database();
     let status = read_txns::order_status(&db, &cfg, 0, 3, 7).unwrap();
@@ -71,7 +75,9 @@ fn order_status_for_idle_customer_is_empty() {
 
 #[test]
 fn stock_level_counts_low_stock_items() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(40).with_customers(5);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(40)
+        .with_customers(5);
     let cluster = build(&cfg);
     place_orders(&cluster, &cfg, 5, 0, 0);
     let db = cluster.database();
@@ -86,14 +92,18 @@ fn stock_level_counts_low_stock_items() {
 
 #[test]
 fn delivery_advances_cursor_and_credits_customer() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(50).with_customers(5);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(50)
+        .with_customers(5);
     let cluster = build(&cfg);
     let customers = place_orders(&cluster, &cfg, 3, 0, 0);
     let db = cluster.database();
 
     // Balance of the first order's customer before delivery.
     let first_customer = customers[0];
-    let before = db.read_latest(&[cfg.cbal_key(0, 0, first_customer)]).unwrap()[0]
+    let before = db
+        .read_latest(&[cfg.cbal_key(0, 0, first_customer)])
+        .unwrap()[0]
         .as_ref()
         .unwrap()
         .as_i64()
@@ -119,9 +129,14 @@ fn delivery_advances_cursor_and_credits_customer() {
         .read_latest(&[cfg.neworder_key(0, 0, TpccConfig::INITIAL_NEXT_O_ID)])
         .unwrap()[0]
         .clone();
-    assert!(no_row.is_none(), "delivered order must leave the new-order table");
+    assert!(
+        no_row.is_none(),
+        "delivered order must leave the new-order table"
+    );
     // The customer got credited with the order total.
-    let after = db.read_latest(&[cfg.cbal_key(0, 0, first_customer)]).unwrap()[0]
+    let after = db
+        .read_latest(&[cfg.cbal_key(0, 0, first_customer)])
+        .unwrap()[0]
         .as_ref()
         .unwrap()
         .as_i64()
@@ -150,7 +165,9 @@ fn delivery_advances_cursor_and_credits_customer() {
 
 #[test]
 fn delivery_on_empty_district_is_a_skipped_delivery() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(30).with_customers(5);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(30)
+        .with_customers(5);
     let cluster = build(&cfg);
     let db = cluster.database();
     let h = db
@@ -162,13 +179,19 @@ fn delivery_on_empty_district_is_a_skipped_delivery() {
         .unwrap()
         .as_i64()
         .unwrap();
-    assert_eq!(cursor, TpccConfig::INITIAL_NEXT_O_ID, "nothing delivered: cursor unchanged");
+    assert_eq!(
+        cursor,
+        TpccConfig::INITIAL_NEXT_O_ID,
+        "nothing delivered: cursor unchanged"
+    );
     cluster.shutdown();
 }
 
 #[test]
 fn sequential_deliveries_drain_the_new_order_queue() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(40).with_customers(4);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(40)
+        .with_customers(4);
     let cluster = build(&cfg);
     place_orders(&cluster, &cfg, 3, 0, 0);
     let db = cluster.database();

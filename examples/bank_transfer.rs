@@ -55,11 +55,19 @@ fn main() {
     let ts = Timestamp::from_raw;
 
     // T1 (version 10000): multi-write $150 to A, $100 to B.
-    partition.install(&a, ts(10_000), Functor::value_i64(150)).unwrap();
-    partition.install(&b, ts(10_000), Functor::value_i64(100)).unwrap();
+    partition
+        .install(&a, ts(10_000), Functor::value_i64(150))
+        .unwrap();
+    partition
+        .install(&b, ts(10_000), Functor::value_i64(100))
+        .unwrap();
     // T2 (version 15480): transfer $100 from A to B via numeric functors.
-    partition.install(&a, ts(15_480), Functor::subtr(100)).unwrap();
-    partition.install(&b, ts(15_480), Functor::add(100)).unwrap();
+    partition
+        .install(&a, ts(15_480), Functor::subtr(100))
+        .unwrap();
+    partition
+        .install(&b, ts(15_480), Functor::add(100))
+        .unwrap();
     // T3 (version 19600): transfer $100 from A to B *if* the remaining
     // balance is non-negative — must abort, because A holds only $50.
     let amount = 100i64.to_be_bytes().to_vec();
@@ -67,14 +75,22 @@ fn main() {
         .install(
             &a,
             ts(19_600),
-            Functor::User(UserFunctor::new(HandlerId(1), vec![a.clone()], amount.clone())),
+            Functor::User(UserFunctor::new(
+                HandlerId(1),
+                vec![a.clone()],
+                amount.clone(),
+            )),
         )
         .unwrap();
     partition
         .install(
             &b,
             ts(19_600),
-            Functor::User(UserFunctor::new(HandlerId(2), vec![a.clone(), b.clone()], amount)),
+            Functor::User(UserFunctor::new(
+                HandlerId(2),
+                vec![a.clone(), b.clone()],
+                amount,
+            )),
         )
         .unwrap();
 

@@ -30,9 +30,8 @@ fn row_key(id: i64) -> Key {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counter = Key::from("row-counter");
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(5)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(5)));
 
     // --- Method 1: key dependency -------------------------------------
     // Determinate functor on the counter: reads its own previous value,
@@ -114,7 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = h.wait_processed()?;
     println!("  uncontended doubling: {outcome:?}");
     assert_eq!(outcome, TxnOutcome::Committed);
-    let v = db.read_latest(&[Key::from("occ-target")])?[0].as_ref().unwrap().as_i64().unwrap();
+    let v = db.read_latest(&[Key::from("occ-target")])?[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
     assert_eq!(v, 42);
     println!("  occ-target = {v}");
 
@@ -126,7 +129,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let o1 = h1.wait_processed()?;
     let o2 = h2.wait_processed()?;
     println!("  racing doublings: {o1:?} / {o2:?}");
-    let v = db.read_latest(&[Key::from("occ-target")])?[0].as_ref().unwrap().as_i64().unwrap();
+    let v = db.read_latest(&[Key::from("occ-target")])?[0]
+        .as_ref()
+        .unwrap()
+        .as_i64()
+        .unwrap();
     println!("  occ-target = {v} (84 if one committed, 168 if both did)");
     assert!(v == 84 || v == 168);
 

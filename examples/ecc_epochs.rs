@@ -13,8 +13,7 @@ const SET: ProgramId = ProgramId(1);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epoch = Duration::from_millis(50);
-    let mut builder =
-        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(epoch));
+    let mut builder = Cluster::builder(ClusterConfig::new(2).with_epoch_duration(epoch));
     builder.register_program(
         SET,
         fn_program(|ctx| {
@@ -33,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ts = handle.timestamp();
     println!("write installed at version {ts}");
     println!("visible bound right after install: {}", db.visible_bound());
-    assert!(db.visible_bound() < ts, "write must not be visible in its own epoch");
+    assert!(
+        db.visible_bound() < ts,
+        "write must not be visible in its own epoch"
+    );
 
     // 2. Waiting for processing spans the epoch switch.
     let started = Instant::now();
@@ -61,8 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let started = Instant::now();
     let mut count = 0u64;
     while started.elapsed() < epoch * 4 {
-        let batch: Vec<_> =
-            (0..32).map(|i| db.execute(SET, (i as i64).to_be_bytes()).unwrap()).collect();
+        let batch: Vec<_> = (0..32)
+            .map(|i| db.execute(SET, (i as i64).to_be_bytes()).unwrap())
+            .collect();
         for h in batch {
             h.wait_processed()?;
             count += 1;

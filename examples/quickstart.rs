@@ -14,9 +14,8 @@ const TRANSFER: ProgramId = ProgramId(1);
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2-server cluster with short epochs so the demo is snappy
     // (the paper's production setting is 25 ms).
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(5)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(5)));
 
     // A transfer program: args = [amount i64]. The read-modify-write on each
     // account collapses into a numeric functor — no locks, no 2PC.
@@ -41,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let handle = db.execute(TRANSFER, 30i64.to_be_bytes())?;
         let outcome = handle.wait_processed()?;
         assert_eq!(outcome, TxnOutcome::Committed);
-        println!("  transfer #{i} committed at version {}", handle.timestamp());
+        println!(
+            "  transfer #{i} committed at version {}",
+            handle.timestamp()
+        );
     }
 
     let balances = db.read_latest(&[Key::from("alice"), Key::from("bob")])?;

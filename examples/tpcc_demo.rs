@@ -13,13 +13,18 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(500).with_customers(30);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(500)
+        .with_customers(30);
     let mut builder = Cluster::builder(
         ClusterConfig::new(cfg.partitions).with_epoch_duration(Duration::from_millis(10)),
     );
     tpcc::aloha::install(&mut builder, &cfg);
     let cluster = builder.start()?;
-    print!("loading TPC-C database ({} warehouses, {} items)... ", cfg.warehouses, cfg.items);
+    print!(
+        "loading TPC-C database ({} warehouses, {} items)... ",
+        cfg.warehouses, cfg.items
+    );
     tpcc::aloha::load(&cluster, &cfg);
     println!("done");
 
@@ -32,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut handles = Vec::new();
     for _ in 0..400 {
         let req = gen::gen_new_order(&mut rng, &cfg, true);
-        handles.push((req.clone(), db.execute(tpcc::aloha::NEW_ORDER, req.encode())?));
+        handles.push((
+            req.clone(),
+            db.execute(tpcc::aloha::NEW_ORDER, req.encode())?,
+        ));
     }
     let mut committed = 0;
     let mut aborted = 0;
@@ -67,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             orders_created += noid - TpccConfig::INITIAL_NEXT_O_ID;
         }
     }
-    assert_eq!(orders_created, committed as i64, "district counters must match commits");
+    assert_eq!(
+        orders_created, committed as i64,
+        "district counters must match commits"
+    );
     println!("district next_o_id counters advanced by exactly {orders_created} — consistent");
 
     // A few Payments, checked by conservation of totals.

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ecc-1455a1ce444ff72c.d: crates/bench/src/bin/ablation_ecc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ecc-1455a1ce444ff72c.rmeta: crates/bench/src/bin/ablation_ecc.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ecc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

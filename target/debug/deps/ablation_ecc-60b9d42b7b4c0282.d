@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ecc-60b9d42b7b4c0282.d: crates/bench/src/bin/ablation_ecc.rs
+
+/root/repo/target/debug/deps/ablation_ecc-60b9d42b7b4c0282: crates/bench/src/bin/ablation_ecc.rs
+
+crates/bench/src/bin/ablation_ecc.rs:

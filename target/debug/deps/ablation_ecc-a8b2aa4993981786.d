@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ecc-a8b2aa4993981786.d: crates/bench/src/bin/ablation_ecc.rs
+
+/root/repo/target/debug/deps/ablation_ecc-a8b2aa4993981786: crates/bench/src/bin/ablation_ecc.rs
+
+crates/bench/src/bin/ablation_ecc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_push-67ca0d1d6c8ae1ab.d: crates/bench/src/bin/ablation_push.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_push-67ca0d1d6c8ae1ab.rmeta: crates/bench/src/bin/ablation_push.rs Cargo.toml
+
+crates/bench/src/bin/ablation_push.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_push-9c269653d1dd2643.d: crates/bench/src/bin/ablation_push.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_push-9c269653d1dd2643.rmeta: crates/bench/src/bin/ablation_push.rs Cargo.toml
+
+crates/bench/src/bin/ablation_push.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

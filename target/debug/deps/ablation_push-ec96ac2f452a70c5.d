@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_push-ec96ac2f452a70c5.d: crates/bench/src/bin/ablation_push.rs
+
+/root/repo/target/debug/deps/ablation_push-ec96ac2f452a70c5: crates/bench/src/bin/ablation_push.rs
+
+crates/bench/src/bin/ablation_push.rs:

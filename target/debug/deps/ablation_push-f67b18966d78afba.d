@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_push-f67b18966d78afba.d: crates/bench/src/bin/ablation_push.rs
+
+/root/repo/target/debug/deps/ablation_push-f67b18966d78afba: crates/bench/src/bin/ablation_push.rs
+
+crates/bench/src/bin/ablation_push.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aloha_bench-ad4d1b7fc507f4a2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_bench-ad4d1b7fc507f4a2.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aloha_bench-c52cb1d445798b35.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libaloha_bench-c52cb1d445798b35.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libaloha_bench-c52cb1d445798b35.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/aloha_bench-dc03d6f33a01f0f9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/aloha_bench-dc03d6f33a01f0f9: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

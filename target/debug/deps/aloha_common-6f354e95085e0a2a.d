@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/aloha_common-6f354e95085e0a2a.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_common-6f354e95085e0a2a.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/history.rs:
+crates/common/src/ids.rs:
+crates/common/src/key.rs:
+crates/common/src/metrics.rs:
+crates/common/src/timestamp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aloha_common-87643ac57857d8f1.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+/root/repo/target/debug/deps/libaloha_common-87643ac57857d8f1.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+/root/repo/target/debug/deps/libaloha_common-87643ac57857d8f1.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/history.rs:
+crates/common/src/ids.rs:
+crates/common/src/key.rs:
+crates/common/src/metrics.rs:
+crates/common/src/timestamp.rs:

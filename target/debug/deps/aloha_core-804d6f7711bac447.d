@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aloha_core-804d6f7711bac447.d: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_core-804d6f7711bac447.rmeta: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checker.rs:
+crates/core/src/cluster.rs:
+crates/core/src/msg.rs:
+crates/core/src/program.rs:
+crates/core/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aloha_core-dbe0c62a4257fa37.d: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libaloha_core-dbe0c62a4257fa37.rlib: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libaloha_core-dbe0c62a4257fa37.rmeta: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checker.rs:
+crates/core/src/cluster.rs:
+crates/core/src/msg.rs:
+crates/core/src/program.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aloha_core-f3dcf23dec526d88.d: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_core-f3dcf23dec526d88.rmeta: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/checker.rs:
+crates/core/src/cluster.rs:
+crates/core/src/msg.rs:
+crates/core/src/program.rs:
+crates/core/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aloha_db-30bd1e9428011047.d: src/lib.rs
+
+/root/repo/target/debug/deps/aloha_db-30bd1e9428011047: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aloha_db-49516de3f7e8c387.d: src/lib.rs
+
+/root/repo/target/debug/deps/libaloha_db-49516de3f7e8c387.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libaloha_db-49516de3f7e8c387.rmeta: src/lib.rs
+
+src/lib.rs:

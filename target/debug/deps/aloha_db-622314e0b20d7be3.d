@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aloha_db-622314e0b20d7be3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_db-622314e0b20d7be3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

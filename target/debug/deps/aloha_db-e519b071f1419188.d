@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aloha_db-e519b071f1419188.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_db-e519b071f1419188.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aloha_epoch-2043b378a745c87e.d: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_epoch-2043b378a745c87e.rmeta: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs Cargo.toml
+
+crates/epoch/src/lib.rs:
+crates/epoch/src/auth.rs:
+crates/epoch/src/client.rs:
+crates/epoch/src/manager.rs:
+crates/epoch/src/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

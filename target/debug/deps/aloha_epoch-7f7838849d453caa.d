@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aloha_epoch-7f7838849d453caa.d: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+/root/repo/target/debug/deps/libaloha_epoch-7f7838849d453caa.rlib: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+/root/repo/target/debug/deps/libaloha_epoch-7f7838849d453caa.rmeta: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+crates/epoch/src/lib.rs:
+crates/epoch/src/auth.rs:
+crates/epoch/src/client.rs:
+crates/epoch/src/manager.rs:
+crates/epoch/src/oracle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aloha_epoch-f9eb8f60694f447a.d: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+/root/repo/target/debug/deps/aloha_epoch-f9eb8f60694f447a: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+crates/epoch/src/lib.rs:
+crates/epoch/src/auth.rs:
+crates/epoch/src/client.rs:
+crates/epoch/src/manager.rs:
+crates/epoch/src/oracle.rs:

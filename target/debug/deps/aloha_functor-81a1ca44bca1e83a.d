@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aloha_functor-81a1ca44bca1e83a.d: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_functor-81a1ca44bca1e83a.rmeta: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs Cargo.toml
+
+crates/functor/src/lib.rs:
+crates/functor/src/builtin.rs:
+crates/functor/src/ftype.rs:
+crates/functor/src/handler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

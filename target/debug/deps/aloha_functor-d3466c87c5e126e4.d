@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aloha_functor-d3466c87c5e126e4.d: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+/root/repo/target/debug/deps/libaloha_functor-d3466c87c5e126e4.rlib: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+/root/repo/target/debug/deps/libaloha_functor-d3466c87c5e126e4.rmeta: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+crates/functor/src/lib.rs:
+crates/functor/src/builtin.rs:
+crates/functor/src/ftype.rs:
+crates/functor/src/handler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aloha_net-2566e4b86178253b.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+/root/repo/target/debug/deps/aloha_net-2566e4b86178253b: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/delay.rs:
+crates/net/src/fault.rs:
+crates/net/src/reply.rs:

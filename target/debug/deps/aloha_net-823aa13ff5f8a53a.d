@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aloha_net-823aa13ff5f8a53a.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+/root/repo/target/debug/deps/libaloha_net-823aa13ff5f8a53a.rlib: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+/root/repo/target/debug/deps/libaloha_net-823aa13ff5f8a53a.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/delay.rs:
+crates/net/src/fault.rs:
+crates/net/src/reply.rs:

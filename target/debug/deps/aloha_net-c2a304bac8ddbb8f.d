@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aloha_net-c2a304bac8ddbb8f.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_net-c2a304bac8ddbb8f.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/delay.rs:
+crates/net/src/fault.rs:
+crates/net/src/reply.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aloha_storage-039eff7d589747fe.d: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libaloha_storage-039eff7d589747fe.rlib: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libaloha_storage-039eff7d589747fe.rmeta: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:

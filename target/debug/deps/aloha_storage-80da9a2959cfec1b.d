@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aloha_storage-80da9a2959cfec1b.d: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_storage-80da9a2959cfec1b.rmeta: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aloha_workloads-30733d2de29af219.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libaloha_workloads-30733d2de29af219.rlib: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/debug/deps/libaloha_workloads-30733d2de29af219.rmeta: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/aloha.rs:
+crates/workloads/src/tpcc/calvin_impl.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/read_txns.rs:
+crates/workloads/src/tpcc/schema.rs:
+crates/workloads/src/ycsb.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/aloha_workloads-7ee27552cf21813b.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaloha_workloads-7ee27552cf21813b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/aloha.rs:
+crates/workloads/src/tpcc/calvin_impl.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/read_txns.rs:
+crates/workloads/src/tpcc/schema.rs:
+crates/workloads/src/ycsb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

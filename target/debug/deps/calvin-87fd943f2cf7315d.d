@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/calvin-87fd943f2cf7315d.d: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+/root/repo/target/debug/deps/libcalvin-87fd943f2cf7315d.rlib: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+/root/repo/target/debug/deps/libcalvin-87fd943f2cf7315d.rmeta: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+crates/calvin/src/lib.rs:
+crates/calvin/src/cluster.rs:
+crates/calvin/src/exchange.rs:
+crates/calvin/src/lock.rs:
+crates/calvin/src/msg.rs:
+crates/calvin/src/program.rs:
+crates/calvin/src/server.rs:
+crates/calvin/src/store.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/calvin-bfa01d983fbb110d.d: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+/root/repo/target/debug/deps/calvin-bfa01d983fbb110d: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+crates/calvin/src/lib.rs:
+crates/calvin/src/cluster.rs:
+crates/calvin/src/exchange.rs:
+crates/calvin/src/lock.rs:
+crates/calvin/src/msg.rs:
+crates/calvin/src/program.rs:
+crates/calvin/src/server.rs:
+crates/calvin/src/store.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/calvin-c8acd9cd7e2c2c2d.d: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalvin-c8acd9cd7e2c2c2d.rmeta: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs Cargo.toml
+
+crates/calvin/src/lib.rs:
+crates/calvin/src/cluster.rs:
+crates/calvin/src/exchange.rs:
+crates/calvin/src/lock.rs:
+crates/calvin/src/msg.rs:
+crates/calvin/src/program.rs:
+crates/calvin/src/server.rs:
+crates/calvin/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

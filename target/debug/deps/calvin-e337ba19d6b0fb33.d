@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/calvin-e337ba19d6b0fb33.d: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalvin-e337ba19d6b0fb33.rmeta: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs Cargo.toml
+
+crates/calvin/src/lib.rs:
+crates/calvin/src/cluster.rs:
+crates/calvin/src/exchange.rs:
+crates/calvin/src/lock.rs:
+crates/calvin/src/msg.rs:
+crates/calvin/src/program.rs:
+crates/calvin/src/server.rs:
+crates/calvin/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

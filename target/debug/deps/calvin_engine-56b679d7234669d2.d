@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calvin_engine-56b679d7234669d2.d: crates/calvin/tests/calvin_engine.rs
+
+/root/repo/target/debug/deps/calvin_engine-56b679d7234669d2: crates/calvin/tests/calvin_engine.rs
+
+crates/calvin/tests/calvin_engine.rs:

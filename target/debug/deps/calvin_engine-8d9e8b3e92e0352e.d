@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calvin_engine-8d9e8b3e92e0352e.d: crates/calvin/tests/calvin_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalvin_engine-8d9e8b3e92e0352e.rmeta: crates/calvin/tests/calvin_engine.rs Cargo.toml
+
+crates/calvin/tests/calvin_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_serializability-33b238dab1411d07.d: tests/chaos_serializability.rs
+
+/root/repo/target/debug/deps/chaos_serializability-33b238dab1411d07: tests/chaos_serializability.rs
+
+tests/chaos_serializability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_serializability-fec3ee38f9f89a61.d: tests/chaos_serializability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_serializability-fec3ee38f9f89a61.rmeta: tests/chaos_serializability.rs Cargo.toml
+
+tests/chaos_serializability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

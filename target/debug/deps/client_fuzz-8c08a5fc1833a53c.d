@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/client_fuzz-8c08a5fc1833a53c.d: crates/epoch/tests/client_fuzz.rs
+
+/root/repo/target/debug/deps/client_fuzz-8c08a5fc1833a53c: crates/epoch/tests/client_fuzz.rs
+
+crates/epoch/tests/client_fuzz.rs:

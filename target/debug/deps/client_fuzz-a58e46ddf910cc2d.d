@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/client_fuzz-a58e46ddf910cc2d.d: crates/epoch/tests/client_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclient_fuzz-a58e46ddf910cc2d.rmeta: crates/epoch/tests/client_fuzz.rs Cargo.toml
+
+crates/epoch/tests/client_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_system-282f2528ad1c2d70.d: tests/cross_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_system-282f2528ad1c2d70.rmeta: tests/cross_system.rs Cargo.toml
+
+tests/cross_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_system-cbb7c5749fc8b805.d: tests/cross_system.rs
+
+/root/repo/target/debug/deps/cross_system-cbb7c5749fc8b805: tests/cross_system.rs
+
+tests/cross_system.rs:

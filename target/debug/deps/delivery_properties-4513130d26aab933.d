@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delivery_properties-4513130d26aab933.d: crates/net/tests/delivery_properties.rs
+
+/root/repo/target/debug/deps/delivery_properties-4513130d26aab933: crates/net/tests/delivery_properties.rs
+
+crates/net/tests/delivery_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delivery_properties-e136d38dec64f63e.d: crates/net/tests/delivery_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelivery_properties-e136d38dec64f63e.rmeta: crates/net/tests/delivery_properties.rs Cargo.toml
+
+crates/net/tests/delivery_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

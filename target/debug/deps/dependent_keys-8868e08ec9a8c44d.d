@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dependent_keys-8868e08ec9a8c44d.d: crates/core/tests/dependent_keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdependent_keys-8868e08ec9a8c44d.rmeta: crates/core/tests/dependent_keys.rs Cargo.toml
+
+crates/core/tests/dependent_keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

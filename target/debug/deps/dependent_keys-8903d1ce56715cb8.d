@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dependent_keys-8903d1ce56715cb8.d: crates/core/tests/dependent_keys.rs
+
+/root/repo/target/debug/deps/dependent_keys-8903d1ce56715cb8: crates/core/tests/dependent_keys.rs
+
+crates/core/tests/dependent_keys.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecc_semantics-0218db1bb6a276ce.d: tests/ecc_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecc_semantics-0218db1bb6a276ce.rmeta: tests/ecc_semantics.rs Cargo.toml
+
+tests/ecc_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecc_semantics-4795d520e1bdadee.d: tests/ecc_semantics.rs
+
+/root/repo/target/debug/deps/ecc_semantics-4795d520e1bdadee: tests/ecc_semantics.rs
+
+tests/ecc_semantics.rs:

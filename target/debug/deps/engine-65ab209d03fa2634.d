@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-65ab209d03fa2634.d: crates/core/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-65ab209d03fa2634.rmeta: crates/core/tests/engine.rs Cargo.toml
+
+crates/core/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-c0506de73aef7570.d: crates/core/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-c0506de73aef7570: crates/core/tests/engine.rs
+
+crates/core/tests/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-1d5b7d4e3d67e2f1.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-1d5b7d4e3d67e2f1: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f8599d55dde9f626.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f8599d55dde9f626: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-132fe12185f84921.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-132fe12185f84921: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-1fc6682b1c769bd8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-1fc6682b1c769bd8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-b913db8c99a9183b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-b913db8c99a9183b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-87be15afcf396267.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-87be15afcf396267: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-8fd3b5c6eb30151a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-8fd3b5c6eb30151a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-15296157e5c1cb06.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-15296157e5c1cb06: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-79acdbb415f7f48d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-79acdbb415f7f48d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

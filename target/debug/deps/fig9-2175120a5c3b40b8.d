@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-2175120a5c3b40b8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-2175120a5c3b40b8: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

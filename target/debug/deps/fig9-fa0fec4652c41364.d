@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-fa0fec4652c41364.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-fa0fec4652c41364: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_sweeper-a670d5f2513e146e.d: crates/core/tests/gc_sweeper.rs
+
+/root/repo/target/debug/deps/gc_sweeper-a670d5f2513e146e: crates/core/tests/gc_sweeper.rs
+
+crates/core/tests/gc_sweeper.rs:

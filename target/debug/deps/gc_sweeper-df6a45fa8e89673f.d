@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_sweeper-df6a45fa8e89673f.d: crates/core/tests/gc_sweeper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_sweeper-df6a45fa8e89673f.rmeta: crates/core/tests/gc_sweeper.rs Cargo.toml
+
+crates/core/tests/gc_sweeper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

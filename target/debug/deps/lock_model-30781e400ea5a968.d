@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_model-30781e400ea5a968.d: crates/calvin/tests/lock_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_model-30781e400ea5a968.rmeta: crates/calvin/tests/lock_model.rs Cargo.toml
+
+crates/calvin/tests/lock_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

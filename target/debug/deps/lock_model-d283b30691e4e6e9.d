@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_model-d283b30691e4e6e9.d: crates/calvin/tests/lock_model.rs
+
+/root/repo/target/debug/deps/lock_model-d283b30691e4e6e9: crates/calvin/tests/lock_model.rs
+
+crates/calvin/tests/lock_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-7ea18f212aba7905.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-7ea18f212aba7905.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-e064f75d6615f161.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-e064f75d6615f161: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

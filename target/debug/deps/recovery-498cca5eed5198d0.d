@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-498cca5eed5198d0.d: crates/core/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-498cca5eed5198d0.rmeta: crates/core/tests/recovery.rs Cargo.toml
+
+crates/core/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-c39071e887b6722f.d: crates/core/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-c39071e887b6722f: crates/core/tests/recovery.rs
+
+crates/core/tests/recovery.rs:

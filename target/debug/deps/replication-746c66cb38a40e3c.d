@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication-746c66cb38a40e3c.d: crates/core/tests/replication.rs
+
+/root/repo/target/debug/deps/replication-746c66cb38a40e3c: crates/core/tests/replication.rs
+
+crates/core/tests/replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication-b6f00f9f356fb868.d: crates/core/tests/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication-b6f00f9f356fb868.rmeta: crates/core/tests/replication.rs Cargo.toml
+
+crates/core/tests/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication_stress-2e487947d7153faa.d: crates/core/tests/replication_stress.rs
+
+/root/repo/target/debug/deps/replication_stress-2e487947d7153faa: crates/core/tests/replication_stress.rs
+
+crates/core/tests/replication_stress.rs:

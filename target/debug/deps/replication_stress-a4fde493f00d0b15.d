@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication_stress-a4fde493f00d0b15.d: crates/core/tests/replication_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication_stress-a4fde493f00d0b15.rmeta: crates/core/tests/replication_stress.rs Cargo.toml
+
+crates/core/tests/replication_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serializability-cb6c459697eda1aa.d: tests/serializability.rs
+
+/root/repo/target/debug/deps/serializability-cb6c459697eda1aa: tests/serializability.rs
+
+tests/serializability.rs:

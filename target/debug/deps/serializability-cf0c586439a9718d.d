@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serializability-cf0c586439a9718d.d: tests/serializability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserializability-cf0c586439a9718d.rmeta: tests/serializability.rs Cargo.toml
+
+tests/serializability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcc_e2e-dc2f52c52c4a5f7e.d: crates/workloads/tests/tpcc_e2e.rs
+
+/root/repo/target/debug/deps/tpcc_e2e-dc2f52c52c4a5f7e: crates/workloads/tests/tpcc_e2e.rs
+
+crates/workloads/tests/tpcc_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpcc_e2e-e76822a20ef34899.d: crates/workloads/tests/tpcc_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpcc_e2e-e76822a20ef34899.rmeta: crates/workloads/tests/tpcc_e2e.rs Cargo.toml
+
+crates/workloads/tests/tpcc_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

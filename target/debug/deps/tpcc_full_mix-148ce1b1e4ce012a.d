@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpcc_full_mix-148ce1b1e4ce012a.d: crates/workloads/tests/tpcc_full_mix.rs
+
+/root/repo/target/debug/deps/tpcc_full_mix-148ce1b1e4ce012a: crates/workloads/tests/tpcc_full_mix.rs
+
+crates/workloads/tests/tpcc_full_mix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpcc_full_mix-d5010d94a53b7443.d: crates/workloads/tests/tpcc_full_mix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpcc_full_mix-d5010d94a53b7443.rmeta: crates/workloads/tests/tpcc_full_mix.rs Cargo.toml
+
+crates/workloads/tests/tpcc_full_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

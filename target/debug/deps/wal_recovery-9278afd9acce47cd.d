@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_recovery-9278afd9acce47cd.d: crates/core/tests/wal_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_recovery-9278afd9acce47cd.rmeta: crates/core/tests/wal_recovery.rs Cargo.toml
+
+crates/core/tests/wal_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

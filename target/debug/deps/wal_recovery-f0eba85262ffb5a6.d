@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_recovery-f0eba85262ffb5a6.d: crates/core/tests/wal_recovery.rs
+
+/root/repo/target/debug/deps/wal_recovery-f0eba85262ffb5a6: crates/core/tests/wal_recovery.rs
+
+crates/core/tests/wal_recovery.rs:

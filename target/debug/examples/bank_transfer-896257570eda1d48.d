@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bank_transfer-896257570eda1d48.d: examples/bank_transfer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbank_transfer-896257570eda1d48.rmeta: examples/bank_transfer.rs Cargo.toml
+
+examples/bank_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bank_transfer-d1a2c42453c90afe.d: examples/bank_transfer.rs
+
+/root/repo/target/debug/examples/bank_transfer-d1a2c42453c90afe: examples/bank_transfer.rs
+
+examples/bank_transfer.rs:

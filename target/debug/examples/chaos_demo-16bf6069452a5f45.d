@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_demo-16bf6069452a5f45.d: examples/chaos_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_demo-16bf6069452a5f45.rmeta: examples/chaos_demo.rs Cargo.toml
+
+examples/chaos_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_demo-564bf459783090cd.d: examples/chaos_demo.rs
+
+/root/repo/target/debug/examples/chaos_demo-564bf459783090cd: examples/chaos_demo.rs
+
+examples/chaos_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dependent_txn-475a038e9355d0eb.d: examples/dependent_txn.rs
+
+/root/repo/target/debug/examples/dependent_txn-475a038e9355d0eb: examples/dependent_txn.rs
+
+examples/dependent_txn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dependent_txn-598223381bf1dfaa.d: examples/dependent_txn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdependent_txn-598223381bf1dfaa.rmeta: examples/dependent_txn.rs Cargo.toml
+
+examples/dependent_txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

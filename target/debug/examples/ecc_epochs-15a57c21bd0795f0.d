@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ecc_epochs-15a57c21bd0795f0.d: examples/ecc_epochs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libecc_epochs-15a57c21bd0795f0.rmeta: examples/ecc_epochs.rs Cargo.toml
+
+examples/ecc_epochs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

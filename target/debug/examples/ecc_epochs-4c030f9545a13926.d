@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ecc_epochs-4c030f9545a13926.d: examples/ecc_epochs.rs
+
+/root/repo/target/debug/examples/ecc_epochs-4c030f9545a13926: examples/ecc_epochs.rs
+
+examples/ecc_epochs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-2a23675de9c736cf.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-2a23675de9c736cf.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

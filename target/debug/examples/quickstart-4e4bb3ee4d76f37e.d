@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4e4bb3ee4d76f37e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4e4bb3ee4d76f37e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcc_demo-8c434ae5f48db493.d: examples/tpcc_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcc_demo-8c434ae5f48db493.rmeta: examples/tpcc_demo.rs Cargo.toml
+
+examples/tpcc_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcc_demo-e9f464f0c462bec6.d: examples/tpcc_demo.rs
+
+/root/repo/target/debug/examples/tpcc_demo-e9f464f0c462bec6: examples/tpcc_demo.rs
+
+examples/tpcc_demo.rs:

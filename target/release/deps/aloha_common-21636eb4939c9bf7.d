@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/aloha_common-21636eb4939c9bf7.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+/root/repo/target/release/deps/libaloha_common-21636eb4939c9bf7.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+/root/repo/target/release/deps/libaloha_common-21636eb4939c9bf7.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/history.rs:
+crates/common/src/ids.rs:
+crates/common/src/key.rs:
+crates/common/src/metrics.rs:
+crates/common/src/timestamp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aloha_core-6d42500f87b36a45.d: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libaloha_core-6d42500f87b36a45.rlib: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/libaloha_core-6d42500f87b36a45.rmeta: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checker.rs:
+crates/core/src/cluster.rs:
+crates/core/src/msg.rs:
+crates/core/src/program.rs:
+crates/core/src/server.rs:

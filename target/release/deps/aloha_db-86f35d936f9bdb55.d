@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aloha_db-86f35d936f9bdb55.d: src/lib.rs
+
+/root/repo/target/release/deps/libaloha_db-86f35d936f9bdb55.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libaloha_db-86f35d936f9bdb55.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aloha_epoch-8b9952e8cbac2c2c.d: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+/root/repo/target/release/deps/libaloha_epoch-8b9952e8cbac2c2c.rlib: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+/root/repo/target/release/deps/libaloha_epoch-8b9952e8cbac2c2c.rmeta: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+crates/epoch/src/lib.rs:
+crates/epoch/src/auth.rs:
+crates/epoch/src/client.rs:
+crates/epoch/src/manager.rs:
+crates/epoch/src/oracle.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/aloha_functor-a64fa7b32d833627.d: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+/root/repo/target/release/deps/libaloha_functor-a64fa7b32d833627.rlib: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+/root/repo/target/release/deps/libaloha_functor-a64fa7b32d833627.rmeta: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+crates/functor/src/lib.rs:
+crates/functor/src/builtin.rs:
+crates/functor/src/ftype.rs:
+crates/functor/src/handler.rs:

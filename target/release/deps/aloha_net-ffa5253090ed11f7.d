@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aloha_net-ffa5253090ed11f7.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+/root/repo/target/release/deps/libaloha_net-ffa5253090ed11f7.rlib: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+/root/repo/target/release/deps/libaloha_net-ffa5253090ed11f7.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/delay.rs:
+crates/net/src/fault.rs:
+crates/net/src/reply.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aloha_storage-d245fb9acd12701a.d: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libaloha_storage-d245fb9acd12701a.rlib: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libaloha_storage-d245fb9acd12701a.rmeta: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/aloha_workloads-7c4c0e1ccdd30257.d: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libaloha_workloads-7c4c0e1ccdd30257.rlib: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs
+
+/root/repo/target/release/deps/libaloha_workloads-7c4c0e1ccdd30257.rmeta: crates/workloads/src/lib.rs crates/workloads/src/driver.rs crates/workloads/src/tpcc/mod.rs crates/workloads/src/tpcc/aloha.rs crates/workloads/src/tpcc/calvin_impl.rs crates/workloads/src/tpcc/gen.rs crates/workloads/src/tpcc/read_txns.rs crates/workloads/src/tpcc/schema.rs crates/workloads/src/ycsb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/tpcc/mod.rs:
+crates/workloads/src/tpcc/aloha.rs:
+crates/workloads/src/tpcc/calvin_impl.rs:
+crates/workloads/src/tpcc/gen.rs:
+crates/workloads/src/tpcc/read_txns.rs:
+crates/workloads/src/tpcc/schema.rs:
+crates/workloads/src/ycsb.rs:

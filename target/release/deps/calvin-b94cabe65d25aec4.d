@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/calvin-b94cabe65d25aec4.d: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+/root/repo/target/release/deps/libcalvin-b94cabe65d25aec4.rlib: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+/root/repo/target/release/deps/libcalvin-b94cabe65d25aec4.rmeta: crates/calvin/src/lib.rs crates/calvin/src/cluster.rs crates/calvin/src/exchange.rs crates/calvin/src/lock.rs crates/calvin/src/msg.rs crates/calvin/src/program.rs crates/calvin/src/server.rs crates/calvin/src/store.rs
+
+crates/calvin/src/lib.rs:
+crates/calvin/src/cluster.rs:
+crates/calvin/src/exchange.rs:
+crates/calvin/src/lock.rs:
+crates/calvin/src/msg.rs:
+crates/calvin/src/program.rs:
+crates/calvin/src/server.rs:
+crates/calvin/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_serializability-f08906a4e6c81b8c.d: tests/chaos_serializability.rs
+
+/root/repo/target/release/deps/chaos_serializability-f08906a4e6c81b8c: tests/chaos_serializability.rs
+
+tests/chaos_serializability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bank_transfer-32f624a81ac548de.d: examples/bank_transfer.rs
+
+/root/repo/target/release/examples/bank_transfer-32f624a81ac548de: examples/bank_transfer.rs
+
+examples/bank_transfer.rs:

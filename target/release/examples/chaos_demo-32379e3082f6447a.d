@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_demo-32379e3082f6447a.d: examples/chaos_demo.rs
+
+/root/repo/target/release/examples/chaos_demo-32379e3082f6447a: examples/chaos_demo.rs
+
+examples/chaos_demo.rs:

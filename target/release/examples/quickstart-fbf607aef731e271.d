@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fbf607aef731e271.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fbf607aef731e271: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -20,7 +20,9 @@ fn ycsb_final_state_identical_across_systems() {
 
     // Generate one fixed transaction sequence.
     let mut rng = SmallRng::seed_from_u64(77);
-    let txns: Vec<Vec<Key>> = (0..40).map(|_| ycsb::gen_txn_keys(&mut rng, &cfg)).collect();
+    let txns: Vec<Vec<Key>> = (0..40)
+        .map(|_| ycsb::gen_txn_keys(&mut rng, &cfg))
+        .collect();
 
     // ALOHA.
     let mut builder =
@@ -48,9 +50,8 @@ fn ycsb_final_state_identical_across_systems() {
     }
 
     // Calvin.
-    let mut builder = CalvinCluster::builder(
-        CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)),
-    );
+    let mut builder =
+        CalvinCluster::builder(CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)));
     ycsb::install_calvin(&mut builder);
     let calvin_cluster = builder.start().unwrap();
     ycsb::load_calvin(&calvin_cluster, &cfg);
@@ -81,7 +82,10 @@ fn ycsb_final_state_identical_across_systems() {
             let aloha_vals = adb.read_latest(chunk).unwrap();
             for (key, av) in chunk.iter().zip(aloha_vals) {
                 let a = av.as_ref().and_then(Value::as_i64).unwrap_or(0);
-                let c = calvin_cluster.read(key).and_then(|v| v.as_i64()).unwrap_or(0);
+                let c = calvin_cluster
+                    .read(key)
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 assert_eq!(a, c, "divergence at {key:?}");
             }
         }
@@ -95,10 +99,13 @@ fn tpcc_stock_totals_agree_across_systems() {
     // Both systems run the same NewOrder request stream (Calvin with
     // pre-assigned order ids); total units sold (sum of stock YTD) must be
     // equal, and per-district order counts must match.
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(60).with_customers(10);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(60)
+        .with_customers(10);
     let mut rng = SmallRng::seed_from_u64(5);
-    let reqs: Vec<tpcc::NewOrderReq> =
-        (0..30).map(|_| tpcc::gen::gen_new_order(&mut rng, &cfg, false)).collect();
+    let reqs: Vec<tpcc::NewOrderReq> = (0..30)
+        .map(|_| tpcc::gen::gen_new_order(&mut rng, &cfg, false))
+        .collect();
 
     // ALOHA.
     let mut builder = Cluster::builder(
@@ -133,7 +140,8 @@ fn tpcc_stock_totals_agree_across_systems() {
             .map(|r| {
                 let mut r = r.clone();
                 r.o_id = Some(oids.assign(r.w, r.d));
-                db.execute(tpcc::calvin_impl::NEW_ORDER, r.encode()).unwrap()
+                db.execute(tpcc::calvin_impl::NEW_ORDER, r.encode())
+                    .unwrap()
             })
             .collect();
         for h in handles {
@@ -156,8 +164,11 @@ fn tpcc_stock_totals_agree_across_systems() {
             }
         }
     }
-    let expected: i64 =
-        reqs.iter().flat_map(|r| r.lines.iter()).map(|l| l.qty as i64).sum();
+    let expected: i64 = reqs
+        .iter()
+        .flat_map(|r| r.lines.iter())
+        .map(|l| l.qty as i64)
+        .sum();
     assert_eq!(aloha_ytd, expected, "aloha sold-units total");
     assert_eq!(calvin_ytd, expected, "calvin sold-units total");
 
@@ -180,10 +191,13 @@ fn tpcc_stock_totals_agree_across_systems() {
 
 #[test]
 fn payment_totals_agree_across_systems() {
-    let cfg = TpccConfig::by_warehouse(2, 1).with_items(20).with_customers(10);
+    let cfg = TpccConfig::by_warehouse(2, 1)
+        .with_items(20)
+        .with_customers(10);
     let mut rng = SmallRng::seed_from_u64(13);
-    let reqs: Vec<tpcc::PaymentReq> =
-        (0..25).map(|_| tpcc::gen::gen_payment(&mut rng, &cfg)).collect();
+    let reqs: Vec<tpcc::PaymentReq> = (0..25)
+        .map(|_| tpcc::gen::gen_payment(&mut rng, &cfg))
+        .collect();
     let total: i64 = reqs.iter().map(|r| r.amount_cents).sum();
 
     let mut builder = Cluster::builder(
@@ -193,8 +207,10 @@ fn payment_totals_agree_across_systems() {
     let aloha = builder.start().unwrap();
     tpcc::aloha::load(&aloha, &cfg);
     let db = aloha.database();
-    let handles: Vec<_> =
-        reqs.iter().map(|r| db.execute(tpcc::aloha::PAYMENT, r.encode()).unwrap()).collect();
+    let handles: Vec<_> = reqs
+        .iter()
+        .map(|r| db.execute(tpcc::aloha::PAYMENT, r.encode()).unwrap())
+        .collect();
     for h in handles {
         h.wait_processed().unwrap();
     }
@@ -251,9 +267,8 @@ fn driver_reports_are_sane_for_both_systems() {
     assert!(target.wait(h).unwrap());
     aloha.shutdown();
 
-    let mut builder = CalvinCluster::builder(
-        CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)),
-    );
+    let mut builder =
+        CalvinCluster::builder(CalvinConfig::new(2).with_batch_duration(Duration::from_millis(3)));
     ycsb::install_calvin(&mut builder);
     let cc = builder.start().unwrap();
     ycsb::load_calvin(&cc, &cfg);

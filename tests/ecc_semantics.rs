@@ -44,9 +44,8 @@ fn latest_read_penalty_is_bounded_by_epoch_duration() {
 
 #[test]
 fn writes_become_visible_in_the_next_epoch_not_sooner() {
-    let cluster = incr_cluster(
-        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(20)),
-    );
+    let cluster =
+        incr_cluster(ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(20)));
     let db = cluster.database();
     let h = db.execute(INCR, b"").unwrap();
     let write_ts = h.timestamp();
@@ -110,7 +109,10 @@ fn noauth_txns_appear_during_epoch_switches() {
         .unwrap()
         .as_i64()
         .unwrap();
-    assert_eq!(v as u64, done, "every transaction applied exactly once across epoch switches");
+    assert_eq!(
+        v as u64, done,
+        "every transaction applied exactly once across epoch switches"
+    );
     cluster.shutdown();
 }
 
@@ -139,9 +141,7 @@ fn correctness_survives_heavy_clock_skew() {
 
 #[test]
 fn historical_snapshots_are_immutable_under_later_writes() {
-    let cluster = incr_cluster(
-        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(3)),
-    );
+    let cluster = incr_cluster(ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(3)));
     let db = cluster.database();
     let h = db.execute(INCR, b"").unwrap();
     h.wait_processed().unwrap();
@@ -165,9 +165,8 @@ fn historical_snapshots_are_immutable_under_later_writes() {
 
 #[test]
 fn reading_unsettled_snapshot_is_rejected_not_wrong() {
-    let cluster = incr_cluster(
-        ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(50)),
-    );
+    let cluster =
+        incr_cluster(ClusterConfig::new(1).with_epoch_duration(Duration::from_millis(50)));
     let db = cluster.database();
     let h = db.execute(INCR, b"").unwrap();
     // The transaction's epoch is still open: reading at its timestamp must

@@ -1,11 +1,14 @@
-//! Property-based tests on the core data structures and on Algorithm 1.
+//! Property-based tests on the core data structures, on Algorithm 1, and on
+//! the fault-injection network layer.
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use aloha_common::{Key, PartitionId, ServerId, Timestamp, Value};
 use aloha_epoch::TimestampOracle;
 use aloha_functor::{builtin, Functor, HandlerRegistry};
+use aloha_net::{Addr, Bus, DelayLine, FaultPlan, LinkFault, NetConfig};
 use aloha_storage::{LocalOnlyEnv, Partition, VersionChain};
 use aloha_workloads::tpcc::{ItemRow, OrderLineRow, OrderRow, StockRow};
 use proptest::prelude::*;
@@ -196,5 +199,117 @@ proptest! {
             at_max.value.unwrap().as_i64(),
             Some(versions.len() as i64 - 1)
         );
+    }
+
+    /// For any seeded drop/dup plan, the delivered multiset obeys exact
+    /// accounting against the bus fault counters — delivered = sent − drops
+    /// + dups, with exactly `dups` values arriving twice and `drops` values
+    /// not at all — and the counters themselves stay within generous
+    /// (6-sigma) binomial bounds of the configured probabilities.
+    #[test]
+    fn fault_layer_delivery_matches_counters(
+        seed in any::<u64>(),
+        drop_pct in 0u32..40,
+        dup_pct in 0u32..40,
+    ) {
+        const N: u64 = 400;
+        let (drop_p, dup_p) = (f64::from(drop_pct) / 100.0, f64::from(dup_pct) / 100.0);
+        let plan = FaultPlan::new(seed)
+            .with_default_link(LinkFault::lossy(drop_p, dup_p, 0.0, Duration::ZERO));
+        let bus: Bus<u32> = Bus::new(NetConfig::instant().with_fault(plan));
+        let dest = Addr::Server(ServerId(0));
+        let ep = bus.register(dest);
+        for i in 0..N as u32 {
+            bus.send(dest, i).unwrap();
+        }
+        let drops = bus.stats().injected_drops();
+        let dups = bus.stats().injected_dups();
+        // Dropping the bus closes the delay line, which flushes every copy
+        // still in flight before the worker exits.
+        drop(bus);
+        let mut delivered = Vec::new();
+        while let Some(v) = ep.try_recv() {
+            delivered.push(v);
+        }
+        prop_assert_eq!(delivered.len() as u64, N - drops + dups);
+        // With no reorders and a FIFO delay line, per-sender order survives;
+        // duplicated copies arrive back-to-back.
+        prop_assert!(delivered.windows(2).all(|w| w[0] <= w[1]), "order violated");
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for v in &delivered {
+            prop_assert!(u64::from(*v) < N, "delivered a value never sent: {}", v);
+            *counts.entry(*v).or_insert(0) += 1;
+        }
+        prop_assert!(counts.values().all(|&c| c <= 2), "more than one duplicate");
+        prop_assert_eq!(counts.values().filter(|&&c| c == 2).count() as u64, dups);
+        prop_assert_eq!((N - counts.len() as u64), drops);
+        // Counter magnitudes: binomial mean ± 6 sigma (+1 slack), so a seed
+        // that makes the RNG ignore its probabilities would be caught.
+        let sigma_bound = |trials: u64, p: f64| 6.0 * (trials as f64 * p * (1.0 - p)).sqrt() + 1.0;
+        let drop_dev = (drops as f64 - N as f64 * drop_p).abs();
+        prop_assert!(drop_dev <= sigma_bound(N, drop_p), "drops={} p={}", drops, drop_p);
+        let survived = N - drops;
+        let dup_dev = (dups as f64 - survived as f64 * dup_p).abs();
+        prop_assert!(dup_dev <= sigma_bound(survived, dup_p), "dups={} p={}", dups, dup_p);
+    }
+
+    /// Reordering alone never loses or duplicates anything: the delivered
+    /// multiset equals the sent multiset for every seed and reorder rate.
+    #[test]
+    fn fault_reorder_preserves_multiset(
+        seed in any::<u64>(),
+        reorder_pct in 1u32..=100,
+    ) {
+        const N: u32 = 60;
+        let plan = FaultPlan::new(seed).with_default_link(LinkFault::lossy(
+            0.0, 0.0, f64::from(reorder_pct) / 100.0, Duration::from_micros(500),
+        ));
+        let bus: Bus<u32> = Bus::new(NetConfig::instant().with_fault(plan));
+        let dest = Addr::Server(ServerId(0));
+        let ep = bus.register(dest);
+        for i in 0..N {
+            bus.send(dest, i).unwrap();
+        }
+        drop(bus);
+        let mut delivered = Vec::new();
+        while let Some(v) = ep.try_recv() {
+            delivered.push(v);
+        }
+        delivered.sort_unstable();
+        prop_assert_eq!(delivered, (0..N).collect::<Vec<_>>());
+    }
+
+    /// The delay line never releases an item before its deadline of
+    /// `latency + extra`, for any latency, jitter, and extra-delay mix
+    /// (jitter only ever adds).
+    #[test]
+    fn delay_line_never_releases_early(
+        latency_us in 100u64..3_000,
+        jitter_us in 0u64..1_000,
+        jitter_seed in any::<u64>(),
+        extras_us in proptest::collection::vec(0u64..3_000, 1..12),
+    ) {
+        let latency = Duration::from_micros(latency_us);
+        let config = NetConfig::with_jitter(latency, Duration::from_micros(jitter_us), jitter_seed);
+        let (tx, rx) = mpsc::channel();
+        let line = DelayLine::spawn(config, move |(sent, extra): (Instant, Duration)| {
+            tx.send((sent, extra, Instant::now())).unwrap();
+        });
+        for e in &extras_us {
+            let extra = Duration::from_micros(*e);
+            line.push_after((Instant::now(), extra), extra);
+        }
+        line.close();
+        let mut released = 0usize;
+        while let Ok((sent, extra, got)) = rx.try_recv() {
+            released += 1;
+            prop_assert!(
+                got - sent >= latency + extra,
+                "released after {:?}, deadline {:?}",
+                got - sent,
+                latency + extra
+            );
+        }
+        prop_assert_eq!(released, extras_us.len());
     }
 }

@@ -9,9 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::{Key, Value};
-use aloha_db::core_engine::{
-    fn_program, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan,
-};
+use aloha_db::core_engine::{fn_program, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan};
 use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -27,9 +25,8 @@ fn key(i: usize) -> Key {
 /// a non-commutative cross-key operation, so any reordering or lost
 /// intermediate version changes the final state.
 fn affine_cluster(servers: u16) -> Cluster {
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(servers).with_epoch_duration(Duration::from_millis(2)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(servers).with_epoch_duration(Duration::from_millis(2)));
     builder.register_handler(H_AFFINE, |input: &ComputeInput<'_>| {
         let src = Key::from(&input.args[0..input.args.len() - 8]);
         let c = i64::from_be_bytes(input.args[input.args.len() - 8..].try_into().unwrap());
@@ -141,9 +138,8 @@ fn snapshot_reads_are_transactionally_atomic() {
     // A transaction writes the same value to two keys; concurrent
     // latest-version readers must never observe them unequal.
     const PAIR: ProgramId = ProgramId(9);
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(2)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(2)));
     builder.register_program(
         PAIR,
         fn_program(|ctx| {
@@ -197,9 +193,8 @@ fn aborted_transactions_leave_no_trace_in_replay() {
     const INCR: ProgramId = ProgramId(1);
     const DOOMED: ProgramId = ProgramId(2);
     const H_ABORT: HandlerId = HandlerId(5);
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(2)),
-    );
+    let mut builder =
+        Cluster::builder(ClusterConfig::new(2).with_epoch_duration(Duration::from_millis(2)));
     builder.register_handler(H_ABORT, |_: &ComputeInput<'_>| HandlerOutput::abort());
     builder.register_program(
         INCR,

@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for the `criterion` crate. Runs each benchmark
+//! routine for a short fixed budget and prints a mean time per iteration —
+//! no statistics, no HTML reports, but the same macro/API surface so the
+//! workspace's benches compile and produce usable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Finishes the group (no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iters.max(1) as u32
+    };
+    println!("bench {name}: {} iters, ~{per_iter:?}/iter", bencher.iters);
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Budget per benchmark; tiny so `cargo bench` stays fast offline.
+const TIME_BUDGET: Duration = Duration::from_millis(50);
+const MAX_ITERS: u64 = 10_000;
+
+impl Bencher {
+    /// Times `routine` repeatedly until the budget is spent.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < TIME_BUDGET {
+            black_box(routine());
+            self.iters += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let begin = Instant::now();
+        while self.iters < MAX_ITERS && begin.elapsed() < TIME_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batching hint (ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declares a group of benchmark functions as one runnable unit.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1, 2, 3],
+                |v| v.iter().sum::<i32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

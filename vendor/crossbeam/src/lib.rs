@@ -1,0 +1,318 @@
+//! Minimal offline stand-in for the `crossbeam` crate. Provides the
+//! `channel` module only: multi-producer multi-consumer channels built on a
+//! mutex-guarded deque. `bounded` channels do not enforce their capacity —
+//! senders never block — which is a superset of the behaviour the workspace
+//! relies on (reply slots are `bounded(1)` and written at most a handful of
+//! times; receivers take the first value).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        items: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    fn shared<T>() -> Arc<Shared<T>> {
+        Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            items: Condvar::new(),
+        })
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let s = shared();
+        (
+            Sender {
+                shared: Arc::clone(&s),
+            },
+            Receiver { shared: s },
+        )
+    }
+
+    /// Creates a "bounded" MPMC channel. The capacity is advisory only:
+    /// senders never block, so a duplicated message cannot deadlock an RPC
+    /// reply slot.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    /// The sending half; cheap to clone.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cheap to clone (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.items.notify_one();
+            Ok(())
+        }
+
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.items.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message is available or all senders disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.items.wait(inner).unwrap();
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.shared.items.wait_timeout(inner, left).unwrap();
+                inner = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    /// Send failed because no receiver remains; returns the message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Blocking receive failed: all senders gone and queue drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Timed receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Non-blocking receive failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("channel empty"),
+                TryRecvError::Disconnected => f.write_str("channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<i32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn dropping_senders_disconnects() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn dropping_receivers_fails_send() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(3).is_err());
+        }
+
+        #[test]
+        fn bounded_sender_never_blocks() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+        }
+
+        #[test]
+        fn mpmc_clone_both_halves() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let rx2 = rx.clone();
+            tx2.send(9).unwrap();
+            assert_eq!(rx2.recv(), Ok(9));
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(42).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
+        }
+    }
+}
