@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aloha_common-e6f2ed6f809660c7.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+/root/repo/target/debug/deps/libaloha_common-e6f2ed6f809660c7.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/codec.rs crates/common/src/error.rs crates/common/src/history.rs crates/common/src/ids.rs crates/common/src/key.rs crates/common/src/metrics.rs crates/common/src/timestamp.rs
+
+crates/common/src/lib.rs:
+crates/common/src/clock.rs:
+crates/common/src/codec.rs:
+crates/common/src/error.rs:
+crates/common/src/history.rs:
+crates/common/src/ids.rs:
+crates/common/src/key.rs:
+crates/common/src/metrics.rs:
+crates/common/src/timestamp.rs:

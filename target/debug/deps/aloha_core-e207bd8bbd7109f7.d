@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aloha_core-e207bd8bbd7109f7.d: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libaloha_core-e207bd8bbd7109f7.rmeta: crates/core/src/lib.rs crates/core/src/checker.rs crates/core/src/cluster.rs crates/core/src/msg.rs crates/core/src/program.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/checker.rs:
+crates/core/src/cluster.rs:
+crates/core/src/msg.rs:
+crates/core/src/program.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aloha_epoch-949cfdf2a826cab9.d: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+/root/repo/target/debug/deps/libaloha_epoch-949cfdf2a826cab9.rmeta: crates/epoch/src/lib.rs crates/epoch/src/auth.rs crates/epoch/src/client.rs crates/epoch/src/manager.rs crates/epoch/src/oracle.rs
+
+crates/epoch/src/lib.rs:
+crates/epoch/src/auth.rs:
+crates/epoch/src/client.rs:
+crates/epoch/src/manager.rs:
+crates/epoch/src/oracle.rs:

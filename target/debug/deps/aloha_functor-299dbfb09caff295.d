@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aloha_functor-299dbfb09caff295.d: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+/root/repo/target/debug/deps/libaloha_functor-299dbfb09caff295.rmeta: crates/functor/src/lib.rs crates/functor/src/builtin.rs crates/functor/src/ftype.rs crates/functor/src/handler.rs
+
+crates/functor/src/lib.rs:
+crates/functor/src/builtin.rs:
+crates/functor/src/ftype.rs:
+crates/functor/src/handler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aloha_net-c0be3a80c0a3e4e9.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+/root/repo/target/debug/deps/libaloha_net-c0be3a80c0a3e4e9.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/delay.rs crates/net/src/fault.rs crates/net/src/reply.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/delay.rs:
+crates/net/src/fault.rs:
+crates/net/src/reply.rs:

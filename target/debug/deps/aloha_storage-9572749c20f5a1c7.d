@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aloha_storage-9572749c20f5a1c7.d: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libaloha_storage-9572749c20f5a1c7.rmeta: crates/storage/src/lib.rs crates/storage/src/chain.rs crates/storage/src/partition.rs crates/storage/src/snapshot.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/chain.rs:
+crates/storage/src/partition.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:
