@@ -14,13 +14,19 @@
 use std::time::Duration;
 
 use aloha_bench::harness::ALOHA_EPOCH;
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport, RunResult};
 use aloha_core::{Cluster, ClusterConfig};
 use aloha_net::NetConfig;
 use aloha_workloads::driver::run_windowed;
 use aloha_workloads::ycsb::{self, YcsbConfig};
 
-fn run(name: &str, servers: u16, opts: &BenchOpts, tune: impl Fn(ClusterConfig) -> ClusterConfig) {
+fn run(
+    name: &str,
+    servers: u16,
+    opts: &BenchOpts,
+    report: &mut BenchReport,
+    tune: impl Fn(ClusterConfig) -> ClusterConfig,
+) {
     let cfg = YcsbConfig::with_contention_index(servers, 0.01).with_keys_per_partition(20_000);
     let base = ClusterConfig::new(servers)
         .with_epoch_duration(ALOHA_EPOCH)
@@ -33,13 +39,13 @@ fn run(name: &str, servers: u16, opts: &BenchOpts, tune: impl Fn(ClusterConfig) 
     ycsb::load_aloha(&cluster, &cfg);
     let target = ycsb::AlohaYcsb::new(cluster.database(), cfg);
     cluster.reset_stats();
-    let report = run_windowed(&target, &opts.driver(8, 64));
+    let driven = run_windowed(&target, &opts.driver(8, 64));
+    let r = RunResult::from_parts(&driven, cluster.snapshot());
     println!(
         "{name},{:.2},{:.2},{:.2}",
-        report.throughput_tps() / 1_000.0,
-        report.mean_latency_micros / 1_000.0,
-        report.p99_latency_micros as f64 / 1_000.0,
+        r.tput_ktps, r.mean_latency_ms, r.p99_latency_ms,
     );
+    report.push(name, r);
     cluster.shutdown();
 }
 
@@ -48,13 +54,19 @@ fn main() {
     let servers = opts.servers();
     println!("# Ablation: ECC engine features, {servers} servers, 150us network");
     println!("variant,tput_ktps,mean_ms,p99_ms");
-    run("baseline", servers, &opts, |c| c);
-    run("no-straggler-window", servers, &opts, |c| {
+    let mut report = BenchReport::new("ablation_ecc", servers, opts.duration().as_secs_f64());
+    run("baseline", servers, &opts, &mut report, |c| c);
+    run("no-straggler-window", servers, &opts, &mut report, |c| {
         c.with_noauth(false)
     });
-    run("durable-wal", servers, &opts, |c| c.with_durability(true));
-    run("replicated", servers, &opts, |c| c.with_replication(true));
-    run("durable+replicated", servers, &opts, |c| {
+    run("durable-wal", servers, &opts, &mut report, |c| {
+        c.with_durability(true)
+    });
+    run("replicated", servers, &opts, &mut report, |c| {
+        c.with_replication(true)
+    });
+    run("durable+replicated", servers, &opts, &mut report, |c| {
         c.with_durability(true).with_replication(true)
     });
+    report.emit(&opts).expect("write ablation_ecc report");
 }

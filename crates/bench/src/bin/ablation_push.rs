@@ -14,7 +14,7 @@
 use std::time::Duration;
 
 use aloha_bench::harness::ALOHA_EPOCH;
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport, RunResult};
 use aloha_common::{Key, Value};
 use aloha_core::{fn_program, Cluster, ClusterConfig, ProgramId, TxnOutcome, TxnPlan};
 use aloha_functor::{ComputeInput, Functor, HandlerId, HandlerOutput, UserFunctor};
@@ -101,6 +101,7 @@ fn main() {
     let keys_per_partition = 5_000u32;
     println!("# Ablation: recipient-set proactive push, {servers} servers");
     println!("network,mode,tput_ktps,mean_ms,remote_reads,push_hits,push_hit_rate");
+    let mut report = BenchReport::new("ablation_push", servers, opts.duration().as_secs_f64());
     let networks = [
         ("instant", aloha_net::NetConfig::instant()),
         (
@@ -123,7 +124,7 @@ fn main() {
                 with_push,
             };
             cluster.reset_stats();
-            let report = run_windowed(&workload, &opts.driver(8, 64));
+            let driven = run_windowed(&workload, &opts.driver(8, 64));
             let mut remote_reads = 0;
             let mut push_hits = 0;
             for server in cluster.servers() {
@@ -135,15 +136,24 @@ fn main() {
             } else {
                 0.0
             };
+            let r = RunResult::from_parts(&driven, cluster.snapshot());
             println!(
                 "{net_name},{},{:.2},{:.2},{remote_reads},{push_hits},{rate:.3}",
                 if with_push { "push" } else { "remote-read" },
-                report.throughput_tps() / 1_000.0,
-                report.mean_latency_micros / 1_000.0,
+                r.tput_ktps,
+                r.mean_latency_ms,
+            );
+            report.push(
+                format!(
+                    "{net_name},{}",
+                    if with_push { "push" } else { "remote-read" }
+                ),
+                r,
             );
             cluster.shutdown();
             // Give OS threads a moment to wind down between runs.
             std::thread::sleep(Duration::from_millis(100));
         }
     }
+    report.emit(&opts).expect("write ablation_push report");
 }

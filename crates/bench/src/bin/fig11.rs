@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use aloha_bench::harness::{aloha_ycsb_run, calvin_ycsb_run};
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport};
 use aloha_workloads::ycsb::YcsbConfig;
 
 fn main() {
@@ -29,6 +29,7 @@ fn main() {
 
     println!("# Figure 11: latency vs epoch duration, CI=0.001, light load, {n} servers");
     println!("system,epoch_ms,mean_latency_ms,p99_latency_ms");
+    let mut report = BenchReport::new("fig11", n, opts.duration().as_secs_f64());
     for &ms in epochs_ms {
         let driver = base_driver.clone().with_pacing(Duration::from_millis(ms));
         let r = aloha_ycsb_run(&cfg, Duration::from_millis(ms), &driver);
@@ -36,6 +37,7 @@ fn main() {
             "Aloha,{ms},{:.2},{:.2}",
             r.mean_latency_ms, r.p99_latency_ms
         );
+        report.push(format!("Aloha,{ms}"), r);
     }
     // The open-source Calvin generates most transactions at the start of
     // each batch (§V-C2), so Calvin keeps the unpaced closed loop, which
@@ -46,5 +48,7 @@ fn main() {
             "Calvin,{ms},{:.2},{:.2}",
             r.mean_latency_ms, r.p99_latency_ms
         );
+        report.push(format!("Calvin,{ms}"), r);
     }
+    report.emit(&opts).expect("write fig11 report");
 }

@@ -8,7 +8,7 @@
 //! configurations bunch together while Calvin's spread widely.
 
 use aloha_bench::harness::{aloha_tpcc_run, calvin_tpcc_run, ALOHA_EPOCH, CALVIN_BATCH};
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport};
 use aloha_workloads::tpcc::{TpccConfig, TxnMix};
 
 fn main() {
@@ -28,6 +28,7 @@ fn main() {
 
     println!("# Figure 6: throughput vs latency (NewOrder), {n} servers");
     println!("system,config,threads,window,tput_ktps,mean_ms,p99_ms,aborted");
+    let mut report = BenchReport::new("fig6", n, opts.duration().as_secs_f64());
     for (name, cfg) in &configs {
         for &(threads, window) in loads {
             let r = aloha_tpcc_run(
@@ -41,6 +42,7 @@ fn main() {
                 "Aloha,{name},{threads},{window},{:.2},{:.2},{:.2},{}",
                 r.tput_ktps, r.mean_latency_ms, r.p99_latency_ms, r.aborted
             );
+            report.push(format!("Aloha,{name},{threads},{window}"), r);
         }
     }
     for (name, cfg) in &configs {
@@ -55,6 +57,8 @@ fn main() {
                 "Calvin,{name},{threads},{window},{:.2},{:.2},{:.2},{}",
                 r.tput_ktps, r.mean_latency_ms, r.p99_latency_ms, r.aborted
             );
+            report.push(format!("Calvin,{name},{threads},{window}"), r);
         }
     }
+    report.emit(&opts).expect("write fig6 report");
 }

@@ -7,7 +7,7 @@
 //! under ~5 % even at 1 warehouse or 1 district per host.
 
 use aloha_bench::harness::{aloha_tpcc_run, calvin_tpcc_run, ALOHA_EPOCH, CALVIN_BATCH};
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport};
 use aloha_workloads::tpcc::{TpccConfig, TxnMix};
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
 
     println!("# Figure 7: throughput vs warehouses/districts per host, {n} servers");
     println!("system,series,per_host,tput_ktps,mean_ms");
+    let mut report = BenchReport::new("fig7", n, opts.duration().as_secs_f64());
     for &k in per_host {
         let stpcc = TpccConfig::scaled(n, k);
         let tpcc = TpccConfig::by_warehouse(n, k);
@@ -30,30 +31,37 @@ fn main() {
             "Aloha,STPCC-NewOrder,{k},{:.2},{:.2}",
             r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Aloha,STPCC-NewOrder,{k}"), r);
         let r = aloha_tpcc_run(&tpcc, ALOHA_EPOCH, TxnMix::NewOrderOnly, true, &driver);
         println!(
             "Aloha,TPCC-NewOrder,{k},{:.2},{:.2}",
             r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Aloha,TPCC-NewOrder,{k}"), r);
         let r = aloha_tpcc_run(&tpcc, ALOHA_EPOCH, TxnMix::PaymentOnly, false, &driver);
         println!(
             "Aloha,TPCC-Payment,{k},{:.2},{:.2}",
             r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Aloha,TPCC-Payment,{k}"), r);
         let r = calvin_tpcc_run(&stpcc, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
         println!(
             "Calvin,STPCC-NewOrder,{k},{:.2},{:.2}",
             r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Calvin,STPCC-NewOrder,{k}"), r);
         let r = calvin_tpcc_run(&tpcc, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
         println!(
             "Calvin,TPCC-NewOrder,{k},{:.2},{:.2}",
             r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Calvin,TPCC-NewOrder,{k}"), r);
         let r = calvin_tpcc_run(&tpcc, CALVIN_BATCH, TxnMix::PaymentOnly, &driver);
         println!(
             "Calvin,TPCC-Payment,{k},{:.2},{:.2}",
             r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Calvin,TPCC-Payment,{k}"), r);
     }
+    report.emit(&opts).expect("write fig7 report");
 }

@@ -6,7 +6,7 @@
 //! txn/s on the paper's hardware).
 
 use aloha_bench::harness::{aloha_tpcc_run, calvin_tpcc_run, ALOHA_EPOCH, CALVIN_BATCH};
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport};
 use aloha_workloads::tpcc::{TpccConfig, TxnMix};
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
 
     println!("# Figure 8: scale-out (NewOrder throughput vs servers)");
     println!("system,config,servers,tput_ktps,mean_ms");
+    let mut report = BenchReport::new("fig8", opts.servers(), opts.duration().as_secs_f64());
     for &n in server_counts {
         let driver = mk_driver(n);
         let configs: Vec<(&str, TpccConfig)> = vec![
@@ -36,6 +37,7 @@ fn main() {
                 "Aloha,{name},{n},{:.2},{:.2}",
                 r.tput_ktps, r.mean_latency_ms
             );
+            report.push(format!("Aloha,{name},{n}"), r);
         }
         for (name, cfg) in &configs {
             let r = calvin_tpcc_run(cfg, CALVIN_BATCH, TxnMix::NewOrderOnly, &driver);
@@ -43,6 +45,8 @@ fn main() {
                 "Calvin,{name},{n},{:.2},{:.2}",
                 r.tput_ktps, r.mean_latency_ms
             );
+            report.push(format!("Calvin,{name},{n}"), r);
         }
     }
+    report.emit(&opts).expect("write fig8 report");
 }

@@ -7,7 +7,7 @@
 //! CI = 0.1 because its key-level functors never wait on locks.
 
 use aloha_bench::harness::{aloha_ycsb_run, calvin_ycsb_run, ALOHA_EPOCH, CALVIN_BATCH};
-use aloha_bench::BenchOpts;
+use aloha_bench::{BenchOpts, BenchReport};
 use aloha_workloads::ycsb::YcsbConfig;
 
 fn main() {
@@ -23,6 +23,7 @@ fn main() {
 
     println!("# Figure 9: microbenchmark throughput vs contention index, {n} servers");
     println!("system,contention_index,hot_keys,tput_ktps,mean_ms");
+    let mut report = BenchReport::new("fig9", n, opts.duration().as_secs_f64());
     for &ci in cis {
         let cfg =
             YcsbConfig::with_contention_index(n, ci).with_keys_per_partition(keys_per_partition);
@@ -31,6 +32,7 @@ fn main() {
             "Aloha,{ci},{},{:.2},{:.2}",
             cfg.hot_keys, r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Aloha,{ci}"), r);
     }
     for &ci in cis {
         let cfg =
@@ -40,5 +42,7 @@ fn main() {
             "Calvin,{ci},{},{:.2},{:.2}",
             cfg.hot_keys, r.tput_ktps, r.mean_latency_ms
         );
+        report.push(format!("Calvin,{ci}"), r);
     }
+    report.emit(&opts).expect("write fig9 report");
 }

@@ -1,0 +1,64 @@
+//! Smoke benchmark (the default `aloha-bench` binary): a tiny YCSB run on
+//! both engines that exercises the whole measurement pipeline — cluster
+//! lifecycle, six-stage tracing, snapshot export — and writes
+//! `BENCH_smoke.json` (or `--json PATH`). Meant for CI: seconds, not
+//! minutes.
+
+use aloha_bench::harness::{
+    aloha_ycsb_run, calvin_ycsb_run, BenchOpts, BenchReport, ALOHA_EPOCH, CALVIN_BATCH,
+};
+use aloha_common::metrics::Stage;
+use aloha_workloads::ycsb::YcsbConfig;
+
+fn main() {
+    let mut opts = BenchOpts::parse();
+    // Smoke defaults: 2 servers, ~2 s windows, unless overridden.
+    opts.servers.get_or_insert(2);
+    opts.seconds.get_or_insert(2.0);
+    let n = opts.servers();
+    let cfg = YcsbConfig::with_contention_index(n, 0.01).with_keys_per_partition(10_000);
+    let driver = opts.driver(4, 16);
+
+    println!(
+        "# smoke bench: YCSB CI=0.01, {n} servers, {:?} windows",
+        opts.duration()
+    );
+    println!("system,tput_ktps,mean_ms,p50_ms,p99_ms,committed,aborted");
+    let mut report = BenchReport::new("smoke", n, opts.duration().as_secs_f64());
+    for (label, r) in [
+        ("Aloha", aloha_ycsb_run(&cfg, ALOHA_EPOCH, &driver)),
+        ("Calvin", calvin_ycsb_run(&cfg, CALVIN_BATCH, &driver)),
+    ] {
+        println!(
+            "{label},{:.2},{:.2},{:.2},{:.2},{},{}",
+            r.tput_ktps,
+            r.mean_latency_ms,
+            r.p50_latency_ms,
+            r.p99_latency_ms,
+            r.committed,
+            r.aborted
+        );
+        for stage in Stage::ALL {
+            let s = r.stage(stage.name()).copied().unwrap_or_default();
+            println!(
+                "#   {label} {}: n={} p50={}us p95={}us p99={}us",
+                stage.name(),
+                s.count,
+                s.p50_micros,
+                s.p95_micros,
+                s.p99_micros
+            );
+        }
+        report.push(label, r);
+    }
+    let path = report.emit(&opts).expect("write smoke report");
+    // Prove the emitted file is machine-readable end to end.
+    let text = std::fs::read_to_string(&path).expect("read back smoke report");
+    let back = BenchReport::from_json_text(&text).expect("re-parse smoke report");
+    assert_eq!(back, report, "emitted report must round-trip");
+    println!(
+        "# re-parsed {} rows from {}",
+        back.rows.len(),
+        path.display()
+    );
+}

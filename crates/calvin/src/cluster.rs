@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
+use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, PartitionId, Result, ServerId, Value};
 use aloha_net::{Addr, Bus, NetConfig};
 
@@ -162,19 +164,6 @@ impl CalvinClusterBuilder {
     }
 }
 
-/// Aggregated Calvin statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CalvinClusterStats {
-    /// Completed transactions (across all origins).
-    pub completed: u64,
-    /// Mean end-to-end latency in microseconds.
-    pub latency_mean_micros: f64,
-    /// Latency sample count.
-    pub latency_count: u64,
-    /// Mean per-stage latency: sequencing / lock+read / processing.
-    pub stage_means_micros: [f64; 3],
-}
-
 /// A running Calvin cluster.
 pub struct CalvinCluster {
     servers: Vec<Arc<CalvinServer>>,
@@ -253,41 +242,34 @@ impl CalvinCluster {
         self.servers[owner.index()].store().get(key)
     }
 
-    /// Aggregated statistics.
-    pub fn stats(&self) -> CalvinClusterStats {
-        let mut completed = 0;
-        let mut latency_weighted = 0.0;
-        let mut latency_count = 0;
-        let mut stage_sums = [0.0f64; 3];
-        let mut stage_servers = 0usize;
+    /// A composable statistics snapshot for the whole cluster: summed
+    /// counters and cluster-wide stage percentiles at the root (merged from
+    /// every server's raw histogram buckets — never averaged percentiles),
+    /// with per-server and network subtrees as children. Uses the same
+    /// six-stage schema as the ALOHA engine (§III analogues documented on
+    /// [`crate::server::CalvinStats`]).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut root = StatsSnapshot::new("calvin");
+        let mut completed = 0u64;
+        let mut scheduled = 0u64;
+        let mut merged: [HistogramSnapshot; STAGE_COUNT + 1] = Default::default();
         for server in &self.servers {
             let stats = server.stats();
             completed += stats.completed();
-            let n = stats.latency().count();
-            latency_weighted += stats.latency().mean_micros() * n as f64;
-            latency_count += n;
-            let means = stats.breakdown().means_micros();
-            if means.iter().any(|&m| m > 0.0) {
-                for (sum, m) in stage_sums.iter_mut().zip(means) {
-                    *sum += m;
-                }
-                stage_servers += 1;
+            scheduled += stats.scheduled();
+            for (acc, snap) in merged.iter_mut().zip(stats.raw_histograms()) {
+                acc.merge(&snap);
             }
+            root.push_child(stats.snapshot(format!("server_{}", server.id().0)));
         }
-        CalvinClusterStats {
-            completed,
-            latency_mean_micros: if latency_count == 0 {
-                0.0
-            } else {
-                latency_weighted / latency_count as f64
-            },
-            latency_count,
-            stage_means_micros: if stage_servers == 0 {
-                [0.0; 3]
-            } else {
-                std::array::from_fn(|i| stage_sums[i] / stage_servers as f64)
-            },
+        root.set_counter("completed", completed);
+        root.set_counter("scheduled", scheduled);
+        for stage in Stage::ALL {
+            root.set_stage(stage.name(), StageStats::from(&merged[stage.index()]));
         }
+        root.set_stage("e2e", StageStats::from(&merged[STAGE_COUNT]));
+        root.push_child(self.bus.stats().snapshot());
+        root
     }
 
     /// Resets every server's statistics.
@@ -342,11 +324,20 @@ impl CalvinDatabase {
     /// # Errors
     ///
     /// Fails for unknown programs.
-    pub fn execute(&self, program: ProgramId, args: impl AsRef<[u8]>) -> Result<CalvinHandle> {
+    pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<CalvinHandle> {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
         Ok(CalvinHandle {
-            submission: self.servers[i].submit(program, args.as_ref())?,
+            submission: self.servers[i].submit(program, &args.into())?,
         })
+    }
+
+    /// Submits and blocks for full execution on every participant.
+    ///
+    /// # Errors
+    ///
+    /// As [`CalvinDatabase::execute`], plus cluster shutdown.
+    pub fn execute_wait(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<()> {
+        self.execute(program, args)?.wait()
     }
 
     /// Submits with a pinned sequencer.
@@ -358,14 +349,14 @@ impl CalvinDatabase {
         &self,
         origin: ServerId,
         program: ProgramId,
-        args: impl AsRef<[u8]>,
+        args: impl Into<Vec<u8>>,
     ) -> Result<CalvinHandle> {
         let server = self
             .servers
             .get(origin.index())
             .ok_or(Error::NoSuchPartition(PartitionId(origin.0)))?;
         Ok(CalvinHandle {
-            submission: server.submit(program, args.as_ref())?,
+            submission: server.submit(program, &args.into())?,
         })
     }
 

@@ -6,7 +6,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aloha_common::metrics::{duration_micros, Counter, Histogram, StageBreakdown};
+use aloha_common::metrics::{
+    duration_micros, Counter, Histogram, HistogramSnapshot, LifecycleTracer, Stage, TxnTrace,
+    STAGE_COUNT,
+};
+use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{HistoryLog, Key, Result, ServerId, Value};
 use aloha_net::{reply_pair, Addr, Bus, Endpoint, ReplyHandle};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -42,30 +46,24 @@ struct RecentExec {
     values: Vec<(Key, Option<Value>)>,
 }
 
-/// Per-server Calvin metrics: the Fig 10 stage breakdown plus counters.
-#[derive(Debug)]
+/// Per-server Calvin metrics on the same six-stage schema as the ALOHA
+/// engine, so figures can compare the engines stage-for-stage:
+/// `transform` = planning the stored procedure, `timestamp_grant` =
+/// sequencing wait (submit → deterministic merge), `functor_install` = lock
+/// wait, `epoch_close` = the read-exchange barrier, `functor_computing` =
+/// procedure execution, `commit` = origin-side completion wait.
+#[derive(Debug, Default)]
 pub struct CalvinStats {
-    breakdown: StageBreakdown,
+    tracer: LifecycleTracer,
     latency: Histogram,
     completed: Counter,
     scheduled: Counter,
 }
 
-impl Default for CalvinStats {
-    fn default() -> Self {
-        CalvinStats {
-            breakdown: StageBreakdown::new(["sequencing", "lock+read", "process"]),
-            latency: Histogram::new(),
-            completed: Counter::new(),
-            scheduled: Counter::new(),
-        }
-    }
-}
-
 impl CalvinStats {
-    /// Stage breakdown: sequencing / locking-and-read / processing (Fig 10).
-    pub fn breakdown(&self) -> &StageBreakdown {
-        &self.breakdown
+    /// The lifecycle tracer: per-stage histograms plus recent traces.
+    pub fn tracer(&self) -> &LifecycleTracer {
+        &self.tracer
     }
 
     /// End-to-end latency (submit → all participants done).
@@ -83,9 +81,34 @@ impl CalvinStats {
         self.scheduled.get()
     }
 
+    /// Mergeable raw histograms: the six stages in [`Stage::ALL`] order plus
+    /// end-to-end latency last (same layout as the ALOHA engine's).
+    pub fn raw_histograms(&self) -> [HistogramSnapshot; STAGE_COUNT + 1] {
+        let stages = self.tracer.stage_snapshots();
+        std::array::from_fn(|i| {
+            if i < STAGE_COUNT {
+                stages[i].clone()
+            } else {
+                self.latency.snapshot()
+            }
+        })
+    }
+
+    /// Exports this server's metrics as one node of the unified stats tree.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("completed", self.completed());
+        node.set_counter("scheduled", self.scheduled());
+        for (stage, snap) in Stage::ALL.iter().zip(self.tracer.stage_snapshots()) {
+            node.set_stage(stage.name(), StageStats::from(&snap));
+        }
+        node.set_stage("e2e", StageStats::from(&self.latency.snapshot()));
+        node
+    }
+
     /// Clears all metrics.
     pub fn reset(&self) {
-        self.breakdown.reset();
+        self.tracer.reset();
         self.latency.reset();
         self.completed.reset();
         self.scheduled.reset();
@@ -229,7 +252,11 @@ impl CalvinServer {
     /// Returns [`aloha_common::Error::UnknownProgram`] for unregistered
     /// programs.
     pub fn submit(self: &Arc<Self>, program: ProgramId, args: &[u8]) -> Result<CalvinSubmission> {
+        let plan_started = Instant::now();
         let plan = self.registry.get(program)?.plan(args);
+        self.stats
+            .tracer
+            .record_stage(Stage::Transform, duration_micros(plan_started.elapsed()));
         let participants = self.participants_of(&plan);
         let id = GlobalTxnId {
             origin: self.id,
@@ -354,12 +381,27 @@ impl CalvinSubmission {
     ///
     /// Fails if the cluster shut down before completion.
     pub fn wait(self) -> Result<()> {
+        let wait_started = Instant::now();
         self.handle.wait_timeout(self.server.rpc_timeout)?;
+        let total_micros = duration_micros(self.submitted_at.elapsed());
+        let commit_micros = duration_micros(wait_started.elapsed());
+        self.server.stats.latency.record(total_micros);
+        self.server.stats.completed.incr();
         self.server
             .stats
-            .latency
-            .record(duration_micros(self.submitted_at.elapsed()));
-        self.server.stats.completed.incr();
+            .tracer
+            .record_stage(Stage::Commit, commit_micros);
+        // The origin's trace carries the stages it observes directly; the
+        // scheduler/worker stages are recorded by whichever participant runs
+        // them (aggregate histograms only), mirroring the ALOHA engine's
+        // FE/BE split.
+        let mut stage_micros = [0u64; STAGE_COUNT];
+        stage_micros[Stage::Commit.index()] = commit_micros;
+        self.server.stats.tracer.record_trace(TxnTrace {
+            stage_micros,
+            total_micros,
+            committed: true,
+        });
         Ok(())
     }
 }
@@ -507,10 +549,12 @@ fn schedule_txn(
         return; // not a participant
     }
     server.stats.scheduled.incr();
-    server
-        .stats
-        .breakdown
-        .record(0, duration_micros(txn.submitted_at.elapsed()));
+    // Submit → deterministic merge: Calvin's analogue of the timestamp grant
+    // (the sequencer round assigns the transaction's serialization slot).
+    server.stats.tracer.record_stage(
+        Stage::TimestampGrant,
+        duration_micros(txn.submitted_at.elapsed()),
+    );
 
     let local_seq = *next_local_seq;
     *next_local_seq += 1;
@@ -585,6 +629,12 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
     let Ok(program) = server.registry.get(task.txn.program) else {
         return;
     };
+    // Lock request → all locks granted and dispatched: Calvin's analogue of
+    // the functor-install stage (making the writes' slots durable in order).
+    server.stats.tracer.record_stage(
+        Stage::FunctorInstall,
+        duration_micros(task.lock_requested_at.elapsed()),
+    );
     let plan = program.plan(&task.txn.args);
     let participants = {
         let mut p: Vec<ServerId> = plan.all_keys().map(|k| server.owner_of(k)).collect();
@@ -618,6 +668,7 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
             );
         }
     };
+    let exchange_started = Instant::now();
     broadcast_reads(server);
     // Under fault injection the broadcast may be dropped on any link, so
     // wait in short slices and re-broadcast between them (the exchange keeps
@@ -656,10 +707,12 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
     for (k, v) in local_values.iter().cloned().chain(remote_values) {
         reads.insert(k, v);
     }
-    server
-        .stats
-        .breakdown
-        .record(1, duration_micros(task.lock_requested_at.elapsed()));
+    // The read-exchange barrier (waiting for every participant's reads) is
+    // Calvin's analogue of waiting for the epoch to close.
+    server.stats.tracer.record_stage(
+        Stage::EpochClose,
+        duration_micros(exchange_started.elapsed()),
+    );
 
     // Execute the stored procedure (redundantly, as every participant does)
     // and apply only the local writes.
@@ -671,10 +724,10 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
             server.store.put(key, value);
         }
     }
-    server
-        .stats
-        .breakdown
-        .record(2, duration_micros(exec_started.elapsed()));
+    server.stats.tracer.record_stage(
+        Stage::FunctorComputing,
+        duration_micros(exec_started.elapsed()),
+    );
 
     let _ = server.sched_tx.send(SchedulerEvent::Done {
         local_seq: task.local_seq,

@@ -102,7 +102,7 @@ fn distributed_transfer_conserves_money() {
         args.extend_from_slice(from.as_bytes());
         args.extend_from_slice(to.as_bytes());
         args.extend_from_slice(&(3i64).to_be_bytes());
-        handles.push(db.execute(ProgramId(1), &args).unwrap());
+        handles.push(db.execute(ProgramId(1), args).unwrap());
     }
     for h in handles {
         h.wait().unwrap();
@@ -194,16 +194,15 @@ fn stats_track_latency_and_stage_breakdown() {
             .wait()
             .unwrap();
     }
-    let stats = cluster.stats();
-    assert_eq!(stats.completed, 5);
-    assert!(
-        stats.latency_mean_micros >= 1000.0,
-        "latency includes batch wait"
-    );
-    assert!(
-        stats.stage_means_micros[0] > 0.0,
-        "sequencing stage recorded"
-    );
+    let snapshot = cluster.snapshot();
+    assert_eq!(snapshot.counter("completed"), Some(5));
+    let e2e = snapshot.stage("e2e").expect("e2e rollup");
+    assert_eq!(e2e.count, 5);
+    assert!(e2e.mean_micros >= 1000.0, "latency includes batch wait");
+    let sequencing = snapshot
+        .stage("timestamp_grant")
+        .expect("sequencing rollup");
+    assert!(sequencing.mean_micros > 0.0, "sequencing stage recorded");
     cluster.shutdown();
 }
 
@@ -229,7 +228,7 @@ fn deterministic_outcome_under_interleaving() {
             args.extend_from_slice(accounts[i % 3].as_bytes());
             args.extend_from_slice(accounts[(i + 1) % 3].as_bytes());
             args.extend_from_slice(&(1i64).to_be_bytes());
-            handles.push(db.execute(ProgramId(1), &args).unwrap());
+            handles.push(db.execute(ProgramId(1), args).unwrap());
         }
         for h in handles {
             h.wait().unwrap();

@@ -4,7 +4,8 @@
 //! workspace: compact identifiers ([`ServerId`], [`PartitionId`], [`TxnId`]),
 //! the decentralized [`Timestamp`] scheme of epoch-based concurrency control,
 //! byte-oriented [`Key`]/[`Value`] types with a small fixed [`codec`], a
-//! pluggable [`clock`] abstraction, latency/throughput [`metrics`], and the
+//! pluggable [`clock`] abstraction, latency/throughput [`metrics`] with the
+//! unified [`stats`] snapshot schema and its [`json`] wire form, and the
 //! workspace-wide [`Error`] type.
 //!
 //! # Examples
@@ -23,13 +24,21 @@ pub mod codec;
 pub mod error;
 pub mod history;
 pub mod ids;
+pub mod json;
 pub mod key;
 pub mod metrics;
+pub mod stats;
 pub mod timestamp;
 
 pub use clock::{Clock, ManualClock, SkewedClock, SystemClock};
 pub use error::{Error, Result};
 pub use history::HistoryLog;
 pub use ids::{EpochId, PartitionId, ServerId, TxnId};
+pub use json::Json;
 pub use key::{Key, Value};
+pub use metrics::{
+    Counter, CounterFamily, Histogram, HistogramFamily, HistogramSnapshot, LifecycleTracer,
+    MetricsRegistry, Stage, TxnTimer, TxnTrace,
+};
+pub use stats::{StageStats, StatsSnapshot};
 pub use timestamp::Timestamp;

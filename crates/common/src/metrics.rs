@@ -1,13 +1,21 @@
-//! Lightweight metrics: counters, latency histograms and per-stage breakdowns.
+//! Lightweight metrics: counters, histograms, labeled families and the
+//! transaction-lifecycle tracer.
 //!
 //! The evaluation section of the paper reports throughput (Figs 6-9), mean
 //! latency (Figs 6, 11) and a per-stage latency breakdown (Fig 10). These
-//! types are the measurement substrate: cheap atomic counters and a
-//! log-bucketed histogram suitable for concurrent recording from many server
-//! threads without locks.
+//! types are the measurement substrate: cheap atomic counters, a log-bucketed
+//! histogram suitable for concurrent recording from many server threads
+//! without locks, labeled counter/histogram families grouped under a
+//! [`MetricsRegistry`], and a [`LifecycleTracer`] that accounts every
+//! transaction's time to the six pipeline stages of §III-B/§III-D.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
 
 /// A monotonically increasing atomic counter.
 ///
@@ -52,7 +60,7 @@ impl Counter {
 
 /// Number of buckets in [`Histogram`]: one per power of two of microseconds,
 /// covering 1 us .. ~1.1 hours.
-const BUCKETS: usize = 32;
+pub const HISTOGRAM_BUCKETS: usize = 32;
 
 /// A concurrent log-bucketed latency histogram (microsecond samples).
 ///
@@ -73,7 +81,7 @@ const BUCKETS: usize = 32;
 /// ```
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -91,7 +99,7 @@ impl Histogram {
     }
 
     fn bucket_for(micros: u64) -> usize {
-        ((64 - micros.max(1).leading_zeros()) as usize - 1).min(BUCKETS - 1)
+        ((64 - micros.max(1).leading_zeros()) as usize - 1).min(HISTOGRAM_BUCKETS - 1)
     }
 
     /// Records one latency sample in microseconds.
@@ -127,19 +135,21 @@ impl Histogram {
     /// The estimate is the upper bound of the bucket containing the quantile,
     /// so it carries at most 2× relative error.
     pub fn quantile_micros(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
+        self.snapshot().quantile_micros(q)
+    }
+
+    /// Captures a point-in-time, mergeable copy of the histogram state.
+    ///
+    /// Snapshots are how per-server histograms are combined into cluster-wide
+    /// percentiles: merging raw buckets preserves quantile accuracy, whereas
+    /// averaging per-server percentiles would not.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max_micros(),
         }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target.max(1) {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        self.max_micros()
     }
 
     /// Clears all samples.
@@ -173,63 +183,533 @@ impl fmt::Display for Histogram {
     }
 }
 
-/// Per-stage latency breakdown of the transaction lifecycle (Fig 10).
+/// A point-in-time copy of a [`Histogram`], mergeable across servers.
 ///
-/// ALOHA-DB stages: functor installing / waiting for processing / processing.
-/// Calvin stages: sequencing / locking-and-read / processing. Both systems
-/// record into three [`Histogram`]s via this shared type; the figure harness
-/// reads back the fraction of time spent in each stage.
-#[derive(Debug, Default)]
-pub struct StageBreakdown {
-    stages: [Histogram; 3],
-    names: [&'static str; 3],
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::{Histogram, HistogramSnapshot};
+/// let (a, b) = (Histogram::new(), Histogram::new());
+/// a.record(100);
+/// b.record(100_000);
+/// let mut merged = a.snapshot();
+/// merged.merge(&b.snapshot());
+/// assert_eq!(merged.count, 2);
+/// assert!(merged.quantile_micros(0.99) >= 100_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))` us).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum: u64,
+    /// Largest sample in microseconds.
+    pub max: u64,
 }
 
-impl StageBreakdown {
-    /// Creates a breakdown with the three given stage names.
-    pub fn new(names: [&'static str; 3]) -> StageBreakdown {
-        StageBreakdown {
-            stages: Default::default(),
-            names,
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
         }
     }
+}
 
-    /// Records a sample for stage `i` (0-based).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= 3`.
-    pub fn record(&self, i: usize, micros: u64) {
-        self.stages[i].record(micros);
+impl HistogramSnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
     }
 
-    /// Stage names in order.
-    pub fn names(&self) -> [&'static str; 3] {
-        self.names
+    /// Folds `other`'s samples into this snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
-    /// Mean time per stage in microseconds.
-    pub fn means_micros(&self) -> [f64; 3] {
-        std::array::from_fn(|i| self.stages[i].mean_micros())
-    }
-
-    /// Fraction of total mean latency spent in each stage (sums to 1 unless
-    /// nothing was recorded).
-    pub fn fractions(&self) -> [f64; 3] {
-        let means = self.means_micros();
-        let total: f64 = means.iter().sum();
-        if total == 0.0 {
-            [0.0; 3]
+    /// Arithmetic mean of all samples, in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
         } else {
-            std::array::from_fn(|i| means[i] / total)
+            self.sum as f64 / self.count as f64
         }
     }
 
-    /// Clears all stages.
-    pub fn reset(&self) {
-        for s in &self.stages {
-            s.reset();
+    /// Estimates the latency at quantile `q` in `[0, 1]`, in microseconds
+    /// (bucket upper bound, at most 2× relative error).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
         }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+}
+
+/// A named family of [`Counter`]s keyed by a static label.
+///
+/// Label cells are created on first use and cached behind an `RwLock`; the
+/// returned [`Arc<Counter>`] handle makes the steady-state increment path a
+/// single relaxed atomic add with no lock.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::CounterFamily;
+/// let fam = CounterFamily::new("txn_outcomes");
+/// let committed = fam.with_label("committed");
+/// committed.incr();
+/// assert_eq!(fam.with_label("committed").get(), 1);
+/// assert_eq!(fam.values(), vec![("committed", 1)]);
+/// ```
+#[derive(Debug)]
+pub struct CounterFamily {
+    name: &'static str,
+    cells: RwLock<Vec<(&'static str, Arc<Counter>)>>,
+}
+
+impl CounterFamily {
+    /// Creates an empty family.
+    pub fn new(name: &'static str) -> CounterFamily {
+        CounterFamily {
+            name,
+            cells: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The family name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the counter for `label`, creating it on first use.
+    ///
+    /// Hold the returned handle on hot paths: increments through it are
+    /// lock-free.
+    pub fn with_label(&self, label: &'static str) -> Arc<Counter> {
+        if let Some((_, c)) = self.cells.read().iter().find(|(l, _)| *l == label) {
+            return Arc::clone(c);
+        }
+        let mut cells = self.cells.write();
+        // Double-check: another thread may have created the cell between the
+        // read unlock and the write lock.
+        if let Some((_, c)) = cells.iter().find(|(l, _)| *l == label) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        cells.push((label, Arc::clone(&c)));
+        c
+    }
+
+    /// Current `(label, value)` pairs, sorted by label.
+    pub fn values(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<_> = self
+            .cells
+            .read()
+            .iter()
+            .map(|(l, c)| (*l, c.get()))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Resets every label's counter to zero.
+    pub fn reset(&self) {
+        for (_, c) in self.cells.read().iter() {
+            c.reset();
+        }
+    }
+}
+
+/// A named family of [`Histogram`]s keyed by a static label.
+///
+/// Same caching scheme as [`CounterFamily`]: hold the returned handle and
+/// recording stays lock-free.
+#[derive(Debug)]
+pub struct HistogramFamily {
+    name: &'static str,
+    cells: RwLock<Vec<(&'static str, Arc<Histogram>)>>,
+}
+
+impl HistogramFamily {
+    /// Creates an empty family.
+    pub fn new(name: &'static str) -> HistogramFamily {
+        HistogramFamily {
+            name,
+            cells: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The family name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the histogram for `label`, creating it on first use.
+    pub fn with_label(&self, label: &'static str) -> Arc<Histogram> {
+        if let Some((_, h)) = self.cells.read().iter().find(|(l, _)| *l == label) {
+            return Arc::clone(h);
+        }
+        let mut cells = self.cells.write();
+        if let Some((_, h)) = cells.iter().find(|(l, _)| *l == label) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        cells.push((label, Arc::clone(&h)));
+        h
+    }
+
+    /// Current `(label, snapshot)` pairs, sorted by label.
+    pub fn snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        let mut out: Vec<_> = self
+            .cells
+            .read()
+            .iter()
+            .map(|(l, h)| (*l, h.snapshot()))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Resets every label's histogram.
+    pub fn reset(&self) {
+        for (_, h) in self.cells.read().iter() {
+            h.reset();
+        }
+    }
+}
+
+/// A registry of labeled counter and histogram families.
+///
+/// Components create (or look up) families by name, take label handles once,
+/// and then record lock-free. The registry is the unit of export: snapshots
+/// walk all families to build the counters section of a `StatsSnapshot`.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// reg.counter("rpc", "sent").incr();
+/// reg.histogram("rpc_latency", "grant").record(120);
+/// assert_eq!(reg.counter_values(), vec![("rpc".into(), "sent".into(), 1)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<Vec<Arc<CounterFamily>>>,
+    histograms: RwLock<Vec<Arc<HistogramFamily>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter family `name`, creating it on first use.
+    pub fn counter_family(&self, name: &'static str) -> Arc<CounterFamily> {
+        if let Some(f) = self.counters.read().iter().find(|f| f.name() == name) {
+            return Arc::clone(f);
+        }
+        let mut fams = self.counters.write();
+        if let Some(f) = fams.iter().find(|f| f.name() == name) {
+            return Arc::clone(f);
+        }
+        let f = Arc::new(CounterFamily::new(name));
+        fams.push(Arc::clone(&f));
+        f
+    }
+
+    /// Returns the histogram family `name`, creating it on first use.
+    pub fn histogram_family(&self, name: &'static str) -> Arc<HistogramFamily> {
+        if let Some(f) = self.histograms.read().iter().find(|f| f.name() == name) {
+            return Arc::clone(f);
+        }
+        let mut fams = self.histograms.write();
+        if let Some(f) = fams.iter().find(|f| f.name() == name) {
+            return Arc::clone(f);
+        }
+        let f = Arc::new(HistogramFamily::new(name));
+        fams.push(Arc::clone(&f));
+        f
+    }
+
+    /// Shorthand for `counter_family(name).with_label(label)`.
+    pub fn counter(&self, name: &'static str, label: &'static str) -> Arc<Counter> {
+        self.counter_family(name).with_label(label)
+    }
+
+    /// Shorthand for `histogram_family(name).with_label(label)`.
+    pub fn histogram(&self, name: &'static str, label: &'static str) -> Arc<Histogram> {
+        self.histogram_family(name).with_label(label)
+    }
+
+    /// All counter values as `(family, label, value)`, sorted.
+    pub fn counter_values(&self) -> Vec<(String, String, u64)> {
+        let mut out = Vec::new();
+        for fam in self.counters.read().iter() {
+            for (label, v) in fam.values() {
+                out.push((fam.name().to_string(), label.to_string(), v));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All histogram snapshots as `(family, label, snapshot)`, sorted.
+    pub fn histogram_snapshots(&self) -> Vec<(String, String, HistogramSnapshot)> {
+        let mut out = Vec::new();
+        for fam in self.histograms.read().iter() {
+            for (label, s) in fam.snapshots() {
+                out.push((fam.name().to_string(), label.to_string(), s));
+            }
+        }
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        out
+    }
+
+    /// Resets every family in the registry.
+    pub fn reset(&self) {
+        for fam in self.counters.read().iter() {
+            fam.reset();
+        }
+        for fam in self.histograms.read().iter() {
+            fam.reset();
+        }
+    }
+}
+
+/// Number of lifecycle stages tracked per transaction.
+pub const STAGE_COUNT: usize = 6;
+
+/// The six stages of the transaction lifecycle (§III-B, §III-D).
+///
+/// Both engines report the same schema so figures and dashboards can compare
+/// them stage-for-stage; `DESIGN.md` documents what each stage maps to in
+/// either engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Transforming the stored procedure into functors (§III-B).
+    Transform,
+    /// Obtaining the decentralized timestamp / sequencing slot (§III-A).
+    TimestampGrant,
+    /// Installing functors into the partitions' hash tables (§III-B).
+    FunctorInstall,
+    /// Waiting for the transaction's epoch to close and settle (§III-D).
+    EpochClose,
+    /// Resolving installed functors to concrete values (§III-B).
+    FunctorComputing,
+    /// Final commit/abort decision reaching the client.
+    Commit,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Transform,
+        Stage::TimestampGrant,
+        Stage::FunctorInstall,
+        Stage::EpochClose,
+        Stage::FunctorComputing,
+        Stage::Commit,
+    ];
+
+    /// Position of this stage in [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable schema name of this stage (used in JSON exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Transform => "transform",
+            Stage::TimestampGrant => "timestamp_grant",
+            Stage::FunctorInstall => "functor_install",
+            Stage::EpochClose => "epoch_close",
+            Stage::FunctorComputing => "functor_computing",
+            Stage::Commit => "commit",
+        }
+    }
+
+    /// Parses a schema name back to a stage.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Completed lifecycle record of a single transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnTrace {
+    /// Microseconds attributed to each stage, indexed by [`Stage::index`].
+    /// Stages the observing side cannot see (e.g. backend-only stages from a
+    /// frontend trace) are 0.
+    pub stage_micros: [u64; STAGE_COUNT],
+    /// Wall-clock microseconds from timer start to finish.
+    pub total_micros: u64,
+    /// Whether the transaction committed.
+    pub committed: bool,
+}
+
+impl TxnTrace {
+    /// Sum of the per-stage attributions (≤ `total_micros` when the trace was
+    /// produced by a [`TxnTimer`], since marks partition the same clock).
+    pub fn attributed_micros(&self) -> u64 {
+        self.stage_micros.iter().sum()
+    }
+}
+
+/// Measures one transaction's stage timings against a monotonic clock.
+///
+/// Each [`mark`](TxnTimer::mark) attributes the time since the previous mark
+/// (or start) to a stage; [`finish`](TxnTimer::finish) seals the trace with
+/// total wall-clock time. Marking the same stage twice accumulates.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::{Stage, TxnTimer};
+/// let mut t = TxnTimer::start();
+/// t.mark(Stage::Transform);
+/// t.mark(Stage::FunctorInstall);
+/// let trace = t.finish(true);
+/// assert!(trace.total_micros >= trace.attributed_micros());
+/// assert!(trace.committed);
+/// ```
+#[derive(Debug)]
+pub struct TxnTimer {
+    started: Instant,
+    last: Instant,
+    stage_micros: [u64; STAGE_COUNT],
+}
+
+impl TxnTimer {
+    /// Starts the timer now.
+    pub fn start() -> TxnTimer {
+        let now = Instant::now();
+        TxnTimer {
+            started: now,
+            last: now,
+            stage_micros: [0; STAGE_COUNT],
+        }
+    }
+
+    /// Attributes the time since the previous mark to `stage`, returning the
+    /// delta in microseconds.
+    pub fn mark(&mut self, stage: Stage) -> u64 {
+        let now = Instant::now();
+        let delta = duration_micros(now.duration_since(self.last));
+        self.last = now;
+        self.stage_micros[stage.index()] += delta;
+        delta
+    }
+
+    /// Attributes `micros` measured externally (e.g. on another server) to
+    /// `stage` without consuming wall-clock time on this timer.
+    pub fn attribute(&mut self, stage: Stage, micros: u64) {
+        self.stage_micros[stage.index()] += micros;
+    }
+
+    /// Seals the trace with total wall-clock time and the final outcome.
+    pub fn finish(self, committed: bool) -> TxnTrace {
+        TxnTrace {
+            stage_micros: self.stage_micros,
+            total_micros: duration_micros(self.started.elapsed()),
+            committed,
+        }
+    }
+}
+
+/// Per-stage histograms plus a bounded ring of recent [`TxnTrace`]s.
+///
+/// The histograms are the aggregate view (percentile rollups across every
+/// transaction); the ring keeps the most recent complete traces for
+/// inspection. [`record_stage`](LifecycleTracer::record_stage) feeds only the
+/// histograms — servers call it from whichever thread observes a stage —
+/// while [`record_trace`](LifecycleTracer::record_trace) feeds only the ring,
+/// so a trace whose stages were already recorded individually is not double
+/// counted.
+#[derive(Debug)]
+pub struct LifecycleTracer {
+    stages: [Histogram; STAGE_COUNT],
+    ring: Mutex<VecDeque<TxnTrace>>,
+    capacity: usize,
+}
+
+impl LifecycleTracer {
+    /// Creates a tracer whose ring holds at most `capacity` traces.
+    pub fn new(capacity: usize) -> LifecycleTracer {
+        LifecycleTracer {
+            stages: Default::default(),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one sample for `stage` in the aggregate histograms.
+    pub fn record_stage(&self, stage: Stage, micros: u64) {
+        self.stages[stage.index()].record(micros);
+    }
+
+    /// Pushes a completed trace into the ring, evicting the oldest when full.
+    pub fn record_trace(&self, trace: TxnTrace) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The aggregate histogram for one stage.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Mergeable snapshots of all six stage histograms, in [`Stage::ALL`]
+    /// order.
+    pub fn stage_snapshots(&self) -> [HistogramSnapshot; STAGE_COUNT] {
+        std::array::from_fn(|i| self.stages[i].snapshot())
+    }
+
+    /// The most recent traces, oldest first (at most the ring capacity).
+    pub fn recent(&self) -> Vec<TxnTrace> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// Clears the histograms and the ring.
+    pub fn reset(&self) {
+        for h in &self.stages {
+            h.reset();
+        }
+        self.ring.lock().clear();
+    }
+}
+
+impl Default for LifecycleTracer {
+    fn default() -> Self {
+        LifecycleTracer::new(1024)
     }
 }
 
@@ -288,27 +768,25 @@ mod tests {
     }
 
     #[test]
-    fn breakdown_fractions_sum_to_one() {
-        let b = StageBreakdown::new(["install", "wait", "process"]);
-        b.record(0, 100);
-        b.record(1, 200);
-        b.record(2, 100);
-        let f = b.fractions();
-        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(f[1] > f[0]);
-    }
-
-    #[test]
-    fn breakdown_reset_clears() {
-        let b = StageBreakdown::new(["a", "b", "c"]);
-        b.record(2, 5);
-        b.reset();
-        assert_eq!(b.means_micros(), [0.0; 3]);
+    fn snapshot_merge_combines_distributions() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for _ in 0..99 {
+            a.record(100);
+        }
+        b.record(1_000_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 100);
+        assert_eq!(merged.max, 1_000_000);
+        // p50 stays in the low mode, p99+ reaches the straggler.
+        assert!(merged.quantile_micros(0.5) <= 256);
+        assert!(merged.quantile_micros(0.995) >= 1_000_000);
+        // Snapshot quantiles agree with the live histogram's.
+        assert_eq!(a.snapshot().quantile_micros(0.5), a.quantile_micros(0.5));
     }
 
     #[test]
     fn concurrent_recording_is_lossless() {
-        use std::sync::Arc;
         let h = Arc::new(Histogram::new());
         let threads: Vec<_> = (0..8)
             .map(|_| {
@@ -324,5 +802,111 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(h.count(), 8000);
+    }
+
+    #[test]
+    fn counter_family_caches_cells() {
+        let fam = CounterFamily::new("ops");
+        let a = fam.with_label("read");
+        let b = fam.with_label("read");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.add(2);
+        b.incr();
+        assert_eq!(fam.values(), vec![("read", 3)]);
+        fam.reset();
+        assert_eq!(fam.values(), vec![("read", 0)]);
+    }
+
+    #[test]
+    fn labeled_families_are_safe_under_concurrency() {
+        // Many threads race to create and increment the same labels; every
+        // increment must land on the shared cell (the tentpole's lock-free
+        // hot-path claim) and no label may be duplicated.
+        const LABELS: [&str; 4] = ["committed", "aborted", "installed", "computed"];
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let handle = reg.counter("outcomes", LABELS[t % LABELS.len()]);
+                    for i in 0..1000 {
+                        handle.incr();
+                        // Also exercise the lookup path concurrently.
+                        reg.histogram("lat", LABELS[(t + i) % LABELS.len()])
+                            .record(i as u64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let values = reg.counter_values();
+        assert_eq!(values.len(), LABELS.len());
+        assert_eq!(values.iter().map(|(_, _, v)| v).sum::<u64>(), 8000);
+        let hists = reg.histogram_snapshots();
+        assert_eq!(hists.len(), LABELS.len());
+        assert_eq!(hists.iter().map(|(_, _, s)| s.count).sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn registry_reset_clears_all_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a", "x").add(5);
+        reg.histogram("b", "y").record(10);
+        reg.reset();
+        assert_eq!(reg.counter_values(), vec![("a".into(), "x".into(), 0)]);
+        assert_eq!(reg.histogram_snapshots()[0].2.count, 0);
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+        }
+        assert_eq!(Stage::from_name("bogus"), None);
+        assert_eq!(Stage::ALL[Stage::EpochClose.index()], Stage::EpochClose);
+    }
+
+    #[test]
+    fn txn_timer_attributes_all_marked_time() {
+        let mut t = TxnTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.mark(Stage::Transform);
+        t.attribute(Stage::EpochClose, 500);
+        let trace = t.finish(false);
+        assert!(trace.stage_micros[Stage::Transform.index()] >= 1000);
+        assert_eq!(trace.stage_micros[Stage::EpochClose.index()], 500);
+        assert!(!trace.committed);
+        // Externally attributed time may exceed wall clock; marked time alone
+        // cannot.
+        assert!(trace.total_micros + 500 >= trace.attributed_micros());
+    }
+
+    #[test]
+    fn tracer_ring_is_bounded() {
+        let tracer = LifecycleTracer::new(4);
+        for i in 0..10 {
+            tracer.record_trace(TxnTrace {
+                stage_micros: [i; STAGE_COUNT],
+                total_micros: i * 6,
+                committed: true,
+            });
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent[0].stage_micros[0], 6); // oldest surviving trace
+        assert_eq!(recent[3].stage_micros[0], 9);
+    }
+
+    #[test]
+    fn tracer_stages_aggregate_independently_of_ring() {
+        let tracer = LifecycleTracer::new(2);
+        tracer.record_stage(Stage::Commit, 100);
+        tracer.record_stage(Stage::Commit, 300);
+        assert_eq!(tracer.stage(Stage::Commit).count(), 2);
+        assert!(tracer.recent().is_empty());
+        tracer.reset();
+        assert_eq!(tracer.stage(Stage::Commit).count(), 0);
     }
 }

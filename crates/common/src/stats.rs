@@ -1,0 +1,310 @@
+//! The unified stats schema: one composable snapshot tree for both engines.
+//!
+//! Every observable component — cluster, server, partition, network bus,
+//! epoch manager — reports a [`StatsSnapshot`] node holding named counters
+//! and per-stage latency summaries ([`StageStats`]), with children forming
+//! the cluster → server → partition/net hierarchy. The same schema is
+//! rendered as human-readable text ([`fmt::Display`]) and JSON
+//! ([`StatsSnapshot::to_json`]/[`from_json`](StatsSnapshot::from_json)), so
+//! the bench harness, CI artifacts and interactive debugging all read the
+//! same numbers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+
+/// Latency summary of one lifecycle stage (or any other histogram).
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::Histogram;
+/// use aloha_common::stats::StageStats;
+/// let h = Histogram::new();
+/// h.record(100);
+/// let s = StageStats::from(&h.snapshot());
+/// assert_eq!(s.count, 1);
+/// assert!(s.p99_micros >= 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_micros: f64,
+    /// Median latency in microseconds (bucket upper bound).
+    pub p50_micros: u64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_micros: u64,
+    /// Largest observed latency in microseconds.
+    pub max_micros: u64,
+}
+
+impl From<&HistogramSnapshot> for StageStats {
+    fn from(h: &HistogramSnapshot) -> StageStats {
+        StageStats {
+            count: h.count,
+            mean_micros: h.mean_micros(),
+            p50_micros: h.quantile_micros(0.50),
+            p95_micros: h.quantile_micros(0.95),
+            p99_micros: h.quantile_micros(0.99),
+            max_micros: h.max,
+        }
+    }
+}
+
+impl StageStats {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean_micros", Json::from(self.mean_micros)),
+            ("p50_micros", Json::from(self.p50_micros)),
+            ("p95_micros", Json::from(self.p95_micros)),
+            ("p99_micros", Json::from(self.p99_micros)),
+            ("max_micros", Json::from(self.max_micros)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<StageStats, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("stage stats missing numeric field '{k}'"))
+        };
+        Ok(StageStats {
+            count: field("count")? as u64,
+            mean_micros: field("mean_micros")?,
+            p50_micros: field("p50_micros")? as u64,
+            p95_micros: field("p95_micros")? as u64,
+            p99_micros: field("p99_micros")? as u64,
+            max_micros: field("max_micros")? as u64,
+        })
+    }
+}
+
+/// One node of the composable stats tree.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::stats::StatsSnapshot;
+/// let mut node = StatsSnapshot::new("cluster");
+/// node.set_counter("committed", 42);
+/// let text = node.to_json().to_string();
+/// let back = StatsSnapshot::from_json_text(&text).unwrap();
+/// assert_eq!(back.counter("committed"), Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Component name ("cluster", "server_3", "net", ...).
+    pub name: String,
+    /// Named monotonic counts (committed, aborted, messages, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Named latency summaries, keyed by stage schema name.
+    pub stages: BTreeMap<String, StageStats>,
+    /// Child components.
+    pub children: Vec<StatsSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Creates an empty node.
+    pub fn new(name: impl Into<String>) -> StatsSnapshot {
+        StatsSnapshot {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets a counter value.
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Sets a stage summary.
+    pub fn set_stage(&mut self, name: impl Into<String>, stats: StageStats) {
+        self.stages.insert(name.into(), stats);
+    }
+
+    /// Appends a child node.
+    pub fn push_child(&mut self, child: StatsSnapshot) {
+        self.children.push(child);
+    }
+
+    /// Reads a counter on this node.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Reads a stage summary on this node.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.get(name)
+    }
+
+    /// Finds the first direct child with the given name.
+    pub fn child(&self, name: &str) -> Option<&StatsSnapshot> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Serializes the whole tree to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
+        let stages = Json::Obj(
+            self.stages
+                .iter()
+                .map(|(k, s)| (k.clone(), s.to_json()))
+                .collect(),
+        );
+        let children = Json::Arr(self.children.iter().map(StatsSnapshot::to_json).collect());
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("counters", counters),
+            ("stages", stages),
+            ("children", children),
+        ])
+    }
+
+    /// Reconstructs a tree from a JSON value produced by
+    /// [`to_json`](StatsSnapshot::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<StatsSnapshot, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("snapshot missing 'name'")?
+            .to_string();
+        let mut node = StatsSnapshot::new(name);
+        if let Some(counters) = v.get("counters").and_then(Json::as_obj) {
+            for (k, c) in counters {
+                let value = c
+                    .as_u64()
+                    .ok_or_else(|| format!("counter '{k}' is not a count"))?;
+                node.counters.insert(k.clone(), value);
+            }
+        }
+        if let Some(stages) = v.get("stages").and_then(Json::as_obj) {
+            for (k, s) in stages {
+                node.stages.insert(k.clone(), StageStats::from_json(s)?);
+            }
+        }
+        if let Some(children) = v.get("children").and_then(Json::as_arr) {
+            for c in children {
+                node.children.push(StatsSnapshot::from_json(c)?);
+            }
+        }
+        Ok(node)
+    }
+
+    /// Parses a JSON document into a snapshot tree.
+    pub fn from_json_text(text: &str) -> Result<StatsSnapshot, String> {
+        StatsSnapshot::from_json(&Json::parse(text)?)
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        writeln!(f, "{pad}{}", self.name)?;
+        for (k, v) in &self.counters {
+            writeln!(f, "{pad}  {k}: {v}")?;
+        }
+        for (k, s) in &self.stages {
+            writeln!(
+                f,
+                "{pad}  {k}: n={} mean={:.1}us p50={}us p95={}us p99={}us max={}us",
+                s.count, s.mean_micros, s.p50_micros, s.p95_micros, s.p99_micros, s.max_micros
+            )?;
+        }
+        for child in &self.children {
+            child.render(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, Stage};
+
+    fn sample_tree() -> StatsSnapshot {
+        let h = Histogram::new();
+        for us in [120, 450, 9_000] {
+            h.record(us);
+        }
+        let mut root = StatsSnapshot::new("cluster");
+        root.set_counter("committed", 7);
+        root.set_counter("aborted", 1);
+        for stage in Stage::ALL {
+            root.set_stage(stage.name(), StageStats::from(&h.snapshot()));
+        }
+        let mut server = StatsSnapshot::new("server_0");
+        server.set_counter("installs", 12);
+        let mut net = StatsSnapshot::new("net");
+        net.set_counter("messages", 99);
+        server.push_child(net);
+        root.push_child(server);
+        root
+    }
+
+    #[test]
+    fn json_round_trip_preserves_tree() {
+        let tree = sample_tree();
+        let text = tree.to_json().to_string();
+        let back = StatsSnapshot::from_json_text(&text).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(
+            back.child("server_0")
+                .and_then(|s| s.child("net"))
+                .and_then(|n| n.counter("messages")),
+            Some(99)
+        );
+    }
+
+    #[test]
+    fn all_six_stages_export_percentiles() {
+        let tree = sample_tree();
+        let text = tree.to_json().to_string();
+        let back = StatsSnapshot::from_json_text(&text).unwrap();
+        for stage in Stage::ALL {
+            let s = back.stage(stage.name()).expect("stage present");
+            assert_eq!(s.count, 3);
+            assert!(s.p50_micros > 0 && s.p95_micros >= s.p50_micros);
+            assert!(s.p99_micros >= s.p95_micros);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(StatsSnapshot::from_json_text("{}").is_err());
+        assert!(StatsSnapshot::from_json_text("{\"name\":3}").is_err());
+        let bad_counter = "{\"name\":\"x\",\"counters\":{\"c\":\"nope\"}}";
+        assert!(StatsSnapshot::from_json_text(bad_counter).is_err());
+        let bad_stage = "{\"name\":\"x\",\"stages\":{\"s\":{\"count\":1}}}";
+        assert!(StatsSnapshot::from_json_text(bad_stage).is_err());
+    }
+
+    #[test]
+    fn display_renders_nested_components() {
+        let text = sample_tree().to_string();
+        assert!(text.contains("cluster"));
+        assert!(text.contains("  committed: 7"));
+        assert!(text.contains("    installs: 12"));
+        assert!(text.contains("epoch_close"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the transaction-lifecycle tracing types.
+//!
+//! The core invariant: however a transaction's pipeline interleaves — any
+//! number of marks, in any stage order, with repeats — the timer's stage
+//! attributions partition a monotonic clock, so cumulative attributed time
+//! never decreases and never exceeds the sealed trace's wall-clock total.
+
+use aloha_common::metrics::{LifecycleTracer, Stage, TxnTimer, TxnTrace, STAGE_COUNT};
+use aloha_common::stats::{StageStats, StatsSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stage_timing_is_monotone(
+        ops in vec((0usize..STAGE_COUNT, 0u64..200), 0..24),
+        committed in any::<bool>(),
+    ) {
+        let mut timer = TxnTimer::start();
+        let mut attributed_so_far = 0u64;
+        for (stage_idx, spin_iters) in &ops {
+            // Burn a little real time so marks see non-trivial deltas.
+            for i in 0..*spin_iters {
+                std::hint::black_box(i);
+            }
+            let delta = timer.mark(Stage::ALL[*stage_idx]);
+            let next = attributed_so_far.checked_add(delta).expect("no overflow");
+            // Monotonicity: cumulative attributed time never decreases.
+            prop_assert!(next >= attributed_so_far);
+            attributed_so_far = next;
+        }
+        let trace = timer.finish(committed);
+        prop_assert_eq!(trace.committed, committed);
+        prop_assert_eq!(trace.attributed_micros(), attributed_so_far);
+        // Marked time partitions the wall clock: it can never exceed the
+        // total elapsed time the sealed trace reports.
+        prop_assert!(
+            trace.attributed_micros() <= trace.total_micros,
+            "attributed {}us > total {}us",
+            trace.attributed_micros(),
+            trace.total_micros
+        );
+        // Every stage the op sequence never marked stays at zero.
+        for stage in Stage::ALL {
+            if !ops.iter().any(|(i, _)| *i == stage.index()) {
+                prop_assert_eq!(trace.stage_micros[stage.index()], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tracer_rollups_match_recorded_samples(
+        samples in vec((0usize..STAGE_COUNT, 1u64..1_000_000), 1..64),
+    ) {
+        let tracer = LifecycleTracer::new(16);
+        let mut per_stage = [0u64; STAGE_COUNT];
+        for (stage_idx, micros) in &samples {
+            tracer.record_stage(Stage::ALL[*stage_idx], *micros);
+            per_stage[*stage_idx] += 1;
+        }
+        let snaps = tracer.stage_snapshots();
+        for stage in Stage::ALL {
+            let snap = &snaps[stage.index()];
+            prop_assert_eq!(snap.count, per_stage[stage.index()]);
+            let stats = StageStats::from(snap);
+            // Percentiles are ordered and bracket the recorded range.
+            prop_assert!(stats.p50_micros <= stats.p95_micros);
+            prop_assert!(stats.p95_micros <= stats.p99_micros);
+            if snap.count > 0 {
+                prop_assert!(stats.p50_micros >= 1);
+                prop_assert!(stats.max_micros >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips(
+        counters in vec((0u8..8, 0u64..1_000_000_000), 0..6),
+        stage_samples in vec((0usize..STAGE_COUNT, 1u64..10_000_000), 0..32),
+        depth_markers in vec(0u8..4, 0..3),
+    ) {
+        let tracer = LifecycleTracer::new(8);
+        for (stage_idx, micros) in &stage_samples {
+            tracer.record_stage(Stage::ALL[*stage_idx], *micros);
+        }
+        let mut node = StatsSnapshot::new("root");
+        for (id, value) in &counters {
+            node.set_counter(format!("counter_{id}"), *value);
+        }
+        for (stage, snap) in Stage::ALL.iter().zip(tracer.stage_snapshots().iter()) {
+            node.set_stage(stage.name(), StageStats::from(snap));
+        }
+        // Nest a few children to exercise recursive encode/decode.
+        for (i, marker) in depth_markers.iter().enumerate() {
+            let mut child = StatsSnapshot::new(format!("child_{i}"));
+            child.set_counter("marker", u64::from(*marker));
+            node.push_child(child);
+        }
+        let text = node.to_json().to_string();
+        let back = StatsSnapshot::from_json_text(&text).expect("parse back");
+        prop_assert_eq!(&back, &node);
+    }
+}
+
+#[test]
+fn ring_keeps_newest_traces_under_churn() {
+    let tracer = LifecycleTracer::new(8);
+    for i in 0..100u64 {
+        tracer.record_trace(TxnTrace {
+            stage_micros: [i; STAGE_COUNT],
+            total_micros: i * STAGE_COUNT as u64,
+            committed: i % 3 != 0,
+        });
+    }
+    let recent = tracer.recent();
+    assert_eq!(recent.len(), 8);
+    assert!(recent
+        .windows(2)
+        .all(|w| w[0].total_micros < w[1].total_micros));
+    assert_eq!(recent.last().unwrap().stage_micros[0], 99);
+}

@@ -6,6 +6,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aloha_common::clock::{Clock, ClockBase, SkewedClock, SystemClock};
+use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
+use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{EpochId, PartitionId};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
 use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
@@ -16,7 +18,7 @@ use aloha_storage::Partition;
 use crate::checker::History;
 use crate::msg::ServerMsg;
 use crate::program::{ProgramId, ProgramRegistry, TxnProgram};
-use crate::server::{run_dispatcher, run_processor, Server, TxnHandle};
+use crate::server::{run_dispatcher, run_processor, Server, TxnHandle, TxnOutcome};
 
 /// Cluster-wide configuration.
 ///
@@ -403,23 +405,6 @@ impl EpochTransport for BusTransport {
     }
 }
 
-/// Aggregated cluster statistics (sums/means over all servers).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ClusterStats {
-    /// Transactions resolved as committed.
-    pub committed: u64,
-    /// Transactions resolved as aborted.
-    pub aborted: u64,
-    /// Functor installs accepted by all backends.
-    pub installs: u64,
-    /// Mean end-to-end latency in microseconds (weighted across servers).
-    pub latency_mean_micros: f64,
-    /// Number of latency samples.
-    pub latency_count: u64,
-    /// Mean per-stage latency: install / wait-for-processing / processing.
-    pub stage_means_micros: [f64; 3],
-}
-
 /// A running ALOHA-DB cluster.
 ///
 /// Dropping the cluster shuts it down; prefer calling [`Cluster::shutdown`]
@@ -510,47 +495,46 @@ impl Cluster {
         self.servers[owner.index()].partition().load(&key, functor);
     }
 
-    /// Aggregated statistics across all servers.
-    pub fn stats(&self) -> ClusterStats {
+    /// One composable snapshot of the whole cluster: summed transaction
+    /// counters and cluster-wide per-stage percentiles at the root (raw
+    /// histogram buckets are merged across servers before quantiles are
+    /// taken), with per-server, epoch-manager and network subtrees as
+    /// children.
+    ///
+    /// The root carries all six lifecycle stages plus an `e2e` entry for
+    /// end-to-end latency. Export with [`StatsSnapshot::to_json`] or the
+    /// [`std::fmt::Display`] rendering.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut root = StatsSnapshot::new("cluster");
         let mut committed = 0;
         let mut aborted = 0;
         let mut installs = 0;
-        let mut latency_weighted = 0.0;
-        let mut latency_count = 0u64;
-        let mut stage_sums = [0.0f64; 3];
-        let mut stage_servers = 0usize;
+        let mut compute_errors = 0;
+        let mut merged: [HistogramSnapshot; STAGE_COUNT + 1] = Default::default();
         for server in &self.servers {
             let stats = server.stats();
             committed += stats.committed();
             aborted += stats.aborted();
             installs += stats.installs();
-            let n = stats.latency().count();
-            latency_weighted += stats.latency().mean_micros() * n as f64;
-            latency_count += n;
-            let means = stats.breakdown().means_micros();
-            if means.iter().any(|&m| m > 0.0) {
-                for (sum, m) in stage_sums.iter_mut().zip(means) {
-                    *sum += m;
-                }
-                stage_servers += 1;
+            compute_errors += stats.compute_errors();
+            for (acc, raw) in merged.iter_mut().zip(stats.raw_histograms()) {
+                acc.merge(&raw);
             }
+            root.push_child(server.snapshot());
         }
-        ClusterStats {
-            committed,
-            aborted,
-            installs,
-            latency_mean_micros: if latency_count == 0 {
-                0.0
-            } else {
-                latency_weighted / latency_count as f64
-            },
-            latency_count,
-            stage_means_micros: if stage_servers == 0 {
-                [0.0; 3]
-            } else {
-                std::array::from_fn(|i| stage_sums[i] / stage_servers as f64)
-            },
+        root.set_counter("committed", committed);
+        root.set_counter("aborted", aborted);
+        root.set_counter("installs", installs);
+        root.set_counter("compute_errors", compute_errors);
+        for (stage, snap) in Stage::ALL.iter().zip(&merged[..STAGE_COUNT]) {
+            root.set_stage(stage.name(), StageStats::from(snap));
         }
+        root.set_stage("e2e", StageStats::from(&merged[STAGE_COUNT]));
+        if let Some(em) = &self.em {
+            root.push_child(em.stats().snapshot());
+        }
+        root.push_child(self.bus.stats().snapshot());
+        root
     }
 
     /// Resets every server's statistics (benchmark warm-up boundary).
@@ -744,16 +728,27 @@ impl Database {
     }
 
     /// Executes a one-shot transaction via a round-robin front-end; returns
-    /// after the write-only phase.
+    /// after the write-only phase. Args accept anything byte-like: arrays
+    /// (`7i64.to_be_bytes()`), slices, `Vec<u8>`, or `&str`.
     ///
     /// # Errors
     ///
     /// Fails on shutdown, unknown programs, transform rejections and
     /// transport errors.
-    pub fn execute(&self, program: ProgramId, args: impl AsRef<[u8]>) -> Result<TxnHandle> {
+    pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<TxnHandle> {
         let fe = self.pick_fe();
         self.sync_session(fe);
-        fe.coordinate(program, args.as_ref())
+        fe.coordinate(program, &args.into())
+    }
+
+    /// Executes and blocks until the functor computing phase resolves:
+    /// [`Database::execute`] followed by [`TxnHandle::wait_processed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::execute`], plus wait-side shutdown/transport errors.
+    pub fn execute_wait(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<TxnOutcome> {
+        self.execute(program, args)?.wait_processed()
     }
 
     /// Executes with a pinned coordinator (e.g. a server that owns part of
@@ -767,13 +762,13 @@ impl Database {
         &self,
         fe: ServerId,
         program: ProgramId,
-        args: impl AsRef<[u8]>,
+        args: impl Into<Vec<u8>>,
     ) -> Result<TxnHandle> {
         let server = self
             .servers
             .get(fe.index())
             .ok_or(Error::NoSuchPartition(PartitionId(fe.0)))?;
-        server.coordinate(program, args.as_ref())
+        server.coordinate(program, &args.into())
     }
 
     /// Latest-version read-only transaction (§III-B): assigned a timestamp
@@ -788,6 +783,16 @@ impl Database {
         let values = fe.read_latest(keys)?;
         self.note_session(fe.epoch().visible_bound());
         Ok(values)
+    }
+
+    /// Latest-version read of a single key: [`Database::read_latest`] without
+    /// the slice ceremony.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown or transport errors.
+    pub fn read_one(&self, key: &Key) -> Result<Option<Value>> {
+        Ok(self.read_latest(std::slice::from_ref(key))?.pop().flatten())
     }
 
     /// Historical read at an already-settled timestamp.

@@ -48,7 +48,7 @@ pub mod program;
 pub mod server;
 
 pub use checker::{diff_states, replay_history, CommitRecord, Divergence, History};
-pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, ClusterStats, Database, GcConfig};
+pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, Database, GcConfig};
 pub use msg::{InstallOutcome, ServerMsg, VersionState};
 pub use program::{
     fn_program, Check, ProgramId, ProgramRegistry, SnapshotReader, TransformCtx, TxnPlan,

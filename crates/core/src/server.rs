@@ -6,7 +6,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aloha_common::metrics::{duration_micros, Counter, Histogram, StageBreakdown};
+use aloha_common::metrics::{
+    duration_micros, Counter, Histogram, HistogramSnapshot, LifecycleTracer, Stage, TxnTimer,
+    STAGE_COUNT,
+};
+use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp};
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
@@ -44,12 +48,22 @@ pub(crate) struct QueueEntry {
     pub key: Key,
     pub version: Timestamp,
     pub installed_at: Instant,
+    /// When the epoch grant released this entry to the processors; equals
+    /// `installed_at` until [`Server::handle_grant`] stamps it.
+    pub released_at: Instant,
 }
 
-/// Per-server metrics: the Fig 10 stage breakdown plus transaction counters.
+/// Per-server metrics: the lifecycle tracer (Fig 10 stage accounting) plus
+/// transaction counters.
+///
+/// FE-observable stages (`transform`, `timestamp_grant`, `functor_install`,
+/// `commit`) are recorded by the coordinator; BE-observable stages
+/// (`epoch_close`, `functor_computing`) are recorded where the backend sees
+/// them. Each stage is recorded exactly once per transaction event, so
+/// cluster rollups can merge the histograms without double counting.
 #[derive(Debug)]
 pub struct ServerStats {
-    breakdown: StageBreakdown,
+    tracer: LifecycleTracer,
     latency: Histogram,
     committed: Counter,
     aborted: Counter,
@@ -60,7 +74,7 @@ pub struct ServerStats {
 impl Default for ServerStats {
     fn default() -> Self {
         ServerStats {
-            breakdown: StageBreakdown::new(["install", "wait", "process"]),
+            tracer: LifecycleTracer::default(),
             latency: Histogram::new(),
             committed: Counter::new(),
             aborted: Counter::new(),
@@ -71,10 +85,10 @@ impl Default for ServerStats {
 }
 
 impl ServerStats {
-    /// The Fig 10 stage breakdown: functor installing / waiting for
-    /// processing / processing.
-    pub fn breakdown(&self) -> &StageBreakdown {
-        &self.breakdown
+    /// The lifecycle tracer: per-stage histograms plus the ring of recent
+    /// transaction traces.
+    pub fn tracer(&self) -> &LifecycleTracer {
+        &self.tracer
     }
 
     /// End-to-end transaction latency (issue → functors fully processed).
@@ -103,9 +117,37 @@ impl ServerStats {
         self.compute_errors.get()
     }
 
+    /// Mergeable raw histograms: the six stages in [`Stage::ALL`] order plus
+    /// end-to-end latency last. Cluster rollups merge these across servers
+    /// before computing percentiles.
+    pub fn raw_histograms(&self) -> [HistogramSnapshot; STAGE_COUNT + 1] {
+        let stages = self.tracer.stage_snapshots();
+        std::array::from_fn(|i| {
+            if i < STAGE_COUNT {
+                stages[i].clone()
+            } else {
+                self.latency.snapshot()
+            }
+        })
+    }
+
+    /// Exports this server's metrics as one node of the unified stats tree.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("committed", self.committed());
+        node.set_counter("aborted", self.aborted());
+        node.set_counter("installs", self.installs());
+        node.set_counter("compute_errors", self.compute_errors());
+        for (stage, snap) in Stage::ALL.iter().zip(self.tracer.stage_snapshots()) {
+            node.set_stage(stage.name(), StageStats::from(&snap));
+        }
+        node.set_stage("e2e", StageStats::from(&self.latency.snapshot()));
+        node
+    }
+
     /// Clears every counter and histogram (benchmark warm-up).
     pub fn reset(&self) {
-        self.breakdown.reset();
+        self.tracer.reset();
         self.latency.reset();
         self.committed.reset();
         self.aborted.reset();
@@ -220,6 +262,14 @@ impl Server {
         &self.stats
     }
 
+    /// This server's node of the unified stats tree (with its partition's
+    /// counters as a child).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut node = self.stats.snapshot(format!("server_{}", self.id.0));
+        node.push_child(self.partition.stats().snapshot("partition"));
+        node
+    }
+
     /// The server owning `key`'s partition.
     pub fn owner_of(&self, key: &Key) -> ServerId {
         ServerId(key.partition(self.total_servers).0)
@@ -297,11 +347,15 @@ impl Server {
     /// transport failures.
     pub fn coordinate(self: &Arc<Self>, program: ProgramId, args: &[u8]) -> Result<TxnHandle> {
         let issued_at = Instant::now();
+        let mut timer = TxnTimer::start();
         let program = Arc::clone(self.programs.get(program)?);
         let ticket = self.epoch.begin_txn(None).map_err(|e| match e {
             aloha_epoch::BeginError::ShuttingDown => Error::ShuttingDown,
             aloha_epoch::BeginError::DeadlineExceeded => Error::Timeout("epoch grant".into()),
         })?;
+        self.stats
+            .tracer
+            .record_stage(Stage::TimestampGrant, timer.mark(Stage::TimestampGrant));
 
         let reader = FeSnapshotReader {
             server: self,
@@ -320,6 +374,9 @@ impl Server {
                 return Err(e);
             }
         };
+        self.stats
+            .tracer
+            .record_stage(Stage::Transform, timer.mark(Stage::Transform));
         let writes = plan.into_writes();
         // Prefer a probe key this coordinator owns so the outcome resolution
         // in `wait_processed` stays local (any functor of the transaction
@@ -362,14 +419,15 @@ impl Server {
         }
         phase?;
         self.stats
-            .breakdown
-            .record(0, duration_micros(issued_at.elapsed()));
+            .tracer
+            .record_stage(Stage::FunctorInstall, timer.mark(Stage::FunctorInstall));
         Ok(TxnHandle {
             fe: Arc::clone(self),
             ts: ticket.ts,
             probe,
             aborted_at_install: !ok,
             issued_at,
+            timer: Mutex::new(Some(timer)),
         })
     }
 
@@ -579,6 +637,7 @@ impl Server {
                 key: w.key,
                 version,
                 installed_at,
+                released_at: installed_at,
             });
         }
         // §III-A: acknowledge only once the backup holds the records too.
@@ -683,10 +742,18 @@ impl Server {
         // Everything at or below the settled bound is installed; release its
         // buffered metadata to the processors (§IV-D).
         let settled = grant.settled;
+        let released_at = Instant::now();
         let mut pending = self.pending.lock();
         let mut keep = Vec::with_capacity(pending.len());
-        for entry in pending.drain(..) {
+        for mut entry in pending.drain(..) {
             if entry.version <= settled {
+                // The functor waited from install until its epoch settled:
+                // that wait is the epoch-close stage (§III-D).
+                self.stats.tracer.record_stage(
+                    Stage::EpochClose,
+                    duration_micros(released_at.duration_since(entry.installed_at)),
+                );
+                entry.released_at = released_at;
                 let _ = self.queue_tx.send(entry);
             } else {
                 keep.push(entry);
@@ -822,6 +889,9 @@ pub struct TxnHandle {
     probe: Option<Key>,
     aborted_at_install: bool,
     issued_at: Instant,
+    /// Lifecycle timer carried from [`Server::coordinate`]; consumed by the
+    /// first [`TxnHandle::wait_processed`] to seal the transaction's trace.
+    timer: Mutex<Option<TxnTimer>>,
 }
 
 impl TxnHandle {
@@ -849,9 +919,22 @@ impl TxnHandle {
             .stats
             .latency
             .record(duration_micros(self.issued_at.elapsed()));
+        let committed = outcome == TxnOutcome::Committed;
         match outcome {
             TxnOutcome::Committed => self.fe.stats.committed.incr(),
             TxnOutcome::Aborted => self.fe.stats.aborted.incr(),
+        }
+        if let Some(mut timer) = self.timer.lock().take() {
+            // Everything after the write-only phase — waiting for the epoch
+            // to settle and the outcome probe — is the commit stage from the
+            // coordinator's viewpoint. BE-side stages (epoch close, functor
+            // computing) are recorded by the backend that observes them, so
+            // this trace carries only FE-observable stages.
+            self.fe
+                .stats
+                .tracer
+                .record_stage(Stage::Commit, timer.mark(Stage::Commit));
+            self.fe.stats.tracer.record_trace(timer.finish(committed));
         }
         Ok(outcome)
     }
@@ -986,11 +1069,6 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
     loop {
         match queue.recv_timeout(Duration::from_millis(50)) {
             Ok(entry) => {
-                server
-                    .stats
-                    .breakdown
-                    .record(1, duration_micros(entry.installed_at.elapsed()));
-                let started = Instant::now();
                 if server
                     .partition
                     .compute(&entry.key, entry.version, server.as_env())
@@ -998,10 +1076,12 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
                 {
                     server.stats.compute_errors.incr();
                 }
-                server
-                    .stats
-                    .breakdown
-                    .record(2, duration_micros(started.elapsed()));
+                // Queue wait plus the compute itself: everything after the
+                // epoch released the functor is the computing stage (§IV-D).
+                server.stats.tracer.record_stage(
+                    Stage::FunctorComputing,
+                    duration_micros(entry.released_at.elapsed()),
+                );
             }
             Err(RecvTimeoutError::Timeout) => {
                 if server.is_shutdown() {

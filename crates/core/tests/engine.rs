@@ -78,7 +78,7 @@ fn cross_partition_transfer_conserves_money() {
         args.extend_from_slice(from.as_bytes());
         args.extend_from_slice(to.as_bytes());
         args.extend_from_slice(&(7i64).to_be_bytes());
-        handles.push(db.execute(ProgramId(1), &args).unwrap());
+        handles.push(db.execute(ProgramId(1), args).unwrap());
     }
     for h in handles {
         assert_eq!(h.wait_processed().unwrap(), TxnOutcome::Committed);
@@ -371,12 +371,13 @@ fn stats_reflect_outcomes() {
         .unwrap()
         .wait_processed()
         .unwrap();
-    let stats = cluster.stats();
-    assert_eq!(stats.committed, 3);
-    assert_eq!(stats.aborted, 1);
-    assert!(stats.installs >= 4);
-    assert!(stats.latency_count == 4);
-    assert!(stats.latency_mean_micros > 0.0);
+    let snapshot = cluster.snapshot();
+    assert_eq!(snapshot.counter("committed"), Some(3));
+    assert_eq!(snapshot.counter("aborted"), Some(1));
+    assert!(snapshot.counter("installs").unwrap() >= 4);
+    let e2e = snapshot.stage("e2e").expect("e2e rollup");
+    assert_eq!(e2e.count, 4);
+    assert!(e2e.mean_micros > 0.0);
     cluster.shutdown();
 }
 
@@ -481,8 +482,8 @@ fn transform_error_rejects_before_install() {
     let db = cluster.database();
     assert!(db.execute(ProgramId(1), b"").is_err());
     // The cluster keeps running afterwards (the ticket was released).
-    let stats = cluster.stats();
-    assert_eq!(stats.installs, 0);
+    let snapshot = cluster.snapshot();
+    assert_eq!(snapshot.counter("installs"), Some(0));
     cluster.shutdown();
 }
 

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::metrics::{Counter, Histogram};
+use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Clock, EpochId, ServerId, Timestamp};
 
 use crate::auth::{Authorization, Grant};
@@ -92,6 +93,17 @@ impl EmStats {
     /// during which no transaction can start under authorization.
     pub fn switch_micros(&self) -> &Histogram {
         &self.switch_micros
+    }
+
+    /// Exports these statistics as one node of the unified stats tree.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new("epoch_manager");
+        node.set_counter("epochs_completed", self.epochs_completed());
+        node.set_stage(
+            "epoch_switch",
+            StageStats::from(&self.switch_micros.snapshot()),
+        );
+        node
     }
 }
 

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::metrics::Counter;
+use aloha_common::stats::StatsSnapshot;
 use aloha_common::{Error, Result, ServerId};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
@@ -71,6 +72,17 @@ impl NetStats {
     /// Messages the fault layer delayed past their natural order.
     pub fn injected_reorders(&self) -> u64 {
         self.injected_reorders.get()
+    }
+
+    /// Exports these counters as one node of the unified stats tree.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new("net");
+        node.set_counter("messages", self.messages());
+        node.set_counter("dropped", self.dropped());
+        node.set_counter("injected_drops", self.injected_drops());
+        node.set_counter("injected_dups", self.injected_dups());
+        node.set_counter("injected_reorders", self.injected_reorders());
+        node
     }
 }
 

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use aloha_common::metrics::Counter;
+use aloha_common::stats::StatsSnapshot;
 use aloha_common::{Error, Key, PartitionId, Result, Timestamp};
 use aloha_functor::{
     builtin, ComputeInput, Functor, HandlerOutput, HandlerRegistry, Reads, VersionedRead,
@@ -227,6 +228,19 @@ impl PartitionStats {
     /// Versions rewritten to `ABORTED` by coordinator rollback.
     pub fn aborted_versions(&self) -> u64 {
         self.aborted_versions.get()
+    }
+
+    /// Exports these counters as one node of the unified stats tree.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("computes", self.computes());
+        node.set_counter("on_demand_computes", self.on_demand_computes());
+        node.set_counter("remote_reads", self.remote_reads());
+        node.set_counter("push_hits", self.push_hits());
+        node.set_counter("pushes_sent", self.pushes_sent());
+        node.set_counter("deferred_installs", self.deferred_installs());
+        node.set_counter("aborted_versions", self.aborted_versions());
+        node
     }
 }
 

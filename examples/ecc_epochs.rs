@@ -78,10 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         started.elapsed().as_millis() / epoch.as_millis()
     );
 
-    let stats = cluster.stats();
+    let snapshot = cluster.snapshot();
+    let mean = |stage: &str| snapshot.stage(stage).map_or(0.0, |s| s.mean_micros);
     println!(
-        "\nstage means: install {:.0} µs | wait-for-processing {:.0} µs | processing {:.0} µs",
-        stats.stage_means_micros[0], stats.stage_means_micros[1], stats.stage_means_micros[2]
+        "\nstage means: install {:.0} µs | wait-for-epoch {:.0} µs | computing {:.0} µs",
+        mean("functor_install"),
+        mean("epoch_close"),
+        mean("functor_computing")
     );
     println!("(waiting for the epoch dominates — Fig 10's shape)");
     cluster.shutdown();

@@ -37,26 +37,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = cluster.database();
     println!("transferring 30 from alice to bob, three times...");
     for i in 1..=3 {
-        let handle = db.execute(TRANSFER, 30i64.to_be_bytes())?;
-        let outcome = handle.wait_processed()?;
+        // execute_wait = submit + block until the functors are processed.
+        let outcome = db.execute_wait(TRANSFER, 30i64.to_be_bytes())?;
         assert_eq!(outcome, TxnOutcome::Committed);
-        println!(
-            "  transfer #{i} committed at version {}",
-            handle.timestamp()
-        );
+        println!("  transfer #{i} committed");
     }
 
-    let balances = db.read_latest(&[Key::from("alice"), Key::from("bob")])?;
-    let alice = balances[0].as_ref().unwrap().as_i64().unwrap();
-    let bob = balances[1].as_ref().unwrap().as_i64().unwrap();
+    let alice = db.read_one(&Key::from("alice"))?.unwrap().as_i64().unwrap();
+    let bob = db.read_one(&Key::from("bob"))?.unwrap().as_i64().unwrap();
     println!("final balances: alice={alice} bob={bob}");
     assert_eq!((alice, bob), (10, 90));
 
-    let stats = cluster.stats();
+    // One stats tree for the whole cluster: counters, per-stage latency
+    // percentiles, and per-server subtrees. `.to_json()` exports the same
+    // structure machine-readably.
+    let snapshot = cluster.snapshot();
     println!(
-        "cluster stats: {} committed, mean latency {:.1} ms",
-        stats.committed,
-        stats.latency_mean_micros / 1000.0
+        "cluster stats: {} committed, e2e p99 {:.1} ms",
+        snapshot.counter("committed").unwrap_or(0),
+        snapshot.stage("e2e").map_or(0.0, |s| s.p99_micros as f64) / 1000.0
     );
     cluster.shutdown();
     println!("done.");

@@ -101,10 +101,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(wsum, total);
     println!("Payment: warehouse YTD sum {wsum} cents equals total paid — conserved");
 
-    let stats = cluster.stats();
+    let snapshot = cluster.snapshot();
+    let mean = |stage: &str| snapshot.stage(stage).map_or(0.0, |s| s.mean_micros);
     println!(
         "stage breakdown (mean µs): install={:.0} wait={:.0} process={:.0}",
-        stats.stage_means_micros[0], stats.stage_means_micros[1], stats.stage_means_micros[2]
+        mean("functor_install"),
+        mean("epoch_close"),
+        mean("functor_computing")
     );
     cluster.shutdown();
     println!("done.");
