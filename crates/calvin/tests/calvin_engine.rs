@@ -173,7 +173,7 @@ fn cross_partition_read_dependency_is_exchanged() {
         ),
     );
     let cluster = builder.start().unwrap();
-    cluster.load(src.clone(), Value::from_i64(777));
+    cluster.load(src, Value::from_i64(777));
     let db = cluster.database();
     db.execute(ProgramId(1), b"").unwrap().wait().unwrap();
     assert_eq!(cluster.read(&dst).unwrap().as_i64(), Some(777));
@@ -306,17 +306,13 @@ fn shutdown_under_load_is_clean() {
     let key = Key::from("load");
     cluster.load(key.clone(), Value::from_i64(0));
     let db = cluster.database();
-    let worker = {
-        let db = db.clone();
-        let key = key.clone();
-        std::thread::spawn(move || {
-            while let Ok(h) = db.execute(ProgramId(1), key.as_bytes()) {
-                if h.wait().is_err() {
-                    break;
-                }
+    let worker = std::thread::spawn(move || {
+        while let Ok(h) = db.execute(ProgramId(1), key.as_bytes()) {
+            if h.wait().is_err() {
+                break;
             }
-        })
-    };
+        }
+    });
     std::thread::sleep(Duration::from_millis(30));
     cluster.shutdown();
     worker.join().unwrap();

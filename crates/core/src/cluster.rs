@@ -12,7 +12,7 @@ use aloha_common::{EpochId, PartitionId};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
 use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
-use aloha_net::{Addr, Bus, Endpoint, NetConfig};
+use aloha_net::{Addr, BatchConfig, Batcher, Bus, Endpoint, NetConfig};
 use aloha_storage::Partition;
 
 use crate::checker::History;
@@ -75,6 +75,10 @@ pub struct ClusterConfig {
     /// [`History`] for the serializability checker (test builds only; adds
     /// one mutex append per transaction).
     pub record_history: bool,
+    /// Destination-batched messaging: coalesce bus messages per destination
+    /// with these thresholds, flushing at epoch close. `None` (the default)
+    /// sends every message individually.
+    pub batch: Option<BatchConfig>,
 }
 
 /// Background garbage-collection knobs (see [`ClusterConfig::with_gc`]).
@@ -104,6 +108,7 @@ impl ClusterConfig {
             replicated: false,
             rpc_timeout: Duration::from_secs(30),
             record_history: false,
+            batch: None,
         }
     }
 
@@ -173,6 +178,12 @@ impl ClusterConfig {
     /// Enables commit-history recording for the serializability checker.
     pub fn with_history(mut self) -> ClusterConfig {
         self.record_history = true;
+        self
+    }
+
+    /// Enables destination-batched messaging with the given thresholds.
+    pub fn with_batching(mut self, batch: BatchConfig) -> ClusterConfig {
+        self.batch = Some(batch);
         self
     }
 }
@@ -256,6 +267,13 @@ impl ClusterBuilder {
 
         let base = ClockBase::new();
         let bus: Bus<ServerMsg> = Bus::new(self.config.net.clone());
+        // One batcher for the whole cluster: traffic from different servers
+        // toward the same destination coalesces into shared envelopes, and
+        // the metrics land on the single `net` node where they belong.
+        let batcher =
+            self.config.batch.clone().map(|cfg| {
+                Batcher::new(bus.clone(), cfg, ServerMsg::Batch, ServerMsg::approx_bytes)
+            });
         let em_endpoint = bus.register(Addr::EpochManager);
         let handlers = Arc::new(self.handlers);
         let programs = Arc::new(self.programs);
@@ -293,6 +311,7 @@ impl ClusterBuilder {
                 partition,
                 epoch,
                 bus.clone(),
+                batcher.clone(),
                 Arc::clone(&programs),
                 self.config.durable,
                 self.config.replicated,
@@ -321,11 +340,11 @@ impl ClusterBuilder {
 
         let em_clock: Arc<dyn Clock> = if self.config.clock_offset_micros != 0 {
             Arc::new(SkewedClock::new(
-                SystemClock::new(base.clone()),
+                SystemClock::new(base),
                 self.config.clock_offset_micros as i64,
             ))
         } else {
-            Arc::new(SystemClock::new(base.clone()))
+            Arc::new(SystemClock::new(base))
         };
         let em_config = EpochConfig {
             epoch_duration: self.config.epoch_duration,
@@ -371,6 +390,7 @@ impl ClusterBuilder {
             servers,
             em: Some(em),
             bus,
+            batcher,
             threads,
             total: n,
             gc_stop,
@@ -413,6 +433,7 @@ pub struct Cluster {
     servers: Vec<Arc<Server>>,
     em: Option<EpochManager>,
     bus: Bus<ServerMsg>,
+    batcher: Option<Batcher<ServerMsg>>,
     threads: Vec<std::thread::JoinHandle<()>>,
     total: u16,
     gc_stop: Arc<std::sync::atomic::AtomicBool>,
@@ -533,7 +554,11 @@ impl Cluster {
         if let Some(em) = &self.em {
             root.push_child(em.stats().snapshot());
         }
-        root.push_child(self.bus.stats().snapshot());
+        let mut net = self.bus.stats().snapshot();
+        if let Some(batcher) = &self.batcher {
+            batcher.stats().export(&mut net);
+        }
+        root.push_child(net);
         root
     }
 
@@ -541,6 +566,9 @@ impl Cluster {
     pub fn reset_stats(&self) {
         for server in &self.servers {
             server.stats().reset();
+        }
+        if let Some(batcher) = &self.batcher {
+            batcher.stats().reset();
         }
     }
 
@@ -664,6 +692,12 @@ impl Cluster {
             .store(true, std::sync::atomic::Ordering::SeqCst);
         if let Some(em) = self.em.take() {
             em.close();
+        }
+        // Flush and retire the batching layer first so nothing queued ends
+        // up behind the Shutdown messages below (post-shutdown sends go
+        // direct to the bus).
+        if let Some(batcher) = &self.batcher {
+            batcher.shutdown();
         }
         for server in &self.servers {
             server.mark_shutdown();

@@ -47,6 +47,7 @@ pub mod msg;
 pub mod program;
 pub mod server;
 
+pub use aloha_net::BatchConfig;
 pub use checker::{diff_states, replay_history, CommitRecord, Divergence, History};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, Database, GcConfig};
 pub use msg::{InstallOutcome, ServerMsg, VersionState};

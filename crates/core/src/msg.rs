@@ -1,5 +1,7 @@
 //! Cluster message protocol: everything that travels on the bus.
 
+use std::sync::Arc;
+
 use aloha_common::{EpochId, Key, Result, Timestamp, Value};
 use aloha_epoch::{Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
@@ -64,8 +66,10 @@ pub enum ServerMsg {
     Install {
         /// The transaction's timestamp (the version to install at).
         version: Timestamp,
-        /// Writes owned by the destination partition.
-        writes: Vec<Write>,
+        /// Writes owned by the destination partition. Shared so the initial
+        /// send, a retransmission and a fault-layer duplicate all reference
+        /// one allocation instead of deep-cloning the write group.
+        writes: Arc<Vec<Write>>,
         /// Install outcome back to the coordinator.
         reply: ReplySlot<InstallOutcome>,
     },
@@ -74,8 +78,9 @@ pub enum ServerMsg {
     /// participant has rolled back (otherwise sibling functors of the
     /// aborted transaction could become visible committed).
     AbortVersion {
-        /// (key, version) pairs to abort.
-        keys: Vec<(Key, Timestamp)>,
+        /// (key, version) pairs to abort, shared between the initial send
+        /// and any retransmission.
+        keys: Arc<Vec<(Key, Timestamp)>>,
         /// Rollback acknowledgement.
         reply: ReplySlot<()>,
     },
@@ -89,6 +94,21 @@ pub enum ServerMsg {
         bound: Timestamp,
         /// The versioned read result.
         reply: ReplySlot<Result<VersionedRead>>,
+    },
+    /// BE → BE: read several keys of one destination partition at the same
+    /// bound with a single round trip. The functor-computing phase groups a
+    /// functor's remote read-set by owner and issues one of these per owner
+    /// in parallel, replacing sequential per-key `RemoteGet`s.
+    RemoteGetBatch {
+        /// Keys owned by the destination partition, shared between the
+        /// initial send and any retransmission.
+        keys: Arc<Vec<Key>>,
+        /// Inclusive version bound applied to every key.
+        bound: Timestamp,
+        /// Reads in `keys` order, or the first error (the caller fails the
+        /// whole functor computation either way, so partial results carry no
+        /// information).
+        reply: ReplySlot<Result<Vec<VersionedRead>>>,
     },
     /// BE → BE: install a deferred write produced by a determinate functor
     /// (§IV-E). Acked so the producer can order its own finalization after
@@ -135,6 +155,53 @@ pub enum ServerMsg {
         /// Replication ack.
         reply: ReplySlot<()>,
     },
+    /// Batch envelope produced by the [`aloha_net::Batcher`]: several
+    /// messages coalesced toward one destination. The dispatcher unpacks it
+    /// in order; the fault layer drops/duplicates/reorders whole envelopes,
+    /// so retry semantics are those of the inner messages.
+    Batch(Vec<ServerMsg>),
     /// Cluster shutdown: the dispatcher exits after processing this.
     Shutdown,
+}
+
+impl ServerMsg {
+    /// Rough on-wire payload size, used by the [`aloha_net::Batcher`] byte
+    /// threshold. Counts variable payload (keys, values, args) plus a fixed
+    /// per-message overhead; exact framing doesn't matter for a threshold.
+    pub fn approx_bytes(&self) -> usize {
+        const HEADER: usize = 24;
+        fn functor_bytes(f: &Functor) -> usize {
+            match f {
+                Functor::Value(v) => v.len(),
+                Functor::User(u) => u.args.len() + u.read_set.iter().map(Key::len).sum::<usize>(),
+                _ => 8,
+            }
+        }
+        HEADER
+            + match self {
+                ServerMsg::Install { writes, .. } => writes
+                    .iter()
+                    .map(|w| w.key.len() + functor_bytes(&w.functor))
+                    .sum(),
+                ServerMsg::AbortVersion { keys, .. } => keys.iter().map(|(k, _)| k.len() + 8).sum(),
+                ServerMsg::RemoteGet { key, .. } => key.len(),
+                ServerMsg::RemoteGetBatch { keys, .. } => keys.iter().map(Key::len).sum(),
+                ServerMsg::InstallDeferred { key, functor, .. } => {
+                    key.len() + functor_bytes(functor)
+                }
+                ServerMsg::ResolveVersion { key, .. } => key.len(),
+                ServerMsg::PushValue { source, read, .. } => {
+                    source.len() + read.value.as_ref().map_or(0, Value::len)
+                }
+                ServerMsg::Replicate { records, .. } => records
+                    .iter()
+                    .map(|(k, _, f)| k.len() + functor_bytes(f))
+                    .sum(),
+                ServerMsg::Batch(msgs) => msgs.iter().map(ServerMsg::approx_bytes).sum(),
+                ServerMsg::Grant(_)
+                | ServerMsg::Revoke(_)
+                | ServerMsg::RevokedAck(_)
+                | ServerMsg::Shutdown => 0,
+            }
+    }
 }

@@ -14,7 +14,7 @@ use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp};
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
-use aloha_net::{reply_pair, Addr, Bus, Endpoint, ReplyHandle, ReplySlot};
+use aloha_net::{reply_pair, Addr, Batcher, Bus, Endpoint, ReplyHandle, ReplySlot};
 use aloha_storage::{ComputeEnv, Partition};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -163,6 +163,10 @@ pub struct Server {
     partition: Arc<Partition>,
     epoch: Arc<EpochClient>,
     bus: Bus<ServerMsg>,
+    /// Destination-coalescing layer over the bus (`None` → every message is
+    /// sent individually, the pre-batching behavior). Shared cluster-wide so
+    /// different servers' traffic toward one destination coalesces too.
+    batcher: Option<Batcher<ServerMsg>>,
     programs: Arc<ProgramRegistry>,
     queue_tx: Sender<QueueEntry>,
     pending: Mutex<Vec<QueueEntry>>,
@@ -215,6 +219,7 @@ impl Server {
         partition: Arc<Partition>,
         epoch: Arc<EpochClient>,
         bus: Bus<ServerMsg>,
+        batcher: Option<Batcher<ServerMsg>>,
         programs: Arc<ProgramRegistry>,
         durable: bool,
         replicated: bool,
@@ -228,6 +233,7 @@ impl Server {
             partition,
             epoch,
             bus,
+            batcher,
             programs,
             queue_tx,
             pending: Mutex::new(Vec::new()),
@@ -278,6 +284,11 @@ impl Server {
     pub(crate) fn mark_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.epoch.shutdown();
+        // Nothing may sit in a queue past shutdown: late replies resolve
+        // in-flight waiters faster than their timeouts would.
+        if let Some(b) = &self.batcher {
+            b.flush();
+        }
     }
 
     pub(crate) fn is_shutdown(&self) -> bool {
@@ -295,11 +306,36 @@ impl Server {
     // idempotently during rebuild.
     // ------------------------------------------------------------------
 
+    /// Sends a one-way message through the batching layer when one is
+    /// configured, or directly onto the bus otherwise.
+    fn send_msg(&self, to: ServerId, msg: ServerMsg) -> Result<()> {
+        match &self.batcher {
+            Some(b) => b.send(Addr::Server(to), msg),
+            None => self.bus.send(Addr::Server(to), msg),
+        }
+    }
+
     /// Sends an idempotent request and waits for the reply, retransmitting
-    /// on timeout up to [`RPC_ATTEMPTS`] times.
+    /// on timeout up to [`RPC_ATTEMPTS`] times. The request bypasses the
+    /// batching layer — used for synchronous exchanges (replication) where
+    /// even the batcher's small deadline is latency on the critical path.
     fn rpc<R>(&self, to: ServerId, mut make: impl FnMut(ReplySlot<R>) -> ServerMsg) -> Result<R> {
         let (slot, handle) = reply_pair();
         self.bus.send(Addr::Server(to), make(slot))?;
+        self.wait_retry(handle, to, make)
+    }
+
+    /// Like [`Server::rpc`], but the initial send rides the batching layer.
+    /// Retransmissions still go direct (see [`Server::wait_retry`]): a retry
+    /// means the request is already late, so batching it again only delays
+    /// recovery.
+    fn rpc_batched<R>(
+        &self,
+        to: ServerId,
+        mut make: impl FnMut(ReplySlot<R>) -> ServerMsg,
+    ) -> Result<R> {
+        let (slot, handle) = reply_pair();
+        self.send_msg(to, make(slot))?;
         self.wait_retry(handle, to, make)
     }
 
@@ -394,10 +430,17 @@ impl Server {
         });
 
         // Group writes by owning server and install (the write-only phase).
-        let mut groups: HashMap<ServerId, Vec<Write>> = HashMap::new();
+        // Each group is wrapped in an `Arc` once: the initial Install, any
+        // retransmission and the fault layer's duplicates all share that one
+        // allocation instead of deep-cloning the writes per send.
+        let mut grouped: HashMap<ServerId, Vec<Write>> = HashMap::new();
         for w in writes {
-            groups.entry(self.owner_of(&w.key)).or_default().push(w);
+            grouped.entry(self.owner_of(&w.key)).or_default().push(w);
         }
+        let groups: HashMap<ServerId, Arc<Vec<Write>>> = grouped
+            .into_iter()
+            .map(|(owner, group)| (owner, Arc::new(group)))
+            .collect();
         let participants: Vec<(ServerId, Vec<Key>)> = groups
             .iter()
             .map(|(owner, group)| (*owner, group.iter().map(|w| w.key.clone()).collect()))
@@ -442,7 +485,7 @@ impl Server {
     fn run_write_phase(
         &self,
         version: Timestamp,
-        groups: &HashMap<ServerId, Vec<Write>>,
+        groups: &HashMap<ServerId, Arc<Vec<Write>>>,
         participants: &[(ServerId, Vec<Key>)],
     ) -> Result<bool> {
         let mut outcomes = Vec::with_capacity(groups.len());
@@ -450,14 +493,14 @@ impl Server {
         let mut install_err = None;
         for (owner, group) in groups {
             if *owner == self.id {
-                outcomes.push(self.install_batch(version, group.clone()));
+                outcomes.push(self.install_batch(version, group));
             } else {
                 let (slot, handle) = reply_pair();
-                self.bus.send(
-                    Addr::Server(*owner),
+                self.send_msg(
+                    *owner,
                     ServerMsg::Install {
                         version,
-                        writes: group.clone(),
+                        writes: Arc::clone(group),
                         reply: slot,
                     },
                 )?;
@@ -465,9 +508,11 @@ impl Server {
             }
         }
         for (owner, handle) in replies {
+            // The resend closure captures only the `Arc` handle; the write
+            // group itself is cloned by nobody on any path.
             let resend = |reply| ServerMsg::Install {
                 version,
-                writes: groups[&owner].clone(),
+                writes: Arc::clone(&groups[&owner]),
                 reply,
             };
             match self.wait_retry(handle, owner, resend) {
@@ -488,12 +533,16 @@ impl Server {
             // that is still in flight when its abort lands is harmless:
             // `abort_version` pre-inserts the ABORTED record and the late
             // install becomes a first-write-wins no-op.
+            // The abort round is deliberately unbatched: it executes while
+            // the epoch is held open, so every microsecond of batching delay
+            // extends the epoch for all concurrent transactions. Rollback
+            // messages go straight onto the bus.
             let mut abort_acks = Vec::new();
             for (owner, keys) in participants {
-                let pairs: Vec<(Key, Timestamp)> =
-                    keys.iter().map(|k| (k.clone(), version)).collect();
+                let pairs: Arc<Vec<(Key, Timestamp)>> =
+                    Arc::new(keys.iter().map(|k| (k.clone(), version)).collect());
                 if *owner == self.id {
-                    for (k, v) in &pairs {
+                    for (k, v) in pairs.iter() {
                         self.abort_version_logged(k, *v);
                     }
                 } else {
@@ -501,7 +550,7 @@ impl Server {
                     let _ = self.bus.send(
                         Addr::Server(*owner),
                         ServerMsg::AbortVersion {
-                            keys: pairs.clone(),
+                            keys: Arc::clone(&pairs),
                             reply: slot,
                         },
                     );
@@ -510,7 +559,7 @@ impl Server {
             }
             for (owner, pairs, handle) in abort_acks {
                 let resend = |reply| ServerMsg::AbortVersion {
-                    keys: pairs.clone(),
+                    keys: Arc::clone(&pairs),
                     reply,
                 };
                 self.wait_retry(handle, owner, resend)?;
@@ -554,16 +603,14 @@ impl Server {
         if ts > self.epoch.visible_bound() {
             return Err(Error::Timeout(format!("snapshot {ts} is not settled yet")));
         }
-        keys.iter()
-            .map(|key| {
-                let read = if self.owner_of(key) == self.id {
-                    self.partition.get(key, ts, self.as_env())?
-                } else {
-                    self.as_env().remote_get(key, ts)?
-                };
-                Ok(read.value)
-            })
-            .collect()
+        // `remote_get_many` serves locally-owned keys from the partition and
+        // fans out one batched round trip per remote owner.
+        Ok(self
+            .as_env()
+            .remote_get_many(keys, ts)?
+            .into_iter()
+            .map(|read| read.value)
+            .collect())
     }
 
     fn finish_ticket(&self, ticket: aloha_epoch::TxnTicket) {
@@ -583,7 +630,7 @@ impl Server {
         if self.owner_of(key) == self.id {
             self.resolve_local(key, version)
         } else {
-            self.rpc(self.owner_of(key), |reply| ServerMsg::ResolveVersion {
+            self.rpc_batched(self.owner_of(key), |reply| ServerMsg::ResolveVersion {
                 key: key.clone(),
                 version,
                 reply,
@@ -595,7 +642,7 @@ impl Server {
     // Back-end: install, abort, compute.
     // ------------------------------------------------------------------
 
-    pub(crate) fn install_batch(&self, version: Timestamp, writes: Vec<Write>) -> InstallOutcome {
+    pub(crate) fn install_batch(&self, version: Timestamp, writes: &[Write]) -> InstallOutcome {
         // A version at or below the settled bound can no longer be installed:
         // its epoch has already been declared complete.
         if version <= self.epoch.visible_bound() {
@@ -603,7 +650,7 @@ impl Server {
         }
         // Evaluate checks before touching storage: per-partition installs are
         // all-or-nothing.
-        for w in &writes {
+        for w in writes {
             if let Some(Check::KeyExists(key)) = &w.check {
                 let exists = self
                     .partition
@@ -629,12 +676,16 @@ impl Server {
             if self.replica.is_some() {
                 mirrored.push((w.key.clone(), version, w.functor.clone()));
             }
-            if self.partition.install(&w.key, version, w.functor).is_err() {
+            if self
+                .partition
+                .install(&w.key, version, w.functor.clone())
+                .is_err()
+            {
                 return InstallOutcome::CheckFailed(format!("misrouted key {:?}", w.key));
             }
             self.stats.installs.incr();
             self.pending.lock().push(QueueEntry {
-                key: w.key,
+                key: w.key.clone(),
                 version,
                 installed_at,
                 released_at: installed_at,
@@ -761,6 +812,12 @@ impl Server {
         }
         *pending = keep;
         drop(pending);
+        // Epoch close is the batching layer's hard boundary: whatever is
+        // still queued belongs to work of the epoch that just settled (or
+        // earlier) and must not wait out another deadline.
+        if let Some(b) = &self.batcher {
+            b.flush();
+        }
         // Push-cache entries two grants old can no longer be needed.
         let mut prev = self.prev_settled.lock();
         self.partition.push_cache().clear_below(*prev);
@@ -798,11 +855,71 @@ impl ComputeEnv for Server {
         if owner == self.id {
             return self.partition.get(key, bound, self.as_env());
         }
-        self.rpc(owner, |reply| ServerMsg::RemoteGet {
+        self.rpc_batched(owner, |reply| ServerMsg::RemoteGet {
             key: key.clone(),
             bound,
             reply,
         })?
+    }
+
+    /// The functor-computing phase's gather step: locally-owned keys read
+    /// straight from the partition; remote keys are grouped by owner and
+    /// fetched with one `RemoteGetBatch` round trip per owner, all requests
+    /// in flight before the first reply is awaited (parallel fan-out).
+    fn remote_get_many(&self, keys: &[Key], bound: Timestamp) -> Result<Vec<VersionedRead>> {
+        // The grouped gather belongs to the destination-batched pipeline:
+        // without a batcher the server keeps the classic one-RPC-per-key
+        // gather, which is what the batching ablation measures against.
+        if keys.len() <= 1 || self.batcher.is_none() {
+            return keys.iter().map(|k| self.remote_get(k, bound)).collect();
+        }
+        let mut by_owner: HashMap<ServerId, Vec<usize>> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            by_owner.entry(self.owner_of(key)).or_default().push(i);
+        }
+        let mut out: Vec<Option<VersionedRead>> = vec![None; keys.len()];
+        let mut waits = Vec::new();
+        for (owner, idxs) in by_owner {
+            if owner == self.id {
+                for &i in &idxs {
+                    out[i] = Some(self.partition.get(&keys[i], bound, self.as_env())?);
+                }
+                continue;
+            }
+            let group: Arc<Vec<Key>> = Arc::new(idxs.iter().map(|&i| keys[i].clone()).collect());
+            let (slot, handle) = reply_pair();
+            self.send_msg(
+                owner,
+                ServerMsg::RemoteGetBatch {
+                    keys: Arc::clone(&group),
+                    bound,
+                    reply: slot,
+                },
+            )?;
+            waits.push((owner, idxs, group, handle));
+        }
+        for (owner, idxs, group, handle) in waits {
+            let resend = |reply| ServerMsg::RemoteGetBatch {
+                keys: Arc::clone(&group),
+                bound,
+                reply,
+            };
+            let reads = self.wait_retry(handle, owner, resend)??;
+            if reads.len() != idxs.len() {
+                return Err(Error::Config(format!(
+                    "remote get batch answered {} reads for {} keys",
+                    reads.len(),
+                    idxs.len()
+                )));
+            }
+            for (&i, read) in idxs.iter().zip(reads) {
+                out[i] = Some(read);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|read| read.expect("every key index is covered by exactly one owner group"))
+            .collect())
     }
 
     fn install_deferred(&self, key: &Key, version: Timestamp, functor: Functor) -> Result<()> {
@@ -811,7 +928,7 @@ impl ComputeEnv for Server {
             self.partition.store().put(key, version, functor);
             return Ok(());
         }
-        self.rpc(owner, |reply| ServerMsg::InstallDeferred {
+        self.rpc_batched(owner, |reply| ServerMsg::InstallDeferred {
             key: key.clone(),
             version,
             functor: functor.clone(),
@@ -824,7 +941,7 @@ impl ComputeEnv for Server {
         if owner == self.id {
             return self.partition.compute(key, upto, self.as_env());
         }
-        self.rpc(owner, |reply| ServerMsg::ResolveVersion {
+        self.rpc_batched(owner, |reply| ServerMsg::ResolveVersion {
             key: key.clone(),
             version: upto,
             reply,
@@ -839,8 +956,8 @@ impl ComputeEnv for Server {
                 .push_cache()
                 .insert(version, source.clone(), read.clone());
         } else {
-            let _ = self.bus.send(
-                Addr::Server(owner),
+            let _ = self.send_msg(
+                owner,
                 ServerMsg::PushValue {
                     version,
                     source: source.clone(),
@@ -863,13 +980,9 @@ struct FeSnapshotReader<'a> {
 
 impl SnapshotReader for FeSnapshotReader<'_> {
     fn read(&self, key: &Key) -> Result<VersionedRead> {
-        let read = if self.server.owner_of(key) == self.server.id {
-            self.server
-                .partition
-                .get(key, self.bound, self.server.as_env())
-        } else {
-            self.server.as_env().remote_get(key, self.bound)
-        }?;
+        // `remote_get` already routes locally-owned keys to the partition, so
+        // there is exactly one ownership check on this path.
+        let read = self.server.as_env().remote_get(key, self.bound)?;
         if self.record {
             self.reads.lock().push((key.clone(), read.version));
         }
@@ -964,131 +1077,218 @@ pub(crate) fn run_dispatcher(server: Arc<Server>, endpoint: Endpoint<ServerMsg>)
             Ok(m) => m,
             Err(_) => break, // bus gone
         };
-        match msg {
-            ServerMsg::Grant(grant) => server.handle_grant(grant),
-            ServerMsg::Revoke(epoch) => {
-                if server.epoch.on_revoke(epoch) {
-                    let ack = RevokedAck {
-                        server: server.id,
-                        epoch,
-                    };
-                    let _ = server
-                        .bus
-                        .send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
-                }
-            }
-            ServerMsg::RevokedAck(_) => {} // only the EM endpoint receives these
-            // With replication on, install_batch blocks on the backup's
-            // ack; three blocked dispatchers can form a ring deadlock, so
-            // replicated installs run on their own thread. Without
-            // replication the handler is non-blocking and runs inline.
-            ServerMsg::Install {
-                version,
-                writes,
-                reply,
-            } => {
-                if server.is_replicated() {
-                    let s = Arc::clone(&server);
-                    std::thread::spawn(move || {
-                        reply.send(s.install_batch(version, writes));
-                    });
-                } else {
-                    reply.send(server.install_batch(version, writes));
-                }
-            }
-            ServerMsg::AbortVersion { keys, reply } => {
-                if server.is_replicated() {
-                    let s = Arc::clone(&server);
-                    std::thread::spawn(move || {
-                        for (key, version) in keys {
-                            s.abort_version_logged(&key, version);
-                        }
-                        reply.send(());
-                    });
-                } else {
-                    for (key, version) in keys {
-                        server.abort_version_logged(&key, version);
-                    }
-                    reply.send(());
-                }
-            }
-            // Requests that may themselves block on other partitions run on
-            // their own thread so the dispatcher never deadlocks. Functor
-            // recursion strictly decreases versions, so the spawn depth is
-            // bounded by the dependency chain.
-            ServerMsg::RemoteGet { key, bound, reply } => {
-                let s = Arc::clone(&server);
-                std::thread::spawn(move || {
-                    reply.send(s.partition.get(&key, bound, s.as_env()));
-                });
-            }
-            ServerMsg::InstallDeferred {
-                key,
-                version,
-                functor,
-                reply,
-            } => {
-                server.partition.store().put(&key, version, functor);
-                reply.send(());
-            }
-            ServerMsg::ResolveVersion {
-                key,
-                version,
-                reply,
-            } => {
-                let s = Arc::clone(&server);
-                std::thread::spawn(move || {
-                    reply.send(s.resolve_local(&key, version));
-                });
-            }
-            ServerMsg::PushValue {
-                version,
-                source,
-                read,
-            } => {
-                server.partition.push_cache().insert(version, source, read);
-            }
-            ServerMsg::Replicate {
-                from: _,
-                records,
-                reply,
-            } => {
-                if let Some(replica) = &server.replica {
-                    replica.append(records);
-                }
-                reply.send(());
-            }
-            ServerMsg::Shutdown => break,
+        if handle_msg(&server, msg).is_break() {
+            break;
         }
     }
 }
 
+/// Handles one dispatched message; `Break` means the dispatcher should exit.
+fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()> {
+    use std::ops::ControlFlow;
+    match msg {
+        // A batch envelope is unpacked in order; its members are handled
+        // exactly as if they had arrived individually. A Shutdown inside a
+        // batch still stops the dispatcher (after the preceding members).
+        ServerMsg::Batch(msgs) => {
+            for inner in msgs {
+                handle_msg(server, inner)?;
+            }
+        }
+        ServerMsg::Grant(grant) => server.handle_grant(grant),
+        ServerMsg::Revoke(epoch) => {
+            if server.epoch.on_revoke(epoch) {
+                let ack = RevokedAck {
+                    server: server.id,
+                    epoch,
+                };
+                let _ = server
+                    .bus
+                    .send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
+            }
+        }
+        ServerMsg::RevokedAck(_) => {} // only the EM endpoint receives these
+        // With replication on, install_batch blocks on the backup's
+        // ack; three blocked dispatchers can form a ring deadlock, so
+        // replicated installs run on their own thread. Without
+        // replication the handler is non-blocking and runs inline.
+        ServerMsg::Install {
+            version,
+            writes,
+            reply,
+        } => {
+            if server.is_replicated() {
+                let s = Arc::clone(server);
+                std::thread::spawn(move || {
+                    reply.send(s.install_batch(version, &writes));
+                });
+            } else {
+                reply.send(server.install_batch(version, &writes));
+            }
+        }
+        ServerMsg::AbortVersion { keys, reply } => {
+            if server.is_replicated() {
+                let s = Arc::clone(server);
+                std::thread::spawn(move || {
+                    for (key, version) in keys.iter() {
+                        s.abort_version_logged(key, *version);
+                    }
+                    reply.send(());
+                });
+            } else {
+                for (key, version) in keys.iter() {
+                    server.abort_version_logged(key, *version);
+                }
+                reply.send(());
+            }
+        }
+        // Requests that may themselves block on other partitions run on
+        // their own thread so the dispatcher never deadlocks. Functor
+        // recursion strictly decreases versions, so the spawn depth is
+        // bounded by the dependency chain.
+        ServerMsg::RemoteGet { key, bound, reply } => {
+            let s = Arc::clone(server);
+            std::thread::spawn(move || {
+                reply.send(s.partition.get(&key, bound, s.as_env()));
+            });
+        }
+        ServerMsg::RemoteGetBatch { keys, bound, reply } => {
+            let s = Arc::clone(server);
+            std::thread::spawn(move || {
+                let reads = keys
+                    .iter()
+                    .map(|key| s.partition.get(key, bound, s.as_env()))
+                    .collect::<Result<Vec<VersionedRead>>>();
+                reply.send(reads);
+            });
+        }
+        ServerMsg::InstallDeferred {
+            key,
+            version,
+            functor,
+            reply,
+        } => {
+            server.partition.store().put(&key, version, functor);
+            reply.send(());
+        }
+        ServerMsg::ResolveVersion {
+            key,
+            version,
+            reply,
+        } => {
+            let s = Arc::clone(server);
+            std::thread::spawn(move || {
+                reply.send(s.resolve_local(&key, version));
+            });
+        }
+        ServerMsg::PushValue {
+            version,
+            source,
+            read,
+        } => {
+            server.partition.push_cache().insert(version, source, read);
+        }
+        ServerMsg::Replicate {
+            from: _,
+            records,
+            reply,
+        } => {
+            if let Some(replica) = &server.replica {
+                replica.append(records);
+            }
+            reply.send(());
+        }
+        ServerMsg::Shutdown => return ControlFlow::Break(()),
+    }
+    ControlFlow::Continue(())
+}
+
+/// How many queued entries one processor turn drains at most, and how many
+/// scoped workers it fans the distinct keys out to. Small on purpose: the
+/// steady-state parallelism comes from the configured processor threads; the
+/// crew only spreads the burst an epoch grant releases all at once.
+const DRAIN_LIMIT: usize = 64;
+const CREW_SIZE: usize = 4;
+
 /// Processor thread body: the BE's asynchronous functor computing pool
-/// (§IV-D).
+/// (§IV-D), organized as a small work-crew.
+///
+/// An epoch grant releases a burst of entries at once; instead of computing
+/// them strictly one at a time, a turn drains up to [`DRAIN_LIMIT`] entries,
+/// deduplicates them by key (computing a chain to its highest released
+/// version settles every lower version in order, so one call covers the
+/// whole burst for that key), and resolves distinct keys concurrently on a
+/// scoped crew. Dependency safety needs no extra machinery: version order
+/// within a chain is enforced by the chain itself, and concurrent computes
+/// of the same key are idempotent.
 pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
     loop {
-        match queue.recv_timeout(Duration::from_millis(50)) {
-            Ok(entry) => {
-                if server
-                    .partition
-                    .compute(&entry.key, entry.version, server.as_env())
-                    .is_err()
-                {
-                    server.stats.compute_errors.incr();
-                }
-                // Queue wait plus the compute itself: everything after the
-                // epoch released the functor is the computing stage (§IV-D).
-                server.stats.tracer.record_stage(
-                    Stage::FunctorComputing,
-                    duration_micros(entry.released_at.elapsed()),
-                );
-            }
+        let first = match queue.recv_timeout(Duration::from_millis(50)) {
+            Ok(entry) => entry,
             Err(RecvTimeoutError::Timeout) => {
                 if server.is_shutdown() {
                     break;
                 }
+                continue;
             }
             Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut entries = vec![first];
+        while entries.len() < DRAIN_LIMIT {
+            match queue.try_recv() {
+                Ok(entry) => entries.push(entry),
+                Err(_) => break,
+            }
+        }
+        // One compute target per distinct key: its highest released version.
+        let mut targets: HashMap<&Key, Timestamp> = HashMap::new();
+        for entry in &entries {
+            let upto = targets.entry(&entry.key).or_insert(entry.version);
+            if entry.version > *upto {
+                *upto = entry.version;
+            }
+        }
+        let targets: Vec<(&Key, Timestamp)> = targets.into_iter().collect();
+        let errors = Counter::new();
+        if targets.len() == 1 {
+            let (key, upto) = targets[0];
+            if server
+                .partition
+                .compute(key, upto, server.as_env())
+                .is_err()
+            {
+                errors.incr();
+            }
+        } else {
+            let crew = targets.len().min(CREW_SIZE);
+            std::thread::scope(|scope| {
+                for worker in 0..crew {
+                    let targets = &targets;
+                    let server = &server;
+                    let errors = &errors;
+                    scope.spawn(move || {
+                        for (key, upto) in targets.iter().skip(worker).step_by(crew) {
+                            if server
+                                .partition
+                                .compute(key, *upto, server.as_env())
+                                .is_err()
+                            {
+                                errors.incr();
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        server.stats.compute_errors.add(errors.get());
+        // Queue wait plus the compute itself: everything after the epoch
+        // released the functor is the computing stage (§IV-D). Recorded per
+        // released entry, as before, so rollups keep per-functor semantics.
+        for entry in &entries {
+            server.stats.tracer.record_stage(
+                Stage::FunctorComputing,
+                duration_micros(entry.released_at.elapsed()),
+            );
         }
     }
 }

@@ -49,7 +49,7 @@ fn log_cluster(total: u16, counter: Key, entry_prefix: &'static [u8]) -> Cluster
         }),
     );
     // §IV-E rule: log entries depend on the counter.
-    let counter_for_rule = counter.clone();
+    let counter_for_rule = counter;
     builder.add_dependency_rule(move |key: &Key| {
         key.parts()
             .and_then(|p| p.first().map(|head| *head == entry_prefix))
@@ -107,7 +107,7 @@ fn dependent_reads_from_any_fe_wait_for_the_determinate_key() {
     let total = 3u16;
     let counter = keys_on_partition(1, total, 1).remove(0);
     let cluster = log_cluster(total, counter.clone(), b"evt");
-    cluster.load(counter.clone(), Value::from_i64(0));
+    cluster.load(counter, Value::from_i64(0));
     let db = cluster.database();
 
     let mut handles = Vec::new();

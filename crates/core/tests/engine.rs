@@ -112,7 +112,7 @@ fn failed_install_check_aborts_all_partitions() {
 
     let gk = good_key.clone();
     let ok_ = other_key.clone();
-    let ck = check_key.clone();
+    let ck = check_key;
     builder.register_program(
         ProgramId(1),
         fn_program(move |_ctx| {
@@ -168,7 +168,7 @@ fn user_functor_reads_remote_partition() {
         }),
     );
     let cluster = builder.start().unwrap();
-    cluster.load(src.clone(), Value::from_i64(4242));
+    cluster.load(src, Value::from_i64(4242));
 
     let db = cluster.database();
     let handle = db.execute(ProgramId(1), b"").unwrap();
@@ -391,10 +391,9 @@ fn shutdown_is_clean_and_idempotent_under_load() {
     let cluster = builder.start().unwrap();
     cluster.load(Key::from("y"), Value::from_i64(0));
     let db = cluster.database();
-    let db2 = db.clone();
     let worker = std::thread::spawn(move || {
         // Hammer until shutdown; errors after shutdown are expected.
-        while let Ok(h) = db2.execute(ProgramId(1), b"") {
+        while let Ok(h) = db.execute(ProgramId(1), b"") {
             if h.wait_processed().is_err() {
                 break;
             }

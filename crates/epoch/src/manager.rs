@@ -297,7 +297,7 @@ mod tests {
         let (transport, events, acks) = harness();
         let servers = vec![ServerId(0), ServerId(1)];
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
-        let config = EpochConfig::new(servers.clone())
+        let config = EpochConfig::new(servers)
             .with_duration(Duration::from_millis(3))
             .with_revoke_resend(Duration::from_secs(60));
         let em = EpochManager::spawn(config, clock, transport);

@@ -1,0 +1,665 @@
+//! Destination-coalescing message batching for the cluster bus.
+//!
+//! Distributed-transaction latency is dominated by message rounds, so the
+//! rounds that cannot be eliminated should at least be amortized: a
+//! [`Batcher`] buffers outbound messages per destination and hands the bus
+//! one envelope per flush instead of one send per message. A queue is
+//! flushed when it reaches the configured message count, the configured
+//! byte budget, or the configured age — and explicitly at epoch boundaries
+//! via [`Batcher::flush`], so batching never holds a message across an
+//! epoch close.
+//!
+//! The envelope is built by a caller-supplied `wrap` function (the engine
+//! wraps into its `ServerMsg::Batch` variant), which keeps this module
+//! protocol-agnostic. Because a flushed batch is one bus message, the fault
+//! layer drops, duplicates and reorders whole batches — retries and
+//! idempotence then work exactly as they do for single messages.
+//!
+//! Ordering guarantee: two messages enqueued toward the same destination are
+//! never reordered, regardless of which threshold (or which thread — caller
+//! or the background deadline flusher) triggers their flush. Each
+//! destination queue has its own lock, held across both batch formation and
+//! bus submission, so envelopes toward one destination are serialized while
+//! traffic toward different destinations flows in parallel — the batcher
+//! adds no cross-destination serialization.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use aloha_common::metrics::{Counter, Histogram};
+use aloha_common::stats::{StageStats, StatsSnapshot};
+use aloha_common::Result;
+use parking_lot::{Mutex, RwLock};
+
+use crate::bus::{Addr, Bus};
+
+/// Flush thresholds for a [`Batcher`].
+///
+/// # Examples
+///
+/// ```
+/// use aloha_net::BatchConfig;
+/// let cfg = BatchConfig::default();
+/// assert!(cfg.max_messages > 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Flush a destination queue once it holds this many messages.
+    pub max_messages: usize,
+    /// Flush a destination queue once its estimated payload reaches this
+    /// many bytes.
+    pub max_bytes: usize,
+    /// Flush a non-empty destination queue once its oldest message has
+    /// waited this long (the latency bound batching may add).
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_messages: 32,
+            max_bytes: 32 * 1024,
+            max_delay: Duration::from_micros(200),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Overrides the message-count threshold.
+    pub fn with_max_messages(mut self, n: usize) -> BatchConfig {
+        self.max_messages = n;
+        self
+    }
+
+    /// Overrides the byte threshold.
+    pub fn with_max_bytes(mut self, n: usize) -> BatchConfig {
+        self.max_bytes = n;
+        self
+    }
+
+    /// Overrides the age threshold.
+    pub fn with_max_delay(mut self, d: Duration) -> BatchConfig {
+        self.max_delay = d;
+        self
+    }
+}
+
+/// Counters and the occupancy histogram of one [`Batcher`].
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    enqueued: Counter,
+    batches: Counter,
+    flush_size: Counter,
+    flush_bytes: Counter,
+    flush_deadline: Counter,
+    flush_explicit: Counter,
+    occupancy: Histogram,
+}
+
+impl BatchStats {
+    /// Messages accepted into destination queues.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.get()
+    }
+
+    /// Envelopes (or unwrapped singles) handed to the bus.
+    pub fn batches(&self) -> u64 {
+        self.batches.get()
+    }
+
+    /// Flushes triggered by the message-count threshold.
+    pub fn flushes_by_size(&self) -> u64 {
+        self.flush_size.get()
+    }
+
+    /// Flushes triggered by the byte threshold.
+    pub fn flushes_by_bytes(&self) -> u64 {
+        self.flush_bytes.get()
+    }
+
+    /// Flushes triggered by queue age.
+    pub fn flushes_by_deadline(&self) -> u64 {
+        self.flush_deadline.get()
+    }
+
+    /// Flushes triggered by an explicit [`Batcher::flush`] (epoch close,
+    /// shutdown).
+    pub fn flushes_explicit(&self) -> u64 {
+        self.flush_explicit.get()
+    }
+
+    /// Messages-per-batch distribution (recorded per flushed batch).
+    pub fn occupancy(&self) -> &Histogram {
+        &self.occupancy
+    }
+
+    /// Mean messages per flushed batch.
+    pub fn mean_occupancy(&self) -> f64 {
+        self.occupancy.mean_micros()
+    }
+
+    /// Merges these metrics into a stats node as `batch_*` counters plus the
+    /// `batch_occupancy` stage (the cluster exports them on its `net` node).
+    pub fn export(&self, node: &mut StatsSnapshot) {
+        node.set_counter("batch_enqueued", self.enqueued());
+        node.set_counter("batch_batches", self.batches());
+        node.set_counter("batch_flush_size", self.flushes_by_size());
+        node.set_counter("batch_flush_bytes", self.flushes_by_bytes());
+        node.set_counter("batch_flush_deadline", self.flushes_by_deadline());
+        node.set_counter("batch_flush_explicit", self.flushes_explicit());
+        node.set_stage(
+            "batch_occupancy",
+            StageStats::from(&self.occupancy.snapshot()),
+        );
+    }
+
+    /// Clears every counter and the occupancy histogram (benchmark warm-up).
+    pub fn reset(&self) {
+        self.enqueued.reset();
+        self.batches.reset();
+        self.flush_size.reset();
+        self.flush_bytes.reset();
+        self.flush_deadline.reset();
+        self.flush_explicit.reset();
+        self.occupancy.reset();
+    }
+}
+
+/// Why a queue was flushed (selects the stats counter).
+#[derive(Debug, Clone, Copy)]
+enum FlushReason {
+    Size,
+    Bytes,
+    Deadline,
+    Explicit,
+}
+
+struct DestQueue<M> {
+    msgs: Vec<M>,
+    bytes: usize,
+    /// When the oldest queued message arrived (meaningless while empty).
+    since: Instant,
+}
+
+impl<M> DestQueue<M> {
+    fn new() -> DestQueue<M> {
+        DestQueue {
+            msgs: Vec::new(),
+            bytes: 0,
+            since: Instant::now(),
+        }
+    }
+}
+
+struct BatcherInner<M: Send + Clone + 'static> {
+    bus: Bus<M>,
+    config: BatchConfig,
+    wrap: Box<dyn Fn(Vec<M>) -> M + Send + Sync>,
+    sizer: Box<dyn Fn(&M) -> usize + Send + Sync>,
+    /// Per-destination queues behind a read-mostly map: the destinations are
+    /// the cluster's handful of server addresses, inserted once each, so
+    /// sends take the read lock plus only their own destination's mutex.
+    queues: RwLock<HashMap<Addr, Arc<Mutex<DestQueue<M>>>>>,
+    /// Read under a destination's lock before enqueueing, and set before the
+    /// shutdown flush: either a message lands in the queue before that flush
+    /// drains it, or it observes the flag and goes to the bus directly —
+    /// nothing can be stranded.
+    shutdown: AtomicBool,
+    stats: BatchStats,
+}
+
+impl<M: Send + Clone + 'static> BatcherInner<M> {
+    fn queue_for(&self, to: Addr) -> Arc<Mutex<DestQueue<M>>> {
+        if let Some(queue) = self.queues.read().get(&to) {
+            return Arc::clone(queue);
+        }
+        Arc::clone(
+            self.queues
+                .write()
+                .entry(to)
+                .or_insert_with(|| Arc::new(Mutex::new(DestQueue::new()))),
+        )
+    }
+
+    /// Drains one destination queue and submits the envelope to the bus
+    /// *while still holding that destination's lock*, so a racing
+    /// caller-side flush and the deadline flusher cannot invert batch order
+    /// toward the destination.
+    fn flush_locked(&self, queue: &mut DestQueue<M>, to: Addr, reason: FlushReason) {
+        if queue.msgs.is_empty() {
+            return;
+        }
+        let msgs = std::mem::take(&mut queue.msgs);
+        queue.bytes = 0;
+        match reason {
+            FlushReason::Size => self.stats.flush_size.incr(),
+            FlushReason::Bytes => self.stats.flush_bytes.incr(),
+            FlushReason::Deadline => self.stats.flush_deadline.incr(),
+            FlushReason::Explicit => self.stats.flush_explicit.incr(),
+        }
+        self.stats.batches.incr();
+        self.stats.occupancy.record(msgs.len() as u64);
+        // A single message travels unwrapped: the receiver sees exactly the
+        // message it would have seen without batching.
+        let envelope = if msgs.len() == 1 {
+            msgs.into_iter().next().expect("length checked")
+        } else {
+            (self.wrap)(msgs)
+        };
+        // Delivery failures (unregistered destination) are already counted
+        // by the bus; a batch may carry messages from several requesters, so
+        // there is no single caller to surface the error to. Requesters
+        // recover via RPC retransmission, like any lost message.
+        let _ = self.bus.send(to, envelope);
+    }
+
+    fn dests(&self) -> Vec<(Addr, Arc<Mutex<DestQueue<M>>>)> {
+        self.queues
+            .read()
+            .iter()
+            .map(|(addr, queue)| (*addr, Arc::clone(queue)))
+            .collect()
+    }
+
+    fn flush_all(&self, reason: FlushReason) {
+        for (to, queue) in self.dests() {
+            self.flush_locked(&mut queue.lock(), to, reason);
+        }
+    }
+}
+
+/// A per-destination message coalescer in front of a [`Bus`].
+///
+/// Clones share the same queues; the cluster typically creates one batcher
+/// and hands a clone to every server, which also coalesces different
+/// senders' traffic toward the same destination.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::ServerId;
+/// use aloha_net::{Addr, BatchConfig, Batcher, Bus, NetConfig};
+///
+/// let bus: Bus<u64> = Bus::new(NetConfig::instant());
+/// let ep = bus.register(Addr::Server(ServerId(0)));
+/// let batcher = Batcher::new(
+///     bus,
+///     BatchConfig::default().with_max_messages(2),
+///     |msgs| msgs.iter().sum(), // toy envelope: the sum
+///     |_| 8,
+/// );
+/// batcher.send(Addr::Server(ServerId(0)), 1).unwrap();
+/// batcher.send(Addr::Server(ServerId(0)), 2).unwrap(); // size threshold
+/// assert_eq!(ep.recv().unwrap(), 3);
+/// batcher.shutdown();
+/// ```
+pub struct Batcher<M: Send + Clone + 'static> {
+    inner: Arc<BatcherInner<M>>,
+}
+
+impl<M: Send + Clone + 'static> Clone for Batcher<M> {
+    fn clone(&self) -> Self {
+        Batcher {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Send + Clone + 'static> fmt::Debug for Batcher<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Batcher")
+            .field("enqueued", &self.inner.stats.enqueued())
+            .field("batches", &self.inner.stats.batches())
+            .finish()
+    }
+}
+
+impl<M: Send + Clone + 'static> Batcher<M> {
+    /// Creates a batcher over `bus` and spawns its deadline flusher.
+    ///
+    /// `wrap` builds the on-bus envelope for a multi-message batch; `sizer`
+    /// estimates one message's payload bytes for the byte threshold.
+    pub fn new(
+        bus: Bus<M>,
+        config: BatchConfig,
+        wrap: impl Fn(Vec<M>) -> M + Send + Sync + 'static,
+        sizer: impl Fn(&M) -> usize + Send + Sync + 'static,
+    ) -> Batcher<M> {
+        let inner = Arc::new(BatcherInner {
+            bus,
+            config,
+            wrap: Box::new(wrap),
+            sizer: Box::new(sizer),
+            queues: RwLock::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            stats: BatchStats::default(),
+        });
+        let weak = Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name("batch-flusher".into())
+            .spawn(move || run_flusher(weak))
+            .expect("spawn batch flusher");
+        Batcher { inner }
+    }
+
+    /// Enqueues `msg` toward `to`, flushing inline if a size or byte
+    /// threshold is reached. After [`Batcher::shutdown`] the message bypasses
+    /// the queues and goes straight to the bus.
+    ///
+    /// # Errors
+    ///
+    /// Only direct (post-shutdown) sends can fail; a queued message's
+    /// delivery outcome is observable solely through bus drop counters, as
+    /// with any asynchronous network.
+    pub fn send(&self, to: Addr, msg: M) -> Result<()> {
+        let bytes = (self.inner.sizer)(&msg);
+        let queue = self.inner.queue_for(to);
+        let mut queue = queue.lock();
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            return self.inner.bus.send(to, msg);
+        }
+        if queue.msgs.is_empty() {
+            queue.since = Instant::now();
+        }
+        queue.msgs.push(msg);
+        queue.bytes += bytes;
+        self.inner.stats.enqueued.incr();
+        if queue.msgs.len() >= self.inner.config.max_messages {
+            self.inner.flush_locked(&mut queue, to, FlushReason::Size);
+        } else if queue.bytes >= self.inner.config.max_bytes {
+            self.inner.flush_locked(&mut queue, to, FlushReason::Bytes);
+        }
+        Ok(())
+    }
+
+    /// Flushes every destination queue now (epoch close, teardown).
+    pub fn flush(&self) {
+        self.inner.flush_all(FlushReason::Explicit);
+    }
+
+    /// Flushes everything and stops the deadline flusher; subsequent sends
+    /// bypass the queues.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.flush_all(FlushReason::Explicit);
+    }
+
+    /// This batcher's counters and occupancy histogram.
+    pub fn stats(&self) -> &BatchStats {
+        &self.inner.stats
+    }
+
+    /// The thresholds this batcher was created with.
+    pub fn config(&self) -> &BatchConfig {
+        &self.inner.config
+    }
+}
+
+/// Deadline-flusher thread body: flushes queues whose oldest message has
+/// aged past `max_delay`, then sleeps until the earliest pending deadline
+/// (or a short poll interval while idle — a wakeup-free design, so there is
+/// no notification race to lose; the cost is that a lone message may wait up
+/// to one extra poll beyond its deadline). Holds only a weak reference
+/// between polls so an abandoned batcher (dropped without `shutdown`) lets
+/// the thread exit.
+fn run_flusher<M: Send + Clone + 'static>(weak: Weak<BatcherInner<M>>) {
+    const IDLE_POLL: Duration = Duration::from_millis(50);
+    loop {
+        let Some(inner) = weak.upgrade() else { return };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        let mut next: Option<Instant> = None;
+        for (to, queue) in inner.dests() {
+            let mut queue = queue.lock();
+            if queue.msgs.is_empty() {
+                continue;
+            }
+            let deadline = queue.since + inner.config.max_delay;
+            if deadline <= now {
+                inner.flush_locked(&mut queue, to, FlushReason::Deadline);
+            } else {
+                next = Some(next.map_or(deadline, |n| n.min(deadline)));
+            }
+        }
+        let sleep = match next {
+            Some(deadline) => deadline.saturating_duration_since(now),
+            // Idle: poll at the deadline granularity so a message enqueued
+            // mid-sleep still flushes within ~2x max_delay, but never spin
+            // faster than necessary nor nap longer than IDLE_POLL.
+            None => inner.config.max_delay.min(IDLE_POLL),
+        };
+        drop(inner); // don't keep an abandoned batcher alive while asleep
+        std::thread::sleep(sleep.max(Duration::from_micros(50)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::NetConfig;
+    use aloha_common::ServerId;
+
+    /// Toy protocol: leaves are `(seq, payload_bytes)`; a batch wraps its
+    /// members in arrival order.
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        One(u64, usize),
+        Batch(Vec<TestMsg>),
+    }
+
+    fn batcher(config: BatchConfig) -> (Batcher<TestMsg>, crate::bus::Endpoint<TestMsg>) {
+        let bus: Bus<TestMsg> = Bus::new(NetConfig::instant());
+        let ep = bus.register(Addr::Server(ServerId(0)));
+        let b = Batcher::new(bus, config, TestMsg::Batch, |m| match m {
+            TestMsg::One(_, bytes) => *bytes,
+            TestMsg::Batch(_) => 0,
+        });
+        (b, ep)
+    }
+
+    fn dest() -> Addr {
+        Addr::Server(ServerId(0))
+    }
+
+    fn flatten(msg: TestMsg, out: &mut Vec<u64>) {
+        match msg {
+            TestMsg::One(seq, _) => out.push(seq),
+            TestMsg::Batch(msgs) => {
+                for m in msgs {
+                    flatten(m, out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_threshold_flushes_full_batch() {
+        let (b, ep) = batcher(
+            BatchConfig::default()
+                .with_max_messages(3)
+                .with_max_delay(Duration::from_secs(60)),
+        );
+        for seq in 0..3 {
+            b.send(dest(), TestMsg::One(seq, 1)).unwrap();
+        }
+        let got = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(
+            got,
+            TestMsg::Batch((0..3).map(|s| TestMsg::One(s, 1)).collect())
+        );
+        assert_eq!(b.stats().flushes_by_size(), 1);
+        assert_eq!(b.stats().batches(), 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn byte_threshold_flushes_before_count() {
+        let (b, ep) = batcher(
+            BatchConfig::default()
+                .with_max_messages(100)
+                .with_max_bytes(64)
+                .with_max_delay(Duration::from_secs(60)),
+        );
+        b.send(dest(), TestMsg::One(0, 40)).unwrap();
+        b.send(dest(), TestMsg::One(1, 40)).unwrap(); // 80 >= 64
+        let got = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+        let mut seqs = Vec::new();
+        flatten(got, &mut seqs);
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(b.stats().flushes_by_bytes(), 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn deadline_flushes_a_lone_message() {
+        let (b, ep) = batcher(
+            BatchConfig::default()
+                .with_max_messages(100)
+                .with_max_delay(Duration::from_millis(5)),
+        );
+        b.send(dest(), TestMsg::One(7, 1)).unwrap();
+        // Arrives unwrapped (single-message batch) via the deadline path.
+        let got = ep.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, TestMsg::One(7, 1));
+        assert_eq!(b.stats().flushes_by_deadline(), 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn explicit_flush_drains_all_destinations() {
+        let bus: Bus<TestMsg> = Bus::new(NetConfig::instant());
+        let ep0 = bus.register(Addr::Server(ServerId(0)));
+        let ep1 = bus.register(Addr::Server(ServerId(1)));
+        let b = Batcher::new(
+            bus,
+            BatchConfig::default()
+                .with_max_messages(100)
+                .with_max_delay(Duration::from_secs(60)),
+            TestMsg::Batch,
+            |_| 1,
+        );
+        b.send(Addr::Server(ServerId(0)), TestMsg::One(1, 1))
+            .unwrap();
+        b.send(Addr::Server(ServerId(1)), TestMsg::One(2, 1))
+            .unwrap();
+        b.flush();
+        assert_eq!(
+            ep0.recv_timeout(Duration::from_secs(1)).unwrap(),
+            TestMsg::One(1, 1)
+        );
+        assert_eq!(
+            ep1.recv_timeout(Duration::from_secs(1)).unwrap(),
+            TestMsg::One(2, 1)
+        );
+        assert_eq!(b.stats().flushes_explicit(), 2);
+        b.shutdown();
+    }
+
+    #[test]
+    fn occupancy_histogram_counts_batch_sizes() {
+        let (b, ep) = batcher(
+            BatchConfig::default()
+                .with_max_messages(4)
+                .with_max_delay(Duration::from_secs(60)),
+        );
+        for seq in 0..4 {
+            b.send(dest(), TestMsg::One(seq, 1)).unwrap();
+        }
+        b.send(dest(), TestMsg::One(4, 1)).unwrap();
+        b.flush();
+        let _ = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+        let _ = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+        let snap = b.stats().occupancy().snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(b.stats().enqueued(), 5);
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_flushes_and_bypasses_queues() {
+        let (b, ep) = batcher(
+            BatchConfig::default()
+                .with_max_messages(100)
+                .with_max_delay(Duration::from_secs(60)),
+        );
+        b.send(dest(), TestMsg::One(0, 1)).unwrap();
+        b.shutdown();
+        assert_eq!(
+            ep.recv_timeout(Duration::from_secs(1)).unwrap(),
+            TestMsg::One(0, 1)
+        );
+        // Post-shutdown sends are direct.
+        b.send(dest(), TestMsg::One(1, 1)).unwrap();
+        assert_eq!(
+            ep.recv_timeout(Duration::from_secs(1)).unwrap(),
+            TestMsg::One(1, 1)
+        );
+        b.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn export_carries_batch_counters_and_occupancy() {
+        let (b, ep) = batcher(BatchConfig::default().with_max_messages(2));
+        b.send(dest(), TestMsg::One(0, 1)).unwrap();
+        b.send(dest(), TestMsg::One(1, 1)).unwrap();
+        let _ = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+        let mut node = StatsSnapshot::new("net");
+        b.stats().export(&mut node);
+        assert_eq!(node.counter("batch_enqueued"), Some(2));
+        assert_eq!(node.counter("batch_batches"), Some(1));
+        assert!(node.stage("batch_occupancy").is_some());
+        b.stats().reset();
+        let mut node = StatsSnapshot::new("net");
+        b.stats().export(&mut node);
+        assert_eq!(node.counter("batch_enqueued"), Some(0));
+        b.shutdown();
+    }
+
+    #[test]
+    fn concurrent_senders_to_one_destination_keep_per_sender_order() {
+        let (b, ep) = batcher(
+            BatchConfig::default()
+                .with_max_messages(4)
+                .with_max_delay(Duration::from_micros(200)),
+        );
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let b = b.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        b.send(dest(), TestMsg::One(t * 1_000 + i, 1)).unwrap();
+                    }
+                });
+            }
+        });
+        b.flush();
+        let mut seqs = Vec::new();
+        while (seqs.len() as u64) < 4 * per_thread {
+            let msg = ep.recv_timeout(Duration::from_secs(2)).unwrap();
+            flatten(msg, &mut seqs);
+        }
+        // Interleaved inline and deadline flushes must never invert one
+        // sender's messages: each thread's subsequence comes out ascending
+        // and complete.
+        for t in 0..4u64 {
+            let thread_seqs: Vec<u64> = seqs.iter().copied().filter(|s| s / 1_000 == t).collect();
+            assert_eq!(
+                thread_seqs.len() as u64,
+                per_thread,
+                "thread {t} lost messages"
+            );
+            assert!(
+                thread_seqs.windows(2).all(|w| w[0] < w[1]),
+                "thread {t} messages reordered"
+            );
+        }
+        b.shutdown();
+    }
+}

@@ -23,11 +23,13 @@
 //! assert_eq!(envelope, "hello");
 //! ```
 
+pub mod batch;
 pub mod bus;
 pub mod delay;
 pub mod fault;
 pub mod reply;
 
+pub use batch::{BatchConfig, BatchStats, Batcher};
 pub use bus::{Addr, Bus, Endpoint, NetStats};
 pub use delay::{DelayLine, NetConfig};
 pub use fault::{FaultPlan, LinkFault, PartitionWindow, PauseWindow};

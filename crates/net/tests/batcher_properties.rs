@@ -1,0 +1,169 @@
+//! Property tests for the destination batcher: whatever the thresholds and
+//! however flushes interleave (inline size/byte flushes, deadline flushes,
+//! explicit `flush()` calls), every destination receives exactly the
+//! messages sent toward it, in send order, with nothing lost or duplicated.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use aloha_common::ServerId;
+use aloha_net::{Addr, BatchConfig, Batcher, Bus, NetConfig};
+use proptest::prelude::*;
+
+/// Test protocol: a leaf carries `(dest, seq, payload_bytes)`; a batch wraps
+/// leaves in the order the batcher queued them.
+#[derive(Debug, Clone, PartialEq)]
+enum Msg {
+    One(u16, u64, usize),
+    Batch(Vec<Msg>),
+}
+
+fn flatten(msg: Msg, out: &mut Vec<(u16, u64)>) {
+    match msg {
+        Msg::One(dest, seq, _) => out.push((dest, seq)),
+        Msg::Batch(msgs) => {
+            for m in msgs {
+                flatten(m, out);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random thresholds, random per-message sizes, random interleaving of
+    /// destinations and periodic explicit flushes: per-destination FIFO and
+    /// exactly-once must survive all of it.
+    #[test]
+    fn thresholds_never_reorder_nor_lose_messages(
+        sends in proptest::collection::vec((0u16..3, 1usize..48), 1..250),
+        max_messages in 1usize..9,
+        max_bytes in 16usize..256,
+        max_delay_us in 100u64..50_000,
+        flush_every in 5usize..60,
+    ) {
+        const DESTS: u16 = 3;
+        let bus: Bus<Msg> = Bus::new(NetConfig::instant());
+        let endpoints: Vec<_> = (0..DESTS)
+            .map(|d| bus.register(Addr::Server(ServerId(d))))
+            .collect();
+        let batcher = Batcher::new(
+            bus,
+            BatchConfig::default()
+                .with_max_messages(max_messages)
+                .with_max_bytes(max_bytes)
+                .with_max_delay(Duration::from_micros(max_delay_us)),
+            Msg::Batch,
+            |m| match m {
+                Msg::One(_, _, bytes) => *bytes,
+                Msg::Batch(_) => 0,
+            },
+        );
+
+        // One global sender; per destination the seq numbers it will observe
+        // are strictly increasing.
+        let mut expected: HashMap<u16, Vec<u64>> = HashMap::new();
+        for (i, &(dest, bytes)) in sends.iter().enumerate() {
+            let seq = i as u64;
+            batcher
+                .send(Addr::Server(ServerId(dest)), Msg::One(dest, seq, bytes))
+                .unwrap();
+            expected.entry(dest).or_default().push(seq);
+            if (i + 1) % flush_every == 0 {
+                batcher.flush();
+            }
+        }
+        batcher.flush();
+
+        for (dest, ep) in endpoints.iter().enumerate() {
+            let dest = dest as u16;
+            let want = expected.remove(&dest).unwrap_or_default();
+            let mut got: Vec<(u16, u64)> = Vec::new();
+            while got.len() < want.len() {
+                let msg = ep
+                    .recv_timeout(Duration::from_secs(2))
+                    .expect("flushed message must arrive");
+                flatten(msg, &mut got);
+            }
+            prop_assert!(
+                got.iter().all(|&(d, _)| d == dest),
+                "destination {dest} received another destination's message: {got:?}"
+            );
+            let seqs: Vec<u64> = got.iter().map(|&(_, s)| s).collect();
+            prop_assert_eq!(
+                seqs,
+                want,
+                "destination {} messages lost, duplicated or reordered",
+                dest
+            );
+            prop_assert!(
+                ep.try_recv().is_none(),
+                "destination {} received extra messages",
+                dest
+            );
+        }
+        prop_assert_eq!(batcher.stats().enqueued(), sends.len() as u64);
+        batcher.shutdown();
+    }
+
+    /// Concurrent senders racing the inline and deadline flush paths: each
+    /// sender's subsequence toward the shared destination stays in order and
+    /// complete (the cross-sender interleaving is unspecified).
+    #[test]
+    fn concurrent_senders_keep_per_sender_fifo(
+        per_thread in 1u64..120,
+        max_messages in 2usize..8,
+        max_delay_us in 50u64..500,
+    ) {
+        let bus: Bus<Msg> = Bus::new(NetConfig::instant());
+        let ep = bus.register(Addr::Server(ServerId(0)));
+        let batcher = Batcher::new(
+            bus,
+            BatchConfig::default()
+                .with_max_messages(max_messages)
+                .with_max_delay(Duration::from_micros(max_delay_us)),
+            Msg::Batch,
+            |_| 1,
+        );
+        const THREADS: u64 = 3;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let batcher = batcher.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        batcher
+                            .send(
+                                Addr::Server(ServerId(0)),
+                                Msg::One(t as u16, t * 10_000 + i, 1),
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        batcher.flush();
+        let mut got: Vec<(u16, u64)> = Vec::new();
+        while (got.len() as u64) < THREADS * per_thread {
+            let msg = ep
+                .recv_timeout(Duration::from_secs(2))
+                .expect("flushed message must arrive");
+            flatten(msg, &mut got);
+        }
+        for t in 0..THREADS {
+            let seqs: Vec<u64> = got
+                .iter()
+                .filter(|&&(sender, _)| sender as u64 == t)
+                .map(|&(_, s)| s)
+                .collect();
+            prop_assert_eq!(seqs.len() as u64, per_thread, "sender {} lost messages", t);
+            prop_assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "sender {} messages reordered: {:?}",
+                t,
+                seqs
+            );
+        }
+        batcher.shutdown();
+    }
+}

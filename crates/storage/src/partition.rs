@@ -35,6 +35,19 @@ pub trait ComputeEnv: Send + Sync {
     /// errors.
     fn remote_get(&self, key: &Key, bound: Timestamp) -> Result<VersionedRead>;
 
+    /// Reads several keys at the same bound, returning the reads in `keys`
+    /// order. The default delegates to [`remote_get`](ComputeEnv::remote_get)
+    /// per key; the engine overrides this with one batched round trip per
+    /// owning partition, fanned out in parallel — the functor-computing
+    /// phase's gather step.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any single read fails.
+    fn remote_get_many(&self, keys: &[Key], bound: Timestamp) -> Result<Vec<VersionedRead>> {
+        keys.iter().map(|k| self.remote_get(k, bound)).collect()
+    }
+
     /// Installs a deferred write (dependent key, §IV-E) on the partition that
     /// owns `key`. Must be idempotent; `functor` is always a final form.
     ///
@@ -498,18 +511,29 @@ impl Partition {
                 }
             }
             Functor::User(user) => {
+                // Gather the read set: push-cache hits and locally-owned keys
+                // resolve immediately; whatever remains remote is fetched in
+                // one `remote_get_many` call, which the engine groups by
+                // owner into parallel batched round trips instead of one
+                // blocking RPC per key.
                 let mut reads = Reads::new();
+                let mut remote: Vec<Key> = Vec::new();
                 for rk in &user.read_set {
-                    let read = if let Some(hit) = self.push_cache.get(version, rk) {
+                    if let Some(hit) = self.push_cache.get(version, rk) {
                         self.stats.push_hits.incr();
-                        hit
+                        reads.insert(rk.clone(), hit);
                     } else if self.owns(rk) {
-                        self.get(rk, version.pred(), env)?
+                        reads.insert(rk.clone(), self.get(rk, version.pred(), env)?);
                     } else {
-                        self.stats.remote_reads.incr();
-                        env.remote_get(rk, version.pred())?
-                    };
-                    reads.insert(rk.clone(), read);
+                        remote.push(rk.clone());
+                    }
+                }
+                if !remote.is_empty() {
+                    self.stats.remote_reads.add(remote.len() as u64);
+                    let fetched = env.remote_get_many(&remote, version.pred())?;
+                    for (rk, read) in remote.into_iter().zip(fetched) {
+                        reads.insert(rk, read);
+                    }
                 }
                 let input = ComputeInput {
                     key,
@@ -832,11 +856,7 @@ mod tests {
         p.install(
             &target,
             ts(20),
-            Functor::User(UserFunctor::new(
-                HandlerId(1),
-                vec![source.clone()],
-                Vec::new(),
-            )),
+            Functor::User(UserFunctor::new(HandlerId(1), vec![source], Vec::new())),
         )
         .unwrap();
         // `source` is not stored locally; without the push the LocalOnlyEnv

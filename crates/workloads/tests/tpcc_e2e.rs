@@ -292,8 +292,7 @@ fn ycsb_increments_are_exact_on_both_systems() {
 fn driver_runs_aloha_tpcc_under_load() {
     let cfg = small_tpcc(2);
     let cluster = aloha_cluster(&cfg);
-    let target =
-        tpcc::aloha::AlohaTpcc::new(cluster.database(), cfg.clone(), TxnMix::NewOrderOnly, true);
+    let target = tpcc::aloha::AlohaTpcc::new(cluster.database(), cfg, TxnMix::NewOrderOnly, true);
     let report = run_windowed(
         &target,
         &DriverConfig {

@@ -155,7 +155,7 @@ fn main() {
 
     // What a violation looks like: hand the checker a state with one lost
     // effect and show the diff it would print.
-    let mut corrupted = actual.clone();
+    let mut corrupted = actual;
     if let Some(slot) = corrupted.values_mut().find(|v| v.is_some()) {
         *slot = None;
         let diff = diff_states(&expected, &corrupted);

@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Rows 0..2 exist even though their keys were never named at transform
     // time; the dependency rule makes the reads wait for the counter.
-    let rows = db.read_latest(&[row_key(0), row_key(1), row_key(2), counter.clone()])?;
+    let rows = db.read_latest(&[row_key(0), row_key(1), row_key(2), counter])?;
     for (i, row) in rows.iter().take(3).enumerate() {
         let text = String::from_utf8_lossy(row.as_ref().unwrap().as_bytes()).to_string();
         println!("  row {i}: {text:?}");

@@ -18,8 +18,8 @@ use aloha_db::calvin::{
     ProgramId as CalvinProgramId,
 };
 use aloha_db::core_engine::{
-    diff_states, fn_program, replay_history, Cluster, ClusterConfig, CommitRecord, ProgramId,
-    TxnPlan,
+    diff_states, fn_program, replay_history, BatchConfig, Cluster, ClusterConfig, CommitRecord,
+    ProgramId, TxnPlan,
 };
 use aloha_functor::{
     ComputeInput, Functor, HandlerId, HandlerOutput, HandlerRegistry, UserFunctor,
@@ -111,19 +111,22 @@ fn failure_report(
 // ALOHA-DB under chaos.
 // ---------------------------------------------------------------------
 
-fn aloha_chaos_run(seed: u64) -> Result<(), String> {
+fn aloha_chaos_run(seed: u64, batch: Option<BatchConfig>) -> Result<(), String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 80;
 
+    let batched = batch.is_some();
     let plan = fault_plan(seed);
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(3)
-            .with_epoch_duration(Duration::from_millis(2))
-            .with_net(NetConfig::instant().with_fault(plan.clone()))
-            .with_rpc_timeout(Duration::from_millis(25))
-            .with_history(),
-    );
+    let mut config = ClusterConfig::new(3)
+        .with_epoch_duration(Duration::from_millis(2))
+        .with_net(NetConfig::instant().with_fault(plan.clone()))
+        .with_rpc_timeout(Duration::from_millis(25))
+        .with_history();
+    if let Some(batch) = batch {
+        config = config.with_batching(batch);
+    }
+    let mut builder = Cluster::builder(config);
     builder.register_handler(H_AFFINE, affine_handler);
     builder.register_program(
         AFFINE,
@@ -177,6 +180,24 @@ fn aloha_chaos_run(seed: u64) -> Result<(), String> {
         "fault layer injected nothing under seed {seed} with {plan}"
     );
 
+    // In batched runs the traffic must actually have flowed through the
+    // batcher — including across the partition heal, where queued envelopes
+    // are (re)flushed and retried until the isolated server answers again.
+    if batched {
+        let snapshot = cluster.snapshot();
+        let net = snapshot
+            .child("net")
+            .expect("cluster snapshot exports a net node");
+        assert!(
+            net.counter("batch_enqueued").unwrap_or(0) > 0,
+            "batched chaos run never enqueued into the batcher under seed {seed}"
+        );
+        assert!(
+            net.counter("batch_batches").unwrap_or(0) > 0,
+            "batched chaos run never flushed a batch under seed {seed}"
+        );
+    }
+
     // Snapshot the recorded history and read the cluster's final state.
     let mut records = cluster
         .history()
@@ -207,8 +228,25 @@ fn aloha_chaos_run(seed: u64) -> Result<(), String> {
 #[test]
 fn aloha_serializable_under_drops_dups_reorders_and_partition() {
     for seed in seeds() {
-        if let Err(msg) = aloha_chaos_run(seed) {
+        if let Err(msg) = aloha_chaos_run(seed, None) {
             panic!("{msg}");
+        }
+    }
+}
+
+/// Seeds for the batched chaos sweep: the default sweep plus one more, so
+/// batching is exercised under at least four distinct fault schedules.
+const BATCHED_EXTRA_SEEDS: [u64; 1] = [31337];
+
+#[test]
+fn aloha_serializable_under_chaos_with_batching() {
+    let mut swept = seeds();
+    if std::env::var("CHAOS_SEED").is_err() {
+        swept.extend(BATCHED_EXTRA_SEEDS);
+    }
+    for seed in swept {
+        if let Err(msg) = aloha_chaos_run(seed, Some(BatchConfig::default())) {
+            panic!("batched run: {msg}");
         }
     }
 }

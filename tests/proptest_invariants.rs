@@ -151,7 +151,7 @@ proptest! {
         qty in any::<i64>(),
         name in "[a-zA-Z0-9 ]{0,40}",
     ) {
-        let item = ItemRow { i_id, name: name.clone(), price_cents: price };
+        let item = ItemRow { i_id, name, price_cents: price };
         prop_assert_eq!(ItemRow::decode(&item.encode()).unwrap(), item);
         let stock = StockRow { i_id, w_id, quantity: qty, ytd: price, order_cnt: qty };
         prop_assert_eq!(StockRow::decode(&stock.encode()).unwrap(), stock);
