@@ -7,7 +7,7 @@ use std::time::Duration;
 use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, PartitionId, Result, ServerId, Value};
-use aloha_net::{Addr, Bus, NetConfig};
+use aloha_net::{Addr, Bus, ExecConfig, Executor, NetConfig};
 
 use crate::msg::CalvinMsg;
 use crate::program::{CalvinProgram, CalvinRegistry, ProgramId};
@@ -30,6 +30,10 @@ pub struct CalvinConfig {
     /// Record the merged deterministic order on every scheduler for the
     /// serializability checker (test builds only).
     pub record_history: bool,
+    /// Pool sizes for each server's bounded executor (distributed
+    /// transactions run on its blocking lane); aligned with the ALOHA
+    /// engine's `ClusterConfig::exec` knob.
+    pub exec: ExecConfig,
 }
 
 impl CalvinConfig {
@@ -41,6 +45,7 @@ impl CalvinConfig {
             net: NetConfig::instant(),
             workers_per_server: 2,
             record_history: false,
+            exec: ExecConfig::default(),
         }
     }
 
@@ -65,6 +70,12 @@ impl CalvinConfig {
     /// Enables schedule-history recording for the serializability checker.
     pub fn with_history(mut self) -> CalvinConfig {
         self.record_history = true;
+        self
+    }
+
+    /// Overrides the per-server executor pool sizes.
+    pub fn with_exec(mut self, exec: ExecConfig) -> CalvinConfig {
+        self.exec = exec;
         self
     }
 }
@@ -119,8 +130,15 @@ impl CalvinClusterBuilder {
                 .config
                 .record_history
                 .then(|| Arc::new(CalvinHistory::new()));
-            let (server, sched_rx, exec_rx) =
-                CalvinServer::new(ServerId(i), n, Arc::clone(&registry), bus.clone(), history);
+            let exec = Executor::new(format!("calvin-exec-{i}"), self.config.exec.clone());
+            let (server, sched_rx, exec_rx) = CalvinServer::new(
+                ServerId(i),
+                n,
+                Arc::clone(&registry),
+                bus.clone(),
+                exec,
+                history,
+            );
             let s = Arc::clone(&server);
             threads.push(
                 std::thread::Builder::new()
@@ -260,7 +278,9 @@ impl CalvinCluster {
             for (acc, snap) in merged.iter_mut().zip(stats.raw_histograms()) {
                 acc.merge(&snap);
             }
-            root.push_child(stats.snapshot(format!("server_{}", server.id().0)));
+            let mut node = stats.snapshot(format!("server_{}", server.id().0));
+            node.push_child(server.exec().stats().snapshot("exec"));
+            root.push_child(node);
         }
         root.set_counter("completed", completed);
         root.set_counter("scheduled", scheduled);
@@ -276,6 +296,7 @@ impl CalvinCluster {
     pub fn reset_stats(&self) {
         for server in &self.servers {
             server.stats().reset();
+            server.exec().stats().reset();
         }
     }
 
@@ -293,6 +314,12 @@ impl CalvinCluster {
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Workers are gone, so nothing submits anymore; drain and join the
+        // executors (deferred until here so one server's draining tasks can
+        // still get read broadcasts handled by its peers).
+        for server in &self.servers {
+            server.exec().shutdown();
         }
     }
 }

@@ -12,7 +12,7 @@ use aloha_common::metrics::{
 };
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{HistoryLog, Key, Result, ServerId, Value};
-use aloha_net::{reply_pair, Addr, Bus, Endpoint, ReplyHandle};
+use aloha_net::{reply_pair, Addr, Bus, Endpoint, Executor, ReplyHandle};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
@@ -147,6 +147,10 @@ pub struct CalvinServer {
     next_seq: AtomicU64,
     sched_tx: Sender<SchedulerEvent>,
     exec_tx: Sender<ExecTask>,
+    /// Bounded executor whose blocking lane runs distributed transactions
+    /// (they park on peer read broadcasts), aligned with the ALOHA engine's
+    /// data-plane executor.
+    exec: Executor,
     stats: CalvinStats,
     shutdown: AtomicBool,
     rpc_timeout: Duration,
@@ -172,6 +176,7 @@ impl CalvinServer {
         total: u16,
         registry: Arc<CalvinRegistry>,
         bus: Bus<CalvinMsg>,
+        exec: Executor,
         history: Option<Arc<CalvinHistory>>,
     ) -> (
         Arc<CalvinServer>,
@@ -192,6 +197,7 @@ impl CalvinServer {
             next_seq: AtomicU64::new(0),
             sched_tx,
             exec_tx,
+            exec,
             stats: CalvinStats::default(),
             shutdown: AtomicBool::new(false),
             rpc_timeout: Duration::from_secs(30),
@@ -227,6 +233,11 @@ impl CalvinServer {
     /// This server's metrics.
     pub fn stats(&self) -> &CalvinStats {
         &self.stats
+    }
+
+    /// This server's bounded transaction executor.
+    pub fn exec(&self) -> &Executor {
+        &self.exec
     }
 
     /// The server owning `key`.
@@ -592,9 +603,11 @@ fn dispatch(server: &Arc<CalvinServer>, local_seq: u64, entry: &ActiveTxn) {
 /// Single-partition transactions run inline. Distributed transactions block
 /// on the peers' read broadcasts, and the set of granted-but-blocked
 /// transactions is unbounded (it depends on lock-grant interleaving across
-/// partitions), so running them on pool threads can deadlock the pool; they
-/// get a dedicated thread instead, as Calvin implementations do for blocking
-/// remote reads.
+/// partitions), so running them on this pool could deadlock it; they go to
+/// the executor's blocking lane instead, whose claim-ticket spillover
+/// guarantees a blocked submission never waits behind a blocked worker —
+/// the bounded version of the dedicated-thread-per-blocking-read approach
+/// Calvin implementations use.
 pub(crate) fn run_worker(server: Arc<CalvinServer>, tasks: Receiver<ExecTask>) {
     loop {
         let task = match tasks.recv_timeout(Duration::from_millis(50)) {
@@ -608,8 +621,8 @@ pub(crate) fn run_worker(server: Arc<CalvinServer>, tasks: Receiver<ExecTask>) {
             Err(RecvTimeoutError::Disconnected) => break,
         };
         if is_distributed(&server, &task) {
-            let server = Arc::clone(&server);
-            std::thread::spawn(move || execute_txn(&server, task));
+            let s = Arc::clone(&server);
+            server.exec.submit_blocking(move || execute_txn(&s, task));
         } else {
             execute_txn(&server, task);
         }

@@ -135,6 +135,14 @@ impl Key {
         }
     }
 
+    /// A stable 64-bit hash of the key bytes (FNV-1a, the same function
+    /// [`Key::partition`] uses). Run-to-run stability matters for anything
+    /// that routes work by key — shard queues, cache shards — so that
+    /// placement decisions reproduce under a fixed seed.
+    pub fn stable_hash(&self) -> u64 {
+        self.fnv1a()
+    }
+
     fn fnv1a(&self) -> u64 {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in self.0.iter() {

@@ -12,7 +12,7 @@ use aloha_common::{EpochId, PartitionId};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
 use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
-use aloha_net::{Addr, BatchConfig, Batcher, Bus, Endpoint, NetConfig};
+use aloha_net::{Addr, BatchConfig, Batcher, Bus, Endpoint, ExecConfig, Executor, NetConfig};
 use aloha_storage::Partition;
 
 use crate::checker::History;
@@ -79,6 +79,11 @@ pub struct ClusterConfig {
     /// with these thresholds, flushing at epoch close. `None` (the default)
     /// sends every message individually.
     pub batch: Option<BatchConfig>,
+    /// Pool sizes for each server's bounded message executor (sharded lane
+    /// for per-key work, blocking lane for cross-partition recursion).
+    /// [`aloha_net::ExecConfig::spawn_per_message`] restores the pre-pool
+    /// thread-per-message behavior (the ablation baseline).
+    pub exec: ExecConfig,
 }
 
 /// Background garbage-collection knobs (see [`ClusterConfig::with_gc`]).
@@ -109,6 +114,7 @@ impl ClusterConfig {
             rpc_timeout: Duration::from_secs(30),
             record_history: false,
             batch: None,
+            exec: ExecConfig::default(),
         }
     }
 
@@ -184,6 +190,12 @@ impl ClusterConfig {
     /// Enables destination-batched messaging with the given thresholds.
     pub fn with_batching(mut self, batch: BatchConfig) -> ClusterConfig {
         self.batch = Some(batch);
+        self
+    }
+
+    /// Overrides the per-server message-executor pool sizes.
+    pub fn with_exec(mut self, exec: ExecConfig) -> ClusterConfig {
+        self.exec = exec;
         self
     }
 }
@@ -305,6 +317,7 @@ impl ClusterBuilder {
                 self.config.allow_noauth,
             ));
             let endpoint = bus.register(Addr::Server(ServerId(i)));
+            let exec = Executor::new(format!("exec-s{i}"), self.config.exec.clone());
             let (server, queue_rx) = Server::new(
                 ServerId(i),
                 n,
@@ -312,6 +325,7 @@ impl ClusterBuilder {
                 epoch,
                 bus.clone(),
                 batcher.clone(),
+                exec,
                 Arc::clone(&programs),
                 self.config.durable,
                 self.config.replicated,
@@ -566,6 +580,7 @@ impl Cluster {
     pub fn reset_stats(&self) {
         for server in &self.servers {
             server.stats().reset();
+            server.exec().stats().reset();
         }
         if let Some(batcher) = &self.batcher {
             batcher.stats().reset();
@@ -707,6 +722,13 @@ impl Cluster {
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // With every dispatcher gone nothing submits anymore; drain the
+        // executors' accepted work and join their pooled workers. Done
+        // after the dispatcher joins so in-flight drains on one server can
+        // still be answered by any other server's still-live workers.
+        for server in &self.servers {
+            server.exec().shutdown();
         }
     }
 }

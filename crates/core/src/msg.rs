@@ -165,6 +165,30 @@ pub enum ServerMsg {
 }
 
 impl ServerMsg {
+    /// The hash that routes this message onto the executor's key-sharded
+    /// lane, or `None` for messages that are not per-key work (and are
+    /// handled inline by the dispatcher or on the blocking lane).
+    ///
+    /// Multi-key messages route by their *first* key. A transaction's
+    /// install group for one partition and its abort round for the same
+    /// partition list keys in the same order, so both land on the same
+    /// shard queue; correctness does not depend on it (aborts pre-abort and
+    /// installs are first-write-wins), but it keeps the common case
+    /// ordered.
+    pub fn shard_hash(&self) -> Option<u64> {
+        match self {
+            ServerMsg::Install { writes, .. } => {
+                Some(writes.first().map_or(0, |w| w.key.stable_hash()))
+            }
+            ServerMsg::AbortVersion { keys, .. } => {
+                Some(keys.first().map_or(0, |(k, _)| k.stable_hash()))
+            }
+            ServerMsg::InstallDeferred { key, .. } => Some(key.stable_hash()),
+            ServerMsg::PushValue { source, .. } => Some(source.stable_hash()),
+            _ => None,
+        }
+    }
+
     /// Rough on-wire payload size, used by the [`aloha_net::Batcher`] byte
     /// threshold. Counts variable payload (keys, values, args) plus a fixed
     /// per-message overhead; exact framing doesn't matter for a threshold.

@@ -14,7 +14,7 @@ use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp};
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
-use aloha_net::{reply_pair, Addr, Batcher, Bus, Endpoint, ReplyHandle, ReplySlot};
+use aloha_net::{reply_pair, Addr, Batcher, Bus, Endpoint, Executor, ReplyHandle, ReplySlot};
 use aloha_storage::{ComputeEnv, Partition};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -167,6 +167,10 @@ pub struct Server {
     /// sent individually, the pre-batching behavior). Shared cluster-wide so
     /// different servers' traffic toward one destination coalesces too.
     batcher: Option<Batcher<ServerMsg>>,
+    /// Bounded two-lane executor for dispatched backend work: per-key
+    /// message handling on the sharded lane, cross-partition recursion on
+    /// the blocking lane (see `aloha_net::exec`).
+    exec: Executor,
     programs: Arc<ProgramRegistry>,
     queue_tx: Sender<QueueEntry>,
     pending: Mutex<Vec<QueueEntry>>,
@@ -220,6 +224,7 @@ impl Server {
         epoch: Arc<EpochClient>,
         bus: Bus<ServerMsg>,
         batcher: Option<Batcher<ServerMsg>>,
+        exec: Executor,
         programs: Arc<ProgramRegistry>,
         durable: bool,
         replicated: bool,
@@ -234,6 +239,7 @@ impl Server {
             epoch,
             bus,
             batcher,
+            exec,
             programs,
             queue_tx,
             pending: Mutex::new(Vec::new()),
@@ -268,11 +274,17 @@ impl Server {
         &self.stats
     }
 
+    /// This server's bounded message executor.
+    pub fn exec(&self) -> &Executor {
+        &self.exec
+    }
+
     /// This server's node of the unified stats tree (with its partition's
-    /// counters as a child).
+    /// counters and its executor's pool metrics as children).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut node = self.stats.snapshot(format!("server_{}", self.id.0));
         node.push_child(self.partition.stats().snapshot("partition"));
+        node.push_child(self.exec.stats().snapshot("exec"));
         node
     }
 
@@ -1108,53 +1120,75 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
             }
         }
         ServerMsg::RevokedAck(_) => {} // only the EM endpoint receives these
-        // With replication on, install_batch blocks on the backup's
-        // ack; three blocked dispatchers can form a ring deadlock, so
-        // replicated installs run on their own thread. Without
-        // replication the handler is non-blocking and runs inline.
-        ServerMsg::Install {
-            version,
-            writes,
-            reply,
-        } => {
-            if server.is_replicated() {
-                let s = Arc::clone(server);
-                std::thread::spawn(move || {
+        // Per-key work runs on the executor's key-sharded lane: one FIFO
+        // queue per worker, routed by `ServerMsg::shard_hash`, so same-key
+        // messages never reorder while distinct keys proceed in parallel.
+        // With replication on, install_batch blocks on the backup's ack;
+        // that is safe on a sharded worker because `Replicate` is answered
+        // inline by the (never-blocking) dispatcher below, so a ring of
+        // servers replicating to each other cannot deadlock.
+        msg @ (ServerMsg::Install { .. }
+        | ServerMsg::AbortVersion { .. }
+        | ServerMsg::InstallDeferred { .. }
+        | ServerMsg::PushValue { .. }) => {
+            let hash = msg.shard_hash().unwrap_or(0);
+            let s = Arc::clone(server);
+            server.exec.submit_sharded(hash, move || match msg {
+                ServerMsg::Install {
+                    version,
+                    writes,
+                    reply,
+                } => {
                     reply.send(s.install_batch(version, &writes));
-                });
-            } else {
-                reply.send(server.install_batch(version, &writes));
-            }
-        }
-        ServerMsg::AbortVersion { keys, reply } => {
-            if server.is_replicated() {
-                let s = Arc::clone(server);
-                std::thread::spawn(move || {
+                }
+                ServerMsg::AbortVersion { keys, reply } => {
                     for (key, version) in keys.iter() {
                         s.abort_version_logged(key, *version);
                     }
                     reply.send(());
-                });
-            } else {
-                for (key, version) in keys.iter() {
-                    server.abort_version_logged(key, *version);
                 }
-                reply.send(());
-            }
+                ServerMsg::InstallDeferred {
+                    key,
+                    version,
+                    functor,
+                    reply,
+                } => {
+                    s.partition.store().put(&key, version, functor);
+                    reply.send(());
+                }
+                ServerMsg::PushValue {
+                    version,
+                    source,
+                    read,
+                } => s.partition.push_cache().insert(version, source, read),
+                _ => unreachable!("only per-key messages are routed here"),
+            });
         }
-        // Requests that may themselves block on other partitions run on
-        // their own thread so the dispatcher never deadlocks. Functor
-        // recursion strictly decreases versions, so the spawn depth is
-        // bounded by the dependency chain.
+        // Requests that may themselves block on other partitions run on the
+        // executor's blocking lane, which spills over to a fresh thread when
+        // every pooled worker is busy — so the dispatcher never deadlocks
+        // and, as before the pool, functor recursion (strictly decreasing
+        // versions) bounds the blocked-thread depth. The time a request
+        // waits for a worker is part of the asynchronous computing phase,
+        // so it is recorded into the `functor_computing` stage: pool
+        // saturation shows up in the cluster percentiles.
         ServerMsg::RemoteGet { key, bound, reply } => {
             let s = Arc::clone(server);
-            std::thread::spawn(move || {
+            let enqueued = Instant::now();
+            server.exec.submit_blocking(move || {
+                s.stats
+                    .tracer
+                    .record_stage(Stage::FunctorComputing, duration_micros(enqueued.elapsed()));
                 reply.send(s.partition.get(&key, bound, s.as_env()));
             });
         }
         ServerMsg::RemoteGetBatch { keys, bound, reply } => {
             let s = Arc::clone(server);
-            std::thread::spawn(move || {
+            let enqueued = Instant::now();
+            server.exec.submit_blocking(move || {
+                s.stats
+                    .tracer
+                    .record_stage(Stage::FunctorComputing, duration_micros(enqueued.elapsed()));
                 let reads = keys
                     .iter()
                     .map(|key| s.partition.get(key, bound, s.as_env()))
@@ -1162,31 +1196,19 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
                 reply.send(reads);
             });
         }
-        ServerMsg::InstallDeferred {
-            key,
-            version,
-            functor,
-            reply,
-        } => {
-            server.partition.store().put(&key, version, functor);
-            reply.send(());
-        }
         ServerMsg::ResolveVersion {
             key,
             version,
             reply,
         } => {
             let s = Arc::clone(server);
-            std::thread::spawn(move || {
+            let enqueued = Instant::now();
+            server.exec.submit_blocking(move || {
+                s.stats
+                    .tracer
+                    .record_stage(Stage::FunctorComputing, duration_micros(enqueued.elapsed()));
                 reply.send(s.resolve_local(&key, version));
             });
-        }
-        ServerMsg::PushValue {
-            version,
-            source,
-            read,
-        } => {
-            server.partition.push_cache().insert(version, source, read);
         }
         ServerMsg::Replicate {
             from: _,

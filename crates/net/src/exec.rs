@@ -1,0 +1,550 @@
+//! A bounded two-lane executor for backend message handling.
+//!
+//! The paper's evaluation runs each backend with a *fixed* pool of processor
+//! threads (§V-A3); spawning a fresh OS thread per message is pure overhead
+//! at exactly the message rates where ECC's contention-free write phase
+//! should shine. This module provides the bounded replacement, split into
+//! two lanes with different guarantees:
+//!
+//! * **Sharded lane** — `sharded_workers` threads, each owning one
+//!   hash-routed FIFO queue. Two tasks submitted with the same shard hash
+//!   run on the same worker in submission order, so installs / aborts /
+//!   deferred installs for one key never reorder, while distinct keys
+//!   proceed in parallel. Tasks on this lane may block only on services the
+//!   submitting dispatcher answers inline (e.g. replication appends),
+//!   never on work routed back through this executor.
+//!
+//! * **Blocking lane** — `blocking_workers` threads draining one shared
+//!   queue, for requests that can recurse across partitions (remote gets,
+//!   version resolution). A task is enqueued only after *reserving* one
+//!   currently idle worker (an atomic claim-ticket); when no idle worker
+//!   remains, submission falls back to a counted **spillover spawn** — a
+//!   detached thread, exactly what the pre-pool code did for every message.
+//!   The reservation invariant means an enqueued task never waits behind a
+//!   blocked worker, so the original deadlock-freedom argument (functor
+//!   recursion strictly decreases versions, hence every blocked task
+//!   eventually unblocks) carries over unchanged: recursive work either
+//!   claims a genuinely idle worker or gets a fresh thread.
+//!
+//! [`ExecConfig::spawn_per_message`] disables both pools and spawns a
+//! (counted) thread per task — the pre-pool behavior, kept as the baseline
+//! arm of the `ablation_executor` benchmark.
+//!
+//! [`Executor::shutdown`] closes the queues, drains every already-accepted
+//! task, and joins the pooled workers, so no accepted task is ever lost.
+//! Spillover threads are detached and not joined (they hold no queue).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use aloha_common::metrics::{Counter, Histogram};
+use aloha_common::stats::{StageStats, StatsSnapshot};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool sizes for an [`Executor`].
+///
+/// # Examples
+///
+/// ```
+/// use aloha_net::ExecConfig;
+/// let cfg = ExecConfig::default();
+/// assert!(cfg.pooled && cfg.sharded_workers > 0);
+/// let baseline = ExecConfig::spawn_per_message();
+/// assert!(!baseline.pooled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Workers on the key-sharded lane (one FIFO queue each).
+    pub sharded_workers: usize,
+    /// Workers on the blocking lane (one shared queue).
+    pub blocking_workers: usize,
+    /// `false` disables both pools: every task runs on a freshly spawned
+    /// (counted) thread, the pre-pool behavior used as the ablation
+    /// baseline.
+    pub pooled: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            sharded_workers: 4,
+            blocking_workers: 4,
+            pooled: true,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Overrides the sharded-lane pool size.
+    pub fn with_sharded_workers(mut self, n: usize) -> ExecConfig {
+        self.sharded_workers = n;
+        self
+    }
+
+    /// Overrides the blocking-lane pool size.
+    pub fn with_blocking_workers(mut self, n: usize) -> ExecConfig {
+        self.blocking_workers = n;
+        self
+    }
+
+    /// The spawn-per-message baseline: no pools, one detached thread per
+    /// task, every spawn counted in
+    /// [`spillover_spawns`](ExecStats::spillover_spawns).
+    pub fn spawn_per_message() -> ExecConfig {
+        ExecConfig {
+            pooled: false,
+            ..ExecConfig::default()
+        }
+    }
+}
+
+/// Counters, thread gauges and the queue-depth histogram of one
+/// [`Executor`].
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    sharded_tasks: Counter,
+    blocking_tasks: Counter,
+    spillover_spawns: Counter,
+    /// Queue length observed at each enqueue (the histogram's microsecond
+    /// buckets are reused as plain value buckets here).
+    queue_depth: Histogram,
+    /// Pooled workers (constant for the executor's lifetime).
+    threads_steady: AtomicU64,
+    /// Pooled workers still running plus live spillover threads.
+    threads_current: AtomicU64,
+    /// High-water mark of `threads_current`.
+    threads_peak: AtomicU64,
+}
+
+impl ExecStats {
+    /// Tasks accepted on the sharded lane.
+    pub fn sharded_tasks(&self) -> u64 {
+        self.sharded_tasks.get()
+    }
+
+    /// Tasks accepted on the blocking lane.
+    pub fn blocking_tasks(&self) -> u64 {
+        self.blocking_tasks.get()
+    }
+
+    /// Tasks that ran on a freshly spawned thread: blocking-lane saturation
+    /// spillover, plus every task in spawn-per-message mode.
+    pub fn spillover_spawns(&self) -> u64 {
+        self.spillover_spawns.get()
+    }
+
+    /// Pooled worker threads (the steady-state thread count).
+    pub fn threads_steady(&self) -> u64 {
+        self.threads_steady.load(Ordering::Relaxed)
+    }
+
+    /// Live executor threads right now (pooled + spillover).
+    pub fn threads_current(&self) -> u64 {
+        self.threads_current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live executor threads.
+    pub fn threads_peak(&self) -> u64 {
+        self.threads_peak.load(Ordering::Relaxed)
+    }
+
+    /// Queue-depth-at-enqueue histogram.
+    pub fn queue_depth(&self) -> &Histogram {
+        &self.queue_depth
+    }
+
+    /// Exports the pool metrics as one node of the unified stats tree.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("sharded_tasks", self.sharded_tasks());
+        node.set_counter("blocking_tasks", self.blocking_tasks());
+        node.set_counter("spillover_spawns", self.spillover_spawns());
+        node.set_counter("threads_steady", self.threads_steady());
+        node.set_counter("threads_current", self.threads_current());
+        node.set_counter("threads_peak", self.threads_peak());
+        node.set_stage(
+            "queue_depth",
+            StageStats::from(&self.queue_depth.snapshot()),
+        );
+        node
+    }
+
+    /// Clears the counters and the depth histogram (benchmark warm-up);
+    /// thread gauges reflect live state, so the peak resets to the current
+    /// count rather than zero.
+    pub fn reset(&self) {
+        self.sharded_tasks.reset();
+        self.blocking_tasks.reset();
+        self.spillover_spawns.reset();
+        self.queue_depth.reset();
+        self.threads_peak
+            .store(self.threads_current(), Ordering::Relaxed);
+    }
+
+    fn thread_started(&self) {
+        let now = self.threads_current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.threads_peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn thread_finished(&self) {
+        self.threads_current.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The two lanes' send sides; dropped on shutdown so workers drain and exit.
+struct Lanes {
+    sharded: Vec<Sender<Job>>,
+    blocking: Sender<Job>,
+}
+
+struct Inner {
+    name: String,
+    pooled: bool,
+    stats: Arc<ExecStats>,
+    lanes: RwLock<Option<Lanes>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Blocking-lane claim tickets: idle workers minus enqueued-unclaimed
+    /// tasks. A submission enqueues only after decrementing this above
+    /// zero; otherwise it spills over to a fresh thread.
+    available: Arc<AtomicU64>,
+}
+
+/// The bounded two-lane executor (see the module docs). Cheap to clone;
+/// clones share the pools.
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("name", &self.inner.name)
+            .field("pooled", &self.inner.pooled)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates the executor and spawns its pooled workers (none in
+    /// spawn-per-message mode). Zero worker counts are clamped to one.
+    pub fn new(name: impl Into<String>, config: ExecConfig) -> Executor {
+        let name = name.into();
+        let stats = Arc::new(ExecStats::default());
+        let available = Arc::new(AtomicU64::new(0));
+        let mut lanes = None;
+        let mut workers = Vec::new();
+        if config.pooled {
+            let sharded_n = config.sharded_workers.max(1);
+            let blocking_n = config.blocking_workers.max(1);
+            let mut sharded = Vec::with_capacity(sharded_n);
+            for i in 0..sharded_n {
+                let (tx, rx) = unbounded::<Job>();
+                sharded.push(tx);
+                workers.push(spawn_worker(
+                    format!("{name}-shard{i}"),
+                    rx,
+                    Arc::clone(&stats),
+                    None,
+                ));
+            }
+            let (btx, brx) = unbounded::<Job>();
+            for i in 0..blocking_n {
+                workers.push(spawn_worker(
+                    format!("{name}-block{i}"),
+                    brx.clone(),
+                    Arc::clone(&stats),
+                    Some(Arc::clone(&available)),
+                ));
+            }
+            available.store(blocking_n as u64, Ordering::SeqCst);
+            let steady = (sharded_n + blocking_n) as u64;
+            stats.threads_steady.store(steady, Ordering::SeqCst);
+            stats.threads_current.store(steady, Ordering::SeqCst);
+            stats.threads_peak.store(steady, Ordering::SeqCst);
+            lanes = Some(Lanes {
+                sharded,
+                blocking: btx,
+            });
+        }
+        Executor {
+            inner: Arc::new(Inner {
+                name,
+                pooled: config.pooled,
+                stats,
+                lanes: RwLock::new(lanes),
+                workers: Mutex::new(workers),
+                available,
+            }),
+        }
+    }
+
+    /// This executor's metrics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.inner.stats
+    }
+
+    /// Submits a task to the sharded lane. Tasks with equal `hash` run on
+    /// the same worker in submission order; tasks with different hashes may
+    /// run concurrently. After shutdown the task runs inline on the caller.
+    pub fn submit_sharded(&self, hash: u64, job: impl FnOnce() + Send + 'static) {
+        self.inner.stats.sharded_tasks.incr();
+        if !self.inner.pooled {
+            return self.spawn_spillover(Box::new(job));
+        }
+        let lanes = self.inner.lanes.read();
+        match lanes.as_ref() {
+            Some(l) => {
+                let q = &l.sharded[(hash % l.sharded.len() as u64) as usize];
+                self.inner.stats.queue_depth.record(q.len() as u64);
+                if let Err(e) = q.send(Box::new(job)) {
+                    drop(lanes);
+                    (e.0)();
+                }
+            }
+            None => {
+                drop(lanes);
+                job();
+            }
+        }
+    }
+
+    /// Submits a task that may block (e.g. recurse into another partition).
+    /// Runs on a pooled blocking-lane worker if one is idle, otherwise on a
+    /// counted spillover thread. After shutdown the task runs inline on the
+    /// caller.
+    pub fn submit_blocking(&self, job: impl FnOnce() + Send + 'static) {
+        self.inner.stats.blocking_tasks.incr();
+        if !self.inner.pooled {
+            return self.spawn_spillover(Box::new(job));
+        }
+        // Claim one idle worker; failure to claim means every pooled worker
+        // is busy (possibly blocked), so the task must not queue behind them.
+        let claimed = loop {
+            let a = self.inner.available.load(Ordering::SeqCst);
+            if a == 0 {
+                break false;
+            }
+            if self
+                .inner
+                .available
+                .compare_exchange(a, a - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break true;
+            }
+        };
+        if !claimed {
+            return self.spawn_spillover(Box::new(job));
+        }
+        let lanes = self.inner.lanes.read();
+        match lanes.as_ref() {
+            Some(l) => {
+                self.inner.stats.queue_depth.record(l.blocking.len() as u64);
+                if let Err(e) = l.blocking.send(Box::new(job)) {
+                    drop(lanes);
+                    self.inner.available.fetch_add(1, Ordering::SeqCst);
+                    (e.0)();
+                }
+            }
+            None => {
+                drop(lanes);
+                self.inner.available.fetch_add(1, Ordering::SeqCst);
+                job();
+            }
+        }
+    }
+
+    /// Closes both lanes, drains every accepted task, and joins the pooled
+    /// workers. Idempotent. Tasks submitted afterwards run inline on the
+    /// submitter.
+    pub fn shutdown(&self) {
+        drop(self.inner.lanes.write().take());
+        let workers: Vec<JoinHandle<()>> = self.inner.workers.lock().drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    fn spawn_spillover(&self, job: Job) {
+        let stats = Arc::clone(&self.inner.stats);
+        stats.spillover_spawns.incr();
+        stats.thread_started();
+        std::thread::Builder::new()
+            .name(format!("{}-spill", self.inner.name))
+            .spawn(move || {
+                job();
+                stats.thread_finished();
+            })
+            .expect("spawn spillover thread");
+    }
+}
+
+/// Worker body shared by both lanes: drain jobs until every sender is gone
+/// (shutdown dropped the lanes). `available` is the blocking lane's
+/// claim-ticket counter — returning a ticket *after* the job finishes is
+/// what keeps enqueued tasks from waiting behind a blocked worker.
+fn spawn_worker(
+    name: String,
+    rx: Receiver<Job>,
+    stats: Arc<ExecStats>,
+    available: Option<Arc<AtomicU64>>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                job();
+                if let Some(a) = &available {
+                    a.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            stats.thread_finished();
+        })
+        .expect("spawn executor worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn sharded_tasks_run_and_drain_on_shutdown() {
+        let exec = Executor::new("t", ExecConfig::default().with_sharded_workers(3));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for i in 0..100u64 {
+            let ran = Arc::clone(&ran);
+            exec.submit_sharded(i, move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        exec.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 100);
+        assert_eq!(exec.stats().sharded_tasks(), 100);
+        assert_eq!(exec.stats().spillover_spawns(), 0);
+    }
+
+    #[test]
+    fn same_shard_preserves_submission_order() {
+        let exec = Executor::new("t", ExecConfig::default().with_sharded_workers(4));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..200usize {
+            let log = Arc::clone(&log);
+            exec.submit_sharded(7, move || log.lock().push(i));
+        }
+        exec.shutdown();
+        let log = log.lock();
+        assert_eq!(*log, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_lane_spills_over_when_workers_are_parked() {
+        let exec = Executor::new("t", ExecConfig::default().with_blocking_workers(2));
+        let (release_tx, release_rx) = unbounded::<()>();
+        // Park both pooled workers.
+        for _ in 0..2 {
+            let rx = release_rx.clone();
+            exec.submit_blocking(move || {
+                let _ = rx.recv();
+            });
+        }
+        // Wait until both tickets are consumed by the parked tasks.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while exec.inner.available.load(Ordering::SeqCst) != 0 {
+            assert!(std::time::Instant::now() < deadline, "tickets not claimed");
+            std::thread::yield_now();
+        }
+        // Give the workers a moment to actually dequeue and park.
+        std::thread::sleep(Duration::from_millis(20));
+        // This submission must not queue behind the parked workers.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let tx = release_tx;
+        exec.submit_blocking(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(());
+            let _ = tx.send(());
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ran.load(Ordering::SeqCst) == 0 {
+            assert!(std::time::Instant::now() < deadline, "spillover never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(exec.stats().spillover_spawns() >= 1);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn spawn_per_message_mode_counts_every_spawn() {
+        let exec = Executor::new("t", ExecConfig::spawn_per_message());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = unbounded::<()>();
+        for i in 0..10u64 {
+            let ran = Arc::clone(&ran);
+            let done = done_tx.clone();
+            let submit_blocking = i % 2 == 0;
+            let job = move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                let _ = done.send(());
+            };
+            if submit_blocking {
+                exec.submit_blocking(job);
+            } else {
+                exec.submit_sharded(i, job);
+            }
+        }
+        for _ in 0..10 {
+            done_rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("task finished");
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        assert_eq!(exec.stats().spillover_spawns(), 10);
+        assert_eq!(exec.stats().threads_steady(), 0);
+        assert!(exec.stats().threads_peak() >= 1);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_run_inline() {
+        let exec = Executor::new("t", ExecConfig::default());
+        exec.shutdown();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r1 = Arc::clone(&ran);
+        exec.submit_sharded(1, move || {
+            r1.fetch_add(1, Ordering::SeqCst);
+        });
+        let r2 = Arc::clone(&ran);
+        exec.submit_blocking(move || {
+            r2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn snapshot_exports_pool_metrics() {
+        let exec = Executor::new(
+            "t",
+            ExecConfig::default()
+                .with_sharded_workers(2)
+                .with_blocking_workers(3),
+        );
+        exec.submit_sharded(1, || {});
+        exec.submit_blocking(|| {});
+        exec.shutdown();
+        let node = exec.stats().snapshot("exec");
+        assert_eq!(node.counter("sharded_tasks"), Some(1));
+        assert_eq!(node.counter("blocking_tasks"), Some(1));
+        assert_eq!(node.counter("threads_steady"), Some(5));
+        assert!(node.stage("queue_depth").is_some());
+        // All pooled workers exited after the drain.
+        assert_eq!(exec.stats().threads_current(), 0);
+    }
+}

@@ -26,11 +26,13 @@
 pub mod batch;
 pub mod bus;
 pub mod delay;
+pub mod exec;
 pub mod fault;
 pub mod reply;
 
 pub use batch::{BatchConfig, BatchStats, Batcher};
 pub use bus::{Addr, Bus, Endpoint, NetStats};
 pub use delay::{DelayLine, NetConfig};
+pub use exec::{ExecConfig, ExecStats, Executor};
 pub use fault::{FaultPlan, LinkFault, PartitionWindow, PauseWindow};
 pub use reply::{reply_pair, ReplyHandle, ReplySlot};

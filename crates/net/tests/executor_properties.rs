@@ -1,0 +1,164 @@
+//! Property tests for the bounded two-lane executor: under arbitrary pool
+//! sizes, submission interleavings and lane mixes, every accepted task runs
+//! exactly once (shutdown drains, nothing is lost) and tasks sharing a
+//! shard hash run in submission order. Plus a deterministic stress test
+//! proving the blocking lane's spillover keeps a saturated pool deadlock-
+//! free when every pooled worker parks on a cross-partition-style chain.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aloha_net::{ExecConfig, Executor};
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary worker counts and a random stream of (shard, lane) tags:
+    /// after shutdown every submitted task has executed exactly once, and
+    /// the execution log of each shard hash is its submission order.
+    #[test]
+    fn per_shard_fifo_and_no_task_loss(
+        sharded_workers in 1usize..6,
+        blocking_workers in 1usize..6,
+        tasks in proptest::collection::vec((0u64..5, any::<bool>()), 1..300),
+    ) {
+        let exec = Executor::new(
+            "prop",
+            ExecConfig::default()
+                .with_sharded_workers(sharded_workers)
+                .with_blocking_workers(blocking_workers),
+        );
+        let logs: Arc<Mutex<HashMap<u64, Vec<usize>>>> = Arc::default();
+        let blocking_ran = Arc::new(AtomicUsize::new(0));
+        let mut expected: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut expected_blocking = 0usize;
+        for (seq, &(shard, blocking)) in tasks.iter().enumerate() {
+            if blocking {
+                // Blocking-lane tasks may run on pool or spillover threads in
+                // any relative order; only exactly-once is promised.
+                expected_blocking += 1;
+                let ran = Arc::clone(&blocking_ran);
+                exec.submit_blocking(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            } else {
+                expected.entry(shard).or_default().push(seq);
+                let logs = Arc::clone(&logs);
+                exec.submit_sharded(shard, move || {
+                    logs.lock().entry(shard).or_default().push(seq);
+                });
+            }
+        }
+        exec.shutdown(); // drains both lanes' queues before joining
+        // Spillover threads are detached; wait for their stragglers.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while blocking_ran.load(Ordering::SeqCst) < expected_blocking {
+            prop_assert!(Instant::now() < deadline, "blocking task lost");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        prop_assert_eq!(blocking_ran.load(Ordering::SeqCst), expected_blocking);
+        let logs = logs.lock();
+        for (shard, want) in &expected {
+            let got = logs.get(shard).cloned().unwrap_or_default();
+            prop_assert_eq!(&got, want, "shard {} reordered or lost tasks", shard);
+        }
+        let stats = exec.stats();
+        prop_assert_eq!(
+            stats.sharded_tasks() + stats.blocking_tasks(),
+            tasks.len() as u64
+        );
+    }
+}
+
+/// Every blocking-lane worker parks on a chain that only later submissions
+/// can release — the shape of a functor recursion fanning across
+/// partitions. Without the claim-ticket spillover the resolving tasks would
+/// queue behind the parked workers forever; with it the chain drains.
+#[test]
+fn spillover_prevents_deadlock_when_all_workers_park() {
+    const WORKERS: usize = 3;
+    const PARKED: usize = 8; // more parked tasks than pooled workers
+    let exec = Executor::new(
+        "stress",
+        ExecConfig::default().with_blocking_workers(WORKERS),
+    );
+    let (done_tx, done_rx) = unbounded::<usize>();
+    let mut releases = Vec::new();
+    for i in 0..PARKED {
+        let (tx, rx) = unbounded::<()>();
+        releases.push(tx);
+        let done = done_tx.clone();
+        exec.submit_blocking(move || {
+            rx.recv().expect("release signal"); // park, like a remote wait
+            let _ = done.send(i);
+        });
+    }
+    // Every pooled worker (and some spillover threads) is now parked. Each
+    // resolver below unparks exactly one parked task; resolvers can only
+    // run because saturation spills them onto fresh threads.
+    for release in releases {
+        let done = done_tx.clone();
+        let offset = PARKED;
+        exec.submit_blocking(move || {
+            release.send(()).expect("parked task is waiting");
+            let _ = done.send(offset);
+        });
+    }
+    let mut finished = 0;
+    while finished < 2 * PARKED {
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("chain drained without deadlock");
+        finished += 1;
+    }
+    assert!(
+        exec.stats().spillover_spawns() >= (PARKED - WORKERS) as u64,
+        "saturation must have spilled over (got {})",
+        exec.stats().spillover_spawns()
+    );
+    exec.shutdown();
+}
+
+/// Pool sizes forced to one: strict global FIFO on the sharded lane still
+/// holds, and the single blocking worker plus spillover still drains a
+/// parked chain.
+#[test]
+fn pool_size_one_still_drains_and_orders() {
+    let exec = Executor::new(
+        "tiny",
+        ExecConfig::default()
+            .with_sharded_workers(1)
+            .with_blocking_workers(1),
+    );
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..50usize {
+        let log = Arc::clone(&log);
+        exec.submit_sharded(i as u64, move || log.lock().push(i));
+    }
+    let (tx, rx) = unbounded::<()>();
+    let parked_done = Arc::new(AtomicUsize::new(0));
+    let pd = Arc::clone(&parked_done);
+    exec.submit_blocking(move || {
+        let _ = rx.recv();
+        pd.fetch_add(1, Ordering::SeqCst);
+    });
+    let pd = Arc::clone(&parked_done);
+    exec.submit_blocking(move || {
+        tx.send(()).expect("parked task waiting");
+        pd.fetch_add(1, Ordering::SeqCst);
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while parked_done.load(Ordering::SeqCst) < 2 {
+        assert!(Instant::now() < deadline, "single-worker pool deadlocked");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    exec.shutdown();
+    // One worker per shard queue: with one sharded worker, the lane is a
+    // single FIFO, so the log is exactly submission order.
+    assert_eq!(*log.lock(), (0..50).collect::<Vec<_>>());
+}

@@ -38,6 +38,18 @@ impl Record {
         self.cell.read().clone()
     }
 
+    /// Settled-read fast path: the final form (`VALUE`/`ABORTED`/`DELETED`)
+    /// if the record is already settled, `None` if it still needs the
+    /// computing phase. Unlike [`Record::load`], a pending record costs one
+    /// lock-guarded enum check here — no clone of the full functor (user
+    /// f-arguments, read set and all) just to discover it isn't final.
+    /// Records at or below their chain's value watermark always return
+    /// `Some`.
+    pub fn final_form(&self) -> Option<Functor> {
+        let guard = self.cell.read();
+        guard.is_final().then(|| guard.clone())
+    }
+
     /// Whether the record already holds a final form.
     pub fn is_final(&self) -> bool {
         self.cell.read().is_final()

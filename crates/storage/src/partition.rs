@@ -99,13 +99,31 @@ impl ComputeEnv for LocalOnlyEnv {
     }
 }
 
+/// How many independently locked shards a [`PushCache`] uses. Power of two,
+/// sized so the functor-computing crew (a handful of processors plus the
+/// executor's sharded workers) rarely collides on one lock.
+const PUSH_CACHE_SHARDS: usize = 16;
+
 /// Cache of proactively pushed values, keyed by (functor version, source
 /// key). Entries are written by pushes from determinate/recipient-set
 /// computation and consumed by the functor-computing phase instead of issuing
 /// a remote read.
-#[derive(Debug, Default)]
+///
+/// Sharded by the source key's stable hash so concurrent computes of
+/// different keys don't serialize on one global lock, and organized as
+/// version → (source → read) inside a shard so [`PushCache::get`] is
+/// allocation-free (no key clone to build a composite lookup key).
+#[derive(Debug)]
 pub struct PushCache {
-    entries: Mutex<HashMap<(u64, Key), VersionedRead>>,
+    shards: Vec<Mutex<HashMap<u64, HashMap<Key, VersionedRead>>>>,
+}
+
+impl Default for PushCache {
+    fn default() -> PushCache {
+        PushCache {
+            shards: (0..PUSH_CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
 }
 
 impl PushCache {
@@ -114,33 +132,47 @@ impl PushCache {
         PushCache::default()
     }
 
+    fn shard(&self, source: &Key) -> &Mutex<HashMap<u64, HashMap<Key, VersionedRead>>> {
+        &self.shards[(source.stable_hash() % PUSH_CACHE_SHARDS as u64) as usize]
+    }
+
     /// Stores a pushed value.
     pub fn insert(&self, version: Timestamp, source: Key, read: VersionedRead) {
-        self.entries.lock().insert((version.raw(), source), read);
+        self.shard(&source)
+            .lock()
+            .entry(version.raw())
+            .or_default()
+            .insert(source, read);
     }
 
     /// Looks up a pushed value (non-consuming: several functors of the same
     /// transaction on this partition may read the same source key).
     pub fn get(&self, version: Timestamp, source: &Key) -> Option<VersionedRead> {
-        self.entries
+        self.shard(source)
             .lock()
-            .get(&(version.raw(), source.clone()))
+            .get(&version.raw())
+            .and_then(|by_source| by_source.get(source))
             .cloned()
     }
 
     /// Drops entries for versions below `bound`; called when history settles.
     pub fn clear_below(&self, bound: Timestamp) {
-        self.entries.lock().retain(|(v, _), _| *v >= bound.raw());
+        for shard in &self.shards {
+            shard.lock().retain(|v, _| *v >= bound.raw());
+        }
     }
 
     /// Number of cached pushes.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(HashMap::len).sum::<usize>())
+            .sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -420,14 +452,19 @@ impl Partition {
             let Some(rec) = chain.latest_at_or_below(cursor) else {
                 return Ok(VersionedRead::missing());
             };
-            let mut functor = rec.load();
-            if functor.needs_compute() {
-                // Alg 1 line 21: the reading thread computes the functor
-                // itself rather than blocking on the asynchronous processor.
-                self.stats.on_demand_computes.incr();
-                self.compute(key, rec.version(), env)?;
-                functor = rec.load();
-            }
+            let functor = match rec.final_form() {
+                // Settled fast path: records at or below the watermark take
+                // this branch without cloning a pending functor's arguments.
+                Some(f) => f,
+                None => {
+                    // Alg 1 line 21: the reading thread computes the functor
+                    // itself rather than blocking on the asynchronous
+                    // processor.
+                    self.stats.on_demand_computes.incr();
+                    self.compute(key, rec.version(), env)?;
+                    rec.load()
+                }
+            };
             match functor {
                 Functor::Value(v) => return Ok(VersionedRead::found(rec.version(), v)),
                 Functor::Deleted => {
@@ -474,9 +511,12 @@ impl Partition {
         rec: &crate::chain::Record,
         env: &dyn ComputeEnv,
     ) -> Result<()> {
+        if rec.is_final() {
+            return Ok(()); // settled: nothing to clone, nothing to compute
+        }
         let functor = rec.load();
         if functor.is_final() {
-            return Ok(());
+            return Ok(()); // finalized between the check and the load
         }
         let version = rec.version();
 

@@ -24,7 +24,7 @@ use aloha_db::core_engine::{
 use aloha_functor::{
     ComputeInput, Functor, HandlerId, HandlerOutput, HandlerRegistry, UserFunctor,
 };
-use aloha_net::{FaultPlan, LinkFault, NetConfig};
+use aloha_net::{ExecConfig, FaultPlan, LinkFault, NetConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,7 +111,11 @@ fn failure_report(
 // ALOHA-DB under chaos.
 // ---------------------------------------------------------------------
 
-fn aloha_chaos_run(seed: u64, batch: Option<BatchConfig>) -> Result<(), String> {
+fn aloha_chaos_run(
+    seed: u64,
+    batch: Option<BatchConfig>,
+    exec: Option<ExecConfig>,
+) -> Result<(), String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 80;
@@ -125,6 +129,9 @@ fn aloha_chaos_run(seed: u64, batch: Option<BatchConfig>) -> Result<(), String> 
         .with_history();
     if let Some(batch) = batch {
         config = config.with_batching(batch);
+    }
+    if let Some(exec) = exec {
+        config = config.with_exec(exec);
     }
     let mut builder = Cluster::builder(config);
     builder.register_handler(H_AFFINE, affine_handler);
@@ -228,7 +235,7 @@ fn aloha_chaos_run(seed: u64, batch: Option<BatchConfig>) -> Result<(), String> 
 #[test]
 fn aloha_serializable_under_drops_dups_reorders_and_partition() {
     for seed in seeds() {
-        if let Err(msg) = aloha_chaos_run(seed, None) {
+        if let Err(msg) = aloha_chaos_run(seed, None, None) {
             panic!("{msg}");
         }
     }
@@ -245,8 +252,28 @@ fn aloha_serializable_under_chaos_with_batching() {
         swept.extend(BATCHED_EXTRA_SEEDS);
     }
     for seed in swept {
-        if let Err(msg) = aloha_chaos_run(seed, Some(BatchConfig::default())) {
+        if let Err(msg) = aloha_chaos_run(seed, Some(BatchConfig::default()), None) {
             panic!("batched run: {msg}");
+        }
+    }
+}
+
+/// Executor pool sizes forced to one on both engines: a single sharded
+/// worker serializes every install/abort globally and a single blocking
+/// worker forces the spillover path for all concurrent recursion, shaking
+/// out any ordering assumption that silently depended on pool parallelism.
+/// The nightly sweep runs this on one seed (it subsumes no other test).
+#[test]
+fn serializable_under_chaos_with_pool_size_one() {
+    let tiny = ExecConfig::default()
+        .with_sharded_workers(1)
+        .with_blocking_workers(1);
+    for seed in seeds() {
+        if let Err(msg) = aloha_chaos_run(seed, None, Some(tiny.clone())) {
+            panic!("pool-size-1 run: {msg}");
+        }
+        if let Err(msg) = calvin_chaos_run(seed, Some(tiny.clone())) {
+            panic!("pool-size-1 calvin run: {msg}");
         }
     }
 }
@@ -255,18 +282,20 @@ fn aloha_serializable_under_chaos_with_batching() {
 // Calvin under chaos.
 // ---------------------------------------------------------------------
 
-fn calvin_chaos_run(seed: u64) -> Result<(), String> {
+fn calvin_chaos_run(seed: u64, exec: Option<ExecConfig>) -> Result<(), String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 40;
 
     let plan = fault_plan(seed);
-    let mut builder = CalvinCluster::builder(
-        CalvinConfig::new(3)
-            .with_batch_duration(Duration::from_millis(5))
-            .with_net(NetConfig::instant().with_fault(plan.clone()))
-            .with_history(),
-    );
+    let mut calvin_config = CalvinConfig::new(3)
+        .with_batch_duration(Duration::from_millis(5))
+        .with_net(NetConfig::instant().with_fault(plan.clone()))
+        .with_history();
+    if let Some(exec) = exec {
+        calvin_config = calvin_config.with_exec(exec);
+    }
+    let mut builder = CalvinCluster::builder(calvin_config);
     builder.register_program(
         CALVIN_AFFINE,
         calvin_program(
@@ -364,7 +393,7 @@ fn calvin_chaos_run(seed: u64) -> Result<(), String> {
 #[test]
 fn calvin_serializable_under_drops_dups_reorders_and_partition() {
     for seed in seeds() {
-        if let Err(msg) = calvin_chaos_run(seed) {
+        if let Err(msg) = calvin_chaos_run(seed, None) {
             panic!("{msg}");
         }
     }
