@@ -7,6 +7,10 @@ use std::time::Duration;
 use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, PartitionId, Result, ServerId, Value};
+use aloha_control::{
+    AccessKind, AdaptivePacer, AdmissionGate, ControlConfig, FixedPacer, Pacer, PacerGauges,
+    PacerSample, Permit,
+};
 use aloha_net::{Addr, Bus, ExecConfig, Executor, NetConfig};
 
 use crate::msg::CalvinMsg;
@@ -34,6 +38,12 @@ pub struct CalvinConfig {
     /// transactions run on its blocking lane); aligned with the ALOHA
     /// engine's `ClusterConfig::exec` knob.
     pub exec: ExecConfig,
+    /// Closed-loop control plane: adaptive sequencer-batch pacing and/or
+    /// admission gating at the client edge, mirroring the ALOHA engine's
+    /// `ClusterConfig::control` knob. `None` (the default) runs fixed
+    /// batches at [`CalvinConfig::batch_duration`] ungated. When set, the
+    /// pacer's `initial` duration overrides `batch_duration`.
+    pub control: Option<ControlConfig>,
 }
 
 impl CalvinConfig {
@@ -46,6 +56,7 @@ impl CalvinConfig {
             workers_per_server: 2,
             record_history: false,
             exec: ExecConfig::default(),
+            control: None,
         }
     }
 
@@ -76,6 +87,13 @@ impl CalvinConfig {
     /// Overrides the per-server executor pool sizes.
     pub fn with_exec(mut self, exec: ExecConfig) -> CalvinConfig {
         self.exec = exec;
+        self
+    }
+
+    /// Enables the closed-loop control plane (adaptive batch pacing and/or
+    /// admission gating).
+    pub fn with_control(mut self, control: ControlConfig) -> CalvinConfig {
+        self.control = Some(control);
         self
     }
 }
@@ -120,10 +138,22 @@ impl CalvinClusterBuilder {
         if self.config.workers_per_server == 0 {
             return Err(Error::Config("need at least one worker per server".into()));
         }
+        if let Some(control) = &self.config.control {
+            control.validate()?;
+        }
+        // With a control plane configured, the pacer's initial duration is
+        // authoritative (`ControlConfig::fixed(d)` ≡ `with_batch_duration(d)`).
+        let batch_duration = self
+            .config
+            .control
+            .as_ref()
+            .map(|c| c.pacing.initial)
+            .unwrap_or(self.config.batch_duration);
         let bus: Bus<CalvinMsg> = Bus::new(self.config.net.clone());
         let registry = Arc::new(self.registry);
         let mut servers = Vec::with_capacity(n as usize);
         let mut threads = Vec::new();
+        let mut pacer_gauges = Vec::new();
         for i in 0..n {
             let endpoint = bus.register(Addr::Server(ServerId(i)));
             let history = self
@@ -147,11 +177,26 @@ impl CalvinClusterBuilder {
                     .expect("spawn dispatcher"),
             );
             let s = Arc::clone(&server);
-            let batch = self.config.batch_duration;
+            // Each sequencer owns its pacer: rounds are per-server, so each
+            // controller steers its own batch duration from local pressure.
+            let pacer: Box<dyn Pacer> = match &self.config.control {
+                Some(control) => {
+                    let gauges = Arc::new(PacerGauges::default());
+                    let sampled = Arc::clone(&server);
+                    let source = move || PacerSample {
+                        exec_queue: sampled.exec().queued_now(),
+                        backlog: sampled.backlog_len(),
+                        batch_occupancy: 0,
+                    };
+                    pacer_gauges.push(Arc::clone(&gauges));
+                    Box::new(AdaptivePacer::new(control.pacing.clone(), source, gauges)?)
+                }
+                None => Box::new(FixedPacer(batch_duration)),
+            };
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("calvin-seq-{i}"))
-                    .spawn(move || run_sequencer(s, batch))
+                    .spawn(move || run_sequencer(s, pacer))
                     .expect("spawn sequencer"),
             );
             let s = Arc::clone(&server);
@@ -173,11 +218,25 @@ impl CalvinClusterBuilder {
             }
             servers.push(server);
         }
+        let gates = self
+            .config
+            .control
+            .as_ref()
+            .and_then(|c| c.gate.as_ref())
+            .map(|gate_cfg| {
+                let gates = (0..n)
+                    .map(|_| AdmissionGate::new(gate_cfg.clone()).map(Arc::new))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok::<_, Error>(Arc::new(gates))
+            })
+            .transpose()?;
         Ok(CalvinCluster {
             servers,
             bus,
             threads,
             total: n,
+            gates,
+            pacer_gauges,
         })
     }
 }
@@ -188,6 +247,11 @@ pub struct CalvinCluster {
     bus: Bus<CalvinMsg>,
     threads: Vec<std::thread::JoinHandle<()>>,
     total: u16,
+    /// Per-sequencer admission gates (index-aligned with `servers`); `None`
+    /// when the control plane is off or gating is disabled.
+    gates: Option<Arc<Vec<Arc<AdmissionGate>>>>,
+    /// Live pacer state, one per sequencer (empty without a control plane).
+    pacer_gauges: Vec<Arc<PacerGauges>>,
 }
 
 impl std::fmt::Debug for CalvinCluster {
@@ -243,6 +307,7 @@ impl CalvinCluster {
         CalvinDatabase {
             servers: Arc::new(self.servers.clone()),
             next: Arc::new(AtomicUsize::new(0)),
+            gates: self.gates.clone(),
         }
     }
 
@@ -289,7 +354,65 @@ impl CalvinCluster {
         }
         root.set_stage("e2e", StageStats::from(&merged[STAGE_COUNT]));
         root.push_child(self.bus.stats().snapshot());
+        if let Some(control) = self.control_snapshot() {
+            root.push_child(control);
+        }
         root
+    }
+
+    /// The `control` node of the stats tree: per-sequencer pacer gauges and
+    /// summed gate activity. `None` when no control plane is configured.
+    fn control_snapshot(&self) -> Option<StatsSnapshot> {
+        if self.pacer_gauges.is_empty() && self.gates.is_none() {
+            return None;
+        }
+        let mut node = StatsSnapshot::new("control");
+        // Sequencers pace independently; export the widest batch any of them
+        // currently runs plus the highest pressure, with per-server children.
+        if !self.pacer_gauges.is_empty() {
+            let widest = self
+                .pacer_gauges
+                .iter()
+                .map(|g| g.epoch_duration_micros.get())
+                .max()
+                .unwrap_or(0);
+            let pressure = self
+                .pacer_gauges
+                .iter()
+                .map(|g| g.pressure_millis.get())
+                .max()
+                .unwrap_or(0);
+            node.set_gauge("epoch_duration_micros", widest);
+            node.set_gauge("pressure_millis", pressure);
+            for (i, gauges) in self.pacer_gauges.iter().enumerate() {
+                let mut child = StatsSnapshot::new(format!("pacer_s{i}"));
+                child.set_gauge("epoch_duration_micros", gauges.epoch_duration_micros.get());
+                child.set_gauge("pressure_millis", gauges.pressure_millis.get());
+                node.push_child(child);
+            }
+        }
+        if let Some(gates) = &self.gates {
+            let (mut admitted, mut shed, mut queued, mut in_use) = (0, 0, 0, 0);
+            for (i, gate) in gates.iter().enumerate() {
+                let stats = gate.stats();
+                admitted += stats.admitted.get();
+                shed += stats.shed.get();
+                queued += stats.queued.get();
+                in_use += stats.tokens_in_use.get();
+                node.push_child(gate.snapshot(format!("gate_s{i}")));
+            }
+            node.set_counter("admitted", admitted);
+            node.set_counter("shed", shed);
+            node.set_counter("queued", queued);
+            node.set_gauge("tokens_in_use", in_use);
+        }
+        Some(node)
+    }
+
+    /// The per-sequencer admission gates, when the control plane enables
+    /// gating.
+    pub fn gates(&self) -> Option<&[Arc<AdmissionGate>]> {
+        self.gates.as_deref().map(Vec::as_slice)
     }
 
     /// Resets every server's statistics.
@@ -297,6 +420,11 @@ impl CalvinCluster {
         for server in &self.servers {
             server.stats().reset();
             server.exec().stats().reset();
+        }
+        if let Some(gates) = &self.gates {
+            for gate in gates.iter() {
+                gate.reset_stats();
+            }
         }
     }
 
@@ -335,6 +463,10 @@ impl Drop for CalvinCluster {
 pub struct CalvinDatabase {
     servers: Arc<Vec<Arc<CalvinServer>>>,
     next: Arc<AtomicUsize>,
+    /// Per-sequencer admission gates (`None` on an ungated cluster).
+    /// Admission happens before the submission enters the sequencer batch:
+    /// a shed transaction is never sequenced anywhere.
+    gates: Option<Arc<Vec<Arc<AdmissionGate>>>>,
 }
 
 impl std::fmt::Debug for CalvinDatabase {
@@ -346,15 +478,31 @@ impl std::fmt::Debug for CalvinDatabase {
 }
 
 impl CalvinDatabase {
+    /// Acquires sequencer `i`'s admission token (no-op on an ungated
+    /// cluster).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overloaded`] when the gate sheds the transaction.
+    fn admit(&self, i: usize) -> Result<Option<Permit>> {
+        match &self.gates {
+            Some(gates) => gates[i].admit(AccessKind::Write).map(Some),
+            None => Ok(None),
+        }
+    }
+
     /// Submits a transaction via a round-robin sequencer.
     ///
     /// # Errors
     ///
-    /// Fails for unknown programs.
+    /// Fails for unknown programs, or with [`Error::Overloaded`] when the
+    /// admission gate sheds.
     pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<CalvinHandle> {
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
+        let permit = self.admit(i)?;
         Ok(CalvinHandle {
             submission: self.servers[i].submit(program, &args.into())?,
+            _permit: permit,
         })
     }
 
@@ -382,8 +530,10 @@ impl CalvinDatabase {
             .servers
             .get(origin.index())
             .ok_or(Error::NoSuchPartition(PartitionId(origin.0)))?;
+        let permit = self.admit(origin.index())?;
         Ok(CalvinHandle {
             submission: server.submit(program, &args.into())?,
+            _permit: permit,
         })
     }
 
@@ -397,6 +547,9 @@ impl CalvinDatabase {
 #[derive(Debug)]
 pub struct CalvinHandle {
     submission: CalvinSubmission,
+    /// Admission token held until the handle resolves (or is dropped), so
+    /// the gate's window bounds sequenced-but-unfinished transactions.
+    _permit: Option<Permit>,
 }
 
 impl CalvinHandle {

@@ -12,6 +12,7 @@ use aloha_common::metrics::{
 };
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{HistoryLog, Key, Result, ServerId, Value};
+use aloha_control::Pacer;
 use aloha_net::{reply_pair, Addr, Bus, Endpoint, Executor, ReplyHandle};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -240,6 +241,16 @@ impl CalvinServer {
         &self.exec
     }
 
+    /// Instantaneous transaction backlog on this server: submissions waiting
+    /// to be sealed, scheduler events not yet merged, and dispatched tasks
+    /// not yet picked up by a worker. This is the pressure signal the
+    /// control plane's pacer samples.
+    pub fn backlog_len(&self) -> u64 {
+        self.submissions.lock().len() as u64
+            + self.sched_tx.len() as u64
+            + self.exec_tx.len() as u64
+    }
+
     /// The server owning `key`.
     pub fn owner_of(&self, key: &Key) -> ServerId {
         ServerId(key.partition(self.total).0)
@@ -437,12 +448,18 @@ pub(crate) fn run_dispatcher(server: Arc<CalvinServer>, endpoint: Endpoint<Calvi
     }
 }
 
-/// Sequencer thread: seals a batch every `batch_duration` (paper: 20 ms).
-pub(crate) fn run_sequencer(server: Arc<CalvinServer>, batch_duration: Duration) {
+/// Sequencer thread: seals a batch every round, asking the pacer for each
+/// round's duration first (a [`aloha_control::FixedPacer`] reproduces the
+/// paper's constant 20 ms batches; an adaptive pacer steers the duration
+/// from live backlog pressure).
+pub(crate) fn run_sequencer(server: Arc<CalvinServer>, mut pacer: Box<dyn Pacer>) {
     let mut round = 0u64;
     while !server.is_shutdown() {
-        std::thread::sleep(batch_duration);
+        std::thread::sleep(pacer.next_duration());
+        let seal_started = Instant::now();
         server.seal_batch(round);
+        // Sealing + broadcasting is the sequencer's switch overhead.
+        pacer.observe_switch(seal_started.elapsed());
         round += 1;
     }
 }

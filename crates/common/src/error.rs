@@ -46,12 +46,42 @@ pub enum Error {
         /// Human-readable reason.
         reason: String,
     },
+    /// The frontend's admission gate shed the transaction before any functor
+    /// was installed: the token window and its bounded wait queue are full.
+    ///
+    /// Retryable — the client should back off for roughly `retry_after` and
+    /// resubmit. No server-side state exists for a shed transaction.
+    Overloaded {
+        /// Suggested client back-off before resubmitting.
+        retry_after: std::time::Duration,
+    },
     /// A component was asked to do work after shutdown.
     ShuttingDown,
     /// Invalid configuration detected at construction time.
     Config(String),
     /// An operation timed out (used by bounded client waits in tests).
     Timeout(String),
+}
+
+impl Error {
+    /// Whether the caller can reasonably retry the same request.
+    ///
+    /// [`Error::Overloaded`] is the shed-with-retry signal: the gate rejected
+    /// the transaction *before* transform, so no functor was installed and
+    /// resubmitting is always safe. [`Error::Timeout`] is retryable for the
+    /// same reason bounded client waits are. Everything else reports a bug,
+    /// misconfiguration or shutdown, where retrying cannot help.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Overloaded { .. } | Error::Timeout(_))
+    }
+
+    /// The suggested back-off for retryable overload errors, if any.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            Error::Overloaded { retry_after } => Some(*retry_after),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -72,6 +102,11 @@ impl fmt::Display for Error {
             ),
             Error::KeyNotFound(k) => write!(f, "key not found: {k:?}"),
             Error::Rejected { txn, reason } => write!(f, "transaction {txn} rejected: {reason}"),
+            Error::Overloaded { retry_after } => write!(
+                f,
+                "overloaded, retry after {}us",
+                crate::metrics::duration_micros(*retry_after)
+            ),
             Error::ShuttingDown => write!(f, "component is shutting down"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Timeout(what) => write!(f, "timed out waiting for {what}"),
@@ -98,6 +133,9 @@ mod tests {
             Error::Disconnected("be3".into()),
             Error::NoSuchPartition(PartitionId(4)),
             Error::UnknownProgram(1),
+            Error::Overloaded {
+                retry_after: std::time::Duration::from_millis(5),
+            },
             Error::ShuttingDown,
             Error::Timeout("ack".into()),
         ];
@@ -107,6 +145,22 @@ mod tests {
             assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
             assert!(!s.ends_with('.'), "{s}");
         }
+    }
+
+    #[test]
+    fn overloaded_is_the_only_backoff_carrying_retryable() {
+        let shed = Error::Overloaded {
+            retry_after: std::time::Duration::from_millis(3),
+        };
+        assert!(shed.is_retryable());
+        assert_eq!(
+            shed.retry_after(),
+            Some(std::time::Duration::from_millis(3))
+        );
+        assert!(Error::Timeout("ack".into()).is_retryable());
+        assert_eq!(Error::Timeout("ack".into()).retry_after(), None);
+        assert!(!Error::ShuttingDown.is_retryable());
+        assert!(!Error::Config("bad".into()).is_retryable());
     }
 
     #[test]

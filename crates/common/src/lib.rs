@@ -37,8 +37,8 @@ pub use ids::{EpochId, PartitionId, ServerId, TxnId};
 pub use json::Json;
 pub use key::{Key, Value};
 pub use metrics::{
-    Counter, CounterFamily, Histogram, HistogramFamily, HistogramSnapshot, LifecycleTracer,
-    MetricsRegistry, Stage, TxnTimer, TxnTrace,
+    Counter, CounterFamily, Gauge, GaugeFamily, Histogram, HistogramFamily, HistogramSnapshot,
+    LifecycleTracer, MetricsRegistry, Stage, TxnTimer, TxnTrace,
 };
 pub use stats::{StageStats, StatsSnapshot};
 pub use timestamp::Timestamp;

@@ -58,6 +58,68 @@ impl Counter {
     }
 }
 
+/// A last-value-wins atomic gauge for instantaneous state.
+///
+/// Counters accumulate; gauges *level*: current epoch duration, admission
+/// window size, tokens in use. `add`/`sub` support occupancy-style gauges
+/// (in-flight counts) where increments and decrements race from many
+/// threads; `sub` saturates at zero rather than wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::Gauge;
+/// let g = Gauge::new();
+/// g.set(25_000);
+/// g.add(5);
+/// g.sub(10_000);
+/// assert_eq!(g.get(), 15_005);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the gauge.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the gauge to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
 /// Number of buckets in [`Histogram`]: one per power of two of microseconds,
 /// covering 1 us .. ~1.1 hours.
 pub const HISTOGRAM_BUCKETS: usize = 32;
@@ -338,6 +400,73 @@ impl CounterFamily {
     }
 }
 
+/// A named family of [`Gauge`]s keyed by a static label.
+///
+/// Same caching scheme as [`CounterFamily`]: hold the returned handle and
+/// updates stay lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::metrics::GaugeFamily;
+/// let fam = GaugeFamily::new("control");
+/// fam.with_label("epoch_duration_micros").set(25_000);
+/// assert_eq!(fam.values(), vec![("epoch_duration_micros", 25_000)]);
+/// ```
+#[derive(Debug)]
+pub struct GaugeFamily {
+    name: &'static str,
+    cells: RwLock<Vec<(&'static str, Arc<Gauge>)>>,
+}
+
+impl GaugeFamily {
+    /// Creates an empty family.
+    pub fn new(name: &'static str) -> GaugeFamily {
+        GaugeFamily {
+            name,
+            cells: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The family name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the gauge for `label`, creating it on first use.
+    pub fn with_label(&self, label: &'static str) -> Arc<Gauge> {
+        if let Some((_, g)) = self.cells.read().iter().find(|(l, _)| *l == label) {
+            return Arc::clone(g);
+        }
+        let mut cells = self.cells.write();
+        if let Some((_, g)) = cells.iter().find(|(l, _)| *l == label) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        cells.push((label, Arc::clone(&g)));
+        g
+    }
+
+    /// Current `(label, value)` pairs, sorted by label.
+    pub fn values(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<_> = self
+            .cells
+            .read()
+            .iter()
+            .map(|(l, g)| (*l, g.get()))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Resets every label's gauge to zero.
+    pub fn reset(&self) {
+        for (_, g) in self.cells.read().iter() {
+            g.reset();
+        }
+    }
+}
+
 /// A named family of [`Histogram`]s keyed by a static label.
 ///
 /// Same caching scheme as [`CounterFamily`]: hold the returned handle and
@@ -414,6 +543,7 @@ impl HistogramFamily {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<Vec<Arc<CounterFamily>>>,
+    gauges: RwLock<Vec<Arc<GaugeFamily>>>,
     histograms: RwLock<Vec<Arc<HistogramFamily>>>,
 }
 
@@ -437,6 +567,20 @@ impl MetricsRegistry {
         f
     }
 
+    /// Returns the gauge family `name`, creating it on first use.
+    pub fn gauge_family(&self, name: &'static str) -> Arc<GaugeFamily> {
+        if let Some(f) = self.gauges.read().iter().find(|f| f.name() == name) {
+            return Arc::clone(f);
+        }
+        let mut fams = self.gauges.write();
+        if let Some(f) = fams.iter().find(|f| f.name() == name) {
+            return Arc::clone(f);
+        }
+        let f = Arc::new(GaugeFamily::new(name));
+        fams.push(Arc::clone(&f));
+        f
+    }
+
     /// Returns the histogram family `name`, creating it on first use.
     pub fn histogram_family(&self, name: &'static str) -> Arc<HistogramFamily> {
         if let Some(f) = self.histograms.read().iter().find(|f| f.name() == name) {
@@ -456,6 +600,11 @@ impl MetricsRegistry {
         self.counter_family(name).with_label(label)
     }
 
+    /// Shorthand for `gauge_family(name).with_label(label)`.
+    pub fn gauge(&self, name: &'static str, label: &'static str) -> Arc<Gauge> {
+        self.gauge_family(name).with_label(label)
+    }
+
     /// Shorthand for `histogram_family(name).with_label(label)`.
     pub fn histogram(&self, name: &'static str, label: &'static str) -> Arc<Histogram> {
         self.histogram_family(name).with_label(label)
@@ -465,6 +614,18 @@ impl MetricsRegistry {
     pub fn counter_values(&self) -> Vec<(String, String, u64)> {
         let mut out = Vec::new();
         for fam in self.counters.read().iter() {
+            for (label, v) in fam.values() {
+                out.push((fam.name().to_string(), label.to_string(), v));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All gauge values as `(family, label, value)`, sorted.
+    pub fn gauge_values(&self) -> Vec<(String, String, u64)> {
+        let mut out = Vec::new();
+        for fam in self.gauges.read().iter() {
             for (label, v) in fam.values() {
                 out.push((fam.name().to_string(), label.to_string(), v));
             }
@@ -488,6 +649,9 @@ impl MetricsRegistry {
     /// Resets every family in the registry.
     pub fn reset(&self) {
         for fam in self.counters.read().iter() {
+            fam.reset();
+        }
+        for fam in self.gauges.read().iter() {
             fam.reset();
         }
         for fam in self.histograms.read().iter() {
@@ -730,6 +894,59 @@ mod tests {
         c.incr();
         assert_eq!(c.reset(), 11);
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_saturates() {
+        let g = Gauge::new();
+        g.set(100);
+        g.add(50);
+        g.sub(25);
+        assert_eq!(g.get(), 125);
+        g.sub(1_000);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        g.set(7);
+        assert_eq!(g.reset(), 7);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_family_caches_cells_and_registry_exports_them() {
+        let reg = MetricsRegistry::new();
+        let a = reg.gauge("control", "tokens_in_use");
+        let b = reg.gauge("control", "tokens_in_use");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.set(12);
+        reg.gauge("control", "window").set(64);
+        assert_eq!(
+            reg.gauge_values(),
+            vec![
+                ("control".into(), "tokens_in_use".into(), 12),
+                ("control".into(), "window".into(), 64),
+            ]
+        );
+        reg.reset();
+        assert_eq!(reg.gauge_values()[0].2, 0);
+    }
+
+    #[test]
+    fn concurrent_gauge_updates_balance_out() {
+        let g = Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1);
+                        g.sub(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

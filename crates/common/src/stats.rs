@@ -104,6 +104,9 @@ pub struct StatsSnapshot {
     pub name: String,
     /// Named monotonic counts (committed, aborted, messages, ...).
     pub counters: BTreeMap<String, u64>,
+    /// Named instantaneous levels (current epoch duration, tokens in use,
+    /// ...). Unlike counters these are last-value-wins, not accumulated.
+    pub gauges: BTreeMap<String, u64>,
     /// Named latency summaries, keyed by stage schema name.
     pub stages: BTreeMap<String, StageStats>,
     /// Child components.
@@ -124,6 +127,11 @@ impl StatsSnapshot {
         self.counters.insert(name.into(), value);
     }
 
+    /// Sets a gauge value.
+    pub fn set_gauge(&mut self, name: impl Into<String>, value: u64) {
+        self.gauges.insert(name.into(), value);
+    }
+
     /// Sets a stage summary.
     pub fn set_stage(&mut self, name: impl Into<String>, stats: StageStats) {
         self.stages.insert(name.into(), stats);
@@ -137,6 +145,11 @@ impl StatsSnapshot {
     /// Reads a counter on this node.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
+    }
+
+    /// Reads a gauge on this node.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
     }
 
     /// Reads a stage summary on this node.
@@ -163,10 +176,17 @@ impl StatsSnapshot {
                 .map(|(k, s)| (k.clone(), s.to_json()))
                 .collect(),
         );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                .collect(),
+        );
         let children = Json::Arr(self.children.iter().map(StatsSnapshot::to_json).collect());
         Json::obj([
             ("name", Json::from(self.name.as_str())),
             ("counters", counters),
+            ("gauges", gauges),
             ("stages", stages),
             ("children", children),
         ])
@@ -193,6 +213,16 @@ impl StatsSnapshot {
                 node.counters.insert(k.clone(), value);
             }
         }
+        if let Some(gauges) = v.get("gauges").and_then(Json::as_obj) {
+            // Absent in documents written before gauges existed; treated as
+            // empty so old reports keep parsing.
+            for (k, g) in gauges {
+                let value = g
+                    .as_u64()
+                    .ok_or_else(|| format!("gauge '{k}' is not a level"))?;
+                node.gauges.insert(k.clone(), value);
+            }
+        }
         if let Some(stages) = v.get("stages").and_then(Json::as_obj) {
             for (k, s) in stages {
                 node.stages.insert(k.clone(), StageStats::from_json(s)?);
@@ -216,6 +246,9 @@ impl StatsSnapshot {
         writeln!(f, "{pad}{}", self.name)?;
         for (k, v) in &self.counters {
             writeln!(f, "{pad}  {k}: {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{pad}  {k} (gauge): {v}")?;
         }
         for (k, s) in &self.stages {
             writeln!(
@@ -250,6 +283,7 @@ mod tests {
         let mut root = StatsSnapshot::new("cluster");
         root.set_counter("committed", 7);
         root.set_counter("aborted", 1);
+        root.set_gauge("epoch_duration_micros", 25_000);
         for stage in Stage::ALL {
             root.set_stage(stage.name(), StageStats::from(&h.snapshot()));
         }
@@ -274,6 +308,18 @@ mod tests {
                 .and_then(|n| n.counter("messages")),
             Some(99)
         );
+        assert_eq!(back.gauge("epoch_duration_micros"), Some(25_000));
+    }
+
+    #[test]
+    fn documents_without_gauges_still_parse() {
+        // Reports written before the gauges section existed omit it entirely.
+        let old = "{\"name\":\"cluster\",\"counters\":{\"committed\":3}}";
+        let back = StatsSnapshot::from_json_text(old).unwrap();
+        assert_eq!(back.counter("committed"), Some(3));
+        assert!(back.gauges.is_empty());
+        let bad_gauge = "{\"name\":\"x\",\"gauges\":{\"g\":\"nope\"}}";
+        assert!(StatsSnapshot::from_json_text(bad_gauge).is_err());
     }
 
     #[test]

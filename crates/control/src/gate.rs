@@ -1,0 +1,439 @@
+//! FE admission control: a token window with a bounded wait queue and a
+//! reserved read share.
+//!
+//! The gate sits *in front of* the engines' `Database::execute` — before the
+//! transform stage — so a shed transaction never installs a functor and
+//! leaves no server-side state to clean up. A transaction holds one token
+//! (a [`Permit`]) from admission until its handle resolves; when the window
+//! is full, callers wait in a bounded queue for up to the configured
+//! timeout, and once the queue is also full (or the wait expires) the gate
+//! sheds with the retryable [`Error::Overloaded`]. Read-only transactions
+//! keep a reserved share of the window — writes may not occupy the last
+//! `read_reserve` tokens — so reads stay live under write overload.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aloha_common::metrics::{Counter, Gauge};
+use aloha_common::stats::StatsSnapshot;
+use aloha_common::{Error, Result};
+use parking_lot::{Condvar, Mutex};
+
+/// What the admitted transaction will do, for the read-reserve split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Installs functors (full `execute` path).
+    Write,
+    /// Read-only (`read_latest` path); may use the reserved share.
+    Read,
+}
+
+/// Admission-gate parameters.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Tokens: maximum transactions in flight past this FE.
+    pub window: usize,
+    /// Callers allowed to wait for a token before new arrivals are shed.
+    pub queue_limit: usize,
+    /// How long a queued caller waits before being shed.
+    pub queue_timeout: Duration,
+    /// Tokens only read-only transactions may occupy.
+    pub read_reserve: usize,
+    /// Back-off hint carried on [`Error::Overloaded`].
+    pub retry_after: Duration,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            window: 256,
+            queue_limit: 256,
+            queue_timeout: Duration::from_millis(50),
+            read_reserve: 16,
+            retry_after: Duration::from_millis(5),
+        }
+    }
+}
+
+impl GateConfig {
+    /// Overrides the token window.
+    pub fn with_window(mut self, window: usize) -> GateConfig {
+        self.window = window;
+        self
+    }
+
+    /// Overrides the wait-queue bound.
+    pub fn with_queue(mut self, limit: usize, timeout: Duration) -> GateConfig {
+        self.queue_limit = limit;
+        self.queue_timeout = timeout;
+        self
+    }
+
+    /// Overrides the read-only reserve.
+    pub fn with_read_reserve(mut self, reserve: usize) -> GateConfig {
+        self.read_reserve = reserve;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the window is zero or the read reserve
+    /// leaves no tokens for writes.
+    pub fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(Error::Config("admission window must be positive".into()));
+        }
+        if self.read_reserve >= self.window {
+            return Err(Error::Config(
+                "read reserve must leave at least one write token".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_use: usize,
+    writes_in_use: usize,
+    waiting: usize,
+}
+
+/// Observable gate activity, exported on the cluster's `control` node.
+#[derive(Debug, Default)]
+pub struct GateStats {
+    /// Transactions admitted straight through or after queueing.
+    pub admitted: Counter,
+    /// Transactions shed with [`Error::Overloaded`].
+    pub shed: Counter,
+    /// Admissions that had to wait in the queue first.
+    pub queued: Counter,
+    /// Tokens currently held.
+    pub tokens_in_use: Gauge,
+    /// Callers currently waiting for a token.
+    pub queue_depth: Gauge,
+}
+
+/// The per-FE token-window admission gate.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use aloha_control::{AccessKind, AdmissionGate, GateConfig};
+/// use std::time::Duration;
+///
+/// let gate = Arc::new(
+///     AdmissionGate::new(
+///         GateConfig::default()
+///             .with_window(2)
+///             .with_read_reserve(1)
+///             .with_queue(0, Duration::ZERO),
+///     )
+///     .unwrap(),
+/// );
+/// let a = gate.admit(AccessKind::Write).unwrap();
+/// // The last token is reserved for reads: a second write is shed...
+/// let shed = gate.admit(AccessKind::Write).unwrap_err();
+/// assert!(shed.is_retryable());
+/// // ...while a read still gets through.
+/// let r = gate.admit(AccessKind::Read).unwrap();
+/// drop((a, r));
+/// ```
+#[derive(Debug)]
+pub struct AdmissionGate {
+    cfg: GateConfig,
+    state: Mutex<GateState>,
+    available: Condvar,
+    stats: GateStats,
+}
+
+impl AdmissionGate {
+    /// Builds a gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GateConfig::validate`] failures.
+    pub fn new(cfg: GateConfig) -> Result<AdmissionGate> {
+        cfg.validate()?;
+        Ok(AdmissionGate {
+            cfg,
+            state: Mutex::new(GateState::default()),
+            available: Condvar::new(),
+            stats: GateStats::default(),
+        })
+    }
+
+    fn has_token(&self, state: &GateState, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => state.in_use < self.cfg.window,
+            // Writes may not dip into the read reserve.
+            AccessKind::Write => {
+                state.in_use < self.cfg.window
+                    && state.writes_in_use < self.cfg.window - self.cfg.read_reserve
+            }
+        }
+    }
+
+    /// Admits one transaction, blocking in the bounded wait queue when the
+    /// window is full.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overloaded`] when the queue is full on arrival or the queue
+    /// wait times out without a token freeing up.
+    pub fn admit(self: &Arc<Self>, kind: AccessKind) -> Result<Permit> {
+        let mut state = self.state.lock();
+        if !self.has_token(&state, kind) {
+            if state.waiting >= self.cfg.queue_limit {
+                drop(state);
+                self.stats.shed.incr();
+                return Err(Error::Overloaded {
+                    retry_after: self.cfg.retry_after,
+                });
+            }
+            state.waiting += 1;
+            self.stats.queue_depth.add(1);
+            self.stats.queued.incr();
+            let deadline = std::time::Instant::now() + self.cfg.queue_timeout;
+            while !self.has_token(&state, kind) {
+                if self.available.wait_until(&mut state, deadline).timed_out() {
+                    break;
+                }
+            }
+            state.waiting -= 1;
+            self.stats.queue_depth.sub(1);
+            if !self.has_token(&state, kind) {
+                drop(state);
+                self.stats.shed.incr();
+                return Err(Error::Overloaded {
+                    retry_after: self.cfg.retry_after,
+                });
+            }
+        }
+        state.in_use += 1;
+        if kind == AccessKind::Write {
+            state.writes_in_use += 1;
+        }
+        drop(state);
+        self.stats.admitted.incr();
+        self.stats.tokens_in_use.add(1);
+        Ok(Permit {
+            gate: Arc::clone(self),
+            kind,
+        })
+    }
+
+    /// The gate's configuration.
+    pub fn config(&self) -> &GateConfig {
+        &self.cfg
+    }
+
+    /// Live activity counters and gauges.
+    pub fn stats(&self) -> &GateStats {
+        &self.stats
+    }
+
+    /// Exports this gate as one node of the unified stats tree.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("admitted", self.stats.admitted.get());
+        node.set_counter("shed", self.stats.shed.get());
+        node.set_counter("queued", self.stats.queued.get());
+        node.set_gauge("admission_window", self.cfg.window as u64);
+        node.set_gauge("read_reserve", self.cfg.read_reserve as u64);
+        node.set_gauge("tokens_in_use", self.stats.tokens_in_use.get());
+        node.set_gauge("queue_depth", self.stats.queue_depth.get());
+        node
+    }
+
+    /// Resets the activity counters (gauges track live state and are left).
+    pub fn reset_stats(&self) {
+        self.stats.admitted.reset();
+        self.stats.shed.reset();
+        self.stats.queued.reset();
+    }
+
+    fn release(&self, kind: AccessKind) {
+        let mut state = self.state.lock();
+        state.in_use -= 1;
+        if kind == AccessKind::Write {
+            state.writes_in_use -= 1;
+        }
+        drop(state);
+        self.stats.tokens_in_use.sub(1);
+        self.available.notify_one();
+    }
+}
+
+/// One admission token; dropping it returns the token and wakes a waiter.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<AdmissionGate>,
+    kind: AccessKind,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.release(self.kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(cfg: GateConfig) -> Arc<AdmissionGate> {
+        Arc::new(AdmissionGate::new(cfg).unwrap())
+    }
+
+    #[test]
+    fn window_bounds_in_flight_and_sheds_when_full() {
+        let g = gate(
+            GateConfig::default()
+                .with_window(2)
+                .with_read_reserve(0)
+                .with_queue(0, Duration::ZERO),
+        );
+        let a = g.admit(AccessKind::Write).unwrap();
+        let b = g.admit(AccessKind::Write).unwrap();
+        let shed = g.admit(AccessKind::Write).unwrap_err();
+        assert!(matches!(shed, Error::Overloaded { .. }));
+        assert!(shed.is_retryable());
+        drop(a);
+        let c = g.admit(AccessKind::Write).unwrap();
+        drop((b, c));
+        assert_eq!(g.stats().admitted.get(), 3);
+        assert_eq!(g.stats().shed.get(), 1);
+        assert_eq!(g.stats().tokens_in_use.get(), 0);
+    }
+
+    #[test]
+    fn reads_keep_a_reserved_share_under_write_overload() {
+        let g = gate(
+            GateConfig::default()
+                .with_window(3)
+                .with_read_reserve(1)
+                .with_queue(0, Duration::ZERO),
+        );
+        let w1 = g.admit(AccessKind::Write).unwrap();
+        let w2 = g.admit(AccessKind::Write).unwrap();
+        // Writes are capped at window - reserve = 2...
+        assert!(g.admit(AccessKind::Write).is_err());
+        // ...but a read takes the reserved token.
+        let r = g.admit(AccessKind::Read).unwrap();
+        assert!(g.admit(AccessKind::Read).is_err(), "window fully occupied");
+        drop((w1, w2, r));
+    }
+
+    #[test]
+    fn queued_caller_is_admitted_when_a_token_frees() {
+        let g = gate(
+            GateConfig::default()
+                .with_window(1)
+                .with_read_reserve(0)
+                .with_queue(4, Duration::from_secs(5)),
+        );
+        let held = g.admit(AccessKind::Write).unwrap();
+        let waiter = {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || g.admit(AccessKind::Write).map(|_| ()))
+        };
+        // Let the waiter park, then free the token.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(g.stats().queue_depth.get(), 1);
+        drop(held);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(g.stats().queued.get(), 1);
+        assert_eq!(g.stats().queue_depth.get(), 0);
+    }
+
+    #[test]
+    fn queue_wait_times_out_into_shed() {
+        let g = gate(
+            GateConfig::default()
+                .with_window(1)
+                .with_read_reserve(0)
+                .with_queue(4, Duration::from_millis(10)),
+        );
+        let _held = g.admit(AccessKind::Write).unwrap();
+        let started = std::time::Instant::now();
+        let shed = g.admit(AccessKind::Write).unwrap_err();
+        assert!(started.elapsed() >= Duration::from_millis(10));
+        assert_eq!(shed.retry_after(), Some(GateConfig::default().retry_after));
+        assert_eq!(g.stats().shed.get(), 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let g = gate(
+            GateConfig::default()
+                .with_window(1)
+                .with_read_reserve(0)
+                .with_queue(1, Duration::from_secs(5)),
+        );
+        let _held = g.admit(AccessKind::Write).unwrap();
+        let parked = {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || g.admit(AccessKind::Write).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // One waiter occupies the whole queue: the next arrival sheds now.
+        let started = std::time::Instant::now();
+        assert!(g.admit(AccessKind::Write).is_err());
+        assert!(started.elapsed() < Duration::from_secs(1));
+        drop(g.admit(AccessKind::Read)); // reads also blocked: window full
+        let _ = parked; // leave the waiter to time out after the test asserts
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_gates() {
+        assert!(AdmissionGate::new(GateConfig::default().with_window(0)).is_err());
+        assert!(
+            AdmissionGate::new(GateConfig::default().with_window(4).with_read_reserve(4)).is_err()
+        );
+    }
+
+    #[test]
+    fn concurrent_admissions_never_exceed_window() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = gate(
+            GateConfig::default()
+                .with_window(8)
+                .with_read_reserve(2)
+                .with_queue(64, Duration::from_secs(5)),
+        );
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                let in_flight = Arc::clone(&in_flight);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let kind = if t % 4 == 0 {
+                            AccessKind::Read
+                        } else {
+                            AccessKind::Write
+                        };
+                        let permit = g.admit(kind).unwrap();
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::hint::spin_loop();
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        drop(permit);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 8, "window must bound flight");
+        assert_eq!(g.stats().tokens_in_use.get(), 0);
+        assert_eq!(g.stats().admitted.get(), 16 * 200);
+    }
+}

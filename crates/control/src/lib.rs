@@ -1,0 +1,116 @@
+//! Closed-loop control plane for the ALOHA-DB reproduction.
+//!
+//! Two cooperating loops give the system its overload story:
+//!
+//! * **Adaptive epoch pacing** ([`AdaptivePacer`]) — an AIMD/hysteresis
+//!   controller implementing [`aloha_epoch::Pacer`]. The epoch manager asks
+//!   it for each epoch's duration before issuing the `Authorization`;
+//!   Calvin's sequencer asks it for each batch round. Signals come from the
+//!   stats the engines already export (switch duration, executor queue
+//!   depth, functor-computing backlog, batch occupancy).
+//! * **FE admission control** ([`AdmissionGate`]) — a per-FE token window in
+//!   front of `Database::execute` that bounds in-flight transactions, sheds
+//!   with the retryable `Error::Overloaded { retry_after }` once the window
+//!   and its bounded wait queue are full, and reserves a share of the
+//!   window for read-only transactions so reads stay live under write
+//!   overload.
+//!
+//! Both loops are off by default; [`ControlConfig`] is the knob the engines
+//! expose as `ClusterConfig::with_control` / `CalvinConfig::with_control`.
+//! `PacingMode::Fixed` with no gate reproduces the uncontrolled system
+//! exactly, which is the ablation baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use aloha_control::{ControlConfig, PacingMode};
+//!
+//! let control = ControlConfig::adaptive(Duration::from_millis(25));
+//! assert_eq!(control.pacing.mode, PacingMode::Adaptive);
+//! assert!(control.gate.is_some());
+//! control.validate().unwrap();
+//! ```
+
+pub mod gate;
+pub mod pacer;
+
+pub use gate::{AccessKind, AdmissionGate, GateConfig, GateStats, Permit};
+pub use pacer::{AdaptivePacer, PacerConfig, PacerGauges, PacerSample, PacingMode, SignalSource};
+// Re-exported so engines that only gate admissions (Calvin) can name the
+// pacing trait without a direct aloha-epoch dependency.
+pub use aloha_epoch::{FixedPacer, Pacer};
+
+use std::time::Duration;
+
+/// The engine-facing control-plane knob: which pacing mode to run the epoch
+/// manager (or Calvin sequencer) in, and whether to gate admissions.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// Epoch/batch duration controller parameters.
+    pub pacing: PacerConfig,
+    /// Admission-gate parameters; `None` leaves the FE ungated.
+    pub gate: Option<GateConfig>,
+}
+
+impl ControlConfig {
+    /// Fixed pacing at `duration`, no gate: the uncontrolled baseline.
+    pub fn fixed(duration: Duration) -> ControlConfig {
+        ControlConfig {
+            pacing: PacerConfig::fixed(duration),
+            gate: None,
+        }
+    }
+
+    /// Adaptive pacing centered on `initial` plus a default admission gate.
+    pub fn adaptive(initial: Duration) -> ControlConfig {
+        ControlConfig {
+            pacing: PacerConfig::adaptive(initial),
+            gate: Some(GateConfig::default()),
+        }
+    }
+
+    /// Replaces the gate configuration (or removes it with `None`).
+    pub fn with_gate(mut self, gate: Option<GateConfig>) -> ControlConfig {
+        self.gate = gate;
+        self
+    }
+
+    /// Validates both loops' parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PacerConfig::validate`] and [`GateConfig::validate`].
+    pub fn validate(&self) -> aloha_common::Result<()> {
+        self.pacing.validate()?;
+        if let Some(gate) = &self.gate {
+            gate.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        ControlConfig::fixed(Duration::from_millis(25))
+            .validate()
+            .unwrap();
+        ControlConfig::adaptive(Duration::from_millis(25))
+            .validate()
+            .unwrap();
+        let bad = ControlConfig::adaptive(Duration::from_millis(25))
+            .with_gate(Some(GateConfig::default().with_window(0)));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fixed_preset_has_no_gate() {
+        assert!(ControlConfig::fixed(Duration::from_millis(25))
+            .gate
+            .is_none());
+    }
+}

@@ -10,6 +10,9 @@ use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{EpochId, PartitionId};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
+use aloha_control::{
+    AccessKind, AdaptivePacer, AdmissionGate, ControlConfig, PacerGauges, PacerSample, Permit,
+};
 use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
 use aloha_net::{Addr, BatchConfig, Batcher, Bus, Endpoint, ExecConfig, Executor, NetConfig};
@@ -84,6 +87,12 @@ pub struct ClusterConfig {
     /// [`aloha_net::ExecConfig::spawn_per_message`] restores the pre-pool
     /// thread-per-message behavior (the ablation baseline).
     pub exec: ExecConfig,
+    /// Closed-loop control plane: adaptive epoch pacing and/or per-FE
+    /// admission gating. `None` (the default) runs fixed epochs at
+    /// [`ClusterConfig::epoch_duration`] with ungated front-ends — the
+    /// pre-control-plane behavior. When set, the pacer's `initial` duration
+    /// overrides `epoch_duration`.
+    pub control: Option<ControlConfig>,
 }
 
 /// Background garbage-collection knobs (see [`ClusterConfig::with_gc`]).
@@ -115,6 +124,7 @@ impl ClusterConfig {
             record_history: false,
             batch: None,
             exec: ExecConfig::default(),
+            control: None,
         }
     }
 
@@ -198,6 +208,25 @@ impl ClusterConfig {
         self.exec = exec;
         self
     }
+
+    /// Enables the closed-loop control plane (adaptive epoch pacing and/or
+    /// FE admission gating).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use aloha_control::ControlConfig;
+    /// use aloha_core::ClusterConfig;
+    ///
+    /// let config = ClusterConfig::new(4)
+    ///     .with_control(ControlConfig::adaptive(Duration::from_millis(25)));
+    /// assert!(config.control.is_some());
+    /// ```
+    pub fn with_control(mut self, control: ControlConfig) -> ClusterConfig {
+        self.control = Some(control);
+        self
+    }
 }
 
 type DependencyRule = Arc<dyn Fn(&Key) -> Option<Key> + Send + Sync>;
@@ -275,6 +304,9 @@ impl ClusterBuilder {
             return Err(Error::Config(
                 "need at least one processor per server".into(),
             ));
+        }
+        if let Some(control) = &self.config.control {
+            control.validate()?;
         }
 
         let base = ClockBase::new();
@@ -360,22 +392,60 @@ impl ClusterBuilder {
         } else {
             Arc::new(SystemClock::new(base))
         };
+        // With a control plane configured, the pacer's initial duration is
+        // authoritative (`ControlConfig::fixed(d)` ≡ `with_epoch_duration(d)`).
+        let epoch_duration = self
+            .config
+            .control
+            .as_ref()
+            .map(|c| c.pacing.initial)
+            .unwrap_or(self.config.epoch_duration);
         let em_config = EpochConfig {
-            epoch_duration: self.config.epoch_duration,
+            epoch_duration,
             servers: (0..n).map(ServerId).collect(),
             poll_interval: Duration::from_micros(200),
             // Retransmit unacked revokes fast enough to ride out dropped
             // Revoke/ack messages without stretching epochs noticeably.
-            revoke_resend_interval: (self.config.epoch_duration / 4).max(Duration::from_millis(2)),
+            revoke_resend_interval: (epoch_duration / 4).max(Duration::from_millis(2)),
         };
-        let em = EpochManager::spawn(
-            em_config,
-            em_clock,
-            BusTransport {
-                bus: bus.clone(),
-                endpoint: em_endpoint,
-            },
-        );
+        let transport = BusTransport {
+            bus: bus.clone(),
+            endpoint: em_endpoint,
+        };
+        let mut pacer_gauges = None;
+        let em = match &self.config.control {
+            Some(control) => {
+                let gauges = Arc::new(PacerGauges::default());
+                // The pacer samples live cluster pressure right before each
+                // authorization: executor lane depths, install/compute
+                // backlogs, and whatever is coalescing in the batcher. In
+                // `Fixed` mode the closure is never called.
+                let sample_servers = servers.clone();
+                let sample_batcher = batcher.clone();
+                let source = move || PacerSample {
+                    exec_queue: sample_servers.iter().map(|s| s.exec().queued_now()).sum(),
+                    backlog: sample_servers.iter().map(|s| s.backlog_len()).sum(),
+                    batch_occupancy: sample_batcher.as_ref().map(|b| b.queued_now()).unwrap_or(0),
+                };
+                let pacer =
+                    AdaptivePacer::new(control.pacing.clone(), source, Arc::clone(&gauges))?;
+                pacer_gauges = Some(gauges);
+                EpochManager::spawn_with_pacer(em_config, em_clock, transport, Box::new(pacer))
+            }
+            None => EpochManager::spawn(em_config, em_clock, transport),
+        };
+        let gates = self
+            .config
+            .control
+            .as_ref()
+            .and_then(|c| c.gate.as_ref())
+            .map(|gate_cfg| {
+                let gates = (0..n)
+                    .map(|_| AdmissionGate::new(gate_cfg.clone()).map(Arc::new))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok::<_, Error>(Arc::new(gates))
+            })
+            .transpose()?;
 
         let gc_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         if let Some(gc) = self.config.gc {
@@ -409,6 +479,8 @@ impl ClusterBuilder {
             total: n,
             gc_stop,
             history,
+            gates,
+            pacer_gauges,
         })
     }
 }
@@ -452,6 +524,12 @@ pub struct Cluster {
     total: u16,
     gc_stop: Arc<std::sync::atomic::AtomicBool>,
     history: Option<Arc<History>>,
+    /// Per-FE admission gates (index-aligned with `servers`); `None` when
+    /// the control plane is off or gating is disabled.
+    gates: Option<Arc<Vec<Arc<AdmissionGate>>>>,
+    /// Live pacer state exported on the `control` snapshot node (`Some`
+    /// exactly when a control plane is configured).
+    pacer_gauges: Option<Arc<PacerGauges>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -514,6 +592,7 @@ impl Cluster {
             servers: Arc::new(self.servers.clone()),
             next_fe: Arc::new(AtomicUsize::new(0)),
             session: Arc::new(AtomicU64::new(0)),
+            gates: self.gates.clone(),
         }
     }
 
@@ -573,7 +652,45 @@ impl Cluster {
             batcher.stats().export(&mut net);
         }
         root.push_child(net);
+        if let Some(control) = self.control_snapshot() {
+            root.push_child(control);
+        }
         root
+    }
+
+    /// The `control` node of the stats tree: pacer gauges at the top plus
+    /// summed gate activity, with one child per front-end gate. `None` when
+    /// no control plane is configured.
+    fn control_snapshot(&self) -> Option<StatsSnapshot> {
+        if self.pacer_gauges.is_none() && self.gates.is_none() {
+            return None;
+        }
+        let mut node = StatsSnapshot::new("control");
+        if let Some(g) = &self.pacer_gauges {
+            node.set_gauge("epoch_duration_micros", g.epoch_duration_micros.get());
+            node.set_gauge("pressure_millis", g.pressure_millis.get());
+        }
+        if let Some(gates) = &self.gates {
+            let (mut admitted, mut shed, mut queued, mut in_use) = (0, 0, 0, 0);
+            for (i, gate) in gates.iter().enumerate() {
+                let stats = gate.stats();
+                admitted += stats.admitted.get();
+                shed += stats.shed.get();
+                queued += stats.queued.get();
+                in_use += stats.tokens_in_use.get();
+                node.push_child(gate.snapshot(format!("gate_s{i}")));
+            }
+            node.set_counter("admitted", admitted);
+            node.set_counter("shed", shed);
+            node.set_counter("queued", queued);
+            node.set_gauge("tokens_in_use", in_use);
+        }
+        Some(node)
+    }
+
+    /// The per-FE admission gates, when the control plane enables gating.
+    pub fn gates(&self) -> Option<&[Arc<AdmissionGate>]> {
+        self.gates.as_deref().map(Vec::as_slice)
     }
 
     /// Resets every server's statistics (benchmark warm-up boundary).
@@ -584,6 +701,11 @@ impl Cluster {
         }
         if let Some(batcher) = &self.batcher {
             batcher.stats().reset();
+        }
+        if let Some(gates) = &self.gates {
+            for gate in gates.iter() {
+                gate.reset_stats();
+            }
         }
     }
 
@@ -752,6 +874,10 @@ pub struct Database {
     /// already returned. Waiting for the picked FE to catch up restores
     /// monotone reads per handle.
     session: Arc<AtomicU64>,
+    /// Per-FE admission gates, index-aligned with `servers` (`None` when the
+    /// cluster runs ungated). Admission happens here, at the client edge,
+    /// *before* the transform: a shed transaction never installs a functor.
+    gates: Option<Arc<Vec<Arc<AdmissionGate>>>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -763,9 +889,21 @@ impl std::fmt::Debug for Database {
 }
 
 impl Database {
-    fn pick_fe(&self) -> &Arc<Server> {
-        let i = self.next_fe.fetch_add(1, Ordering::Relaxed) % self.servers.len();
-        &self.servers[i]
+    fn pick_fe(&self) -> usize {
+        self.next_fe.fetch_add(1, Ordering::Relaxed) % self.servers.len()
+    }
+
+    /// Acquires the FE's admission token (a no-op returning `None` on an
+    /// ungated cluster).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overloaded`] when front-end `fe` sheds the transaction.
+    fn admit(&self, fe: usize, kind: AccessKind) -> Result<Option<Permit>> {
+        match &self.gates {
+            Some(gates) => gates[fe].admit(kind).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Records that this handle observed `bound` settled.
@@ -792,9 +930,17 @@ impl Database {
     /// Fails on shutdown, unknown programs, transform rejections and
     /// transport errors.
     pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<TxnHandle> {
-        let fe = self.pick_fe();
+        let i = self.pick_fe();
+        // Admission precedes everything — a shed transaction costs the FE no
+        // timestamp, no transform, no installed functor.
+        let permit = self.admit(i, AccessKind::Write)?;
+        let fe = &self.servers[i];
         self.sync_session(fe);
-        fe.coordinate(program, &args.into())
+        let handle = fe.coordinate(program, &args.into())?;
+        if let Some(permit) = permit {
+            handle.attach_permit(permit);
+        }
+        Ok(handle)
     }
 
     /// Executes and blocks until the functor computing phase resolves:
@@ -824,7 +970,12 @@ impl Database {
             .servers
             .get(fe.index())
             .ok_or(Error::NoSuchPartition(PartitionId(fe.0)))?;
-        server.coordinate(program, &args.into())
+        let permit = self.admit(fe.index(), AccessKind::Write)?;
+        let handle = server.coordinate(program, &args.into())?;
+        if let Some(permit) = permit {
+            handle.attach_permit(permit);
+        }
+        Ok(handle)
     }
 
     /// Latest-version read-only transaction (§III-B): assigned a timestamp
@@ -835,7 +986,12 @@ impl Database {
     ///
     /// Fails on shutdown or transport errors.
     pub fn read_latest(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        let fe = self.pick_fe();
+        let i = self.pick_fe();
+        // Reads admit under `AccessKind::Read`, which may use the reserved
+        // share of the window writes cannot touch; the token is held across
+        // the synchronous read.
+        let _permit = self.admit(i, AccessKind::Read)?;
+        let fe = &self.servers[i];
         let values = fe.read_latest(keys)?;
         self.note_session(fe.epoch().visible_bound());
         Ok(values)
@@ -857,7 +1013,9 @@ impl Database {
     ///
     /// Fails if `ts` is not settled yet, on shutdown, or on transport errors.
     pub fn read_at(&self, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<Value>>> {
-        let values = self.pick_fe().read_at(keys, ts)?;
+        let i = self.pick_fe();
+        let _permit = self.admit(i, AccessKind::Read)?;
+        let values = self.servers[i].read_at(keys, ts)?;
         self.note_session(ts);
         Ok(values)
     }

@@ -12,6 +12,7 @@ use aloha_common::metrics::{
 };
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Error, Key, Result, ServerId, Timestamp};
+use aloha_control::Permit;
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
 use aloha_net::{reply_pair, Addr, Batcher, Bus, Endpoint, Executor, ReplyHandle, ReplySlot};
@@ -279,6 +280,14 @@ impl Server {
         &self.exec
     }
 
+    /// Instantaneous functor-computing backlog: installed entries parked
+    /// until their epoch settles plus entries already released toward the
+    /// processors but not yet drained. This is the backend-pressure signal
+    /// the control plane's pacer samples.
+    pub fn backlog_len(&self) -> u64 {
+        self.pending.lock().len() as u64 + self.queue_tx.len() as u64
+    }
+
     /// This server's node of the unified stats tree (with its partition's
     /// counters and its executor's pool metrics as children).
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -483,6 +492,7 @@ impl Server {
             aborted_at_install: !ok,
             issued_at,
             timer: Mutex::new(Some(timer)),
+            permit: Mutex::new(None),
         })
     }
 
@@ -1017,12 +1027,22 @@ pub struct TxnHandle {
     /// Lifecycle timer carried from [`Server::coordinate`]; consumed by the
     /// first [`TxnHandle::wait_processed`] to seal the transaction's trace.
     timer: Mutex<Option<TxnTimer>>,
+    /// Admission token held while the transaction is in flight (`None` when
+    /// the FE is ungated). Released when the handle drops, so the window
+    /// covers the whole lifecycle — install through functor processing.
+    permit: Mutex<Option<Permit>>,
 }
 
 impl TxnHandle {
     /// The transaction's timestamp (its version and serialization position).
     pub fn timestamp(&self) -> Timestamp {
         self.ts
+    }
+
+    /// Attaches the FE admission token this transaction was admitted under;
+    /// the token returns to the gate when the handle drops.
+    pub(crate) fn attach_permit(&self, permit: Permit) {
+        *self.permit.lock() = Some(permit);
     }
 
     /// Whether the write-only phase already aborted the transaction.

@@ -39,5 +39,5 @@ pub mod oracle;
 
 pub use auth::{Authorization, Grant};
 pub use client::{BeginError, EpochClient, TxnTicket};
-pub use manager::{EpochConfig, EpochManager, EpochTransport, RevokedAck};
+pub use manager::{EpochConfig, EpochManager, EpochTransport, FixedPacer, Pacer, RevokedAck};
 pub use oracle::TimestampOracle;

@@ -11,11 +11,41 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use aloha_common::metrics::{Counter, Histogram};
+use aloha_common::metrics::{duration_micros, Counter, Gauge, Histogram};
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{Clock, EpochId, ServerId, Timestamp};
 
 use crate::auth::{Authorization, Grant};
+
+/// Decides each write epoch's duration just before its grant is issued.
+///
+/// The EM consults the pacer once per cycle, so consecutive epochs may have
+/// different lengths; the rest of the protocol already tolerates this because
+/// every [`Grant`] carries its own `epoch_duration_micros` and the clients'
+/// no-authorization windows are derived per-authorization (§III-C). The
+/// closed-loop controller in `aloha-control` implements this trait; the
+/// built-in [`FixedPacer`] reproduces the fixed-duration behavior exactly.
+pub trait Pacer: Send + 'static {
+    /// Duration of the next epoch. Called before each grant.
+    fn next_duration(&mut self) -> Duration;
+
+    /// Feedback after one completed cycle: how long the epoch switch
+    /// (revoke sent → all drain acks in) took. Default: ignored.
+    fn observe_switch(&mut self, switch: Duration) {
+        let _ = switch;
+    }
+}
+
+/// A pacer that returns the same duration every epoch — today's fixed
+/// `epoch_duration` behavior, and the `Fixed` ablation arm.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPacer(pub Duration);
+
+impl Pacer for FixedPacer {
+    fn next_duration(&mut self) -> Duration {
+        self.0
+    }
+}
 
 /// Acknowledgement that a server has drained an epoch after revocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +111,7 @@ impl EpochConfig {
 pub struct EmStats {
     epochs_completed: Counter,
     switch_micros: Histogram,
+    epoch_duration_micros: Gauge,
 }
 
 impl EmStats {
@@ -95,10 +126,16 @@ impl EmStats {
         &self.switch_micros
     }
 
+    /// Duration of the most recently granted epoch, in microseconds.
+    pub fn epoch_duration_micros(&self) -> u64 {
+        self.epoch_duration_micros.get()
+    }
+
     /// Exports these statistics as one node of the unified stats tree.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut node = StatsSnapshot::new("epoch_manager");
         node.set_counter("epochs_completed", self.epochs_completed());
+        node.set_gauge("epoch_duration_micros", self.epoch_duration_micros());
         node.set_stage(
             "epoch_switch",
             StageStats::from(&self.switch_micros.snapshot()),
@@ -126,7 +163,8 @@ impl std::fmt::Debug for EpochManager {
 }
 
 impl EpochManager {
-    /// Spawns the EM thread.
+    /// Spawns the EM thread with the fixed `config.epoch_duration` — every
+    /// epoch the same length, exactly the pre-control-plane behavior.
     ///
     /// # Panics
     ///
@@ -135,6 +173,22 @@ impl EpochManager {
         config: EpochConfig,
         clock: Arc<dyn Clock>,
         transport: impl EpochTransport,
+    ) -> EpochManager {
+        let pacer = FixedPacer(config.epoch_duration);
+        EpochManager::spawn_with_pacer(config, clock, transport, Box::new(pacer))
+    }
+
+    /// Spawns the EM thread with an explicit [`Pacer`] deciding each epoch's
+    /// duration; `config.epoch_duration` is ignored in favor of the pacer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.servers` is empty.
+    pub fn spawn_with_pacer(
+        config: EpochConfig,
+        clock: Arc<dyn Clock>,
+        transport: impl EpochTransport,
+        pacer: Box<dyn Pacer>,
     ) -> EpochManager {
         assert!(
             !config.servers.is_empty(),
@@ -146,7 +200,16 @@ impl EpochManager {
         let thread_stats = Arc::clone(&stats);
         let handle = std::thread::Builder::new()
             .name("epoch-manager".into())
-            .spawn(move || run(config, clock, transport, thread_shutdown, thread_stats))
+            .spawn(move || {
+                run(
+                    config,
+                    clock,
+                    transport,
+                    pacer,
+                    thread_shutdown,
+                    thread_stats,
+                )
+            })
             .expect("spawn epoch manager thread");
         EpochManager {
             shutdown,
@@ -186,21 +249,26 @@ fn run(
     config: EpochConfig,
     clock: Arc<dyn Clock>,
     transport: impl EpochTransport,
+    mut pacer: Box<dyn Pacer>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<EmStats>,
 ) {
-    let duration_micros = config.epoch_duration.as_micros() as u64;
     let mut prev_finish_micros = clock.now_micros();
     let mut prev_finish_ts = Timestamp::ZERO;
     let mut epoch = EpochId(1);
 
     while !shutdown.load(Ordering::SeqCst) {
+        // Each epoch's duration is decided just before its grant; timestamps
+        // stay unique across length changes because epochs still never
+        // overlap on the shared clock (start > previous end).
+        let epoch_micros = duration_micros(pacer.next_duration()).max(1);
+        stats.epoch_duration_micros.set(epoch_micros);
         let start = clock.now_micros().max(prev_finish_micros + 1);
-        let auth = Authorization::new(epoch, start, start + duration_micros);
+        let auth = Authorization::new(epoch, start, start + epoch_micros);
         let grant = Grant {
             auth,
             settled: prev_finish_ts,
-            epoch_duration_micros: duration_micros,
+            epoch_duration_micros: epoch_micros,
         };
         for &server in &config.servers {
             transport.send_grant(server, grant);
@@ -238,10 +306,10 @@ fn run(
                 last_resend = std::time::Instant::now();
             }
         }
-        stats
-            .switch_micros
-            .record(switch_started.elapsed().as_micros() as u64);
+        let switch = switch_started.elapsed();
+        stats.switch_micros.record(duration_micros(switch));
         stats.epochs_completed.incr();
+        pacer.observe_switch(switch);
 
         prev_finish_micros = auth.end_micros();
         prev_finish_ts = auth.finish_ts();
@@ -455,6 +523,67 @@ mod tests {
             }
         }
         em.close();
+    }
+
+    #[test]
+    fn pacer_varies_per_epoch_durations_without_overlap() {
+        // Alternates short and long epochs; every grant must carry its own
+        // duration, windows must not overlap, and the stats gauge must track
+        // the most recent choice.
+        struct Alternating(u32);
+        impl Pacer for Alternating {
+            fn next_duration(&mut self) -> Duration {
+                self.0 += 1;
+                if self.0 % 2 == 1 {
+                    Duration::from_millis(1)
+                } else {
+                    Duration::from_millis(4)
+                }
+            }
+        }
+        let (transport, events, acks) = harness();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new(ClockBase::new()));
+        let config = EpochConfig::new(vec![ServerId(0)])
+            .with_duration(Duration::from_secs(60)) // ignored by the pacer
+            .with_revoke_resend(Duration::from_secs(60));
+        let em = EpochManager::spawn_with_pacer(config, clock, transport, Box::new(Alternating(0)));
+        let mut grants = Vec::new();
+        let mut last_end = 0u64;
+        while grants.len() < 4 {
+            match events.recv_timeout(Duration::from_secs(1)).unwrap() {
+                Event::Grant(_, g) => {
+                    assert!(g.auth.start_micros() > last_end, "epochs must not overlap");
+                    last_end = g.auth.end_micros();
+                    assert_eq!(
+                        g.epoch_duration_micros,
+                        g.auth.end_micros() - g.auth.start_micros(),
+                        "grant duration must describe its own authorization"
+                    );
+                    grants.push(g);
+                }
+                Event::Revoke(s, e) => {
+                    acks.send(RevokedAck {
+                        server: s,
+                        epoch: e,
+                    })
+                    .unwrap();
+                }
+            }
+        }
+        assert_eq!(grants[0].epoch_duration_micros, 1_000);
+        assert_eq!(grants[1].epoch_duration_micros, 4_000);
+        assert_eq!(grants[2].epoch_duration_micros, 1_000);
+        assert_eq!(grants[3].epoch_duration_micros, 4_000);
+        assert_eq!(em.stats().epoch_duration_micros(), 4_000);
+        em.close();
+    }
+
+    #[test]
+    fn fixed_pacer_reproduces_configured_duration() {
+        let mut pacer = FixedPacer(Duration::from_millis(25));
+        for _ in 0..8 {
+            assert_eq!(pacer.next_duration(), Duration::from_millis(25));
+        }
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests for the timestamp oracle under *adaptive epoch pacing*:
+//! with the control plane steering per-epoch durations, consecutive epochs
+//! no longer share a fixed width, so the oracle must keep its guarantees —
+//! global uniqueness, strict monotonicity, windows honored — across any
+//! sequence of epoch lengths the pacer can produce.
+
+use std::collections::HashSet;
+
+use aloha_common::{ServerId, Timestamp};
+use aloha_epoch::TimestampOracle;
+use proptest::prelude::*;
+
+/// One epoch as the oracle sees it: an authorization window width, the gap
+/// before it opens (switch time), and how many issues the FE attempts.
+#[derive(Debug, Clone)]
+struct Epoch {
+    width_micros: u64,
+    gap_micros: u64,
+    issues: usize,
+}
+
+fn epoch_strategy() -> impl Strategy<Value = Epoch> {
+    // Widths span the whole range an AIMD pacer clamped to [initial/5,
+    // initial*4] can emit around a 25 ms initial (5 ms..100 ms), plus far
+    // smaller degenerate widths to probe exhaustion.
+    (1u64..100_000, 0u64..5_000, 0usize..200).prop_map(|(width_micros, gap_micros, issues)| Epoch {
+        width_micros,
+        gap_micros,
+        issues,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Per-epoch durations vary arbitrarily (as under the adaptive pacer);
+    /// every issued timestamp must stay unique, strictly increasing, and
+    /// inside its epoch's window.
+    #[test]
+    fn varying_epoch_durations_preserve_uniqueness_and_monotonicity(
+        epochs in proptest::collection::vec(epoch_strategy(), 1..40),
+    ) {
+        let mut oracle = TimestampOracle::new(ServerId(3));
+        let mut seen = HashSet::new();
+        let mut prev = Timestamp::ZERO;
+        let mut window_start = 1u64;
+        for epoch in epochs {
+            let window_end = window_start + epoch.width_micros;
+            let mut now = window_start;
+            for i in 0..epoch.issues {
+                // The FE clock crawls through the window as it issues.
+                now = (now + (i as u64 % 3)).min(window_end);
+                let Some(ts) = oracle.issue(now, window_start, window_end) else {
+                    // Window exhausted: legal, and everything already issued
+                    // has been checked. Move on to the next epoch.
+                    break;
+                };
+                prop_assert!(ts > prev, "{ts} must exceed previous {prev}");
+                prop_assert!(
+                    (window_start..=window_end).contains(&ts.micros()),
+                    "{ts} outside window [{window_start}, {window_end}]"
+                );
+                prop_assert!(seen.insert(ts), "duplicate timestamp {ts}");
+                prev = ts;
+            }
+            // Next epoch opens after a (possibly zero) switch gap; windows
+            // never overlap, exactly as consecutive EM authorizations.
+            window_start = window_end + 1 + epoch.gap_micros;
+        }
+    }
+
+    /// Two oracles on different servers fed the *same* variable-width
+    /// windows never collide: uniqueness is carried by the embedded server
+    /// id, independent of pacing.
+    #[test]
+    fn pacing_never_breaks_cross_server_uniqueness(
+        epochs in proptest::collection::vec(epoch_strategy(), 1..20),
+    ) {
+        let mut a = TimestampOracle::new(ServerId(1));
+        let mut b = TimestampOracle::new(ServerId(2));
+        let mut seen = HashSet::new();
+        let mut window_start = 1u64;
+        for epoch in epochs {
+            let window_end = window_start + epoch.width_micros;
+            for _ in 0..epoch.issues.min(64) {
+                for oracle in [&mut a, &mut b] {
+                    if let Some(ts) = oracle.issue(window_start, window_start, window_end) {
+                        prop_assert!(seen.insert(ts), "duplicate timestamp {ts}");
+                    }
+                }
+            }
+            window_start = window_end + 1 + epoch.gap_micros;
+        }
+    }
+
+    /// A shrinking epoch directly after a wide one (the pacer's sharpest
+    /// possible transition: max → min) still yields monotone timestamps
+    /// even when the previous epoch was exhausted to its last microsecond.
+    #[test]
+    fn sharp_shrink_after_exhausted_wide_epoch_stays_monotone(
+        wide in 10_000u64..100_000,
+        narrow in 1u64..1_000,
+    ) {
+        let mut oracle = TimestampOracle::new(ServerId(0));
+        // Exhaust the wide epoch at its final microsecond.
+        let wide_end = 1 + wide;
+        let last_wide = oracle
+            .issue(wide_end, 1, wide_end)
+            .expect("fresh window issues");
+        // The narrow epoch opens right after the switch.
+        let narrow_start = wide_end + 1;
+        let narrow_end = narrow_start + narrow;
+        let first_narrow = oracle
+            .issue(narrow_start, narrow_start, narrow_end)
+            .expect("fresh window issues");
+        prop_assert!(first_narrow > last_wide);
+        prop_assert!(first_narrow.micros() >= narrow_start);
+    }
+}

@@ -388,6 +388,17 @@ impl<M: Send + Clone + 'static> Batcher<M> {
         self.inner.flush_all(FlushReason::Explicit);
     }
 
+    /// Instantaneous number of messages coalescing across all destination
+    /// queues. This is the batch-occupancy signal the control plane's pacer
+    /// samples.
+    pub fn queued_now(&self) -> u64 {
+        self.inner
+            .dests()
+            .iter()
+            .map(|(_, q)| q.lock().msgs.len() as u64)
+            .sum()
+    }
+
     /// This batcher's counters and occupancy histogram.
     pub fn stats(&self) -> &BatchStats {
         &self.inner.stats

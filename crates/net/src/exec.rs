@@ -289,6 +289,18 @@ impl Executor {
         &self.inner.stats
     }
 
+    /// Instantaneous number of tasks queued in both lanes (0 in
+    /// spawn-per-message mode, where nothing ever queues). This is the
+    /// executor-pressure signal the control plane's pacer samples.
+    pub fn queued_now(&self) -> u64 {
+        match self.inner.lanes.read().as_ref() {
+            Some(l) => {
+                l.sharded.iter().map(|q| q.len() as u64).sum::<u64>() + l.blocking.len() as u64
+            }
+            None => 0,
+        }
+    }
+
     /// Submits a task to the sharded lane. Tasks with equal `hash` run on
     /// the same worker in submission order; tasks with different hashes may
     /// run concurrently. After shutdown the task runs inline on the caller.

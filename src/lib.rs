@@ -4,6 +4,7 @@
 //! integration tests under `tests/`. Re-exports the most commonly used types.
 
 pub use aloha_common as common;
+pub use aloha_control as control;
 pub use aloha_core as core_engine;
 pub use aloha_epoch as epoch;
 pub use aloha_functor as functor;

@@ -17,6 +17,7 @@ use aloha_db::calvin::{
     fn_program as calvin_program, CalvinCluster, CalvinConfig, CalvinPlan,
     ProgramId as CalvinProgramId,
 };
+use aloha_db::control::ControlConfig;
 use aloha_db::core_engine::{
     diff_states, fn_program, replay_history, BatchConfig, Cluster, ClusterConfig, CommitRecord,
     ProgramId, TxnPlan,
@@ -115,6 +116,7 @@ fn aloha_chaos_run(
     seed: u64,
     batch: Option<BatchConfig>,
     exec: Option<ExecConfig>,
+    control: Option<ControlConfig>,
 ) -> Result<(), String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
@@ -132,6 +134,9 @@ fn aloha_chaos_run(
     }
     if let Some(exec) = exec {
         config = config.with_exec(exec);
+    }
+    if let Some(control) = control {
+        config = config.with_control(control);
     }
     let mut builder = Cluster::builder(config);
     builder.register_handler(H_AFFINE, affine_handler);
@@ -235,7 +240,7 @@ fn aloha_chaos_run(
 #[test]
 fn aloha_serializable_under_drops_dups_reorders_and_partition() {
     for seed in seeds() {
-        if let Err(msg) = aloha_chaos_run(seed, None, None) {
+        if let Err(msg) = aloha_chaos_run(seed, None, None, None) {
             panic!("{msg}");
         }
     }
@@ -252,7 +257,7 @@ fn aloha_serializable_under_chaos_with_batching() {
         swept.extend(BATCHED_EXTRA_SEEDS);
     }
     for seed in swept {
-        if let Err(msg) = aloha_chaos_run(seed, Some(BatchConfig::default()), None) {
+        if let Err(msg) = aloha_chaos_run(seed, Some(BatchConfig::default()), None, None) {
             panic!("batched run: {msg}");
         }
     }
@@ -269,10 +274,10 @@ fn serializable_under_chaos_with_pool_size_one() {
         .with_sharded_workers(1)
         .with_blocking_workers(1);
     for seed in seeds() {
-        if let Err(msg) = aloha_chaos_run(seed, None, Some(tiny.clone())) {
+        if let Err(msg) = aloha_chaos_run(seed, None, Some(tiny.clone()), None) {
             panic!("pool-size-1 run: {msg}");
         }
-        if let Err(msg) = calvin_chaos_run(seed, Some(tiny.clone())) {
+        if let Err(msg) = calvin_chaos_run(seed, Some(tiny.clone()), None) {
             panic!("pool-size-1 calvin run: {msg}");
         }
     }
@@ -282,7 +287,11 @@ fn serializable_under_chaos_with_pool_size_one() {
 // Calvin under chaos.
 // ---------------------------------------------------------------------
 
-fn calvin_chaos_run(seed: u64, exec: Option<ExecConfig>) -> Result<(), String> {
+fn calvin_chaos_run(
+    seed: u64,
+    exec: Option<ExecConfig>,
+    control: Option<ControlConfig>,
+) -> Result<(), String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 40;
@@ -294,6 +303,9 @@ fn calvin_chaos_run(seed: u64, exec: Option<ExecConfig>) -> Result<(), String> {
         .with_history();
     if let Some(exec) = exec {
         calvin_config = calvin_config.with_exec(exec);
+    }
+    if let Some(control) = control {
+        calvin_config = calvin_config.with_control(control);
     }
     let mut builder = CalvinCluster::builder(calvin_config);
     builder.register_program(
@@ -393,8 +405,30 @@ fn calvin_chaos_run(seed: u64, exec: Option<ExecConfig>) -> Result<(), String> {
 #[test]
 fn calvin_serializable_under_drops_dups_reorders_and_partition() {
     for seed in seeds() {
-        if let Err(msg) = calvin_chaos_run(seed, None) {
+        if let Err(msg) = calvin_chaos_run(seed, None, None) {
             panic!("{msg}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos with the adaptive pacer steering epoch/batch durations live: the
+// controller must never trade serializability for throughput, on either
+// engine, while the fault layer keeps its pressure signals jumping. The
+// gate window (256) exceeds the peak in-flight count, so nothing sheds and
+// every submitted transaction still enters the history.
+// ---------------------------------------------------------------------
+
+#[test]
+fn serializable_under_chaos_with_adaptive_pacer() {
+    for seed in seeds() {
+        let aloha_control = ControlConfig::adaptive(Duration::from_millis(2));
+        if let Err(msg) = aloha_chaos_run(seed, None, None, Some(aloha_control)) {
+            panic!("adaptive-pacer run: {msg}");
+        }
+        let calvin_control = ControlConfig::adaptive(Duration::from_millis(5));
+        if let Err(msg) = calvin_chaos_run(seed, None, Some(calvin_control)) {
+            panic!("adaptive-pacer calvin run: {msg}");
         }
     }
 }

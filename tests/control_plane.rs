@@ -1,0 +1,276 @@
+//! Integration tests for the closed-loop control plane: adaptive epoch
+//! pacing plus FE admission control, wired through both engines.
+//!
+//! Covers (a) adaptive ALOHA clusters committing work and exporting a sane
+//! `control` stats subtree that round-trips through JSON, (b) the admission
+//! gate shedding with a retryable `Overloaded` error once its window is
+//! full and recovering when permits release, (c) the Calvin equivalent, and
+//! (d) `Fixed` control mode behaving like a plain fixed-duration cluster.
+
+use std::time::Duration;
+
+use aloha_common::{Error, Key, StatsSnapshot, Value};
+use aloha_db::control::{ControlConfig, GateConfig};
+use aloha_db::core_engine::{fn_program, Cluster, ClusterConfig, ProgramId, TxnPlan};
+use aloha_functor::Functor;
+use aloha_workloads::driver::{run_windowed, DriverConfig};
+use aloha_workloads::ycsb::{self, YcsbConfig};
+use calvin::{CalvinCluster, CalvinConfig};
+
+const INCR: ProgramId = ProgramId(1);
+
+fn driver() -> DriverConfig {
+    DriverConfig {
+        threads: 4,
+        window: 8,
+        duration: Duration::from_millis(600),
+        warmup: Duration::from_millis(100),
+        seed: 0xC0117801,
+        pacing: None,
+    }
+}
+
+/// A tiny single-key increment cluster with the given control config.
+fn incr_cluster(control: ControlConfig) -> Cluster {
+    let mut builder = Cluster::builder(ClusterConfig::new(1).with_control(control));
+    builder.register_program(
+        INCR,
+        fn_program(|_| Ok(TxnPlan::new().write(Key::from("k"), Functor::add(1)))),
+    );
+    let cluster = builder.start().unwrap();
+    cluster.load(Key::from("k"), Value::from_i64(0));
+    cluster
+}
+
+#[test]
+fn aloha_adaptive_cluster_commits_and_exports_control_subtree() {
+    let cfg = YcsbConfig::with_contention_index(2, 0.01).with_keys_per_partition(500);
+    let control = ControlConfig::adaptive(Duration::from_millis(5));
+    let mut builder = Cluster::builder(ClusterConfig::new(2).with_control(control));
+    ycsb::install_aloha(&mut builder);
+    let cluster = builder.start().unwrap();
+    ycsb::load_aloha(&cluster, &cfg);
+    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg);
+    cluster.reset_stats();
+    let report = run_windowed(&target, &driver());
+    assert!(
+        report.committed > 0,
+        "adaptively paced cluster must commit transactions"
+    );
+
+    let snapshot = cluster.snapshot();
+    let control = snapshot.child("control").expect("control subtree");
+
+    // The pacer gauge must report a duration inside the AIMD clamp bounds
+    // ([initial/5, initial*4] around a 5 ms initial).
+    let micros = control
+        .gauge("epoch_duration_micros")
+        .expect("pacer duration gauge");
+    assert!(
+        (1_000..=20_000).contains(&micros),
+        "epoch duration {micros}us escaped the clamp bounds"
+    );
+    assert!(
+        control.gauge("pressure_millis").is_some(),
+        "control node must export the pressure signal"
+    );
+
+    // The default adaptive gate admits everything the driver pushed.
+    let admitted = control.counter("admitted").expect("gate admitted counter");
+    assert!(
+        admitted >= report.committed as u64,
+        "gate admitted {admitted} < committed {}",
+        report.committed
+    );
+    assert!(
+        control.child("gate_s0").is_some() && control.child("gate_s1").is_some(),
+        "control node must export per-FE gate children"
+    );
+
+    // The whole tree, control subtree included, survives a JSON round-trip.
+    let json = snapshot.to_json().to_string();
+    let parsed = StatsSnapshot::from_json_text(&json).expect("snapshot JSON re-parses");
+    assert_eq!(
+        parsed.child("control").and_then(|c| c.counter("admitted")),
+        Some(admitted),
+        "control counters must survive serialization"
+    );
+    assert_eq!(
+        parsed
+            .child("control")
+            .and_then(|c| c.gauge("epoch_duration_micros")),
+        Some(micros),
+        "control gauges must survive serialization"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn gate_sheds_with_retryable_overloaded_and_recovers() {
+    // Window of exactly one write token, no wait queue: the second in-flight
+    // transaction must shed immediately.
+    let gate = GateConfig::default()
+        .with_window(1)
+        .with_read_reserve(0)
+        .with_queue(0, Duration::ZERO);
+    let control = ControlConfig::fixed(Duration::from_millis(2)).with_gate(Some(gate));
+    let cluster = incr_cluster(control);
+    let db = cluster.database();
+
+    // First admission holds the sole token for as long as its handle lives.
+    let held = db.execute(INCR, Vec::new()).unwrap();
+    let err = db.execute(INCR, Vec::new()).expect_err("window is full");
+    assert!(
+        matches!(err, Error::Overloaded { .. }),
+        "expected Overloaded, got {err:?}"
+    );
+    assert!(err.is_retryable(), "overload shedding must be retryable");
+    assert!(
+        err.retry_after().is_some_and(|d| d > Duration::ZERO),
+        "Overloaded must carry a positive retry hint"
+    );
+
+    // Shed transactions never reached the engine: nothing was installed.
+    held.wait_processed().unwrap();
+    drop(held); // releases the permit
+
+    // With the token back, admission succeeds again and the state shows
+    // exactly the admitted increments.
+    let h = db.execute(INCR, Vec::new()).unwrap();
+    h.wait_processed().unwrap();
+    drop(h);
+    let vals = db.read_latest(&[Key::from("k")]).unwrap();
+    assert_eq!(
+        vals[0].as_ref().and_then(Value::as_i64),
+        Some(2),
+        "only the two admitted increments may be applied"
+    );
+
+    let snapshot = cluster.snapshot();
+    let control = snapshot.child("control").expect("control subtree");
+    assert!(control.counter("admitted").unwrap() >= 3);
+    assert!(
+        control.counter("shed").unwrap() >= 1,
+        "the rejected transaction must be counted as shed"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn calvin_adaptive_cluster_commits_and_exports_control_subtree() {
+    let cfg = YcsbConfig::with_contention_index(2, 0.01).with_keys_per_partition(500);
+    let control = ControlConfig::adaptive(Duration::from_millis(5));
+    let mut builder =
+        CalvinCluster::builder(CalvinConfig::new(2).with_workers(2).with_control(control));
+    ycsb::install_calvin(&mut builder);
+    let cluster = builder.start().unwrap();
+    ycsb::load_calvin(&cluster, &cfg);
+    let target = ycsb::CalvinYcsb::new(cluster.database(), cfg);
+    cluster.reset_stats();
+    let report = run_windowed(&target, &driver());
+    assert!(
+        report.committed > 0,
+        "adaptively paced Calvin cluster must commit transactions"
+    );
+
+    let snapshot = cluster.snapshot();
+    let control = snapshot.child("control").expect("control subtree");
+    let micros = control
+        .gauge("epoch_duration_micros")
+        .expect("pacer duration gauge");
+    assert!(
+        (1_000..=20_000).contains(&micros),
+        "batch duration {micros}us escaped the clamp bounds"
+    );
+    assert!(
+        control.child("pacer_s0").is_some() && control.child("pacer_s1").is_some(),
+        "Calvin control node must export per-sequencer pacer children"
+    );
+    let admitted = control.counter("admitted").expect("gate admitted counter");
+    assert!(admitted >= report.committed as u64);
+
+    let json = snapshot.to_json().to_string();
+    let parsed = StatsSnapshot::from_json_text(&json).expect("snapshot JSON re-parses");
+    assert_eq!(
+        parsed.child("control").and_then(|c| c.counter("admitted")),
+        Some(admitted)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn calvin_gate_sheds_and_recovers() {
+    let gate = GateConfig::default()
+        .with_window(1)
+        .with_read_reserve(0)
+        .with_queue(0, Duration::ZERO);
+    let control = ControlConfig::fixed(Duration::from_millis(2)).with_gate(Some(gate));
+    let mut builder = CalvinCluster::builder(CalvinConfig::new(1).with_control(control));
+    builder.register_program(
+        INCR_CALVIN,
+        calvin::fn_program(
+            |_| calvin::CalvinPlan {
+                read_set: vec![Key::from("k")],
+                write_set: vec![Key::from("k")],
+            },
+            |_, reads, writes| {
+                let cur = reads
+                    .get(&Key::from("k"))
+                    .and_then(|v| v.as_ref())
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
+                writes.push((Key::from("k"), Value::from_i64(cur + 1)));
+            },
+        ),
+    );
+    let cluster = builder.start().unwrap();
+    cluster.load(Key::from("k"), Value::from_i64(0));
+    let db = cluster.database();
+
+    let held = db.execute(INCR_CALVIN, Vec::new()).unwrap();
+    let err = db
+        .execute(INCR_CALVIN, Vec::new())
+        .expect_err("window is full");
+    assert!(matches!(err, Error::Overloaded { .. }));
+    assert!(err.is_retryable());
+
+    held.wait().unwrap(); // consumes the handle, releasing the permit
+    let h = db.execute(INCR_CALVIN, Vec::new()).unwrap();
+    h.wait().unwrap();
+    assert_eq!(
+        cluster.read(&Key::from("k")).and_then(|v| v.as_i64()),
+        Some(2),
+        "only the two admitted increments may be applied"
+    );
+
+    let snapshot = cluster.snapshot();
+    let control = snapshot.child("control").expect("control subtree");
+    assert!(control.counter("shed").unwrap() >= 1);
+    cluster.shutdown();
+}
+
+const INCR_CALVIN: calvin::ProgramId = calvin::ProgramId(1);
+
+#[test]
+fn fixed_control_mode_reports_configured_duration() {
+    let control = ControlConfig::fixed(Duration::from_millis(4));
+    let cluster = incr_cluster(control);
+    let db = cluster.database();
+    for _ in 0..5 {
+        db.execute(INCR, Vec::new())
+            .unwrap()
+            .wait_processed()
+            .unwrap();
+    }
+    let vals = db.read_latest(&[Key::from("k")]).unwrap();
+    assert_eq!(vals[0].as_ref().and_then(Value::as_i64), Some(5));
+
+    let snapshot = cluster.snapshot();
+    let control = snapshot.child("control").expect("control subtree");
+    assert_eq!(
+        control.gauge("epoch_duration_micros"),
+        Some(4_000),
+        "Fixed mode must report exactly the configured duration"
+    );
+    cluster.shutdown();
+}
