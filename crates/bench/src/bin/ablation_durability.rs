@@ -1,0 +1,126 @@
+//! Durability ablation: what epoch group commit costs, fsync policy by
+//! fsync policy, against the no-WAL and in-memory-WAL baselines.
+//!
+//! Every variant runs the same closed-loop YCSB sweep; the disk variants
+//! log install/abort records into per-server segment files and pay one
+//! flush per epoch close, so the interesting deltas are (a) the codec +
+//! buffered-write cost (`disk+never` vs `memory`) and (b) the sync cost
+//! itself (`disk+epoch` vs `disk+never`, with `disk+every8` in between).
+//! Each row's snapshot carries the `durability` subtree, so the JSON report
+//! records wal_bytes/fsyncs alongside throughput and p99.
+
+use std::time::Duration;
+
+use aloha_bench::{BenchOpts, BenchReport};
+use aloha_common::tempdir::TempDir;
+use aloha_core::{Cluster, ClusterConfig, DurableLogSpec};
+use aloha_storage::Fsync;
+use aloha_workloads::driver::run_windowed;
+use aloha_workloads::ycsb::{self, YcsbConfig};
+
+/// Epoch duration for every variant. Short epochs maximize group-commit
+/// frequency, so the fsync-policy deltas show at their worst.
+const EPOCH: Duration = Duration::from_millis(5);
+
+/// One durability configuration under test.
+enum Variant {
+    /// No WAL at all: the upper bound.
+    None,
+    /// The pre-durability in-memory chunk log: codec cost, no file I/O.
+    Memory,
+    /// Disk segments under the given fsync policy.
+    Disk(Fsync),
+}
+
+impl Variant {
+    fn name(&self) -> String {
+        match self {
+            Variant::None => "none".into(),
+            Variant::Memory => "memory".into(),
+            Variant::Disk(f) => format!("disk+{f}"),
+        }
+    }
+
+    /// Applies this variant to a cluster config; disk variants log into
+    /// `dir`, which outlives the run and is removed on drop.
+    fn configure(&self, config: ClusterConfig, dir: &TempDir) -> ClusterConfig {
+        match self {
+            Variant::None => config,
+            Variant::Memory => config.with_durability(true),
+            Variant::Disk(fsync) => {
+                config.with_durable_log(DurableLogSpec::new(dir.path()).with_fsync(*fsync))
+            }
+        }
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let servers = opts.servers();
+    let cfg = YcsbConfig::with_contention_index(servers, 0.01).with_keys_per_partition(10_000);
+
+    let loads: &[(usize, usize)] = if opts.full {
+        &[(2, 8), (4, 16), (8, 32)]
+    } else {
+        &[(4, 16)]
+    };
+    let variants = [
+        Variant::None,
+        Variant::Memory,
+        Variant::Disk(Fsync::Never),
+        Variant::Disk(Fsync::EveryN(8)),
+        Variant::Disk(Fsync::EveryEpoch),
+    ];
+
+    println!("# Ablation: durability / fsync policy, {servers} servers");
+    println!("variant,threads,window,tput_ktps,mean_ms,p99_ms,wal_kb,fsyncs");
+    let mut report = BenchReport::new(
+        "ablation_durability",
+        servers,
+        opts.duration().as_secs_f64(),
+    );
+    for variant in &variants {
+        let name = variant.name();
+        for &(threads, window) in loads {
+            let dir = TempDir::new("ablation-durability");
+            let config = variant.configure(
+                ClusterConfig::new(servers)
+                    .with_epoch_duration(EPOCH)
+                    .with_processors(2),
+                &dir,
+            );
+            let mut builder = Cluster::builder(config);
+            ycsb::install_aloha(&mut builder);
+            let cluster = builder.start().expect("start cluster");
+            ycsb::load_aloha(&cluster, &cfg);
+            let target = ycsb::AlohaYcsb::new(cluster.database(), cfg.clone());
+            cluster.reset_stats();
+            let run = run_windowed(&target, &opts.driver(threads, window));
+            let snapshot = cluster.snapshot();
+            let (mut wal_bytes, mut fsyncs) = (0, 0);
+            for i in 0..servers {
+                if let Some(d) = snapshot
+                    .child(&format!("server_{i}"))
+                    .and_then(|s| s.child("durability").cloned())
+                {
+                    wal_bytes += d.counter("wal_bytes").unwrap_or(0);
+                    fsyncs += d.counter("fsyncs").unwrap_or(0);
+                }
+            }
+            let result = aloha_bench::RunResult::from_parts(&run, snapshot);
+            cluster.shutdown();
+            println!(
+                "{name},{threads},{window},{:.2},{:.2},{:.2},{},{}",
+                result.tput_ktps,
+                result.mean_latency_ms,
+                result.p99_latency_ms,
+                wal_bytes / 1024,
+                fsyncs,
+            );
+            report.push(format!("{name},{threads},{window}"), result);
+        }
+    }
+    report
+        .emit(&opts)
+        .expect("write ablation_durability report");
+}

@@ -1,7 +1,9 @@
 //! Calvin cluster assembly and client handles.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
@@ -12,13 +14,57 @@ use aloha_control::{
     PacerSample, Permit,
 };
 use aloha_net::{Addr, Bus, ExecConfig, Executor, NetConfig};
+use aloha_storage::{DurableLog, DurableLogConfig, Fsync};
+use parking_lot::{Mutex, RwLock};
 
+use crate::durability::{self, CalvinRecoveryReport, CalvinWal};
 use crate::msg::CalvinMsg;
 use crate::program::{CalvinProgram, CalvinRegistry, ProgramId};
 use crate::server::{
     run_dispatcher, run_scheduler, run_sequencer, run_worker, CalvinHistory, CalvinServer,
     CalvinSubmission,
 };
+use crate::store::CalvinStore;
+
+/// Where and how a Calvin cluster persists its durable log — the baseline's
+/// analogue of the ALOHA engine's `DurableLogSpec`. Each server logs into
+/// `dir/server-<id>/`.
+#[derive(Debug, Clone)]
+pub struct CalvinDurability {
+    /// Root directory; one subdirectory per server.
+    pub dir: PathBuf,
+    /// Group-commit sync policy (one commit per sequencing round — the
+    /// batch is Calvin's epoch).
+    pub fsync: Fsync,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+impl CalvinDurability {
+    /// Durability under `dir` with round-granular fsync and 256 KiB
+    /// segments.
+    pub fn new(dir: impl Into<PathBuf>) -> CalvinDurability {
+        CalvinDurability {
+            dir: dir.into(),
+            fsync: Fsync::EveryEpoch,
+            segment_bytes: 256 * 1024,
+        }
+    }
+
+    /// Overrides the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: Fsync) -> CalvinDurability {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Overrides the segment rotation threshold.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> CalvinDurability {
+        self.segment_bytes = bytes;
+        self
+    }
+}
 
 /// Calvin cluster configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +90,9 @@ pub struct CalvinConfig {
     /// batches at [`CalvinConfig::batch_duration`] ungated. When set, the
     /// pacer's `initial` duration overrides `batch_duration`.
     pub control: Option<ControlConfig>,
+    /// Durable logging and single-server restart support. `None` (the
+    /// default) keeps the baseline fully in-memory.
+    pub durability: Option<CalvinDurability>,
 }
 
 impl CalvinConfig {
@@ -57,6 +106,7 @@ impl CalvinConfig {
             record_history: false,
             exec: ExecConfig::default(),
             control: None,
+            durability: None,
         }
     }
 
@@ -96,6 +146,151 @@ impl CalvinConfig {
         self.control = Some(control);
         self
     }
+
+    /// Enables the durable log (and with it
+    /// [`CalvinCluster::restart_server`]).
+    pub fn with_durability(mut self, durability: CalvinDurability) -> CalvinConfig {
+        self.durability = Some(durability);
+        self
+    }
+}
+
+/// Swappable server slots shared by the cluster and every
+/// [`CalvinDatabase`] clone, so a restart replaces the one slot everywhere
+/// at once instead of leaving stale `Arc`s pinning a dead server.
+pub(crate) struct CalvinSlots {
+    slots: Vec<RwLock<Arc<CalvinServer>>>,
+}
+
+impl CalvinSlots {
+    fn new(servers: Vec<Arc<CalvinServer>>) -> CalvinSlots {
+        CalvinSlots {
+            slots: servers.into_iter().map(RwLock::new).collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn get(&self, i: usize) -> Arc<CalvinServer> {
+        Arc::clone(&self.slots[i].read())
+    }
+
+    fn set(&self, i: usize, server: Arc<CalvinServer>) {
+        *self.slots[i].write() = server;
+    }
+
+    pub(crate) fn all(&self) -> Vec<Arc<CalvinServer>> {
+        self.slots.iter().map(|s| Arc::clone(&s.read())).collect()
+    }
+}
+
+/// Everything needed to construct a server, kept so
+/// [`CalvinCluster::restart_server`] can rebuild one after a kill.
+struct CalvinRebuild {
+    config: CalvinConfig,
+    batch_duration: Duration,
+    registry: Arc<CalvinRegistry>,
+}
+
+/// What [`build_server`] hands back: the server, its threads, its pacer
+/// gauges (adaptive control only), and its recovery report (durable only).
+type BuiltServer = (
+    Arc<CalvinServer>,
+    Vec<JoinHandle<()>>,
+    Option<Arc<PacerGauges>>,
+    Option<CalvinRecoveryReport>,
+);
+
+/// Builds one server: recovers its durable log (if configured), registers
+/// its endpoint, and spawns its dispatcher, sequencer, scheduler and worker
+/// threads. Used both at cluster start and on restart.
+fn build_server(ctx: &CalvinRebuild, bus: &Bus<CalvinMsg>, i: u16) -> Result<BuiltServer> {
+    let n = ctx.config.servers;
+    let (wal, report) = match &ctx.config.durability {
+        Some(spec) => {
+            let cfg = DurableLogConfig::new(spec.dir.join(format!("server-{i}")))
+                .with_fsync(spec.fsync)
+                .with_segment_bytes(spec.segment_bytes);
+            let (log, recovered) = DurableLog::open(cfg)?;
+            let store = CalvinStore::new();
+            let (report, ring) = durability::replay(ServerId(i), &store, &recovered)?;
+            let wal = CalvinWal {
+                log: Arc::new(log),
+                start_round: report.resume_round,
+                start_seq: report.resume_seq,
+                ring,
+                store,
+            };
+            (Some(wal), Some(report))
+        }
+        None => (None, None),
+    };
+    let endpoint = bus.register(Addr::Server(ServerId(i)));
+    let history = ctx
+        .config
+        .record_history
+        .then(|| Arc::new(CalvinHistory::new()));
+    let exec = Executor::new(format!("calvin-exec-{i}"), ctx.config.exec.clone());
+    let (server, sched_rx, exec_rx) = CalvinServer::new(
+        ServerId(i),
+        n,
+        Arc::clone(&ctx.registry),
+        bus.clone(),
+        exec,
+        history,
+        wal,
+    );
+    let mut threads = Vec::new();
+    let s = Arc::clone(&server);
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("calvin-dispatch-{i}"))
+            .spawn(move || run_dispatcher(s, endpoint))
+            .expect("spawn dispatcher"),
+    );
+    let s = Arc::clone(&server);
+    // Each sequencer owns its pacer: rounds are per-server, so each
+    // controller steers its own batch duration from local pressure.
+    let (pacer, gauges): (Box<dyn Pacer>, Option<Arc<PacerGauges>>) = match &ctx.config.control {
+        Some(control) => {
+            let gauges = Arc::new(PacerGauges::default());
+            let sampled = Arc::clone(&server);
+            let source = move || PacerSample {
+                exec_queue: sampled.exec().queued_now(),
+                backlog: sampled.backlog_len(),
+                batch_occupancy: 0,
+            };
+            let pacer = AdaptivePacer::new(control.pacing.clone(), source, Arc::clone(&gauges))?;
+            (Box::new(pacer), Some(gauges))
+        }
+        None => (Box::new(FixedPacer(ctx.batch_duration)), None),
+    };
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("calvin-seq-{i}"))
+            .spawn(move || run_sequencer(s, pacer))
+            .expect("spawn sequencer"),
+    );
+    let s = Arc::clone(&server);
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("calvin-sched-{i}"))
+            .spawn(move || run_scheduler(s, sched_rx))
+            .expect("spawn scheduler"),
+    );
+    for w in 0..ctx.config.workers_per_server {
+        let s = Arc::clone(&server);
+        let rx = exec_rx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("calvin-worker-{i}-{w}"))
+                .spawn(move || run_worker(s, rx))
+                .expect("spawn worker"),
+        );
+    }
+    Ok((server, threads, gauges, report))
 }
 
 /// Builds a [`CalvinCluster`]: registers programs, then starts.
@@ -127,7 +322,9 @@ impl CalvinClusterBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Config`] for invalid configurations.
+    /// Returns [`Error::Config`] for invalid configurations and
+    /// [`Error::Io`] when a configured durable log cannot be opened (or
+    /// holds damage a clean crash cannot explain).
     pub fn start(self) -> Result<CalvinCluster> {
         let n = self.config.servers;
         if n == 0 {
@@ -150,75 +347,23 @@ impl CalvinClusterBuilder {
             .map(|c| c.pacing.initial)
             .unwrap_or(self.config.batch_duration);
         let bus: Bus<CalvinMsg> = Bus::new(self.config.net.clone());
-        let registry = Arc::new(self.registry);
+        let rebuild = CalvinRebuild {
+            config: self.config,
+            batch_duration,
+            registry: Arc::new(self.registry),
+        };
         let mut servers = Vec::with_capacity(n as usize);
-        let mut threads = Vec::new();
+        let mut server_threads = Vec::with_capacity(n as usize);
         let mut pacer_gauges = Vec::new();
         for i in 0..n {
-            let endpoint = bus.register(Addr::Server(ServerId(i)));
-            let history = self
-                .config
-                .record_history
-                .then(|| Arc::new(CalvinHistory::new()));
-            let exec = Executor::new(format!("calvin-exec-{i}"), self.config.exec.clone());
-            let (server, sched_rx, exec_rx) = CalvinServer::new(
-                ServerId(i),
-                n,
-                Arc::clone(&registry),
-                bus.clone(),
-                exec,
-                history,
-            );
-            let s = Arc::clone(&server);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("calvin-dispatch-{i}"))
-                    .spawn(move || run_dispatcher(s, endpoint))
-                    .expect("spawn dispatcher"),
-            );
-            let s = Arc::clone(&server);
-            // Each sequencer owns its pacer: rounds are per-server, so each
-            // controller steers its own batch duration from local pressure.
-            let pacer: Box<dyn Pacer> = match &self.config.control {
-                Some(control) => {
-                    let gauges = Arc::new(PacerGauges::default());
-                    let sampled = Arc::clone(&server);
-                    let source = move || PacerSample {
-                        exec_queue: sampled.exec().queued_now(),
-                        backlog: sampled.backlog_len(),
-                        batch_occupancy: 0,
-                    };
-                    pacer_gauges.push(Arc::clone(&gauges));
-                    Box::new(AdaptivePacer::new(control.pacing.clone(), source, gauges)?)
-                }
-                None => Box::new(FixedPacer(batch_duration)),
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("calvin-seq-{i}"))
-                    .spawn(move || run_sequencer(s, pacer))
-                    .expect("spawn sequencer"),
-            );
-            let s = Arc::clone(&server);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("calvin-sched-{i}"))
-                    .spawn(move || run_scheduler(s, sched_rx))
-                    .expect("spawn scheduler"),
-            );
-            for w in 0..self.config.workers_per_server {
-                let s = Arc::clone(&server);
-                let rx = exec_rx.clone();
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("calvin-worker-{i}-{w}"))
-                        .spawn(move || run_worker(s, rx))
-                        .expect("spawn worker"),
-                );
-            }
+            let (server, threads, gauges, _) = build_server(&rebuild, &bus, i)?;
             servers.push(server);
+            server_threads.push(threads);
+            if let Some(g) = gauges {
+                pacer_gauges.push(g);
+            }
         }
-        let gates = self
+        let gates = rebuild
             .config
             .control
             .as_ref()
@@ -231,27 +376,32 @@ impl CalvinClusterBuilder {
             })
             .transpose()?;
         Ok(CalvinCluster {
-            servers,
+            servers: Arc::new(CalvinSlots::new(servers)),
             bus,
-            threads,
+            server_threads: Mutex::new(server_threads),
             total: n,
+            rebuild,
             gates,
-            pacer_gauges,
+            pacer_gauges: Mutex::new(pacer_gauges),
         })
     }
 }
 
 /// A running Calvin cluster.
 pub struct CalvinCluster {
-    servers: Vec<Arc<CalvinServer>>,
+    servers: Arc<CalvinSlots>,
     bus: Bus<CalvinMsg>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Thread handles grouped per server, so one server can be torn down
+    /// and rebuilt without disturbing the rest.
+    server_threads: Mutex<Vec<Vec<JoinHandle<()>>>>,
     total: u16,
+    rebuild: CalvinRebuild,
     /// Per-sequencer admission gates (index-aligned with `servers`); `None`
     /// when the control plane is off or gating is disabled.
     gates: Option<Arc<Vec<Arc<AdmissionGate>>>>,
-    /// Live pacer state, one per sequencer (empty without a control plane).
-    pacer_gauges: Vec<Arc<PacerGauges>>,
+    /// Live pacer state, one per sequencer (empty without a control plane);
+    /// a restart replaces the restarted server's entry.
+    pacer_gauges: Mutex<Vec<Arc<PacerGauges>>>,
 }
 
 impl std::fmt::Debug for CalvinCluster {
@@ -271,9 +421,10 @@ impl CalvinCluster {
         }
     }
 
-    /// The servers, indexed by id.
-    pub fn servers(&self) -> &[Arc<CalvinServer>] {
-        &self.servers
+    /// The servers, indexed by id. A snapshot: a concurrent restart swaps
+    /// slots, so re-fetch rather than holding these across one.
+    pub fn servers(&self) -> Vec<Arc<CalvinServer>> {
+        self.servers.all()
     }
 
     /// Number of servers.
@@ -283,10 +434,12 @@ impl CalvinCluster {
 
     /// The most complete per-server record of the merged global order, or
     /// `None` when history recording is off. Under fault injection a
-    /// scheduler that ends mid-disruption may hold a prefix, so the longest
+    /// scheduler that ends mid-disruption may hold a prefix (and a
+    /// restarted server's log restarts at its resume round), so the longest
     /// log is the authoritative schedule.
     pub fn history(&self) -> Option<Vec<crate::msg::CalvinTxn>> {
         self.servers
+            .all()
             .iter()
             .filter_map(|s| s.history().map(|h| h.snapshot()))
             .max_by_key(Vec::len)
@@ -305,7 +458,7 @@ impl CalvinCluster {
     /// A client handle.
     pub fn database(&self) -> CalvinDatabase {
         CalvinDatabase {
-            servers: Arc::new(self.servers.clone()),
+            servers: Arc::clone(&self.servers),
             next: Arc::new(AtomicUsize::new(0)),
             gates: self.gates.clone(),
         }
@@ -315,14 +468,124 @@ impl CalvinCluster {
     /// database for transactions).
     pub fn load(&self, key: Key, value: Value) {
         let owner = key.partition(self.total);
-        self.servers[owner.index()].store().put(key, value);
+        self.servers.get(owner.index()).store().put(key, value);
     }
 
     /// Reads the current value of `key` directly from the owning store.
     /// Intended for quiescent verification, not as a transaction.
     pub fn read(&self, key: &Key) -> Option<Value> {
         let owner = key.partition(self.total);
-        self.servers[owner.index()].store().get(key)
+        self.servers.get(owner.index()).store().get(key)
+    }
+
+    /// Kills one server in place: marks it shut down, drains and joins its
+    /// threads, and seals its durable log (flush + sync), while the rest of
+    /// the cluster keeps running. Peer schedulers stall on the dead
+    /// server's unsealed rounds until [`CalvinCluster::restart_server`]
+    /// brings it back.
+    ///
+    /// Calvin's single-version store cannot reconstruct mid-transaction
+    /// reads, so the supported crash model is quiescent: kill between
+    /// transactions, not with submissions in flight (the ALOHA engine's
+    /// multiversioning is what makes mid-epoch kills recoverable there).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSuchPartition`] for out-of-range ids and
+    /// [`Error::Config`] when the server is already down.
+    pub fn kill_server(&self, id: ServerId) -> Result<()> {
+        let i = id.index();
+        if i >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(id.0)));
+        }
+        let server = self.servers.get(i);
+        if server.is_shutdown() {
+            return Err(Error::Config(format!("server {} is already down", id.0)));
+        }
+        server.mark_shutdown();
+        // The shutdown message must go out while the endpoint is still
+        // registered; deregistering first would error the reliable send and
+        // leave the dispatcher blocked on its queue forever.
+        let _ = self
+            .bus
+            .send_reliable(Addr::Server(id), CalvinMsg::Shutdown);
+        self.bus.deregister(Addr::Server(id));
+        let handles: Vec<_> = self.server_threads.lock()[i].drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+        server.exec().shutdown();
+        if let Some(log) = server.durable_log() {
+            log.close();
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a killed server from its durable log: restores the newest
+    /// checkpoint, replays the Put suffix, resumes the sequencer at the
+    /// highest persisted round + 1, and re-broadcasts the recovered seal
+    /// ring so peer schedulers stalled on this server's rounds unblock. The
+    /// restarted sequencer then burst-seals up to the peers' observed round
+    /// frontier to close the dead-window gap in one tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when durability is off or the server is
+    /// still running, and [`Error::Io`] when the log holds damage a clean
+    /// crash cannot explain (anything beyond a torn final segment).
+    pub fn restart_server(&self, id: ServerId) -> Result<CalvinRecoveryReport> {
+        let i = id.index();
+        if i >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(id.0)));
+        }
+        if self.rebuild.config.durability.is_none() {
+            return Err(Error::Config(
+                "restart requires a durable log (CalvinConfig::with_durability)".into(),
+            ));
+        }
+        if !self.servers.get(i).is_shutdown() {
+            return Err(Error::Config(format!(
+                "server {} is still running; kill it first",
+                id.0
+            )));
+        }
+        let (server, threads, gauges, report) = build_server(&self.rebuild, &self.bus, id.0)?;
+        self.server_threads.lock()[i] = threads;
+        if let Some(g) = gauges {
+            self.pacer_gauges.lock()[i] = g;
+        }
+        self.servers.set(i, server);
+        Ok(report.expect("durability configured implies a recovery report"))
+    }
+
+    /// Checkpoints every live server's store into its durable log and
+    /// truncates covered segments. Intended for quiescent moments (no
+    /// submissions in flight): the store dump and the round watermark are
+    /// only mutually consistent when no write-back races them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when durability is off and [`Error::Io`]
+    /// on filesystem failures.
+    pub fn checkpoint(&self) -> Result<()> {
+        if self.rebuild.config.durability.is_none() {
+            return Err(Error::Config(
+                "checkpoint requires a durable log (CalvinConfig::with_durability)".into(),
+            ));
+        }
+        for server in self.servers.all() {
+            if server.is_shutdown() {
+                continue;
+            }
+            let Some(log) = server.durable_log() else {
+                continue;
+            };
+            let round = server.last_sealed_round() + 1;
+            let blob =
+                durability::encode_checkpoint(round, server.next_seq_watermark(), server.store());
+            log.install_checkpoint(round, &blob)?;
+        }
+        Ok(())
     }
 
     /// A composable statistics snapshot for the whole cluster: summed
@@ -330,13 +593,14 @@ impl CalvinCluster {
     /// every server's raw histogram buckets — never averaged percentiles),
     /// with per-server and network subtrees as children. Uses the same
     /// six-stage schema as the ALOHA engine (§III analogues documented on
-    /// [`crate::server::CalvinStats`]).
+    /// [`crate::server::CalvinStats`]). Durable servers additionally carry
+    /// a `durability` subtree.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut root = StatsSnapshot::new("calvin");
         let mut completed = 0u64;
         let mut scheduled = 0u64;
         let mut merged: [HistogramSnapshot; STAGE_COUNT + 1] = Default::default();
-        for server in &self.servers {
+        for server in self.servers.all() {
             let stats = server.stats();
             completed += stats.completed();
             scheduled += stats.scheduled();
@@ -345,6 +609,9 @@ impl CalvinCluster {
             }
             let mut node = stats.snapshot(format!("server_{}", server.id().0));
             node.push_child(server.exec().stats().snapshot("exec"));
+            if let Some(log) = server.durable_log() {
+                node.push_child(log.stats().snapshot(server.last_sealed_round()));
+            }
             root.push_child(node);
         }
         root.set_counter("completed", completed);
@@ -363,28 +630,27 @@ impl CalvinCluster {
     /// The `control` node of the stats tree: per-sequencer pacer gauges and
     /// summed gate activity. `None` when no control plane is configured.
     fn control_snapshot(&self) -> Option<StatsSnapshot> {
-        if self.pacer_gauges.is_empty() && self.gates.is_none() {
+        let pacer_gauges = self.pacer_gauges.lock();
+        if pacer_gauges.is_empty() && self.gates.is_none() {
             return None;
         }
         let mut node = StatsSnapshot::new("control");
         // Sequencers pace independently; export the widest batch any of them
         // currently runs plus the highest pressure, with per-server children.
-        if !self.pacer_gauges.is_empty() {
-            let widest = self
-                .pacer_gauges
+        if !pacer_gauges.is_empty() {
+            let widest = pacer_gauges
                 .iter()
                 .map(|g| g.epoch_duration_micros.get())
                 .max()
                 .unwrap_or(0);
-            let pressure = self
-                .pacer_gauges
+            let pressure = pacer_gauges
                 .iter()
                 .map(|g| g.pressure_millis.get())
                 .max()
                 .unwrap_or(0);
             node.set_gauge("epoch_duration_micros", widest);
             node.set_gauge("pressure_millis", pressure);
-            for (i, gauges) in self.pacer_gauges.iter().enumerate() {
+            for (i, gauges) in pacer_gauges.iter().enumerate() {
                 let mut child = StatsSnapshot::new(format!("pacer_s{i}"));
                 child.set_gauge("epoch_duration_micros", gauges.epoch_duration_micros.get());
                 child.set_gauge("pressure_millis", gauges.pressure_millis.get());
@@ -417,7 +683,7 @@ impl CalvinCluster {
 
     /// Resets every server's statistics.
     pub fn reset_stats(&self) {
-        for server in &self.servers {
+        for server in self.servers.all() {
             server.stats().reset();
             server.exec().stats().reset();
         }
@@ -434,20 +700,31 @@ impl CalvinCluster {
     }
 
     fn shutdown_inner(&mut self) {
-        for server in &self.servers {
+        let servers = self.servers.all();
+        for server in &servers {
             server.mark_shutdown();
             let _ = self
                 .bus
                 .send_reliable(Addr::Server(server.id()), CalvinMsg::Shutdown);
         }
-        for t in self.threads.drain(..) {
+        let groups: Vec<Vec<JoinHandle<()>>> = self
+            .server_threads
+            .lock()
+            .iter_mut()
+            .map(std::mem::take)
+            .collect();
+        for t in groups.into_iter().flatten() {
             let _ = t.join();
         }
         // Workers are gone, so nothing submits anymore; drain and join the
         // executors (deferred until here so one server's draining tasks can
-        // still get read broadcasts handled by its peers).
-        for server in &self.servers {
+        // still get read broadcasts handled by its peers), then seal the
+        // logs so everything acknowledged is flushed to disk.
+        for server in &servers {
             server.exec().shutdown();
+            if let Some(log) = server.durable_log() {
+                log.close();
+            }
         }
     }
 }
@@ -461,7 +738,7 @@ impl Drop for CalvinCluster {
 /// Client handle: submits transactions round-robin across sequencers.
 #[derive(Clone)]
 pub struct CalvinDatabase {
-    servers: Arc<Vec<Arc<CalvinServer>>>,
+    servers: Arc<CalvinSlots>,
     next: Arc<AtomicUsize>,
     /// Per-sequencer admission gates (`None` on an ungated cluster).
     /// Admission happens before the submission enters the sequencer batch:
@@ -491,17 +768,35 @@ impl CalvinDatabase {
         }
     }
 
-    /// Submits a transaction via a round-robin sequencer.
+    /// Round-robin sequencer choice, skipping killed servers so client
+    /// threads fail over instead of submitting into a dead batch.
+    fn pick_sequencer(&self) -> Arc<CalvinServer> {
+        let n = self.servers.len();
+        for _ in 0..n {
+            let i = self.next.fetch_add(1, Ordering::Relaxed) % n;
+            let server = self.servers.get(i);
+            if !server.is_shutdown() {
+                return server;
+            }
+        }
+        // Everything looks down (or raced a restart): fall back to plain
+        // rotation and let the submission surface the error.
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        self.servers.get(i)
+    }
+
+    /// Submits a transaction via a round-robin sequencer (skipping killed
+    /// servers).
     ///
     /// # Errors
     ///
     /// Fails for unknown programs, or with [`Error::Overloaded`] when the
     /// admission gate sheds.
     pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<CalvinHandle> {
-        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
-        let permit = self.admit(i)?;
+        let server = self.pick_sequencer();
+        let permit = self.admit(server.id().index())?;
         Ok(CalvinHandle {
-            submission: self.servers[i].submit(program, &args.into())?,
+            submission: server.submit(program, &args.into())?,
             _permit: permit,
         })
     }
@@ -519,17 +814,21 @@ impl CalvinDatabase {
     ///
     /// # Errors
     ///
-    /// As [`CalvinDatabase::execute`], plus out-of-range servers.
+    /// As [`CalvinDatabase::execute`], plus out-of-range servers and
+    /// [`Error::ShuttingDown`] when the pinned sequencer is down.
     pub fn execute_at(
         &self,
         origin: ServerId,
         program: ProgramId,
         args: impl Into<Vec<u8>>,
     ) -> Result<CalvinHandle> {
-        let server = self
-            .servers
-            .get(origin.index())
-            .ok_or(Error::NoSuchPartition(PartitionId(origin.0)))?;
+        if origin.index() >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(origin.0)));
+        }
+        let server = self.servers.get(origin.index());
+        if server.is_shutdown() {
+            return Err(Error::ShuttingDown);
+        }
         let permit = self.admit(origin.index())?;
         Ok(CalvinHandle {
             submission: server.submit(program, &args.into())?,

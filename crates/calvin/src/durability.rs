@@ -1,0 +1,361 @@
+//! Durable-log parity for the Calvin baseline (§III-A analogue).
+//!
+//! The ALOHA engine logs installed functors; Calvin's recovery unit is
+//! different because its determinism lives in the *sequencing layer*: a
+//! server that persists (a) every batch it sealed and (b) every local
+//! write-back can rebuild both its partition state and its sequencer
+//! position. Two record kinds therefore go through the shared
+//! [`aloha_storage::DurableLog`]:
+//!
+//! * [`CalvinWalRecord::Seal`] — appended when the sequencer seals a round,
+//!   before the batch is broadcast, and group-committed once per round (the
+//!   batch is Calvin's epoch). A restarted sequencer resumes at the highest
+//!   persisted round + 1 and re-broadcasts the recovered ring so peer
+//!   schedulers stalled on this server's rounds unblock.
+//! * [`CalvinWalRecord::Put`] — appended at worker write-back while the
+//!   transaction still holds its write locks, so per-key log order equals
+//!   per-key lock order and replay is a last-write-wins sweep.
+//!
+//! Seal records carry `round + 1` as their log version and checkpoints are
+//! installed at the same coordinate, so checkpoint truncation retires
+//! exactly the segments whose rounds the snapshot covers. Puts carry
+//! version 0: their coverage is decided by the quiescent checkpoint
+//! discipline (see [`crate::cluster::CalvinCluster::checkpoint`]), not by a
+//! per-record watermark — Calvin's single-version store has no timestamp to
+//! key one on.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aloha_common::codec::{Reader, Writer};
+use aloha_common::{Error, Key, Result, Value};
+use aloha_storage::{DurableLog, RecoveredLog};
+
+use crate::msg::{CalvinTxn, GlobalTxnId};
+use crate::program::ProgramId;
+use crate::store::CalvinStore;
+
+/// Record tag bytes (first byte of every payload).
+const TAG_SEAL: u8 = 1;
+const TAG_PUT: u8 = 2;
+
+/// How many recovered sealed rounds a restarted server keeps for
+/// re-broadcast; matches the in-memory ring so a restart recovers the same
+/// window a fault-injection re-send would.
+const RECOVERED_RING: usize = 32;
+
+/// One durable log record of the Calvin engine.
+#[derive(Debug, Clone)]
+pub enum CalvinWalRecord {
+    /// A sealed sequencing round and the transactions it contained.
+    Seal {
+        /// The round number.
+        round: u64,
+        /// The batch sealed for that round.
+        txns: Vec<CalvinTxn>,
+    },
+    /// One local write-back, logged under the transaction's write lock.
+    Put {
+        /// The written key.
+        key: Key,
+        /// The written value.
+        value: Value,
+    },
+}
+
+impl CalvinWalRecord {
+    /// The log version coordinate this record is appended under.
+    pub fn version(&self) -> u64 {
+        match self {
+            // +1 keeps round 0 distinguishable from the version-0 puts.
+            CalvinWalRecord::Seal { round, .. } => round + 1,
+            CalvinWalRecord::Put { .. } => 0,
+        }
+    }
+
+    /// Encodes the record payload (version travels in the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            CalvinWalRecord::Seal { round, txns } => {
+                w.put_u8(TAG_SEAL)
+                    .put_u64(*round)
+                    .put_u32(txns.len() as u32);
+                for txn in txns {
+                    w.put_u16(txn.id.origin.0)
+                        .put_u64(txn.id.seq)
+                        .put_u32(txn.program.0)
+                        .put_bytes(&txn.args);
+                }
+            }
+            CalvinWalRecord::Put { key, value } => {
+                w.put_u8(TAG_PUT)
+                    .put_bytes(key.as_bytes())
+                    .put_bytes(value.as_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one record payload.
+    ///
+    /// Replayed transactions get a fresh `submitted_at` — the original
+    /// instant died with the process, and only latency accounting reads it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] for truncated or unknown payloads.
+    pub fn decode(payload: &[u8]) -> Result<CalvinWalRecord> {
+        let mut r = Reader::new(payload);
+        match r.get_u8()? {
+            TAG_SEAL => {
+                let round = r.get_u64()?;
+                let count = r.get_u32()? as usize;
+                let mut txns = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let origin = aloha_common::ServerId(r.get_u16()?);
+                    let seq = r.get_u64()?;
+                    let program = ProgramId(r.get_u32()?);
+                    let args = r.get_bytes()?.to_vec();
+                    txns.push(CalvinTxn {
+                        id: GlobalTxnId { origin, seq },
+                        program,
+                        args,
+                        submitted_at: Instant::now(),
+                    });
+                }
+                Ok(CalvinWalRecord::Seal { round, txns })
+            }
+            TAG_PUT => {
+                let key = Key::new(r.get_bytes()?.to_vec());
+                let value = Value::new(r.get_bytes()?.to_vec());
+                Ok(CalvinWalRecord::Put { key, value })
+            }
+            tag => Err(Error::Codec(format!("unknown calvin wal record tag {tag}"))),
+        }
+    }
+}
+
+/// Encodes a Calvin checkpoint blob: the resume round (every round *below*
+/// it is covered — i.e. last sealed round + 1), the next local submission
+/// sequence number, and the full store dump. The round and sequence ride
+/// inside the blob so a restarted server can resume both coordinates even
+/// when truncation removed every Seal record — reusing a sequence number
+/// would collide with [`crate::msg::GlobalTxnId`]s the peers have already
+/// retired, and they would silently drop the new transaction's exchange
+/// and completion messages.
+pub fn encode_checkpoint(round: u64, next_seq: u64, store: &CalvinStore) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(round).put_u64(next_seq);
+    let entries = store.dump();
+    w.put_u32(entries.len() as u32);
+    for (key, value) in &entries {
+        w.put_bytes(key.as_bytes()).put_bytes(value.as_bytes());
+    }
+    w.into_bytes()
+}
+
+/// A decoded checkpoint blob: `(resume_round, next_seq, store entries)`.
+pub type CheckpointContents = (u64, u64, Vec<(Key, Value)>);
+
+/// Decodes a checkpoint blob into [`CheckpointContents`].
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] for truncated blobs.
+pub fn decode_checkpoint(blob: &[u8]) -> Result<CheckpointContents> {
+    let mut r = Reader::new(blob);
+    let round = r.get_u64()?;
+    let next_seq = r.get_u64()?;
+    let count = r.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = Key::new(r.get_bytes()?.to_vec());
+        let value = Value::new(r.get_bytes()?.to_vec());
+        entries.push((key, value));
+    }
+    Ok((round, next_seq, entries))
+}
+
+/// One recovered sealed round: `(round, batch)`, ring material for
+/// post-restart re-broadcast.
+pub(crate) type SealedRound = (u64, Vec<CalvinTxn>);
+
+/// Everything a Calvin server needs from its recovered log, produced by
+/// [`replay`] and consumed at server construction.
+pub(crate) struct CalvinWal {
+    /// The reopened log (fresh live segment; recovered bytes untouched).
+    pub log: Arc<DurableLog>,
+    /// First round the restarted sequencer seals (highest persisted + 1).
+    pub start_round: u64,
+    /// First local submission sequence number this incarnation assigns
+    /// (past every persisted own-origin sequence, so no
+    /// [`crate::msg::GlobalTxnId`] is ever reused).
+    pub start_seq: u64,
+    /// Recovered sealed rounds, oldest first, seeded into the re-broadcast
+    /// ring so stalled peer schedulers unblock after the restart.
+    pub ring: Vec<SealedRound>,
+    /// The partition store rebuilt from checkpoint + Put replay.
+    pub store: CalvinStore,
+}
+
+/// What a Calvin recovery pass did, surfaced by
+/// [`crate::cluster::CalvinCluster::restart_server`].
+#[derive(Debug, Clone)]
+pub struct CalvinRecoveryReport {
+    /// First round *not* covered by the restored checkpoint (0 when none
+    /// existed).
+    pub checkpoint_round: u64,
+    /// Round the restarted sequencer resumes at.
+    pub resume_round: u64,
+    /// Local submission sequence the restarted server resumes at (no
+    /// pre-crash `GlobalTxnId` is reused — peers have retired those ids and
+    /// would drop the new transaction's messages).
+    pub resume_seq: u64,
+    /// Put records replayed onto the restored store.
+    pub replayed_puts: usize,
+    /// Whether recovery stopped at a torn final segment (the expected crash
+    /// artifact; the valid prefix was applied).
+    pub torn_tail: bool,
+}
+
+/// Rebuilds a partition store and sequencer state from a recovered log.
+///
+/// Applies the checkpoint dump first, then every surviving Put in log order
+/// (per-key log order equals lock order, so a last-write-wins sweep lands on
+/// the pre-crash state), and collects the Seal trail for the resume round
+/// and the re-broadcast ring.
+///
+/// # Errors
+///
+/// Refuses [`aloha_storage::LogDamage::Corrupt`] logs with [`Error::Io`]
+/// (a torn tail on the final segment is tolerated), and propagates codec
+/// errors from checkpoint or record payloads.
+pub(crate) fn replay(
+    id: aloha_common::ServerId,
+    store: &CalvinStore,
+    recovered: &RecoveredLog,
+) -> Result<(CalvinRecoveryReport, Vec<SealedRound>)> {
+    if let Some(damage @ aloha_storage::LogDamage::Corrupt { .. }) = &recovered.damage {
+        return Err(Error::Io(format!("wal recovery refused: {damage}")));
+    }
+    let mut checkpoint_round = 0;
+    let mut next_seq = 0;
+    if let Some((_, blob)) = &recovered.checkpoint {
+        let (round, seq, entries) = decode_checkpoint(blob)?;
+        checkpoint_round = round;
+        next_seq = seq;
+        for (key, value) in entries {
+            store.put(key, value);
+        }
+    }
+    let mut replayed_puts = 0;
+    let mut max_round = checkpoint_round;
+    let mut ring: VecDeque<SealedRound> = VecDeque::new();
+    for (_, payload) in &recovered.records {
+        match CalvinWalRecord::decode(payload)? {
+            CalvinWalRecord::Put { key, value } => {
+                store.put(key, value);
+                replayed_puts += 1;
+            }
+            CalvinWalRecord::Seal { round, txns } => {
+                max_round = max_round.max(round + 1);
+                // Under the quiescent crash model every assigned sequence
+                // number was sealed, so the Seal trail bounds them all.
+                for txn in &txns {
+                    if txn.id.origin == id {
+                        next_seq = next_seq.max(txn.id.seq + 1);
+                    }
+                }
+                ring.push_back((round, txns));
+                if ring.len() > RECOVERED_RING {
+                    ring.pop_front();
+                }
+            }
+        }
+    }
+    let report = CalvinRecoveryReport {
+        checkpoint_round,
+        resume_round: max_round,
+        resume_seq: next_seq,
+        replayed_puts,
+        torn_tail: recovered.damage.is_some(),
+    };
+    Ok((report, ring.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(origin: u16, seq: u64, args: &[u8]) -> CalvinTxn {
+        CalvinTxn {
+            id: GlobalTxnId {
+                origin: aloha_common::ServerId(origin),
+                seq,
+            },
+            program: ProgramId(7),
+            args: args.to_vec(),
+            submitted_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn seal_record_round_trips() {
+        let rec = CalvinWalRecord::Seal {
+            round: 42,
+            txns: vec![txn(1, 9, b"abc"), txn(0, 3, b"")],
+        };
+        let decoded = CalvinWalRecord::decode(&rec.encode()).unwrap();
+        match decoded {
+            CalvinWalRecord::Seal { round, txns } => {
+                assert_eq!(round, 42);
+                assert_eq!(txns.len(), 2);
+                assert_eq!(txns[0].id.seq, 9);
+                assert_eq!(txns[0].args, b"abc");
+                assert_eq!(txns[1].id.origin.0, 0);
+            }
+            other => panic!("expected seal, got {other:?}"),
+        }
+        assert_eq!(rec.version(), 43);
+    }
+
+    #[test]
+    fn put_record_round_trips() {
+        let rec = CalvinWalRecord::Put {
+            key: Key::from("k"),
+            value: Value::from_i64(5),
+        };
+        assert_eq!(rec.version(), 0);
+        match CalvinWalRecord::decode(&rec.encode()).unwrap() {
+            CalvinWalRecord::Put { key, value } => {
+                assert_eq!(key, Key::from("k"));
+                assert_eq!(value.as_i64(), Some(5));
+            }
+            other => panic!("expected put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_a_codec_error_not_a_panic() {
+        assert!(CalvinWalRecord::decode(&[0xEE]).is_err());
+        assert!(CalvinWalRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_blob_round_trips() {
+        let store = CalvinStore::new();
+        store.put(Key::from("a"), Value::from_i64(1));
+        store.put(Key::from("b"), Value::from_i64(2));
+        let blob = encode_checkpoint(17, 23, &store);
+        let (round, next_seq, entries) = decode_checkpoint(&blob).unwrap();
+        assert_eq!(round, 17);
+        assert_eq!(next_seq, 23);
+        assert_eq!(entries.len(), 2);
+        // Dump is sorted, so the blob (and any byte-compare of it) is
+        // deterministic.
+        assert_eq!(entries[0].0, Key::from("a"));
+        assert_eq!(blob, encode_checkpoint(17, 23, &store));
+    }
+}

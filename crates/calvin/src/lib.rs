@@ -53,6 +53,7 @@
 //! ```
 
 pub mod cluster;
+pub mod durability;
 pub mod exchange;
 pub mod lock;
 pub mod msg;
@@ -61,8 +62,10 @@ pub mod server;
 pub mod store;
 
 pub use cluster::{
-    CalvinCluster, CalvinClusterBuilder, CalvinConfig, CalvinDatabase, CalvinHandle,
+    CalvinCluster, CalvinClusterBuilder, CalvinConfig, CalvinDatabase, CalvinDurability,
+    CalvinHandle,
 };
+pub use durability::{CalvinRecoveryReport, CalvinWalRecord};
 pub use lock::{LockManager, LockMode};
 pub use msg::{CalvinMsg, CalvinTxn, GlobalTxnId};
 pub use program::{fn_program, CalvinPlan, CalvinProgram, CalvinRegistry, ProgramId};

@@ -14,9 +14,11 @@ use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{HistoryLog, Key, Result, ServerId, Value};
 use aloha_control::Pacer;
 use aloha_net::{reply_pair, Addr, Bus, Endpoint, Executor, ReplyHandle};
+use aloha_storage::DurableLog;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::durability::{CalvinWal, CalvinWalRecord};
 use crate::exchange::{PendingCompletions, ReadExchange};
 use crate::lock::{LockManager, LockMode};
 use crate::msg::{CalvinMsg, CalvinTxn, GlobalTxnId};
@@ -161,6 +163,19 @@ pub struct CalvinServer {
     recent_execs: Mutex<VecDeque<RecentExec>>,
     /// The merged global order, recorded when history recording is on.
     history: Option<Arc<CalvinHistory>>,
+    /// Durable log (`None` on an in-memory-only cluster). Seal records go
+    /// through it at sequencer ticks, Put records at worker write-back.
+    log: Option<Arc<DurableLog>>,
+    /// First round this incarnation seals and merges. `0` on a fresh
+    /// server; recovered-round + 1 after a restart (earlier rounds are
+    /// already reflected in the replayed store and must not re-execute).
+    start_round: u64,
+    /// Highest round observed in any peer's `Batch`. A restarted sequencer
+    /// burst-seals up to this frontier so peer schedulers stalled on this
+    /// server's missing rounds unblock within one tick.
+    max_peer_round: AtomicU64,
+    /// Highest round this server sealed; the checkpoint coordinate.
+    last_sealed_round: AtomicU64,
 }
 
 impl std::fmt::Debug for CalvinServer {
@@ -179,6 +194,7 @@ impl CalvinServer {
         bus: Bus<CalvinMsg>,
         exec: Executor,
         history: Option<Arc<CalvinHistory>>,
+        wal: Option<CalvinWal>,
     ) -> (
         Arc<CalvinServer>,
         Receiver<SchedulerEvent>,
@@ -186,33 +202,46 @@ impl CalvinServer {
     ) {
         let (sched_tx, sched_rx) = crossbeam::channel::unbounded();
         let (exec_tx, exec_rx) = crossbeam::channel::unbounded();
+        let (log, start_round, start_seq, ring, store) = match wal {
+            Some(w) => (Some(w.log), w.start_round, w.start_seq, w.ring, w.store),
+            None => (None, 0, 0, Vec::new(), CalvinStore::new()),
+        };
         let server = Arc::new(CalvinServer {
             id,
             total,
-            store: CalvinStore::new(),
+            store,
             registry,
             bus,
             exchange: ReadExchange::new(),
             completions: PendingCompletions::new(),
             submissions: Mutex::new(Vec::new()),
-            next_seq: AtomicU64::new(0),
+            // Resuming past every persisted sequence keeps GlobalTxnIds
+            // unique across incarnations: peers have retired the pre-crash
+            // ids and silently drop messages that reuse them.
+            next_seq: AtomicU64::new(start_seq),
             sched_tx,
             exec_tx,
             exec,
             stats: CalvinStats::default(),
             shutdown: AtomicBool::new(false),
             rpc_timeout: Duration::from_secs(30),
-            sealed_rounds: Mutex::new(VecDeque::new()),
+            sealed_rounds: Mutex::new(ring.into()),
             recent_execs: Mutex::new(VecDeque::new()),
             history,
+            log,
+            start_round,
+            max_peer_round: AtomicU64::new(0),
+            last_sealed_round: AtomicU64::new(start_round.saturating_sub(1)),
         });
         (server, sched_rx, exec_rx)
     }
 
-    /// Whether loss-recovery re-broadcasts are active (only under fault
-    /// injection; the ordinary reliable bus needs none of it).
+    /// Whether loss-recovery re-broadcasts are active: under fault
+    /// injection, and on durable clusters (a restarted server depends on
+    /// its peers' ring re-broadcasts to recover the rounds it missed while
+    /// down, and on its own to unstall peers waiting on its rounds).
     fn resend_enabled(&self) -> bool {
-        self.bus.fault_plan().is_some()
+        self.log.is_some() || self.bus.fault_plan().is_some()
     }
 
     /// This server's record of the merged global order (present when history
@@ -229,6 +258,32 @@ impl CalvinServer {
     /// This server's partition store.
     pub fn store(&self) -> &CalvinStore {
         &self.store
+    }
+
+    /// This server's durable log, when durability is configured.
+    pub fn durable_log(&self) -> Option<&Arc<DurableLog>> {
+        self.log.as_ref()
+    }
+
+    /// Highest round this server has sealed.
+    pub fn last_sealed_round(&self) -> u64 {
+        self.last_sealed_round.load(Ordering::Relaxed)
+    }
+
+    /// The next local submission sequence number (the checkpoint persists
+    /// it so a restart never reuses a `GlobalTxnId`).
+    pub(crate) fn next_seq_watermark(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// First round this incarnation seals (non-zero after a restart).
+    pub(crate) fn start_round(&self) -> u64 {
+        self.start_round
+    }
+
+    /// Highest round observed from any peer sequencer.
+    pub(crate) fn max_peer_round(&self) -> u64 {
+        self.max_peer_round.load(Ordering::Relaxed)
     }
 
     /// This server's metrics.
@@ -317,6 +372,18 @@ impl CalvinServer {
     /// one tick of the fault clearing.
     pub(crate) fn seal_batch(&self, round: u64) {
         let txns = std::mem::take(&mut *self.submissions.lock());
+        // Persist the sealed round before anyone hears about it, then group
+        // commit: the batch is Calvin's epoch, so one flush/fsync per round
+        // mirrors the ALOHA engine's epoch group commit.
+        if let Some(log) = &self.log {
+            let record = CalvinWalRecord::Seal {
+                round,
+                txns: txns.clone(),
+            };
+            let _ = log.append(record.version(), &record.encode());
+            let _ = log.commit();
+        }
+        self.last_sealed_round.fetch_max(round, Ordering::Relaxed);
         if !self.resend_enabled() {
             for i in 0..self.total {
                 let msg = CalvinMsg::Batch {
@@ -433,6 +500,9 @@ pub(crate) fn run_dispatcher(server: Arc<CalvinServer>, endpoint: Endpoint<Calvi
     while let Ok(msg) = endpoint.recv() {
         match msg {
             CalvinMsg::Batch { from, round, txns } => {
+                if from != server.id {
+                    server.max_peer_round.fetch_max(round, Ordering::Relaxed);
+                }
                 let _ = server
                     .sched_tx
                     .send(SchedulerEvent::Batch { from, round, txns });
@@ -453,10 +523,21 @@ pub(crate) fn run_dispatcher(server: Arc<CalvinServer>, endpoint: Endpoint<Calvi
 /// paper's constant 20 ms batches; an adaptive pacer steers the duration
 /// from live backlog pressure).
 pub(crate) fn run_sequencer(server: Arc<CalvinServer>, mut pacer: Box<dyn Pacer>) {
-    let mut round = 0u64;
+    let mut round = server.start_round();
     while !server.is_shutdown() {
         std::thread::sleep(pacer.next_duration());
         let seal_started = Instant::now();
+        // Burst catch-up: peers kept sealing while this server was down, and
+        // every scheduler in the cluster stalls until this server's batches
+        // for those rounds exist. Sealing one round per tick would leave the
+        // whole pipeline a dead-window behind forever; sealing up to the
+        // observed peer frontier in one burst closes the gap immediately
+        // (the burst rounds are empty — fresh submissions ride the last).
+        let frontier = server.max_peer_round();
+        while round < frontier && !server.is_shutdown() {
+            server.seal_batch(round);
+            round += 1;
+        }
         server.seal_batch(round);
         // Sealing + broadcasting is the sequencer's switch overhead.
         pacer.observe_switch(seal_started.elapsed());
@@ -477,7 +558,10 @@ struct ActiveTxn {
 pub(crate) fn run_scheduler(server: Arc<CalvinServer>, events: Receiver<SchedulerEvent>) {
     let mut locks = LockManager::new();
     let mut rounds: HashMap<u64, HashMap<ServerId, Vec<CalvinTxn>>> = HashMap::new();
-    let mut next_round = 0u64;
+    // A restarted scheduler must not re-merge rounds the replayed store
+    // already reflects: re-executing them would double-apply writes and
+    // block on read broadcasts no peer will re-send.
+    let mut next_round = server.start_round();
     let mut next_local_seq = 0u64;
     let mut active: HashMap<u64, ActiveTxn> = HashMap::new();
 
@@ -749,9 +833,27 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
     let exec_started = Instant::now();
     let mut writes = Vec::new();
     program.execute(&task.txn.args, &reads, &mut writes);
+    // Write-back happens while this transaction still holds its write
+    // locks, so appending the Put records here (one atomic batch) keeps
+    // per-key log order equal to per-key lock order — replay is then a
+    // last-write-wins sweep. A closed log (this server being killed) drops
+    // the batch whole, never half of it.
+    let mut frames = Vec::new();
     for (key, value) in writes {
         if server.owner_of(&key) == server.id {
+            if server.log.is_some() {
+                let record = CalvinWalRecord::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                };
+                frames.push((record.version(), record.encode()));
+            }
             server.store.put(key, value);
+        }
+    }
+    if let Some(log) = &server.log {
+        if !frames.is_empty() {
+            let _ = log.append_batch(&frames);
         }
     }
     server.stats.tracer.record_stage(

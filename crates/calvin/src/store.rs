@@ -66,6 +66,24 @@ impl CalvinStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every entry, sorted by key: the deterministic snapshot checkpoints
+    /// serialize. Intended for quiescent use (checkpoint, verification) —
+    /// it read-locks each shard in turn, not the whole store at once.
+    pub fn dump(&self) -> Vec<(Key, Value)> {
+        let mut entries: Vec<(Key, Value)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
 }
 
 impl Default for CalvinStore {

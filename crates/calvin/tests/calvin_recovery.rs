@@ -1,0 +1,249 @@
+//! Calvin kill-and-restart recovery: the baseline's durable-log parity.
+//!
+//! Calvin's supported crash model is quiescent (kill between transactions,
+//! not with submissions in flight) because its single-version store cannot
+//! reconstruct mid-transaction reads — see `CalvinCluster::kill_server`.
+
+use std::time::Duration;
+
+use aloha_common::tempdir::TempDir;
+use aloha_common::{Key, ServerId, Value};
+use calvin::{fn_program, CalvinCluster, CalvinConfig, CalvinDurability, CalvinPlan, ProgramId};
+
+fn durable_config(servers: u16, dir: &TempDir) -> CalvinConfig {
+    CalvinConfig::new(servers)
+        .with_batch_duration(Duration::from_millis(2))
+        .with_durability(CalvinDurability::new(dir.path()))
+}
+
+fn keys_on_partition(partition: u16, total: u16, count: usize) -> Vec<Key> {
+    (0..)
+        .map(|i: u32| Key::from_parts(&[b"cr", &i.to_be_bytes()]))
+        .filter(|k| k.partition(total).0 == partition)
+        .take(count)
+        .collect()
+}
+
+/// args = key bytes; increments that key by one (missing key counts as 0).
+fn increment_program() -> impl calvin::CalvinProgram {
+    fn_program(
+        |args| {
+            let key = Key::from(args);
+            CalvinPlan {
+                read_set: vec![key.clone()],
+                write_set: vec![key],
+            }
+        },
+        |args, reads, writes| {
+            let key = Key::from(args);
+            let old = reads
+                .get(&key)
+                .and_then(|v| v.as_ref())
+                .and_then(Value::as_i64)
+                .unwrap_or(0);
+            writes.push((key, Value::from_i64(old + 1)));
+        },
+    )
+}
+
+/// Runs `count` increments of `key` through `db` and waits for all of them,
+/// so the cluster is quiescent when this returns.
+fn increment_n(db: &calvin::CalvinDatabase, key: &Key, count: usize) {
+    let handles: Vec<_> = (0..count)
+        .map(|_| db.execute(ProgramId(1), key.as_bytes()).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+}
+
+#[test]
+fn kill_and_restart_recovers_checkpoint_plus_wal_suffix() {
+    let dir = TempDir::new("calvin-restart");
+    let total = 2u16;
+    let mut builder = CalvinCluster::builder(durable_config(total, &dir));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    let k0 = keys_on_partition(0, total, 1).remove(0);
+    let k1 = keys_on_partition(1, total, 1).remove(0);
+    let db = cluster.database();
+
+    // Phase 1: state that ends up inside the checkpoint blob.
+    increment_n(&db, &k0, 20);
+    increment_n(&db, &k1, 20);
+    cluster.checkpoint().unwrap();
+    // Phase 2: state that only survives via the WAL suffix.
+    increment_n(&db, &k0, 10);
+    increment_n(&db, &k1, 10);
+
+    cluster.kill_server(ServerId(0)).unwrap();
+    let report = cluster.restart_server(ServerId(0)).unwrap();
+    assert!(
+        report.checkpoint_round > 0,
+        "restored state must include the installed checkpoint: {report:?}"
+    );
+    assert!(
+        report.resume_round >= report.checkpoint_round,
+        "sequencer resumes at or past the checkpoint: {report:?}"
+    );
+    // Partition 0 took 10 post-checkpoint write-backs (phase 2 on k0).
+    assert!(
+        report.replayed_puts >= 10,
+        "WAL suffix replay missing puts: {report:?}"
+    );
+
+    // Recovered state equals checkpoint + WAL-suffix replay: all 30
+    // increments per key survive the kill.
+    assert_eq!(cluster.read(&k0).unwrap().as_i64(), Some(30));
+    assert_eq!(cluster.read(&k1).unwrap().as_i64(), Some(30));
+
+    // Liveness: the restarted server sequences and executes new work.
+    increment_n(&db, &k0, 10);
+    increment_n(&db, &k1, 10);
+    assert_eq!(cluster.read(&k0).unwrap().as_i64(), Some(40));
+    assert_eq!(cluster.read(&k1).unwrap().as_i64(), Some(40));
+
+    let snapshot = cluster.snapshot();
+    let server0 = snapshot.child("server_0").expect("server_0 subtree");
+    assert!(
+        server0.child("durability").is_some(),
+        "durable server exports a durability stats subtree"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn pinned_submissions_fail_over_while_a_server_is_down() {
+    let dir = TempDir::new("calvin-failover");
+    let total = 2u16;
+    let mut builder = CalvinCluster::builder(durable_config(total, &dir));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    let k1 = keys_on_partition(1, total, 1).remove(0);
+    let db = cluster.database();
+    increment_n(&db, &k1, 5);
+
+    cluster.kill_server(ServerId(0)).unwrap();
+    // Pinning the dead sequencer is an explicit error; the round-robin
+    // path must skip it rather than submit into a dead batch.
+    assert!(matches!(
+        db.execute_at(ServerId(0), ProgramId(1), k1.as_bytes()),
+        Err(aloha_common::Error::ShuttingDown)
+    ));
+    for _ in 0..4 {
+        // Every round-robin pick lands on the surviving sequencer.
+        let h = db.execute(ProgramId(1), k1.as_bytes()).unwrap();
+        drop(h); // resolution needs server 0's rounds; only submission is asserted
+    }
+
+    cluster.restart_server(ServerId(0)).unwrap();
+    increment_n(&db, &k1, 5);
+    assert!(cluster.read(&k1).unwrap().as_i64().unwrap() >= 10);
+    cluster.shutdown();
+}
+
+#[test]
+fn cold_restart_replays_wal_without_checkpoint() {
+    let dir = TempDir::new("calvin-cold");
+    let total = 2u16;
+    let k0 = keys_on_partition(0, total, 1).remove(0);
+    let k1 = keys_on_partition(1, total, 1).remove(0);
+    {
+        let mut builder = CalvinCluster::builder(durable_config(total, &dir));
+        builder.register_program(ProgramId(1), increment_program());
+        let cluster = builder.start().unwrap();
+        let db = cluster.database();
+        increment_n(&db, &k0, 7);
+        increment_n(&db, &k1, 7);
+        cluster.shutdown();
+    }
+    // A brand-new cluster over the same directory rebuilds every partition
+    // from Put replay alone (no checkpoint was ever installed).
+    let mut builder = CalvinCluster::builder(durable_config(total, &dir));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    assert_eq!(cluster.read(&k0).unwrap().as_i64(), Some(7));
+    assert_eq!(cluster.read(&k1).unwrap().as_i64(), Some(7));
+    let db = cluster.database();
+    increment_n(&db, &k0, 3);
+    assert_eq!(cluster.read(&k0).unwrap().as_i64(), Some(10));
+    cluster.shutdown();
+}
+
+#[test]
+fn corrupted_wal_refuses_restart() {
+    let dir = TempDir::new("calvin-corrupt");
+    let total = 2u16;
+    let mut builder = CalvinCluster::builder(durable_config(total, &dir));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    let k0 = keys_on_partition(0, total, 1).remove(0);
+    let db = cluster.database();
+    increment_n(&db, &k0, 8);
+    cluster.kill_server(ServerId(0)).unwrap();
+
+    // Flip a byte in the middle of server 0's first segment: damage a clean
+    // crash cannot explain, so recovery must refuse rather than silently
+    // resurrect partial state.
+    let seg = std::fs::read_dir(dir.path().join("server-0"))
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .min()
+        .expect("at least one wal segment");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let err = cluster.restart_server(ServerId(0)).unwrap_err();
+    assert!(
+        matches!(err, aloha_common::Error::Io(ref msg) if msg.contains("refused")),
+        "corruption must refuse recovery, got {err:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn restart_and_checkpoint_require_durability() {
+    let mut builder =
+        CalvinCluster::builder(CalvinConfig::new(1).with_batch_duration(Duration::from_millis(2)));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    assert!(matches!(
+        cluster.checkpoint(),
+        Err(aloha_common::Error::Config(_))
+    ));
+    cluster.kill_server(ServerId(0)).unwrap();
+    assert!(matches!(
+        cluster.restart_server(ServerId(0)),
+        Err(aloha_common::Error::Config(_))
+    ));
+    cluster.shutdown();
+}
+
+#[test]
+fn kill_and_restart_argument_errors() {
+    let dir = TempDir::new("calvin-args");
+    let mut builder = CalvinCluster::builder(durable_config(1, &dir));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    assert!(matches!(
+        cluster.kill_server(ServerId(9)),
+        Err(aloha_common::Error::NoSuchPartition(_))
+    ));
+    assert!(matches!(
+        cluster.restart_server(ServerId(9)),
+        Err(aloha_common::Error::NoSuchPartition(_))
+    ));
+    assert!(matches!(
+        cluster.restart_server(ServerId(0)),
+        Err(aloha_common::Error::Config(_))
+    ));
+    cluster.kill_server(ServerId(0)).unwrap();
+    assert!(matches!(
+        cluster.kill_server(ServerId(0)),
+        Err(aloha_common::Error::Config(_))
+    ));
+    cluster.shutdown();
+}

@@ -55,6 +55,8 @@ pub enum Error {
         /// Suggested client back-off before resubmitting.
         retry_after: std::time::Duration,
     },
+    /// A durable-storage operation failed at the filesystem layer.
+    Io(String),
     /// A component was asked to do work after shutdown.
     ShuttingDown,
     /// Invalid configuration detected at construction time.
@@ -107,6 +109,7 @@ impl fmt::Display for Error {
                 "overloaded, retry after {}us",
                 crate::metrics::duration_micros(*retry_after)
             ),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::ShuttingDown => write!(f, "component is shutting down"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Timeout(what) => write!(f, "timed out waiting for {what}"),

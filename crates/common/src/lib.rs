@@ -28,6 +28,7 @@ pub mod json;
 pub mod key;
 pub mod metrics;
 pub mod stats;
+pub mod tempdir;
 pub mod timestamp;
 
 pub use clock::{Clock, ManualClock, SkewedClock, SystemClock};

@@ -1,0 +1,95 @@
+//! Self-cleaning scratch directories for tests and benchmarks.
+//!
+//! The workspace carries no `tempfile` dependency, so durable-log tests and
+//! the durability ablation hand-roll their scratch space here: a uniquely
+//! named directory under the system temp root that is removed on drop.
+//! Tier-1 runs must not leave stray WAL segments behind.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp root, removed on drop.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::tempdir::TempDir;
+///
+/// let dir = TempDir::new("doc");
+/// assert!(dir.path().is_dir());
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh scratch directory tagged with `tag`.
+    ///
+    /// Uniqueness comes from the process id plus a process-wide counter, so
+    /// concurrent tests (and concurrent test *processes*) never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — scratch space is a test
+    /// precondition, not a recoverable failure.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT_SCRATCH.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("aloha-{tag}-{pid}-{n}", pid = std::process::id()));
+        std::fs::create_dir_all(&path).expect("create scratch directory");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A child path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed cleanup must not turn a passing test into a
+        // panic-in-drop abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_are_unique_and_removed() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        assert!(pa.is_dir());
+        assert!(pb.is_dir());
+        drop(a);
+        drop(b);
+        assert!(!pa.exists());
+        assert!(!pb.exists());
+    }
+
+    #[test]
+    fn cleanup_is_recursive() {
+        let d = TempDir::new("deep");
+        std::fs::create_dir_all(d.join("a/b")).unwrap();
+        std::fs::write(d.join("a/b/wal-0.log"), b"x").unwrap();
+        let p = d.path().to_path_buf();
+        drop(d);
+        assert!(!p.exists());
+    }
+}

@@ -1,7 +1,8 @@
 //! Cluster assembly: servers + epoch manager + bus, and the client-facing
 //! [`Database`] handle.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -13,15 +14,19 @@ use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
 use aloha_control::{
     AccessKind, AdaptivePacer, AdmissionGate, ControlConfig, PacerGauges, PacerSample, Permit,
 };
-use aloha_epoch::{EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
+use aloha_epoch::{EpochClient, EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
 use aloha_net::{Addr, BatchConfig, Batcher, Bus, Endpoint, ExecConfig, Executor, NetConfig};
-use aloha_storage::Partition;
+use aloha_storage::{DurableLog, DurableLogConfig, Fsync, LogDamage, Partition, RecoveredLog};
+use crossbeam::channel::Receiver;
+use parking_lot::{Mutex, RwLock};
 
 use crate::checker::History;
 use crate::msg::ServerMsg;
 use crate::program::{ProgramId, ProgramRegistry, TxnProgram};
-use crate::server::{run_dispatcher, run_processor, Server, TxnHandle, TxnOutcome};
+use crate::server::{
+    run_dispatcher, run_processor, MemWal, QueueEntry, Server, TxnHandle, TxnOutcome, WalSink,
+};
 
 /// Cluster-wide configuration.
 ///
@@ -62,9 +67,15 @@ pub struct ClusterConfig {
     /// store does during experiments.
     pub gc: Option<GcConfig>,
     /// Log every install/rollback of the write-only phase to a per-server
-    /// write-ahead log (§III-A). Off by default, matching the paper's
-    /// fault-tolerance-disabled evaluation configuration.
+    /// in-memory write-ahead log (§III-A). Off by default, matching the
+    /// paper's fault-tolerance-disabled evaluation configuration. For a
+    /// crash-durable on-disk log see [`ClusterConfig::with_durable_log`],
+    /// which supersedes this flag.
     pub durable: bool,
+    /// Crash-durable write-ahead logging: per-server segment files with
+    /// epoch group commit and checkpoint truncation. `None` (the default)
+    /// keeps the WAL in memory (or off, per [`ClusterConfig::durable`]).
+    pub durable_log: Option<DurableLogSpec>,
     /// Mirror every install to the next server in the ring before
     /// acknowledging it (§III-A replication, tolerating a single crash).
     /// Off by default, as in the paper's experiments.
@@ -105,6 +116,72 @@ pub struct GcConfig {
     pub keep_micros: u64,
 }
 
+/// Crash-durable WAL knobs (see [`ClusterConfig::with_durable_log`]).
+///
+/// Each server logs into its own subdirectory `dir/server-<i>`; reopening
+/// the same directory recovers each partition from its newest checkpoint
+/// plus the WAL suffix.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use aloha_core::{DurableLogSpec, Fsync};
+///
+/// let spec = DurableLogSpec::new("/tmp/aloha-wal")
+///     .with_fsync(Fsync::EveryN(8))
+///     .with_checkpoint_interval(Duration::from_millis(100));
+/// assert!(spec.checkpoint_interval.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurableLogSpec {
+    /// Root directory; one subdirectory per server is created inside.
+    pub dir: PathBuf,
+    /// Group-commit fsync policy (the machine-crash durability knob).
+    pub fsync: Fsync,
+    /// Periodic background checkpointing: every interval, each durable
+    /// server snapshots its partition at the settled bound into the log
+    /// directory and truncates dead segments. `None` (the default) leaves
+    /// checkpointing to explicit [`Cluster::checkpoint_to_wal`] calls.
+    pub checkpoint_interval: Option<Duration>,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+impl DurableLogSpec {
+    /// A durable log rooted at `dir`: epoch-granular fsync, 256 KiB
+    /// segments, no background checkpointing.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableLogSpec {
+        DurableLogSpec {
+            dir: dir.into(),
+            fsync: Fsync::EveryEpoch,
+            checkpoint_interval: None,
+            segment_bytes: 256 * 1024,
+        }
+    }
+
+    /// Overrides the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: Fsync) -> DurableLogSpec {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Enables the background checkpointer at the given cadence.
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> DurableLogSpec {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Overrides the segment rotation threshold.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> DurableLogSpec {
+        self.segment_bytes = bytes;
+        self
+    }
+}
+
 impl ClusterConfig {
     /// A default configuration for `servers` hosts: 25 ms epochs, instant
     /// network, two processors per server, straggler optimization on.
@@ -119,6 +196,7 @@ impl ClusterConfig {
             clock_offset_micros: 0,
             gc: None,
             durable: false,
+            durable_log: None,
             replicated: false,
             rpc_timeout: Duration::from_secs(30),
             record_history: false,
@@ -173,9 +251,19 @@ impl ClusterConfig {
         self
     }
 
-    /// Enables write-ahead logging of the write-only phase.
+    /// Enables in-memory write-ahead logging of the write-only phase.
     pub fn with_durability(mut self, durable: bool) -> ClusterConfig {
         self.durable = durable;
+        self
+    }
+
+    /// Enables crash-durable on-disk write-ahead logging (the logging half
+    /// of the §III-A fault-tolerance strategy). Each server's log lives in
+    /// `spec.dir/server-<i>`; restarting a cluster (or one server, via
+    /// [`Cluster::restart_server`]) over the same directory recovers the
+    /// partitions from checkpoint + WAL suffix.
+    pub fn with_durable_log(mut self, spec: DurableLogSpec) -> ClusterConfig {
+        self.durable_log = Some(spec);
         self
     }
 
@@ -279,10 +367,15 @@ impl ClusterBuilder {
     }
 
     /// Starts the cluster: spawns servers, processors and the epoch manager.
+    /// With a durable log configured over a non-empty directory, every
+    /// partition is first recovered from its newest checkpoint plus the WAL
+    /// suffix.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Config`] for invalid configurations.
+    /// Returns [`Error::Config`] for invalid configurations, [`Error::Io`]
+    /// when the durable log cannot be opened or is damaged beyond a torn
+    /// tail.
     pub fn start(self) -> Result<Cluster> {
         let n = self.config.servers;
         if n == 0 {
@@ -319,87 +412,43 @@ impl ClusterBuilder {
                 Batcher::new(bus.clone(), cfg, ServerMsg::Batch, ServerMsg::approx_bytes)
             });
         let em_endpoint = bus.register(Addr::EpochManager);
-        let handlers = Arc::new(self.handlers);
-        let programs = Arc::new(self.programs);
-
         let history = self.config.record_history.then(|| Arc::new(History::new()));
-        let mut servers = Vec::with_capacity(n as usize);
-        let mut threads = Vec::new();
-        for i in 0..n {
-            let skew = self
-                .config
-                .clock_skew_micros
-                .get(i as usize)
-                .copied()
-                .unwrap_or(0)
-                + self.config.clock_offset_micros as i64;
-            let clock: Arc<dyn Clock> = if skew != 0 {
-                Arc::new(SkewedClock::new(SystemClock::new(base.clone()), skew))
-            } else {
-                Arc::new(SystemClock::new(base.clone()))
-            };
-            let partition = Arc::new(Partition::new(PartitionId(i), n, Arc::clone(&handlers)));
-            for rule in &self.dependency_rules {
-                let rule = Arc::clone(rule);
-                partition.add_dependency_rule(move |k| rule(k));
-            }
-            let epoch = Arc::new(aloha_epoch::EpochClient::new(
-                ServerId(i),
-                clock,
-                self.config.allow_noauth,
-            ));
-            let endpoint = bus.register(Addr::Server(ServerId(i)));
-            let exec = Executor::new(format!("exec-s{i}"), self.config.exec.clone());
-            let (server, queue_rx) = Server::new(
-                ServerId(i),
-                n,
-                partition,
-                epoch,
-                bus.clone(),
-                batcher.clone(),
-                exec,
-                Arc::clone(&programs),
-                self.config.durable,
-                self.config.replicated,
-                self.config.rpc_timeout,
-                history.clone(),
-            );
-            let dispatcher_server = Arc::clone(&server);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("dispatch-s{i}"))
-                    .spawn(move || run_dispatcher(dispatcher_server, endpoint))
-                    .expect("spawn dispatcher"),
-            );
-            for p in 0..self.config.processors_per_server {
-                let processor_server = Arc::clone(&server);
-                let rx = queue_rx.clone();
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("proc-s{i}-{p}"))
-                        .spawn(move || run_processor(processor_server, rx))
-                        .expect("spawn processor"),
-                );
-            }
-            servers.push(server);
-        }
+        // Everything a single-server restart needs to rebuild its victim
+        // lives here, outliving the server instances themselves.
+        let rebuild = RebuildCtx {
+            config: self.config,
+            base,
+            handlers: Arc::new(self.handlers),
+            programs: Arc::new(self.programs),
+            dependency_rules: self.dependency_rules,
+        };
 
-        let em_clock: Arc<dyn Clock> = if self.config.clock_offset_micros != 0 {
+        let mut servers = Vec::with_capacity(n as usize);
+        let mut server_threads = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let (server, threads, _report) =
+                build_server(&rebuild, ServerId(i), &bus, &batcher, &history)?;
+            servers.push(server);
+            server_threads.push(threads);
+        }
+        let servers = Arc::new(ServerSlots::new(servers));
+
+        let em_clock: Arc<dyn Clock> = if rebuild.config.clock_offset_micros != 0 {
             Arc::new(SkewedClock::new(
-                SystemClock::new(base),
-                self.config.clock_offset_micros as i64,
+                SystemClock::new(rebuild.base.clone()),
+                rebuild.config.clock_offset_micros as i64,
             ))
         } else {
-            Arc::new(SystemClock::new(base))
+            Arc::new(SystemClock::new(rebuild.base.clone()))
         };
         // With a control plane configured, the pacer's initial duration is
         // authoritative (`ControlConfig::fixed(d)` ≡ `with_epoch_duration(d)`).
-        let epoch_duration = self
+        let epoch_duration = rebuild
             .config
             .control
             .as_ref()
             .map(|c| c.pacing.initial)
-            .unwrap_or(self.config.epoch_duration);
+            .unwrap_or(rebuild.config.epoch_duration);
         let em_config = EpochConfig {
             epoch_duration,
             servers: (0..n).map(ServerId).collect(),
@@ -413,19 +462,34 @@ impl ClusterBuilder {
             endpoint: em_endpoint,
         };
         let mut pacer_gauges = None;
-        let em = match &self.config.control {
+        let em = match &rebuild.config.control {
             Some(control) => {
                 let gauges = Arc::new(PacerGauges::default());
                 // The pacer samples live cluster pressure right before each
                 // authorization: executor lane depths, install/compute
                 // backlogs, and whatever is coalescing in the batcher. In
-                // `Fixed` mode the closure is never called.
-                let sample_servers = servers.clone();
+                // `Fixed` mode the closure is never called. Sampling reads
+                // the slots, so after a restart the fresh server's executor
+                // is what gets measured — a recovering backend's replay
+                // backlog shows up as pressure the pacer absorbs like any
+                // other spike.
+                let sample_servers = Arc::clone(&servers);
                 let sample_batcher = batcher.clone();
-                let source = move || PacerSample {
-                    exec_queue: sample_servers.iter().map(|s| s.exec().queued_now()).sum(),
-                    backlog: sample_servers.iter().map(|s| s.backlog_len()).sum(),
-                    batch_occupancy: sample_batcher.as_ref().map(|b| b.queued_now()).unwrap_or(0),
+                let source = move || {
+                    let mut exec_queue = 0;
+                    let mut backlog = 0;
+                    for server in sample_servers.all() {
+                        exec_queue += server.exec().queued_now();
+                        backlog += server.backlog_len();
+                    }
+                    PacerSample {
+                        exec_queue,
+                        backlog,
+                        batch_occupancy: sample_batcher
+                            .as_ref()
+                            .map(|b| b.queued_now())
+                            .unwrap_or(0),
+                    }
                 };
                 let pacer =
                     AdaptivePacer::new(control.pacing.clone(), source, Arc::clone(&gauges))?;
@@ -434,7 +498,7 @@ impl ClusterBuilder {
             }
             None => EpochManager::spawn(em_config, em_clock, transport),
         };
-        let gates = self
+        let gates = rebuild
             .config
             .control
             .as_ref()
@@ -447,17 +511,18 @@ impl ClusterBuilder {
             })
             .transpose()?;
 
-        let gc_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        if let Some(gc) = self.config.gc {
-            let sweep_servers = servers.clone();
-            let stop = Arc::clone(&gc_stop);
-            threads.push(
+        let aux_stop = Arc::new(AtomicBool::new(false));
+        let mut aux_threads = Vec::new();
+        if let Some(gc) = rebuild.config.gc {
+            let sweep_servers = Arc::clone(&servers);
+            let stop = Arc::clone(&aux_stop);
+            aux_threads.push(
                 std::thread::Builder::new()
                     .name("gc-sweeper".into())
                     .spawn(move || {
-                        while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                        while !stop.load(Ordering::SeqCst) {
                             std::thread::sleep(gc.interval);
-                            for server in &sweep_servers {
+                            for server in sweep_servers.all() {
                                 let settled = server.epoch().visible_bound();
                                 let bound = Timestamp::floor_of_micros(
                                     settled.micros().saturating_sub(gc.keep_micros),
@@ -469,18 +534,45 @@ impl ClusterBuilder {
                     .expect("spawn gc sweeper"),
             );
         }
+        if let Some(interval) = rebuild
+            .config
+            .durable_log
+            .as_ref()
+            .and_then(|spec| spec.checkpoint_interval)
+        {
+            let ckpt_servers = Arc::clone(&servers);
+            let stop = Arc::clone(&aux_stop);
+            aux_threads.push(
+                std::thread::Builder::new()
+                    .name("checkpointer".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(interval);
+                            for server in ckpt_servers.all() {
+                                if server.is_shutdown() {
+                                    continue;
+                                }
+                                checkpoint_server_to_wal(&server);
+                            }
+                        }
+                    })
+                    .expect("spawn checkpointer"),
+            );
+        }
 
         Ok(Cluster {
             servers,
             em: Some(em),
             bus,
             batcher,
-            threads,
+            server_threads: Mutex::new(server_threads),
+            aux_threads,
             total: n,
-            gc_stop,
+            aux_stop,
             history,
             gates,
             pacer_gauges,
+            rebuild,
         })
     }
 }
@@ -511,18 +603,267 @@ impl EpochTransport for BusTransport {
     }
 }
 
+/// The live server set: one swappable slot per [`ServerId`], shared by the
+/// [`Cluster`], every [`Database`] handle, the pacer's pressure sampler and
+/// the background sweepers. A restart replaces one slot in place, so no
+/// component can keep serving through a stale clone of the old server list.
+pub(crate) struct ServerSlots {
+    slots: Vec<RwLock<Arc<Server>>>,
+}
+
+impl ServerSlots {
+    fn new(servers: Vec<Arc<Server>>) -> ServerSlots {
+        ServerSlots {
+            slots: servers.into_iter().map(RwLock::new).collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current occupant of slot `i`.
+    pub(crate) fn get(&self, i: usize) -> Arc<Server> {
+        Arc::clone(&self.slots[i].read())
+    }
+
+    fn set(&self, i: usize, server: Arc<Server>) {
+        *self.slots[i].write() = server;
+    }
+
+    /// A point-in-time snapshot of every slot.
+    pub(crate) fn all(&self) -> Vec<Arc<Server>> {
+        self.slots.iter().map(|s| Arc::clone(&s.read())).collect()
+    }
+}
+
+/// Everything needed to rebuild one server after a kill: the builder inputs
+/// that outlive any single [`Server`] instance.
+struct RebuildCtx {
+    config: ClusterConfig,
+    base: ClockBase,
+    handlers: Arc<HandlerRegistry>,
+    programs: Arc<ProgramRegistry>,
+    dependency_rules: Vec<DependencyRule>,
+}
+
+impl RebuildCtx {
+    fn clock_for(&self, i: u16) -> Arc<dyn Clock> {
+        let skew = self
+            .config
+            .clock_skew_micros
+            .get(i as usize)
+            .copied()
+            .unwrap_or(0)
+            + self.config.clock_offset_micros as i64;
+        if skew != 0 {
+            Arc::new(SkewedClock::new(SystemClock::new(self.base.clone()), skew))
+        } else {
+            Arc::new(SystemClock::new(self.base.clone()))
+        }
+    }
+
+    fn partition_for(&self, i: u16) -> Arc<Partition> {
+        let partition = Arc::new(Partition::new(
+            PartitionId(i),
+            self.config.servers,
+            Arc::clone(&self.handlers),
+        ));
+        for rule in &self.dependency_rules {
+            let rule = Arc::clone(rule);
+            partition.add_dependency_rule(move |k| rule(k));
+        }
+        partition
+    }
+
+    /// Opens server `i`'s WAL sink per the configuration; the disk flavor
+    /// also returns whatever a previous incarnation left behind.
+    fn wal_for(&self, i: u16) -> Result<(Option<WalSink>, Option<RecoveredLog>)> {
+        if let Some(spec) = &self.config.durable_log {
+            let cfg = DurableLogConfig::new(spec.dir.join(format!("server-{i}")))
+                .with_fsync(spec.fsync)
+                .with_segment_bytes(spec.segment_bytes);
+            let (log, recovered) = DurableLog::open(cfg)?;
+            Ok((Some(WalSink::Disk(Arc::new(log))), Some(recovered)))
+        } else if self.config.durable {
+            Ok((Some(WalSink::Memory(Mutex::new(MemWal::default()))), None))
+        } else {
+            Ok((None, None))
+        }
+    }
+}
+
+/// What one server's recovery found and did (see
+/// [`Cluster::restart_server`]).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Timestamp of the checkpoint the store was restored from
+    /// ([`Timestamp::ZERO`] when recovery started from an empty store).
+    pub checkpoint: Timestamp,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Whether the log ended in a torn tail — the expected artifact of a
+    /// crash mid-append. The valid prefix was applied; nothing past the
+    /// tear was acknowledged to any client, or the group commit preceding
+    /// the ack would have completed the frame.
+    pub torn_tail: bool,
+    /// Microseconds spent restoring the checkpoint and replaying the
+    /// suffix.
+    pub replay_micros: u64,
+}
+
+impl RecoveryReport {
+    fn empty() -> RecoveryReport {
+        RecoveryReport {
+            checkpoint: Timestamp::ZERO,
+            replayed: 0,
+            torn_tail: false,
+            replay_micros: 0,
+        }
+    }
+}
+
+/// Applies a recovered durable log onto a fresh partition: restore the
+/// newest checkpoint, then replay the WAL suffix through the storage codec
+/// (records at or below the checkpoint are skipped as idempotent no-ops).
+///
+/// A torn tail is tolerated — the valid prefix is applied. Any other damage
+/// (checksum failure, truncated interior segment) refuses recovery with a
+/// descriptive error instead of serving from a silently incomplete store.
+fn recover_partition(partition: &Partition, recovered: &RecoveredLog) -> Result<RecoveryReport> {
+    if let Some(damage @ LogDamage::Corrupt { .. }) = &recovered.damage {
+        return Err(Error::Io(format!("wal recovery refused: {damage}")));
+    }
+    let started = Instant::now();
+    let mut checkpoint = Timestamp::ZERO;
+    if let Some((_, blob)) = &recovered.checkpoint {
+        checkpoint = aloha_storage::restore_checkpoint(partition, blob)?;
+    }
+    let replayed = aloha_storage::replay_records(partition, &recovered.records, checkpoint)?;
+    Ok(RecoveryReport {
+        checkpoint,
+        replayed,
+        torn_tail: recovered.damage.is_some(),
+        replay_micros: started.elapsed().as_micros() as u64,
+    })
+}
+
+/// Builds one server — fresh partition, recovered WAL state, fresh epoch
+/// client and executor — registers it on the bus and spawns its dispatcher
+/// and processors. Shared by cluster start and single-server restart.
+fn build_server(
+    ctx: &RebuildCtx,
+    id: ServerId,
+    bus: &Bus<ServerMsg>,
+    batcher: &Option<Batcher<ServerMsg>>,
+    history: &Option<Arc<History>>,
+) -> Result<(
+    Arc<Server>,
+    Vec<std::thread::JoinHandle<()>>,
+    RecoveryReport,
+)> {
+    let partition = ctx.partition_for(id.0);
+    let (wal, recovered) = ctx.wal_for(id.0)?;
+    let mut report = RecoveryReport::empty();
+    if let Some(recovered) = &recovered {
+        report = recover_partition(&partition, recovered)?;
+        if let Some(WalSink::Disk(log)) = &wal {
+            log.stats()
+                .recovery_replay_micros
+                .store(report.replay_micros, Ordering::Relaxed);
+        }
+    }
+    let epoch = Arc::new(EpochClient::new(
+        id,
+        ctx.clock_for(id.0),
+        ctx.config.allow_noauth,
+    ));
+    let exec = Executor::new(format!("exec-s{}", id.0), ctx.config.exec.clone());
+    let (server, queue_rx) = Server::new(
+        id,
+        ctx.config.servers,
+        partition,
+        epoch,
+        bus.clone(),
+        batcher.clone(),
+        exec,
+        Arc::clone(&ctx.programs),
+        wal,
+        ctx.config.replicated,
+        ctx.config.rpc_timeout,
+        history.clone(),
+    );
+    let endpoint = bus.register(Addr::Server(id));
+    let threads = spawn_server_threads(
+        &server,
+        endpoint,
+        queue_rx,
+        ctx.config.processors_per_server,
+    );
+    Ok((server, threads, report))
+}
+
+/// Spawns one server's dispatcher and processor threads.
+fn spawn_server_threads(
+    server: &Arc<Server>,
+    endpoint: Endpoint<ServerMsg>,
+    queue_rx: Receiver<QueueEntry>,
+    processors: usize,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let i = server.id().0;
+    let mut threads = Vec::with_capacity(processors + 1);
+    let dispatcher_server = Arc::clone(server);
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("dispatch-s{i}"))
+            .spawn(move || run_dispatcher(dispatcher_server, endpoint))
+            .expect("spawn dispatcher"),
+    );
+    for p in 0..processors {
+        let processor_server = Arc::clone(server);
+        let rx = queue_rx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("proc-s{i}-{p}"))
+                .spawn(move || run_processor(processor_server, rx))
+                .expect("spawn processor"),
+        );
+    }
+    threads
+}
+
+/// Checkpoints one durable server's partition at its settled bound into its
+/// log directory (truncating dead segments); a no-op for servers without a
+/// disk log or with nothing new to snapshot.
+fn checkpoint_server_to_wal(server: &Arc<Server>) {
+    let Some(log) = server.durable_log().cloned() else {
+        return;
+    };
+    let at = server.epoch().visible_bound();
+    if at.raw() <= log.stats().last_checkpoint_version.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Ok(blob) = server.write_checkpoint(at) {
+        let _ = log.install_checkpoint(at.raw(), &blob);
+    }
+}
+
 /// A running ALOHA-DB cluster.
 ///
 /// Dropping the cluster shuts it down; prefer calling [`Cluster::shutdown`]
 /// explicitly.
 pub struct Cluster {
-    servers: Vec<Arc<Server>>,
+    servers: Arc<ServerSlots>,
     em: Option<EpochManager>,
     bus: Bus<ServerMsg>,
     batcher: Option<Batcher<ServerMsg>>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Per-server thread groups (dispatcher + processors), index-aligned
+    /// with the slots, so a kill joins exactly its victim's threads.
+    server_threads: Mutex<Vec<Vec<std::thread::JoinHandle<()>>>>,
+    /// Cluster-scoped background threads (GC sweeper, checkpointer).
+    aux_threads: Vec<std::thread::JoinHandle<()>>,
     total: u16,
-    gc_stop: Arc<std::sync::atomic::AtomicBool>,
+    aux_stop: Arc<AtomicBool>,
     history: Option<Arc<History>>,
     /// Per-FE admission gates (index-aligned with `servers`); `None` when
     /// the control plane is off or gating is disabled.
@@ -530,6 +871,8 @@ pub struct Cluster {
     /// Live pacer state exported on the `control` snapshot node (`Some`
     /// exactly when a control plane is configured).
     pacer_gauges: Option<Arc<PacerGauges>>,
+    /// Builder inputs retained for single-server restarts.
+    rebuild: RebuildCtx,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -551,18 +894,19 @@ impl Cluster {
         }
     }
 
-    /// The servers, indexed by [`ServerId`].
-    pub fn servers(&self) -> &[Arc<Server>] {
-        &self.servers
+    /// The current servers, indexed by [`ServerId`] (a point-in-time
+    /// snapshot; a concurrent restart may swap a slot afterwards).
+    pub fn servers(&self) -> Vec<Arc<Server>> {
+        self.servers.all()
     }
 
-    /// One server by index.
+    /// The current occupant of one server slot.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn server(&self, id: ServerId) -> &Arc<Server> {
-        &self.servers[id.index()]
+    pub fn server(&self, id: ServerId) -> Arc<Server> {
+        self.servers.get(id.index())
     }
 
     /// Number of servers/partitions.
@@ -589,7 +933,7 @@ impl Cluster {
     /// A cheap client handle.
     pub fn database(&self) -> Database {
         Database {
-            servers: Arc::new(self.servers.clone()),
+            servers: Arc::clone(&self.servers),
             next_fe: Arc::new(AtomicUsize::new(0)),
             session: Arc::new(AtomicU64::new(0)),
             gates: self.gates.clone(),
@@ -606,7 +950,10 @@ impl Cluster {
     /// Loads an initial functor directly into the owning partition.
     pub fn load_functor(&self, key: Key, functor: Functor) {
         let owner = key.partition(self.total);
-        self.servers[owner.index()].partition().load(&key, functor);
+        self.servers
+            .get(owner.index())
+            .partition()
+            .load(&key, functor);
     }
 
     /// One composable snapshot of the whole cluster: summed transaction
@@ -625,7 +972,7 @@ impl Cluster {
         let mut installs = 0;
         let mut compute_errors = 0;
         let mut merged: [HistogramSnapshot; STAGE_COUNT + 1] = Default::default();
-        for server in &self.servers {
+        for server in self.servers.all() {
             let stats = server.stats();
             committed += stats.committed();
             aborted += stats.aborted();
@@ -695,7 +1042,7 @@ impl Cluster {
 
     /// Resets every server's statistics (benchmark warm-up boundary).
     pub fn reset_stats(&self) {
-        for server in &self.servers {
+        for server in self.servers.all() {
             server.stats().reset();
             server.exec().stats().reset();
         }
@@ -718,18 +1065,125 @@ impl Cluster {
     ///
     /// Propagates transport failures from on-demand computing.
     pub fn checkpoint(&self) -> Result<(Timestamp, Vec<Vec<u8>>)> {
-        let at = self
-            .servers
+        let servers = self.servers.all();
+        let at = servers
             .iter()
             .map(|s| s.epoch().visible_bound())
             .min()
             .unwrap_or(Timestamp::ZERO);
-        let blobs = self
-            .servers
+        let blobs = servers
             .iter()
             .map(|s| s.write_checkpoint(at))
             .collect::<Result<Vec<_>>>()?;
         Ok((at, blobs))
+    }
+
+    /// Checkpoints every durable server's partition into its own log
+    /// directory at the cluster-wide settled bound, truncating WAL segments
+    /// the checkpoints made dead. Returns the checkpoint timestamp.
+    ///
+    /// The background checkpointer (see
+    /// [`DurableLogSpec::with_checkpoint_interval`]) does the same
+    /// per-server on a timer; this entry point gives tests and operators a
+    /// deterministic cut.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when no durable log is configured;
+    /// propagates snapshot and filesystem failures.
+    pub fn checkpoint_to_wal(&self) -> Result<Timestamp> {
+        if self.rebuild.config.durable_log.is_none() {
+            return Err(Error::Config("no durable log configured".into()));
+        }
+        let servers = self.servers.all();
+        let at = servers
+            .iter()
+            .filter(|s| !s.is_shutdown())
+            .map(|s| s.epoch().visible_bound())
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        for server in &servers {
+            if server.is_shutdown() {
+                continue;
+            }
+            if let Some(log) = server.durable_log().cloned() {
+                let blob = server.write_checkpoint(at)?;
+                log.install_checkpoint(at.raw(), &blob)?;
+            }
+        }
+        Ok(at)
+    }
+
+    /// Kills one backend in place: marks it shut down, stops its dispatcher
+    /// and processors, drains its executor and closes its durable log. The
+    /// rest of the cluster keeps serving — in-flight cross-partition RPCs
+    /// toward the victim fail over to retransmission and land once
+    /// [`Cluster::restart_server`] brings the slot back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the server is already down,
+    /// [`Error::NoSuchPartition`] for an out-of-range id.
+    pub fn kill_server(&self, id: ServerId) -> Result<()> {
+        let i = id.index();
+        if i >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(id.0)));
+        }
+        let server = self.servers.get(i);
+        if server.is_shutdown() {
+            return Err(Error::Config(format!("server {} is already down", id.0)));
+        }
+        server.mark_shutdown();
+        // The shutdown message must go out while the endpoint is still
+        // registered; deregistering first would error the reliable send and
+        // leave the dispatcher blocked on its queue forever.
+        let _ = self
+            .bus
+            .send_reliable(Addr::Server(id), ServerMsg::Shutdown);
+        self.bus.deregister(Addr::Server(id));
+        let handles: Vec<_> = self.server_threads.lock()[i].drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+        // Dispatcher and processors are gone; drain the executor's accepted
+        // work (cross-partition recursion can still be answered by the other
+        // servers, which are alive) and seal the log. `close` flushes and
+        // syncs, so everything this server acknowledged is on disk.
+        server.exec().shutdown();
+        if let Some(log) = server.durable_log() {
+            log.close();
+        }
+        Ok(())
+    }
+
+    /// Restarts a killed backend from its durable log: rebuilds the
+    /// partition from the newest checkpoint plus the WAL suffix, re-registers
+    /// the server on the bus and swaps it into the live slot — all while the
+    /// rest of the cluster keeps serving. The epoch manager's retransmitted
+    /// revokes are acknowledged by the fresh epoch client, and retried
+    /// installs/aborts from in-flight coordinators land on the recovered
+    /// partition idempotently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the server is still running,
+    /// [`Error::Io`] when the log is damaged beyond a torn tail.
+    pub fn restart_server(&self, id: ServerId) -> Result<RecoveryReport> {
+        let i = id.index();
+        if i >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(id.0)));
+        }
+        if !self.servers.get(i).is_shutdown() {
+            return Err(Error::Config(format!(
+                "server {} is still running; kill it first",
+                id.0
+            )));
+        }
+        let (server, threads, report) =
+            build_server(&self.rebuild, id, &self.bus, &self.batcher, &self.history)?;
+        self.server_threads.lock()[i] = threads;
+        self.servers.set(i, server);
+        Ok(report)
     }
 
     /// Rebuilds partition `lost` from its backup's mirrored records: the
@@ -741,14 +1195,15 @@ impl Cluster {
     ///
     /// Returns [`Error::Config`] if replication was not enabled.
     pub fn rebuild_from_replica(&self, source: &Cluster, lost: ServerId) -> Result<usize> {
-        let backup = source.servers[lost.index()].backup_of(lost);
-        let records = source.servers[backup.index()].replica_dump();
-        if !source.servers[backup.index()].is_replicated() {
+        let backup = source.servers.get(lost.index()).backup_of(lost);
+        let backup_server = source.servers.get(backup.index());
+        let records = backup_server.replica_dump();
+        if !backup_server.is_replicated() {
             return Err(Error::Config(
                 "replication was not enabled on the source".into(),
             ));
         }
-        let target = &self.servers[lost.index()];
+        let target = self.servers.get(lost.index());
         let mut applied = 0;
         for (key, version, functor) in records {
             if functor == aloha_functor::Functor::Aborted {
@@ -762,9 +1217,15 @@ impl Cluster {
     }
 
     /// Snapshot of every server's write-ahead log (empty logs when
-    /// durability is off).
+    /// durability is off). The in-memory WAL clones sealed chunk handles
+    /// under its lock and assembles outside it, so a hot log is never
+    /// stalled behind a full copy.
     pub fn wal_snapshots(&self) -> Vec<Vec<u8>> {
-        self.servers.iter().map(|s| s.wal_snapshot()).collect()
+        self.servers
+            .all()
+            .iter()
+            .map(|s| s.wal_snapshot())
+            .collect()
     }
 
     /// Replays per-partition write-ahead logs on top of a restored
@@ -775,15 +1236,16 @@ impl Cluster {
     ///
     /// Fails on corrupt logs or a log-count mismatch.
     pub fn replay_wals(&self, logs: &[Vec<u8>], checkpoint: Timestamp) -> Result<usize> {
-        if logs.len() != self.servers.len() {
+        let servers = self.servers.all();
+        if logs.len() != servers.len() {
             return Err(Error::Config(format!(
                 "wal set has {} partitions, cluster has {}",
                 logs.len(),
-                self.servers.len()
+                servers.len()
             )));
         }
         let mut applied = 0;
-        for (server, log) in self.servers.iter().zip(logs) {
+        for (server, log) in servers.iter().zip(logs) {
             applied += server.replay_wal(log, checkpoint)?;
         }
         Ok(applied)
@@ -797,14 +1259,15 @@ impl Cluster {
     ///
     /// Fails on malformed blobs or a blob-count mismatch.
     pub fn restore(&self, blobs: &[Vec<u8>]) -> Result<()> {
-        if blobs.len() != self.servers.len() {
+        let servers = self.servers.all();
+        if blobs.len() != servers.len() {
             return Err(Error::Config(format!(
                 "checkpoint has {} partitions, cluster has {}",
                 blobs.len(),
-                self.servers.len()
+                servers.len()
             )));
         }
-        for (server, blob) in self.servers.iter().zip(blobs) {
+        for (server, blob) in servers.iter().zip(blobs) {
             server.restore_checkpoint(blob)?;
         }
         Ok(())
@@ -814,6 +1277,7 @@ impl Cluster {
     /// Returns the number of version records dropped.
     pub fn gc(&self, bound: Timestamp) -> usize {
         self.servers
+            .all()
             .iter()
             .map(|s| s.partition().store().truncate_below(bound))
             .sum()
@@ -825,8 +1289,7 @@ impl Cluster {
     }
 
     fn shutdown_inner(&mut self) {
-        self.gc_stop
-            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.aux_stop.store(true, Ordering::SeqCst);
         if let Some(em) = self.em.take() {
             em.close();
         }
@@ -836,21 +1299,30 @@ impl Cluster {
         if let Some(batcher) = &self.batcher {
             batcher.shutdown();
         }
-        for server in &self.servers {
+        let servers = self.servers.all();
+        for server in &servers {
             server.mark_shutdown();
             let _ = self
                 .bus
                 .send_reliable(Addr::Server(server.id()), ServerMsg::Shutdown);
         }
-        for t in self.threads.drain(..) {
+        let groups: Vec<_> = self.server_threads.lock().drain(..).collect();
+        for t in groups.into_iter().flatten() {
+            let _ = t.join();
+        }
+        for t in self.aux_threads.drain(..) {
             let _ = t.join();
         }
         // With every dispatcher gone nothing submits anymore; drain the
         // executors' accepted work and join their pooled workers. Done
         // after the dispatcher joins so in-flight drains on one server can
         // still be answered by any other server's still-live workers.
-        for server in &self.servers {
+        // Closing the logs last makes the final group commit durable.
+        for server in &servers {
             server.exec().shutdown();
+            if let Some(log) = server.durable_log() {
+                log.close();
+            }
         }
     }
 }
@@ -865,7 +1337,7 @@ impl Drop for Cluster {
 /// round-robin (override with the `_at` variants to pin a coordinator).
 #[derive(Clone)]
 pub struct Database {
-    servers: Arc<Vec<Arc<Server>>>,
+    servers: Arc<ServerSlots>,
     next_fe: Arc<AtomicUsize>,
     /// Highest settled bound this handle has observed (raw timestamp).
     /// Front-ends learn the settled bound at different times (it rides on
@@ -889,8 +1361,19 @@ impl std::fmt::Debug for Database {
 }
 
 impl Database {
+    /// Picks the next round-robin front-end, skipping servers that are
+    /// currently down (a killed backend between its kill and restart). If
+    /// every front-end is down the plain rotation applies and the caller
+    /// gets the shutdown error.
     fn pick_fe(&self) -> usize {
-        self.next_fe.fetch_add(1, Ordering::Relaxed) % self.servers.len()
+        let n = self.servers.len();
+        for _ in 0..n {
+            let i = self.next_fe.fetch_add(1, Ordering::Relaxed) % n;
+            if !self.servers.get(i).is_shutdown() {
+                return i;
+            }
+        }
+        self.next_fe.fetch_add(1, Ordering::Relaxed) % n
     }
 
     /// Acquires the FE's admission token (a no-op returning `None` on an
@@ -934,8 +1417,8 @@ impl Database {
         // Admission precedes everything — a shed transaction costs the FE no
         // timestamp, no transform, no installed functor.
         let permit = self.admit(i, AccessKind::Write)?;
-        let fe = &self.servers[i];
-        self.sync_session(fe);
+        let fe = self.servers.get(i);
+        self.sync_session(&fe);
         let handle = fe.coordinate(program, &args.into())?;
         if let Some(permit) = permit {
             handle.attach_permit(permit);
@@ -966,10 +1449,10 @@ impl Database {
         program: ProgramId,
         args: impl Into<Vec<u8>>,
     ) -> Result<TxnHandle> {
-        let server = self
-            .servers
-            .get(fe.index())
-            .ok_or(Error::NoSuchPartition(PartitionId(fe.0)))?;
+        if fe.index() >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(fe.0)));
+        }
+        let server = self.servers.get(fe.index());
         let permit = self.admit(fe.index(), AccessKind::Write)?;
         let handle = server.coordinate(program, &args.into())?;
         if let Some(permit) = permit {
@@ -991,7 +1474,7 @@ impl Database {
         // share of the window writes cannot touch; the token is held across
         // the synchronous read.
         let _permit = self.admit(i, AccessKind::Read)?;
-        let fe = &self.servers[i];
+        let fe = self.servers.get(i);
         let values = fe.read_latest(keys)?;
         self.note_session(fe.epoch().visible_bound());
         Ok(values)
@@ -1015,14 +1498,14 @@ impl Database {
     pub fn read_at(&self, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<Value>>> {
         let i = self.pick_fe();
         let _permit = self.admit(i, AccessKind::Read)?;
-        let values = self.servers[i].read_at(keys, ts)?;
+        let values = self.servers.get(i).read_at(keys, ts)?;
         self.note_session(ts);
         Ok(values)
     }
 
     /// The current settled visibility bound (any FE's view).
     pub fn visible_bound(&self) -> Timestamp {
-        self.servers[0].epoch().visible_bound()
+        self.servers.get(0).epoch().visible_bound()
     }
 
     /// Number of servers.

@@ -48,8 +48,11 @@ pub mod program;
 pub mod server;
 
 pub use aloha_net::BatchConfig;
+pub use aloha_storage::Fsync;
 pub use checker::{diff_states, replay_history, CommitRecord, Divergence, History};
-pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, Database, GcConfig};
+pub use cluster::{
+    Cluster, ClusterBuilder, ClusterConfig, Database, DurableLogSpec, GcConfig, RecoveryReport,
+};
 pub use msg::{InstallOutcome, ServerMsg, VersionState};
 pub use program::{
     fn_program, Check, ProgramId, ProgramRegistry, SnapshotReader, TransformCtx, TxnPlan,

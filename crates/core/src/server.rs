@@ -16,7 +16,7 @@ use aloha_control::Permit;
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
 use aloha_net::{reply_pair, Addr, Batcher, Bus, Endpoint, Executor, ReplyHandle, ReplySlot};
-use aloha_storage::{ComputeEnv, Partition};
+use aloha_storage::{ComputeEnv, DurableLog, Partition, WalRecord};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
@@ -180,8 +180,9 @@ pub struct Server {
     shutdown: AtomicBool,
     rpc_timeout: Duration,
     /// Write-ahead log of the write-only phase (§III-A logging), when
-    /// durability is enabled.
-    wal: Option<Mutex<Vec<u8>>>,
+    /// durability is enabled: chunked in-memory buffers or crash-durable
+    /// file segments with epoch group commit.
+    wal: Option<WalSink>,
     /// §III-A primary-backup replication: mirrored records of the
     /// *predecessor* server's partition (`None` when replication is off or
     /// the cluster has one server).
@@ -208,6 +209,162 @@ impl ReplicaStore {
     }
 }
 
+/// Chunked in-memory write-ahead log. Epoch group commit seals the active
+/// buffer into an `Arc` chunk, so a snapshot clones chunk *handles* under
+/// the lock and concatenates outside it — a hot partition's epoch close is
+/// never stalled behind a full-log copy.
+#[derive(Debug, Default)]
+pub(crate) struct MemWal {
+    sealed: Vec<Arc<Vec<u8>>>,
+    active: Vec<u8>,
+    records: u64,
+}
+
+/// Seal the active buffer early once it grows past this, so snapshots of a
+/// commit-heavy epoch stay cheap even before the epoch closes.
+const MEM_WAL_CHUNK: usize = 64 * 1024;
+
+/// Where the write-only phase's log records go.
+pub(crate) enum WalSink {
+    /// In-memory chunks (the pre-durability behavior; ablation baseline).
+    Memory(Mutex<MemWal>),
+    /// Crash-durable segment files (see [`aloha_storage::durable`]).
+    Disk(Arc<DurableLog>),
+}
+
+impl WalSink {
+    /// Appends one batch of install records atomically: either every record
+    /// of the batch is logged or none is, so a log closed mid-batch (server
+    /// kill) can never leave a half-logged transaction to replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShuttingDown`] once the disk log has been closed —
+    /// the caller must fail the install rather than acknowledge it.
+    fn log_installs(&self, version: Timestamp, writes: &[Write]) -> Result<()> {
+        match self {
+            WalSink::Memory(mem) => {
+                let mut mem = mem.lock();
+                for w in writes {
+                    WalRecord::Install {
+                        key: w.key.clone(),
+                        version,
+                        functor: w.functor.clone(),
+                    }
+                    .encode_into(&mut mem.active);
+                }
+                mem.records += writes.len() as u64;
+                if mem.active.len() >= MEM_WAL_CHUNK {
+                    let chunk = std::mem::take(&mut mem.active);
+                    mem.sealed.push(Arc::new(chunk));
+                }
+                Ok(())
+            }
+            WalSink::Disk(log) => {
+                let mut frames = Vec::with_capacity(writes.len());
+                for w in writes {
+                    let mut buf = Vec::new();
+                    WalRecord::Install {
+                        key: w.key.clone(),
+                        version,
+                        functor: w.functor.clone(),
+                    }
+                    .encode_into(&mut buf);
+                    frames.push((version.raw(), buf));
+                }
+                log.append_batch(&frames)
+            }
+        }
+    }
+
+    /// Appends one abort record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShuttingDown`] once the disk log has been closed.
+    fn log_abort(&self, key: &Key, version: Timestamp) -> Result<()> {
+        let record = WalRecord::Abort {
+            key: key.clone(),
+            version,
+        };
+        match self {
+            WalSink::Memory(mem) => {
+                let mut mem = mem.lock();
+                record.encode_into(&mut mem.active);
+                mem.records += 1;
+                Ok(())
+            }
+            WalSink::Disk(log) => record.append_durable(log),
+        }
+    }
+
+    /// Epoch group commit: flush (and, per policy, fsync) the disk log, or
+    /// seal the in-memory chunk. Called just before a revoke ack, so a
+    /// settled epoch implies its records are committed.
+    fn commit(&self) {
+        match self {
+            WalSink::Memory(mem) => {
+                let mut mem = mem.lock();
+                if !mem.active.is_empty() {
+                    let chunk = std::mem::take(&mut mem.active);
+                    mem.sealed.push(Arc::new(chunk));
+                }
+            }
+            WalSink::Disk(log) => {
+                let _ = log.commit();
+            }
+        }
+    }
+
+    /// A contiguous copy of the log for replay. The memory path clones only
+    /// chunk handles under the lock; assembly happens outside it.
+    fn snapshot(&self) -> Vec<u8> {
+        match self {
+            WalSink::Memory(mem) => {
+                let (chunks, active) = {
+                    let mem = mem.lock();
+                    (mem.sealed.clone(), mem.active.clone())
+                };
+                let total = chunks.iter().map(|c| c.len()).sum::<usize>() + active.len();
+                let mut out = Vec::with_capacity(total);
+                for chunk in &chunks {
+                    out.extend_from_slice(chunk);
+                }
+                out.extend_from_slice(&active);
+                out
+            }
+            WalSink::Disk(log) => {
+                let mut out = Vec::new();
+                if let Ok(frames) = log.read_back() {
+                    for (_, frame) in frames {
+                        out.extend_from_slice(&frame);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The `durability` node of the stats tree.
+    fn stats_snapshot(&self, current_version: u64) -> StatsSnapshot {
+        match self {
+            WalSink::Memory(mem) => {
+                let mem = mem.lock();
+                let bytes = mem.sealed.iter().map(|c| c.len() as u64).sum::<u64>()
+                    + mem.active.len() as u64;
+                let records = mem.records;
+                drop(mem);
+                let mut s = StatsSnapshot::new("durability");
+                s.set_counter("wal_bytes", bytes);
+                s.set_counter("records", records);
+                s.set_counter("fsyncs", 0);
+                s
+            }
+            WalSink::Disk(log) => log.stats().snapshot(current_version),
+        }
+    }
+}
+
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server").field("id", &self.id).finish()
@@ -227,7 +384,7 @@ impl Server {
         batcher: Option<Batcher<ServerMsg>>,
         exec: Executor,
         programs: Arc<ProgramRegistry>,
-        durable: bool,
+        wal: Option<WalSink>,
         replicated: bool,
         rpc_timeout: Duration,
         history: Option<Arc<History>>,
@@ -248,7 +405,7 @@ impl Server {
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
             rpc_timeout,
-            wal: durable.then(|| Mutex::new(Vec::new())),
+            wal,
             replica: (replicated && total_servers > 1).then(ReplicaStore::default),
             history,
         });
@@ -289,12 +446,24 @@ impl Server {
     }
 
     /// This server's node of the unified stats tree (with its partition's
-    /// counters and its executor's pool metrics as children).
+    /// counters, its executor's pool metrics, and — when durability is on —
+    /// the `durability` subtree as children).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut node = self.stats.snapshot(format!("server_{}", self.id.0));
         node.push_child(self.partition.stats().snapshot("partition"));
         node.push_child(self.exec.stats().snapshot("exec"));
+        if let Some(sink) = &self.wal {
+            node.push_child(sink.stats_snapshot(self.epoch.visible_bound().raw()));
+        }
         node
+    }
+
+    /// The crash-durable log behind this server's WAL, if it writes to disk.
+    pub(crate) fn durable_log(&self) -> Option<&Arc<DurableLog>> {
+        match &self.wal {
+            Some(WalSink::Disk(log)) => Some(log),
+            _ => None,
+        }
     }
 
     /// The server owning `key`'s partition.
@@ -637,6 +806,10 @@ impl Server {
 
     fn finish_ticket(&self, ticket: aloha_epoch::TxnTicket) {
         if let Some(epoch) = self.epoch.txn_finished(ticket) {
+            // Group commit before the ack: once the EM hears this epoch is
+            // complete it may settle it, and a settled epoch's records must
+            // already be committed to the log (§III-A).
+            self.commit_wal();
             let ack = RevokedAck {
                 server: self.id,
                 epoch,
@@ -665,6 +838,13 @@ impl Server {
     // ------------------------------------------------------------------
 
     pub(crate) fn install_batch(&self, version: Timestamp, writes: &[Write]) -> InstallOutcome {
+        // A killed server must not accept installs into its about-to-be
+        // discarded partition: the coordinator's retry lands on the restarted
+        // incarnation instead, and a failed outcome here triggers the normal
+        // abort round.
+        if self.is_shutdown() {
+            return InstallOutcome::CheckFailed("server is shut down".into());
+        }
         // A version at or below the settled bound can no longer be installed:
         // its epoch has already been declared complete.
         if version <= self.epoch.visible_bound() {
@@ -684,17 +864,17 @@ impl Server {
                 }
             }
         }
+        // Log before installing, the whole batch atomically: a batch the log
+        // rejects (closed by a concurrent kill) is failed wholesale, so no
+        // acknowledged install can ever be missing from the log.
+        if let Some(sink) = &self.wal {
+            if sink.log_installs(version, writes).is_err() {
+                return InstallOutcome::CheckFailed("wal closed during shutdown".into());
+            }
+        }
         let installed_at = Instant::now();
         let mut mirrored = Vec::new();
         for w in writes {
-            if let Some(wal) = &self.wal {
-                aloha_storage::WalRecord::Install {
-                    key: w.key.clone(),
-                    version,
-                    functor: w.functor.clone(),
-                }
-                .encode_into(&mut wal.lock());
-            }
             if self.replica.is_some() {
                 mirrored.push((w.key.clone(), version, w.functor.clone()));
             }
@@ -759,13 +939,19 @@ impl Server {
 
     /// Rolls (key, version) back to ABORTED, logging the rollback when
     /// durability is enabled.
+    ///
+    /// If the durable log has been closed by a concurrent kill, the abort
+    /// must not be lost — the version's *install* may already be durable and
+    /// would replay as committed. The rollback is forwarded to this server's
+    /// own address instead, where the restarted incarnation applies and logs
+    /// it; the coordinator's ack ordering is preserved because forwarding
+    /// blocks until the successor answers.
     pub(crate) fn abort_version_logged(&self, key: &Key, version: Timestamp) {
-        if let Some(wal) = &self.wal {
-            aloha_storage::WalRecord::Abort {
-                key: key.clone(),
-                version,
+        if let Some(sink) = &self.wal {
+            if sink.log_abort(key, version).is_err() {
+                self.forward_abort_to_successor(key, version);
+                return;
             }
-            .encode_into(&mut wal.lock());
         }
         // Mirror the rollback as an ABORTED record (replays idempotently:
         // the backup's rebuild path force-aborts the version).
@@ -773,13 +959,46 @@ impl Server {
         self.partition.abort_version(key, version);
     }
 
+    /// Routes an abort this dead incarnation can no longer make durable to
+    /// the server that replaced it on the bus. Retries through the restart
+    /// window; `wait_retry` is not used because it gives up early once the
+    /// shutdown flag — always set here — is raised.
+    fn forward_abort_to_successor(&self, key: &Key, version: Timestamp) {
+        let pairs: Arc<Vec<(Key, Timestamp)>> = Arc::new(vec![(key.clone(), version)]);
+        for _ in 0..RPC_ATTEMPTS {
+            let (slot, handle) = reply_pair();
+            let sent = self.bus.send(
+                Addr::Server(self.id),
+                ServerMsg::AbortVersion {
+                    keys: Arc::clone(&pairs),
+                    reply: slot,
+                },
+            );
+            if sent.is_err() {
+                // Instant network + endpoint still deregistered: wait out
+                // part of the restart window and try again.
+                std::thread::sleep(self.rpc_timeout);
+                continue;
+            }
+            if handle.wait_timeout(self.rpc_timeout).is_ok() {
+                return;
+            }
+        }
+    }
+
     /// Snapshot of this server's write-ahead log (empty if durability is
-    /// off).
+    /// off). The in-memory sink clones chunk handles under its lock and
+    /// assembles outside it; the disk sink reads its segments back.
     pub fn wal_snapshot(&self) -> Vec<u8> {
-        self.wal
-            .as_ref()
-            .map(|w| w.lock().clone())
-            .unwrap_or_default()
+        self.wal.as_ref().map(WalSink::snapshot).unwrap_or_default()
+    }
+
+    /// Epoch group commit: makes the records accumulated this epoch durable
+    /// (flush + policy fsync) before the epoch's completion is acknowledged.
+    pub(crate) fn commit_wal(&self) {
+        if let Some(sink) = &self.wal {
+            sink.commit();
+        }
     }
 
     /// Replays a write-ahead log into this partition, skipping records at or
@@ -1130,6 +1349,10 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
         ServerMsg::Grant(grant) => server.handle_grant(grant),
         ServerMsg::Revoke(epoch) => {
             if server.epoch.on_revoke(epoch) {
+                // Group commit point: the revoke ack is what lets the EM
+                // settle this epoch, so everything the epoch installed must
+                // hit the log first (fsync per policy).
+                server.commit_wal();
                 let ack = RevokedAck {
                     server: server.id,
                     epoch,

@@ -252,6 +252,112 @@ impl fmt::Display for FaultPlan {
     }
 }
 
+/// Where, relative to the epoch cadence, a scheduled crash lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashAlign {
+    /// Kill right as an epoch settles (the victim's last act is the group
+    /// commit that acked the revoke).
+    EpochBoundary,
+    /// Kill partway into an open epoch, with installs in flight and the
+    /// epoch's WAL records not yet group-committed.
+    MidEpoch,
+}
+
+impl fmt::Display for CrashAlign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashAlign::EpochBoundary => write!(f, "epoch-boundary"),
+            CrashAlign::MidEpoch => write!(f, "mid-epoch"),
+        }
+    }
+}
+
+/// A seeded single-server kill-and-restart schedule for chaos tests.
+///
+/// Like [`FaultPlan`], the plan is pure data: every choice (victim, kill
+/// time, alignment) derives from the seed, and the [`Display`] form is a
+/// one-line reproduction recipe the harness prints on failure. The harness
+/// itself performs the kill (`Cluster::kill_server`) and the restart after
+/// [`CrashPlan::restart_after`].
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use aloha_net::CrashPlan;
+///
+/// let plan = CrashPlan::seeded(7, 3, Duration::from_millis(200), Duration::from_millis(50));
+/// let again = CrashPlan::seeded(7, 3, Duration::from_millis(200), Duration::from_millis(50));
+/// assert_eq!(plan, again, "same seed, same schedule");
+/// assert!((plan.target.0 as usize) < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Seed every choice derives from.
+    pub seed: u64,
+    /// The server to kill.
+    pub target: ServerId,
+    /// How long after the run starts the kill fires (the harness also waits
+    /// for the [`CrashPlan::align`] condition once this elapses).
+    pub kill_after: Duration,
+    /// How long the server stays dead before the restart.
+    pub restart_after: Duration,
+    /// Whether the kill lands on an epoch boundary or inside an epoch.
+    pub align: CrashAlign,
+}
+
+impl CrashPlan {
+    /// Derives a schedule from `seed` for a cluster of `servers`: the victim
+    /// is uniform over the cluster, the kill fires somewhere in the middle
+    /// half of `run` (so load is established before and traffic remains
+    /// after), alignment is a coin flip, and the victim stays dead for
+    /// `dead_window`.
+    pub fn seeded(seed: u64, servers: u16, run: Duration, dead_window: Duration) -> CrashPlan {
+        assert!(servers > 0, "crash plan needs at least one server");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let target = ServerId(rng.gen_range(0..servers));
+        let quarter = run / 4;
+        let kill_after =
+            quarter + Duration::from_micros(rng.gen_range(0..=quarter.as_micros() as u64));
+        let align = if rng.gen_bool(0.5) {
+            CrashAlign::EpochBoundary
+        } else {
+            CrashAlign::MidEpoch
+        };
+        CrashPlan {
+            seed,
+            target,
+            kill_after,
+            restart_after: dead_window,
+            align,
+        }
+    }
+
+    /// Pins the alignment (for tests exercising one flavor explicitly).
+    #[must_use]
+    pub fn with_align(mut self, align: CrashAlign) -> CrashPlan {
+        self.align = align;
+        self
+    }
+
+    /// Pins the victim.
+    #[must_use]
+    pub fn with_target(mut self, target: ServerId) -> CrashPlan {
+        self.target = target;
+        self
+    }
+}
+
+impl fmt::Display for CrashPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CrashPlan{{seed={}, kill[{} at {:?} {}], restart_after={:?}}}",
+            self.seed, self.target, self.kill_after, self.align, self.restart_after
+        )
+    }
+}
+
 /// What the fault layer decided for one message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum FaultDecision {

@@ -34,5 +34,5 @@ pub use batch::{BatchConfig, BatchStats, Batcher};
 pub use bus::{Addr, Bus, Endpoint, NetStats};
 pub use delay::{DelayLine, NetConfig};
 pub use exec::{ExecConfig, ExecStats, Executor};
-pub use fault::{FaultPlan, LinkFault, PartitionWindow, PauseWindow};
+pub use fault::{CrashAlign, CrashPlan, FaultPlan, LinkFault, PartitionWindow, PauseWindow};
 pub use reply::{reply_pair, ReplyHandle, ReplySlot};

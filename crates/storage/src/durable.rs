@@ -1,0 +1,853 @@
+//! File-backed durable log segments with epoch group commit (§III-A).
+//!
+//! The in-memory log of [`crate::wal`] gives the codec; this module gives it
+//! a crash-durable home. Records are appended to length-delimited,
+//! CRC32-checksummed segment files and made durable with **epoch group
+//! commit**: the records accumulated during an epoch are flushed (and,
+//! policy permitting, fsync'd) once at epoch close, amortizing the sync cost
+//! across every transaction of the epoch — the same amortization trick the
+//! epoch state machine already plays with visibility.
+//!
+//! Periodic watermark checkpoints ([`DurableLog::install_checkpoint`])
+//! persist a settled snapshot and truncate segments whose every record the
+//! snapshot covers, bounding recovery time and disk use.
+//!
+//! Recovery ([`DurableLog::open`]) scans segments in sequence order,
+//! validates each frame's checksum, and stops cleanly at the last valid
+//! record: a torn tail on the final segment is the expected artifact of a
+//! crash mid-append, while damage anywhere else is reported as corruption.
+//! Either way the valid prefix is returned and nothing partial is applied.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aloha_common::{Counter, Error, Result, StatsSnapshot};
+use parking_lot::Mutex;
+
+/// Magic header opening every segment file.
+const SEG_MAGIC: &[u8; 8] = b"ALOHAWL1";
+/// Segment file name prefix (`wal-<seq>.log`).
+const SEG_PREFIX: &str = "wal-";
+/// Segment file name suffix.
+const SEG_SUFFIX: &str = ".log";
+/// Checkpoint file name prefix (`checkpoint-<version>.ckpt`).
+const CKPT_PREFIX: &str = "checkpoint-";
+/// Checkpoint file name suffix.
+const CKPT_SUFFIX: &str = ".ckpt";
+/// Frame header: u32 payload+version length, u32 CRC32, u64 version.
+const FRAME_HEADER: usize = 4 + 4;
+
+/// When the log pays for an `fsync`.
+///
+/// `write()`d bytes survive a process crash (they live in the page cache);
+/// the fsync policy decides what survives a machine crash, and is the knob
+/// the durability ablation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fsync {
+    /// Sync once per epoch group commit — every settled epoch is
+    /// machine-crash durable.
+    EveryEpoch,
+    /// Sync every N group commits — bounded-loss middle ground.
+    EveryN(u32),
+    /// Never sync; durability rides on the page cache alone.
+    Never,
+}
+
+impl std::fmt::Display for Fsync {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fsync::EveryEpoch => write!(f, "every-epoch"),
+            Fsync::EveryN(n) => write!(f, "every-{n}"),
+            Fsync::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Configuration for a [`DurableLog`].
+#[derive(Debug, Clone)]
+pub struct DurableLogConfig {
+    /// Directory holding segment and checkpoint files.
+    pub dir: PathBuf,
+    /// Group-commit sync policy.
+    pub fsync: Fsync,
+    /// Rotate to a new segment once the live one exceeds this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl DurableLogConfig {
+    /// A log in `dir` with epoch-granular fsync and 256 KiB segments.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableLogConfig {
+        DurableLogConfig {
+            dir: dir.into(),
+            fsync: Fsync::EveryEpoch,
+            segment_bytes: 256 * 1024,
+        }
+    }
+
+    /// Overrides the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: Fsync) -> DurableLogConfig {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Overrides the segment rotation threshold.
+    #[must_use]
+    pub fn with_segment_bytes(mut self, bytes: u64) -> DurableLogConfig {
+        self.segment_bytes = bytes.max(64);
+        self
+    }
+}
+
+/// Counters and gauges exported as the `durability` stats subtree.
+#[derive(Debug, Default)]
+pub struct DurabilityStats {
+    /// Bytes appended to segment files (frame headers included).
+    pub wal_bytes: Counter,
+    /// Records appended.
+    pub records: Counter,
+    /// Group commits performed.
+    pub commits: Counter,
+    /// `fsync` calls actually issued (policy-dependent).
+    pub fsyncs: Counter,
+    /// Segments deleted by checkpoint truncation.
+    pub segments_truncated: Counter,
+    /// Microseconds the last recovery spent replaying the WAL suffix.
+    pub recovery_replay_micros: AtomicU64,
+    /// Version of the most recently installed checkpoint.
+    pub last_checkpoint_version: AtomicU64,
+}
+
+impl DurabilityStats {
+    /// Renders the subtree in the unified snapshot schema.
+    ///
+    /// `current_version` (typically the visibility bound) turns the last
+    /// checkpoint version into a `checkpoint_age` gauge: how far the log has
+    /// run ahead of the snapshot it would recover from.
+    pub fn snapshot(&self, current_version: u64) -> StatsSnapshot {
+        let mut s = StatsSnapshot::new("durability");
+        s.set_counter("wal_bytes", self.wal_bytes.get());
+        s.set_counter("records", self.records.get());
+        s.set_counter("commits", self.commits.get());
+        s.set_counter("fsyncs", self.fsyncs.get());
+        s.set_counter("segments_truncated", self.segments_truncated.get());
+        s.set_gauge(
+            "recovery_replay_micros",
+            self.recovery_replay_micros.load(Ordering::Relaxed),
+        );
+        let ckpt = self.last_checkpoint_version.load(Ordering::Relaxed);
+        s.set_gauge("checkpoint_version", ckpt);
+        s.set_gauge("checkpoint_age", current_version.saturating_sub(ckpt));
+        s
+    }
+}
+
+/// Where a recovery scan stopped short, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogDamage {
+    /// The final segment ends mid-frame — the expected artifact of a crash
+    /// during an append. The valid prefix is intact.
+    TornTail {
+        /// Sequence number of the damaged segment.
+        segment: u64,
+        /// Byte offset of the first unusable byte.
+        offset: u64,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A frame failed its checksum or a non-final segment is truncated —
+    /// damage a clean crash cannot explain.
+    Corrupt {
+        /// Sequence number of the damaged segment.
+        segment: u64,
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for LogDamage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogDamage::TornTail {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "torn tail in segment {segment} at byte {offset}: {reason}; \
+                 replay stops at the last valid record"
+            ),
+            LogDamage::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corruption in segment {segment} at byte {offset}: {reason}; \
+                 replay stops at the last valid record"
+            ),
+        }
+    }
+}
+
+/// Everything a recovery scan found: the newest checkpoint, the ordered
+/// valid record payloads, and any damage that ended the scan early.
+#[derive(Debug)]
+pub struct RecoveredLog {
+    /// Newest readable checkpoint as `(version, blob)`, if any.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// Valid records in append order as `(version, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Why the scan stopped early, if it did. Never a panic, never a
+    /// partially applied record.
+    pub damage: Option<LogDamage>,
+    /// Segment files scanned.
+    pub segments_scanned: usize,
+}
+
+/// A sealed (no longer written) segment on disk.
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    seq: u64,
+    /// Highest record version in the segment; `0` when empty.
+    max_version: u64,
+}
+
+struct LogInner {
+    writer: BufWriter<File>,
+    /// Sequence number of the live segment.
+    seq: u64,
+    /// Bytes written to the live segment (header included).
+    seg_bytes: u64,
+    /// Highest version appended to the live segment.
+    seg_max_version: u64,
+    /// Sealed segments still on disk, oldest first.
+    sealed: Vec<SegmentMeta>,
+    /// Group commits since the last fsync (for `Fsync::EveryN`).
+    commits_since_sync: u32,
+    closed: bool,
+}
+
+/// A crash-durable, segmented, checksummed log with epoch group commit.
+///
+/// Thread-safe: appends serialize on an internal mutex; the hot path is a
+/// buffered write. Durability is paid once per epoch in [`DurableLog::commit`].
+pub struct DurableLog {
+    dir: PathBuf,
+    fsync: Fsync,
+    segment_bytes: u64,
+    inner: Mutex<LogInner>,
+    stats: DurabilityStats,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .finish()
+    }
+}
+
+fn io_err(context: &str, err: std::io::Error) -> Error {
+    Error::Io(format!("{context}: {err}"))
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{SEG_PREFIX}{seq:08}{SEG_SUFFIX}"))
+}
+
+fn checkpoint_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(format!("{CKPT_PREFIX}{version:020}{CKPT_SUFFIX}"))
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn open_segment(dir: &Path, seq: u64) -> Result<BufWriter<File>> {
+    let path = segment_path(dir, seq);
+    let file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| io_err("create wal segment", e))?;
+    let mut w = BufWriter::new(file);
+    w.write_all(SEG_MAGIC)
+        .and_then(|()| w.write_all(&seq.to_be_bytes()))
+        .map_err(|e| io_err("write segment header", e))?;
+    Ok(w)
+}
+
+impl DurableLog {
+    /// Opens (or creates) the log in `config.dir`, first recovering whatever
+    /// a previous incarnation left behind. Appends continue in a fresh
+    /// segment, so recovered bytes are never written over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the directory or segment files cannot be
+    /// created or read. Damaged segment *contents* are not an error — they
+    /// are reported in [`RecoveredLog::damage`] with the valid prefix.
+    pub fn open(config: DurableLogConfig) -> Result<(DurableLog, RecoveredLog)> {
+        fs::create_dir_all(&config.dir).map_err(|e| io_err("create wal directory", e))?;
+        let recovered = scan_dir(&config.dir)?;
+        let mut sealed = Vec::new();
+        let mut next_seq = 0;
+        for (seq, max_version) in &recovered.segment_info {
+            sealed.push(SegmentMeta {
+                seq: *seq,
+                max_version: *max_version,
+            });
+            next_seq = next_seq.max(seq + 1);
+        }
+        let writer = open_segment(&config.dir, next_seq)?;
+        let stats = DurabilityStats::default();
+        if let Some((v, _)) = &recovered.log.checkpoint {
+            stats.last_checkpoint_version.store(*v, Ordering::Relaxed);
+        }
+        let log = DurableLog {
+            dir: config.dir,
+            fsync: config.fsync,
+            segment_bytes: config.segment_bytes,
+            inner: Mutex::new(LogInner {
+                writer,
+                seq: next_seq,
+                seg_bytes: (SEG_MAGIC.len() + 8) as u64,
+                seg_max_version: 0,
+                sealed,
+                commits_since_sync: 0,
+                closed: false,
+            }),
+            stats,
+        };
+        Ok((log, recovered.log))
+    }
+
+    /// Appends one record payload ordered by `version`.
+    ///
+    /// The bytes reach the buffered writer immediately and the file at the
+    /// next flush (rotation, [`commit`](DurableLog::commit), or
+    /// [`close`](DurableLog::close)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShuttingDown`] after [`close`](DurableLog::close) —
+    /// callers treat that as a failed install, not a silent success — and
+    /// [`Error::Io`] on filesystem failures.
+    pub fn append(&self, version: u64, payload: &[u8]) -> Result<()> {
+        self.append_batch(&[(version, payload.to_vec())])
+    }
+
+    /// Appends a batch of `(version, payload)` frames under one lock
+    /// acquisition: either every frame lands or (if the log was closed
+    /// first) none does. Transactional install batches use this so a kill
+    /// can never persist half a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShuttingDown`] after close, [`Error::Io`] on
+    /// filesystem failures.
+    pub fn append_batch(&self, frames: &[(u64, Vec<u8>)]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(Error::ShuttingDown);
+        }
+        for (version, payload) in frames {
+            let mut body = Vec::with_capacity(8 + payload.len());
+            body.extend_from_slice(&version.to_be_bytes());
+            body.extend_from_slice(payload);
+            let crc = crc32(&body);
+            inner
+                .writer
+                .write_all(&(body.len() as u32).to_be_bytes())
+                .and_then(|()| inner.writer.write_all(&crc.to_be_bytes()))
+                .and_then(|()| inner.writer.write_all(&body))
+                .map_err(|e| io_err("append wal record", e))?;
+            inner.seg_bytes += (FRAME_HEADER + body.len()) as u64;
+            inner.seg_max_version = inner.seg_max_version.max(*version);
+            self.stats.wal_bytes.add((FRAME_HEADER + body.len()) as u64);
+            self.stats.records.incr();
+        }
+        if inner.seg_bytes >= self.segment_bytes {
+            self.rotate(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the live segment and starts the next one.
+    fn rotate(&self, inner: &mut LogInner) -> Result<()> {
+        inner
+            .writer
+            .flush()
+            .map_err(|e| io_err("flush wal segment", e))?;
+        let sealed = SegmentMeta {
+            seq: inner.seq,
+            max_version: inner.seg_max_version,
+        };
+        inner.sealed.push(sealed);
+        inner.seq += 1;
+        inner.writer = open_segment(&self.dir, inner.seq)?;
+        inner.seg_bytes = (SEG_MAGIC.len() + 8) as u64;
+        inner.seg_max_version = 0;
+        Ok(())
+    }
+
+    /// Epoch group commit: flushes buffered records and syncs per policy.
+    ///
+    /// Called once per epoch close (just before the revoke ack), so a
+    /// settled epoch implies its records reached the file — and, under
+    /// [`Fsync::EveryEpoch`], the disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on flush or sync failure. A closed log commits
+    /// as a no-op: close already flushed everything.
+    pub fn commit(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Ok(());
+        }
+        inner
+            .writer
+            .flush()
+            .map_err(|e| io_err("flush wal group commit", e))?;
+        inner.commits_since_sync += 1;
+        let sync = match self.fsync {
+            Fsync::EveryEpoch => true,
+            Fsync::EveryN(n) => inner.commits_since_sync >= n.max(1),
+            Fsync::Never => false,
+        };
+        if sync {
+            inner
+                .writer
+                .get_ref()
+                .sync_data()
+                .map_err(|e| io_err("fsync wal segment", e))?;
+            inner.commits_since_sync = 0;
+            self.stats.fsyncs.incr();
+        }
+        self.stats.commits.incr();
+        Ok(())
+    }
+
+    /// Persists a checkpoint blob for `version` (tmp file + rename, so a
+    /// crash mid-write never leaves a half checkpoint as the newest), then
+    /// deletes sealed segments and older checkpoints the blob fully covers.
+    /// Returns the number of segments truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on filesystem failures.
+    pub fn install_checkpoint(&self, version: u64, blob: &[u8]) -> Result<usize> {
+        let tmp = self.dir.join(format!("{CKPT_PREFIX}{version:020}.tmp"));
+        let finalp = checkpoint_path(&self.dir, version);
+        let mut f = File::create(&tmp).map_err(|e| io_err("create checkpoint tmp", e))?;
+        f.write_all(blob)
+            .and_then(|()| f.sync_data())
+            .map_err(|e| io_err("write checkpoint", e))?;
+        drop(f);
+        fs::rename(&tmp, &finalp).map_err(|e| io_err("rename checkpoint", e))?;
+
+        let mut inner = self.inner.lock();
+        let mut removed = 0;
+        inner.sealed.retain(|seg| {
+            // A sealed segment is dead once every record in it is at or
+            // below the checkpoint version. Empty segments (max 0) die too.
+            if seg.max_version <= version {
+                let _ = fs::remove_file(segment_path(&self.dir, seg.seq));
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        drop(inner);
+        self.stats.segments_truncated.add(removed as u64);
+        self.stats
+            .last_checkpoint_version
+            .fetch_max(version, Ordering::Relaxed);
+
+        // Older checkpoints are superseded; keep only the newest.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(v) = parse_numbered(name, CKPT_PREFIX, CKPT_SUFFIX) {
+                    if v < version {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Flushes, syncs and closes the log. Later appends fail with
+    /// [`Error::ShuttingDown`]; later commits are no-ops.
+    ///
+    /// The sync-on-close models the harness's crash semantics: an in-process
+    /// "kill" cannot preempt threads mid-instruction, so every record whose
+    /// install was acknowledged has already reached `append` and is flushed
+    /// here before the recovery scan reads the directory back.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        inner.closed = true;
+        let _ = inner.writer.flush();
+        let _ = inner.writer.get_ref().sync_data();
+    }
+
+    /// Whether [`close`](DurableLog::close) has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Durability counters for the stats snapshot.
+    pub fn stats(&self) -> &DurabilityStats {
+        &self.stats
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reads every valid record currently on disk (flushing first), in
+    /// append order. Used by parity snapshots and tests; the hot path never
+    /// calls this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when segment files cannot be read.
+    pub fn read_back(&self) -> Result<Vec<(u64, Vec<u8>)>> {
+        {
+            let mut inner = self.inner.lock();
+            if !inner.closed {
+                inner
+                    .writer
+                    .flush()
+                    .map_err(|e| io_err("flush before read-back", e))?;
+            }
+        }
+        Ok(scan_dir(&self.dir)?.log.records)
+    }
+}
+
+struct ScanResult {
+    log: RecoveredLog,
+    /// `(seq, max_version)` for every segment found on disk.
+    segment_info: Vec<(u64, u64)>,
+}
+
+/// Scans a log directory: newest readable checkpoint plus every valid
+/// record in segment order, stopping at the first damaged frame.
+fn scan_dir(dir: &Path) -> Result<ScanResult> {
+    let mut seg_seqs: Vec<u64> = Vec::new();
+    let mut ckpt_versions: Vec<u64> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err("read wal directory", e))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_numbered(name, SEG_PREFIX, SEG_SUFFIX) {
+            seg_seqs.push(seq);
+        } else if let Some(v) = parse_numbered(name, CKPT_PREFIX, CKPT_SUFFIX) {
+            ckpt_versions.push(v);
+        }
+    }
+    seg_seqs.sort_unstable();
+    ckpt_versions.sort_unstable();
+
+    let checkpoint = ckpt_versions.iter().rev().find_map(|v| {
+        fs::read(checkpoint_path(dir, *v))
+            .ok()
+            .map(|blob| (*v, blob))
+    });
+
+    let mut records = Vec::new();
+    let mut damage = None;
+    let mut segment_info = Vec::new();
+    for (idx, seq) in seg_seqs.iter().enumerate() {
+        let is_last = idx == seg_seqs.len() - 1;
+        let path = segment_path(dir, *seq);
+        let mut buf = Vec::new();
+        File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut buf))
+            .map_err(|e| io_err("read wal segment", e))?;
+        let (seg_records, seg_damage) = scan_segment(*seq, &buf, is_last);
+        let max_version = seg_records.iter().map(|(v, _)| *v).max().unwrap_or(0);
+        segment_info.push((*seq, max_version));
+        records.extend(seg_records);
+        if let Some(d) = seg_damage {
+            damage = Some(d);
+            break;
+        }
+    }
+    Ok(ScanResult {
+        log: RecoveredLog {
+            checkpoint,
+            records,
+            damage,
+            segments_scanned: seg_seqs.len(),
+        },
+        segment_info,
+    })
+}
+
+/// Walks one segment's frames, returning the valid prefix and the damage
+/// that ended the walk, if any.
+fn scan_segment(seq: u64, buf: &[u8], is_last: bool) -> (Vec<(u64, Vec<u8>)>, Option<LogDamage>) {
+    let mut records = Vec::new();
+    let header = SEG_MAGIC.len() + 8;
+    let torn = |offset: usize, reason: &str| {
+        if is_last {
+            LogDamage::TornTail {
+                segment: seq,
+                offset: offset as u64,
+                reason: reason.to_string(),
+            }
+        } else {
+            LogDamage::Corrupt {
+                segment: seq,
+                offset: offset as u64,
+                reason: format!("{reason} in a non-final segment"),
+            }
+        }
+    };
+    if buf.len() < header || &buf[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return (records, Some(torn(0, "missing or invalid segment header")));
+    }
+    let mut offset = header;
+    while offset < buf.len() {
+        if buf.len() - offset < FRAME_HEADER {
+            return (records, Some(torn(offset, "truncated frame header")));
+        }
+        let len = u32::from_be_bytes(buf[offset..offset + 4].try_into().expect("checked")) as usize;
+        let crc = u32::from_be_bytes(buf[offset + 4..offset + 8].try_into().expect("checked"));
+        if len < 8 {
+            return (
+                records,
+                Some(LogDamage::Corrupt {
+                    segment: seq,
+                    offset: offset as u64,
+                    reason: format!("frame length {len} below minimum"),
+                }),
+            );
+        }
+        if buf.len() - offset - FRAME_HEADER < len {
+            return (records, Some(torn(offset, "truncated frame body")));
+        }
+        let body = &buf[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+        if crc32(body) != crc {
+            return (
+                records,
+                Some(LogDamage::Corrupt {
+                    segment: seq,
+                    offset: offset as u64,
+                    reason: "checksum mismatch".to_string(),
+                }),
+            );
+        }
+        let version = u64::from_be_bytes(body[..8].try_into().expect("checked"));
+        records.push((version, body[8..].to_vec()));
+        offset += FRAME_HEADER + len;
+    }
+    (records, None)
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Hand-rolled: the workspace
+/// carries no checksum crate, and a 256-entry table is all the speed this
+/// path needs — appends checksum tens of bytes per record.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_common::tempdir::TempDir;
+
+    fn open_fresh(dir: &TempDir) -> DurableLog {
+        let (log, rec) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        assert!(rec.records.is_empty());
+        log
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_commit_recover_round_trip() {
+        let dir = TempDir::new("durable");
+        let log = open_fresh(&dir);
+        log.append(10, b"alpha").unwrap();
+        log.append(20, b"beta").unwrap();
+        log.commit().unwrap();
+        log.close();
+
+        let (_log2, rec) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        assert!(rec.damage.is_none());
+        assert_eq!(
+            rec.records,
+            vec![(10, b"alpha".to_vec()), (20, b"beta".to_vec())]
+        );
+    }
+
+    #[test]
+    fn reopen_appends_to_a_fresh_segment() {
+        let dir = TempDir::new("durable");
+        let log = open_fresh(&dir);
+        log.append(1, b"one").unwrap();
+        log.close();
+        let (log2, _) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        log2.append(2, b"two").unwrap();
+        log2.close();
+        let (_log3, rec) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
+        );
+        assert!(rec.segments_scanned >= 2);
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_checkpoint_truncates_them() {
+        let dir = TempDir::new("durable");
+        let cfg = DurableLogConfig::new(dir.path()).with_segment_bytes(64);
+        let (log, _) = DurableLog::open(cfg).unwrap();
+        for v in 1..=20u64 {
+            log.append(v, &[0u8; 32]).unwrap();
+        }
+        log.commit().unwrap();
+        // Everything at or below version 20 is covered: all sealed segments die.
+        let removed = log.install_checkpoint(20, b"blob").unwrap();
+        assert!(removed > 0, "rotation must have sealed segments");
+        log.append(21, b"later").unwrap();
+        log.close();
+
+        let (_log2, rec) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        assert_eq!(rec.checkpoint, Some((20, b"blob".to_vec())));
+        assert_eq!(rec.records, vec![(21, b"later".to_vec())]);
+    }
+
+    #[test]
+    fn closed_log_rejects_appends() {
+        let dir = TempDir::new("durable");
+        let log = open_fresh(&dir);
+        log.close();
+        assert!(matches!(log.append(1, b"x"), Err(Error::ShuttingDown)));
+        assert!(log.commit().is_ok(), "commit after close is a no-op");
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_with_description() {
+        let dir = TempDir::new("durable");
+        let log = open_fresh(&dir);
+        log.append(1, b"whole").unwrap();
+        log.append(2, b"torn-away").unwrap();
+        log.close();
+        // Chop the last record in half.
+        let path = segment_path(dir.path(), 0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (_log2, rec) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        assert_eq!(rec.records, vec![(1, b"whole".to_vec())]);
+        match rec.damage {
+            Some(LogDamage::TornTail { segment: 0, .. }) => {}
+            other => panic!("expected torn tail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_reports_corruption_after_valid_prefix() {
+        let dir = TempDir::new("durable");
+        let log = open_fresh(&dir);
+        log.append(1, b"good").unwrap();
+        log.append(2, b"flipped").unwrap();
+        log.close();
+        let path = segment_path(dir.path(), 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let (_log2, rec) = DurableLog::open(DurableLogConfig::new(dir.path())).unwrap();
+        assert_eq!(rec.records, vec![(1, b"good".to_vec())]);
+        let damage = rec.damage.expect("damage reported");
+        assert!(matches!(damage, LogDamage::Corrupt { .. }));
+        assert!(damage.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn fsync_policies_count_syncs() {
+        let dir = TempDir::new("durable");
+        let (every, _) =
+            DurableLog::open(DurableLogConfig::new(dir.join("e")).with_fsync(Fsync::EveryEpoch))
+                .unwrap();
+        let (third, _) =
+            DurableLog::open(DurableLogConfig::new(dir.join("n")).with_fsync(Fsync::EveryN(3)))
+                .unwrap();
+        let (never, _) =
+            DurableLog::open(DurableLogConfig::new(dir.join("x")).with_fsync(Fsync::Never))
+                .unwrap();
+        for _ in 0..6 {
+            every.commit().unwrap();
+            third.commit().unwrap();
+            never.commit().unwrap();
+        }
+        assert_eq!(every.stats().fsyncs.get(), 6);
+        assert_eq!(third.stats().fsyncs.get(), 2);
+        assert_eq!(never.stats().fsyncs.get(), 0);
+    }
+
+    #[test]
+    fn stats_subtree_exposes_checkpoint_age() {
+        let dir = TempDir::new("durable");
+        let log = open_fresh(&dir);
+        log.append(5, b"r").unwrap();
+        log.install_checkpoint(5, b"blob").unwrap();
+        let snap = log.stats().snapshot(12);
+        assert_eq!(snap.gauge("checkpoint_version"), Some(5));
+        assert_eq!(snap.gauge("checkpoint_age"), Some(7));
+        assert_eq!(snap.counter("records"), Some(1));
+    }
+}

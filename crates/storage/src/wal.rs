@@ -129,6 +129,27 @@ pub fn decode_functor(r: &mut Reader<'_>) -> Result<Functor> {
 }
 
 impl WalRecord {
+    /// The transaction version this record carries — the ordering key the
+    /// durable log uses for checkpoint truncation.
+    pub fn version(&self) -> Timestamp {
+        match self {
+            WalRecord::Install { version, .. } | WalRecord::Abort { version, .. } => *version,
+        }
+    }
+
+    /// Appends this record to the durable log, keyed by its version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::durable::DurableLog::append`] failures — notably
+    /// `ShuttingDown` once the log is closed, which the caller must treat
+    /// as a failed (not silently lost) install.
+    pub fn append_durable(&self, log: &crate::durable::DurableLog) -> Result<()> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        log.append(self.version().raw(), &buf)
+    }
+
     /// Appends this record to `out` (length-prefixed frame).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut w = Writer::new();
@@ -230,6 +251,55 @@ pub fn replay_log(partition: &Partition, buf: &[u8], checkpoint: Timestamp) -> R
         }
     }
     Ok(applied)
+}
+
+/// Replays decoded records into a partition, skipping versions at or below
+/// `checkpoint`. Returns the number of records applied. Replay is
+/// idempotent: installs are first-write-wins puts and aborts pre-insert
+/// `ABORTED`, so applying the same suffix twice is a no-op.
+pub fn apply_records(partition: &Partition, records: &[WalRecord], checkpoint: Timestamp) -> usize {
+    let mut applied = 0;
+    for record in records {
+        if record.version() <= checkpoint {
+            continue;
+        }
+        match record {
+            WalRecord::Install {
+                key,
+                version,
+                functor,
+            } => {
+                partition.store().put(key, *version, functor.clone());
+            }
+            WalRecord::Abort { key, version } => {
+                partition.abort_version(key, *version);
+            }
+        }
+        applied += 1;
+    }
+    applied
+}
+
+/// Decodes and replays payloads recovered from a [`crate::durable::DurableLog`]
+/// (each payload holding one encoded frame) into a partition, skipping
+/// records at or below `checkpoint`. Returns the number applied.
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] if a payload does not decode — the durable log's
+/// checksums make this a bug, not an expected crash artifact.
+pub fn replay_records(
+    partition: &Partition,
+    payloads: &[(u64, Vec<u8>)],
+    checkpoint: Timestamp,
+) -> Result<usize> {
+    let mut decoded = Vec::with_capacity(payloads.len());
+    for (_, payload) in payloads {
+        for record in read_log(payload) {
+            decoded.push(record?);
+        }
+    }
+    Ok(apply_records(partition, &decoded, checkpoint))
 }
 
 #[cfg(test)]
