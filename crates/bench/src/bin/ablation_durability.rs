@@ -46,7 +46,7 @@ impl Variant {
     fn configure(&self, config: ClusterConfig, dir: &TempDir) -> ClusterConfig {
         match self {
             Variant::None => config,
-            Variant::Memory => config.with_durability(true),
+            Variant::Memory => config.with_memory_wal(),
             Variant::Disk(fsync) => {
                 config.with_durable_log(DurableLogSpec::new(dir.path()).with_fsync(*fsync))
             }

@@ -60,13 +60,13 @@ fn main() {
         c.with_noauth(false)
     });
     run("durable-wal", servers, &opts, &mut report, |c| {
-        c.with_durability(true)
+        c.with_memory_wal()
     });
     run("replicated", servers, &opts, &mut report, |c| {
-        c.with_replication(true)
+        c.with_ring_replication()
     });
     run("durable+replicated", servers, &opts, &mut report, |c| {
-        c.with_durability(true).with_replication(true)
+        c.with_memory_wal().with_ring_replication()
     });
     report.emit(&opts).expect("write ablation_ecc report");
 }

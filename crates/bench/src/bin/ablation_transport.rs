@@ -1,0 +1,44 @@
+//! Ablation of the transport: the simulated in-process bus against real
+//! TCP over loopback.
+//!
+//! Both rows run the identical YCSB workload and epoch schedule; the only
+//! difference is every inter-node message's path. `simulated` delivers
+//! through the in-process [`aloha_net::Bus`] (crossbeam channels, optional
+//! modelled latency — here zero). `tcp-loopback` builds one
+//! [`aloha_net::TcpTransport`] per node inside this process, cross-wired
+//! over 127.0.0.1, so every cross-partition RPC pays real socket syscalls,
+//! wire encoding and kernel scheduling. The gap between the rows is the
+//! serialization + syscall tax a real deployment adds on top of the
+//! simulated numbers in the other figures.
+
+use aloha_bench::harness::ALOHA_EPOCH;
+use aloha_bench::multiproc::tcp_ycsb_run;
+use aloha_bench::{aloha_ycsb_run, BenchOpts, BenchReport, RunResult};
+use aloha_workloads::ycsb::YcsbConfig;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let servers = opts.servers();
+    println!("# Ablation: transport, {servers} servers, YCSB low contention");
+    println!("transport,tput_ktps,mean_ms,p99_ms");
+    let mut report = BenchReport::new("ablation_transport", servers, opts.duration().as_secs_f64());
+    let cfg = YcsbConfig::with_contention_index(servers, 0.01).with_keys_per_partition(20_000);
+    let driver = opts.driver(8, 64);
+
+    let emit = |name: &str, r: &RunResult| {
+        println!(
+            "{name},{:.2},{:.2},{:.2}",
+            r.tput_ktps, r.mean_latency_ms, r.p99_latency_ms,
+        );
+    };
+
+    let simulated = aloha_ycsb_run(&cfg, ALOHA_EPOCH, &driver);
+    emit("simulated", &simulated);
+    report.push("simulated", simulated);
+
+    let tcp = tcp_ycsb_run(&cfg, ALOHA_EPOCH, &driver);
+    emit("tcp-loopback", &tcp);
+    report.push("tcp-loopback", tcp);
+
+    report.emit(&opts).expect("write ablation_transport report");
+}

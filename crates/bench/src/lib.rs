@@ -27,6 +27,7 @@
 //! records paper-vs-measured values.
 
 pub mod harness;
+pub mod multiproc;
 
 pub use harness::{
     aloha_tpcc_run, aloha_ycsb_run, calvin_tpcc_run, calvin_ycsb_run, BenchOpts, BenchReport,

@@ -13,7 +13,7 @@ use aloha_control::{
     AccessKind, AdaptivePacer, AdmissionGate, ControlConfig, FixedPacer, Pacer, PacerGauges,
     PacerSample, Permit,
 };
-use aloha_net::{Addr, Bus, ExecConfig, Executor, NetConfig};
+use aloha_net::{Addr, Bus, ExecConfig, Executor, NetConfig, Transport};
 use aloha_storage::{DurableLog, DurableLogConfig, Fsync};
 use parking_lot::{Mutex, RwLock};
 
@@ -38,6 +38,9 @@ pub struct CalvinDurability {
     pub fsync: Fsync,
     /// Segment rotation threshold in bytes.
     pub segment_bytes: u64,
+    /// Flush every append to the kernel before acknowledging it (see
+    /// `aloha_storage::DurableLogConfig::flush_appends`).
+    pub flush_appends: bool,
 }
 
 impl CalvinDurability {
@@ -48,6 +51,7 @@ impl CalvinDurability {
             dir: dir.into(),
             fsync: Fsync::EveryEpoch,
             segment_bytes: 256 * 1024,
+            flush_appends: false,
         }
     }
 
@@ -62,6 +66,14 @@ impl CalvinDurability {
     #[must_use]
     pub fn with_segment_bytes(mut self, bytes: u64) -> CalvinDurability {
         self.segment_bytes = bytes;
+        self
+    }
+
+    /// Enables per-append kernel flushes (process-crash durability for
+    /// acknowledged appends).
+    #[must_use]
+    pub fn with_flush_appends(mut self, flush: bool) -> CalvinDurability {
+        self.flush_appends = flush;
         self
     }
 }
@@ -93,6 +105,32 @@ pub struct CalvinConfig {
     /// Durable logging and single-server restart support. `None` (the
     /// default) keeps the baseline fully in-memory.
     pub durability: Option<CalvinDurability>,
+    /// Which [`Transport`] carries cluster messages. The default simulated
+    /// bus is built from [`CalvinConfig::net`]; a custom transport ignores
+    /// `net` entirely.
+    pub transport: CalvinTransportSpec,
+}
+
+/// Which transport implementation a Calvin cluster runs on (see
+/// [`CalvinConfig::with_transport`]) — the baseline's analogue of the ALOHA
+/// engine's `TransportSpec`.
+#[derive(Clone, Default)]
+pub enum CalvinTransportSpec {
+    /// The in-process simulated [`Bus`], built from [`CalvinConfig::net`].
+    #[default]
+    Simulated,
+    /// A caller-supplied transport. The cluster takes ownership of its
+    /// lifecycle: [`CalvinCluster::shutdown`] shuts the transport down.
+    Custom(Arc<dyn Transport<CalvinMsg>>),
+}
+
+impl std::fmt::Debug for CalvinTransportSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalvinTransportSpec::Simulated => f.write_str("CalvinTransportSpec::Simulated"),
+            CalvinTransportSpec::Custom(_) => f.write_str("CalvinTransportSpec::Custom(..)"),
+        }
+    }
 }
 
 impl CalvinConfig {
@@ -107,6 +145,7 @@ impl CalvinConfig {
             exec: ExecConfig::default(),
             control: None,
             durability: None,
+            transport: CalvinTransportSpec::Simulated,
         }
     }
 
@@ -149,8 +188,28 @@ impl CalvinConfig {
 
     /// Enables the durable log (and with it
     /// [`CalvinCluster::restart_server`]).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `with_durable_log(spec)`, the same builder name the ALOHA engine uses"
+    )]
     pub fn with_durability(mut self, durability: CalvinDurability) -> CalvinConfig {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Enables the durable log (and with it
+    /// [`CalvinCluster::restart_server`]). Named symmetrically with the
+    /// ALOHA engine's `ClusterConfig::with_durable_log`.
+    pub fn with_durable_log(mut self, durability: CalvinDurability) -> CalvinConfig {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// Runs the cluster on a caller-supplied [`Transport`] instead of the
+    /// default simulated bus; [`CalvinConfig::net`] is ignored. The cluster
+    /// owns the transport's lifecycle from here on.
+    pub fn with_transport(mut self, transport: Arc<dyn Transport<CalvinMsg>>) -> CalvinConfig {
+        self.transport = CalvinTransportSpec::Custom(transport);
         self
     }
 }
@@ -206,13 +265,18 @@ type BuiltServer = (
 /// Builds one server: recovers its durable log (if configured), registers
 /// its endpoint, and spawns its dispatcher, sequencer, scheduler and worker
 /// threads. Used both at cluster start and on restart.
-fn build_server(ctx: &CalvinRebuild, bus: &Bus<CalvinMsg>, i: u16) -> Result<BuiltServer> {
+fn build_server(
+    ctx: &CalvinRebuild,
+    net: &Arc<dyn Transport<CalvinMsg>>,
+    i: u16,
+) -> Result<BuiltServer> {
     let n = ctx.config.servers;
     let (wal, report) = match &ctx.config.durability {
         Some(spec) => {
             let cfg = DurableLogConfig::new(spec.dir.join(format!("server-{i}")))
                 .with_fsync(spec.fsync)
-                .with_segment_bytes(spec.segment_bytes);
+                .with_segment_bytes(spec.segment_bytes)
+                .with_flush_appends(spec.flush_appends);
             let (log, recovered) = DurableLog::open(cfg)?;
             let store = CalvinStore::new();
             let (report, ring) = durability::replay(ServerId(i), &store, &recovered)?;
@@ -227,7 +291,7 @@ fn build_server(ctx: &CalvinRebuild, bus: &Bus<CalvinMsg>, i: u16) -> Result<Bui
         }
         None => (None, None),
     };
-    let endpoint = bus.register(Addr::Server(ServerId(i)));
+    let endpoint = net.register(Addr::Server(ServerId(i)));
     let history = ctx
         .config
         .record_history
@@ -237,7 +301,7 @@ fn build_server(ctx: &CalvinRebuild, bus: &Bus<CalvinMsg>, i: u16) -> Result<Bui
         ServerId(i),
         n,
         Arc::clone(&ctx.registry),
-        bus.clone(),
+        Arc::clone(net),
         exec,
         history,
         wal,
@@ -346,7 +410,10 @@ impl CalvinClusterBuilder {
             .as_ref()
             .map(|c| c.pacing.initial)
             .unwrap_or(self.config.batch_duration);
-        let bus: Bus<CalvinMsg> = Bus::new(self.config.net.clone());
+        let net: Arc<dyn Transport<CalvinMsg>> = match self.config.transport.clone() {
+            CalvinTransportSpec::Simulated => Arc::new(Bus::new(self.config.net.clone())),
+            CalvinTransportSpec::Custom(transport) => transport,
+        };
         let rebuild = CalvinRebuild {
             config: self.config,
             batch_duration,
@@ -356,7 +423,7 @@ impl CalvinClusterBuilder {
         let mut server_threads = Vec::with_capacity(n as usize);
         let mut pacer_gauges = Vec::new();
         for i in 0..n {
-            let (server, threads, gauges, _) = build_server(&rebuild, &bus, i)?;
+            let (server, threads, gauges, _) = build_server(&rebuild, &net, i)?;
             servers.push(server);
             server_threads.push(threads);
             if let Some(g) = gauges {
@@ -377,7 +444,7 @@ impl CalvinClusterBuilder {
             .transpose()?;
         Ok(CalvinCluster {
             servers: Arc::new(CalvinSlots::new(servers)),
-            bus,
+            net,
             server_threads: Mutex::new(server_threads),
             total: n,
             rebuild,
@@ -390,7 +457,7 @@ impl CalvinClusterBuilder {
 /// A running Calvin cluster.
 pub struct CalvinCluster {
     servers: Arc<CalvinSlots>,
-    bus: Bus<CalvinMsg>,
+    net: Arc<dyn Transport<CalvinMsg>>,
     /// Thread handles grouped per server, so one server can be torn down
     /// and rebuilt without disturbing the rest.
     server_threads: Mutex<Vec<Vec<JoinHandle<()>>>>,
@@ -445,14 +512,10 @@ impl CalvinCluster {
             .max_by_key(Vec::len)
     }
 
-    /// The active fault plan, if the network configuration injects faults.
+    /// The active fault plan, if the transport injects faults (only the
+    /// simulated bus does).
     pub fn fault_plan(&self) -> Option<&aloha_net::FaultPlan> {
-        self.bus.fault_plan()
-    }
-
-    /// Bus traffic counters, including injected fault counts.
-    pub fn net_stats(&self) -> &aloha_net::NetStats {
-        self.bus.stats()
+        self.net.fault_plan()
     }
 
     /// A client handle.
@@ -507,9 +570,9 @@ impl CalvinCluster {
         // registered; deregistering first would error the reliable send and
         // leave the dispatcher blocked on its queue forever.
         let _ = self
-            .bus
+            .net
             .send_reliable(Addr::Server(id), CalvinMsg::Shutdown);
-        self.bus.deregister(Addr::Server(id));
+        self.net.deregister(Addr::Server(id));
         let handles: Vec<_> = self.server_threads.lock()[i].drain(..).collect();
         for t in handles {
             let _ = t.join();
@@ -540,7 +603,7 @@ impl CalvinCluster {
         }
         if self.rebuild.config.durability.is_none() {
             return Err(Error::Config(
-                "restart requires a durable log (CalvinConfig::with_durability)".into(),
+                "restart requires a durable log (CalvinConfig::with_durable_log)".into(),
             ));
         }
         if !self.servers.get(i).is_shutdown() {
@@ -549,7 +612,7 @@ impl CalvinCluster {
                 id.0
             )));
         }
-        let (server, threads, gauges, report) = build_server(&self.rebuild, &self.bus, id.0)?;
+        let (server, threads, gauges, report) = build_server(&self.rebuild, &self.net, id.0)?;
         self.server_threads.lock()[i] = threads;
         if let Some(g) = gauges {
             self.pacer_gauges.lock()[i] = g;
@@ -570,7 +633,7 @@ impl CalvinCluster {
     pub fn checkpoint(&self) -> Result<()> {
         if self.rebuild.config.durability.is_none() {
             return Err(Error::Config(
-                "checkpoint requires a durable log (CalvinConfig::with_durability)".into(),
+                "checkpoint requires a durable log (CalvinConfig::with_durable_log)".into(),
             ));
         }
         for server in self.servers.all() {
@@ -620,7 +683,7 @@ impl CalvinCluster {
             root.set_stage(stage.name(), StageStats::from(&merged[stage.index()]));
         }
         root.set_stage("e2e", StageStats::from(&merged[STAGE_COUNT]));
-        root.push_child(self.bus.stats().snapshot());
+        root.push_child(self.net.snapshot());
         if let Some(control) = self.control_snapshot() {
             root.push_child(control);
         }
@@ -704,7 +767,7 @@ impl CalvinCluster {
         for server in &servers {
             server.mark_shutdown();
             let _ = self
-                .bus
+                .net
                 .send_reliable(Addr::Server(server.id()), CalvinMsg::Shutdown);
         }
         let groups: Vec<Vec<JoinHandle<()>>> = self
@@ -726,6 +789,9 @@ impl CalvinCluster {
                 log.close();
             }
         }
+        // The cluster owns the transport's lifecycle: release sockets /
+        // channel registrations last, once nothing can send anymore.
+        self.net.shutdown();
     }
 }
 

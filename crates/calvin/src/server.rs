@@ -13,9 +13,9 @@ use aloha_common::metrics::{
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{HistoryLog, Key, Result, ServerId, Value};
 use aloha_control::Pacer;
-use aloha_net::{reply_pair, Addr, Bus, Endpoint, Executor, ReplyHandle};
+use aloha_net::{reply_pair, Addr, Endpoint, Executor, ReplyHandle, Transport};
 use aloha_storage::DurableLog;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::durability::{CalvinWal, CalvinWalRecord};
@@ -143,7 +143,7 @@ pub struct CalvinServer {
     total: u16,
     store: CalvinStore,
     registry: Arc<CalvinRegistry>,
-    bus: Bus<CalvinMsg>,
+    net: Arc<dyn Transport<CalvinMsg>>,
     exchange: ReadExchange,
     completions: PendingCompletions,
     submissions: Mutex<Vec<CalvinTxn>>,
@@ -191,7 +191,7 @@ impl CalvinServer {
         id: ServerId,
         total: u16,
         registry: Arc<CalvinRegistry>,
-        bus: Bus<CalvinMsg>,
+        net: Arc<dyn Transport<CalvinMsg>>,
         exec: Executor,
         history: Option<Arc<CalvinHistory>>,
         wal: Option<CalvinWal>,
@@ -211,7 +211,7 @@ impl CalvinServer {
             total,
             store,
             registry,
-            bus,
+            net,
             exchange: ReadExchange::new(),
             completions: PendingCompletions::new(),
             submissions: Mutex::new(Vec::new()),
@@ -241,7 +241,7 @@ impl CalvinServer {
     /// its peers' ring re-broadcasts to recover the rounds it missed while
     /// down, and on its own to unstall peers waiting on its rounds).
     fn resend_enabled(&self) -> bool {
-        self.log.is_some() || self.bus.fault_plan().is_some()
+        self.log.is_some() || self.net.fault_plan().is_some()
     }
 
     /// This server's record of the merged global order (present when history
@@ -391,7 +391,7 @@ impl CalvinServer {
                     round,
                     txns: txns.clone(),
                 };
-                let _ = self.bus.send(Addr::Server(ServerId(i)), msg);
+                let _ = self.net.send(Addr::Server(ServerId(i)), msg);
             }
             return;
         }
@@ -410,7 +410,7 @@ impl CalvinServer {
                     round: *r,
                     txns: t.clone(),
                 };
-                let _ = self.bus.send(Addr::Server(ServerId(i)), msg);
+                let _ = self.net.send(Addr::Server(ServerId(i)), msg);
             }
         }
         self.resend_recent_execs();
@@ -424,7 +424,7 @@ impl CalvinServer {
         let recents = self.recent_execs.lock();
         for exec in recents.iter() {
             for &peer in &exec.others {
-                let _ = self.bus.send(
+                let _ = self.net.send(
                     Addr::Server(peer),
                     CalvinMsg::ReadResults {
                         txn: exec.txn,
@@ -434,7 +434,7 @@ impl CalvinServer {
                 );
             }
             if exec.txn.origin != self.id {
-                let _ = self.bus.send(
+                let _ = self.net.send(
                     Addr::Server(exec.txn.origin),
                     CalvinMsg::TxnDone {
                         txn: exec.txn,
@@ -495,7 +495,7 @@ impl CalvinSubmission {
     }
 }
 
-/// Dispatcher thread: routes bus messages.
+/// Dispatcher thread: routes transport messages.
 pub(crate) fn run_dispatcher(server: Arc<CalvinServer>, endpoint: Endpoint<CalvinMsg>) {
     while let Ok(msg) = endpoint.recv() {
         match msg {
@@ -565,17 +565,9 @@ pub(crate) fn run_scheduler(server: Arc<CalvinServer>, events: Receiver<Schedule
     let mut next_local_seq = 0u64;
     let mut active: HashMap<u64, ActiveTxn> = HashMap::new();
 
-    loop {
-        let event = match events.recv_timeout(Duration::from_millis(50)) {
-            Ok(e) => e,
-            Err(RecvTimeoutError::Timeout) => {
-                if server.is_shutdown() {
-                    break;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
+    while let Some(event) =
+        aloha_net::recv_while(&events, Duration::from_millis(50), || !server.is_shutdown())
+    {
         match event {
             SchedulerEvent::Batch { from, round, txns } => {
                 // Already-merged rounds re-arrive as fault-layer duplicates
@@ -710,17 +702,9 @@ fn dispatch(server: &Arc<CalvinServer>, local_seq: u64, entry: &ActiveTxn) {
 /// the bounded version of the dedicated-thread-per-blocking-read approach
 /// Calvin implementations use.
 pub(crate) fn run_worker(server: Arc<CalvinServer>, tasks: Receiver<ExecTask>) {
-    loop {
-        let task = match tasks.recv_timeout(Duration::from_millis(50)) {
-            Ok(t) => t,
-            Err(RecvTimeoutError::Timeout) => {
-                if server.is_shutdown() {
-                    break;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
+    while let Some(task) =
+        aloha_net::recv_while(&tasks, Duration::from_millis(50), || !server.is_shutdown())
+    {
         if is_distributed(&server, &task) {
             let s = Arc::clone(&server);
             server.exec.submit_blocking(move || execute_txn(&s, task));
@@ -772,7 +756,7 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
         .collect();
     let broadcast_reads = |srv: &CalvinServer| {
         for &peer in &others {
-            let _ = srv.bus.send(
+            let _ = srv.net.send(
                 Addr::Server(peer),
                 CalvinMsg::ReadResults {
                     txn: task.txn.id,
@@ -787,7 +771,7 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
     // Under fault injection the broadcast may be dropped on any link, so
     // wait in short slices and re-broadcast between them (the exchange keeps
     // partial deliveries across timeouts and dedups per peer). On a reliable
-    // bus a single full-timeout wait is used unchanged.
+    // transport a single full-timeout wait is used unchanged.
     let slice = if server.resend_enabled() {
         Duration::from_millis(10).min(server.rpc_timeout)
     } else {
@@ -867,7 +851,7 @@ fn execute_txn(server: &Arc<CalvinServer>, task: ExecTask) {
     if task.txn.id.origin == server.id {
         server.completions.done(task.txn.id, server.id);
     } else {
-        let _ = server.bus.send(
+        let _ = server.net.send(
             Addr::Server(task.txn.id.origin),
             CalvinMsg::TxnDone {
                 txn: task.txn.id,

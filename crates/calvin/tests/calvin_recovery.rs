@@ -13,7 +13,7 @@ use calvin::{fn_program, CalvinCluster, CalvinConfig, CalvinDurability, CalvinPl
 fn durable_config(servers: u16, dir: &TempDir) -> CalvinConfig {
     CalvinConfig::new(servers)
         .with_batch_duration(Duration::from_millis(2))
-        .with_durability(CalvinDurability::new(dir.path()))
+        .with_durable_log(CalvinDurability::new(dir.path()))
 }
 
 fn keys_on_partition(partition: u16, total: u16, count: usize) -> Vec<Key> {

@@ -158,6 +158,63 @@ impl<C: Clock> Clock for SkewedClock<C> {
     }
 }
 
+/// A cross-process clock: microseconds since a Unix-epoch origin chosen by a
+/// launcher and passed to every process of one deployment.
+///
+/// [`SystemClock`]'s [`ClockBase`] wraps an [`Instant`], which is only
+/// meaningful inside one process. When each FE/BE runs as its own OS process,
+/// the launcher instead picks an absolute origin (its own start time, as
+/// microseconds since the Unix epoch) and hands the same number to every
+/// child; each child's `UnixClock` then measures against the shared origin
+/// through the OS wall clock, so timestamps remain comparable across the
+/// deployment to NTP precision — exactly the synchronization model of the
+/// paper's EC2 evaluation.
+///
+/// Readings are clamped to be monotone per process (a wall-clock step
+/// backwards repeats the last reading rather than going back in time).
+///
+/// # Examples
+///
+/// ```
+/// use aloha_common::clock::{Clock, UnixClock};
+/// let origin = UnixClock::unix_now_micros() - 1_000;
+/// let clock = UnixClock::new(origin);
+/// assert!(clock.now_micros() >= 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnixClock {
+    origin_unix_micros: u64,
+    last: Arc<AtomicU64>,
+}
+
+impl UnixClock {
+    /// Creates a clock measuring from `origin_unix_micros` (microseconds
+    /// since the Unix epoch, typically chosen once by a launcher).
+    pub fn new(origin_unix_micros: u64) -> UnixClock {
+        UnixClock {
+            origin_unix_micros,
+            last: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The current wall-clock time in microseconds since the Unix epoch —
+    /// what a launcher uses to pick a deployment's origin.
+    pub fn unix_now_micros() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_micros() as u64)
+    }
+}
+
+impl Clock for UnixClock {
+    fn now_micros(&self) -> u64 {
+        let now = Self::unix_now_micros().saturating_sub(self.origin_unix_micros);
+        // Monotone clamp: never report less than a previous reading.
+        self.last.fetch_max(now, Ordering::SeqCst);
+        self.last.load(Ordering::SeqCst)
+    }
+}
+
 impl<C: Clock + ?Sized> Clock for Arc<C> {
     fn now_micros(&self) -> u64 {
         (**self).now_micros()

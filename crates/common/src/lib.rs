@@ -21,6 +21,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod crc;
 pub mod error;
 pub mod history;
 pub mod ids;
@@ -31,7 +32,7 @@ pub mod stats;
 pub mod tempdir;
 pub mod timestamp;
 
-pub use clock::{Clock, ManualClock, SkewedClock, SystemClock};
+pub use clock::{Clock, ManualClock, SkewedClock, SystemClock, UnixClock};
 pub use error::{Error, Result};
 pub use history::HistoryLog;
 pub use ids::{EpochId, PartitionId, ServerId, TxnId};

@@ -16,7 +16,9 @@ use aloha_control::{
 };
 use aloha_epoch::{EpochClient, EpochConfig, EpochManager, EpochTransport, Grant, RevokedAck};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
-use aloha_net::{Addr, BatchConfig, Batcher, Bus, Endpoint, ExecConfig, Executor, NetConfig};
+use aloha_net::{
+    Addr, BatchConfig, Batcher, Bus, Endpoint, ExecConfig, Executor, NetConfig, Transport,
+};
 use aloha_storage::{DurableLog, DurableLogConfig, Fsync, LogDamage, Partition, RecoveredLog};
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
@@ -104,6 +106,33 @@ pub struct ClusterConfig {
     /// pre-control-plane behavior. When set, the pacer's `initial` duration
     /// overrides `epoch_duration`.
     pub control: Option<ControlConfig>,
+    /// Which [`Transport`] carries cluster messages. The default simulated
+    /// bus is built from [`ClusterConfig::net`]; a custom transport (e.g.
+    /// [`aloha_net::TcpTransport`]) ignores `net` entirely.
+    pub transport: TransportSpec,
+}
+
+/// Which transport implementation a cluster runs on
+/// (see [`ClusterConfig::with_transport`]).
+#[derive(Clone, Default)]
+pub enum TransportSpec {
+    /// The in-process simulated [`Bus`], built from [`ClusterConfig::net`].
+    /// This is the default and preserves the single-process behavior
+    /// bit-for-bit, including fault injection and delay lines.
+    #[default]
+    Simulated,
+    /// A caller-supplied transport. The cluster takes ownership of its
+    /// lifecycle: [`Cluster::shutdown`] shuts the transport down.
+    Custom(Arc<dyn Transport<ServerMsg>>),
+}
+
+impl std::fmt::Debug for TransportSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportSpec::Simulated => f.write_str("TransportSpec::Simulated"),
+            TransportSpec::Custom(_) => f.write_str("TransportSpec::Custom(..)"),
+        }
+    }
 }
 
 /// Background garbage-collection knobs (see [`ClusterConfig::with_gc`]).
@@ -146,6 +175,12 @@ pub struct DurableLogSpec {
     pub checkpoint_interval: Option<Duration>,
     /// Segment rotation threshold in bytes.
     pub segment_bytes: u64,
+    /// Flush every append to the kernel before acknowledging it, making
+    /// acked installs survive a process SIGKILL mid-epoch (see
+    /// [`aloha_storage::DurableLogConfig::flush_appends`]). Required for
+    /// multi-process deployments where a remote coordinator commits on the
+    /// strength of an install ack.
+    pub flush_appends: bool,
 }
 
 impl DurableLogSpec {
@@ -157,6 +192,7 @@ impl DurableLogSpec {
             fsync: Fsync::EveryEpoch,
             checkpoint_interval: None,
             segment_bytes: 256 * 1024,
+            flush_appends: false,
         }
     }
 
@@ -178,6 +214,14 @@ impl DurableLogSpec {
     #[must_use]
     pub fn with_segment_bytes(mut self, bytes: u64) -> DurableLogSpec {
         self.segment_bytes = bytes;
+        self
+    }
+
+    /// Enables per-append kernel flushes (process-crash durability for
+    /// acknowledged installs).
+    #[must_use]
+    pub fn with_flush_appends(mut self, flush: bool) -> DurableLogSpec {
+        self.flush_appends = flush;
         self
     }
 }
@@ -203,6 +247,7 @@ impl ClusterConfig {
             batch: None,
             exec: ExecConfig::default(),
             control: None,
+            transport: TransportSpec::Simulated,
         }
     }
 
@@ -252,8 +297,22 @@ impl ClusterConfig {
     }
 
     /// Enables in-memory write-ahead logging of the write-only phase.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use the spec-style `with_memory_wal()` (or `with_durable_log(spec)` for the \
+                crash-durable flavor) instead of the boolean toggle"
+    )]
     pub fn with_durability(mut self, durable: bool) -> ClusterConfig {
         self.durable = durable;
+        self
+    }
+
+    /// Enables in-memory write-ahead logging of the write-only phase
+    /// (§III-A): every install/rollback is appended to a per-server WAL that
+    /// lives in process memory. For crash durability across process death
+    /// use [`ClusterConfig::with_durable_log`] instead.
+    pub fn with_memory_wal(mut self) -> ClusterConfig {
+        self.durable = true;
         self
     }
 
@@ -268,8 +327,19 @@ impl ClusterConfig {
     }
 
     /// Enables synchronous primary-backup replication of installs.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use the spec-style `with_ring_replication()` instead of the boolean toggle"
+    )]
     pub fn with_replication(mut self, replicated: bool) -> ClusterConfig {
         self.replicated = replicated;
+        self
+    }
+
+    /// Mirrors every install to the next server in the ring before
+    /// acknowledging it (§III-A replication, tolerating a single crash).
+    pub fn with_ring_replication(mut self) -> ClusterConfig {
+        self.replicated = true;
         self
     }
 
@@ -313,6 +383,17 @@ impl ClusterConfig {
     /// ```
     pub fn with_control(mut self, control: ControlConfig) -> ClusterConfig {
         self.control = Some(control);
+        self
+    }
+
+    /// Runs the cluster on a caller-supplied [`Transport`] instead of the
+    /// default simulated bus. Every server endpoint, the epoch manager's
+    /// grant/revoke traffic and the optional batcher all ride the given
+    /// transport; [`ClusterConfig::net`] is ignored. The cluster owns the
+    /// transport's lifecycle from here on — [`Cluster::shutdown`] shuts it
+    /// down.
+    pub fn with_transport(mut self, transport: Arc<dyn Transport<ServerMsg>>) -> ClusterConfig {
+        self.transport = TransportSpec::Custom(transport);
         self
     }
 }
@@ -403,15 +484,22 @@ impl ClusterBuilder {
         }
 
         let base = ClockBase::new();
-        let bus: Bus<ServerMsg> = Bus::new(self.config.net.clone());
+        let net: Arc<dyn Transport<ServerMsg>> = match self.config.transport.clone() {
+            TransportSpec::Simulated => Arc::new(Bus::new(self.config.net.clone())),
+            TransportSpec::Custom(transport) => transport,
+        };
         // One batcher for the whole cluster: traffic from different servers
         // toward the same destination coalesces into shared envelopes, and
         // the metrics land on the single `net` node where they belong.
-        let batcher =
-            self.config.batch.clone().map(|cfg| {
-                Batcher::new(bus.clone(), cfg, ServerMsg::Batch, ServerMsg::approx_bytes)
-            });
-        let em_endpoint = bus.register(Addr::EpochManager);
+        let batcher = self.config.batch.clone().map(|cfg| {
+            Batcher::new(
+                Arc::clone(&net),
+                cfg,
+                ServerMsg::Batch,
+                ServerMsg::approx_bytes,
+            )
+        });
+        let em_endpoint = net.register(Addr::EpochManager);
         let history = self.config.record_history.then(|| Arc::new(History::new()));
         // Everything a single-server restart needs to rebuild its victim
         // lives here, outliving the server instances themselves.
@@ -427,7 +515,7 @@ impl ClusterBuilder {
         let mut server_threads = Vec::with_capacity(n as usize);
         for i in 0..n {
             let (server, threads, _report) =
-                build_server(&rebuild, ServerId(i), &bus, &batcher, &history)?;
+                build_server(&rebuild, ServerId(i), &net, &batcher, &history)?;
             servers.push(server);
             server_threads.push(threads);
         }
@@ -457,8 +545,8 @@ impl ClusterBuilder {
             // Revoke/ack messages without stretching epochs noticeably.
             revoke_resend_interval: (epoch_duration / 4).max(Duration::from_millis(2)),
         };
-        let transport = BusTransport {
-            bus: bus.clone(),
+        let transport = NetEpochTransport {
+            net: Arc::clone(&net),
             endpoint: em_endpoint,
         };
         let mut pacer_gauges = None;
@@ -563,7 +651,7 @@ impl ClusterBuilder {
         Ok(Cluster {
             servers,
             em: Some(em),
-            bus,
+            net,
             batcher,
             server_threads: Mutex::new(server_threads),
             aux_threads,
@@ -577,19 +665,20 @@ impl ClusterBuilder {
     }
 }
 
-/// EM transport over the cluster bus.
-struct BusTransport {
-    bus: Bus<ServerMsg>,
-    endpoint: Endpoint<ServerMsg>,
+/// EM transport over the cluster's message transport (also used by the
+/// multi-process [`crate::node::Node`] when it co-hosts the epoch manager).
+pub(crate) struct NetEpochTransport {
+    pub(crate) net: Arc<dyn Transport<ServerMsg>>,
+    pub(crate) endpoint: Endpoint<ServerMsg>,
 }
 
-impl EpochTransport for BusTransport {
+impl EpochTransport for NetEpochTransport {
     fn send_grant(&self, to: ServerId, grant: Grant) {
-        let _ = self.bus.send(Addr::Server(to), ServerMsg::Grant(grant));
+        let _ = self.net.send(Addr::Server(to), ServerMsg::Grant(grant));
     }
 
     fn send_revoke(&self, to: ServerId, epoch: EpochId) {
-        let _ = self.bus.send(Addr::Server(to), ServerMsg::Revoke(epoch));
+        let _ = self.net.send(Addr::Server(to), ServerMsg::Revoke(epoch));
     }
 
     fn recv_ack(&self, timeout: Duration) -> Option<RevokedAck> {
@@ -682,7 +771,8 @@ impl RebuildCtx {
         if let Some(spec) = &self.config.durable_log {
             let cfg = DurableLogConfig::new(spec.dir.join(format!("server-{i}")))
                 .with_fsync(spec.fsync)
-                .with_segment_bytes(spec.segment_bytes);
+                .with_segment_bytes(spec.segment_bytes)
+                .with_flush_appends(spec.flush_appends);
             let (log, recovered) = DurableLog::open(cfg)?;
             Ok((Some(WalSink::Disk(Arc::new(log))), Some(recovered)))
         } else if self.config.durable {
@@ -749,12 +839,13 @@ fn recover_partition(partition: &Partition, recovered: &RecoveredLog) -> Result<
 }
 
 /// Builds one server — fresh partition, recovered WAL state, fresh epoch
-/// client and executor — registers it on the bus and spawns its dispatcher
-/// and processors. Shared by cluster start and single-server restart.
+/// client and executor — registers it on the transport and spawns its
+/// dispatcher and processors. Shared by cluster start and single-server
+/// restart.
 fn build_server(
     ctx: &RebuildCtx,
     id: ServerId,
-    bus: &Bus<ServerMsg>,
+    net: &Arc<dyn Transport<ServerMsg>>,
     batcher: &Option<Batcher<ServerMsg>>,
     history: &Option<Arc<History>>,
 ) -> Result<(
@@ -784,7 +875,7 @@ fn build_server(
         ctx.config.servers,
         partition,
         epoch,
-        bus.clone(),
+        Arc::clone(net),
         batcher.clone(),
         exec,
         Arc::clone(&ctx.programs),
@@ -793,7 +884,7 @@ fn build_server(
         ctx.config.rpc_timeout,
         history.clone(),
     );
-    let endpoint = bus.register(Addr::Server(id));
+    let endpoint = net.register(Addr::Server(id));
     let threads = spawn_server_threads(
         &server,
         endpoint,
@@ -804,7 +895,7 @@ fn build_server(
 }
 
 /// Spawns one server's dispatcher and processor threads.
-fn spawn_server_threads(
+pub(crate) fn spawn_server_threads(
     server: &Arc<Server>,
     endpoint: Endpoint<ServerMsg>,
     queue_rx: Receiver<QueueEntry>,
@@ -855,7 +946,7 @@ fn checkpoint_server_to_wal(server: &Arc<Server>) {
 pub struct Cluster {
     servers: Arc<ServerSlots>,
     em: Option<EpochManager>,
-    bus: Bus<ServerMsg>,
+    net: Arc<dyn Transport<ServerMsg>>,
     batcher: Option<Batcher<ServerMsg>>,
     /// Per-server thread groups (dispatcher + processors), index-aligned
     /// with the slots, so a kill joins exactly its victim's threads.
@@ -920,14 +1011,10 @@ impl Cluster {
         self.history.as_ref()
     }
 
-    /// The active fault plan, if the network configuration injects faults.
+    /// The active fault plan, if the transport injects faults (only the
+    /// simulated bus does).
     pub fn fault_plan(&self) -> Option<&aloha_net::FaultPlan> {
-        self.bus.fault_plan()
-    }
-
-    /// Bus traffic counters, including injected fault counts.
-    pub fn net_stats(&self) -> &aloha_net::NetStats {
-        self.bus.stats()
+        self.net.fault_plan()
     }
 
     /// A cheap client handle.
@@ -994,7 +1081,7 @@ impl Cluster {
         if let Some(em) = &self.em {
             root.push_child(em.stats().snapshot());
         }
-        let mut net = self.bus.stats().snapshot();
+        let mut net = self.net.snapshot();
         if let Some(batcher) = &self.batcher {
             batcher.stats().export(&mut net);
         }
@@ -1138,9 +1225,9 @@ impl Cluster {
         // registered; deregistering first would error the reliable send and
         // leave the dispatcher blocked on its queue forever.
         let _ = self
-            .bus
+            .net
             .send_reliable(Addr::Server(id), ServerMsg::Shutdown);
-        self.bus.deregister(Addr::Server(id));
+        self.net.deregister(Addr::Server(id));
         let handles: Vec<_> = self.server_threads.lock()[i].drain(..).collect();
         for t in handles {
             let _ = t.join();
@@ -1180,7 +1267,7 @@ impl Cluster {
             )));
         }
         let (server, threads, report) =
-            build_server(&self.rebuild, id, &self.bus, &self.batcher, &self.history)?;
+            build_server(&self.rebuild, id, &self.net, &self.batcher, &self.history)?;
         self.server_threads.lock()[i] = threads;
         self.servers.set(i, server);
         Ok(report)
@@ -1303,7 +1390,7 @@ impl Cluster {
         for server in &servers {
             server.mark_shutdown();
             let _ = self
-                .bus
+                .net
                 .send_reliable(Addr::Server(server.id()), ServerMsg::Shutdown);
         }
         let groups: Vec<_> = self.server_threads.lock().drain(..).collect();
@@ -1324,6 +1411,9 @@ impl Cluster {
                 log.close();
             }
         }
+        // The cluster owns the transport's lifecycle: release sockets /
+        // channel registrations last, once nothing can send anymore.
+        self.net.shutdown();
     }
 }
 

@@ -44,18 +44,23 @@
 pub mod checker;
 pub mod cluster;
 pub mod msg;
+pub mod node;
 pub mod program;
 pub mod server;
+pub mod wire;
 
 pub use aloha_net::BatchConfig;
 pub use aloha_storage::Fsync;
 pub use checker::{diff_states, replay_history, CommitRecord, Divergence, History};
 pub use cluster::{
     Cluster, ClusterBuilder, ClusterConfig, Database, DurableLogSpec, GcConfig, RecoveryReport,
+    TransportSpec,
 };
 pub use msg::{InstallOutcome, ServerMsg, VersionState};
+pub use node::{Node, NodeBuilder, NodeConfig};
 pub use program::{
     fn_program, Check, ProgramId, ProgramRegistry, SnapshotReader, TransformCtx, TxnPlan,
     TxnProgram, Write,
 };
 pub use server::{Server, ServerStats, TxnHandle, TxnOutcome};
+pub use wire::ServerMsgCodec;

@@ -15,9 +15,9 @@ use aloha_common::{Error, Key, Result, ServerId, Timestamp};
 use aloha_control::Permit;
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
-use aloha_net::{reply_pair, Addr, Batcher, Bus, Endpoint, Executor, ReplyHandle, ReplySlot};
+use aloha_net::{reply_pair, Addr, Batcher, Endpoint, Executor, ReplyHandle, ReplySlot, Transport};
 use aloha_storage::{ComputeEnv, DurableLog, Partition, WalRecord};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::checker::{CommitRecord, History};
@@ -163,8 +163,8 @@ pub struct Server {
     total_servers: u16,
     partition: Arc<Partition>,
     epoch: Arc<EpochClient>,
-    bus: Bus<ServerMsg>,
-    /// Destination-coalescing layer over the bus (`None` → every message is
+    net: Arc<dyn Transport<ServerMsg>>,
+    /// Destination-coalescing layer over the transport (`None` → every message is
     /// sent individually, the pre-batching behavior). Shared cluster-wide so
     /// different servers' traffic toward one destination coalesces too.
     batcher: Option<Batcher<ServerMsg>>,
@@ -380,7 +380,7 @@ impl Server {
         total_servers: u16,
         partition: Arc<Partition>,
         epoch: Arc<EpochClient>,
-        bus: Bus<ServerMsg>,
+        net: Arc<dyn Transport<ServerMsg>>,
         batcher: Option<Batcher<ServerMsg>>,
         exec: Executor,
         programs: Arc<ProgramRegistry>,
@@ -395,7 +395,7 @@ impl Server {
             total_servers,
             partition,
             epoch,
-            bus,
+            net,
             batcher,
             exec,
             programs,
@@ -497,11 +497,11 @@ impl Server {
     // ------------------------------------------------------------------
 
     /// Sends a one-way message through the batching layer when one is
-    /// configured, or directly onto the bus otherwise.
+    /// configured, or directly onto the transport otherwise.
     fn send_msg(&self, to: ServerId, msg: ServerMsg) -> Result<()> {
         match &self.batcher {
             Some(b) => b.send(Addr::Server(to), msg),
-            None => self.bus.send(Addr::Server(to), msg),
+            None => self.net.send(Addr::Server(to), msg),
         }
     }
 
@@ -511,7 +511,7 @@ impl Server {
     /// even the batcher's small deadline is latency on the critical path.
     fn rpc<R>(&self, to: ServerId, mut make: impl FnMut(ReplySlot<R>) -> ServerMsg) -> Result<R> {
         let (slot, handle) = reply_pair();
-        self.bus.send(Addr::Server(to), make(slot))?;
+        self.net.send(Addr::Server(to), make(slot))?;
         self.wait_retry(handle, to, make)
     }
 
@@ -547,7 +547,7 @@ impl Server {
                         return Err(e);
                     }
                     let (slot, next) = reply_pair();
-                    self.bus.send(Addr::Server(to), make(slot))?;
+                    self.net.send(Addr::Server(to), make(slot))?;
                     handle = next;
                 }
                 Err(e) => return Err(e),
@@ -727,7 +727,7 @@ impl Server {
             // The abort round is deliberately unbatched: it executes while
             // the epoch is held open, so every microsecond of batching delay
             // extends the epoch for all concurrent transactions. Rollback
-            // messages go straight onto the bus.
+            // messages go straight onto the transport.
             let mut abort_acks = Vec::new();
             for (owner, keys) in participants {
                 let pairs: Arc<Vec<(Key, Timestamp)>> =
@@ -738,7 +738,7 @@ impl Server {
                     }
                 } else {
                     let (slot, handle) = reply_pair();
-                    let _ = self.bus.send(
+                    let _ = self.net.send(
                         Addr::Server(*owner),
                         ServerMsg::AbortVersion {
                             keys: Arc::clone(&pairs),
@@ -815,7 +815,7 @@ impl Server {
                 epoch,
             };
             let _ = self
-                .bus
+                .net
                 .send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
         }
     }
@@ -960,14 +960,14 @@ impl Server {
     }
 
     /// Routes an abort this dead incarnation can no longer make durable to
-    /// the server that replaced it on the bus. Retries through the restart
+    /// the server that replaced it on the transport. Retries through the restart
     /// window; `wait_retry` is not used because it gives up early once the
     /// shutdown flag — always set here — is raised.
     fn forward_abort_to_successor(&self, key: &Key, version: Timestamp) {
         let pairs: Arc<Vec<(Key, Timestamp)>> = Arc::new(vec![(key.clone(), version)]);
         for _ in 0..RPC_ATTEMPTS {
             let (slot, handle) = reply_pair();
-            let sent = self.bus.send(
+            let sent = self.net.send(
                 Addr::Server(self.id),
                 ServerMsg::AbortVersion {
                     keys: Arc::clone(&pairs),
@@ -1321,12 +1321,12 @@ impl TxnHandle {
     }
 }
 
-/// Dispatcher thread body: routes bus messages to the server.
+/// Dispatcher thread body: routes transport messages to the server.
 pub(crate) fn run_dispatcher(server: Arc<Server>, endpoint: Endpoint<ServerMsg>) {
     loop {
         let msg = match endpoint.recv() {
             Ok(m) => m,
-            Err(_) => break, // bus gone
+            Err(_) => break, // transport gone
         };
         if handle_msg(&server, msg).is_break() {
             break;
@@ -1358,7 +1358,7 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
                     epoch,
                 };
                 let _ = server
-                    .bus
+                    .net
                     .send(Addr::EpochManager, ServerMsg::RevokedAck(ack));
             }
         }
@@ -1487,17 +1487,9 @@ const CREW_SIZE: usize = 4;
 /// within a chain is enforced by the chain itself, and concurrent computes
 /// of the same key are idempotent.
 pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
-    loop {
-        let first = match queue.recv_timeout(Duration::from_millis(50)) {
-            Ok(entry) => entry,
-            Err(RecvTimeoutError::Timeout) => {
-                if server.is_shutdown() {
-                    break;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
+    while let Some(first) =
+        aloha_net::recv_while(&queue, Duration::from_millis(50), || !server.is_shutdown())
+    {
         let mut entries = vec![first];
         while entries.len() < DRAIN_LIMIT {
             match queue.try_recv() {

@@ -11,12 +11,13 @@ use aloha_functor::Functor;
 const INCR: ProgramId = ProgramId(1);
 
 fn build(servers: u16, replicated: bool, clock_offset: u64) -> Cluster {
-    let mut builder = Cluster::builder(
-        ClusterConfig::new(servers)
-            .with_epoch_duration(Duration::from_millis(3))
-            .with_replication(replicated)
-            .with_clock_offset(clock_offset),
-    );
+    let mut config = ClusterConfig::new(servers)
+        .with_epoch_duration(Duration::from_millis(3))
+        .with_clock_offset(clock_offset);
+    if replicated {
+        config = config.with_ring_replication();
+    }
+    let mut builder = Cluster::builder(config);
     builder.register_program(
         INCR,
         fn_program(|ctx| {
@@ -128,7 +129,7 @@ fn aborted_transactions_replicate_their_rollback() {
     let mut builder = Cluster::builder(
         ClusterConfig::new(total)
             .with_epoch_duration(Duration::from_millis(3))
-            .with_replication(true),
+            .with_ring_replication(),
     );
     builder.register_program(
         DOOMED,

@@ -16,7 +16,7 @@ fn concurrent_replicated_transfers_complete_and_conserve() {
     let mut builder = Cluster::builder(
         ClusterConfig::new(total)
             .with_epoch_duration(Duration::from_millis(3))
-            .with_replication(true),
+            .with_ring_replication(),
     );
     builder.register_program(
         TRANSFER,

@@ -15,7 +15,7 @@ fn build(servers: u16, clock_offset: u64) -> Cluster {
     let mut builder = Cluster::builder(
         ClusterConfig::new(servers)
             .with_epoch_duration(Duration::from_millis(3))
-            .with_durability(true)
+            .with_memory_wal()
             .with_clock_offset(clock_offset),
     );
     builder.register_program(

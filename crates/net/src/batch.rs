@@ -34,7 +34,8 @@ use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::Result;
 use parking_lot::{Mutex, RwLock};
 
-use crate::bus::{Addr, Bus};
+use crate::bus::Addr;
+use crate::transport::Transport;
 
 /// Flush thresholds for a [`Batcher`].
 ///
@@ -195,7 +196,7 @@ impl<M> DestQueue<M> {
 }
 
 struct BatcherInner<M: Send + Clone + 'static> {
-    bus: Bus<M>,
+    net: Arc<dyn Transport<M>>,
     config: BatchConfig,
     wrap: Box<dyn Fn(Vec<M>) -> M + Send + Sync>,
     sizer: Box<dyn Fn(&M) -> usize + Send + Sync>,
@@ -250,10 +251,10 @@ impl<M: Send + Clone + 'static> BatcherInner<M> {
             (self.wrap)(msgs)
         };
         // Delivery failures (unregistered destination) are already counted
-        // by the bus; a batch may carry messages from several requesters, so
-        // there is no single caller to surface the error to. Requesters
-        // recover via RPC retransmission, like any lost message.
-        let _ = self.bus.send(to, envelope);
+        // by the transport; a batch may carry messages from several
+        // requesters, so there is no single caller to surface the error to.
+        // Requesters recover via RPC retransmission, like any lost message.
+        let _ = self.net.send(to, envelope);
     }
 
     fn dests(&self) -> Vec<(Addr, Arc<Mutex<DestQueue<M>>>)> {
@@ -271,7 +272,7 @@ impl<M: Send + Clone + 'static> BatcherInner<M> {
     }
 }
 
-/// A per-destination message coalescer in front of a [`Bus`].
+/// A per-destination message coalescer in front of a [`Transport`].
 ///
 /// Clones share the same queues; the cluster typically creates one batcher
 /// and hands a clone to every server, which also coalesces different
@@ -280,13 +281,15 @@ impl<M: Send + Clone + 'static> BatcherInner<M> {
 /// # Examples
 ///
 /// ```
+/// use std::sync::Arc;
+///
 /// use aloha_common::ServerId;
 /// use aloha_net::{Addr, BatchConfig, Batcher, Bus, NetConfig};
 ///
 /// let bus: Bus<u64> = Bus::new(NetConfig::instant());
 /// let ep = bus.register(Addr::Server(ServerId(0)));
 /// let batcher = Batcher::new(
-///     bus,
+///     Arc::new(bus),
 ///     BatchConfig::default().with_max_messages(2),
 ///     |msgs| msgs.iter().sum(), // toy envelope: the sum
 ///     |_| 8,
@@ -318,18 +321,18 @@ impl<M: Send + Clone + 'static> fmt::Debug for Batcher<M> {
 }
 
 impl<M: Send + Clone + 'static> Batcher<M> {
-    /// Creates a batcher over `bus` and spawns its deadline flusher.
+    /// Creates a batcher over `net` and spawns its deadline flusher.
     ///
-    /// `wrap` builds the on-bus envelope for a multi-message batch; `sizer`
+    /// `wrap` builds the on-wire envelope for a multi-message batch; `sizer`
     /// estimates one message's payload bytes for the byte threshold.
     pub fn new(
-        bus: Bus<M>,
+        net: Arc<dyn Transport<M>>,
         config: BatchConfig,
         wrap: impl Fn(Vec<M>) -> M + Send + Sync + 'static,
         sizer: impl Fn(&M) -> usize + Send + Sync + 'static,
     ) -> Batcher<M> {
         let inner = Arc::new(BatcherInner {
-            bus,
+            net,
             config,
             wrap: Box::new(wrap),
             sizer: Box::new(sizer),
@@ -360,7 +363,7 @@ impl<M: Send + Clone + 'static> Batcher<M> {
         let mut queue = queue.lock();
         if self.inner.shutdown.load(Ordering::SeqCst) {
             drop(queue);
-            return self.inner.bus.send(to, msg);
+            return self.inner.net.send(to, msg);
         }
         if queue.msgs.is_empty() {
             queue.since = Instant::now();
@@ -453,6 +456,7 @@ fn run_flusher<M: Send + Clone + 'static>(weak: Weak<BatcherInner<M>>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bus::Bus;
     use crate::delay::NetConfig;
     use aloha_common::ServerId;
 
@@ -467,7 +471,7 @@ mod tests {
     fn batcher(config: BatchConfig) -> (Batcher<TestMsg>, crate::bus::Endpoint<TestMsg>) {
         let bus: Bus<TestMsg> = Bus::new(NetConfig::instant());
         let ep = bus.register(Addr::Server(ServerId(0)));
-        let b = Batcher::new(bus, config, TestMsg::Batch, |m| match m {
+        let b = Batcher::new(Arc::new(bus), config, TestMsg::Batch, |m| match m {
             TestMsg::One(_, bytes) => *bytes,
             TestMsg::Batch(_) => 0,
         });
@@ -548,7 +552,7 @@ mod tests {
         let ep0 = bus.register(Addr::Server(ServerId(0)));
         let ep1 = bus.register(Addr::Server(ServerId(1)));
         let b = Batcher::new(
-            bus,
+            Arc::new(bus),
             BatchConfig::default()
                 .with_max_messages(100)
                 .with_max_delay(Duration::from_secs(60)),

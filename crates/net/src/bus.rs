@@ -183,7 +183,7 @@ impl<M: Send + 'static> Bus<M> {
     }
 
     /// Traffic statistics for this bus.
-    pub fn stats(&self) -> &NetStats {
+    pub(crate) fn stats(&self) -> &NetStats {
         &self.inner.stats
     }
 
@@ -221,6 +221,15 @@ impl<M: Send + 'static> Bus<M> {
         let mut addrs: Vec<Addr> = self.inner.registry.read().keys().copied().collect();
         addrs.sort();
         addrs
+    }
+
+    /// Drops every registered endpoint's send side: blocked `recv` calls
+    /// return `Disconnected` once their queues drain, and subsequent sends
+    /// count as drops. Harness teardown normally deregisters addresses one
+    /// by one; `close` is the transport-level equivalent for callers that
+    /// only hold the trait object.
+    pub fn close(&self) {
+        self.inner.registry.write().clear();
     }
 }
 
@@ -304,6 +313,10 @@ pub struct Endpoint<M> {
 }
 
 impl<M> Endpoint<M> {
+    pub(crate) fn new(addr: Addr, rx: Receiver<M>) -> Endpoint<M> {
+        Endpoint { addr, rx }
+    }
+
     /// The address this endpoint is registered under.
     pub fn addr(&self) -> Addr {
         self.addr
@@ -335,6 +348,24 @@ impl<M> Endpoint<M> {
         }
     }
 
+    /// Blocks until a message arrives or `deadline` passes. The single
+    /// blocking-with-deadline receive that server poll loops build on:
+    /// unlike repeated `recv_timeout` calls, the deadline does not slide
+    /// when messages keep arriving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timeout`] once `deadline` passes,
+    /// [`Error::Disconnected`] if the transport is gone.
+    pub fn recv_deadline(&self, deadline: std::time::Instant) -> Result<M> {
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout(format!("recv on {}", self.addr))),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Disconnected(self.addr.to_string())),
+        }
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<M> {
         self.rx.try_recv().ok()
@@ -343,6 +374,45 @@ impl<M> Endpoint<M> {
     /// Number of queued messages.
     pub fn backlog(&self) -> usize {
         self.rx.len()
+    }
+}
+
+/// Blocking-with-deadline receive for shutdown-aware thread loops: waits on
+/// `rx` in `slice`-bounded stretches, re-checking `keep_running` between
+/// them, so a quiescent thread still observes its shutdown flag promptly.
+///
+/// Returns `None` when the channel disconnects or `keep_running` reports
+/// false — both mean the loop should exit. This replaces the ad-hoc
+/// `recv_timeout(50ms)` + shutdown-check pattern previously copied into
+/// every processor/scheduler/worker loop.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// let (tx, rx) = crossbeam::channel::unbounded();
+/// tx.send(7u32).unwrap();
+/// assert_eq!(
+///     aloha_net::recv_while(&rx, Duration::from_millis(1), || true),
+///     Some(7)
+/// );
+/// assert_eq!(aloha_net::recv_while(&rx, Duration::from_millis(1), || false), None);
+/// ```
+pub fn recv_while<M>(
+    rx: &Receiver<M>,
+    slice: Duration,
+    keep_running: impl Fn() -> bool,
+) -> Option<M> {
+    loop {
+        match rx.recv_timeout(slice) {
+            Ok(m) => return Some(m),
+            Err(RecvTimeoutError::Timeout) => {
+                if !keep_running() {
+                    return None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
     }
 }
 

@@ -29,10 +29,14 @@ pub mod delay;
 pub mod exec;
 pub mod fault;
 pub mod reply;
+pub mod tcp;
+pub mod transport;
 
 pub use batch::{BatchConfig, BatchStats, Batcher};
-pub use bus::{Addr, Bus, Endpoint, NetStats};
+pub use bus::{recv_while, Addr, Bus, Endpoint};
 pub use delay::{DelayLine, NetConfig};
 pub use exec::{ExecConfig, ExecStats, Executor};
 pub use fault::{CrashAlign, CrashPlan, FaultPlan, LinkFault, PartitionWindow, PauseWindow};
 pub use reply::{reply_pair, ReplyHandle, ReplySlot};
+pub use tcp::{TcpStats, TcpTransport};
+pub use transport::{PendingReplies, RemoteReplier, Transport, WireCodec};

@@ -5,10 +5,21 @@
 //! [`ReplyHandle`]. This mirrors RPC response correlation in the paper's
 //! fbthrift layer without a real wire protocol.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::{Error, Result};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+enum ReplyTarget<T> {
+    /// A local one-shot channel (the [`reply_pair`] form).
+    Chan(Sender<T>),
+    /// A closure, used by process-boundary transports to route the reply
+    /// back over the wire. One-shot semantics are enforced by the remote
+    /// correlation table, not by the closure.
+    Fn(Arc<dyn Fn(T) + Send + Sync>),
+}
 
 /// The responder's half of a one-shot reply channel.
 ///
@@ -19,16 +30,26 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 /// each delivered copy fulfils its own slot clone, and the requester
 /// consumes whichever reply lands first (later replies to a one-shot
 /// channel are discarded with the channel).
-#[derive(Debug)]
 pub struct ReplySlot<T> {
-    tx: Sender<T>,
+    target: ReplyTarget<T>,
+}
+
+impl<T> fmt::Debug for ReplySlot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            ReplyTarget::Chan(_) => f.write_str("ReplySlot(chan)"),
+            ReplyTarget::Fn(_) => f.write_str("ReplySlot(fn)"),
+        }
+    }
 }
 
 impl<T> Clone for ReplySlot<T> {
     fn clone(&self) -> Self {
-        ReplySlot {
-            tx: self.tx.clone(),
-        }
+        let target = match &self.target {
+            ReplyTarget::Chan(tx) => ReplyTarget::Chan(tx.clone()),
+            ReplyTarget::Fn(f) => ReplyTarget::Fn(Arc::clone(f)),
+        };
+        ReplySlot { target }
     }
 }
 
@@ -50,14 +71,37 @@ pub struct ReplyHandle<T> {
 /// ```
 pub fn reply_pair<T>() -> (ReplySlot<T>, ReplyHandle<T>) {
     let (tx, rx) = bounded(1);
-    (ReplySlot { tx }, ReplyHandle { rx })
+    (
+        ReplySlot {
+            target: ReplyTarget::Chan(tx),
+        },
+        ReplyHandle { rx },
+    )
 }
 
 impl<T> ReplySlot<T> {
+    /// Wraps a closure as a reply slot. Process-boundary transports rebuild
+    /// decoded messages' slots with this: the closure serializes the reply
+    /// and routes it back over the wire. `Fn` (not `FnOnce`) because slots
+    /// must stay `Clone` for fault-layer duplication; exactly-once delivery
+    /// is the requester-side correlation table's job.
+    pub fn from_fn(f: impl Fn(T) + Send + Sync + 'static) -> ReplySlot<T> {
+        ReplySlot {
+            target: ReplyTarget::Fn(Arc::new(f)),
+        }
+    }
+
     /// Fulfils the reply. Returns `false` if the requester has gone away
-    /// (which responders treat as harmless).
+    /// (which responders treat as harmless; closure-backed slots cannot
+    /// observe the requester and always return `true`).
     pub fn send(self, value: T) -> bool {
-        self.tx.send(value).is_ok()
+        match self.target {
+            ReplyTarget::Chan(tx) => tx.send(value).is_ok(),
+            ReplyTarget::Fn(f) => {
+                f(value);
+                true
+            }
+        }
     }
 }
 
@@ -153,5 +197,18 @@ mod tests {
         assert!(handle.try_wait().is_none());
         slot.send(5);
         assert_eq!(handle.try_wait(), Some(5));
+    }
+
+    #[test]
+    fn fn_backed_slot_invokes_closure() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let slot = ReplySlot::from_fn(move |v: u32| {
+            tx.send(v).unwrap();
+        });
+        let dup = slot.clone();
+        assert!(slot.send(7));
+        assert!(dup.send(8));
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap(), 8);
     }
 }

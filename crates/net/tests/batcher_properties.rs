@@ -4,6 +4,7 @@
 //! messages sent toward it, in send order, with nothing lost or duplicated.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::ServerId;
@@ -49,7 +50,7 @@ proptest! {
             .map(|d| bus.register(Addr::Server(ServerId(d))))
             .collect();
         let batcher = Batcher::new(
-            bus,
+            Arc::new(bus),
             BatchConfig::default()
                 .with_max_messages(max_messages)
                 .with_max_bytes(max_bytes)
@@ -119,7 +120,7 @@ proptest! {
         let bus: Bus<Msg> = Bus::new(NetConfig::instant());
         let ep = bus.register(Addr::Server(ServerId(0)));
         let batcher = Batcher::new(
-            bus,
+            Arc::new(bus),
             BatchConfig::default()
                 .with_max_messages(max_messages)
                 .with_max_delay(Duration::from_micros(max_delay_us)),

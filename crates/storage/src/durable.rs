@@ -74,6 +74,14 @@ pub struct DurableLogConfig {
     pub fsync: Fsync,
     /// Rotate to a new segment once the live one exceeds this many bytes.
     pub segment_bytes: u64,
+    /// Flush every append batch to the kernel (`write(2)`, no fsync) before
+    /// it is acknowledged. Off, durability is epoch-granular in both crash
+    /// models; on, acknowledged records additionally survive a *process*
+    /// kill (SIGKILL) mid-epoch — the page cache keeps them — while
+    /// machine-crash durability stays governed by [`Fsync`]. Multi-process
+    /// deployments want this: an install ack travels to a remote
+    /// coordinator that will commit on the strength of it.
+    pub flush_appends: bool,
 }
 
 impl DurableLogConfig {
@@ -83,6 +91,7 @@ impl DurableLogConfig {
             dir: dir.into(),
             fsync: Fsync::EveryEpoch,
             segment_bytes: 256 * 1024,
+            flush_appends: false,
         }
     }
 
@@ -97,6 +106,14 @@ impl DurableLogConfig {
     #[must_use]
     pub fn with_segment_bytes(mut self, bytes: u64) -> DurableLogConfig {
         self.segment_bytes = bytes.max(64);
+        self
+    }
+
+    /// Enables per-append kernel flushes (process-crash durability for
+    /// acknowledged records).
+    #[must_use]
+    pub fn with_flush_appends(mut self, flush: bool) -> DurableLogConfig {
+        self.flush_appends = flush;
         self
     }
 }
@@ -240,6 +257,7 @@ pub struct DurableLog {
     dir: PathBuf,
     fsync: Fsync,
     segment_bytes: u64,
+    flush_appends: bool,
     inner: Mutex<LogInner>,
     stats: DurabilityStats,
 }
@@ -317,6 +335,7 @@ impl DurableLog {
             dir: config.dir,
             fsync: config.fsync,
             segment_bytes: config.segment_bytes,
+            flush_appends: config.flush_appends,
             inner: Mutex::new(LogInner {
                 writer,
                 seq: next_seq,
@@ -378,6 +397,15 @@ impl DurableLog {
         }
         if inner.seg_bytes >= self.segment_bytes {
             self.rotate(&mut inner)?;
+        } else if self.flush_appends {
+            // Hand the batch to the kernel before the caller acknowledges
+            // it: a process kill can no longer eat an acked record (the
+            // page cache survives); machine-crash durability still waits
+            // for the group-commit fsync.
+            inner
+                .writer
+                .flush()
+                .map_err(|e| io_err("flush wal append", e))?;
         }
         Ok(())
     }
@@ -664,37 +692,9 @@ fn scan_segment(seq: u64, buf: &[u8], is_last: bool) -> (Vec<(u64, Vec<u8>)>, Op
     (records, None)
 }
 
-/// CRC-32 (IEEE 802.3, reflected) over `data`. Hand-rolled: the workspace
-/// carries no checksum crate, and a 256-entry table is all the speed this
-/// path needs — appends checksum tens of bytes per record.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
+/// CRC-32 over `data` — the shared workspace implementation, re-exported
+/// so WAL tooling keeps its historical import path.
+pub use aloha_common::crc::crc32;
 
 #[cfg(test)]
 mod tests {

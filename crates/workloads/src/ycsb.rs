@@ -106,6 +106,13 @@ pub fn gen_txn_keys(rng: &mut SmallRng, cfg: &YcsbConfig) -> Vec<Key> {
     keys
 }
 
+/// Encodes a transaction's key set as program args (the format
+/// [`install_aloha`]'s program decodes). Public so multi-process drivers
+/// can submit the same transactions through a [`aloha_core::Node`].
+pub fn encode_txn_args(keys: &[Key]) -> Vec<u8> {
+    encode_keys(keys)
+}
+
 fn encode_keys(keys: &[Key]) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u32(keys.len() as u32);
@@ -125,6 +132,23 @@ fn decode_keys(args: &[u8]) -> Result<Vec<Key>> {
 /// key becomes an `ADD(1)` functor — the read-modify-write collapses into a
 /// single self-reading functor, needing no remote reads at all.
 pub fn install_aloha(builder: &mut ClusterBuilder) {
+    builder.register_program(
+        YCSB_ALOHA,
+        fn_program(|ctx| {
+            let keys = decode_keys(ctx.args)?;
+            let mut plan = TxnPlan::new();
+            for key in keys {
+                plan = plan.write(key, Functor::add(1));
+            }
+            Ok(plan)
+        }),
+    );
+}
+
+/// Registers the microbenchmark program on one node of a multi-process
+/// ALOHA deployment (same program as [`install_aloha`]; every node of a
+/// deployment must register it).
+pub fn install_aloha_node(builder: &mut aloha_core::NodeBuilder) {
     builder.register_program(
         YCSB_ALOHA,
         fn_program(|ctx| {
@@ -172,6 +196,31 @@ pub fn load_aloha(cluster: &aloha_core::Cluster, cfg: &YcsbConfig) {
             cluster.load(cfg.key(p, idx), Value::from_i64(0));
         }
     }
+}
+
+/// Loads the records owned by one node of a multi-process deployment
+/// (each node filters to its own partition). Returns rows loaded here.
+pub fn load_aloha_node(node: &aloha_core::Node, cfg: &YcsbConfig) -> usize {
+    let mut loaded = 0;
+    for p in 0..cfg.partitions {
+        for idx in 0..cfg.keys_per_partition {
+            if node.load(cfg.key(p, idx), Value::from_i64(0)) {
+                loaded += 1;
+            }
+        }
+    }
+    loaded
+}
+
+/// Every key of the microbenchmark's key space, for final-state reads.
+pub fn all_keys(cfg: &YcsbConfig) -> Vec<Key> {
+    let mut keys = Vec::with_capacity(cfg.partitions as usize * cfg.keys_per_partition as usize);
+    for p in 0..cfg.partitions {
+        for idx in 0..cfg.keys_per_partition {
+            keys.push(cfg.key(p, idx));
+        }
+    }
+    keys
 }
 
 /// Loads all records into a Calvin cluster.

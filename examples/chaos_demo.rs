@@ -109,13 +109,15 @@ fn main() {
         }
     }
 
-    let stats = cluster.net_stats();
+    let snapshot = cluster.snapshot();
+    let net = snapshot.child("net").expect("snapshot has a net subtree");
+    let count = |c: &str| net.counter(c).unwrap_or(0);
     println!(
         "network: {} delivered, {} injected drops, {} dups, {} reorders",
-        stats.messages(),
-        stats.injected_drops(),
-        stats.injected_dups(),
-        stats.injected_reorders()
+        count("messages"),
+        count("injected_drops"),
+        count("injected_dups"),
+        count("injected_reorders")
     );
     println!("transactions: {TXNS} submitted, {gave_up} gave up (aborted cleanly)");
 

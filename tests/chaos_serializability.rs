@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use aloha_common::stats::StatsSnapshot;
 use aloha_common::tempdir::TempDir;
 use aloha_common::{Key, ServerId, Timestamp, Value};
 use aloha_db::calvin::{
@@ -30,6 +31,17 @@ use aloha_functor::{
 use aloha_net::{CrashAlign, CrashPlan, ExecConfig, FaultPlan, LinkFault, NetConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Sum of the fault layer's injected-disruption counters, read from the
+/// cluster snapshot's `net` subtree (transport counters are no longer
+/// reachable as raw getters).
+fn injected_faults(snapshot: &StatsSnapshot) -> u64 {
+    let net = snapshot.child("net").expect("snapshot has a net subtree");
+    ["injected_drops", "injected_dups", "injected_reorders"]
+        .into_iter()
+        .map(|c| net.counter(c).unwrap_or(0))
+        .sum()
+}
 
 const AFFINE: ProgramId = ProgramId(1);
 const H_AFFINE: HandlerId = HandlerId(1);
@@ -186,9 +198,7 @@ fn aloha_chaos_run(
     });
 
     // The run must actually have been disrupted, or the test proves nothing.
-    let injected = cluster.net_stats().injected_drops()
-        + cluster.net_stats().injected_dups()
-        + cluster.net_stats().injected_reorders();
+    let injected = injected_faults(&cluster.snapshot());
     assert!(
         injected > 0,
         "fault layer injected nothing under seed {seed} with {plan}"
@@ -361,9 +371,7 @@ fn calvin_chaos_run(
     });
 
     // The run must actually have been disrupted, or the test proves nothing.
-    let injected = cluster.net_stats().injected_drops()
-        + cluster.net_stats().injected_dups()
-        + cluster.net_stats().injected_reorders();
+    let injected = injected_faults(&cluster.snapshot());
     assert!(
         injected > 0,
         "fault layer injected nothing under seed {seed} with {plan}"
@@ -550,9 +558,7 @@ fn aloha_crash_chaos_run(seed: u64, align: CrashAlign) -> Result<(), String> {
         });
     });
 
-    let injected = cluster.net_stats().injected_drops()
-        + cluster.net_stats().injected_dups()
-        + cluster.net_stats().injected_reorders();
+    let injected = injected_faults(&cluster.snapshot());
     assert!(
         injected > 0,
         "fault layer injected nothing under seed {seed} with {plan}"
@@ -659,7 +665,7 @@ fn calvin_crash_chaos_run(seed: u64) -> Result<(), String> {
     let calvin_config = CalvinConfig::new(3)
         .with_batch_duration(Duration::from_millis(5))
         .with_net(NetConfig::instant().with_fault(plan.clone()))
-        .with_durability(CalvinDurability::new(dir.path()))
+        .with_durable_log(CalvinDurability::new(dir.path()))
         .with_history();
     let mut builder = CalvinCluster::builder(calvin_config);
     builder.register_program(
@@ -720,9 +726,7 @@ fn calvin_crash_chaos_run(seed: u64) -> Result<(), String> {
     }
     run_phase(2);
 
-    let injected = cluster.net_stats().injected_drops()
-        + cluster.net_stats().injected_dups()
-        + cluster.net_stats().injected_reorders();
+    let injected = injected_faults(&cluster.snapshot());
     assert!(
         injected > 0,
         "fault layer injected nothing under seed {seed} with {plan}"

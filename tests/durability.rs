@@ -359,7 +359,7 @@ fn cross_system_recovery_converges_to_the_same_state() {
     let cdir = TempDir::new("xsys-calvin");
     let config = calvin::CalvinConfig::new(2)
         .with_batch_duration(Duration::from_millis(2))
-        .with_durability(calvin::CalvinDurability::new(cdir.path()));
+        .with_durable_log(calvin::CalvinDurability::new(cdir.path()));
     let mut builder = calvin::CalvinCluster::builder(config);
     builder.register_program(
         calvin::ProgramId(1),

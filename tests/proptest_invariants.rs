@@ -222,8 +222,9 @@ proptest! {
         for i in 0..N as u32 {
             bus.send(dest, i).unwrap();
         }
-        let drops = bus.stats().injected_drops();
-        let dups = bus.stats().injected_dups();
+        let net = aloha_net::Transport::snapshot(&bus);
+        let drops = net.counter("injected_drops").unwrap_or(0);
+        let dups = net.counter("injected_dups").unwrap_or(0);
         // Dropping the bus closes the delay line, which flushes every copy
         // still in flight before the worker exits.
         drop(bus);
