@@ -37,7 +37,18 @@ fn bench_version_chain(c: &mut Criterion) {
         chain.insert(ts(v), Functor::value_i64(v as i64));
     }
     group.bench_function("lookup_floor_1024", |b| {
-        b.iter(|| chain.latest_at_or_below(black_box(ts(512))));
+        b.iter(|| chain.floor(black_box(ts(512))));
+    });
+    // Same lookup after the chain is fully packed: the settled path is a
+    // binary search over plain (version, value) pairs, no `Arc` bumps.
+    let packed = VersionChain::new();
+    for v in 1..=1024u64 {
+        packed.insert(ts(v), Functor::value_i64(v as i64));
+    }
+    packed.advance_watermark(ts(1024));
+    packed.compact(Timestamp::ZERO, usize::MAX);
+    group.bench_function("lookup_floor_1024_packed", |b| {
+        b.iter(|| packed.floor(black_box(ts(512))));
     });
     group.bench_function("watermark_advance", |b| {
         let mut v = 0u64;

@@ -427,11 +427,23 @@ pub fn calvin_tpcc_run(
 
 /// Builds, loads, drives and tears down an ALOHA-DB microbenchmark cluster.
 pub fn aloha_ycsb_run(cfg: &YcsbConfig, epoch: Duration, driver: &DriverConfig) -> RunResult {
-    let mut builder = Cluster::builder(
+    aloha_ycsb_run_tuned(cfg, epoch, driver, |c| c)
+}
+
+/// [`aloha_ycsb_run`] with a hook over the cluster configuration, for
+/// ablations that toggle one knob (compaction, GC, batching) while keeping
+/// the workload and epoch schedule identical.
+pub fn aloha_ycsb_run_tuned(
+    cfg: &YcsbConfig,
+    epoch: Duration,
+    driver: &DriverConfig,
+    tune: impl FnOnce(ClusterConfig) -> ClusterConfig,
+) -> RunResult {
+    let mut builder = Cluster::builder(tune(
         ClusterConfig::new(cfg.partitions)
             .with_epoch_duration(epoch)
             .with_processors(2),
-    );
+    ));
     ycsb::install_aloha(&mut builder);
     let cluster = builder.start().expect("start aloha cluster");
     ycsb::load_aloha(&cluster, cfg);

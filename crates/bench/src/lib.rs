@@ -30,6 +30,6 @@ pub mod harness;
 pub mod multiproc;
 
 pub use harness::{
-    aloha_tpcc_run, aloha_ycsb_run, calvin_tpcc_run, calvin_ycsb_run, BenchOpts, BenchReport,
-    BenchRow, ParseOutcome, RunResult,
+    aloha_tpcc_run, aloha_ycsb_run, aloha_ycsb_run_tuned, calvin_tpcc_run, calvin_ycsb_run,
+    BenchOpts, BenchReport, BenchRow, ParseOutcome, RunResult,
 };

@@ -119,16 +119,28 @@ impl Workload for NodeYcsb {
 /// The returned snapshot is node 0's (its server plus its transport's wire
 /// counters); committed/aborted counts are driver-side and deployment-wide.
 pub fn tcp_ycsb_run(cfg: &YcsbConfig, epoch: Duration, driver: &DriverConfig) -> RunResult {
+    tcp_ycsb_run_tuned(cfg, epoch, driver, |c| c)
+}
+
+/// [`tcp_ycsb_run`] with a hook over each node's configuration, for
+/// ablations that toggle one knob (compaction, durability) while keeping the
+/// workload and epoch schedule identical. The hook runs once per node.
+pub fn tcp_ycsb_run_tuned(
+    cfg: &YcsbConfig,
+    epoch: Duration,
+    driver: &DriverConfig,
+    tune: impl Fn(NodeConfig) -> NodeConfig,
+) -> RunResult {
     let transports = tcp_mesh(cfg.partitions);
     let origin = UnixClock::unix_now_micros();
     let nodes: Vec<Arc<Node>> = transports
         .iter()
         .enumerate()
         .map(|(i, transport)| {
-            let mut builder = Node::builder(
+            let mut builder = Node::builder(tune(
                 NodeConfig::new(ServerId(i as u16), cfg.partitions, origin)
                     .with_epoch_duration(epoch),
-            );
+            ));
             ycsb::install_aloha_node(&mut builder);
             let net: Arc<dyn Transport<ServerMsg>> = Arc::clone(transport) as _;
             Arc::new(builder.start(net).expect("start node"))

@@ -20,6 +20,7 @@
 //! ```
 
 use crate::error::{Error, Result};
+use bytes::Bytes;
 
 /// Incrementally builds a binary payload.
 #[derive(Debug, Default, Clone)]
@@ -117,12 +118,25 @@ impl Writer {
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {
     buf: &'a [u8],
+    /// When the payload is a view of a shared [`Bytes`] buffer (a received
+    /// wire frame), [`Reader::get_bytes_shared`] can lend out sub-windows of
+    /// that buffer instead of copying each field.
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over a payload.
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf }
+        Reader { buf, backing: None }
+    }
+
+    /// Creates a reader over a shared buffer; byte fields decoded with
+    /// [`Reader::get_bytes_shared`] are zero-copy windows of `bytes`.
+    pub fn shared(bytes: &'a Bytes) -> Reader<'a> {
+        Reader {
+            buf: bytes.as_ref(),
+            backing: Some(bytes),
+        }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
@@ -213,6 +227,22 @@ impl<'a> Reader<'a> {
         self.take(len)
     }
 
+    /// Reads a length-prefixed byte field as owned [`Bytes`]. When the
+    /// reader was built with [`Reader::shared`], this is a zero-copy window
+    /// of the backing buffer (one refcount bump, no allocation); otherwise
+    /// it copies the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] if the payload is exhausted.
+    pub fn get_bytes_shared(&mut self) -> Result<Bytes> {
+        let raw = self.get_bytes()?;
+        Ok(match self.backing {
+            Some(backing) => backing.slice_ref(raw),
+            None => Bytes::copy_from_slice(raw),
+        })
+    }
+
     /// Remaining undecoded bytes.
     pub fn remaining(&self) -> usize {
         self.buf.len()
@@ -285,6 +315,30 @@ mod tests {
         let mut r = Reader::new(&buf);
         assert_eq!(r.get_str().unwrap(), "");
         assert_eq!(r.get_bytes().unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn shared_reader_lends_windows_of_the_backing_buffer() {
+        let mut w = Writer::new();
+        w.put_u32(7).put_bytes(b"zero-copy payload").put_u8(3);
+        let backing = Bytes::from(w.into_bytes());
+        let mut r = Reader::shared(&backing);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        let field = r.get_bytes_shared().unwrap();
+        assert_eq!(field.as_ref(), b"zero-copy payload");
+        assert!(field.shares_storage_with(&backing));
+        assert_eq!(r.get_u8().unwrap(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unshared_reader_falls_back_to_copying() {
+        let mut w = Writer::new();
+        w.put_bytes(b"copied");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let field = r.get_bytes_shared().unwrap();
+        assert_eq!(field.as_ref(), b"copied");
     }
 
     #[test]

@@ -194,6 +194,12 @@ impl From<&str> for Key {
     }
 }
 
+impl From<Bytes> for Key {
+    fn from(bytes: Bytes) -> Key {
+        Key(bytes)
+    }
+}
+
 /// An opaque binary value: the "final form" of a functor (§III-D).
 ///
 /// # Examples

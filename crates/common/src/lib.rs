@@ -32,6 +32,7 @@ pub mod stats;
 pub mod tempdir;
 pub mod timestamp;
 
+pub use bytes::Bytes;
 pub use clock::{Clock, ManualClock, SkewedClock, SystemClock, UnixClock};
 pub use error::{Error, Result};
 pub use history::HistoryLog;

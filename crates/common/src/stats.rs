@@ -270,6 +270,28 @@ impl fmt::Display for StatsSnapshot {
     }
 }
 
+/// This process's resident set size in bytes, read from `/proc/self/status`
+/// (`VmRSS`). Returns 0 on platforms without procfs — gauges built on this
+/// simply read as absent-by-zero there. Memory-ablation benches use it to
+/// assert steady RSS under chain compaction.
+pub fn process_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,12 @@ pub struct ClusterConfig {
     /// `None` (the default) keeps all history, as the paper's multi-version
     /// store does during experiments.
     pub gc: Option<GcConfig>,
+    /// Optional watermark-driven chain compaction: settled records are
+    /// periodically packed out of their `Arc`+lock cells and the dead
+    /// committed prefix of every chain is folded into its materialized base
+    /// (aborted records are retained for outcome probes). `None` (the
+    /// default) keeps every version live, the pre-compaction behavior.
+    pub compaction: Option<CompactionConfig>,
     /// Log every install/rollback of the write-only phase to a per-server
     /// in-memory write-ahead log (§III-A). Off by default, matching the
     /// paper's fault-tolerance-disabled evaluation configuration. For a
@@ -143,6 +149,24 @@ pub struct GcConfig {
     /// How much settled history (in microseconds of timestamp space) to
     /// retain behind the visibility bound for historical readers.
     pub keep_micros: u64,
+}
+
+/// Watermark-driven chain-compaction knobs (see
+/// [`ClusterConfig::with_compaction`]).
+///
+/// The sweeper folds committed history below each key's value watermark,
+/// keeping the newest `keep_versions` committed records per chain as the
+/// materialized base. Aborted records below the watermark are packed but
+/// never folded, so late outcome probes can still distinguish an aborted
+/// version from folded committed history. Historical reads below the
+/// retained window are best-effort, exactly as with [`GcConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionConfig {
+    /// How often the sweeper runs.
+    pub interval: Duration,
+    /// Committed versions to retain per chain (clamped to at least 1 — the
+    /// base record readers floor onto).
+    pub keep_versions: usize,
 }
 
 /// Crash-durable WAL knobs (see [`ClusterConfig::with_durable_log`]).
@@ -239,6 +263,7 @@ impl ClusterConfig {
             clock_skew_micros: Vec::new(),
             clock_offset_micros: 0,
             gc: None,
+            compaction: None,
             durable: false,
             durable_log: None,
             replicated: false,
@@ -292,6 +317,16 @@ impl ClusterConfig {
         self.gc = Some(GcConfig {
             interval,
             keep_micros,
+        });
+        self
+    }
+
+    /// Enables the background watermark-driven compaction sweeper, keeping
+    /// the newest `keep_versions` committed versions per chain.
+    pub fn with_compaction(mut self, interval: Duration, keep_versions: usize) -> ClusterConfig {
+        self.compaction = Some(CompactionConfig {
+            interval,
+            keep_versions,
         });
         self
     }
@@ -620,6 +655,37 @@ impl ClusterBuilder {
                         }
                     })
                     .expect("spawn gc sweeper"),
+            );
+        }
+        if let Some(comp) = rebuild.config.compaction {
+            let sweep_servers = Arc::clone(&servers);
+            let stop = Arc::clone(&aux_stop);
+            aux_threads.push(
+                std::thread::Builder::new()
+                    .name("compaction-sweeper".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(comp.interval);
+                            for server in sweep_servers.all() {
+                                if server.is_shutdown() {
+                                    continue;
+                                }
+                                // The cluster-wide compute frontier caps
+                                // folding: every functor below it is
+                                // computed everywhere, so no read — local
+                                // or remote — still floors beneath what
+                                // the fold keeps. The visible bound would
+                                // be unsound here: a settled-but-uncomputed
+                                // functor reads at its own (lower) version.
+                                let horizon = server.epoch().frontier();
+                                server
+                                    .partition()
+                                    .store()
+                                    .compact(horizon, comp.keep_versions);
+                            }
+                        }
+                    })
+                    .expect("spawn compaction sweeper"),
             );
         }
         if let Some(interval) = rebuild
@@ -1074,6 +1140,10 @@ impl Cluster {
         root.set_counter("aborted", aborted);
         root.set_counter("installs", installs);
         root.set_counter("compute_errors", compute_errors);
+        root.set_gauge(
+            "process_rss_bytes",
+            aloha_common::stats::process_rss_bytes(),
+        );
         for (stage, snap) in Stage::ALL.iter().zip(&merged[..STAGE_COUNT]) {
             root.set_stage(stage.name(), StageStats::from(snap));
         }

@@ -53,8 +53,8 @@ pub use aloha_net::BatchConfig;
 pub use aloha_storage::Fsync;
 pub use checker::{diff_states, replay_history, CommitRecord, Divergence, History};
 pub use cluster::{
-    Cluster, ClusterBuilder, ClusterConfig, Database, DurableLogSpec, GcConfig, RecoveryReport,
-    TransportSpec,
+    Cluster, ClusterBuilder, ClusterConfig, CompactionConfig, Database, DurableLogSpec, GcConfig,
+    RecoveryReport, TransportSpec,
 };
 pub use msg::{InstallOutcome, ServerMsg, VersionState};
 pub use node::{Node, NodeBuilder, NodeConfig};

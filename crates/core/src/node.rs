@@ -23,6 +23,7 @@
 //!   epoch manager; the launcher orchestrates deployment-wide shutdown
 //!   order.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,7 +36,7 @@ use aloha_net::{Addr, Executor, Transport};
 use aloha_storage::{DurableLog, DurableLogConfig, Partition, RecoveredLog};
 
 use crate::checker::History;
-use crate::cluster::{DurableLogSpec, NetEpochTransport};
+use crate::cluster::{CompactionConfig, DurableLogSpec, NetEpochTransport};
 use crate::msg::ServerMsg;
 use crate::program::{ProgramId, ProgramRegistry, TxnProgram};
 use crate::server::{Server, TxnHandle, WalSink};
@@ -70,6 +71,10 @@ pub struct NodeConfig {
     /// `dir/server-<i>` layout as the in-process cluster, so a respawned
     /// process over the same directory recovers its partition.
     pub durable_log: Option<DurableLogSpec>,
+    /// Optional background watermark-driven chain compaction for this
+    /// node's partition (same semantics as
+    /// [`ClusterConfig::with_compaction`](crate::ClusterConfig::with_compaction)).
+    pub compaction: Option<CompactionConfig>,
 }
 
 impl NodeConfig {
@@ -86,6 +91,7 @@ impl NodeConfig {
             record_history: false,
             clock_origin_unix_micros,
             durable_log: None,
+            compaction: None,
         }
     }
 
@@ -116,6 +122,16 @@ impl NodeConfig {
     /// Enables crash-durable on-disk write-ahead logging.
     pub fn with_durable_log(mut self, spec: DurableLogSpec) -> NodeConfig {
         self.durable_log = Some(spec);
+        self
+    }
+
+    /// Enables the background watermark-driven compaction sweeper, keeping
+    /// the newest `keep_versions` committed versions per chain.
+    pub fn with_compaction(mut self, interval: Duration, keep_versions: usize) -> NodeConfig {
+        self.compaction = Some(CompactionConfig {
+            interval,
+            keep_versions,
+        });
         self
     }
 }
@@ -224,6 +240,38 @@ impl NodeBuilder {
         let threads =
             crate::cluster::spawn_server_threads(&server, endpoint, queue_rx, config.processors);
 
+        let aux_stop = Arc::new(AtomicBool::new(false));
+        let mut aux_threads = Vec::new();
+        if let Some(comp) = config.compaction {
+            let sweep_server = Arc::clone(&server);
+            let stop = Arc::clone(&aux_stop);
+            aux_threads.push(
+                std::thread::Builder::new()
+                    .name("compaction-sweeper".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(comp.interval);
+                            if sweep_server.is_shutdown() {
+                                continue;
+                            }
+                            // The cluster-wide compute frontier (distributed
+                            // through the epoch grants) caps folding: every
+                            // functor below it is computed everywhere, so no
+                            // read — local or remote — still floors beneath
+                            // what the fold keeps. The visible bound would be
+                            // unsound: a settled-but-uncomputed functor reads
+                            // at its own (lower) version.
+                            let horizon = sweep_server.epoch().frontier();
+                            sweep_server
+                                .partition()
+                                .store()
+                                .compact(horizon, comp.keep_versions);
+                        }
+                    })
+                    .expect("spawn compaction sweeper"),
+            );
+        }
+
         // Node 0 co-hosts the epoch manager: the EM's grants and revokes ride
         // the same transport as everything else, so remote FEs receive them
         // exactly as the in-process cluster's do.
@@ -250,6 +298,8 @@ impl NodeBuilder {
             em,
             net,
             threads,
+            aux_stop,
+            aux_threads,
             history,
             total: config.servers,
         })
@@ -262,6 +312,8 @@ pub struct Node {
     em: Option<EpochManager>,
     net: Arc<dyn Transport<ServerMsg>>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    aux_stop: Arc<AtomicBool>,
+    aux_threads: Vec<std::thread::JoinHandle<()>>,
     history: Option<Arc<History>>,
     total: u16,
 }
@@ -338,9 +390,15 @@ impl Node {
         self.history.as_ref()
     }
 
-    /// A statistics snapshot: this server's node plus the transport's.
+    /// A statistics snapshot: this server's node plus the transport's, with
+    /// a process-RSS gauge so deployment dashboards see this process's
+    /// resident set next to its live-record counts.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut root = self.server.snapshot();
+        root.set_gauge(
+            "process_rss_bytes",
+            aloha_common::stats::process_rss_bytes(),
+        );
         root.push_child(self.net.snapshot());
         root
     }
@@ -357,12 +415,16 @@ impl Node {
         if let Some(em) = self.em.take() {
             em.close();
         }
+        self.aux_stop.store(true, Ordering::SeqCst);
         self.server.mark_shutdown();
         let _ = self
             .net
             .send_reliable(Addr::Server(self.server.id()), ServerMsg::Shutdown);
         self.net.deregister(Addr::Server(self.server.id()));
         for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.aux_threads.drain(..) {
             let _ = t.join();
         }
         self.server.exec().shutdown();

@@ -1,7 +1,7 @@
 //! The server process: front-end (coordinator) plus back-end (partition +
 //! functor processors), as in Fig 1 of the paper.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -11,12 +11,12 @@ use aloha_common::metrics::{
     STAGE_COUNT,
 };
 use aloha_common::stats::{StageStats, StatsSnapshot};
-use aloha_common::{Error, Key, Result, ServerId, Timestamp};
+use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
 use aloha_control::Permit;
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
 use aloha_net::{reply_pair, Addr, Batcher, Endpoint, Executor, ReplyHandle, ReplySlot, Transport};
-use aloha_storage::{ComputeEnv, DurableLog, Partition, WalRecord};
+use aloha_storage::{ChainRead, ComputeEnv, DurableLog, FinalForm, Partition, WalRecord};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -175,6 +175,12 @@ pub struct Server {
     programs: Arc<ProgramRegistry>,
     queue_tx: Sender<QueueEntry>,
     pending: Mutex<Vec<QueueEntry>>,
+    /// Entries released to the processors but not yet successfully computed,
+    /// keyed by version. Together with `pending`, this is what
+    /// [`Server::compute_frontier`] scans: a version leaves this map only
+    /// once its functor is final, so the minimum key is the oldest compute
+    /// this backend still owes. Lock order: `pending` before `inflight`.
+    inflight: Mutex<BTreeMap<Timestamp, Vec<Key>>>,
     prev_settled: Mutex<Timestamp>,
     stats: ServerStats,
     shutdown: AtomicBool,
@@ -390,6 +396,25 @@ impl Server {
         history: Option<Arc<History>>,
     ) -> (Arc<Server>, Receiver<QueueEntry>) {
         let (queue_tx, queue_rx) = crossbeam::channel::unbounded();
+        // Recovery seeding: WAL replay and checkpoint restore reinstate
+        // functors directly into the store, bypassing `install_batch`, so any
+        // still-uncomputed record must be re-buffered here. Otherwise it
+        // would be invisible to the compute frontier (unsoundly licensing
+        // compaction to fold the history it still needs) and would never be
+        // proactively recomputed. The next grant releases these exactly like
+        // freshly installed entries.
+        let seeded_at = Instant::now();
+        let mut seeded = Vec::new();
+        partition.store().for_each_chain(|key, chain| {
+            for record in chain.uncomputed_in(Timestamp::ZERO, Timestamp::MAX) {
+                seeded.push(QueueEntry {
+                    key: key.clone(),
+                    version: record.version(),
+                    installed_at: seeded_at,
+                    released_at: seeded_at,
+                });
+            }
+        });
         let server = Arc::new(Server {
             id,
             total_servers,
@@ -400,7 +425,8 @@ impl Server {
             exec,
             programs,
             queue_tx,
-            pending: Mutex::new(Vec::new()),
+            pending: Mutex::new(seeded),
+            inflight: Mutex::new(BTreeMap::new()),
             prev_settled: Mutex::new(Timestamp::ZERO),
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
@@ -450,7 +476,14 @@ impl Server {
     /// the `durability` subtree as children).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut node = self.stats.snapshot(format!("server_{}", self.id.0));
-        node.push_child(self.partition.stats().snapshot("partition"));
+        let mut partition = self.partition.stats().snapshot("partition");
+        let mut memory = self.partition.store().memory_stats().snapshot("memory");
+        memory.set_counter(
+            "push_cache_entries",
+            self.partition.push_cache().len() as u64,
+        );
+        partition.push_child(memory);
+        node.push_child(partition);
         node.push_child(self.exec.stats().snapshot("exec"));
         if let Some(sink) = &self.wal {
             node.push_child(sink.stats_snapshot(self.epoch.visible_bound().raw()));
@@ -813,6 +846,7 @@ impl Server {
             let ack = RevokedAck {
                 server: self.id,
                 epoch,
+                frontier: self.compute_frontier(),
             };
             let _ = self
                 .net
@@ -1013,19 +1047,32 @@ impl Server {
 
     pub(crate) fn resolve_local(&self, key: &Key, version: Timestamp) -> Result<VersionState> {
         self.partition.compute(key, version, self.as_env())?;
-        let record = self
-            .partition
-            .store()
-            .chain(key)
-            .and_then(|c| c.record_at(version));
-        Ok(match record {
-            None => VersionState::Missing,
-            Some(rec) => match rec.load() {
-                Functor::Value(v) => VersionState::Committed(v),
-                Functor::Aborted => VersionState::Aborted,
-                Functor::Deleted => VersionState::Deleted,
-                other => unreachable!("compute left non-final functor {other}"),
-            },
+        let Some(chain) = self.partition.store().chain(key) else {
+            return Ok(VersionState::Missing);
+        };
+        let form = match chain.read_at(version) {
+            Some(ChainRead::Final(_, form)) => form,
+            // After compute the record is final: read its outcome without
+            // cloning the functor.
+            Some(ChainRead::Live(rec)) => rec
+                .final_form()
+                .unwrap_or_else(|| unreachable!("compute left non-final record at {key:?}")),
+            None if version <= chain.compacted_floor() => {
+                // The version was folded by compaction. Aborted records are
+                // never folded, so a folded version necessarily committed;
+                // probes only consume the outcome, and its exact written
+                // value has been superseded by the surviving base anyway.
+                return Ok(match chain.floor(version) {
+                    Some(ChainRead::Final(_, FinalForm::Value(v))) => VersionState::Committed(v),
+                    _ => VersionState::Committed(Value::default()),
+                });
+            }
+            None => return Ok(VersionState::Missing),
+        };
+        Ok(match form {
+            FinalForm::Value(v) => VersionState::Committed(v),
+            FinalForm::Aborted => VersionState::Aborted,
+            FinalForm::Deleted => VersionState::Deleted,
         })
     }
 
@@ -1037,6 +1084,10 @@ impl Server {
         let released_at = Instant::now();
         let mut pending = self.pending.lock();
         let mut keep = Vec::with_capacity(pending.len());
+        // The pending lock is held across the inflight inserts and queue
+        // sends, so a released entry is never outside both structures — the
+        // compute frontier cannot advance past a functor in mid-handoff.
+        let mut inflight = self.inflight.lock();
         for mut entry in pending.drain(..) {
             if entry.version <= settled {
                 // The functor waited from install until its epoch settled:
@@ -1046,11 +1097,16 @@ impl Server {
                     duration_micros(released_at.duration_since(entry.installed_at)),
                 );
                 entry.released_at = released_at;
+                inflight
+                    .entry(entry.version)
+                    .or_default()
+                    .push(entry.key.clone());
                 let _ = self.queue_tx.send(entry);
             } else {
                 keep.push(entry);
             }
         }
+        drop(inflight);
         *pending = keep;
         drop(pending);
         // Epoch close is the batching layer's hard boundary: whatever is
@@ -1063,6 +1119,43 @@ impl Server {
         let mut prev = self.prev_settled.lock();
         self.partition.push_cache().clear_below(*prev);
         *prev = settled;
+    }
+
+    /// This backend's local compute frontier: every functor it hosts with a
+    /// version strictly below the returned bound has been computed. The
+    /// frontier is the minimum over the buffered (`pending`) and released
+    /// (`inflight`) metadata, capped at the visible bound — with nothing
+    /// outstanding a server vouches for everything settled so far.
+    /// Piggybacked on each revoke ack; the EM min-merges the cluster and
+    /// redistributes the result in grants as the compaction horizon.
+    pub(crate) fn compute_frontier(&self) -> Timestamp {
+        let mut frontier = self.epoch.visible_bound();
+        if let Some(min) = self.pending.lock().iter().map(|e| e.version).min() {
+            frontier = frontier.min(min);
+        }
+        let mut inflight = self.inflight.lock();
+        // Lazily retire versions whose computes landed through another path
+        // (on-demand reads compute chains too): only the map's front matters
+        // for the minimum. A version whose processor compute *failed* stays
+        // put and pins the frontier — conservative, never unsound.
+        while let Some((&version, keys)) = inflight.iter().next() {
+            if version >= frontier {
+                break;
+            }
+            let store = self.partition.store();
+            let done = keys.iter().all(|k| {
+                store
+                    .chain(k)
+                    .is_some_and(|c| c.uncomputed_in(version, version).is_empty())
+            });
+            if done {
+                inflight.remove(&version);
+            } else {
+                frontier = version;
+                break;
+            }
+        }
+        frontier
     }
 
     pub(crate) fn as_env(&self) -> &dyn ComputeEnv {
@@ -1356,6 +1449,7 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
                 let ack = RevokedAck {
                     server: server.id,
                     epoch,
+                    frontier: server.compute_frontier(),
                 };
                 let _ = server
                     .net
@@ -1506,7 +1600,7 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
             }
         }
         let targets: Vec<(&Key, Timestamp)> = targets.into_iter().collect();
-        let errors = Counter::new();
+        let failed: Mutex<Vec<Key>> = Mutex::new(Vec::new());
         if targets.len() == 1 {
             let (key, upto) = targets[0];
             if server
@@ -1514,7 +1608,7 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
                 .compute(key, upto, server.as_env())
                 .is_err()
             {
-                errors.incr();
+                failed.lock().push(key.clone());
             }
         } else {
             let crew = targets.len().min(CREW_SIZE);
@@ -1522,7 +1616,7 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
                 for worker in 0..crew {
                     let targets = &targets;
                     let server = &server;
-                    let errors = &errors;
+                    let failed = &failed;
                     scope.spawn(move || {
                         for (key, upto) in targets.iter().skip(worker).step_by(crew) {
                             if server
@@ -1530,14 +1624,35 @@ pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
                                 .compute(key, *upto, server.as_env())
                                 .is_err()
                             {
-                                errors.incr();
+                                failed.lock().push((*key).clone());
                             }
                         }
                     });
                 }
             });
         }
-        server.stats.compute_errors.add(errors.get());
+        let failed = failed.into_inner();
+        server.stats.compute_errors.add(failed.len() as u64);
+        // Retire the drained entries from the frontier's inflight map.
+        // Computing a key to its highest released version finalizes every
+        // lower version too, so each successful key clears all its entries;
+        // failed keys stay and (conservatively) pin the compute frontier
+        // until an on-demand read computes them.
+        let mut inflight = server.inflight.lock();
+        for entry in &entries {
+            if failed.contains(&entry.key) {
+                continue;
+            }
+            if let Some(keys) = inflight.get_mut(&entry.version) {
+                if let Some(pos) = keys.iter().position(|k| *k == entry.key) {
+                    keys.swap_remove(pos);
+                }
+                if keys.is_empty() {
+                    inflight.remove(&entry.version);
+                }
+            }
+        }
+        drop(inflight);
         // Queue wait plus the compute itself: everything after the epoch
         // released the functor is the computing stage (§IV-D). Recorded per
         // released entry, as before, so rollups keep per-functor semantics.

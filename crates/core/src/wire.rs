@@ -21,7 +21,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::codec::{Reader, Writer};
-use aloha_common::{EpochId, Error, Key, PartitionId, Result, ServerId, Timestamp, TxnId, Value};
+use aloha_common::{
+    Bytes, EpochId, Error, Key, PartitionId, Result, ServerId, Timestamp, TxnId, Value,
+};
 use aloha_epoch::{Authorization, Grant, RevokedAck};
 use aloha_functor::VersionedRead;
 use aloha_net::{PendingReplies, RemoteReplier, ReplySlot, WireCodec};
@@ -60,8 +62,8 @@ impl WireCodec<ServerMsg> for ServerMsgCodec {
         Ok(())
     }
 
-    fn decode(&self, bytes: &[u8], replier: &RemoteReplier) -> Result<ServerMsg> {
-        let mut r = Reader::new(bytes);
+    fn decode(&self, bytes: &Bytes, replier: &RemoteReplier) -> Result<ServerMsg> {
+        let mut r = Reader::shared(bytes);
         let msg = decode_msg(&mut r, replier)?;
         if !r.is_empty() {
             return Err(Error::Codec(format!(
@@ -81,7 +83,8 @@ fn encode_msg(msg: &ServerMsg, pending: &PendingReplies, w: &mut Writer) -> Resu
                 .put_u64(g.auth.start_micros())
                 .put_u64(g.auth.end_micros())
                 .put_u64(g.settled.raw())
-                .put_u64(g.epoch_duration_micros);
+                .put_u64(g.epoch_duration_micros)
+                .put_u64(g.frontier.raw());
         }
         ServerMsg::Revoke(epoch) => {
             w.put_u8(TAG_REVOKE).put_u64(epoch.0);
@@ -89,7 +92,8 @@ fn encode_msg(msg: &ServerMsg, pending: &PendingReplies, w: &mut Writer) -> Resu
         ServerMsg::RevokedAck(ack) => {
             w.put_u8(TAG_REVOKED_ACK)
                 .put_u16(ack.server.0)
-                .put_u64(ack.epoch.0);
+                .put_u64(ack.epoch.0)
+                .put_u64(ack.frontier.raw());
         }
         ServerMsg::Install {
             version,
@@ -202,6 +206,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             let end = r.get_u64()?;
             let settled = Timestamp::from_raw(r.get_u64()?);
             let epoch_duration_micros = r.get_u64()?;
+            let frontier = Timestamp::from_raw(r.get_u64()?);
             if start > end {
                 return Err(Error::Codec(format!(
                     "Grant with empty authorization window [{start}, {end}]"
@@ -211,12 +216,14 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
                 auth: Authorization::new(epoch, start, end),
                 settled,
                 epoch_duration_micros,
+                frontier,
             })
         }
         TAG_REVOKE => ServerMsg::Revoke(EpochId(r.get_u64()?)),
         TAG_REVOKED_ACK => ServerMsg::RevokedAck(RevokedAck {
             server: ServerId(r.get_u16()?),
             epoch: EpochId(r.get_u64()?),
+            frontier: Timestamp::from_raw(r.get_u64()?),
         }),
         TAG_INSTALL => {
             let version = Timestamp::from_raw(r.get_u64()?);
@@ -236,7 +243,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             let count = r.get_u32()?;
             let mut keys = Vec::with_capacity(count as usize);
             for _ in 0..count {
-                let key = Key::from(r.get_bytes()?.to_vec());
+                let key = Key::from(r.get_bytes_shared()?);
                 let version = Timestamp::from_raw(r.get_u64()?);
                 keys.push((key, version));
             }
@@ -247,7 +254,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             }
         }
         TAG_REMOTE_GET => {
-            let key = Key::from(r.get_bytes()?.to_vec());
+            let key = Key::from(r.get_bytes_shared()?);
             let bound = Timestamp::from_raw(r.get_u64()?);
             let corr = r.get_u64()?;
             ServerMsg::RemoteGet {
@@ -262,7 +269,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             let count = r.get_u32()?;
             let mut keys = Vec::with_capacity(count as usize);
             for _ in 0..count {
-                keys.push(Key::from(r.get_bytes()?.to_vec()));
+                keys.push(Key::from(r.get_bytes_shared()?));
             }
             let bound = Timestamp::from_raw(r.get_u64()?);
             let corr = r.get_u64()?;
@@ -275,7 +282,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             }
         }
         TAG_INSTALL_DEFERRED => {
-            let key = Key::from(r.get_bytes()?.to_vec());
+            let key = Key::from(r.get_bytes_shared()?);
             let version = Timestamp::from_raw(r.get_u64()?);
             let functor = decode_functor(r)?;
             let corr = r.get_u64()?;
@@ -287,7 +294,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             }
         }
         TAG_RESOLVE_VERSION => {
-            let key = Key::from(r.get_bytes()?.to_vec());
+            let key = Key::from(r.get_bytes_shared()?);
             let version = Timestamp::from_raw(r.get_u64()?);
             let corr = r.get_u64()?;
             ServerMsg::ResolveVersion {
@@ -300,7 +307,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
         }
         TAG_PUSH_VALUE => {
             let version = Timestamp::from_raw(r.get_u64()?);
-            let source = Key::from(r.get_bytes()?.to_vec());
+            let source = Key::from(r.get_bytes_shared()?);
             let read = decode_versioned_read(r)?;
             ServerMsg::PushValue {
                 version,
@@ -313,7 +320,7 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             let count = r.get_u32()?;
             let mut records = Vec::with_capacity(count as usize);
             for _ in 0..count {
-                let key = Key::from(r.get_bytes()?.to_vec());
+                let key = Key::from(r.get_bytes_shared()?);
                 let version = Timestamp::from_raw(r.get_u64()?);
                 let functor = decode_functor(r)?;
                 records.push((key, version, functor));
@@ -329,8 +336,8 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             let count = r.get_u32()?;
             let mut msgs = Vec::with_capacity(count as usize);
             for _ in 0..count {
-                let bytes = r.get_bytes()?;
-                let mut ir = Reader::new(bytes);
+                let bytes = r.get_bytes_shared()?;
+                let mut ir = Reader::shared(&bytes);
                 let inner = decode_msg(&mut ir, replier)?;
                 if !ir.is_empty() {
                     return Err(Error::Codec(format!(
@@ -409,11 +416,11 @@ fn encode_write(write: &Write, w: &mut Writer) {
 }
 
 fn decode_write(r: &mut Reader<'_>) -> Result<Write> {
-    let key = Key::from(r.get_bytes()?.to_vec());
+    let key = Key::from(r.get_bytes_shared()?);
     let functor = decode_functor(r)?;
     let check = match r.get_u8()? {
         0 => None,
-        1 => Some(Check::KeyExists(Key::from(r.get_bytes()?.to_vec()))),
+        1 => Some(Check::KeyExists(Key::from(r.get_bytes_shared()?))),
         other => return Err(Error::Codec(format!("unknown Check tag {other}"))),
     };
     Ok(Write {
@@ -468,7 +475,7 @@ fn decode_versioned_read(r: &mut Reader<'_>) -> Result<VersionedRead> {
     let version = Timestamp::from_raw(r.get_u64()?);
     let value = match r.get_u8()? {
         0 => None,
-        1 => Some(Value::from(r.get_bytes()?.to_vec())),
+        1 => Some(Value::from(r.get_bytes_shared()?)),
         other => {
             return Err(Error::Codec(format!(
                 "unknown VersionedRead value flag {other}"
@@ -515,7 +522,7 @@ fn encode_version_state(state: &VersionState, w: &mut Writer) {
 
 fn decode_version_state(r: &mut Reader<'_>) -> Result<VersionState> {
     Ok(match r.get_u8()? {
-        0 => VersionState::Committed(Value::from(r.get_bytes()?.to_vec())),
+        0 => VersionState::Committed(Value::from(r.get_bytes_shared()?)),
         1 => VersionState::Aborted,
         2 => VersionState::Deleted,
         3 => VersionState::Missing,
@@ -616,7 +623,7 @@ fn decode_error(r: &mut Reader<'_>) -> Result<Error> {
             valid_from: Timestamp::from_raw(r.get_u64()?),
             valid_until: Timestamp::from_raw(r.get_u64()?),
         },
-        6 => Error::KeyNotFound(Key::from(r.get_bytes()?.to_vec())),
+        6 => Error::KeyNotFound(Key::from(r.get_bytes_shared()?)),
         7 => Error::Rejected {
             txn: TxnId(r.get_u64()?),
             reason: r.get_str()?.to_string(),
@@ -656,7 +663,9 @@ mod tests {
         ServerMsgCodec
             .encode(msg, &pending, &mut bytes)
             .expect("encode");
-        ServerMsgCodec.decode(&bytes, &replier).expect("decode")
+        ServerMsgCodec
+            .decode(&Bytes::from(bytes), &replier)
+            .expect("decode")
     }
 
     #[test]
@@ -665,6 +674,7 @@ mod tests {
             auth: Authorization::new(EpochId(7), 1_000, 2_000),
             settled: Timestamp::from_raw(999),
             epoch_duration_micros: 1_000,
+            frontier: Timestamp::from_raw(555),
         });
         match round_trip(&grant) {
             ServerMsg::Grant(g) => {
@@ -673,6 +683,7 @@ mod tests {
                 assert_eq!(g.auth.end_micros(), 2_000);
                 assert_eq!(g.settled, Timestamp::from_raw(999));
                 assert_eq!(g.epoch_duration_micros, 1_000);
+                assert_eq!(g.frontier, Timestamp::from_raw(555));
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -685,10 +696,12 @@ mod tests {
         match round_trip(&ServerMsg::RevokedAck(RevokedAck {
             server: ServerId(3),
             epoch: EpochId(9),
+            frontier: Timestamp::from_raw(123),
         })) {
             ServerMsg::RevokedAck(a) => {
                 assert_eq!(a.server, ServerId(3));
                 assert_eq!(a.epoch, EpochId(9));
+                assert_eq!(a.frontier, Timestamp::from_raw(123));
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -971,15 +984,55 @@ mod tests {
     fn rejects_garbage() {
         let (_pending, replier) = loopback();
         // Unknown tag.
-        assert!(ServerMsgCodec.decode(&[0xEE], &replier).is_err());
+        assert!(ServerMsgCodec
+            .decode(&Bytes::from_static(&[0xEE]), &replier)
+            .is_err());
         // Truncated Grant.
-        assert!(ServerMsgCodec.decode(&[TAG_GRANT, 0, 0], &replier).is_err());
+        assert!(ServerMsgCodec
+            .decode(&Bytes::from_static(&[TAG_GRANT, 0, 0]), &replier)
+            .is_err());
         // Trailing bytes.
         assert!(ServerMsgCodec
-            .decode(&[TAG_SHUTDOWN, 0xFF], &replier)
+            .decode(&Bytes::from_static(&[TAG_SHUTDOWN, 0xFF]), &replier)
             .is_err());
         // Empty input.
-        assert!(ServerMsgCodec.decode(&[], &replier).is_err());
+        assert!(ServerMsgCodec.decode(&Bytes::new(), &replier).is_err());
+    }
+
+    /// The zero-copy contract: keys and values decoded out of a frame are
+    /// windows of the frame's allocation, not per-field copies.
+    #[test]
+    fn decoded_keys_and_values_borrow_the_frame() {
+        let (pending, replier) = loopback();
+        let msg = ServerMsg::PushValue {
+            version: Timestamp::from_raw(8),
+            source: Key::from("a-key-long-enough-to-matter"),
+            read: VersionedRead::found(
+                Timestamp::from_raw(6),
+                Value::new(b"payload bytes worth not copying".to_vec()),
+            ),
+        };
+        let mut bytes = Vec::new();
+        ServerMsgCodec.encode(&msg, &pending, &mut bytes).unwrap();
+        let frame = Bytes::from(bytes);
+        let ServerMsg::PushValue { source, read, .. } =
+            ServerMsgCodec.decode(&frame, &replier).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        let base = frame.as_ref().as_ptr() as usize;
+        let end = base + frame.len();
+        let key_ptr = source.as_bytes().as_ptr() as usize;
+        assert!(
+            key_ptr >= base && key_ptr + source.len() <= end,
+            "decoded key must point into the frame"
+        );
+        let value = read.value.expect("found");
+        let val_ptr = value.as_bytes().as_ptr() as usize;
+        assert!(
+            val_ptr >= base && val_ptr + value.len() <= end,
+            "decoded value must point into the frame"
+        );
     }
 
     #[test]
@@ -992,6 +1045,7 @@ mod tests {
         };
         let mut bytes = Vec::new();
         ServerMsgCodec.encode(&msg, &pending, &mut bytes).unwrap();
+        let bytes = Bytes::from(bytes);
         let ServerMsg::AbortVersion { reply, .. } =
             ServerMsgCodec.decode(&bytes, &replier).unwrap()
         else {

@@ -98,6 +98,12 @@ pub struct Grant {
     /// timestamp may not exceed the previous finish plus the next epoch's
     /// duration).
     pub epoch_duration_micros: u64,
+    /// Cluster-wide compute frontier: every functor with a version strictly
+    /// below this bound has been computed on every server, as of the last
+    /// completed drain round. No future read — local or remote — will target
+    /// a bound below it, so storage may fold history beneath it
+    /// (watermark-driven compaction). `ZERO` until the first round reports.
+    pub frontier: Timestamp,
 }
 
 #[cfg(test)]

@@ -68,6 +68,10 @@ struct ClientState {
     in_flight: HashMap<EpochId, usize>,
     /// Reads at or below this timestamp observe settled history.
     visible: Timestamp,
+    /// Cluster-wide compute frontier from the latest grant: everything below
+    /// it has been computed on every server, so compaction may fold beneath
+    /// it. Monotone, like `visible`.
+    frontier: Timestamp,
     oracle: TimestampOracle,
     shutdown: bool,
 }
@@ -113,6 +117,7 @@ impl EpochClient {
                 noauth_window: None,
                 in_flight: HashMap::new(),
                 visible: Timestamp::ZERO,
+                frontier: Timestamp::ZERO,
                 oracle: TimestampOracle::new(server),
                 shutdown: false,
             }),
@@ -136,6 +141,9 @@ impl EpochClient {
         let mut state = self.state.lock();
         if grant.settled > state.visible {
             state.visible = grant.settled;
+        }
+        if grant.frontier > state.frontier {
+            state.frontier = grant.frontier;
         }
         if grant.auth.epoch() > state.max_epoch_seen {
             state.max_epoch_seen = grant.auth.epoch();
@@ -332,6 +340,16 @@ impl EpochClient {
         self.state.lock().visible
     }
 
+    /// The cluster-wide compute frontier from the latest grant: every functor
+    /// with a version strictly below it has been computed on every server, so
+    /// no future read — local or remote — will need a version the compactor
+    /// folds beneath it. This is the only sound horizon for
+    /// watermark-driven compaction; `visible_bound` is *not* (a settled but
+    /// still-uncomputed functor floors its reads below the visible bound).
+    pub fn frontier(&self) -> Timestamp {
+        self.state.lock().frontier
+    }
+
     /// Blocks until the visibility bound reaches `ts` — i.e. until the epoch
     /// that contains `ts` has completed (§III-B latest-version reads).
     ///
@@ -411,7 +429,27 @@ mod tests {
             auth: Authorization::new(EpochId(epoch), start, end),
             settled,
             epoch_duration_micros: end - start,
+            frontier: Timestamp::ZERO,
         }
+    }
+
+    #[test]
+    fn frontier_advances_monotonically_with_grants() {
+        let (client, _clock) = client_with_clock(false);
+        assert_eq!(client.frontier(), Timestamp::ZERO);
+        let mut g = grant(2, 200, 300, Timestamp::from_raw(500));
+        g.frontier = Timestamp::from_raw(90);
+        client.on_grant(g);
+        assert_eq!(client.frontier(), Timestamp::from_raw(90));
+        // A reordered older grant with a lower frontier must not regress it.
+        let mut stale = grant(1, 0, 100, Timestamp::ZERO);
+        stale.frontier = Timestamp::from_raw(10);
+        client.on_grant(stale);
+        assert_eq!(client.frontier(), Timestamp::from_raw(90));
+        assert!(
+            client.frontier() <= client.visible_bound(),
+            "frontier trails the settled bound"
+        );
     }
 
     #[test]

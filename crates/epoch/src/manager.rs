@@ -6,7 +6,7 @@
 //! so the engine can run it over the cluster bus while tests run it over
 //! plain channels.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +54,11 @@ pub struct RevokedAck {
     pub server: ServerId,
     /// The epoch that finished draining there.
     pub epoch: EpochId,
+    /// The server's local compute frontier: every functor it hosts with a
+    /// version strictly below this has been computed. The EM folds the
+    /// cluster-wide minimum into the next [`Grant`]'s `frontier`, which is
+    /// what licenses compaction to drop history.
+    pub frontier: Timestamp,
 }
 
 /// How the EM talks to the front-ends.
@@ -256,6 +261,10 @@ fn run(
     let mut prev_finish_micros = clock.now_micros();
     let mut prev_finish_ts = Timestamp::ZERO;
     let mut epoch = EpochId(1);
+    // Latest compute frontier each server reported in a drain ack. A server
+    // that has never reported contributes ZERO, so the distributed minimum
+    // stays conservative until every server has completed an ack round.
+    let mut frontiers: HashMap<ServerId, Timestamp> = HashMap::new();
 
     while !shutdown.load(Ordering::SeqCst) {
         // Each epoch's duration is decided just before its grant; timestamps
@@ -269,6 +278,12 @@ fn run(
             auth,
             settled: prev_finish_ts,
             epoch_duration_micros: epoch_micros,
+            frontier: config
+                .servers
+                .iter()
+                .map(|s| frontiers.get(s).copied().unwrap_or(Timestamp::ZERO))
+                .min()
+                .unwrap_or(Timestamp::ZERO),
         };
         for &server in &config.servers {
             transport.send_grant(server, grant);
@@ -298,6 +313,10 @@ fn run(
                 if ack.epoch == epoch {
                     pending.remove(&ack.server);
                 }
+                // Local frontiers are monotone, so even a stale (re-sent or
+                // prior-epoch) ack carries a bound that is safe to absorb.
+                let slot = frontiers.entry(ack.server).or_insert(Timestamp::ZERO);
+                *slot = (*slot).max(ack.frontier);
             }
             if last_resend.elapsed() >= config.revoke_resend_interval {
                 for &server in &pending {
@@ -389,6 +408,7 @@ mod tests {
                     acks.send(RevokedAck {
                         server: s,
                         epoch: e,
+                        frontier: Timestamp::ZERO,
                     })
                     .unwrap();
                 }
@@ -434,6 +454,7 @@ mod tests {
                     acks.send(RevokedAck {
                         server: s,
                         epoch: e,
+                        frontier: Timestamp::ZERO,
                     })
                     .unwrap();
                 }
@@ -445,6 +466,7 @@ mod tests {
         acks.send(RevokedAck {
             server: ServerId(1),
             epoch: EpochId(1),
+            frontier: Timestamp::ZERO,
         })
         .unwrap();
         match events.recv_timeout(Duration::from_secs(1)).unwrap() {
@@ -482,6 +504,7 @@ mod tests {
         acks.send(RevokedAck {
             server: ServerId(0),
             epoch: EpochId(1),
+            frontier: Timestamp::ZERO,
         })
         .unwrap();
         loop {
@@ -516,6 +539,7 @@ mod tests {
                     acks.send(RevokedAck {
                         server: s,
                         epoch: e,
+                        frontier: Timestamp::ZERO,
                     })
                     .unwrap();
                     completed += 1;
@@ -565,6 +589,7 @@ mod tests {
                     acks.send(RevokedAck {
                         server: s,
                         epoch: e,
+                        frontier: Timestamp::ZERO,
                     })
                     .unwrap();
                 }
@@ -600,6 +625,7 @@ mod tests {
                 acks.send(RevokedAck {
                     server: s,
                     epoch: e,
+                    frontier: Timestamp::ZERO,
                 })
                 .unwrap();
                 completed += 1;

@@ -82,6 +82,7 @@ proptest! {
                                 )
                             },
                             epoch_duration_micros: duration,
+                            frontier: Timestamp::ZERO,
                         });
                     }
                 }

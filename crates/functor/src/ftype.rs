@@ -153,6 +153,23 @@ impl Functor {
         }
     }
 
+    /// Rough payload bytes held by this functor (memory accounting; ignores
+    /// enum discriminant and inline numeric deltas, counts heap payloads).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Functor::Value(v) => v.len(),
+            Functor::User(u) => {
+                u.args.len()
+                    + u.read_set.iter().map(|k| k.as_bytes().len()).sum::<usize>()
+                    + u.recipient_set
+                        .iter()
+                        .map(|k| k.as_bytes().len())
+                        .sum::<usize>()
+            }
+            _ => 0,
+        }
+    }
+
     /// Human-readable f-type name, as in Table I.
     pub fn ftype_name(&self) -> &'static str {
         match self {

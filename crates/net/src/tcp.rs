@@ -33,7 +33,7 @@ use aloha_common::codec::{Reader, Writer};
 use aloha_common::crc::crc32;
 use aloha_common::metrics::Counter;
 use aloha_common::stats::StatsSnapshot;
-use aloha_common::{Error, Result};
+use aloha_common::{Bytes, Error, Result};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 
@@ -271,9 +271,11 @@ impl<M: Send + 'static> TcpInner<M> {
     }
 
     /// Parses and routes one inbound payload. Codec or routing errors are
-    /// frame errors (the caller closes the connection).
-    fn handle_payload(self: &Arc<Self>, payload: &[u8]) -> Result<()> {
-        let mut r = Reader::new(payload);
+    /// frame errors (the caller closes the connection). The payload arrives
+    /// as a shared buffer so the codec can decode key/value fields as
+    /// zero-copy windows of the frame.
+    fn handle_payload(self: &Arc<Self>, payload: &Bytes) -> Result<()> {
+        let mut r = Reader::shared(payload);
         match r.get_u8()? {
             KIND_MSG => {
                 let reply_to: SocketAddr = r
@@ -281,14 +283,14 @@ impl<M: Send + 'static> TcpInner<M> {
                     .parse()
                     .map_err(|e| Error::Codec(format!("bad reply_to: {e}")))?;
                 let dst = get_addr(&mut r)?;
-                let body = r.get_bytes()?;
+                let body = r.get_bytes_shared()?;
                 let weak: Weak<TcpInner<M>> = Arc::downgrade(self);
                 let replier = RemoteReplier::new(move |corr, payload: Vec<u8>| {
                     if let Some(inner) = weak.upgrade() {
                         inner.send_reply(reply_to, corr, &payload);
                     }
                 });
-                let msg = self.codec.decode(body, &replier)?;
+                let msg = self.codec.decode(&body, &replier)?;
                 // Unknown destination: counted as a drop, like the bus.
                 let _ = self.deliver_local(dst, msg);
                 Ok(())
@@ -337,7 +339,9 @@ impl<M: Send + 'static> TcpInner<M> {
             }
             self.stats.bytes_in.add((FRAME_HEADER + len) as u64);
             self.stats.frames_in.incr();
-            if self.handle_payload(&payload).is_err() {
+            // One allocation hand-off per frame: every key/value decoded out
+            // of this payload shares its backing from here on.
+            if self.handle_payload(&Bytes::from(payload)).is_err() {
                 self.stats.frame_errors.incr();
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
@@ -355,15 +359,15 @@ impl<M: Send + 'static> TcpInner<M> {
 /// use std::sync::Arc;
 /// use aloha_net::{Addr, TcpTransport, Transport, WireCodec};
 /// # use aloha_net::{PendingReplies, RemoteReplier};
-/// # use aloha_common::{Result, ServerId};
+/// # use aloha_common::{Bytes, Result, ServerId};
 /// # struct C;
 /// # impl WireCodec<u64> for C {
 /// #     fn encode(&self, m: &u64, _: &PendingReplies, out: &mut Vec<u8>) -> Result<()> {
 /// #         out.extend_from_slice(&m.to_be_bytes());
 /// #         Ok(())
 /// #     }
-/// #     fn decode(&self, b: &[u8], _: &RemoteReplier) -> Result<u64> {
-/// #         Ok(u64::from_be_bytes(b.try_into().unwrap()))
+/// #     fn decode(&self, b: &Bytes, _: &RemoteReplier) -> Result<u64> {
+/// #         Ok(u64::from_be_bytes(b.as_ref().try_into().unwrap()))
 /// #     }
 /// # }
 ///
@@ -529,8 +533,9 @@ mod tests {
             out.extend_from_slice(&msg.to_be_bytes());
             Ok(())
         }
-        fn decode(&self, bytes: &[u8], _replier: &RemoteReplier) -> Result<u64> {
+        fn decode(&self, bytes: &Bytes, _replier: &RemoteReplier) -> Result<u64> {
             let arr: [u8; 8] = bytes
+                .as_ref()
                 .try_into()
                 .map_err(|_| Error::Codec("want 8 bytes".into()))?;
             Ok(u64::from_be_bytes(arr))

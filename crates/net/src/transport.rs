@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use aloha_common::stats::StatsSnapshot;
-use aloha_common::Result;
+use aloha_common::{Bytes, Result};
 use parking_lot::Mutex;
 
 use crate::bus::{Addr, Bus, Endpoint};
@@ -229,10 +229,14 @@ pub trait WireCodec<M>: Send + Sync + 'static {
 
     /// Deserializes one message, rebuilding reply slots against `replier`.
     ///
+    /// `bytes` is the message body as a shared buffer so codecs can decode
+    /// key/value fields as zero-copy windows of the received frame
+    /// (`Bytes::slice_ref`) instead of copying each field.
+    ///
     /// # Errors
     ///
     /// Returns [`aloha_common::Error::Codec`] on malformed payloads.
-    fn decode(&self, bytes: &[u8], replier: &RemoteReplier) -> Result<M>;
+    fn decode(&self, bytes: &Bytes, replier: &RemoteReplier) -> Result<M>;
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use aloha_common::{Error, Result, ServerId};
+use aloha_common::{Bytes, Error, Result, ServerId};
 use aloha_net::{
     Addr, Bus, NetConfig, PendingReplies, RemoteReplier, TcpTransport, Transport, WireCodec,
 };
@@ -35,7 +35,7 @@ impl WireCodec<String> for TextCodec {
         Ok(())
     }
 
-    fn decode(&self, bytes: &[u8], _replier: &RemoteReplier) -> Result<String> {
+    fn decode(&self, bytes: &Bytes, _replier: &RemoteReplier) -> Result<String> {
         String::from_utf8(bytes.to_vec()).map_err(|e| Error::Codec(e.to_string()))
     }
 }

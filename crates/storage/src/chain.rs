@@ -1,19 +1,85 @@
-//! Per-key ordered version chains with value watermarks (Fig 4).
+//! Per-key ordered version chains with value watermarks (Fig 4), split into
+//! a packed settled section and a live tail.
+//!
+//! Records start life in the *live* tail as `Arc<Record>` cells that the
+//! computing phase finalizes in place. Once a record sinks below its key's
+//! value watermark it is immutable; compaction promotes it into the *packed*
+//! settled section — a plain `Vec<(version, final form)>` with no per-record
+//! `Arc` or lock — and folds the dead prefix below the retention horizon
+//! away entirely, keeping the newest committed records as the materialized
+//! base. Reads consult both sections and take the floor across them, so the
+//! split is invisible to Algorithm 1.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use aloha_common::Timestamp;
+use aloha_common::{Timestamp, Value};
 use aloha_functor::Functor;
 use parking_lot::RwLock;
 
-/// One version record: a version number plus a functor cell that is replaced
-/// by its final form at most once.
+/// A settled record's payload: one of the three final forms of Table I.
+///
+/// Unlike [`Functor`], this type can never carry a pending f-type, so holding
+/// or cloning one never touches a user functor's read set or argument blob.
+/// Cloning is a reference-count bump on the value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FinalForm {
+    /// `VALUE` — the materialized value.
+    Value(Value),
+    /// `ABORTED` — this version aborted; reads skip it.
+    Aborted,
+    /// `DELETED` — tombstone.
+    Deleted,
+}
+
+impl FinalForm {
+    /// The final form of `functor`, if it has one.
+    pub fn of(functor: &Functor) -> Option<FinalForm> {
+        match functor {
+            Functor::Value(v) => Some(FinalForm::Value(v.clone())),
+            Functor::Aborted => Some(FinalForm::Aborted),
+            Functor::Deleted => Some(FinalForm::Deleted),
+            _ => None,
+        }
+    }
+
+    /// The committed value, if this form is a `VALUE`.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            FinalForm::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this version aborted.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, FinalForm::Aborted)
+    }
+
+    /// Converts back into the equivalent (final) [`Functor`].
+    pub fn into_functor(self) -> Functor {
+        match self {
+            FinalForm::Value(v) => Functor::Value(v),
+            FinalForm::Aborted => Functor::Aborted,
+            FinalForm::Deleted => Functor::Deleted,
+        }
+    }
+}
+
+/// One packed settled record: version plus final form, no lock, no `Arc`.
+#[derive(Debug, Clone)]
+struct PackedRecord {
+    version: Timestamp,
+    form: FinalForm,
+}
+
+/// One live version record: a version number plus a functor cell that is
+/// replaced by its final form at most once.
 ///
 /// The paper stores `<version, f-type, f-argument>` triples; here the functor
 /// enum carries both the f-type and the f-argument. The cell is guarded by a
-/// light reader-writer lock: once a record sinks below its key's value
-/// watermark it is immutable and the lock is always uncontended.
+/// light reader-writer lock; once the record settles, compaction moves its
+/// final form into the chain's packed section and the cell is dropped.
 #[derive(Debug)]
 pub struct Record {
     version: Timestamp,
@@ -33,21 +99,19 @@ impl Record {
         self.version
     }
 
-    /// Snapshot of the current functor.
+    /// Snapshot of the current functor (clones the full functor — use
+    /// [`Record::final_form`] on read paths that only need the outcome).
     pub fn load(&self) -> Functor {
         self.cell.read().clone()
     }
 
-    /// Settled-read fast path: the final form (`VALUE`/`ABORTED`/`DELETED`)
-    /// if the record is already settled, `None` if it still needs the
-    /// computing phase. Unlike [`Record::load`], a pending record costs one
-    /// lock-guarded enum check here — no clone of the full functor (user
-    /// f-arguments, read set and all) just to discover it isn't final.
-    /// Records at or below their chain's value watermark always return
-    /// `Some`.
-    pub fn final_form(&self) -> Option<Functor> {
-        let guard = self.cell.read();
-        guard.is_final().then(|| guard.clone())
+    /// Settled-read fast path: the final form if the record is already
+    /// settled, `None` if it still needs the computing phase. A pending
+    /// record costs one lock-guarded enum check here — no clone of the full
+    /// functor (user f-arguments, read set and all) just to discover it
+    /// isn't final; a settled one costs a reference-count bump on the value.
+    pub fn final_form(&self) -> Option<FinalForm> {
+        FinalForm::of(&self.cell.read())
     }
 
     /// Whether the record already holds a final form.
@@ -88,6 +152,95 @@ impl Record {
     }
 }
 
+/// One chain lookup result, spanning both sections.
+#[derive(Debug, Clone)]
+pub enum ChainRead {
+    /// A settled record: version plus final form (borrow-cheap).
+    Final(Timestamp, FinalForm),
+    /// A live record that may still need the computing phase.
+    Live(Arc<Record>),
+}
+
+impl ChainRead {
+    /// The version of the record this lookup found.
+    pub fn version(&self) -> Timestamp {
+        match self {
+            ChainRead::Final(v, _) => *v,
+            ChainRead::Live(rec) => rec.version(),
+        }
+    }
+}
+
+/// Per-chain memory accounting (the `memory` stats subtree feeds from this).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChainMem {
+    /// Records still in the live (`Arc` + lock) tail.
+    pub live: usize,
+    /// Records in the packed settled section.
+    pub settled: usize,
+    /// Records folded away by compaction over this chain's lifetime.
+    pub compacted: u64,
+    /// Rough payload bytes held (values, user f-arguments and read sets).
+    pub bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct ChainInner {
+    /// Packed settled records, versions strictly ascending.
+    settled: Vec<PackedRecord>,
+    /// Live records, versions strictly ascending (disjoint from `settled`).
+    live: Vec<Arc<Record>>,
+    /// Highest version folded away by compaction (`ZERO` if none). Versions
+    /// at or below this with no surviving record are committed history:
+    /// aborted records are never folded, so a missing version here cannot
+    /// have aborted.
+    compacted_floor: Timestamp,
+    /// Total records folded away over this chain's lifetime.
+    compacted: u64,
+}
+
+impl ChainInner {
+    /// Index of the settled entry with exactly `version`, if present.
+    fn settled_at(&self, version: Timestamp) -> Option<usize> {
+        self.settled
+            .binary_search_by_key(&version, |p| p.version)
+            .ok()
+    }
+
+    /// Index of the live entry with exactly `version`, if present.
+    fn live_at(&self, version: Timestamp) -> Option<usize> {
+        self.live.binary_search_by_key(&version, |r| r.version).ok()
+    }
+
+    /// The newest record at or below `bound` across both sections.
+    fn floor(&self, bound: Timestamp) -> Option<ChainRead> {
+        let s = self
+            .settled
+            .partition_point(|p| p.version <= bound)
+            .checked_sub(1);
+        let l = self
+            .live
+            .partition_point(|r| r.version <= bound)
+            .checked_sub(1);
+        match (s, l) {
+            (None, None) => None,
+            (Some(si), None) => {
+                let p = &self.settled[si];
+                Some(ChainRead::Final(p.version, p.form.clone()))
+            }
+            (None, Some(li)) => Some(ChainRead::Live(Arc::clone(&self.live[li]))),
+            (Some(si), Some(li)) => {
+                let p = &self.settled[si];
+                if p.version > self.live[li].version {
+                    Some(ChainRead::Final(p.version, p.form.clone()))
+                } else {
+                    Some(ChainRead::Live(Arc::clone(&self.live[li])))
+                }
+            }
+        }
+    }
+}
+
 /// The ordered multi-version chain for one key.
 ///
 /// Versions are kept sorted ascending. Writes arrive in nearly sorted order
@@ -107,12 +260,12 @@ impl Record {
 /// let chain = VersionChain::new();
 /// chain.insert(Timestamp::from_raw(10), Functor::value_i64(1));
 /// chain.insert(Timestamp::from_raw(5), Functor::value_i64(0));
-/// let rec = chain.latest_at_or_below(Timestamp::from_raw(7)).unwrap();
-/// assert_eq!(rec.version(), Timestamp::from_raw(5));
+/// let read = chain.floor(Timestamp::from_raw(7)).unwrap();
+/// assert_eq!(read.version(), Timestamp::from_raw(5));
 /// ```
 #[derive(Debug, Default)]
 pub struct VersionChain {
-    records: RwLock<Vec<Arc<Record>>>,
+    inner: RwLock<ChainInner>,
     /// Versions `<=` this are all final (the paper's *value watermark*;
     /// `Timestamp::ZERO.raw()` when nothing is settled).
     watermark: AtomicU64,
@@ -126,51 +279,84 @@ impl VersionChain {
 
     /// Inserts a record, keeping versions sorted.
     ///
-    /// Returns `false` (and changes nothing) if the version already exists:
-    /// installs are idempotent so that deferred writes and retried messages
-    /// are harmless.
+    /// Returns `false` (and changes nothing) if the version already exists —
+    /// including versions already folded away by compaction — so deferred
+    /// writes and retried messages are harmless.
     pub fn insert(&self, version: Timestamp, functor: Functor) -> bool {
-        let mut recs = self.records.write();
+        let mut inner = self.inner.write();
+        if version <= inner.compacted_floor || inner.settled_at(version).is_some() {
+            return false; // settled (possibly folded) history: idempotent no-op
+        }
         // Fast path: strictly ascending append.
-        if recs.last().is_none_or(|r| r.version < version) {
-            recs.push(Arc::new(Record::new(version, functor)));
+        if inner.live.last().is_none_or(|r| r.version < version) {
+            inner.live.push(Arc::new(Record::new(version, functor)));
             return true;
         }
-        match recs.binary_search_by_key(&version, |r| r.version) {
+        match inner.live.binary_search_by_key(&version, |r| r.version) {
             Ok(_) => false,
             Err(pos) => {
-                recs.insert(pos, Arc::new(Record::new(version, functor)));
+                inner
+                    .live
+                    .insert(pos, Arc::new(Record::new(version, functor)));
                 true
             }
         }
     }
 
-    /// The record with exactly this version, if present.
-    pub fn record_at(&self, version: Timestamp) -> Option<Arc<Record>> {
-        let recs = self.records.read();
-        recs.binary_search_by_key(&version, |r| r.version)
-            .ok()
-            .map(|i| Arc::clone(&recs[i]))
+    /// The record with exactly this version, if present in either section.
+    pub fn read_at(&self, version: Timestamp) -> Option<ChainRead> {
+        let inner = self.inner.read();
+        if let Some(i) = inner.settled_at(version) {
+            let p = &inner.settled[i];
+            return Some(ChainRead::Final(p.version, p.form.clone()));
+        }
+        inner
+            .live_at(version)
+            .map(|i| ChainRead::Live(Arc::clone(&inner.live[i])))
     }
 
     /// The latest record with version `<= bound`, if any (Alg 1 line 17).
-    pub fn latest_at_or_below(&self, bound: Timestamp) -> Option<Arc<Record>> {
-        let recs = self.records.read();
-        let idx = recs.partition_point(|r| r.version <= bound);
-        idx.checked_sub(1).map(|i| Arc::clone(&recs[i]))
+    pub fn floor(&self, bound: Timestamp) -> Option<ChainRead> {
+        self.inner.read().floor(bound)
     }
 
     /// All records with versions in `[from, to]` that still need computing,
-    /// ascending (Alg 1 line 4).
+    /// ascending (Alg 1 line 4). Packed records are final by construction,
+    /// so only the live tail is scanned.
     pub fn uncomputed_in(&self, from: Timestamp, to: Timestamp) -> Vec<Arc<Record>> {
-        let recs = self.records.read();
-        let start = recs.partition_point(|r| r.version < from);
-        recs[start..]
+        let inner = self.inner.read();
+        let start = inner.live.partition_point(|r| r.version < from);
+        inner.live[start..]
             .iter()
             .take_while(|r| r.version <= to)
             .filter(|r| !r.is_final())
             .map(Arc::clone)
             .collect()
+    }
+
+    /// Rewrites `version` to `ABORTED` wherever it lives (§V-A2 rollback),
+    /// pre-inserting an `ABORTED` record if the version is unknown so a late
+    /// install becomes a first-write-wins no-op. Folded versions are left
+    /// alone: only committed history is ever folded, and a commit can only
+    /// have been folded after its epoch settled — any abort arriving that
+    /// late is a duplicate of one already applied.
+    pub fn force_abort_at(&self, version: Timestamp) {
+        let mut inner = self.inner.write();
+        if let Some(i) = inner.settled_at(version) {
+            inner.settled[i].form = FinalForm::Aborted;
+            return;
+        }
+        if let Some(i) = inner.live_at(version) {
+            inner.live[i].force_abort();
+            return;
+        }
+        if version <= inner.compacted_floor {
+            return;
+        }
+        let pos = inner.live.partition_point(|r| r.version < version);
+        inner
+            .live
+            .insert(pos, Arc::new(Record::new(version, Functor::Aborted)));
     }
 
     /// Current value watermark.
@@ -194,41 +380,194 @@ impl VersionChain {
         }
     }
 
-    /// Number of stored versions.
+    /// Number of stored versions (both sections).
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        let inner = self.inner.read();
+        inner.settled.len() + inner.live.len()
     }
 
     /// Whether the chain has no versions.
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.len() == 0
     }
 
     /// All versions in ascending order (diagnostics and tests).
     pub fn versions(&self) -> Vec<Timestamp> {
-        self.records.read().iter().map(|r| r.version).collect()
+        let inner = self.inner.read();
+        let mut out: Vec<Timestamp> = inner.settled.iter().map(|p| p.version).collect();
+        out.extend(inner.live.iter().map(|r| r.version));
+        out.sort_unstable();
+        out
     }
 
     /// Snapshot of `(version, functor)` pairs, ascending (diagnostics).
     pub fn dump(&self) -> Vec<(Timestamp, Functor)> {
-        self.records
-            .read()
+        let inner = self.inner.read();
+        let mut out: Vec<(Timestamp, Functor)> = inner
+            .settled
             .iter()
-            .map(|r| (r.version, r.load()))
-            .collect()
+            .map(|p| (p.version, p.form.clone().into_functor()))
+            .collect();
+        out.extend(inner.live.iter().map(|r| (r.version, r.load())));
+        out.sort_unstable_by_key(|(v, _)| *v);
+        out
+    }
+
+    /// Highest version folded away by compaction (`ZERO` if none).
+    pub fn compacted_floor(&self) -> Timestamp {
+        self.inner.read().compacted_floor
+    }
+
+    /// Per-chain memory accounting.
+    pub fn mem(&self) -> ChainMem {
+        let inner = self.inner.read();
+        let mut bytes = 0;
+        for p in &inner.settled {
+            bytes += std::mem::size_of::<PackedRecord>();
+            if let FinalForm::Value(v) = &p.form {
+                bytes += v.len();
+            }
+        }
+        for r in &inner.live {
+            // Arc + lock overhead plus the functor payload.
+            bytes += std::mem::size_of::<Record>() + 16 + r.cell.read().approx_bytes();
+        }
+        ChainMem {
+            live: inner.live.len(),
+            settled: inner.settled.len(),
+            compacted: inner.compacted,
+            bytes,
+        }
+    }
+
+    /// Watermark-driven compaction: promotes settled live records into the
+    /// packed section and folds the dead committed prefix away.
+    ///
+    /// Only records at or below the value watermark move; of the packed
+    /// committed (non-aborted) records, the newest `keep_versions` (at least
+    /// one — the materialized base readers floor onto) survive, and so does
+    /// the newest committed version at or below `horizon`: only versions
+    /// strictly below both survive points are folded. `ABORTED` records are
+    /// never folded: they are what lets a late outcome probe distinguish
+    /// "this version aborted" from "this version committed and was folded".
+    ///
+    /// Reads at bounds at or above `horizon` (and at or above the oldest
+    /// surviving committed version) are unaffected — their flooring base is
+    /// always retained; bounds below that are below the retention horizon
+    /// and may see less history (exactly as with
+    /// [`VersionChain::truncate_below`]).
+    ///
+    /// Returns the number of records folded away.
+    pub fn compact(&self, horizon: Timestamp, keep_versions: usize) -> usize {
+        let wm = self.watermark();
+        {
+            // Early-out under the read lock: a store-wide sweep visits every
+            // chain, and in steady state most are already compact. Taking
+            // the write lock only when there is promotable or foldable work
+            // keeps the sweeper off the install/compute paths' locks.
+            let inner = self.inner.read();
+            let promotable = inner.live.first().is_some_and(|r| r.version() <= wm);
+            if !promotable && inner.settled.len() <= keep_versions.max(1) {
+                return 0;
+            }
+        }
+        let mut inner = self.inner.write();
+
+        // Promote: final live records at or below the watermark become
+        // packed. They form a prefix of the (sorted) live tail; anything
+        // non-final below the watermark would be a broken invariant, so it
+        // is defensively left live for the computing phase.
+        let cut = inner.live.partition_point(|r| r.version <= wm);
+        if cut > 0 {
+            let prefix: Vec<Arc<Record>> = inner.live.drain(..cut).collect();
+            for rec in prefix {
+                match rec.final_form() {
+                    Some(form) => {
+                        let packed = PackedRecord {
+                            version: rec.version(),
+                            form,
+                        };
+                        // Promotions interleave with earlier promotions and
+                        // below-watermark deferred installs: merge sorted.
+                        match inner
+                            .settled
+                            .binary_search_by_key(&packed.version, |p| p.version)
+                        {
+                            Ok(_) => {} // duplicate: first write wins
+                            Err(pos) => inner.settled.insert(pos, packed),
+                        }
+                    }
+                    None => {
+                        let pos = inner.live.partition_point(|r| r.version < rec.version());
+                        inner.live.insert(pos, rec);
+                    }
+                }
+            }
+        }
+
+        // Fold: of the committed entries, keep the newest `keep` and drop
+        // the rest below the horizon.
+        let keep = keep_versions.max(1);
+        let committed: Vec<usize> = inner
+            .settled
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.form.is_aborted())
+            .map(|(i, _)| i)
+            .collect();
+        if committed.len() <= keep {
+            return 0;
+        }
+        let keep_from = inner.settled[committed[committed.len() - keep]].version;
+        // Reads at bounds in `[horizon_base, horizon]` floor onto the newest
+        // committed version at or below the horizon; that flooring base must
+        // survive even when the retention cut (`keep_from`) lies above the
+        // horizon, or a read at the horizon would find its history gone. No
+        // committed version at or below the horizon means nothing below it
+        // is foldable at all.
+        let horizon_base = committed
+            .iter()
+            .rev()
+            .map(|&i| inner.settled[i].version)
+            .find(|v| *v <= horizon);
+        let Some(horizon_base) = horizon_base else {
+            return 0;
+        };
+        let fold_below = keep_from.min(horizon_base);
+        let before = inner.settled.len();
+        let mut floor = inner.compacted_floor;
+        inner.settled.retain(|p| {
+            if !p.form.is_aborted() && p.version < fold_below {
+                floor = floor.max(p.version);
+                false
+            } else {
+                true
+            }
+        });
+        let folded = before - inner.settled.len();
+        inner.compacted_floor = floor;
+        inner.compacted += folded as u64;
+        folded
     }
 
     /// Garbage-collects history: drops all records with version `< bound`
-    /// except the latest final one at or below `bound`, which readers of
+    /// except the latest one at or below `bound`, which readers of
     /// historical snapshots `>= bound` still need. Records above the
     /// watermark are never collected. Returns the number of dropped records.
     pub fn truncate_below(&self, bound: Timestamp) -> usize {
         let effective = bound.min(self.watermark());
-        let mut recs = self.records.write();
-        let cut = recs.partition_point(|r| r.version <= effective);
+        let mut inner = self.inner.write();
         // Keep the newest record at or below the cut as the snapshot base.
-        let drop_upto = cut.saturating_sub(1);
-        recs.drain(..drop_upto).count()
+        let base = match inner.floor(effective) {
+            Some(read) => read.version(),
+            None => return 0,
+        };
+        let scut = inner.settled.partition_point(|p| p.version < base);
+        let lcut = inner.live.partition_point(|r| r.version < base);
+        let dropped = scut + lcut;
+        inner.settled.drain(..scut);
+        inner.live.drain(..lcut);
+        dropped
     }
 }
 
@@ -239,6 +578,14 @@ mod tests {
 
     fn ts(v: u64) -> Timestamp {
         Timestamp::from_raw(v)
+    }
+
+    /// The final functor at `version`, whichever section holds it.
+    fn functor_at(chain: &VersionChain, version: Timestamp) -> Option<Functor> {
+        match chain.read_at(version)? {
+            ChainRead::Final(_, form) => Some(form.into_functor()),
+            ChainRead::Live(rec) => Some(rec.load()),
+        }
     }
 
     #[test]
@@ -258,19 +605,18 @@ mod tests {
         let chain = VersionChain::new();
         assert!(chain.insert(ts(10), Functor::value_i64(1)));
         assert!(!chain.insert(ts(10), Functor::value_i64(2)));
-        let rec = chain.record_at(ts(10)).unwrap();
-        assert_eq!(rec.load(), Functor::value_i64(1));
+        assert_eq!(functor_at(&chain, ts(10)).unwrap(), Functor::value_i64(1));
     }
 
     #[test]
-    fn latest_at_or_below_finds_floor() {
+    fn floor_finds_latest_at_or_below() {
         let chain = VersionChain::new();
         chain.insert(ts(10), Functor::value_i64(1));
         chain.insert(ts(20), Functor::value_i64(2));
-        assert!(chain.latest_at_or_below(ts(9)).is_none());
-        assert_eq!(chain.latest_at_or_below(ts(10)).unwrap().version(), ts(10));
-        assert_eq!(chain.latest_at_or_below(ts(15)).unwrap().version(), ts(10));
-        assert_eq!(chain.latest_at_or_below(ts(99)).unwrap().version(), ts(20));
+        assert!(chain.floor(ts(9)).is_none());
+        assert_eq!(chain.floor(ts(10)).unwrap().version(), ts(10));
+        assert_eq!(chain.floor(ts(15)).unwrap().version(), ts(10));
+        assert_eq!(chain.floor(ts(99)).unwrap().version(), ts(20));
     }
 
     #[test]
@@ -297,6 +643,14 @@ mod tests {
         let rec = Record::new(ts(5), Functor::Value(Value::from_i64(1)));
         rec.force_abort();
         assert_eq!(rec.load(), Functor::Aborted);
+    }
+
+    #[test]
+    fn final_form_is_borrow_cheap_and_none_for_pending() {
+        let rec = Record::new(ts(5), Functor::add(1));
+        assert!(rec.final_form().is_none());
+        rec.finalize(Functor::value_i64(7));
+        assert_eq!(rec.final_form().unwrap().value().unwrap().as_i64(), Some(7));
     }
 
     #[test]
@@ -359,6 +713,20 @@ mod tests {
     }
 
     #[test]
+    fn truncate_spans_both_sections() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30, 40] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(20));
+        // Promote 10 and 20 into the packed section, fold nothing.
+        chain.compact(Timestamp::ZERO, usize::MAX);
+        chain.advance_watermark(ts(40));
+        assert_eq!(chain.truncate_below(ts(40)), 3);
+        assert_eq!(chain.versions(), vec![ts(40)]);
+    }
+
+    #[test]
     fn concurrent_inserts_preserve_order_and_count() {
         let chain = Arc::new(VersionChain::new());
         let handles: Vec<_> = (0..4u64)
@@ -380,5 +748,205 @@ mod tests {
             versions.windows(2).all(|w| w[0] < w[1]),
             "versions must stay sorted"
         );
+    }
+
+    #[test]
+    fn compact_promotes_settled_records_into_packed_section() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.insert(ts(40), Functor::add(1)); // pending, above watermark
+        chain.advance_watermark(ts(30));
+        assert_eq!(chain.compact(Timestamp::ZERO, usize::MAX), 0);
+        let m = chain.mem();
+        assert_eq!((m.settled, m.live), (3, 1));
+        // Reads behave identically after promotion.
+        let read = chain.floor(ts(25)).unwrap();
+        assert_eq!(read.version(), ts(20));
+        match read {
+            ChainRead::Final(_, form) => {
+                assert_eq!(form.value().unwrap().as_i64(), Some(20));
+            }
+            ChainRead::Live(_) => panic!("promoted record must read as Final"),
+        }
+    }
+
+    #[test]
+    fn compact_folds_dead_prefix_and_keeps_base() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30, 40] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(40));
+        // keep_versions=1: only the newest committed record survives.
+        let folded = chain.compact(ts(40), 1);
+        assert_eq!(folded, 3);
+        assert_eq!(chain.versions(), vec![ts(40)]);
+        assert_eq!(chain.compacted_floor(), ts(30));
+        assert_eq!(chain.mem().compacted, 3);
+        // The base still answers reads at or above its version.
+        let read = chain.floor(ts(99)).unwrap();
+        assert_eq!(read.version(), ts(40));
+    }
+
+    #[test]
+    fn compact_retention_keeps_requested_history() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30, 40] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(40));
+        assert_eq!(chain.compact(ts(40), 2), 2); // 10 and 20 fold
+        assert_eq!(chain.versions(), vec![ts(30), ts(40)]);
+        // Snapshot reads within the retained window still resolve.
+        assert_eq!(chain.floor(ts(35)).unwrap().version(), ts(30));
+    }
+
+    #[test]
+    fn compact_horizon_caps_folding() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30, 40] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(40));
+        // Horizon 20: even with keep_versions=1, only versions below 20 fold.
+        assert_eq!(chain.compact(ts(20), 1), 1);
+        assert_eq!(chain.versions(), vec![ts(20), ts(30), ts(40)]);
+    }
+
+    #[test]
+    fn compact_keeps_flooring_base_when_retention_cut_exceeds_horizon() {
+        // Regression: with committed versions straddling the horizon and the
+        // retention cut (newest `keep`) entirely above it, the fold must not
+        // take every committed version at or below the horizon with it — a
+        // read flooring at the horizon still needs the newest such version.
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 100] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(100));
+        // keep_versions=1 → retention cut at 100; horizon 50 sits between.
+        assert_eq!(chain.compact(ts(50), 1), 1, "only version 10 may fold");
+        assert_eq!(chain.versions(), vec![ts(20), ts(100)]);
+        // The horizon read keeps its flooring base.
+        assert_eq!(chain.floor(ts(50)).unwrap().version(), ts(20));
+        // No committed version at or below the horizon: nothing may fold.
+        let fresh = VersionChain::new();
+        fresh.insert(ts(60), Functor::value_i64(60));
+        fresh.insert(ts(70), Functor::value_i64(70));
+        fresh.advance_watermark(ts(70));
+        assert_eq!(fresh.compact(ts(50), 1), 0);
+        assert_eq!(fresh.versions(), vec![ts(60), ts(70)]);
+    }
+
+    #[test]
+    fn compact_never_folds_aborted_records() {
+        let chain = VersionChain::new();
+        chain.insert(ts(10), Functor::value_i64(1));
+        chain.insert(ts(20), Functor::Aborted);
+        chain.insert(ts(30), Functor::value_i64(3));
+        chain.advance_watermark(ts(30));
+        assert_eq!(chain.compact(ts(99), 1), 1); // only 10 folds
+        assert_eq!(chain.versions(), vec![ts(20), ts(30)]);
+        // The aborted record still answers outcome probes.
+        match chain.read_at(ts(20)).unwrap() {
+            ChainRead::Final(_, form) => assert!(form.is_aborted()),
+            ChainRead::Live(_) => panic!("settled abort must be packed"),
+        }
+        // And reads skip it as before.
+        assert_eq!(chain.floor(ts(25)).unwrap().version(), ts(20));
+    }
+
+    #[test]
+    fn insert_below_compacted_floor_is_idempotent_noop() {
+        let chain = VersionChain::new();
+        for v in [10u64, 20, 30] {
+            chain.insert(ts(v), Functor::value_i64(v as i64));
+        }
+        chain.advance_watermark(ts(30));
+        chain.compact(ts(99), 1);
+        assert_eq!(chain.compacted_floor(), ts(20));
+        // A retried install of folded history must not resurrect a record.
+        assert!(!chain.insert(ts(10), Functor::value_i64(999)));
+        assert!(!chain.insert(ts(20), Functor::value_i64(999)));
+        assert_eq!(chain.versions(), vec![ts(30)]);
+    }
+
+    #[test]
+    fn force_abort_reaches_both_sections_and_preinserts() {
+        let chain = VersionChain::new();
+        chain.insert(ts(10), Functor::value_i64(1));
+        chain.insert(ts(20), Functor::value_i64(2));
+        chain.advance_watermark(ts(10));
+        chain.compact(Timestamp::ZERO, usize::MAX); // 10 is packed now
+        chain.force_abort_at(ts(20)); // live record
+        chain.force_abort_at(ts(30)); // unknown: pre-insert
+        match chain.read_at(ts(20)).unwrap() {
+            ChainRead::Live(rec) => assert_eq!(rec.load(), Functor::Aborted),
+            ChainRead::Final(..) => panic!("20 is above the watermark"),
+        }
+        assert!(matches!(
+            chain.read_at(ts(30)),
+            Some(ChainRead::Live(rec)) if rec.load() == Functor::Aborted
+        ));
+        // Late install after the pre-abort loses (first write wins).
+        assert!(!chain.insert(ts(30), Functor::value_i64(9)));
+    }
+
+    #[test]
+    fn compact_is_invisible_to_reads_at_retained_bounds() {
+        // Build a mixed chain, snapshot reads at every bound, compact, and
+        // compare: every bound at or above the oldest surviving committed
+        // version must read identically.
+        let chain = VersionChain::new();
+        for v in 1..=30u64 {
+            let f = match v % 5 {
+                0 => Functor::Aborted,
+                _ => Functor::value_i64(v as i64),
+            };
+            chain.insert(ts(v), f);
+        }
+        chain.advance_watermark(ts(30));
+        let read_value = |c: &VersionChain, bound: Timestamp| -> Option<(Timestamp, Option<i64>)> {
+            let mut cursor = bound;
+            loop {
+                let read = c.floor(cursor)?;
+                let (v, form) = match read {
+                    ChainRead::Final(v, form) => (v, form),
+                    ChainRead::Live(rec) => (
+                        rec.version(),
+                        rec.final_form().expect("all records settled"),
+                    ),
+                };
+                if form.is_aborted() {
+                    cursor = v.pred();
+                } else {
+                    return Some((v, form.value().and_then(Value::as_i64)));
+                }
+            }
+        };
+        let before: Vec<_> = (1..=31u64).map(|b| read_value(&chain, ts(b))).collect();
+        chain.compact(ts(25), 3);
+        for (i, b) in (1..=31u64).enumerate() {
+            let oldest_kept = chain
+                .versions()
+                .iter()
+                .find(|v| {
+                    matches!(
+                        chain.read_at(**v),
+                        Some(ChainRead::Final(_, form)) if !form.is_aborted()
+                    )
+                })
+                .copied()
+                .unwrap();
+            if ts(b) >= oldest_kept {
+                assert_eq!(
+                    read_value(&chain, ts(b)),
+                    before[i],
+                    "read at {b} changed after compaction"
+                );
+            }
+        }
     }
 }

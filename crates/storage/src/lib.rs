@@ -36,11 +36,11 @@ pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use chain::{Record, VersionChain};
+pub use chain::{ChainMem, ChainRead, FinalForm, Record, VersionChain};
 pub use durable::{DurabilityStats, DurableLog, DurableLogConfig, Fsync, LogDamage, RecoveredLog};
 pub use partition::{
     ComputeEnv, DependencyRules, LocalOnlyEnv, Partition, PartitionStats, PushCache,
 };
 pub use snapshot::{restore_checkpoint, write_checkpoint};
-pub use store::{StoreStats, VersionedStore};
+pub use store::{StoreMemStats, StoreStats, VersionedStore};
 pub use wal::{read_log, replay_log, replay_records, WalRecord};

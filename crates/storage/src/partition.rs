@@ -8,6 +8,7 @@
 //! independently testable.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use aloha_common::metrics::Counter;
@@ -18,6 +19,7 @@ use aloha_functor::{
 };
 use parking_lot::{Mutex, RwLock};
 
+use crate::chain::{ChainRead, FinalForm};
 use crate::store::VersionedStore;
 
 /// Cross-partition services needed while computing functors.
@@ -113,15 +115,26 @@ const PUSH_CACHE_SHARDS: usize = 16;
 /// different keys don't serialize on one global lock, and organized as
 /// version → (source → read) inside a shard so [`PushCache::get`] is
 /// allocation-free (no key clone to build a composite lookup key).
+#[derive(Debug, Default)]
+struct PushCacheShard {
+    map: Mutex<HashMap<u64, HashMap<Key, VersionedRead>>>,
+    /// Entry count mirror so [`PushCache::len`] never takes the lock: stats
+    /// snapshots used to walk every shard and sum `HashMap::len` under each
+    /// lock, serializing against the compute hot path.
+    entries: AtomicUsize,
+}
+
 #[derive(Debug)]
 pub struct PushCache {
-    shards: Vec<Mutex<HashMap<u64, HashMap<Key, VersionedRead>>>>,
+    shards: Vec<PushCacheShard>,
 }
 
 impl Default for PushCache {
     fn default() -> PushCache {
         PushCache {
-            shards: (0..PUSH_CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            shards: (0..PUSH_CACHE_SHARDS)
+                .map(|_| PushCacheShard::default())
+                .collect(),
         }
     }
 }
@@ -132,23 +145,29 @@ impl PushCache {
         PushCache::default()
     }
 
-    fn shard(&self, source: &Key) -> &Mutex<HashMap<u64, HashMap<Key, VersionedRead>>> {
+    fn shard(&self, source: &Key) -> &PushCacheShard {
         &self.shards[(source.stable_hash() % PUSH_CACHE_SHARDS as u64) as usize]
     }
 
     /// Stores a pushed value.
     pub fn insert(&self, version: Timestamp, source: Key, read: VersionedRead) {
-        self.shard(&source)
-            .lock()
+        let shard = self.shard(&source);
+        let mut map = shard.map.lock();
+        if map
             .entry(version.raw())
             .or_default()
-            .insert(source, read);
+            .insert(source, read)
+            .is_none()
+        {
+            shard.entries.fetch_add(1, AtomicOrdering::Relaxed);
+        }
     }
 
     /// Looks up a pushed value (non-consuming: several functors of the same
     /// transaction on this partition may read the same source key).
     pub fn get(&self, version: Timestamp, source: &Key) -> Option<VersionedRead> {
         self.shard(source)
+            .map
             .lock()
             .get(&version.raw())
             .and_then(|by_source| by_source.get(source))
@@ -158,15 +177,28 @@ impl PushCache {
     /// Drops entries for versions below `bound`; called when history settles.
     pub fn clear_below(&self, bound: Timestamp) {
         for shard in &self.shards {
-            shard.lock().retain(|v, _| *v >= bound.raw());
+            let mut map = shard.map.lock();
+            let mut removed = 0;
+            map.retain(|v, by_source| {
+                if *v >= bound.raw() {
+                    true
+                } else {
+                    removed += by_source.len();
+                    false
+                }
+            });
+            if removed > 0 {
+                shard.entries.fetch_sub(removed, AtomicOrdering::Relaxed);
+            }
         }
     }
 
-    /// Number of cached pushes.
+    /// Number of cached pushes. Lock-free: reads the shard counters, so
+    /// stats snapshots don't contend with the computing phase.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().values().map(HashMap::len).sum::<usize>())
+            .map(|s| s.entries.load(AtomicOrdering::Relaxed))
             .sum()
     }
 
@@ -401,15 +433,9 @@ impl Partition {
     /// rollback for a transaction that failed the install phase (§V-A2).
     /// Tolerates the abort arriving before the install.
     pub fn abort_version(&self, key: &Key, version: Timestamp) {
-        let chain = self.store.chain_or_create(key);
-        match chain.record_at(version) {
-            Some(rec) => rec.force_abort(),
-            None => {
-                // Abort raced ahead of the install; leave a pre-aborted record
-                // that the (idempotent) install will then not overwrite.
-                chain.insert(version, Functor::Aborted);
-            }
-        }
+        // If the abort raced ahead of the install, this leaves a pre-aborted
+        // record that the (idempotent) install will then not overwrite.
+        self.store.chain_or_create(key).force_abort_at(version);
         self.stats.aborted_versions.incr();
     }
 
@@ -449,35 +475,43 @@ impl Partition {
         };
         let mut cursor = bound;
         loop {
-            let Some(rec) = chain.latest_at_or_below(cursor) else {
+            let Some(read) = chain.floor(cursor) else {
                 return Ok(VersionedRead::missing());
             };
-            let functor = match rec.final_form() {
-                // Settled fast path: records at or below the watermark take
-                // this branch without cloning a pending functor's arguments.
-                Some(f) => f,
-                None => {
-                    // Alg 1 line 21: the reading thread computes the functor
-                    // itself rather than blocking on the asynchronous
-                    // processor.
-                    self.stats.on_demand_computes.incr();
-                    self.compute(key, rec.version(), env)?;
-                    rec.load()
+            let (version, form) = match read {
+                // Compacted fast path: the record is already a packed final
+                // form — no lock, no `Arc`, no functor clone.
+                ChainRead::Final(version, form) => (version, form),
+                ChainRead::Live(rec) => {
+                    let form = match rec.final_form() {
+                        // Settled fast path: records at or below the
+                        // watermark take this branch without cloning a
+                        // pending functor's arguments.
+                        Some(f) => f,
+                        None => {
+                            // Alg 1 line 21: the reading thread computes the
+                            // functor itself rather than blocking on the
+                            // asynchronous processor.
+                            self.stats.on_demand_computes.incr();
+                            self.compute(key, rec.version(), env)?;
+                            rec.final_form().unwrap_or_else(|| {
+                                unreachable!("compute left non-final record at {key:?}")
+                            })
+                        }
+                    };
+                    (rec.version(), form)
                 }
             };
-            match functor {
-                Functor::Value(v) => return Ok(VersionedRead::found(rec.version(), v)),
-                Functor::Deleted => {
+            match form {
+                FinalForm::Value(v) => return Ok(VersionedRead::found(version, v)),
+                FinalForm::Deleted => {
                     return Ok(VersionedRead {
-                        version: rec.version(),
+                        version,
                         value: None,
                     })
                 }
                 // Alg 1 lines 22-23: skip aborted versions.
-                Functor::Aborted => cursor = rec.version().pred(),
-                other => {
-                    unreachable!("compute left non-final functor {other} at {key:?}")
-                }
+                FinalForm::Aborted => cursor = version.pred(),
             }
         }
     }
@@ -780,10 +814,10 @@ mod tests {
         assert_eq!(read_b.version, ts(15_480));
         // The T3 records themselves are finalized as ABORTED.
         let chain_a = p.store().chain(&a).unwrap();
-        assert_eq!(
-            chain_a.record_at(ts(19_600)).unwrap().load(),
-            Functor::Aborted
-        );
+        match chain_a.read_at(ts(19_600)).unwrap() {
+            ChainRead::Live(rec) => assert_eq!(rec.load(), Functor::Aborted),
+            ChainRead::Final(_, form) => assert!(form.is_aborted()),
+        }
     }
 
     #[test]

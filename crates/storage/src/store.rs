@@ -125,6 +125,57 @@ impl VersionedStore {
         self.for_each_chain(|_, chain| dropped += chain.truncate_below(bound));
         dropped
     }
+
+    /// Watermark-driven compaction sweep over every chain (see
+    /// [`super::VersionChain::compact`]). Returns total records folded away.
+    pub fn compact(&self, horizon: Timestamp, keep_versions: usize) -> usize {
+        let mut folded = 0;
+        self.for_each_chain(|_, chain| folded += chain.compact(horizon, keep_versions));
+        folded
+    }
+
+    /// Memory accounting aggregated over every chain.
+    pub fn memory_stats(&self) -> StoreMemStats {
+        let mut out = StoreMemStats::default();
+        self.for_each_chain(|_, chain| {
+            let m = chain.mem();
+            out.chains += 1;
+            out.live_records += m.live;
+            out.settled_records += m.settled;
+            out.compacted_records += m.compacted;
+            out.approx_bytes += m.bytes;
+        });
+        out
+    }
+}
+
+/// Store-wide memory accounting: the partition `memory` stats subtree reads
+/// from this.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMemStats {
+    /// Distinct version chains (keys ever written).
+    pub chains: usize,
+    /// Records still in live (`Arc` + lock) tails.
+    pub live_records: usize,
+    /// Records in packed settled sections.
+    pub settled_records: usize,
+    /// Records folded away by compaction since startup.
+    pub compacted_records: u64,
+    /// Rough payload bytes held across all chains.
+    pub approx_bytes: usize,
+}
+
+impl StoreMemStats {
+    /// Exports as one node of the unified stats tree.
+    pub fn snapshot(&self, name: impl Into<String>) -> aloha_common::stats::StatsSnapshot {
+        let mut node = aloha_common::stats::StatsSnapshot::new(name);
+        node.set_counter("chains", self.chains as u64);
+        node.set_counter("live_records", self.live_records as u64);
+        node.set_counter("settled_records", self.settled_records as u64);
+        node.set_counter("compacted_records", self.compacted_records);
+        node.set_counter("approx_bytes", self.approx_bytes as u64);
+        node
+    }
 }
 
 impl Default for VersionedStore {

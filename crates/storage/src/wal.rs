@@ -102,7 +102,7 @@ pub fn encode_functor(w: &mut Writer, functor: &Functor) {
 /// Returns [`Error::Codec`] for malformed payloads.
 pub fn decode_functor(r: &mut Reader<'_>) -> Result<Functor> {
     Ok(match r.get_u8()? {
-        F_VALUE => Functor::Value(aloha_common::Value::from(r.get_bytes()?.to_vec())),
+        F_VALUE => Functor::Value(aloha_common::Value::from(r.get_bytes_shared()?)),
         F_ABORTED => Functor::Aborted,
         F_DELETED => Functor::Deleted,
         F_ADD => Functor::Add(r.get_i64()?),
@@ -114,13 +114,13 @@ pub fn decode_functor(r: &mut Reader<'_>) -> Result<Functor> {
             let nr = r.get_u32()?;
             let mut read_set = Vec::with_capacity(nr as usize);
             for _ in 0..nr {
-                read_set.push(Key::from(r.get_bytes()?));
+                read_set.push(Key::from(r.get_bytes_shared()?));
             }
-            let args = r.get_bytes()?.to_vec();
+            let args = r.get_bytes_shared()?;
             let np = r.get_u32()?;
             let mut recipients = Vec::with_capacity(np as usize);
             for _ in 0..np {
-                recipients.push(Key::from(r.get_bytes()?));
+                recipients.push(Key::from(r.get_bytes_shared()?));
             }
             Functor::User(UserFunctor::new(handler, read_set, args).with_recipients(recipients))
         }

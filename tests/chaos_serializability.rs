@@ -132,6 +132,20 @@ fn aloha_chaos_run(
     exec: Option<ExecConfig>,
     control: Option<ControlConfig>,
 ) -> Result<(), String> {
+    aloha_chaos_run_tuned(seed, batch, exec, control, |c| c).map(|_| ())
+}
+
+/// [`aloha_chaos_run`] with a hook over the cluster configuration, so chaos
+/// variants (e.g. aggressive compaction) reuse the same workload, fault
+/// plan and checker. Returns the cluster's end-of-run snapshot so callers
+/// can assert on engine internals (e.g. that compaction actually folded).
+fn aloha_chaos_run_tuned(
+    seed: u64,
+    batch: Option<BatchConfig>,
+    exec: Option<ExecConfig>,
+    control: Option<ControlConfig>,
+    tune: impl FnOnce(ClusterConfig) -> ClusterConfig,
+) -> Result<StatsSnapshot, String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 80;
@@ -152,7 +166,7 @@ fn aloha_chaos_run(
     if let Some(control) = control {
         config = config.with_control(control);
     }
-    let mut builder = Cluster::builder(config);
+    let mut builder = Cluster::builder(tune(config));
     builder.register_handler(H_AFFINE, affine_handler);
     builder.register_program(
         AFFINE,
@@ -223,6 +237,7 @@ fn aloha_chaos_run(
     }
 
     // Snapshot the recorded history and read the cluster's final state.
+    let final_snapshot = cluster.snapshot();
     let mut records = cluster
         .history()
         .expect("history recording enabled")
@@ -243,7 +258,7 @@ fn aloha_chaos_run(
         .map_err(|e| format!("replay failed under seed {seed} with {plan}: {e}"))?;
     let divergences = diff_states(&expected, &actual);
     if divergences.is_empty() {
-        Ok(())
+        Ok(final_snapshot)
     } else {
         Err(failure_report("ALOHA", seed, &plan, &divergences))
     }
@@ -291,6 +306,46 @@ fn serializable_under_chaos_with_pool_size_one() {
         }
         if let Err(msg) = calvin_chaos_run(seed, Some(tiny.clone()), None) {
             panic!("pool-size-1 calvin run: {msg}");
+        }
+    }
+}
+
+/// Sums `compacted_records` over every `memory` subtree of a snapshot.
+fn compacted_records(node: &StatsSnapshot) -> u64 {
+    let own = if node.name == "memory" {
+        node.counter("compacted_records").unwrap_or(0)
+    } else {
+        0
+    };
+    own + node.children.iter().map(compacted_records).sum::<u64>()
+}
+
+/// The most aggressive retention the compactor offers — `keep_versions = 1`,
+/// swept every epoch — must not change any observable outcome while the
+/// fault layer is disrupting traffic. This is the dangerous configuration:
+/// almost every committed version below the watermark folds into the
+/// materialized base, so a fold that ate a version some straggler, probe or
+/// replayed message still needed would surface here as a divergence.
+///
+/// Calvin's store is single-version (last-writer-wins puts), so it runs
+/// `keep_versions = 1` semantics inherently; its plain chaos run
+/// ([`calvin_serializable_under_drops_dups_reorders_and_partition`]) is the
+/// parity for this test. The run asserts the sweeper actually folded —
+/// otherwise nothing was tested.
+#[test]
+fn aloha_serializable_under_chaos_with_aggressive_compaction() {
+    for seed in seeds() {
+        match aloha_chaos_run_tuned(seed, None, None, None, |c| {
+            c.with_compaction(Duration::from_millis(2), 1)
+        }) {
+            Ok(snapshot) => {
+                let folded = compacted_records(&snapshot);
+                assert!(
+                    folded > 0,
+                    "compaction-on chaos run folded nothing under seed {seed}"
+                );
+            }
+            Err(msg) => panic!("aggressive-compaction run: {msg}"),
         }
     }
 }

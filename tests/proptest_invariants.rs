@@ -9,7 +9,7 @@ use aloha_common::{Key, PartitionId, ServerId, Timestamp, Value};
 use aloha_epoch::TimestampOracle;
 use aloha_functor::{builtin, Functor, HandlerRegistry};
 use aloha_net::{Addr, Bus, DelayLine, FaultPlan, LinkFault, NetConfig};
-use aloha_storage::{LocalOnlyEnv, Partition, VersionChain};
+use aloha_storage::{ChainRead, FinalForm, LocalOnlyEnv, Partition, VersionChain};
 use aloha_workloads::tpcc::{ItemRow, OrderLineRow, OrderRow, StockRow};
 use proptest::prelude::*;
 
@@ -35,9 +35,10 @@ proptest! {
         }
         prop_assert_eq!(chain.len(), model.len());
         for probe in &probes {
-            let got = chain
-                .latest_at_or_below(ts(*probe + 1))
-                .map(|r| (r.version().raw() - 1, r.load()));
+            let got = chain.floor(ts(*probe + 1)).map(|r| match r {
+                ChainRead::Live(rec) => (rec.version().raw() - 1, rec.load()),
+                ChainRead::Final(v, form) => (v.raw() - 1, form.into_functor()),
+            });
             let expected = model
                 .range(..=probe)
                 .next_back()
@@ -47,6 +48,110 @@ proptest! {
         // Versions remain sorted no matter the insertion order.
         let versions = chain.versions();
         prop_assert!(versions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Watermark-driven compaction is invisible to reads: for any mix of
+    /// committed and aborted settled versions plus a pending tail, any read
+    /// at any bound within the retained window returns the same (version,
+    /// value) before and after compaction, the watermark never exposes a
+    /// non-final record, and pending records are never promoted.
+    #[test]
+    fn compaction_preserves_reads_and_watermark_finality(
+        ops in proptest::collection::vec((0u64..300, any::<i64>(), any::<bool>()), 1..80),
+        pending in proptest::collection::vec(400u64..500, 0..6),
+        keep in 1usize..4,
+        horizon in 0u64..600,
+    ) {
+        let chain = VersionChain::new();
+        for (v, x, abort) in &ops {
+            let f = if *abort { Functor::Aborted } else { Functor::value_i64(*x) };
+            chain.insert(ts(*v + 1), f);
+        }
+        let top = ops.iter().map(|(v, _, _)| *v + 1).max().unwrap();
+        chain.advance_watermark(ts(top));
+        // A pending (uncomputed) tail strictly above the watermark.
+        for v in &pending {
+            chain.insert(ts(*v), Functor::add(1));
+        }
+        // A read: floor + skip-aborted, as Algorithm 1's Get does.
+        let read = |bound: u64| -> Option<(u64, Option<i64>)> {
+            let mut cursor = ts(bound);
+            loop {
+                let (v, form) = match chain.floor(cursor)? {
+                    ChainRead::Final(v, form) => (v, form),
+                    ChainRead::Live(rec) => (rec.version(), rec.final_form()?),
+                };
+                match form {
+                    FinalForm::Aborted => cursor = v.pred(),
+                    FinalForm::Value(x) => return Some((v.raw(), x.as_i64())),
+                    FinalForm::Deleted => return Some((v.raw(), None)),
+                }
+            }
+        };
+        let before: Vec<_> = (0..=top + 1).map(read).collect();
+        chain.compact(ts(horizon), keep);
+        // The oldest surviving committed version bounds the retained window.
+        let oldest_committed = chain.versions().into_iter().find(|v| {
+            matches!(
+                chain.read_at(*v),
+                Some(ChainRead::Final(_, form)) if !form.is_aborted()
+            ) || matches!(
+                chain.read_at(*v),
+                Some(ChainRead::Live(rec)) if rec.final_form().is_some_and(|f| !f.is_aborted())
+            )
+        });
+        for (bound, was) in (0..=top + 1).zip(&before) {
+            if oldest_committed.is_none_or(|oldest| ts(bound) >= oldest) {
+                prop_assert_eq!(&read(bound), was, "read at {} changed", bound);
+            }
+        }
+        // Watermark finality: every record at or below the watermark reads
+        // as a final form, never a pending functor.
+        for v in chain.versions() {
+            if v <= chain.watermark() {
+                let is_final = match chain.read_at(v).unwrap() {
+                    ChainRead::Final(..) => true,
+                    ChainRead::Live(rec) => rec.final_form().is_some(),
+                };
+                prop_assert!(is_final, "watermark exposed non-final record at {:?}", v);
+            }
+        }
+        // The pending tail survives compaction untouched and uncomputed.
+        for v in &pending {
+            prop_assert!(matches!(
+                chain.read_at(ts(*v)),
+                Some(ChainRead::Live(rec)) if rec.final_form().is_none()
+            ));
+        }
+    }
+
+    /// Partition-level compaction invariance: settle a numeric chain, then
+    /// compact with an aggressive keep_versions=1 and assert the latest
+    /// read still equals the sequential fold.
+    #[test]
+    fn partition_reads_survive_aggressive_compaction(
+        initial in -1_000i64..1_000,
+        deltas in proptest::collection::vec(-50i64..50, 1..30),
+    ) {
+        let partition = Partition::new(
+            PartitionId(0), 1, Arc::new(HandlerRegistry::new()),
+        );
+        let key = Key::from("k");
+        partition.install(&key, ts(1), Functor::value_i64(initial)).unwrap();
+        for (i, d) in deltas.iter().enumerate() {
+            partition.install(&key, ts(10 + i as u64), Functor::Add(*d)).unwrap();
+        }
+        let expected: i64 = initial + deltas.iter().sum::<i64>();
+        // Settle everything, then fold to a single base record.
+        let read = partition.get(&key, Timestamp::MAX, &LocalOnlyEnv).unwrap();
+        prop_assert_eq!(read.value.as_ref().unwrap().as_i64(), Some(expected));
+        partition.store().compact(Timestamp::MAX, 1);
+        let mem = partition.store().memory_stats();
+        prop_assert_eq!(mem.live_records, 0);
+        prop_assert_eq!(mem.settled_records, 1);
+        let after = partition.get(&key, Timestamp::MAX, &LocalOnlyEnv).unwrap();
+        prop_assert_eq!(after.value.unwrap().as_i64(), Some(expected));
+        prop_assert_eq!(after.version, read.version);
     }
 
     /// Numeric functor chains resolve to the same value as a sequential

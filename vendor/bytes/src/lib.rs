@@ -2,56 +2,118 @@
 //! reference-counted byte buffer that is cheap to clone. `from_static` copies
 //! instead of borrowing — semantically equivalent, slightly less efficient,
 //! irrelevant at simulator scale.
+//!
+//! A [`Bytes`] is a *window* (offset + length) over a shared `Arc<[u8]>`
+//! backing, so [`Bytes::slice`] and [`Bytes::slice_ref`] produce sub-views
+//! without copying — one received wire frame can lend out every key and
+//! value it carries while all of them share the frame's single allocation.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Cheaply cloneable immutable bytes.
+/// Cheaply cloneable immutable bytes: a window over shared storage.
 #[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn whole(data: Arc<[u8]>) -> Bytes {
+        let len = data.len();
+        Bytes { data, off: 0, len }
+    }
+
     /// An empty buffer.
     pub fn new() -> Bytes {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::whole(Arc::from(&[][..]))
     }
 
     /// Copies a static slice into a buffer.
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::whole(Arc::from(bytes))
     }
 
     /// Copies an arbitrary slice into a buffer.
     pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::whole(Arc::from(bytes))
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+
+    /// A zero-copy sub-view of this buffer: the returned `Bytes` shares the
+    /// same backing allocation, narrowed to `range` (relative to `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// A zero-copy view of `subset`, which must point into this buffer
+    /// (e.g. a `&[u8]` lent out by a parser over `self`). The returned
+    /// `Bytes` shares this buffer's backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is not contained within `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub + subset.len() <= base + self.len,
+            "slice_ref: subset is not a sub-slice of this Bytes"
+        );
+        let start = sub - base;
+        self.slice(start..start + subset.len())
+    }
+
+    /// Whether two buffers share the same backing allocation (used by tests
+    /// asserting zero-copy behavior).
+    pub fn shares_storage_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
@@ -64,25 +126,25 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        Bytes::as_ref(self)
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        Bytes::whole(Arc::from(v))
     }
 }
 
@@ -112,7 +174,7 @@ impl From<String> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        Bytes::whole(Arc::from(v))
     }
 }
 
@@ -197,7 +259,7 @@ mod tests {
     fn clones_share_storage() {
         let a = Bytes::from(vec![9; 64]);
         let b = a.clone();
-        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(a.shares_storage_with(&b));
     }
 
     #[test]
@@ -210,5 +272,57 @@ mod tests {
     fn debug_escapes_non_printable() {
         let b = Bytes::from(vec![b'h', 0]);
         assert_eq!(format!("{b:?}"), "b\"h\\x00\"");
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert!(s.shares_storage_with(&b));
+        // Slicing a slice stays relative to the inner window.
+        let ss = s.slice(1..);
+        assert_eq!(ss.as_ref(), &[3, 4]);
+        assert!(ss.shares_storage_with(&b));
+        assert_eq!(b.slice(..).as_ref(), b.as_ref());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..9);
+    }
+
+    #[test]
+    fn slice_ref_recovers_window_from_borrowed_subslice() {
+        let b = Bytes::from(vec![10, 11, 12, 13]);
+        let borrowed: &[u8] = &b.as_ref()[1..3];
+        let s = b.slice_ref(borrowed);
+        assert_eq!(s.as_ref(), &[11, 12]);
+        assert!(s.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn slice_ref_of_empty_is_empty() {
+        let b = Bytes::from(vec![1, 2]);
+        assert!(b.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a sub-slice")]
+    fn slice_ref_of_foreign_slice_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let other = [1u8, 2, 3];
+        let _ = b.slice_ref(&other[..]);
+    }
+
+    #[test]
+    fn equality_ignores_windowing() {
+        let b = Bytes::from(vec![7, 8, 9, 7, 8, 9]);
+        assert_eq!(b.slice(0..3), b.slice(3..6));
+        let copy = Bytes::copy_from_slice(&[7, 8, 9]);
+        assert_eq!(b.slice(0..3), copy);
+        assert!(!copy.shares_storage_with(&b));
     }
 }
