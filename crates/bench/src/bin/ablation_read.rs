@@ -1,0 +1,248 @@
+//! Ablation of the snapshot-read fast path: `ReadMode::Snapshot` against
+//! the §III-B delay-to-next-epoch baseline on a read-heavy mix.
+//!
+//! The workload is YCSB-B shaped: 95% multi-partition read-only
+//! transactions, 5% paper-shape write transactions, every key drawn from a
+//! zipfian request distribution (theta 0.99, YCSB's default skew). Reads
+//! execute synchronously inside `submit`, so the driver's latency histogram
+//! and the `snapshot_read` stage both measure the client-visible read
+//! round trip. The grid crosses the two read modes with the two transports
+//! (simulated in-process bus, real TCP over loopback):
+//!
+//! * `snapshot` serves reads at the cluster compute frontier from the
+//!   version chains — no waiting, abort-free, externally consistent;
+//! * `delay` assigns the read a timestamp in the current epoch and blocks
+//!   until the epoch completes, so every read pays ~1.5 epochs (the paper's
+//!   baseline the fast path removes).
+//!
+//! Both modes record the same `snapshot_read` stage at the front end, so
+//! `read_p50_ms`/`read_p99_ms` are directly comparable across rows.
+
+use std::sync::Arc;
+
+use aloha_bench::harness::ALOHA_EPOCH;
+use aloha_bench::multiproc::tcp_mesh;
+use aloha_bench::{BenchOpts, BenchReport, RunResult};
+use aloha_common::clock::UnixClock;
+use aloha_common::{Key, ReadMode, Result, ServerId};
+use aloha_core::{
+    Cluster, ClusterConfig, Database, Node, NodeConfig, ServerMsg, TxnHandle, TxnOutcome,
+};
+use aloha_net::Transport;
+use aloha_workloads::driver::{run_windowed, DriverConfig, Workload};
+use aloha_workloads::ycsb::{self, YcsbConfig, Zipf};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Fraction of transactions that are read-only (YCSB-B).
+const READ_FRACTION: f64 = 0.95;
+/// YCSB request-distribution skew.
+const ZIPF_THETA: f64 = 0.99;
+
+/// How a deployment serves the two transaction types.
+trait Engine: Send + Sync {
+    fn read(&self, keys: &[Key]) -> Result<()>;
+    fn write(&self, keys: &[Key]) -> Result<TxnHandle>;
+}
+
+/// In-process simulated cluster. Readers and writers are *distinct client
+/// sessions* (two [`Database`] handles), the way separate YCSB client
+/// machines attach to a deployment: the read session then measures the
+/// steady-state fast path instead of read-your-writes floor waits behind
+/// the writer session's just-submitted transactions (that guarantee is
+/// exercised by the chaos tests, not this ablation).
+struct ClusterEngine {
+    readers: Database,
+    writers: Database,
+    partitions: u16,
+}
+
+impl Engine for ClusterEngine {
+    fn read(&self, keys: &[Key]) -> Result<()> {
+        self.readers.read_latest(keys).map(|_| ())
+    }
+
+    fn write(&self, keys: &[Key]) -> Result<TxnHandle> {
+        let fe = ServerId(keys[0].partition(self.partitions).0);
+        self.writers
+            .execute_at(fe, ycsb::YCSB_ALOHA, ycsb::encode_txn_args(keys))
+    }
+}
+
+/// TCP-loopback node mesh. Reads attach to node 0 (whose snapshot the run
+/// reports, so its `snapshot_read` stage carries the read latencies);
+/// writes coordinate at a participant partition *other than* node 0 when
+/// the transaction allows it — node sessions are per-node, so keeping
+/// writers off the reader node gives the same distinct-session split as the
+/// simulated rows.
+struct NodeEngine {
+    nodes: Vec<Arc<Node>>,
+}
+
+impl Engine for NodeEngine {
+    fn read(&self, keys: &[Key]) -> Result<()> {
+        self.nodes[0].read_latest(keys).map(|_| ())
+    }
+
+    fn write(&self, keys: &[Key]) -> Result<TxnHandle> {
+        let n = self.nodes.len() as u16;
+        let fe = keys
+            .iter()
+            .map(|k| k.partition(n).0 as usize)
+            .find(|&p| p != 0)
+            .unwrap_or(0);
+        self.nodes[fe].execute(ycsb::YCSB_ALOHA, ycsb::encode_txn_args(keys))
+    }
+}
+
+/// A completed synchronous read, or an in-flight write.
+enum Op {
+    Read,
+    Write(TxnHandle),
+}
+
+/// The 95/5 zipfian mix over any [`Engine`].
+struct ReadHeavy<E> {
+    engine: E,
+    cfg: Arc<YcsbConfig>,
+    zipf: Zipf,
+}
+
+impl<E: Engine> ReadHeavy<E> {
+    fn new(engine: E, cfg: &YcsbConfig) -> ReadHeavy<E> {
+        ReadHeavy {
+            engine,
+            cfg: Arc::new(cfg.clone()),
+            zipf: Zipf::new(cfg.keys_per_partition as u64, ZIPF_THETA),
+        }
+    }
+}
+
+impl<E: Engine> Workload for ReadHeavy<E> {
+    type Handle = Op;
+
+    fn submit(&self, rng: &mut SmallRng) -> Result<Op> {
+        let keys = ycsb::gen_zipf_keys(rng, &self.cfg, &self.zipf);
+        if rng.gen_bool(READ_FRACTION) {
+            self.engine.read(&keys)?;
+            Ok(Op::Read)
+        } else {
+            self.engine.write(&keys).map(Op::Write)
+        }
+    }
+
+    fn wait(&self, op: Op) -> Result<bool> {
+        match op {
+            Op::Read => Ok(true),
+            Op::Write(handle) => Ok(handle.wait_processed()? == TxnOutcome::Committed),
+        }
+    }
+}
+
+/// One simulated-bus point under the given read mode.
+fn sim_run(cfg: &YcsbConfig, mode: ReadMode, driver: &DriverConfig) -> RunResult {
+    let mut builder = Cluster::builder(
+        ClusterConfig::new(cfg.partitions)
+            .with_epoch_duration(ALOHA_EPOCH)
+            .with_processors(2)
+            .with_read_mode(mode),
+    );
+    ycsb::install_aloha(&mut builder);
+    let cluster = builder.start().expect("start cluster");
+    ycsb::load_aloha(&cluster, cfg);
+    let workload = ReadHeavy::new(
+        ClusterEngine {
+            readers: cluster.database(),
+            writers: cluster.database(),
+            partitions: cfg.partitions,
+        },
+        cfg,
+    );
+    cluster.reset_stats();
+    let report = run_windowed(&workload, driver);
+    let result = RunResult::from_parts(&report, cluster.snapshot());
+    cluster.shutdown();
+    result
+}
+
+/// One TCP-loopback point: one [`aloha_net::TcpTransport`] per node in this
+/// process, cross-wired over 127.0.0.1, all nodes sharing the read mode.
+fn tcp_run(cfg: &YcsbConfig, mode: ReadMode, driver: &DriverConfig) -> RunResult {
+    let transports = tcp_mesh(cfg.partitions);
+    let origin = UnixClock::unix_now_micros();
+    let nodes: Vec<Arc<Node>> = transports
+        .iter()
+        .enumerate()
+        .map(|(i, transport)| {
+            let mut builder = Node::builder(
+                NodeConfig::new(ServerId(i as u16), cfg.partitions, origin)
+                    .with_epoch_duration(ALOHA_EPOCH)
+                    .with_read_mode(mode),
+            );
+            ycsb::install_aloha_node(&mut builder);
+            let net: Arc<dyn Transport<ServerMsg>> = Arc::clone(transport) as _;
+            Arc::new(builder.start(net).expect("start node"))
+        })
+        .collect();
+    for node in &nodes {
+        ycsb::load_aloha_node(node, cfg);
+    }
+    let workload = ReadHeavy::new(
+        NodeEngine {
+            nodes: nodes.clone(),
+        },
+        cfg,
+    );
+    let report = run_windowed(&workload, driver);
+    let snapshot = nodes[0].snapshot();
+    drop(workload);
+    for node in nodes {
+        match Arc::try_unwrap(node) {
+            Ok(node) => node.shutdown(),
+            Err(_) => unreachable!("workload dropped; nodes are uniquely held"),
+        }
+    }
+    RunResult::from_parts(&report, snapshot)
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let servers = opts.servers();
+    println!(
+        "# Ablation: read path, {servers} servers, YCSB-B 95/5 zipfian(theta={ZIPF_THETA}), \
+         epoch {:?}",
+        ALOHA_EPOCH
+    );
+    println!("mode,transport,tput_ktps,read_p50_ms,read_p99_ms,e2e_p99_ms");
+    let mut report = BenchReport::new("ablation_read", servers, opts.duration().as_secs_f64());
+    let cfg = YcsbConfig::with_contention_index(servers, 0.01).with_keys_per_partition(20_000);
+    let driver = opts.driver(8, 16);
+
+    let emit = |mode: &str, transport: &str, r: &RunResult| {
+        let stage = r
+            .stage("snapshot_read")
+            .expect("read stage present in both modes");
+        println!(
+            "{mode},{transport},{:.2},{:.3},{:.3},{:.2}",
+            r.tput_ktps,
+            stage.p50_micros as f64 / 1_000.0,
+            stage.p99_micros as f64 / 1_000.0,
+            r.p99_latency_ms,
+        );
+    };
+
+    for (mode, name) in [
+        (ReadMode::Snapshot, "snapshot"),
+        (ReadMode::DelayToEpoch, "delay"),
+    ] {
+        let sim = sim_run(&cfg, mode, &driver);
+        emit(name, "simulated", &sim);
+        report.push(format!("{name},simulated"), sim);
+
+        let tcp = tcp_run(&cfg, mode, &driver);
+        emit(name, "tcp-loopback", &tcp);
+        report.push(format!("{name},tcp-loopback"), tcp);
+    }
+
+    report.emit(&opts).expect("write ablation_read report");
+}

@@ -4,11 +4,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
+use aloha_common::metrics::{duration_micros, HistogramSnapshot, Stage, STAGE_COUNT};
 use aloha_common::stats::{StageStats, StatsSnapshot};
-use aloha_common::{Error, Key, PartitionId, Result, ServerId, Value};
+use aloha_common::{Error, Key, PartitionId, ReadMode, Result, ServerId, Value};
 use aloha_control::{
     AccessKind, AdaptivePacer, AdmissionGate, ControlConfig, FixedPacer, Pacer, PacerGauges,
     PacerSample, Permit,
@@ -19,7 +19,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::durability::{self, CalvinRecoveryReport, CalvinWal};
 use crate::msg::CalvinMsg;
-use crate::program::{CalvinProgram, CalvinRegistry, ProgramId};
+use crate::program::{fn_program, CalvinPlan, CalvinProgram, CalvinRegistry, ProgramId};
 use crate::server::{
     run_dispatcher, run_scheduler, run_sequencer, run_worker, CalvinHistory, CalvinServer,
     CalvinSubmission,
@@ -109,6 +109,11 @@ pub struct CalvinConfig {
     /// bus is built from [`CalvinConfig::net`]; a custom transport ignores
     /// `net` entirely.
     pub transport: CalvinTransportSpec,
+    /// How [`CalvinDatabase::read_latest`] serves reads — the same knob the
+    /// ALOHA engine exposes, so the read-path ablation toggles both engines
+    /// symmetrically. See [`CalvinDatabase::read_latest`] for what each mode
+    /// means on a single-version store.
+    pub read_mode: ReadMode,
 }
 
 /// Which transport implementation a Calvin cluster runs on (see
@@ -146,7 +151,14 @@ impl CalvinConfig {
             control: None,
             durability: None,
             transport: CalvinTransportSpec::Simulated,
+            read_mode: ReadMode::default(),
         }
+    }
+
+    /// Overrides how latest-version reads are served (see [`ReadMode`]).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> CalvinConfig {
+        self.read_mode = mode;
+        self
     }
 
     /// Overrides the sequencer batch duration.
@@ -212,6 +224,39 @@ impl CalvinConfig {
         self.transport = CalvinTransportSpec::Custom(transport);
         self
     }
+}
+
+/// Reserved program id of the built-in read fence (see
+/// [`CalvinDatabase::read_latest`]); registered automatically by
+/// [`CalvinClusterBuilder::start`], so user programs must not use it.
+pub const READ_FENCE_PROGRAM: ProgramId = ProgramId(u32::MAX);
+
+/// Packs a read set into read-fence args: `u32` big-endian length + bytes
+/// per key.
+fn encode_fence_keys(keys: &[Key]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for key in keys {
+        let bytes = key.as_bytes();
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out
+}
+
+/// Recovers a read set from read-fence args (tolerant of truncation — the
+/// fence locks whatever prefix decodes, and execution is a no-op either way).
+fn decode_fence_keys(mut args: &[u8]) -> Vec<Key> {
+    let mut keys = Vec::new();
+    while args.len() >= 4 {
+        let len = u32::from_be_bytes(args[..4].try_into().expect("4 bytes")) as usize;
+        args = &args[4..];
+        if args.len() < len {
+            break;
+        }
+        keys.push(Key::from(args[..len].to_vec()));
+        args = &args[len..];
+    }
+    keys
 }
 
 /// Swappable server slots shared by the cluster and every
@@ -414,10 +459,24 @@ impl CalvinClusterBuilder {
             CalvinTransportSpec::Simulated => Arc::new(Bus::new(self.config.net.clone())),
             CalvinTransportSpec::Custom(transport) => transport,
         };
+        let mut registry = self.registry;
+        // The built-in read fence: locks its declared read set in the
+        // deterministic order and writes nothing. Delayed read-only
+        // transactions ride it (see `CalvinDatabase::read_latest`).
+        registry.register(
+            READ_FENCE_PROGRAM,
+            fn_program(
+                |args| CalvinPlan {
+                    read_set: decode_fence_keys(args),
+                    write_set: Vec::new(),
+                },
+                |_args, _reads, _writes| {},
+            ),
+        );
         let rebuild = CalvinRebuild {
             config: self.config,
             batch_duration,
-            registry: Arc::new(self.registry),
+            registry: Arc::new(registry),
         };
         let mut servers = Vec::with_capacity(n as usize);
         let mut server_threads = Vec::with_capacity(n as usize);
@@ -523,6 +582,7 @@ impl CalvinCluster {
         CalvinDatabase {
             servers: Arc::clone(&self.servers),
             next: Arc::new(AtomicUsize::new(0)),
+            read_mode: self.rebuild.config.read_mode,
             gates: self.gates.clone(),
         }
     }
@@ -806,6 +866,9 @@ impl Drop for CalvinCluster {
 pub struct CalvinDatabase {
     servers: Arc<CalvinSlots>,
     next: Arc<AtomicUsize>,
+    /// How [`CalvinDatabase::read_latest`] serves reads (from
+    /// [`CalvinConfig`]).
+    read_mode: ReadMode,
     /// Per-sequencer admission gates (`None` on an ungated cluster).
     /// Admission happens before the submission enters the sequencer batch:
     /// a shed transaction is never sequenced anywhere.
@@ -827,9 +890,9 @@ impl CalvinDatabase {
     /// # Errors
     ///
     /// [`Error::Overloaded`] when the gate sheds the transaction.
-    fn admit(&self, i: usize) -> Result<Option<Permit>> {
+    fn admit(&self, i: usize, kind: AccessKind) -> Result<Option<Permit>> {
         match &self.gates {
-            Some(gates) => gates[i].admit(AccessKind::Write).map(Some),
+            Some(gates) => gates[i].admit(kind).map(Some),
             None => Ok(None),
         }
     }
@@ -860,7 +923,7 @@ impl CalvinDatabase {
     /// admission gate sheds.
     pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<CalvinHandle> {
         let server = self.pick_sequencer();
-        let permit = self.admit(server.id().index())?;
+        let permit = self.admit(server.id().index(), AccessKind::Write)?;
         Ok(CalvinHandle {
             submission: server.submit(program, &args.into())?,
             _permit: permit,
@@ -895,11 +958,74 @@ impl CalvinDatabase {
         if server.is_shutdown() {
             return Err(Error::ShuttingDown);
         }
-        let permit = self.admit(origin.index())?;
+        let permit = self.admit(origin.index(), AccessKind::Write)?;
         Ok(CalvinHandle {
             submission: server.submit(program, &args.into())?,
             _permit: permit,
         })
+    }
+
+    /// Latest-version read-only transaction, on the same [`ReadMode`] knob
+    /// as the ALOHA engine:
+    ///
+    /// * [`ReadMode::Snapshot`] reads each key straight from its owning
+    ///   server's store — no sequencing, no locks, no batch wait. On
+    ///   Calvin's *single-version* store this is best-effort: per-key values
+    ///   are the latest written back, but a multi-partition transaction
+    ///   mid-write-back can be observed partially (the ALOHA engine's
+    ///   version chains are what make the same fast path torn-free there).
+    /// * [`ReadMode::DelayToEpoch`] is Calvin's native read-only
+    ///   transaction: a no-op *read fence* over `keys` rides the sequencer
+    ///   into the deterministic order, locking the read set on every owner;
+    ///   once it completes, every earlier-ordered transaction has executed
+    ///   and the subsequent store reads are a consistent cut at the fence's
+    ///   position. Costs roughly one sequencer batch of latency.
+    ///
+    /// Both modes record the `snapshot_read` lifecycle stage on the origin
+    /// server, so the read ablation compares engines like for like.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown, or with [`Error::Overloaded`] when the admission
+    /// gate sheds the read.
+    pub fn read_latest(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        let origin = self.pick_sequencer();
+        // Reads admit under `AccessKind::Read` (the reserved read share of
+        // the gate window), mirroring the ALOHA engine's client edge.
+        let _permit = self.admit(origin.id().index(), AccessKind::Read)?;
+        let started = Instant::now();
+        if self.read_mode == ReadMode::DelayToEpoch && !keys.is_empty() {
+            let fence = CalvinHandle {
+                submission: origin.submit(READ_FENCE_PROGRAM, &encode_fence_keys(keys))?,
+                _permit: None,
+            };
+            fence.wait()?;
+        }
+        let total = self.servers.len() as u16;
+        let values = keys
+            .iter()
+            .map(|key| {
+                self.servers
+                    .get(key.partition(total).index())
+                    .store()
+                    .get(key)
+            })
+            .collect();
+        origin
+            .stats()
+            .tracer()
+            .record_stage(Stage::SnapshotRead, duration_micros(started.elapsed()));
+        Ok(values)
+    }
+
+    /// Latest-version read of a single key: [`CalvinDatabase::read_latest`]
+    /// without the slice ceremony.
+    ///
+    /// # Errors
+    ///
+    /// As [`CalvinDatabase::read_latest`].
+    pub fn read_one(&self, key: &Key) -> Result<Option<Value>> {
+        Ok(self.read_latest(std::slice::from_ref(key))?.pop().flatten())
     }
 
     /// Number of servers.

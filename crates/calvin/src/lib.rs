@@ -63,7 +63,7 @@ pub mod store;
 
 pub use cluster::{
     CalvinCluster, CalvinClusterBuilder, CalvinConfig, CalvinDatabase, CalvinDurability,
-    CalvinHandle, CalvinTransportSpec,
+    CalvinHandle, CalvinTransportSpec, READ_FENCE_PROGRAM,
 };
 pub use durability::{CalvinRecoveryReport, CalvinWalRecord};
 pub use lock::{LockManager, LockMode};

@@ -45,3 +45,20 @@ pub use metrics::{
 };
 pub use stats::{StageStats, StatsSnapshot};
 pub use timestamp::Timestamp;
+
+/// How a database serves read-only transactions.
+///
+/// Both engines accept this knob so the read-path ablation toggles the whole
+/// pipeline symmetrically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Serve reads immediately at the cluster compute frontier — an
+    /// externally-consistent snapshot that is always available without
+    /// waiting out the epoch (the abort-free snapshot-read fast path).
+    #[default]
+    Snapshot,
+    /// §III-B delay-to-next-epoch reads: assign a timestamp in the current
+    /// epoch and block until the epoch completes before reading. Kept as the
+    /// ablation baseline.
+    DelayToEpoch,
+}

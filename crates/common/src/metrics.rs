@@ -661,9 +661,10 @@ impl MetricsRegistry {
 }
 
 /// Number of lifecycle stages tracked per transaction.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
-/// The six stages of the transaction lifecycle (§III-B, §III-D).
+/// The stages of the transaction lifecycle (§III-B, §III-D): six write-path
+/// stages plus the read-path `snapshot_read` stage.
 ///
 /// Both engines report the same schema so figures and dashboards can compare
 /// them stage-for-stage; `DESIGN.md` documents what each stage maps to in
@@ -682,10 +683,13 @@ pub enum Stage {
     FunctorComputing,
     /// Final commit/abort decision reaching the client.
     Commit,
+    /// Serving a read-only transaction from the snapshot-read fast path
+    /// (end-to-end, FE-side: cache probes, owner fan-out, reassembly).
+    SnapshotRead,
 }
 
 impl Stage {
-    /// All stages in pipeline order.
+    /// All stages in pipeline order (the read stage last).
     pub const ALL: [Stage; STAGE_COUNT] = [
         Stage::Transform,
         Stage::TimestampGrant,
@@ -693,6 +697,7 @@ impl Stage {
         Stage::EpochClose,
         Stage::FunctorComputing,
         Stage::Commit,
+        Stage::SnapshotRead,
     ];
 
     /// Position of this stage in [`Stage::ALL`].
@@ -709,6 +714,7 @@ impl Stage {
             Stage::EpochClose => "epoch_close",
             Stage::FunctorComputing => "functor_computing",
             Stage::Commit => "commit",
+            Stage::SnapshotRead => "snapshot_read",
         }
     }
 
@@ -851,7 +857,7 @@ impl LifecycleTracer {
         &self.stages[stage.index()]
     }
 
-    /// Mergeable snapshots of all six stage histograms, in [`Stage::ALL`]
+    /// Mergeable snapshots of all stage histograms, in [`Stage::ALL`]
     /// order.
     pub fn stage_snapshots(&self) -> [HistogramSnapshot; STAGE_COUNT] {
         std::array::from_fn(|i| self.stages[i].snapshot())

@@ -10,7 +10,7 @@ use aloha_common::clock::{Clock, ClockBase, SkewedClock, SystemClock};
 use aloha_common::metrics::{HistogramSnapshot, Stage, STAGE_COUNT};
 use aloha_common::stats::{StageStats, StatsSnapshot};
 use aloha_common::{EpochId, PartitionId};
-use aloha_common::{Error, Key, Result, ServerId, Timestamp, Value};
+use aloha_common::{Error, Key, ReadMode, Result, ServerId, Timestamp, Value};
 use aloha_control::{
     AccessKind, AdaptivePacer, AdmissionGate, ControlConfig, PacerGauges, PacerSample, Permit,
 };
@@ -116,6 +116,10 @@ pub struct ClusterConfig {
     /// bus is built from [`ClusterConfig::net`]; a custom transport (e.g.
     /// [`aloha_net::TcpTransport`]) ignores `net` entirely.
     pub transport: TransportSpec,
+    /// How [`Database`] handles serve latest-version reads: the snapshot-read
+    /// fast path at the cluster compute frontier (the default), or the
+    /// §III-B delay-to-next-epoch baseline.
+    pub read_mode: ReadMode,
 }
 
 /// Which transport implementation a cluster runs on
@@ -273,6 +277,7 @@ impl ClusterConfig {
             exec: ExecConfig::default(),
             control: None,
             transport: TransportSpec::Simulated,
+            read_mode: ReadMode::default(),
         }
     }
 
@@ -328,6 +333,12 @@ impl ClusterConfig {
             interval,
             keep_versions,
         });
+        self
+    }
+
+    /// Overrides how latest-version reads are served (see [`ReadMode`]).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> ClusterConfig {
+        self.read_mode = mode;
         self
     }
 
@@ -677,7 +688,14 @@ impl ClusterBuilder {
                                 // the fold keeps. The visible bound would
                                 // be unsound here: a settled-but-uncomputed
                                 // functor reads at its own (lower) version.
-                                let horizon = server.epoch().frontier();
+                                // Snapshot reads being served right now pin
+                                // the horizon further: folding at or above
+                                // an in-flight read's bound could destroy
+                                // the floor it is about to walk onto.
+                                let mut horizon = server.epoch().frontier();
+                                if let Some(floor) = server.min_inflight_read() {
+                                    horizon = horizon.min(floor);
+                                }
                                 server
                                     .partition()
                                     .store()
@@ -1089,6 +1107,8 @@ impl Cluster {
             servers: Arc::clone(&self.servers),
             next_fe: Arc::new(AtomicUsize::new(0)),
             session: Arc::new(AtomicU64::new(0)),
+            session_writes: Arc::new(AtomicU64::new(0)),
+            read_mode: self.rebuild.config.read_mode,
             gates: self.gates.clone(),
         }
     }
@@ -1115,7 +1135,7 @@ impl Cluster {
     /// taken), with per-server, epoch-manager and network subtrees as
     /// children.
     ///
-    /// The root carries all six lifecycle stages plus an `e2e` entry for
+    /// The root carries every lifecycle stage plus an `e2e` entry for
     /// end-to-end latency. Export with [`StatsSnapshot::to_json`] or the
     /// [`std::fmt::Display`] rendering.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -1402,8 +1422,23 @@ impl Cluster {
             )));
         }
         let mut applied = 0;
+        let mut replayed_to = Timestamp::ZERO;
         for (server, log) in servers.iter().zip(logs) {
-            applied += server.replay_wal(log, checkpoint)?;
+            let (count, high) = server.replay_wal(log, checkpoint)?;
+            applied += count;
+            replayed_to = replayed_to.max(high);
+        }
+        // Replayed records were durably logged by settled epochs, but they
+        // re-enter the store *uncomputed* — the processors re-execute them in
+        // the background. Covering them with the compute frontier anyway is
+        // sound: a snapshot read that lands on such a record sees a `Pending`
+        // chain section and falls back to the computing read path, so reads
+        // issued right after recovery observe the full replayed suffix
+        // instead of only the restored checkpoint.
+        if replayed_to > Timestamp::ZERO {
+            for server in &servers {
+                server.epoch().absorb_frontier(replayed_to);
+            }
         }
         Ok(applied)
     }
@@ -1424,8 +1459,16 @@ impl Cluster {
                 servers.len()
             )));
         }
+        let mut restored_at = Timestamp::ZERO;
         for (server, blob) in servers.iter().zip(blobs) {
-            server.restore_checkpoint(blob)?;
+            restored_at = restored_at.max(server.restore_checkpoint(blob)?);
+        }
+        // The restored state is materialized values at or below the
+        // checkpoint cut — settled and computed by construction — so the
+        // snapshot-read fast path must cover it before this cluster's first
+        // grant is absorbed.
+        for server in &servers {
+            server.epoch().absorb_frontier(restored_at);
         }
         Ok(())
     }
@@ -1506,6 +1549,14 @@ pub struct Database {
     /// already returned. Waiting for the picked FE to catch up restores
     /// monotone reads per handle.
     session: Arc<AtomicU64>,
+    /// Highest timestamp this handle's own transactions committed at (raw).
+    /// Kept separate from `session` on purpose: snapshot reads must floor at
+    /// the handle's own writes (read-your-writes), but feeding write
+    /// timestamps into `session` would make `sync_session` stall every
+    /// subsequent *write* for a full epoch.
+    session_writes: Arc<AtomicU64>,
+    /// How latest-version reads are served (from [`ClusterConfig`]).
+    read_mode: ReadMode,
     /// Per-FE admission gates, index-aligned with `servers` (`None` when the
     /// cluster runs ungated). Admission happens here, at the client edge,
     /// *before* the transform: a shed transaction never installs a functor.
@@ -1554,6 +1605,14 @@ impl Database {
         self.session.fetch_max(bound.raw(), Ordering::Relaxed);
     }
 
+    /// Folds an externally-observed timestamp into this handle's read floor:
+    /// subsequent [`ReadMode::Snapshot`] reads will not serve below it. The
+    /// causality token for clients spanning several `Database` handles —
+    /// clones of one handle already share their session and need no token.
+    pub fn note_observed(&self, ts: Timestamp) {
+        self.session_writes.fetch_max(ts.raw(), Ordering::Relaxed);
+    }
+
     /// Blocks (bounded) until `fe` has settled everything this handle has
     /// already observed, so per-handle reads and transforms are monotone.
     fn sync_session(&self, fe: &Arc<Server>) {
@@ -1580,6 +1639,9 @@ impl Database {
         let fe = self.servers.get(i);
         self.sync_session(&fe);
         let handle = fe.coordinate(program, &args.into())?;
+        // Snapshot reads floor at this handle's own writes (read-your-writes).
+        self.session_writes
+            .fetch_max(handle.timestamp().raw(), Ordering::Relaxed);
         if let Some(permit) = permit {
             handle.attach_permit(permit);
         }
@@ -1615,15 +1677,23 @@ impl Database {
         let server = self.servers.get(fe.index());
         let permit = self.admit(fe.index(), AccessKind::Write)?;
         let handle = server.coordinate(program, &args.into())?;
+        self.session_writes
+            .fetch_max(handle.timestamp().raw(), Ordering::Relaxed);
         if let Some(permit) = permit {
             handle.attach_permit(permit);
         }
         Ok(handle)
     }
 
-    /// Latest-version read-only transaction (§III-B): assigned a timestamp
-    /// in the current epoch and processed as a historical read once the
-    /// epoch completes.
+    /// Latest-version read-only transaction. Under [`ReadMode::Snapshot`]
+    /// (the default) it is served from the snapshot-read fast path: an
+    /// externally-consistent snapshot at the cluster compute frontier,
+    /// without waiting out the epoch. Under [`ReadMode::DelayToEpoch`] it is
+    /// the §III-B baseline: a timestamp in the current epoch, then a wait
+    /// for the epoch to complete.
+    ///
+    /// Either way reads are monotone per handle and observe this handle's
+    /// own committed writes.
     ///
     /// # Errors
     ///
@@ -1635,9 +1705,25 @@ impl Database {
         // the synchronous read.
         let _permit = self.admit(i, AccessKind::Read)?;
         let fe = self.servers.get(i);
-        let values = fe.read_latest(keys)?;
-        self.note_session(fe.epoch().visible_bound());
-        Ok(values)
+        match self.read_mode {
+            ReadMode::Snapshot => {
+                // The floor is everything this handle has already observed:
+                // settled bounds noted by prior reads plus its own commits.
+                let floor = Timestamp::from_raw(
+                    self.session
+                        .load(Ordering::Relaxed)
+                        .max(self.session_writes.load(Ordering::Relaxed)),
+                );
+                let (served, reads) = fe.snapshot_read_latest(keys, floor)?;
+                self.note_session(served);
+                Ok(reads.into_iter().map(|read| read.value).collect())
+            }
+            ReadMode::DelayToEpoch => {
+                let values = fe.read_latest(keys)?;
+                self.note_session(fe.epoch().visible_bound());
+                Ok(values)
+            }
+        }
     }
 
     /// Latest-version read of a single key: [`Database::read_latest`] without
@@ -1658,18 +1744,121 @@ impl Database {
     pub fn read_at(&self, keys: &[Key], ts: Timestamp) -> Result<Vec<Option<Value>>> {
         let i = self.pick_fe();
         let _permit = self.admit(i, AccessKind::Read)?;
-        let values = self.servers.get(i).read_at(keys, ts)?;
+        let fe = self.servers.get(i);
+        let values = match self.read_mode {
+            ReadMode::Snapshot => match fe.snapshot_read_at(keys, ts) {
+                Ok(reads) => reads.into_iter().map(|read| read.value).collect(),
+                // Compaction folded history `ts` needs; the computing path
+                // still serves it best-effort from each chain's retained
+                // window, matching the delay mode's contract.
+                Err(Error::VersionOutsideEpoch { .. }) => fe.read_at(keys, ts)?,
+                Err(e) => return Err(e),
+            },
+            ReadMode::DelayToEpoch => fe.read_at(keys, ts)?,
+        };
         self.note_session(ts);
         Ok(values)
     }
 
-    /// The current settled visibility bound (any FE's view).
+    /// The current settled visibility bound, as seen by the front-end this
+    /// handle would talk to next. Front-ends learn the bound at different
+    /// times, so consulting a fixed server (the old behavior: always server
+    /// 0) could report a bound ahead of — or, with server 0 down, far behind
+    /// — anything this handle can actually read.
     pub fn visible_bound(&self) -> Timestamp {
+        let n = self.servers.len();
+        let start = self.next_fe.load(Ordering::Relaxed);
+        for off in 0..n {
+            let server = self.servers.get((start + off) % n);
+            if !server.is_shutdown() {
+                return server.epoch().visible_bound();
+            }
+        }
         self.servers.get(0).epoch().visible_bound()
+    }
+
+    /// The snapshot timestamp a [`ReadMode::Snapshot`] read would serve at
+    /// right now (this handle's next front-end's absorbed cluster compute
+    /// frontier; session floors may push an actual read higher).
+    pub fn snapshot_bound(&self) -> Timestamp {
+        let n = self.servers.len();
+        let start = self.next_fe.load(Ordering::Relaxed);
+        for off in 0..n {
+            let server = self.servers.get((start + off) % n);
+            if !server.is_shutdown() {
+                return server.epoch().snapshot_timestamp();
+            }
+        }
+        self.servers.get(0).epoch().snapshot_timestamp()
     }
 
     /// Number of servers.
     pub fn cluster_size(&self) -> usize {
         self.servers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{fn_program, TxnPlan};
+
+    const INCR: ProgramId = ProgramId(1);
+
+    /// Regression: the compaction sweeper clamps its fold horizon at the
+    /// oldest in-flight snapshot read, so a read pinned at an early bound
+    /// keeps answering exactly — even at `keep_versions = 1` — and folding
+    /// resumes past that bound once the read retires.
+    #[test]
+    fn compaction_never_folds_past_an_inflight_snapshot_read() {
+        let mut builder = Cluster::builder(
+            ClusterConfig::new(1)
+                .with_epoch_duration(Duration::from_millis(3))
+                .with_compaction(Duration::from_millis(2), 1),
+        );
+        builder.register_program(
+            INCR,
+            fn_program(|_| Ok(TxnPlan::new().write(Key::from("hot"), Functor::add(1)))),
+        );
+        let cluster = builder.start().unwrap();
+        cluster.load(Key::from("hot"), Value::from_i64(0));
+        let db = cluster.database();
+        let early = db.execute(INCR, b"").unwrap();
+        early.wait_processed().unwrap();
+        let bound = early.timestamp();
+
+        // Pin an in-flight snapshot read at the early bound, then bury it
+        // under new versions across many sweep intervals.
+        let server = cluster.server(ServerId(0));
+        let guard = server.register_snapshot_read(bound);
+        assert_eq!(server.min_inflight_read(), Some(bound));
+        for _ in 0..30 {
+            db.execute(INCR, b"").unwrap().wait_processed().unwrap();
+        }
+        db.read_latest(&[Key::from("hot")]).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+
+        // The sweeper must not have folded the pinned read's floor away.
+        let read = server
+            .snapshot_read_local(&Key::from("hot"), bound)
+            .unwrap();
+        assert_eq!(read.version, bound, "pinned floor must survive folding");
+        assert_eq!(read.value.unwrap().as_i64(), Some(1));
+
+        // Retire the read; folding resumes past the old bound.
+        drop(guard);
+        assert_eq!(server.min_inflight_read(), None);
+        let chain = server.partition().store().chain(&Key::from("hot")).unwrap();
+        for _ in 0..100 {
+            if chain.compacted_floor() >= bound {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            chain.compacted_floor() >= bound,
+            "sweeper should fold past the retired read's bound"
+        );
+        cluster.shutdown();
     }
 }

@@ -110,6 +110,31 @@ pub enum ServerMsg {
         /// information).
         reply: ReplySlot<Result<Vec<VersionedRead>>>,
     },
+    /// FE → BE: snapshot-read fast path — read the latest committed value of
+    /// `key` at the cluster compute frontier (§III-B bypass). Unlike
+    /// `RemoteGet`, the bound is a frontier timestamp, so the answer comes
+    /// straight off the packed settled section of the version chain with no
+    /// functor computing and no epoch wait.
+    SnapshotRead {
+        /// Key owned by the destination partition.
+        key: Key,
+        /// Inclusive snapshot timestamp (a frontier the sender absorbed).
+        bound: Timestamp,
+        /// The versioned read result.
+        reply: ReplySlot<Result<VersionedRead>>,
+    },
+    /// FE → BE: several snapshot reads for one destination partition at the
+    /// same frontier with a single round trip, mirroring `RemoteGetBatch`'s
+    /// grouped fan-out.
+    SnapshotReadBatch {
+        /// Keys owned by the destination partition, shared between the
+        /// initial send and any retransmission.
+        keys: Arc<Vec<Key>>,
+        /// Inclusive snapshot timestamp applied to every key.
+        bound: Timestamp,
+        /// Reads in `keys` order, or the first error.
+        reply: ReplySlot<Result<Vec<VersionedRead>>>,
+    },
     /// BE → BE: install a deferred write produced by a determinate functor
     /// (§IV-E). Acked so the producer can order its own finalization after
     /// the install.
@@ -210,6 +235,8 @@ impl ServerMsg {
                 ServerMsg::AbortVersion { keys, .. } => keys.iter().map(|(k, _)| k.len() + 8).sum(),
                 ServerMsg::RemoteGet { key, .. } => key.len(),
                 ServerMsg::RemoteGetBatch { keys, .. } => keys.iter().map(Key::len).sum(),
+                ServerMsg::SnapshotRead { key, .. } => key.len(),
+                ServerMsg::SnapshotReadBatch { keys, .. } => keys.iter().map(Key::len).sum(),
                 ServerMsg::InstallDeferred { key, functor, .. } => {
                     key.len() + functor_bytes(functor)
                 }

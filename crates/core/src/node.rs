@@ -23,13 +23,13 @@
 //!   epoch manager; the launcher orchestrates deployment-wide shutdown
 //!   order.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use aloha_common::clock::UnixClock;
 use aloha_common::stats::StatsSnapshot;
-use aloha_common::{Error, Key, Result, ServerId, Value};
+use aloha_common::{Error, Key, ReadMode, Result, ServerId, Timestamp, Value};
 use aloha_epoch::{EpochClient, EpochConfig, EpochManager};
 use aloha_functor::{Functor, Handler, HandlerId, HandlerRegistry};
 use aloha_net::{Addr, Executor, Transport};
@@ -75,6 +75,10 @@ pub struct NodeConfig {
     /// node's partition (same semantics as
     /// [`ClusterConfig::with_compaction`](crate::ClusterConfig::with_compaction)).
     pub compaction: Option<CompactionConfig>,
+    /// How [`Node::read_latest`] serves reads: the snapshot-read fast path
+    /// at the cluster compute frontier (the default), or the §III-B
+    /// delay-to-next-epoch baseline.
+    pub read_mode: ReadMode,
 }
 
 impl NodeConfig {
@@ -92,6 +96,7 @@ impl NodeConfig {
             clock_origin_unix_micros,
             durable_log: None,
             compaction: None,
+            read_mode: ReadMode::default(),
         }
     }
 
@@ -132,6 +137,12 @@ impl NodeConfig {
             interval,
             keep_versions,
         });
+        self
+    }
+
+    /// Overrides how latest-version reads are served (see [`ReadMode`]).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> NodeConfig {
+        self.read_mode = mode;
         self
     }
 }
@@ -260,8 +271,12 @@ impl NodeBuilder {
                             // read — local or remote — still floors beneath
                             // what the fold keeps. The visible bound would be
                             // unsound: a settled-but-uncomputed functor reads
-                            // at its own (lower) version.
-                            let horizon = sweep_server.epoch().frontier();
+                            // at its own (lower) version. Snapshot reads
+                            // being served right now pin the horizon further.
+                            let mut horizon = sweep_server.epoch().frontier();
+                            if let Some(floor) = sweep_server.min_inflight_read() {
+                                horizon = horizon.min(floor);
+                            }
                             sweep_server
                                 .partition()
                                 .store()
@@ -302,6 +317,8 @@ impl NodeBuilder {
             aux_threads,
             history,
             total: config.servers,
+            read_mode: config.read_mode,
+            session: AtomicU64::new(0),
         })
     }
 }
@@ -316,6 +333,13 @@ pub struct Node {
     aux_threads: Vec<std::thread::JoinHandle<()>>,
     history: Option<Arc<History>>,
     total: u16,
+    read_mode: ReadMode,
+    /// Highest timestamp this node's clients have observed (read bounds and
+    /// this node's own commit timestamps, raw). Snapshot reads floor here,
+    /// giving monotone reads and read-your-writes per node handle. Unlike
+    /// [`Database`](crate::Database)'s split session atomics, one floor
+    /// suffices: a node gates no writes on it, only reads.
+    session: AtomicU64,
 }
 
 impl std::fmt::Debug for Node {
@@ -371,16 +395,46 @@ impl Node {
     /// Fails on shutdown, unknown programs, transform rejections and
     /// transport errors.
     pub fn execute(&self, program: ProgramId, args: impl Into<Vec<u8>>) -> Result<TxnHandle> {
-        self.server.coordinate(program, &args.into())
+        let handle = self.server.coordinate(program, &args.into())?;
+        self.session
+            .fetch_max(handle.timestamp().raw(), Ordering::Relaxed);
+        Ok(handle)
     }
 
-    /// Latest-version read-only transaction via this node's FE (§III-B).
+    /// Latest-version read-only transaction via this node's FE. Under
+    /// [`ReadMode::Snapshot`] (the default) it is served from the
+    /// snapshot-read fast path at the cluster compute frontier, floored at
+    /// this node's session; under [`ReadMode::DelayToEpoch`] it is the
+    /// §III-B wait-out-the-epoch baseline.
     ///
     /// # Errors
     ///
     /// Fails on shutdown or transport errors.
     pub fn read_latest(&self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
-        self.server.read_latest(keys)
+        match self.read_mode {
+            ReadMode::Snapshot => {
+                let floor = Timestamp::from_raw(self.session.load(Ordering::Relaxed));
+                let (served, reads) = self.server.snapshot_read_latest(keys, floor)?;
+                self.session.fetch_max(served.raw(), Ordering::Relaxed);
+                Ok(reads.into_iter().map(|read| read.value).collect())
+            }
+            ReadMode::DelayToEpoch => {
+                let values = self.server.read_latest(keys)?;
+                self.session
+                    .fetch_max(self.server.epoch().visible_bound().raw(), Ordering::Relaxed);
+                Ok(values)
+            }
+        }
+    }
+
+    /// Folds an externally-observed timestamp into this node's session
+    /// floor: subsequent [`ReadMode::Snapshot`] reads will not serve below
+    /// it. This is the causality token for cross-process clients — a client
+    /// that commits through one node and reads through another passes the
+    /// commit handle's timestamp along (the delay-to-epoch baseline gets the
+    /// same guarantee implicitly from its epoch wait).
+    pub fn note_observed(&self, ts: Timestamp) {
+        self.session.fetch_max(ts.raw(), Ordering::Relaxed);
     }
 
     /// This node's commit history (present when
@@ -512,6 +566,9 @@ mod tests {
                 handle.wait_processed().expect("processed"),
                 crate::TxnOutcome::Committed
             );
+            // A client hopping nodes carries its causality token: commits
+            // made through node 0 must floor node 1's snapshot reads.
+            nodes[1].note_observed(handle.timestamp());
         }
         let values = nodes[1].read_latest(&keys).expect("read");
         assert!(values.iter().all(|v| v.is_some()));

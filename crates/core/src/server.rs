@@ -16,7 +16,10 @@ use aloha_control::Permit;
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
 use aloha_net::{reply_pair, Addr, Batcher, Endpoint, Executor, ReplyHandle, ReplySlot, Transport};
-use aloha_storage::{ChainRead, ComputeEnv, DurableLog, FinalForm, Partition, WalRecord};
+use aloha_storage::{
+    ChainRead, ComputeEnv, DurableLog, FinalForm, Partition, SnapshotRead as ChainSnapshot,
+    WalRecord,
+};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -30,6 +33,11 @@ use crate::program::{Check, ProgramId, ProgramRegistry, SnapshotReader, Transfor
 /// attempts make a retry failure vanishingly unlikely at test loss rates and
 /// outlast the partition windows the chaos tests inject.
 const RPC_ATTEMPTS: usize = 8;
+
+/// How long a snapshot read waits for a session floor above the frontier to
+/// settle (read-your-writes fallback) before reporting a timeout. Matches the
+/// session-sync deadline used by the write path.
+const SNAPSHOT_SESSION_DEADLINE: Duration = Duration::from_secs(5);
 
 /// Client-visible outcome of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,7 +126,7 @@ impl ServerStats {
         self.compute_errors.get()
     }
 
-    /// Mergeable raw histograms: the six stages in [`Stage::ALL`] order plus
+    /// Mergeable raw histograms: the stages in [`Stage::ALL`] order plus
     /// end-to-end latency last. Cluster rollups merge these across servers
     /// before computing percentiles.
     pub fn raw_histograms(&self) -> [HistogramSnapshot; STAGE_COUNT + 1] {
@@ -181,6 +189,12 @@ pub struct Server {
     /// once its functor is final, so the minimum key is the oldest compute
     /// this backend still owes. Lock order: `pending` before `inflight`.
     inflight: Mutex<BTreeMap<Timestamp, Vec<Key>>>,
+    /// In-flight snapshot-read bounds this backend is serving (a multiset:
+    /// bound → count). The compaction sweeper clamps its horizon to the
+    /// minimum entry, so a fold never passes a read already being served;
+    /// requests still on the wire are covered by the chain-level `Folded`
+    /// detection plus the coordinator's retry.
+    read_floors: Mutex<BTreeMap<Timestamp, usize>>,
     prev_settled: Mutex<Timestamp>,
     stats: ServerStats,
     shutdown: AtomicBool,
@@ -427,6 +441,7 @@ impl Server {
             queue_tx,
             pending: Mutex::new(seeded),
             inflight: Mutex::new(BTreeMap::new()),
+            read_floors: Mutex::new(BTreeMap::new()),
             prev_settled: Mutex::new(Timestamp::ZERO),
             stats: ServerStats::default(),
             shutdown: AtomicBool::new(false),
@@ -478,9 +493,14 @@ impl Server {
         let mut node = self.stats.snapshot(format!("server_{}", self.id.0));
         let mut partition = self.partition.stats().snapshot("partition");
         let mut memory = self.partition.store().memory_stats().snapshot("memory");
-        memory.set_counter(
-            "push_cache_entries",
-            self.partition.push_cache().len() as u64,
+        let cache = self.partition.push_cache();
+        memory.set_counter("push_cache_entries", cache.len() as u64);
+        memory.set_counter("push_cache_hits", cache.hits());
+        memory.set_counter("push_cache_misses", cache.misses());
+        let probes = cache.hits() + cache.misses();
+        memory.set_gauge(
+            "push_cache_hit_rate_pct",
+            cache.hits() * 100 / probes.max(1),
         );
         partition.push_child(memory);
         node.push_child(partition);
@@ -799,10 +819,15 @@ impl Server {
     /// timestamp in the current epoch, waits for the epoch to complete, then
     /// reads the keys as a historical snapshot at that timestamp.
     ///
+    /// This is the delay-to-epoch baseline; [`Server::snapshot_read_latest`]
+    /// is the fast path. Both record the `snapshot_read` stage so the read
+    /// ablation compares like for like.
+    ///
     /// # Errors
     ///
     /// Fails on shutdown or transport errors.
     pub fn read_latest(self: &Arc<Self>, keys: &[Key]) -> Result<Vec<Option<aloha_common::Value>>> {
+        let started = Instant::now();
         let ts = self
             .epoch
             .assign_read_timestamp(None)
@@ -810,7 +835,11 @@ impl Server {
         if !self.epoch.wait_visible(ts, None) {
             return Err(Error::ShuttingDown);
         }
-        self.read_at(keys, ts)
+        let values = self.read_at(keys, ts);
+        self.stats
+            .tracer
+            .record_stage(Stage::SnapshotRead, duration_micros(started.elapsed()));
+        values
     }
 
     /// Reads a historical snapshot at `ts`, which must already be settled.
@@ -835,6 +864,258 @@ impl Server {
             .into_iter()
             .map(|read| read.value)
             .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot-read fast path: externally-consistent multi-partition reads
+    // served at the cluster compute frontier, with no epoch wait. The
+    // frontier is min-merged across every server and capped at the visible
+    // bound, so everything at or below it is settled AND computed —
+    // answers come straight off the packed settled section of the version
+    // chains, lock-free of any record and with no functor computing.
+    // ------------------------------------------------------------------
+
+    /// Registers a snapshot read being served at `bound`; the guard
+    /// deregisters on drop. While registered, [`Server::min_inflight_read`]
+    /// keeps the compaction sweeper's fold horizon at or below `bound`.
+    pub(crate) fn register_snapshot_read(&self, bound: Timestamp) -> ReadGuard<'_> {
+        *self.read_floors.lock().entry(bound).or_insert(0) += 1;
+        ReadGuard {
+            server: self,
+            bound,
+        }
+    }
+
+    /// The lowest snapshot-read bound currently being served by this server,
+    /// if any. The compaction sweeper folds no history at or above it.
+    pub fn min_inflight_read(&self) -> Option<Timestamp> {
+        self.read_floors.lock().keys().next().copied()
+    }
+
+    /// Serves one key of a snapshot read from this backend's chains.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::VersionOutsideEpoch`] when compaction folded the history the
+    /// read would need (`valid_from` carries the oldest bound the chain can
+    /// answer exactly again — the caller retries there); transport errors
+    /// from the computing fallback.
+    pub(crate) fn snapshot_read_local(&self, key: &Key, bound: Timestamp) -> Result<VersionedRead> {
+        let Some(chain) = self.partition.store().chain(key) else {
+            return Ok(VersionedRead::missing());
+        };
+        match chain.snapshot_read(bound) {
+            ChainSnapshot::Missing => Ok(VersionedRead::missing()),
+            ChainSnapshot::Found(version, FinalForm::Value(value)) => {
+                Ok(VersionedRead::found(version, value))
+            }
+            // A delete tombstone reports its version with no value, matching
+            // `Partition::get`. (`Aborted` is unreachable: the walk skips
+            // abort markers.)
+            ChainSnapshot::Found(version, _) => Ok(VersionedRead {
+                version,
+                value: None,
+            }),
+            // A reachable record is still uncomputed — only possible when the
+            // bound sits above the cluster frontier (a session floored by its
+            // own fresh write). Fall back to the computing read path.
+            ChainSnapshot::Pending => self.partition.get(key, bound, self.as_env()),
+            ChainSnapshot::Folded(retry_at) => Err(Error::VersionOutsideEpoch {
+                version: bound,
+                valid_from: retry_at,
+                valid_until: Timestamp::MAX,
+            }),
+        }
+    }
+
+    /// One attempt at a consistent multi-partition read at exactly `bound`:
+    /// locally-owned keys straight from the chains, remote keys answered by
+    /// the push cache when the same snapshot point was already fetched, the
+    /// rest grouped per owning server and fanned out in parallel (every
+    /// request in flight before the first reply is awaited), mirroring
+    /// `remote_get_many`. Remote results are fed back into the push cache so
+    /// hot keys never leave the front-end while the frontier holds still.
+    fn try_snapshot_read(&self, keys: &[Key], bound: Timestamp) -> Result<Vec<VersionedRead>> {
+        // Pin local chains for the duration of the attempt; remote chains are
+        // pinned by their own server's handler.
+        let _guard = self.register_snapshot_read(bound);
+        let cache = self.partition.push_cache();
+        let mut out: Vec<Option<VersionedRead>> = vec![None; keys.len()];
+        let mut by_owner: HashMap<ServerId, Vec<usize>> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let owner = self.owner_of(key);
+            if owner == self.id {
+                out[i] = Some(self.snapshot_read_local(key, bound)?);
+            } else if let Some(read) = cache.get(bound, key) {
+                // History at a settled snapshot point is immutable, so a
+                // cached answer keyed at exactly `bound` is still exact.
+                out[i] = Some(read);
+            } else {
+                by_owner.entry(owner).or_default().push(i);
+            }
+        }
+        let mut singles = Vec::new();
+        let mut batches = Vec::new();
+        for (owner, idxs) in by_owner {
+            if idxs.len() == 1 {
+                let i = idxs[0];
+                let key = keys[i].clone();
+                let (slot, handle) = reply_pair();
+                self.send_msg(
+                    owner,
+                    ServerMsg::SnapshotRead {
+                        key: key.clone(),
+                        bound,
+                        reply: slot,
+                    },
+                )?;
+                singles.push((owner, i, key, handle));
+            } else {
+                let group: Arc<Vec<Key>> =
+                    Arc::new(idxs.iter().map(|&i| keys[i].clone()).collect());
+                let (slot, handle) = reply_pair();
+                self.send_msg(
+                    owner,
+                    ServerMsg::SnapshotReadBatch {
+                        keys: Arc::clone(&group),
+                        bound,
+                        reply: slot,
+                    },
+                )?;
+                batches.push((owner, idxs, group, handle));
+            }
+        }
+        for (owner, i, key, handle) in singles {
+            let resend = |reply| ServerMsg::SnapshotRead {
+                key: key.clone(),
+                bound,
+                reply,
+            };
+            let read = self.wait_retry(handle, owner, resend)??;
+            cache.insert(bound, key, read.clone());
+            out[i] = Some(read);
+        }
+        for (owner, idxs, group, handle) in batches {
+            let resend = |reply| ServerMsg::SnapshotReadBatch {
+                keys: Arc::clone(&group),
+                bound,
+                reply,
+            };
+            let reads = self.wait_retry(handle, owner, resend)??;
+            if reads.len() != idxs.len() {
+                return Err(Error::Config(format!(
+                    "snapshot read batch answered {} reads for {} keys",
+                    reads.len(),
+                    idxs.len()
+                )));
+            }
+            for (&i, read) in idxs.iter().zip(reads) {
+                cache.insert(bound, keys[i].clone(), read.clone());
+                out[i] = Some(read);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|read| read.expect("every key index is covered by exactly one owner group"))
+            .collect())
+    }
+
+    /// A consistent multi-partition read at `bound` or, when compaction on
+    /// some server already folded past it, at the nearest newer bound every
+    /// chain can answer exactly. Returns the bound actually served — always
+    /// at or above the request, so session reads stay monotone.
+    fn snapshot_read_retry(
+        &self,
+        keys: &[Key],
+        mut bound: Timestamp,
+    ) -> Result<(Timestamp, Vec<VersionedRead>)> {
+        for _ in 0..RPC_ATTEMPTS {
+            match self.try_snapshot_read(keys, bound) {
+                Ok(reads) => return Ok((bound, reads)),
+                Err(Error::VersionOutsideEpoch { valid_from, .. }) => {
+                    // Raced a fold — possible only while this front-end's
+                    // absorbed frontier trails the folding server's. Every
+                    // retry bound is still settled and computed cluster-wide:
+                    // fold horizons sit below the folding server's own
+                    // frontier, and this front-end's frontier is monotone.
+                    bound = bound.max(valid_from).max(self.epoch.snapshot_timestamp());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::Timeout(format!(
+            "snapshot read kept racing compaction below {bound}"
+        )))
+    }
+
+    /// Serves a latest-version read-only transaction from the snapshot-read
+    /// fast path: externally consistent at the cluster compute frontier (or
+    /// at `floor` when the caller's session has already observed state above
+    /// the frontier), without waiting out the epoch. Returns the snapshot
+    /// point actually served so the caller can advance its session floor.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shutdown and transport errors, and with [`Error::Timeout`]
+    /// if `floor` exceeds the visible bound and the epoch does not settle it
+    /// within the deadline.
+    pub fn snapshot_read_latest(
+        self: &Arc<Self>,
+        keys: &[Key],
+        floor: Timestamp,
+    ) -> Result<(Timestamp, Vec<VersionedRead>)> {
+        let started = Instant::now();
+        let frontier = self.epoch.snapshot_timestamp();
+        let bound = if floor > frontier {
+            // Read-your-writes: the session observed (usually: wrote) state
+            // above the frontier, so external consistency demands waiting
+            // until the frontier covers that floor and serving there. The
+            // wait must be for the *frontier*, not mere visibility: a
+            // settled epoch can still hold uncomputed functors whose §IV-E
+            // deferred writes have not landed in their target chains yet.
+            // This narrow window is the only place the fast path ever waits.
+            if !self
+                .epoch
+                .wait_frontier(floor, Some(Instant::now() + SNAPSHOT_SESSION_DEADLINE))
+            {
+                return Err(Error::Timeout(format!(
+                    "session floor {floor} did not settle"
+                )));
+            }
+            floor
+        } else {
+            frontier
+        };
+        let served = self.snapshot_read_retry(keys, bound);
+        self.stats
+            .tracer
+            .record_stage(Stage::SnapshotRead, duration_micros(started.elapsed()));
+        served
+    }
+
+    /// Reads a historical snapshot at exactly `ts` through the fast path
+    /// (no functor computing for settled history, grouped parallel fan-out).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if `ts` is not settled yet, and
+    /// [`Error::VersionOutsideEpoch`] if compaction has folded history `ts`
+    /// needs — unlike latest-version reads, an explicit timestamp cannot be
+    /// bumped past the fold.
+    pub fn snapshot_read_at(
+        self: &Arc<Self>,
+        keys: &[Key],
+        ts: Timestamp,
+    ) -> Result<Vec<VersionedRead>> {
+        if ts > self.epoch.visible_bound() {
+            return Err(Error::Timeout(format!("snapshot {ts} is not settled yet")));
+        }
+        let started = Instant::now();
+        let reads = self.try_snapshot_read(keys, ts);
+        self.stats
+            .tracer
+            .record_stage(Stage::SnapshotRead, duration_micros(started.elapsed()));
+        reads
     }
 
     fn finish_ticket(&self, ticket: aloha_epoch::TxnTicket) {
@@ -1036,12 +1317,13 @@ impl Server {
     }
 
     /// Replays a write-ahead log into this partition, skipping records at or
-    /// below `checkpoint` (see [`aloha_storage::wal::replay_log`]).
+    /// below `checkpoint` (see [`aloha_storage::wal::replay_log`]). Returns
+    /// the number of records applied and the highest version applied.
     ///
     /// # Errors
     ///
     /// Fails on corrupt logs.
-    pub fn replay_wal(&self, log: &[u8], checkpoint: Timestamp) -> Result<usize> {
+    pub fn replay_wal(&self, log: &[u8], checkpoint: Timestamp) -> Result<(usize, Timestamp)> {
         aloha_storage::wal::replay_log(&self.partition, log, checkpoint)
     }
 
@@ -1302,6 +1584,26 @@ impl ComputeEnv for Server {
     }
 }
 
+/// RAII registration of an in-flight snapshot read (see
+/// [`Server::register_snapshot_read`]): while alive, the compaction sweeper
+/// will not fold history at or above the registered bound.
+pub(crate) struct ReadGuard<'a> {
+    server: &'a Server,
+    bound: Timestamp,
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        let mut floors = self.server.read_floors.lock();
+        if let Some(n) = floors.get_mut(&self.bound) {
+            *n -= 1;
+            if *n == 0 {
+                floors.remove(&self.bound);
+            }
+        }
+    }
+}
+
 /// FE-side settled-snapshot reader handed to transforms.
 struct FeSnapshotReader<'a> {
     server: &'a Arc<Server>,
@@ -1529,6 +1831,28 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
                 let reads = keys
                     .iter()
                     .map(|key| s.partition.get(key, bound, s.as_env()))
+                    .collect::<Result<Vec<VersionedRead>>>();
+                reply.send(reads);
+            });
+        }
+        // Snapshot reads never compute functors, but the `Pending` fallback
+        // inside `snapshot_read_local` can block on other partitions, so
+        // they take the blocking lane too. No stage is recorded here — the
+        // requesting front-end records the end-to-end `snapshot_read` stage.
+        ServerMsg::SnapshotRead { key, bound, reply } => {
+            let s = Arc::clone(server);
+            server.exec.submit_blocking(move || {
+                let _guard = s.register_snapshot_read(bound);
+                reply.send(s.snapshot_read_local(&key, bound));
+            });
+        }
+        ServerMsg::SnapshotReadBatch { keys, bound, reply } => {
+            let s = Arc::clone(server);
+            server.exec.submit_blocking(move || {
+                let _guard = s.register_snapshot_read(bound);
+                let reads = keys
+                    .iter()
+                    .map(|key| s.snapshot_read_local(key, bound))
                     .collect::<Result<Vec<VersionedRead>>>();
                 reply.send(reads);
             });

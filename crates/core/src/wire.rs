@@ -53,6 +53,8 @@ const TAG_PUSH_VALUE: u8 = 9;
 const TAG_REPLICATE: u8 = 10;
 const TAG_BATCH: u8 = 11;
 const TAG_SHUTDOWN: u8 = 12;
+const TAG_SNAPSHOT_READ: u8 = 13;
+const TAG_SNAPSHOT_READ_BATCH: u8 = 14;
 
 impl WireCodec<ServerMsg> for ServerMsgCodec {
     fn encode(&self, msg: &ServerMsg, pending: &PendingReplies, out: &mut Vec<u8>) -> Result<()> {
@@ -125,6 +127,25 @@ fn encode_msg(msg: &ServerMsg, pending: &PendingReplies, w: &mut Writer) -> Resu
         }
         ServerMsg::RemoteGetBatch { keys, bound, reply } => {
             w.put_u8(TAG_REMOTE_GET_BATCH);
+            put_len(w, keys.len())?;
+            for key in keys.iter() {
+                w.put_bytes(key.as_bytes());
+            }
+            w.put_u64(bound.raw())
+                .put_u64(register_reply(pending, reply, |r| {
+                    decode_result(r, decode_read_vec)
+                }));
+        }
+        ServerMsg::SnapshotRead { key, bound, reply } => {
+            w.put_u8(TAG_SNAPSHOT_READ)
+                .put_bytes(key.as_bytes())
+                .put_u64(bound.raw())
+                .put_u64(register_reply(pending, reply, |r| {
+                    decode_result(r, decode_versioned_read)
+                }));
+        }
+        ServerMsg::SnapshotReadBatch { keys, bound, reply } => {
+            w.put_u8(TAG_SNAPSHOT_READ_BATCH);
             put_len(w, keys.len())?;
             for key in keys.iter() {
                 w.put_bytes(key.as_bytes());
@@ -274,6 +295,34 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
             let bound = Timestamp::from_raw(r.get_u64()?);
             let corr = r.get_u64()?;
             ServerMsg::RemoteGetBatch {
+                keys: Arc::new(keys),
+                bound,
+                reply: remote_slot(replier, corr, |v, w| {
+                    encode_result(v, w, encode_read_vec);
+                }),
+            }
+        }
+        TAG_SNAPSHOT_READ => {
+            let key = Key::from(r.get_bytes_shared()?);
+            let bound = Timestamp::from_raw(r.get_u64()?);
+            let corr = r.get_u64()?;
+            ServerMsg::SnapshotRead {
+                key,
+                bound,
+                reply: remote_slot(replier, corr, |v, w| {
+                    encode_result(v, w, encode_versioned_read);
+                }),
+            }
+        }
+        TAG_SNAPSHOT_READ_BATCH => {
+            let count = r.get_u32()?;
+            let mut keys = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                keys.push(Key::from(r.get_bytes_shared()?));
+            }
+            let bound = Timestamp::from_raw(r.get_u64()?);
+            let corr = r.get_u64()?;
+            ServerMsg::SnapshotReadBatch {
                 keys: Arc::new(keys),
                 bound,
                 reply: remote_slot(replier, corr, |v, w| {
@@ -834,6 +883,71 @@ mod tests {
         assert_eq!(reads.len(), 2);
         assert_eq!(reads[0].value, Some(Value::from_i64(1)));
         assert_eq!(reads[1].value, None);
+    }
+
+    #[test]
+    fn snapshot_read_round_trip_delivers_ok_and_err() {
+        let (slot, handle) = reply_pair();
+        let msg = ServerMsg::SnapshotRead {
+            key: Key::from("hot"),
+            bound: Timestamp::from_raw(4_000),
+            reply: slot,
+        };
+        let ServerMsg::SnapshotRead { key, bound, reply } = round_trip(&msg) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(key, Key::from("hot"));
+        assert_eq!(bound, Timestamp::from_raw(4_000));
+        reply.send(Ok(VersionedRead::found(
+            Timestamp::from_raw(3_500),
+            Value::from_i64(42),
+        )));
+        let read = handle.wait().expect("reply").expect("ok");
+        assert_eq!(read.version, Timestamp::from_raw(3_500));
+        assert_eq!(read.value, Some(Value::from_i64(42)));
+
+        let (slot, handle) = reply_pair();
+        let msg = ServerMsg::SnapshotRead {
+            key: Key::from("hot"),
+            bound: Timestamp::from_raw(4_000),
+            reply: slot,
+        };
+        let ServerMsg::SnapshotRead { reply, .. } = round_trip(&msg) else {
+            panic!("wrong variant");
+        };
+        reply.send(Err(Error::NoSuchPartition(PartitionId(9))));
+        assert_eq!(
+            handle.wait().expect("reply").expect_err("err"),
+            Error::NoSuchPartition(PartitionId(9))
+        );
+    }
+
+    #[test]
+    fn snapshot_read_batch_round_trip() {
+        let (slot, handle) = reply_pair();
+        let msg = ServerMsg::SnapshotReadBatch {
+            keys: Arc::new(vec![Key::from("x"), Key::from("y"), Key::from("z")]),
+            bound: Timestamp::from_raw(900),
+            reply: slot,
+        };
+        let ServerMsg::SnapshotReadBatch { keys, bound, reply } = round_trip(&msg) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(
+            keys.as_slice(),
+            &[Key::from("x"), Key::from("y"), Key::from("z")]
+        );
+        assert_eq!(bound, Timestamp::from_raw(900));
+        reply.send(Ok(vec![
+            VersionedRead::found(Timestamp::from_raw(880), Value::from_i64(-1)),
+            VersionedRead::missing(),
+            VersionedRead::found(Timestamp::from_raw(10), Value::new(b"blob".to_vec())),
+        ]));
+        let reads = handle.wait().expect("reply").expect("ok");
+        assert_eq!(reads.len(), 3);
+        assert_eq!(reads[0].value, Some(Value::from_i64(-1)));
+        assert_eq!(reads[1].value, None);
+        assert_eq!(reads[2].value, Some(Value::new(b"blob".to_vec())));
     }
 
     #[test]

@@ -117,7 +117,12 @@ impl EpochClient {
                 noauth_window: None,
                 in_flight: HashMap::new(),
                 visible: Timestamp::ZERO,
-                frontier: Timestamp::ZERO,
+                // Preloaded base rows install at `ZERO.succ()` before any
+                // traffic, settled and computed by construction, so the
+                // initial snapshot point must already cover them: a read
+                // racing cluster startup sees the loaded state, not an
+                // empty database.
+                frontier: Timestamp::ZERO.succ(),
                 oracle: TimestampOracle::new(server),
                 shutdown: false,
             }),
@@ -350,6 +355,23 @@ impl EpochClient {
         self.state.lock().frontier
     }
 
+    /// A snapshot timestamp for an externally-consistent read-only
+    /// transaction, available immediately — no waiting out the epoch.
+    ///
+    /// The absorbed compute frontier is always a valid read point: every
+    /// version at or below it is settled (its epoch completed cluster-wide)
+    /// *and* computed on every server, so a read at this timestamp observes
+    /// an immutable, fully-materialized prefix of the serial history. The
+    /// frontier is monotone across grants, so successive snapshots from one
+    /// client never travel backwards in time.
+    ///
+    /// Unlike [`EpochClient::assign_read_timestamp`], this never blocks and
+    /// never consumes an oracle slot; unlike [`EpochClient::visible_bound`],
+    /// reads at this point need no fallback to the functor-computing path.
+    pub fn snapshot_timestamp(&self) -> Timestamp {
+        self.state.lock().frontier
+    }
+
     /// Blocks until the visibility bound reaches `ts` — i.e. until the epoch
     /// that contains `ts` has completed (§III-B latest-version reads).
     ///
@@ -358,6 +380,43 @@ impl EpochClient {
         let mut state = self.state.lock();
         loop {
             if state.visible >= ts {
+                return true;
+            }
+            if state.shutdown {
+                return false;
+            }
+            if self.wait(&mut state, deadline) {
+                return false;
+            }
+        }
+    }
+
+    /// Raises the absorbed compute frontier to at least `ts` (monotone, like
+    /// grant absorption). For state known settled *and* computed by
+    /// out-of-band means — a whole-cluster checkpoint restore installs
+    /// materialized values at timestamps no grant of the new cluster will
+    /// ever cover, and snapshot reads must see them immediately.
+    pub fn absorb_frontier(&self, ts: Timestamp) {
+        let mut state = self.state.lock();
+        if ts > state.frontier {
+            state.frontier = ts;
+            drop(state);
+            self.changed.notify_all();
+        }
+    }
+
+    /// Blocks until the absorbed compute frontier reaches `ts` — i.e. until
+    /// every functor at or below `ts` has been computed cluster-wide.
+    /// Stronger than [`EpochClient::wait_visible`]: a settled epoch may
+    /// still hold uncomputed functors whose §IV-E deferred writes have not
+    /// landed yet, so a snapshot read flooring above the frontier must wait
+    /// for the frontier itself, not mere visibility.
+    ///
+    /// Returns `false` on shutdown or deadline.
+    pub fn wait_frontier(&self, ts: Timestamp, deadline: Option<Instant>) -> bool {
+        let mut state = self.state.lock();
+        loop {
+            if state.frontier >= ts {
                 return true;
             }
             if state.shutdown {
@@ -436,7 +495,7 @@ mod tests {
     #[test]
     fn frontier_advances_monotonically_with_grants() {
         let (client, _clock) = client_with_clock(false);
-        assert_eq!(client.frontier(), Timestamp::ZERO);
+        assert_eq!(client.frontier(), Timestamp::ZERO.succ());
         let mut g = grant(2, 200, 300, Timestamp::from_raw(500));
         g.frontier = Timestamp::from_raw(90);
         client.on_grant(g);
@@ -449,6 +508,28 @@ mod tests {
         assert!(
             client.frontier() <= client.visible_bound(),
             "frontier trails the settled bound"
+        );
+    }
+
+    #[test]
+    fn snapshot_timestamp_tracks_frontier_without_blocking() {
+        let (client, _clock) = client_with_clock(false);
+        // Available immediately, before any grant: the initial snapshot
+        // point covers exactly the preloaded base rows (version 1).
+        assert_eq!(client.snapshot_timestamp(), Timestamp::ZERO.succ());
+        let mut g = grant(1, 0, 100, Timestamp::from_raw(300));
+        g.frontier = Timestamp::from_raw(120);
+        client.on_grant(g);
+        assert_eq!(client.snapshot_timestamp(), Timestamp::from_raw(120));
+        // Monotone: a reordered grant with a lower frontier never regresses
+        // the snapshot point, so session reads never travel backwards.
+        let mut stale = grant(2, 100, 200, Timestamp::from_raw(300));
+        stale.frontier = Timestamp::from_raw(50);
+        client.on_grant(stale);
+        assert_eq!(client.snapshot_timestamp(), Timestamp::from_raw(120));
+        assert!(
+            client.snapshot_timestamp() <= client.visible_bound(),
+            "snapshot point only covers settled history"
         );
     }
 

@@ -171,6 +171,29 @@ impl ChainRead {
     }
 }
 
+/// Result of a frontier snapshot read (see [`VersionChain::snapshot_read`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotRead {
+    /// No version exists at or below the bound (never-written key, or the
+    /// whole prefix aborted).
+    Missing,
+    /// The newest non-aborted record at or below the bound: a committed
+    /// value or a tombstone.
+    Found(Timestamp, FinalForm),
+    /// A record at or below the bound has not been computed yet. Sound
+    /// snapshot bounds (at or below the cluster compute frontier) never see
+    /// this; a caller that does must take the computing read path instead.
+    Pending,
+    /// Compaction has folded the record that would have answered this read
+    /// (the bound's true floor was a committed version at or below the
+    /// compacted floor), so the read cannot be answered exactly. Carries
+    /// the oldest bound at which this chain answers exactly again (the
+    /// oldest surviving committed record); the caller must retry there or
+    /// above. Detected under the same lock as the read itself, so a fold
+    /// can never slip in between a floor check and the answer.
+    Folded(Timestamp),
+}
+
 /// Per-chain memory accounting (the `memory` stats subtree feeds from this).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ChainMem {
@@ -238,6 +261,25 @@ impl ChainInner {
                 }
             }
         }
+    }
+
+    /// The oldest bound a snapshot read answers exactly on a folded chain:
+    /// the oldest surviving committed record. Compaction always keeps the
+    /// fold's base, so a committed survivor exists whenever the compacted
+    /// floor is non-zero; the floor itself is the (conservative) fallback.
+    fn retry_floor(&self) -> Timestamp {
+        self.settled
+            .iter()
+            .find(|p| !p.form.is_aborted())
+            .map(|p| p.version)
+            .or_else(|| {
+                self.live
+                    .iter()
+                    .find(|r| r.final_form().is_some_and(|f| !f.is_aborted()))
+                    .map(|r| r.version())
+            })
+            .unwrap_or(self.compacted_floor)
+            .max(self.compacted_floor)
     }
 }
 
@@ -318,6 +360,48 @@ impl VersionChain {
     /// The latest record with version `<= bound`, if any (Alg 1 line 17).
     pub fn floor(&self, bound: Timestamp) -> Option<ChainRead> {
         self.inner.read().floor(bound)
+    }
+
+    /// Abort-skipping floor for the snapshot-read fast path: the newest
+    /// non-aborted final record at or below `bound`, resolved under a
+    /// *single* read-lock acquisition.
+    ///
+    /// Packed records answer with no per-record lock and no `Arc` clone
+    /// escaping; a still-live record contributes its final form in place.
+    /// When `bound` is at or below the cluster compute frontier every record
+    /// it can reach is final, so the whole aborted-skip walk completes
+    /// without computing, blocking, or re-locking between probes — which is
+    /// what makes the result a consistent point-in-time read even while
+    /// newer versions land in the live tail.
+    pub fn snapshot_read(&self, bound: Timestamp) -> SnapshotRead {
+        let inner = self.inner.read();
+        let mut cursor = bound;
+        loop {
+            let Some(read) = inner.floor(cursor) else {
+                // Nothing non-aborted at or below the cursor. That is a
+                // genuine miss only on a never-folded chain: folded records
+                // are all *committed*, so with a non-zero compacted floor
+                // the true floor was (or may have been) folded away and
+                // answering `Missing` would silently time-travel.
+                return if inner.compacted_floor > Timestamp::ZERO {
+                    SnapshotRead::Folded(inner.retry_floor())
+                } else {
+                    SnapshotRead::Missing
+                };
+            };
+            let (version, form) = match read {
+                ChainRead::Final(v, form) => (v, form),
+                ChainRead::Live(rec) => match rec.final_form() {
+                    Some(form) => (rec.version(), form),
+                    None => return SnapshotRead::Pending,
+                },
+            };
+            if form.is_aborted() {
+                cursor = version.pred();
+            } else {
+                return SnapshotRead::Found(version, form);
+            }
+        }
     }
 
     /// All records with versions in `[from, to]` that still need computing,
@@ -892,6 +976,52 @@ mod tests {
         ));
         // Late install after the pre-abort loses (first write wins).
         assert!(!chain.insert(ts(30), Functor::value_i64(9)));
+    }
+
+    #[test]
+    fn snapshot_read_skips_aborts_and_flags_pending() {
+        let chain = VersionChain::new();
+        chain.insert(ts(10), Functor::value_i64(1));
+        chain.insert(ts(20), Functor::Aborted);
+        chain.insert(ts(30), Functor::add(1)); // pending
+        assert_eq!(chain.snapshot_read(ts(5)), SnapshotRead::Missing);
+        // Aborted 20 is skipped in one lock acquisition.
+        match chain.snapshot_read(ts(25)) {
+            SnapshotRead::Found(v, form) => {
+                assert_eq!(v, ts(10));
+                assert_eq!(form.value().unwrap().as_i64(), Some(1));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+        // A bound covering the uncomputed record reports Pending.
+        assert_eq!(chain.snapshot_read(ts(35)), SnapshotRead::Pending);
+        // Packed section answers identically after compaction.
+        chain.advance_watermark(ts(20));
+        chain.compact(Timestamp::ZERO, usize::MAX);
+        match chain.snapshot_read(ts(25)) {
+            SnapshotRead::Found(v, _) => assert_eq!(v, ts(10)),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        // Tombstones read as Found(Deleted), not Missing.
+        chain.insert(ts(40), Functor::Deleted);
+        assert!(matches!(
+            chain.snapshot_read(ts(45)),
+            SnapshotRead::Found(v, FinalForm::Deleted) if v == ts(40)
+        ));
+        // Once compaction folds history past a bound, the read reports
+        // Folded carrying a retry bound instead of a stale answer — and at
+        // that retry bound the chain answers exactly again.
+        chain.advance_watermark(ts(40));
+        chain.compact(ts(40), 1);
+        assert!(chain.compacted_floor() > Timestamp::ZERO);
+        let SnapshotRead::Folded(retry) = chain.snapshot_read(ts(5)) else {
+            panic!("read below the fold must report Folded");
+        };
+        assert!(retry > chain.compacted_floor());
+        assert!(matches!(
+            chain.snapshot_read(retry),
+            SnapshotRead::Found(..)
+        ));
     }
 
     #[test]

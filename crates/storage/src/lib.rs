@@ -36,7 +36,7 @@ pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use chain::{ChainMem, ChainRead, FinalForm, Record, VersionChain};
+pub use chain::{ChainMem, ChainRead, FinalForm, Record, SnapshotRead, VersionChain};
 pub use durable::{DurabilityStats, DurableLog, DurableLogConfig, Fsync, LogDamage, RecoveredLog};
 pub use partition::{
     ComputeEnv, DependencyRules, LocalOnlyEnv, Partition, PartitionStats, PushCache,

@@ -127,6 +127,10 @@ struct PushCacheShard {
 #[derive(Debug)]
 pub struct PushCache {
     shards: Vec<PushCacheShard>,
+    /// Probes answered from the cache ([`PushCache::get`] returning `Some`).
+    hits: Counter,
+    /// Probes that fell through to a store or remote read.
+    misses: Counter,
 }
 
 impl Default for PushCache {
@@ -135,6 +139,8 @@ impl Default for PushCache {
             shards: (0..PUSH_CACHE_SHARDS)
                 .map(|_| PushCacheShard::default())
                 .collect(),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 }
@@ -164,14 +170,32 @@ impl PushCache {
     }
 
     /// Looks up a pushed value (non-consuming: several functors of the same
-    /// transaction on this partition may read the same source key).
+    /// transaction on this partition may read the same source key). Every
+    /// probe lands in the hit/miss counters, so the `memory` stats subtree
+    /// can report how often the cache short-circuits a read's first hop.
     pub fn get(&self, version: Timestamp, source: &Key) -> Option<VersionedRead> {
-        self.shard(source)
+        let found = self
+            .shard(source)
             .map
             .lock()
             .get(&version.raw())
             .and_then(|by_source| by_source.get(source))
-            .cloned()
+            .cloned();
+        match &found {
+            Some(_) => self.hits.incr(),
+            None => self.misses.incr(),
+        }
+        found
+    }
+
+    /// Probes answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Probes that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// Drops entries for versions below `bound`; called when history settles.

@@ -223,13 +223,20 @@ pub fn read_log(buf: &[u8]) -> impl Iterator<Item = Result<WalRecord>> + '_ {
 
 /// Replays a log into a partition, skipping records at or below
 /// `checkpoint` (already covered by the restored snapshot). Returns the
-/// number of records applied.
+/// number of records applied and the highest version applied
+/// ([`Timestamp::ZERO`] when the suffix was empty), so recovery can extend
+/// read visibility over the replayed state.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Codec`] on a corrupt log.
-pub fn replay_log(partition: &Partition, buf: &[u8], checkpoint: Timestamp) -> Result<usize> {
+pub fn replay_log(
+    partition: &Partition,
+    buf: &[u8],
+    checkpoint: Timestamp,
+) -> Result<(usize, Timestamp)> {
     let mut applied = 0;
+    let mut high = Timestamp::ZERO;
     for record in read_log(buf) {
         match record? {
             WalRecord::Install {
@@ -240,17 +247,19 @@ pub fn replay_log(partition: &Partition, buf: &[u8], checkpoint: Timestamp) -> R
                 if version > checkpoint {
                     partition.store().put(&key, version, functor);
                     applied += 1;
+                    high = high.max(version);
                 }
             }
             WalRecord::Abort { key, version } => {
                 if version > checkpoint {
                     partition.abort_version(&key, version);
                     applied += 1;
+                    high = high.max(version);
                 }
             }
         }
     }
-    Ok(applied)
+    Ok((applied, high))
 }
 
 /// Replays decoded records into a partition, skipping versions at or below
@@ -417,8 +426,9 @@ mod tests {
         // Recover: snapshot + replay of the suffix.
         let recovered = Partition::new(PartitionId(0), 1, registry);
         let at = crate::snapshot::restore_checkpoint(&recovered, &checkpoint_blob).unwrap();
-        let applied = replay_log(&recovered, &log, at).unwrap();
+        let (applied, high) = replay_log(&recovered, &log, at).unwrap();
         assert_eq!(applied, 3, "two post-checkpoint installs + one abort");
+        assert_eq!(high, ts(40), "highest replayed version is reported");
 
         let expected = primary.get(&key, Timestamp::MAX, &LocalOnlyEnv).unwrap();
         let got = recovered.get(&key, Timestamp::MAX, &LocalOnlyEnv).unwrap();

@@ -106,6 +106,96 @@ pub fn gen_txn_keys(rng: &mut SmallRng, cfg: &YcsbConfig) -> Vec<Key> {
     keys
 }
 
+/// A zipfian rank sampler over `0..n`, YCSB's request distribution
+/// (Gray et al.'s closed-form inverse, the same construction the YCSB
+/// client uses). Rank 0 is the hottest key.
+///
+/// # Examples
+///
+/// ```
+/// use aloha_workloads::ycsb::Zipf;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(10_000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// assert!(zipf.sample(&mut rng) < 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// A sampler over `0..n` with skew `theta` (YCSB default: 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 0` and `theta` is in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipf skew must be in (0, 1), got {theta}"
+        );
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = 1.0 + 1.0 / 2f64.powf(theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Draws one rank in `0..n`, hottest ranks most likely.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64) * (self.eta.mul_add(u, 1.0 - self.eta)).powf(self.alpha);
+        (rank as u64).min(self.n - 1)
+    }
+}
+
+/// Generates one transaction's key set with zipfian-ranked indices: the
+/// paper's transaction shape (`partitions_per_txn` distinct partitions, an
+/// equal share of distinct keys on each) but with every index drawn from
+/// `zipf` instead of the hot/cold split — the request distribution of the
+/// read-heavy YCSB mix.
+pub fn gen_zipf_keys(rng: &mut SmallRng, cfg: &YcsbConfig, zipf: &Zipf) -> Vec<Key> {
+    let touched = cfg.partitions_per_txn.min(cfg.partitions as usize);
+    let mut parts: Vec<u16> = Vec::with_capacity(touched);
+    while parts.len() < touched {
+        let p = rng.gen_range(0..cfg.partitions);
+        if !parts.contains(&p) {
+            parts.push(p);
+        }
+    }
+    let per_part = cfg.keys_per_txn / touched;
+    let mut keys = Vec::with_capacity(cfg.keys_per_txn);
+    for &p in &parts {
+        let mut used = std::collections::HashSet::new();
+        while used.len() < per_part {
+            let idx = (zipf.sample(rng) as u32) % cfg.keys_per_partition;
+            if used.insert(idx) {
+                keys.push(cfg.key(p, idx));
+            }
+        }
+    }
+    keys
+}
+
 /// Encodes a transaction's key set as program args (the format
 /// [`install_aloha`]'s program decodes). Public so multi-process drivers
 /// can submit the same transactions through a [`aloha_core::Node`].
@@ -351,6 +441,48 @@ mod tests {
     #[should_panic(expected = "contention index")]
     fn zero_contention_index_panics() {
         let _ = YcsbConfig::with_contention_index(2, 0.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_bounds() {
+        let zipf = Zipf::new(1_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..20_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!(rank < 1_000);
+            counts[rank as usize] += 1;
+        }
+        // Rank 0 must dominate: with theta 0.99 over 1k keys it draws
+        // roughly an eighth of all requests.
+        assert!(
+            counts[0] > 1_000,
+            "hottest rank undersampled: {}",
+            counts[0]
+        );
+        assert!(
+            counts[0] > 20 * counts[500].max(1),
+            "distribution not skewed: head {} vs median {}",
+            counts[0],
+            counts[500]
+        );
+    }
+
+    #[test]
+    fn zipf_keys_keep_the_paper_transaction_shape() {
+        let cfg = cfg();
+        let zipf = Zipf::new(cfg.keys_per_partition as u64, 0.99);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let keys = gen_zipf_keys(&mut rng, &cfg, &zipf);
+            assert_eq!(keys.len(), cfg.keys_per_txn);
+            let partitions: std::collections::HashSet<_> =
+                keys.iter().map(|k| k.partition(cfg.partitions)).collect();
+            assert_eq!(partitions.len(), cfg.partitions_per_txn);
+            // Keys are distinct within each partition.
+            let distinct: std::collections::HashSet<_> = keys.iter().collect();
+            assert_eq!(distinct.len(), keys.len());
+        }
     }
 
     #[test]

@@ -239,11 +239,18 @@ fn ycsb_increments_are_exact_on_both_systems() {
     for _ in 0..30 {
         handles.push(target.submit(&mut rng).unwrap());
     }
+    // The audit below reads through a *fresh* session handle, so it must
+    // carry the writers' observation across: without a floor, snapshot reads
+    // may legitimately serve from a compute frontier that predates the last
+    // waited commits (stale-but-consistent). `note_observed` pins the floor
+    // at the newest write so the audit is exact.
+    let observed = handles.iter().map(|h| h.timestamp()).max().unwrap();
     for h in handles {
         assert!(target.wait(h).unwrap());
     }
     let mut sum = 0i64;
     let db = cluster.database();
+    db.note_observed(observed);
     for p in 0..ycfg.partitions {
         let keys: Vec<_> = (0..ycfg.keys_per_partition)
             .map(|i| ycfg.key(p, i))

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use aloha_core::{Cluster, ClusterConfig, TxnOutcome};
+use aloha_core::{Cluster, ClusterConfig, Database, TxnOutcome};
 use aloha_workloads::tpcc::{self, gen, read_txns, DeliveryReq, TpccConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -20,8 +20,11 @@ fn build(cfg: &TpccConfig) -> Cluster {
     cluster
 }
 
-fn place_orders(cluster: &Cluster, cfg: &TpccConfig, count: usize, w: u32, d: u32) -> Vec<u32> {
-    let db = cluster.database();
+// Orders are placed through the caller's own database handle so the
+// caller's session floor covers the commits: reads issued afterwards
+// through the same handle are guaranteed to observe them, instead of a
+// stale-but-consistent snapshot from a fresh session.
+fn place_orders(db: &Database, cfg: &TpccConfig, count: usize, w: u32, d: u32) -> Vec<u32> {
     let mut rng = SmallRng::seed_from_u64(7);
     let mut customers = Vec::new();
     let mut handles = Vec::new();
@@ -44,8 +47,8 @@ fn order_status_finds_latest_order_of_customer() {
         .with_items(50)
         .with_customers(5);
     let cluster = build(&cfg);
-    let customers = place_orders(&cluster, &cfg, 8, 0, 0);
     let db = cluster.database();
+    let customers = place_orders(&db, &cfg, 8, 0, 0);
     let target = *customers.last().unwrap();
     let status = read_txns::order_status(&db, &cfg, 0, 0, target).unwrap();
     let order = status.last_order.expect("customer just ordered");
@@ -79,8 +82,8 @@ fn stock_level_counts_low_stock_items() {
         .with_items(40)
         .with_customers(5);
     let cluster = build(&cfg);
-    place_orders(&cluster, &cfg, 5, 0, 0);
     let db = cluster.database();
+    place_orders(&db, &cfg, 5, 0, 0);
     // Threshold above every possible quantity: everything ordered is "low".
     let all = read_txns::stock_level(&db, &cfg, 0, 0, 5, 1_000).unwrap();
     assert!(all > 0);
@@ -96,8 +99,8 @@ fn delivery_advances_cursor_and_credits_customer() {
         .with_items(50)
         .with_customers(5);
     let cluster = build(&cfg);
-    let customers = place_orders(&cluster, &cfg, 3, 0, 0);
     let db = cluster.database();
+    let customers = place_orders(&db, &cfg, 3, 0, 0);
 
     // Balance of the first order's customer before delivery.
     let first_customer = customers[0];
@@ -193,8 +196,8 @@ fn sequential_deliveries_drain_the_new_order_queue() {
         .with_items(40)
         .with_customers(4);
     let cluster = build(&cfg);
-    place_orders(&cluster, &cfg, 3, 0, 0);
     let db = cluster.database();
+    place_orders(&db, &cfg, 3, 0, 0);
     for _ in 0..3 {
         db.execute(read_txns::DELIVERY, DeliveryReq { w: 0, d: 0 }.encode())
             .unwrap()

@@ -23,7 +23,7 @@ use aloha_db::calvin::{
 use aloha_db::control::ControlConfig;
 use aloha_db::core_engine::{
     diff_states, fn_program, replay_history, BatchConfig, Cluster, ClusterConfig, CommitRecord,
-    DurableLogSpec, ProgramId, TxnPlan,
+    DurableLogSpec, ProgramId, TxnOutcome, TxnPlan,
 };
 use aloha_functor::{
     ComputeInput, Functor, HandlerId, HandlerOutput, HandlerRegistry, UserFunctor,
@@ -348,6 +348,318 @@ fn aloha_serializable_under_chaos_with_aggressive_compaction() {
             Err(msg) => panic!("aggressive-compaction run: {msg}"),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot reads under chaos: read-only transactions ride the version-chain
+// fast path (no epoch wait) while writers, the fault layer and the partition
+// window keep disrupting the run. Every observed snapshot must be an
+// *externally consistent cut* of the serial order: it equals the replayed
+// state after some commit-timestamp prefix of the history, and that prefix
+// covers the reader's own latest committed write (read-your-writes).
+// ---------------------------------------------------------------------
+
+/// Seeds for the snapshot-read chaos sweep: the default sweep plus the
+/// batched extra, so the fast path sees at least four fault schedules.
+fn snapshot_seeds() -> Vec<u64> {
+    let mut swept = seeds();
+    if std::env::var("CHAOS_SEED").is_err() {
+        swept.extend(BATCHED_EXTRA_SEEDS);
+    }
+    swept
+}
+
+fn aloha_snapshot_chaos_run(
+    seed: u64,
+    tune: impl FnOnce(ClusterConfig) -> ClusterConfig,
+) -> Result<StatsSnapshot, String> {
+    const KEYS: usize = 12;
+    const THREADS: usize = 2;
+    const TXNS_PER_THREAD: usize = 60;
+
+    let plan = fault_plan(seed);
+    let config = ClusterConfig::new(3)
+        .with_epoch_duration(Duration::from_millis(2))
+        .with_net(NetConfig::instant().with_fault(plan.clone()))
+        .with_rpc_timeout(Duration::from_millis(25))
+        .with_history();
+    let mut builder = Cluster::builder(tune(config));
+    builder.register_handler(H_AFFINE, affine_handler);
+    builder.register_program(
+        AFFINE,
+        fn_program(|ctx| {
+            let (dst, src, _) = decode_affine(ctx.args);
+            let mut handler_args = src.as_bytes().to_vec();
+            handler_args.extend_from_slice(&ctx.args[ctx.args.len() - 8..]);
+            Ok(TxnPlan::new().write(
+                dst,
+                Functor::User(UserFunctor::new(H_AFFINE, vec![src], handler_args)),
+            ))
+        }),
+    );
+    let cluster = builder.start().unwrap();
+    let db = cluster.database();
+    let key_list: Vec<Key> = (0..KEYS).map(key).collect();
+
+    // Every observed snapshot, tagged with the reader's own commit it must
+    // cover: (own committed timestamp, full-keyspace values).
+    let observed: Mutex<Vec<(Timestamp, Vec<Option<i64>>)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let db = db.clone();
+            let key_list = &key_list;
+            let observed = &observed;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
+                for i in 0..TXNS_PER_THREAD {
+                    let dst = key(rng.gen_range(0..KEYS));
+                    let src = key(rng.gen_range(0..KEYS));
+                    let c: i64 = rng.gen_range(-100..=100);
+                    // Failures are tolerated: the partition window can shed
+                    // a write or time a read out; the checker only judges
+                    // what was actually observed.
+                    let Ok(h) = db.execute(AFFINE, encode_affine(&dst, &src, c)) else {
+                        continue;
+                    };
+                    if i % 3 == 0 {
+                        // Read-your-writes probe: commit, then snapshot-read
+                        // the whole key space through the same session.
+                        if matches!(h.wait_processed(), Ok(TxnOutcome::Committed)) {
+                            let ts = h.timestamp();
+                            if let Ok(values) = db.read_latest(key_list) {
+                                let vals =
+                                    values.iter().map(|v| v.as_ref().and_then(Value::as_i64));
+                                observed.lock().unwrap().push((ts, vals.collect()));
+                            }
+                        }
+                    } else {
+                        let _ = h.wait_processed();
+                        if i % 8 == 0 {
+                            std::thread::sleep(Duration::from_millis(3));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let injected = injected_faults(&cluster.snapshot());
+    assert!(
+        injected > 0,
+        "fault layer injected nothing under seed {seed} with {plan}"
+    );
+
+    let final_snapshot = cluster.snapshot();
+    let mut records = cluster
+        .history()
+        .expect("history recording enabled")
+        .snapshot();
+    records.sort_by_key(|r| r.ts);
+    let finals = db
+        .read_latest(&key_list)
+        .map_err(|e| format!("final read failed under seed {seed} with {plan}: {e}"))?;
+    let actual: HashMap<Key, Option<Value>> = key_list.iter().cloned().zip(finals).collect();
+    cluster.shutdown();
+
+    // Serializability of the writes, exactly as the plain chaos run checks.
+    let mut handlers = HandlerRegistry::new();
+    handlers.register(H_AFFINE, affine_handler);
+    let expected = replay_history(&records, &handlers)
+        .map_err(|e| format!("replay failed under seed {seed} with {plan}: {e}"))?;
+    let divergences = diff_states(&expected, &actual);
+    if !divergences.is_empty() {
+        return Err(failure_report("ALOHA", seed, &plan, &divergences));
+    }
+
+    // External consistency of the snapshot reads. The serial order is the
+    // commit-timestamp order, so the only legal snapshots are the states
+    // after each prefix of the history; enumerate them all.
+    let prefixes: Vec<Vec<Option<i64>>> = (0..=records.len())
+        .map(|i| {
+            let state = replay_history(&records[..i], &handlers)
+                .map_err(|e| format!("prefix replay failed under seed {seed}: {e}"))?;
+            Ok(key_list
+                .iter()
+                .map(|k| state.get(k).and_then(Value::as_i64))
+                .collect())
+        })
+        .collect::<Result<_, String>>()?;
+    let observed = observed.into_inner().unwrap();
+    assert!(
+        !observed.is_empty(),
+        "no snapshot read survived the chaos under seed {seed} with {plan}"
+    );
+    for (own_ts, snapshot) in &observed {
+        // The reader had already observed its own commit at `own_ts`, so
+        // only prefixes covering that commit are externally consistent.
+        let idx_own = records.partition_point(|r| r.ts <= *own_ts);
+        let matched = (idx_own..=records.len()).any(|i| &prefixes[i] == snapshot);
+        if !matched {
+            let torn = prefixes.iter().any(|p| p == snapshot);
+            return Err(format!(
+                "{} under seed {seed} with {plan}: a reader that committed at \
+                 {own_ts:?} observed {snapshot:?}",
+                if torn {
+                    "snapshot read lost the reader's own write"
+                } else {
+                    "snapshot read observed a torn state (no prefix of the \
+                     serial order matches)"
+                }
+            ));
+        }
+    }
+    Ok(final_snapshot)
+}
+
+#[test]
+fn serializable_under_chaos_with_snapshot_reads() {
+    for seed in snapshot_seeds() {
+        if let Err(msg) = aloha_snapshot_chaos_run(seed, |c| c) {
+            panic!("snapshot-read run: {msg}");
+        }
+        if let Err(msg) = calvin_snapshot_chaos_run(seed) {
+            panic!("snapshot-read calvin run: {msg}");
+        }
+    }
+}
+
+/// Snapshot reads against the most aggressive retention the compactor
+/// offers (`keep_versions = 1`, swept every 2 ms): the folded-retry
+/// protocol and the in-flight read registry must keep every observed
+/// snapshot exact while almost all settled history folds away under them.
+/// The run asserts the sweeper actually folded — otherwise nothing raced.
+#[test]
+fn aloha_snapshot_reads_consistent_under_aggressive_compaction() {
+    for seed in snapshot_seeds() {
+        match aloha_snapshot_chaos_run(seed, |c| c.with_compaction(Duration::from_millis(2), 1)) {
+            Ok(snapshot) => {
+                let folded = compacted_records(&snapshot);
+                assert!(
+                    folded > 0,
+                    "compaction-on snapshot-read run folded nothing under seed {seed}"
+                );
+            }
+            Err(msg) => panic!("aggressive-compaction snapshot-read run: {msg}"),
+        }
+    }
+}
+
+/// Calvin parity for the snapshot-read chaos sweep. Calvin's store is
+/// single-version, so its `Snapshot` read mode is documented best-effort:
+/// a multi-partition transaction mid-write-back may be observed half
+/// applied. The checker therefore validates a weaker, still falsifiable
+/// property: every observed value for a key must be one the deterministic
+/// schedule actually committed to that key (or the initial absence) — a
+/// phantom value would mean reads invent or corrupt data.
+fn calvin_snapshot_chaos_run(seed: u64) -> Result<(), String> {
+    const KEYS: usize = 12;
+    const THREADS: usize = 2;
+    const TXNS_PER_THREAD: usize = 30;
+
+    let plan = fault_plan(seed);
+    let calvin_config = CalvinConfig::new(3)
+        .with_batch_duration(Duration::from_millis(5))
+        .with_net(NetConfig::instant().with_fault(plan.clone()))
+        .with_history();
+    let mut builder = CalvinCluster::builder(calvin_config);
+    builder.register_program(
+        CALVIN_AFFINE,
+        calvin_program(
+            |args| {
+                let (dst, src, _) = decode_affine(args);
+                CalvinPlan {
+                    read_set: vec![src],
+                    write_set: vec![dst],
+                }
+            },
+            |args, reads, writes| {
+                let (dst, src, c) = decode_affine(args);
+                let v = reads
+                    .get(&src)
+                    .and_then(|v| v.as_ref())
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
+                writes.push((dst, Value::from_i64(v.wrapping_mul(2).wrapping_add(c))));
+            },
+        ),
+    );
+    let cluster = builder.start().unwrap();
+    let db = cluster.database();
+    let key_list: Vec<Key> = (0..KEYS).map(key).collect();
+    let observed: Mutex<Vec<Vec<Option<i64>>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let db = db.clone();
+            let key_list = &key_list;
+            let observed = &observed;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
+                for i in 0..TXNS_PER_THREAD {
+                    let dst = key(rng.gen_range(0..KEYS));
+                    let src = key(rng.gen_range(0..KEYS));
+                    let c: i64 = rng.gen_range(-100..=100);
+                    let h = db
+                        .execute(CALVIN_AFFINE, encode_affine(&dst, &src, c))
+                        .unwrap();
+                    if i % 3 == 0 {
+                        h.wait()
+                            .expect("calvin transaction must complete despite faults");
+                        if let Ok(values) = db.read_latest(key_list) {
+                            let vals = values.iter().map(|v| v.as_ref().and_then(Value::as_i64));
+                            observed.lock().unwrap().push(vals.collect());
+                        }
+                    } else {
+                        h.wait()
+                            .expect("calvin transaction must complete despite faults");
+                        if i % 8 == 0 {
+                            std::thread::sleep(Duration::from_millis(3));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let injected = injected_faults(&cluster.snapshot());
+    assert!(
+        injected > 0,
+        "fault layer injected nothing under seed {seed} with {plan}"
+    );
+
+    let schedule = cluster.history().expect("history recording enabled");
+    cluster.shutdown();
+
+    // Per-key committed value histories from the deterministic schedule.
+    let mut model: HashMap<Key, i64> = HashMap::new();
+    let mut legal: HashMap<Key, Vec<Option<i64>>> = HashMap::new();
+    for k in &key_list {
+        legal.insert(k.clone(), vec![None]);
+    }
+    for txn in &schedule {
+        let (dst, src, c) = decode_affine(&txn.args);
+        let v = model.get(&src).copied().unwrap_or(0);
+        let next = v.wrapping_mul(2).wrapping_add(c);
+        model.insert(dst.clone(), next);
+        legal.entry(dst).or_default().push(Some(next));
+    }
+    let observed = observed.into_inner().unwrap();
+    assert!(
+        !observed.is_empty(),
+        "no calvin read survived the chaos under seed {seed} with {plan}"
+    );
+    for snapshot in &observed {
+        for (k, got) in key_list.iter().zip(snapshot) {
+            if !legal[k].contains(got) {
+                return Err(format!(
+                    "Calvin read a phantom value under seed {seed} with {plan}: \
+                     key {k:?} observed {got:?}, never committed"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------

@@ -1,7 +1,7 @@
 //! End-to-end observability: a YCSB run on a 2-server cluster must produce
 //! a [`StatsSnapshot`] whose JSON export carries per-stage p50/p95/p99 for
-//! all six lifecycle stages — on both the ALOHA and Calvin engines, with
-//! the same schema.
+//! every lifecycle stage (including `snapshot_read`) — on both the ALOHA
+//! and Calvin engines, with the same schema.
 
 use std::time::Duration;
 
@@ -23,7 +23,7 @@ fn driver() -> DriverConfig {
     }
 }
 
-/// Exports, re-parses, and checks the six-stage schema on the root node.
+/// Exports, re-parses, and checks the full stage schema on the root node.
 fn assert_six_stage_schema(snapshot: &StatsSnapshot, engine: &str) {
     let text = snapshot.to_json().to_string();
     let parsed = StatsSnapshot::from_json_text(&text)
@@ -67,10 +67,18 @@ fn aloha_ycsb_snapshot_reports_all_six_stages() {
     ycsb::install_aloha(&mut builder);
     let cluster = builder.start().unwrap();
     ycsb::load_aloha(&cluster, &cfg);
-    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg);
+    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg.clone());
     cluster.reset_stats();
     let report = run_windowed(&target, &driver());
     assert!(report.committed > 0, "workload must commit transactions");
+    // A handful of snapshot reads populate the `snapshot_read` stage.
+    let db = cluster.database();
+    for idx in 0..4 {
+        let values = db
+            .read_latest(&[cfg.key(0, idx), cfg.key(1, idx)])
+            .expect("snapshot read succeeds");
+        assert_eq!(values.len(), 2);
+    }
 
     let snapshot = cluster.snapshot();
     assert_eq!(snapshot.name, "cluster");
@@ -100,13 +108,21 @@ fn aloha_batched_snapshot_adds_batch_metrics_to_net_node() {
     ycsb::install_aloha(&mut builder);
     let cluster = builder.start().unwrap();
     ycsb::load_aloha(&cluster, &cfg);
-    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg);
+    let target = ycsb::AlohaYcsb::new(cluster.database(), cfg.clone());
     cluster.reset_stats();
     let report = run_windowed(&target, &driver());
     assert!(
         report.committed > 0,
         "batched workload must commit transactions"
     );
+    // Snapshot reads must flow through the batched transport, too.
+    let db = cluster.database();
+    for idx in 0..4 {
+        let values = db
+            .read_latest(&[cfg.key(0, idx), cfg.key(1, idx)])
+            .expect("snapshot read succeeds");
+        assert_eq!(values.len(), 2);
+    }
 
     let snapshot = cluster.snapshot();
     assert_six_stage_schema(&snapshot, "aloha-batched");
@@ -150,10 +166,18 @@ fn calvin_ycsb_snapshot_reports_all_six_stages() {
     ycsb::install_calvin(&mut builder);
     let cluster = builder.start().unwrap();
     ycsb::load_calvin(&cluster, &cfg);
-    let target = ycsb::CalvinYcsb::new(cluster.database(), cfg);
+    let target = ycsb::CalvinYcsb::new(cluster.database(), cfg.clone());
     cluster.reset_stats();
     let report = run_windowed(&target, &driver());
     assert!(report.committed > 0, "workload must commit transactions");
+    // Calvin serves reads too; they populate the same `snapshot_read` stage.
+    let db = cluster.database();
+    for idx in 0..4 {
+        let values = db
+            .read_latest(&[cfg.key(0, idx), cfg.key(1, idx)])
+            .expect("read succeeds");
+        assert_eq!(values.len(), 2);
+    }
 
     let snapshot = cluster.snapshot();
     assert_eq!(snapshot.name, "calvin");

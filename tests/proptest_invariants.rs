@@ -9,7 +9,7 @@ use aloha_common::{Key, PartitionId, ServerId, Timestamp, Value};
 use aloha_epoch::TimestampOracle;
 use aloha_functor::{builtin, Functor, HandlerRegistry};
 use aloha_net::{Addr, Bus, DelayLine, FaultPlan, LinkFault, NetConfig};
-use aloha_storage::{ChainRead, FinalForm, LocalOnlyEnv, Partition, VersionChain};
+use aloha_storage::{ChainRead, FinalForm, LocalOnlyEnv, Partition, SnapshotRead, VersionChain};
 use aloha_workloads::tpcc::{ItemRow, OrderLineRow, OrderRow, StockRow};
 use proptest::prelude::*;
 
@@ -122,6 +122,76 @@ proptest! {
                 chain.read_at(ts(*v)),
                 Some(ChainRead::Live(rec)) if rec.final_form().is_none()
             ));
+        }
+    }
+
+    /// The snapshot-read fast path never observes a *torn* multi-key
+    /// transaction. Every transaction writes all of its keys at one
+    /// timestamp, so a reader following the frontend's protocol — read every
+    /// key at one bound, lift the bound to the retry hint whenever any chain
+    /// answers `Folded` — must land on the same transaction on every key,
+    /// even when the keys live on partitions whose compaction sweeps run
+    /// with different horizons and retention depths.
+    #[test]
+    fn snapshot_reads_are_never_torn(
+        raw_txns in proptest::collection::vec((1u64..400, any::<bool>()), 1..60),
+        horizon_a in 0u64..500,
+        horizon_b in 0u64..500,
+        keep_a in 1usize..3,
+        keep_b in 1usize..3,
+        probes in proptest::collection::vec(0u64..500, 1..30),
+    ) {
+        let txns: BTreeMap<u64, bool> = raw_txns.into_iter().collect();
+        let (a, b) = (VersionChain::new(), VersionChain::new());
+        for (i, (v, abort)) in txns.iter().enumerate() {
+            let f = if *abort { Functor::Aborted } else { Functor::value_i64(i as i64) };
+            a.insert(ts(*v), f.clone());
+            b.insert(ts(*v), f);
+        }
+        let top = *txns.keys().next_back().unwrap();
+        a.advance_watermark(ts(top));
+        b.advance_watermark(ts(top));
+        // Divergent per-partition compaction: different horizons and depths.
+        a.compact(ts(horizon_a), keep_a);
+        b.compact(ts(horizon_b), keep_b);
+        // The committed history both keys share: version -> transaction id.
+        let committed: BTreeMap<u64, i64> = txns.iter().enumerate()
+            .filter(|(_, (_, abort))| !**abort)
+            .map(|(i, (v, _))| (*v, i as i64))
+            .collect();
+        for probe in &probes {
+            let mut bound = ts(*probe);
+            let mut answer = None;
+            // The frontend's folded-retry loop (RPC_ATTEMPTS-bounded there).
+            for _ in 0..8 {
+                match (a.snapshot_read(bound), b.snapshot_read(bound)) {
+                    (SnapshotRead::Folded(r), _) | (_, SnapshotRead::Folded(r)) => {
+                        prop_assert!(r > Timestamp::ZERO, "retry hint must name a bound");
+                        prop_assert!(r > bound, "retry hint must make progress");
+                        bound = r;
+                    }
+                    pair => { answer = Some(pair); break; }
+                }
+            }
+            prop_assert!(answer.is_some(), "folded-retry did not converge");
+            let expected = committed.range(..=bound.raw()).next_back();
+            match answer.unwrap() {
+                (SnapshotRead::Found(va, fa), SnapshotRead::Found(vb, fb)) => {
+                    prop_assert_eq!(va, vb, "torn read: keys from different transactions");
+                    let (ev, et) = expected.expect("model has a committed floor");
+                    prop_assert_eq!(va, ts(*ev));
+                    for form in [fa, fb] {
+                        match form {
+                            FinalForm::Value(x) => prop_assert_eq!(x.as_i64(), Some(*et)),
+                            other => prop_assert!(false, "unexpected form {:?}", other),
+                        }
+                    }
+                }
+                (SnapshotRead::Missing, SnapshotRead::Missing) => {
+                    prop_assert!(expected.is_none(), "both chains lost committed history");
+                }
+                pair => prop_assert!(false, "torn or pending snapshot read: {:?}", pair),
+            }
         }
     }
 
