@@ -1,0 +1,210 @@
+//! Replication ablation: what hot-partition log shipping costs, and what it
+//! buys when the primary dies.
+//!
+//! Three variants run the same closed-loop YCSB sweep over a disk-backed
+//! cluster while a killer thread repeatedly takes one backend down:
+//!
+//! * `off` — no replica set: every kill recovers via restart-from-WAL
+//!   (checkpoint + suffix replay), the paper's baseline fault path;
+//! * `budget1` — partial replication with the victim pinned: each kill
+//!   promotes the standby at the epoch boundary inside `kill_server`;
+//! * `all` — every partition holds a standby (the replicate-everything
+//!   upper bound on shipping overhead).
+//!
+//! Each row reports throughput/latency under the kill storm, the shipping
+//! bandwidth overhead (`ship_kb`), and the downtime distribution measured
+//! wall-clock from kill to serving-again — the JSON carries them in a
+//! `failover_bench` subtree, so CI can assert failover ≪ restart.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use aloha_bench::{BenchOpts, BenchReport};
+use aloha_common::stats::StatsSnapshot;
+use aloha_common::tempdir::TempDir;
+use aloha_common::ServerId;
+use aloha_core::{Cluster, ClusterConfig, DurableLogSpec, PartialReplicationSpec};
+use aloha_storage::Fsync;
+use aloha_workloads::driver::run_windowed;
+use aloha_workloads::ycsb::{self, YcsbConfig};
+
+const EPOCH: Duration = Duration::from_millis(5);
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Off,
+    Budget1,
+    All,
+}
+
+impl Variant {
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Off => "off",
+            Variant::Budget1 => "budget1",
+            Variant::All => "all",
+        }
+    }
+
+    fn configure(self, config: ClusterConfig, servers: u16, victim: ServerId) -> ClusterConfig {
+        let cadence = Duration::from_millis(25);
+        match self {
+            Variant::Off => config,
+            Variant::Budget1 => config.with_partial_replication_spec(
+                PartialReplicationSpec::new(1)
+                    .with_pinned(vec![victim.0])
+                    .with_rebalance_interval(cadence),
+            ),
+            Variant::All => config.with_partial_replication_spec(
+                PartialReplicationSpec::new(servers as usize).with_rebalance_interval(cadence),
+            ),
+        }
+    }
+}
+
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    match sorted.len() {
+        0 => Duration::ZERO,
+        n => sorted[(n - 1) * pct / 100],
+    }
+}
+
+/// Lifetime bytes standbys applied — the bandwidth the shipping protocol
+/// added. Cumulative across promotions (per-feed counters die with each
+/// promoted server).
+fn ship_bytes(snapshot: &StatsSnapshot) -> u64 {
+    snapshot
+        .child("replication")
+        .and_then(|r| r.counter("applied_bytes_total"))
+        .unwrap_or(0)
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let servers = opts.servers().max(2);
+    let victim = ServerId(servers - 1);
+    let cfg = YcsbConfig::with_contention_index(servers, 0.01).with_keys_per_partition(10_000);
+    let (threads, window) = (4usize, 16usize);
+
+    println!("# Ablation: partial replication / failover, {servers} servers, victim s{victim}");
+    println!("variant,threads,window,tput_ktps,mean_ms,p99_ms,ship_kb,kills,failovers,restarts,down_p50_ms,down_p99_ms");
+    let mut report = BenchReport::new(
+        "ablation_replication",
+        servers,
+        opts.duration().as_secs_f64(),
+    );
+    for variant in [Variant::Off, Variant::Budget1, Variant::All] {
+        let name = variant.name();
+        let dir = TempDir::new("ablation-replication");
+        // Every variant pays the same disk WAL (buffered, no background
+        // checkpointer) so `off` recovers through the honest restart-from-WAL
+        // path — full replay — while promotion never touches the log.
+        let config = variant.configure(
+            ClusterConfig::new(servers)
+                .with_epoch_duration(EPOCH)
+                .with_processors(2)
+                // Windows stranded mid-kill must fail fast (they count as
+                // errors), not park for the default 30s RPC timeout.
+                .with_rpc_timeout(Duration::from_millis(10))
+                .with_durable_log(DurableLogSpec::new(dir.path()).with_fsync(Fsync::Never)),
+            servers,
+            victim,
+        );
+        let mut builder = Cluster::builder(config);
+        ycsb::install_aloha(&mut builder);
+        let cluster = builder.start().expect("start cluster");
+        ycsb::load_aloha(&cluster, &cfg);
+        let target = ycsb::AlohaYcsb::new(cluster.database(), cfg.clone());
+        cluster.reset_stats();
+
+        let replicated = !matches!(variant, Variant::Off);
+        let stop = AtomicBool::new(false);
+        let downtimes: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+        let run = std::thread::scope(|scope| {
+            let cluster = &cluster;
+            let stop = &stop;
+            let downtimes = &downtimes;
+            let pause = (opts.duration() / 6).max(Duration::from_millis(20));
+            let killer = scope.spawn(move || {
+                loop {
+                    std::thread::sleep(pause);
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if replicated {
+                        // Each kill consumes the standby; wait for the
+                        // controller to attach a fresh one before the next.
+                        let deadline = Instant::now() + Duration::from_secs(2);
+                        while !cluster.replicated_partitions().contains(&victim)
+                            && Instant::now() < deadline
+                        {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        if !cluster.replicated_partitions().contains(&victim) {
+                            continue;
+                        }
+                    }
+                    // Downtime comes from the availability stats' internal
+                    // clock (kill start → promotion/restart), not this
+                    // thread's wall clock: under a saturated closed loop the
+                    // killer thread's own scheduling latency would otherwise
+                    // inflate every sample.
+                    let before = cluster.availability().downtime_micros(victim.0);
+                    if cluster.kill_server(victim).is_err() {
+                        continue;
+                    }
+                    if !replicated {
+                        cluster.restart_server(victim).expect("restart victim");
+                    }
+                    let after = cluster.availability().downtime_micros(victim.0);
+                    downtimes
+                        .lock()
+                        .unwrap()
+                        .push(Duration::from_micros(after - before));
+                }
+            });
+            let run = run_windowed(&target, &opts.driver(threads, window));
+            stop.store(true, Ordering::Relaxed);
+            killer.join().expect("killer thread");
+            run
+        });
+
+        let mut snapshot = cluster.snapshot();
+        let shipped = ship_bytes(&snapshot);
+        let (kills, failovers, restarts) = (
+            cluster.availability().kills(),
+            cluster.availability().failovers(),
+            cluster.availability().restarts(),
+        );
+        let mut ds = downtimes.into_inner().expect("downtime samples");
+        ds.sort();
+        let (p50, p99) = (percentile(&ds, 50), percentile(&ds, 99));
+        let mut fb = StatsSnapshot::new("failover_bench");
+        fb.set_counter("kills", kills);
+        fb.set_counter("failovers", failovers);
+        fb.set_counter("restarts", restarts);
+        fb.set_counter("ship_bytes", shipped);
+        fb.set_counter("downtime_p50_micros", p50.as_micros() as u64);
+        fb.set_counter("downtime_p99_micros", p99.as_micros() as u64);
+        snapshot.push_child(fb);
+        let result = aloha_bench::RunResult::from_parts(&run, snapshot);
+        cluster.shutdown();
+        println!(
+            "{name},{threads},{window},{:.2},{:.2},{:.2},{},{},{},{},{:.3},{:.3}",
+            result.tput_ktps,
+            result.mean_latency_ms,
+            result.p99_latency_ms,
+            shipped / 1024,
+            kills,
+            failovers,
+            restarts,
+            p50.as_secs_f64() * 1_000.0,
+            p99.as_secs_f64() * 1_000.0,
+        );
+        report.push(format!("{name},{threads},{window}"), result);
+    }
+    report
+        .emit(&opts)
+        .expect("write ablation_replication report");
+}

@@ -644,6 +644,17 @@ impl CalvinCluster {
         Ok(())
     }
 
+    /// Whether this engine supports hot-standby partial replication with
+    /// epoch-boundary failover. Always `false`: Calvin has no epoch barrier
+    /// to cut a consistent promotion point on, and its deterministic
+    /// scheduler would need the standby to join mid-round — the only
+    /// supported recovery is [`CalvinCluster::restart_server`] replaying the
+    /// durable log (the restart path the ALOHA engine keeps as its fallback
+    /// for *un*-replicated partitions).
+    pub fn supports_partial_replication(&self) -> bool {
+        false
+    }
+
     /// Rebuilds a killed server from its durable log: restores the newest
     /// checkpoint, replays the Put suffix, resumes the sequencer at the
     /// highest persisted round + 1, and re-broadcasts the recovered seal

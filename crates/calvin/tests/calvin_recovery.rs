@@ -247,3 +247,33 @@ fn kill_and_restart_argument_errors() {
     ));
     cluster.shutdown();
 }
+
+#[test]
+fn partial_replication_is_not_supported_restart_is_the_only_path() {
+    // The ALOHA engine's hot-standby failover has no Calvin counterpart:
+    // the baseline advertises that, and a killed server really does stay
+    // down until the durable-log restart brings it back.
+    let dir = TempDir::new("calvin-no-partial-replication");
+    let mut builder = CalvinCluster::builder(durable_config(2, &dir));
+    builder.register_program(ProgramId(1), increment_program());
+    let cluster = builder.start().unwrap();
+    assert!(!cluster.supports_partial_replication());
+
+    let key = keys_on_partition(1, 2, 1).remove(0);
+    let db = cluster.database();
+    db.execute_wait(ProgramId(1), key.as_bytes().to_vec())
+        .unwrap();
+    cluster.kill_server(ServerId(1)).unwrap();
+    // No standby, no promotion: the slot stays down (killing it again
+    // reports "already down") until the durable-log restart.
+    assert!(matches!(
+        cluster.kill_server(ServerId(1)),
+        Err(aloha_common::Error::Config(_))
+    ));
+    cluster.restart_server(ServerId(1)).unwrap();
+    assert_eq!(
+        cluster.read(&key),
+        Some(Value::from(1u64.to_be_bytes().as_slice()))
+    );
+    cluster.shutdown();
+}

@@ -23,9 +23,12 @@ use aloha_storage::{DurableLog, DurableLogConfig, Fsync, LogDamage, Partition, R
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 
+use aloha_replica::{AvailabilityStats, HotnessPolicy, PartitionSignal};
+
 use crate::checker::History;
 use crate::msg::ServerMsg;
 use crate::program::{ProgramId, ProgramRegistry, TxnProgram};
+use crate::replication::{PartialReplicationSpec, ReplicaSet};
 use crate::server::{
     run_dispatcher, run_processor, MemWal, QueueEntry, Server, TxnHandle, TxnOutcome, WalSink,
 };
@@ -88,6 +91,11 @@ pub struct ClusterConfig {
     /// acknowledging it (§III-A replication, tolerating a single crash).
     /// Off by default, as in the paper's experiments.
     pub replicated: bool,
+    /// Partial replication: keep log-shipped standbys for up to `budget`
+    /// hot partitions and promote one at an epoch boundary when its primary
+    /// is killed (see [`ClusterConfig::with_partial_replication`]). `None`
+    /// (the default) leaves every partition on the restart-from-WAL path.
+    pub partial_replication: Option<PartialReplicationSpec>,
     /// How long one attempt of an internal RPC waits before the requester
     /// retransmits (idempotent requests) or gives up. Keep well above the
     /// simulated network latency; lower it (e.g. to a few ms) under fault
@@ -271,6 +279,7 @@ impl ClusterConfig {
             durable: false,
             durable_log: None,
             replicated: false,
+            partial_replication: None,
             rpc_timeout: Duration::from_secs(30),
             record_history: false,
             batch: None,
@@ -372,20 +381,31 @@ impl ClusterConfig {
         self
     }
 
-    /// Enables synchronous primary-backup replication of installs.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use the spec-style `with_ring_replication()` instead of the boolean toggle"
-    )]
-    pub fn with_replication(mut self, replicated: bool) -> ClusterConfig {
-        self.replicated = replicated;
-        self
-    }
-
     /// Mirrors every install to the next server in the ring before
     /// acknowledging it (§III-A replication, tolerating a single crash).
     pub fn with_ring_replication(mut self) -> ClusterConfig {
         self.replicated = true;
+        self
+    }
+
+    /// Enables partial replication with the given standby budget: the
+    /// hotness controller keeps log-shipped standbys for up to `budget`
+    /// partitions (ranked by PushCache hit rate and install backlog), and
+    /// [`Cluster::kill_server`] promotes a replicated partition's standby
+    /// at the next epoch boundary instead of leaving the slot down.
+    /// Partitions without a standby keep the restart-from-WAL path.
+    ///
+    /// Shipping reuses the write-ahead log's frames, so a cluster with
+    /// partial replication and no WAL configured gets the in-memory WAL
+    /// enabled automatically at start.
+    pub fn with_partial_replication(self, budget: usize) -> ClusterConfig {
+        self.with_partial_replication_spec(PartialReplicationSpec::new(budget))
+    }
+
+    /// Enables partial replication with full control over the spec
+    /// (rebalance cadence, hysteresis margin, pinned partitions).
+    pub fn with_partial_replication_spec(mut self, spec: PartialReplicationSpec) -> ClusterConfig {
+        self.partial_replication = Some(spec);
         self
     }
 
@@ -503,7 +523,15 @@ impl ClusterBuilder {
     /// Returns [`Error::Config`] for invalid configurations, [`Error::Io`]
     /// when the durable log cannot be opened or is damaged beyond a torn
     /// tail.
-    pub fn start(self) -> Result<Cluster> {
+    pub fn start(mut self) -> Result<Cluster> {
+        // Log shipping rides the WAL's frames: partial replication without
+        // any WAL configured silently gets the in-memory flavor.
+        if self.config.partial_replication.is_some()
+            && !self.config.durable
+            && self.config.durable_log.is_none()
+        {
+            self.config.durable = true;
+        }
         let n = self.config.servers;
         if n == 0 {
             return Err(Error::Config("cluster needs at least one server".into()));
@@ -732,6 +760,110 @@ impl ClusterBuilder {
             );
         }
 
+        let availability = Arc::new(AvailabilityStats::new());
+        let replicas = match rebuild.config.partial_replication.clone() {
+            Some(spec) => {
+                // Standby partitions carry the same handlers and dependency
+                // rules as the primaries they mirror.
+                let factory_handlers = Arc::clone(&rebuild.handlers);
+                let factory_rules = rebuild.dependency_rules.clone();
+                let factory = Box::new(move |i: u16| {
+                    let partition = Arc::new(Partition::new(
+                        PartitionId(i),
+                        n,
+                        Arc::clone(&factory_handlers),
+                    ));
+                    for rule in &factory_rules {
+                        let rule = Arc::clone(rule);
+                        partition.add_dependency_rule(move |k| rule(k));
+                    }
+                    partition
+                });
+                let rs = Arc::new(ReplicaSet::new(
+                    Arc::clone(&net),
+                    spec.clone(),
+                    factory,
+                    epoch_duration,
+                ));
+                // Initial attachments: pinned partitions, plus everything
+                // when the budget covers the whole cluster (replicate-all).
+                let mut initial: Vec<u16> = spec.pinned.clone();
+                if spec.budget >= n as usize {
+                    initial = (0..n).collect();
+                }
+                initial.sort_unstable();
+                initial.dedup();
+                for i in initial {
+                    if (i as usize) < servers.len() {
+                        rs.attach(&servers.get(i as usize))?;
+                    }
+                }
+                // The hotness controller: every rebalance interval, rank the
+                // live partitions by PushCache hit rate and install backlog
+                // and move free-budget standbys toward the hottest ones.
+                // Pinned partitions sit outside the ranking entirely.
+                let ctl_rs = Arc::clone(&rs);
+                let ctl_servers = Arc::clone(&servers);
+                let stop = Arc::clone(&aux_stop);
+                let pinned: std::collections::BTreeSet<u16> = spec.pinned.iter().copied().collect();
+                aux_threads.push(
+                    std::thread::Builder::new()
+                        .name("replica-controller".into())
+                        .spawn(move || {
+                            while !stop.load(Ordering::SeqCst) {
+                                std::thread::sleep(spec.rebalance_interval);
+                                if stop.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                // A promotion consumes its standby; pinned
+                                // partitions get a fresh one attached on the
+                                // next tick (the promoted incumbent ships
+                                // like any other primary).
+                                for id in &pinned {
+                                    let server = ctl_servers.get(*id as usize);
+                                    if !server.is_shutdown() && !ctl_rs.attached_ids().contains(id)
+                                    {
+                                        let _ = ctl_rs.attach(&server);
+                                    }
+                                }
+                                let policy = ctl_rs.policy();
+                                let mut signals = Vec::new();
+                                for server in ctl_servers.all() {
+                                    if server.is_shutdown() || pinned.contains(&server.id().0) {
+                                        continue;
+                                    }
+                                    let cache = server.partition().push_cache();
+                                    signals.push(PartitionSignal {
+                                        id: server.id().0,
+                                        cache_hits: cache.hits(),
+                                        cache_misses: cache.misses(),
+                                        backlog: server.backlog_len(),
+                                    });
+                                }
+                                let incumbents: std::collections::BTreeSet<u16> =
+                                    ctl_rs.attached_ids().difference(&pinned).copied().collect();
+                                let desired = policy.desired(&incumbents, &signals);
+                                for id in incumbents.difference(&desired) {
+                                    let server = ctl_servers.get(*id as usize);
+                                    if !server.is_shutdown() {
+                                        ctl_rs.detach(&server);
+                                    }
+                                }
+                                for id in desired.difference(&incumbents) {
+                                    let server = ctl_servers.get(*id as usize);
+                                    if !server.is_shutdown() {
+                                        let _ = ctl_rs.attach(&server);
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn replica controller"),
+                );
+                Some(rs)
+            }
+            None => None,
+        };
+
         Ok(Cluster {
             servers,
             em: Some(em),
@@ -744,6 +876,8 @@ impl ClusterBuilder {
             history,
             gates,
             pacer_gauges,
+            replicas,
+            availability,
             rebuild,
         })
     }
@@ -978,6 +1112,52 @@ fn build_server(
     Ok((server, threads, report))
 }
 
+/// Builds the promoted incumbent of a failed-over partition: like
+/// [`build_server`], but *over the caught-up standby partition* instead of
+/// replaying the durable log into a fresh one — that is the entire point of
+/// the standby. A fresh WAL sink is still opened so the promoted server
+/// keeps logging (and shipping, should a new standby attach later); the
+/// recovered state a disk log reports is deliberately ignored, because the
+/// standby already covers everything the victim ever logged.
+fn build_promoted_server(
+    ctx: &RebuildCtx,
+    id: ServerId,
+    net: &Arc<dyn Transport<ServerMsg>>,
+    batcher: &Option<Batcher<ServerMsg>>,
+    history: &Option<Arc<History>>,
+    partition: Arc<Partition>,
+) -> Result<(Arc<Server>, Vec<std::thread::JoinHandle<()>>)> {
+    let (wal, _recovered) = ctx.wal_for(id.0)?;
+    let epoch = Arc::new(EpochClient::new(
+        id,
+        ctx.clock_for(id.0),
+        ctx.config.allow_noauth,
+    ));
+    let exec = Executor::new(format!("exec-s{}", id.0), ctx.config.exec.clone());
+    let (server, queue_rx) = Server::new(
+        id,
+        ctx.config.servers,
+        partition,
+        epoch,
+        Arc::clone(net),
+        batcher.clone(),
+        exec,
+        Arc::clone(&ctx.programs),
+        wal,
+        ctx.config.replicated,
+        ctx.config.rpc_timeout,
+        history.clone(),
+    );
+    let endpoint = net.register(Addr::Server(id));
+    let threads = spawn_server_threads(
+        &server,
+        endpoint,
+        queue_rx,
+        ctx.config.processors_per_server,
+    );
+    Ok((server, threads))
+}
+
 /// Spawns one server's dispatcher and processor threads.
 pub(crate) fn spawn_server_threads(
     server: &Arc<Server>,
@@ -1046,6 +1226,12 @@ pub struct Cluster {
     /// Live pacer state exported on the `control` snapshot node (`Some`
     /// exactly when a control plane is configured).
     pacer_gauges: Option<Arc<PacerGauges>>,
+    /// The standby set and its controller state (`Some` exactly when
+    /// [`ClusterConfig::with_partial_replication`] is configured).
+    replicas: Option<Arc<ReplicaSet>>,
+    /// Downtime/failover/restart accounting across kills (always present;
+    /// exported as the `availability` stats subtree).
+    availability: Arc<AvailabilityStats>,
     /// Builder inputs retained for single-server restarts.
     rebuild: RebuildCtx,
 }
@@ -1179,7 +1365,53 @@ impl Cluster {
         if let Some(control) = self.control_snapshot() {
             root.push_child(control);
         }
+        root.push_child(self.hotness_snapshot());
+        root.push_child(self.availability.snapshot());
+        if let Some(rs) = &self.replicas {
+            let mut replication = rs.snapshot();
+            for id in rs.attached_ids() {
+                let server = self.servers.get(id as usize);
+                replication.push_child(server.ship_feed().snapshot(format!("feed_s{id}")));
+            }
+            root.push_child(replication);
+        }
         root
+    }
+
+    /// The `hotness` node of the stats tree: per-partition PushCache hit
+    /// rate, install backlog and pressure rank — the signals the partial-
+    /// replication controller ranks with, exported even when no controller
+    /// runs.
+    fn hotness_snapshot(&self) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new("hotness");
+        let mut signals = Vec::new();
+        for server in self.servers.all() {
+            if server.is_shutdown() {
+                continue;
+            }
+            let cache = server.partition().push_cache();
+            signals.push(PartitionSignal {
+                id: server.id().0,
+                cache_hits: cache.hits(),
+                cache_misses: cache.misses(),
+                backlog: server.backlog_len(),
+            });
+        }
+        let replicated = self
+            .replicas
+            .as_ref()
+            .map(|rs| rs.attached_ids())
+            .unwrap_or_default();
+        for score in HotnessPolicy::new(0).rank(&signals) {
+            let mut p = StatsSnapshot::new(format!("p{}", score.id));
+            p.set_gauge("hit_rate_pct", score.hit_rate_pct);
+            p.set_gauge("backlog", score.backlog);
+            p.set_gauge("score", score.score);
+            p.set_gauge("rank", score.rank as u64);
+            p.set_gauge("replicated", u64::from(replicated.contains(&score.id)));
+            node.push_child(p);
+        }
+        node
     }
 
     /// The `control` node of the stats tree: pacer gauges at the top plus
@@ -1215,6 +1447,60 @@ impl Cluster {
     /// The per-FE admission gates, when the control plane enables gating.
     pub fn gates(&self) -> Option<&[Arc<AdmissionGate>]> {
         self.gates.as_deref().map(Vec::as_slice)
+    }
+
+    /// Attaches a log-shipping standby to one partition online (normally the
+    /// hotness controller's job; exposed for tests and operators). Returns
+    /// `false` when one was already attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] without partial replication configured, or
+    /// when the server is down; propagates checkpoint failures.
+    pub fn attach_standby(&self, id: ServerId) -> Result<bool> {
+        let i = id.index();
+        if i >= self.servers.len() {
+            return Err(Error::NoSuchPartition(PartitionId(id.0)));
+        }
+        let rs = self
+            .replicas
+            .as_ref()
+            .ok_or_else(|| Error::Config("partial replication is not configured".into()))?;
+        rs.attach(&self.servers.get(i))
+    }
+
+    /// Detaches one partition's standby, discarding its state. Returns
+    /// `false` when none was attached (or partial replication is off).
+    pub fn detach_standby(&self, id: ServerId) -> bool {
+        let i = id.index();
+        if i >= self.servers.len() {
+            return false;
+        }
+        self.replicas
+            .as_ref()
+            .is_some_and(|rs| rs.detach(&self.servers.get(i)))
+    }
+
+    /// Partitions that currently hold a standby.
+    pub fn replicated_partitions(&self) -> Vec<ServerId> {
+        self.replicas
+            .as_ref()
+            .map(|rs| rs.attached_ids().into_iter().map(ServerId).collect())
+            .unwrap_or_default()
+    }
+
+    /// One partition's replicated watermark: the standby covers every record
+    /// its primary logged at or below this timestamp. `None` without an
+    /// attached standby.
+    pub fn standby_watermark(&self, id: ServerId) -> Option<Timestamp> {
+        self.replicas.as_ref()?.watermark(id.0)
+    }
+
+    /// The downtime/failover/restart accounting across
+    /// [`Cluster::kill_server`] / [`Cluster::restart_server`] cycles (also
+    /// exported as the `availability` subtree of [`Cluster::snapshot`]).
+    pub fn availability(&self) -> &AvailabilityStats {
+        &self.availability
     }
 
     /// Resets every server's statistics (benchmark warm-up boundary).
@@ -1294,13 +1580,22 @@ impl Cluster {
     /// Kills one backend in place: marks it shut down, stops its dispatcher
     /// and processors, drains its executor and closes its durable log. The
     /// rest of the cluster keeps serving — in-flight cross-partition RPCs
-    /// toward the victim fail over to retransmission and land once
-    /// [`Cluster::restart_server`] brings the slot back.
+    /// toward the victim fail over to retransmission.
+    ///
+    /// With partial replication configured and a standby attached to the
+    /// victim's partition, the kill flows straight into **failover**: the
+    /// standby is caught up (flush barrier + the victim's undrained feed
+    /// buffer), a promoted server is built over its partition and swapped
+    /// into the slot, and the fresh epoch client answers the epoch
+    /// manager's retransmitted revoke — the partition re-joins at the next
+    /// epoch boundary without any WAL replay. Partitions without a standby
+    /// stay down until [`Cluster::restart_server`] replays the durable log.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] if the server is already down,
-    /// [`Error::NoSuchPartition`] for an out-of-range id.
+    /// [`Error::NoSuchPartition`] for an out-of-range id; promotion
+    /// propagates WAL-reopen failures.
     pub fn kill_server(&self, id: ServerId) -> Result<()> {
         let i = id.index();
         if i >= self.servers.len() {
@@ -1310,6 +1605,7 @@ impl Cluster {
         if server.is_shutdown() {
             return Err(Error::Config(format!("server {} is already down", id.0)));
         }
+        self.availability.note_down(id.0);
         server.mark_shutdown();
         // The shutdown message must go out while the endpoint is still
         // registered; deregistering first would error the reliable send and
@@ -1329,6 +1625,32 @@ impl Cluster {
         server.exec().shutdown();
         if let Some(log) = server.durable_log() {
             log.close();
+        }
+        // Failover: with every victim thread joined nothing pushes into the
+        // ship feed anymore, so the standby can be caught up exactly.
+        if let Some(standby) = self
+            .replicas
+            .as_ref()
+            .and_then(|rs| rs.promote_take(&server))
+        {
+            let watermark = standby.watermark();
+            let (promoted, threads) = build_promoted_server(
+                &self.rebuild,
+                id,
+                &self.net,
+                &self.batcher,
+                &self.history,
+                Arc::clone(standby.partition()),
+            )?;
+            // Shipped records re-enter the store uncomputed; `Server::new`
+            // re-buffered them for the processors, and covering them with
+            // the compute frontier is sound for the same reason it is after
+            // `replay_wals`: a snapshot read landing on a pending record
+            // falls back to the computing read path.
+            promoted.epoch().absorb_frontier(watermark);
+            self.server_threads.lock()[i] = threads;
+            self.servers.set(i, promoted);
+            self.availability.note_failover(id.0);
         }
         Ok(())
     }
@@ -1360,6 +1682,7 @@ impl Cluster {
             build_server(&self.rebuild, id, &self.net, &self.batcher, &self.history)?;
         self.server_threads.lock()[i] = threads;
         self.servers.set(i, server);
+        self.availability.note_restart(id.0);
         Ok(report)
     }
 
@@ -1382,13 +1705,31 @@ impl Cluster {
         }
         let target = self.servers.get(lost.index());
         let mut applied = 0;
+        let mut highest = Timestamp::ZERO;
         for (key, version, functor) in records {
             if functor == aloha_functor::Functor::Aborted {
                 target.partition().abort_version(&key, version);
             } else {
                 target.partition().store().put(&key, version, functor);
             }
+            highest = highest.max(version);
             applied += 1;
+        }
+        // The puts bypassed `install_batch`, so the rebuilt records are
+        // invisible to the target's compute frontier until re-buffered —
+        // without this, frontier snapshot reads would serve the floor
+        // *below* the still-pending rebuilt functors. Then block until the
+        // redistributed frontier covers the rebuilt history on every server:
+        // the next grant releases the re-buffered entries, the processors
+        // settle them, and once each front-end's absorbed frontier passes
+        // `highest` the rebuilt records are visible to snapshot reads
+        // through any node.
+        target.reseed_uncomputed();
+        if applied > 0 {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            for server in self.servers.all() {
+                server.epoch().wait_frontier(highest, Some(deadline));
+            }
         }
         Ok(applied)
     }
@@ -1512,6 +1853,10 @@ impl Cluster {
         }
         for t in self.aux_threads.drain(..) {
             let _ = t.join();
+        }
+        // The controller is gone; stop the standby runners it managed.
+        if let Some(rs) = &self.replicas {
+            rs.shutdown_all();
         }
         // With every dispatcher gone nothing submits anymore; drain the
         // executors' accepted work and join their pooled workers. Done

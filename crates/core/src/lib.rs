@@ -46,6 +46,7 @@ pub mod cluster;
 pub mod msg;
 pub mod node;
 pub mod program;
+pub mod replication;
 pub mod server;
 pub mod wire;
 
@@ -62,5 +63,6 @@ pub use program::{
     fn_program, Check, ProgramId, ProgramRegistry, SnapshotReader, TransformCtx, TxnPlan,
     TxnProgram, Write,
 };
+pub use replication::PartialReplicationSpec;
 pub use server::{Server, ServerStats, TxnHandle, TxnOutcome};
 pub use wire::ServerMsgCodec;

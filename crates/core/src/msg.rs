@@ -180,6 +180,25 @@ pub enum ServerMsg {
         /// Replication ack.
         reply: ReplySlot<()>,
     },
+    /// Primary → standby: partial-replication log shipping. One epoch's WAL
+    /// group commit — the exact `(version, encoded frame)` payloads the
+    /// durable log just committed — stamped with the cumulative replicated
+    /// watermark the standby covers once it applies them. Sent on the
+    /// transport's reliable lane just *before* the epoch's `RevokedAck`, so
+    /// a settled epoch implies its frames reached the standby's queue. An
+    /// empty frame list is a flush barrier: the reply alone is wanted (the
+    /// promotion path uses it to wait out the standby's apply queue).
+    ShipBatch {
+        /// The primary partition being replicated.
+        from: aloha_common::PartitionId,
+        /// Replicated watermark after this batch applies.
+        watermark: Timestamp,
+        /// `(version, encoded WAL frame)` in log order, shared so a
+        /// fault-layer duplicate references the same allocation.
+        frames: Arc<Vec<(u64, Vec<u8>)>>,
+        /// The standby's post-apply watermark (the replication ack).
+        reply: ReplySlot<Timestamp>,
+    },
     /// Batch envelope produced by the [`aloha_net::Batcher`]: several
     /// messages coalesced toward one destination. The dispatcher unpacks it
     /// in order; the fault layer drops/duplicates/reorders whole envelopes,
@@ -248,6 +267,9 @@ impl ServerMsg {
                     .iter()
                     .map(|(k, _, f)| k.len() + functor_bytes(f))
                     .sum(),
+                ServerMsg::ShipBatch { frames, .. } => {
+                    frames.iter().map(|(_, f)| f.len() + 8).sum()
+                }
                 ServerMsg::Batch(msgs) => msgs.iter().map(ServerMsg::approx_bytes).sum(),
                 ServerMsg::Grant(_)
                 | ServerMsg::Revoke(_)

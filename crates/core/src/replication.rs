@@ -1,0 +1,372 @@
+//! Partial replication: hot-partition standbys fed by WAL log shipping,
+//! promoted at an epoch boundary when their primary dies.
+//!
+//! The engine-independent pieces (ship buffer, standby applier, hotness
+//! policy, availability accounting) live in [`aloha_replica`]; this module
+//! wires them to the cluster's [`Transport`] and [`crate::server::Server`]s:
+//!
+//! * **Shipping.** While a partition has a standby attached, its server's
+//!   [`aloha_replica::ShipFeed`] buffers every encoded WAL frame the durable
+//!   log accepts. `Server::commit_wal` — the epoch group commit that runs
+//!   just before the `RevokedAck` — drains the buffer and sends it as one
+//!   [`ServerMsg::ShipBatch`] on the transport's reliable lane to
+//!   [`Addr::Replica`]. A settled epoch therefore implies its frames
+//!   reached the standby's queue, the invariant promotion rests on.
+//! * **Standby.** Each attached partition gets a dedicated applier thread
+//!   ([`run_standby`]) draining `Addr::Replica(id)`: it replays the frames
+//!   through the same idempotent WAL codec recovery uses and acks the
+//!   replicated watermark back to the primary's feed.
+//! * **Attach/detach.** The hotness controller (or a test) attaches and
+//!   detaches standbys online. Attach activates the feed *first*, then
+//!   bootstraps the standby from a checkpoint plus a full WAL snapshot, so
+//!   every record is covered by at least one of {checkpoint, WAL snapshot,
+//!   shipped frames}; all three apply idempotently (first-write-wins).
+//! * **Promotion.** [`ReplicaSet::promote_take`] runs after the victim's
+//!   threads are joined: a flush barrier (an empty `ShipBatch`, FIFO behind
+//!   every real batch) waits out the standby's queue, the victim's leftover
+//!   feed buffer is applied directly, and the caught-up standby partition is
+//!   handed back to the cluster to build the promoted server over.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aloha_common::{Error, PartitionId, Result, ServerId, Timestamp};
+use aloha_net::{reply_pair, Addr, Endpoint, Transport};
+use aloha_replica::{HotnessPolicy, Standby};
+use aloha_storage::Partition;
+use parking_lot::Mutex;
+
+use aloha_common::metrics::Counter;
+use aloha_common::stats::StatsSnapshot;
+
+use crate::msg::ServerMsg;
+use crate::server::Server;
+
+/// Partial-replication knobs (see
+/// [`crate::ClusterConfig::with_partial_replication`]).
+///
+/// # Examples
+///
+/// ```
+/// use aloha_core::PartialReplicationSpec;
+///
+/// let spec = PartialReplicationSpec::new(2).with_pinned(vec![0]);
+/// assert_eq!(spec.budget, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartialReplicationSpec {
+    /// Maximum number of partitions with a standby at any time.
+    pub budget: usize,
+    /// How often the hotness controller re-ranks partitions and rebalances
+    /// standby attachments.
+    pub rebalance_interval: Duration,
+    /// Hysteresis margin (percent) a challenger must beat the weakest
+    /// incumbent by before the controller swaps standbys (see
+    /// [`HotnessPolicy::with_margin_pct`]).
+    pub margin_pct: u64,
+    /// Partitions that always hold a standby (attached at start, never
+    /// detached by the controller). Each pin consumes one budget slot.
+    pub pinned: Vec<u16>,
+}
+
+impl PartialReplicationSpec {
+    /// A spec with the given standby budget: 50 ms rebalance cadence, 20 %
+    /// swap hysteresis, nothing pinned.
+    pub fn new(budget: usize) -> PartialReplicationSpec {
+        PartialReplicationSpec {
+            budget,
+            rebalance_interval: Duration::from_millis(50),
+            margin_pct: 20,
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Overrides the controller's rebalance cadence.
+    #[must_use]
+    pub fn with_rebalance_interval(mut self, interval: Duration) -> PartialReplicationSpec {
+        self.rebalance_interval = interval;
+        self
+    }
+
+    /// Overrides the swap hysteresis margin.
+    #[must_use]
+    pub fn with_margin_pct(mut self, pct: u64) -> PartialReplicationSpec {
+        self.margin_pct = pct;
+        self
+    }
+
+    /// Pins partitions that must always be replicated.
+    #[must_use]
+    pub fn with_pinned(mut self, pinned: Vec<u16>) -> PartialReplicationSpec {
+        self.pinned = pinned;
+        self
+    }
+}
+
+/// One attached standby: the applier state plus its runner thread.
+struct StandbyEntry {
+    standby: Arc<Standby>,
+    runner: std::thread::JoinHandle<()>,
+}
+
+/// The live standby set for one cluster: attach/detach/promote operations
+/// plus the counters the `replication` stats subtree exports.
+///
+/// All operations serialize on the internal map lock; they are rare (the
+/// controller's cadence) and each one must see the previous one's endpoint
+/// registration state.
+pub(crate) struct ReplicaSet {
+    net: Arc<dyn Transport<ServerMsg>>,
+    spec: PartialReplicationSpec,
+    /// Builds a fresh partition for a standby (same handlers and dependency
+    /// rules as the primaries).
+    partition_factory: Box<dyn Fn(u16) -> Arc<Partition> + Send + Sync>,
+    /// The cluster's epoch duration, used to size attach-time barriers.
+    epoch_duration: Duration,
+    standbys: Mutex<BTreeMap<u16, StandbyEntry>>,
+    attaches: Counter,
+    detaches: Counter,
+    promotions: Counter,
+    /// Shipped bytes/records applied by standbys that have since been
+    /// consumed (promoted or detached) — their own counters die with them,
+    /// so the cumulative bandwidth totals live here.
+    retired_bytes: Counter,
+    retired_records: Counter,
+}
+
+impl ReplicaSet {
+    pub(crate) fn new(
+        net: Arc<dyn Transport<ServerMsg>>,
+        spec: PartialReplicationSpec,
+        partition_factory: Box<dyn Fn(u16) -> Arc<Partition> + Send + Sync>,
+        epoch_duration: Duration,
+    ) -> ReplicaSet {
+        ReplicaSet {
+            net,
+            spec,
+            partition_factory,
+            epoch_duration,
+            standbys: Mutex::new(BTreeMap::new()),
+            attaches: Counter::new(),
+            detaches: Counter::new(),
+            promotions: Counter::new(),
+            retired_bytes: Counter::new(),
+            retired_records: Counter::new(),
+        }
+    }
+
+    fn retire(&self, standby: &Standby) {
+        self.retired_bytes.add(standby.applied_bytes());
+        self.retired_records.add(standby.applied_records());
+    }
+
+    /// The hotness policy the controller ranks with: pinned partitions
+    /// consume budget slots up front.
+    pub(crate) fn policy(&self) -> HotnessPolicy {
+        let free = self.spec.budget.saturating_sub(self.spec.pinned.len());
+        HotnessPolicy::new(free).with_margin_pct(self.spec.margin_pct)
+    }
+
+    pub(crate) fn attached_ids(&self) -> BTreeSet<u16> {
+        self.standbys.lock().keys().copied().collect()
+    }
+
+    pub(crate) fn watermark(&self, id: u16) -> Option<Timestamp> {
+        self.standbys.lock().get(&id).map(|e| e.standby.watermark())
+    }
+
+    /// Attaches a standby to `server`'s partition online. Returns `false`
+    /// when one is already attached (idempotent).
+    ///
+    /// Ordering is what makes the catch-up airtight: the feed activates
+    /// *before* the checkpoint and WAL snapshot are taken, so a record
+    /// logged at any moment is inside the checkpoint (≤ its cut), inside
+    /// the WAL snapshot (logged before the snapshot), or buffered in the
+    /// feed (logged after activation) — and every path applies
+    /// idempotently.
+    pub(crate) fn attach(&self, server: &Arc<Server>) -> Result<bool> {
+        let mut standbys = self.standbys.lock();
+        let id = server.id();
+        if standbys.contains_key(&id.0) {
+            return Ok(false);
+        }
+        if server.is_shutdown() {
+            return Err(Error::Config(format!(
+                "cannot attach a standby to down server {}",
+                id.0
+            )));
+        }
+        let endpoint = self.net.register(Addr::Replica(id));
+        let partition = (self.partition_factory)(id.0);
+        let standby = Arc::new(Standby::new(partition));
+        let runner_standby = Arc::clone(&standby);
+        let runner = std::thread::Builder::new()
+            .name(format!("standby-s{}", id.0))
+            .spawn(move || run_standby(runner_standby, endpoint))
+            .expect("spawn standby runner");
+        server.ship_feed().activate();
+        let catch_up = || -> Result<()> {
+            // Cosmetic epoch-boundary alignment: let the current epoch
+            // settle so the checkpoint cut lands on a boundary. Correctness
+            // does not depend on the wait succeeding.
+            let bound0 = server.epoch().visible_bound();
+            let deadline =
+                Instant::now() + (self.epoch_duration * 4).max(Duration::from_millis(20));
+            let _ = server.epoch().wait_visible(bound0.succ(), Some(deadline));
+            let at = server.epoch().visible_bound();
+            let blob = server.write_checkpoint(at)?;
+            let wal = server.wal_snapshot();
+            standby.bootstrap(&blob)?;
+            standby.apply_wal_snapshot(at, &wal)?;
+            Ok(())
+        };
+        if let Err(e) = catch_up() {
+            server.ship_feed().deactivate();
+            let _ = self
+                .net
+                .send_reliable(Addr::Replica(id), ServerMsg::Shutdown);
+            self.net.deregister(Addr::Replica(id));
+            let _ = runner.join();
+            return Err(e);
+        }
+        standbys.insert(id.0, StandbyEntry { standby, runner });
+        self.attaches.incr();
+        Ok(true)
+    }
+
+    /// Detaches `server`'s standby and discards its state. Returns `false`
+    /// when none was attached.
+    pub(crate) fn detach(&self, server: &Arc<Server>) -> bool {
+        let mut standbys = self.standbys.lock();
+        let id = server.id();
+        let Some(entry) = standbys.remove(&id.0) else {
+            return false;
+        };
+        server.ship_feed().deactivate();
+        self.stop_runner(id, entry.runner);
+        self.retire(&entry.standby);
+        self.detaches.incr();
+        true
+    }
+
+    /// Takes the standby of a just-killed primary for promotion, caught up
+    /// to everything the victim ever logged. Must run after the victim's
+    /// dispatcher, processors and executor have stopped (nothing pushes into
+    /// the feed anymore). Returns `None` when the partition had no standby
+    /// (the restart-from-WAL fallback applies).
+    pub(crate) fn promote_take(&self, victim: &Arc<Server>) -> Option<Arc<Standby>> {
+        let mut standbys = self.standbys.lock();
+        let id = victim.id();
+        let entry = standbys.remove(&id.0)?;
+        // Flush barrier: an empty ShipBatch queued behind every real batch
+        // (the endpoint is FIFO); its reply means the standby applied all
+        // frames shipped before the kill.
+        let (reply, handle) = reply_pair::<Timestamp>();
+        let feed = victim.ship_feed();
+        let barrier = ServerMsg::ShipBatch {
+            from: PartitionId(id.0),
+            watermark: feed.shipped_watermark(),
+            frames: Arc::new(Vec::new()),
+            reply,
+        };
+        if self.net.send_reliable(Addr::Replica(id), barrier).is_ok() {
+            let _ = handle.wait_timeout((self.epoch_duration * 8).max(Duration::from_secs(1)));
+        }
+        // Frames the victim logged but never drained (its final epoch never
+        // group-committed) — or drained and had refused by the transport —
+        // are still in the feed buffer. Apply them directly: together with
+        // the barrier this covers every frame the victim ever logged.
+        if let Some(batch) = feed.drain() {
+            let _ = entry.standby.apply_batch(batch.watermark, &batch.frames);
+        }
+        feed.deactivate();
+        self.stop_runner(id, entry.runner);
+        self.retire(&entry.standby);
+        self.promotions.incr();
+        Some(entry.standby)
+    }
+
+    /// Stops every standby runner (cluster shutdown).
+    pub(crate) fn shutdown_all(&self) {
+        let mut standbys = self.standbys.lock();
+        let entries: Vec<(u16, StandbyEntry)> =
+            std::mem::take(&mut *standbys).into_iter().collect();
+        for (id, entry) in entries {
+            self.stop_runner(ServerId(id), entry.runner);
+        }
+    }
+
+    fn stop_runner(&self, id: ServerId, runner: std::thread::JoinHandle<()>) {
+        // The shutdown message must go out while the endpoint is still
+        // registered (same dance as a server kill); deregistering also
+        // disconnects the endpoint, so the runner exits either way.
+        let _ = self
+            .net
+            .send_reliable(Addr::Replica(id), ServerMsg::Shutdown);
+        self.net.deregister(Addr::Replica(id));
+        let _ = runner.join();
+    }
+
+    /// The `replication` node of the cluster stats tree.
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new("replication");
+        node.set_gauge("budget", self.spec.budget as u64);
+        node.set_gauge("attached", self.standbys.lock().len() as u64);
+        node.set_counter("attaches", self.attaches.get());
+        node.set_counter("detaches", self.detaches.get());
+        node.set_counter("promotions", self.promotions.get());
+        // Lifetime bandwidth totals: live standbys plus everything consumed
+        // standbys applied before promotion/detach retired them.
+        let (mut bytes, mut records) = (self.retired_bytes.get(), self.retired_records.get());
+        for entry in self.standbys.lock().values() {
+            bytes += entry.standby.applied_bytes();
+            records += entry.standby.applied_records();
+        }
+        node.set_counter("applied_bytes_total", bytes);
+        node.set_counter("applied_records_total", records);
+        for (id, entry) in self.standbys.lock().iter() {
+            node.push_child(entry.standby.snapshot(format!("standby_s{id}")));
+        }
+        node
+    }
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("budget", &self.spec.budget)
+            .field("attached", &self.standbys.lock().len())
+            .finish()
+    }
+}
+
+/// The standby applier loop: drains `Addr::Replica(id)`, applies each
+/// shipped batch through the idempotent WAL replay path and acks the
+/// standby's post-apply watermark back to the primary's feed.
+fn run_standby(standby: Arc<Standby>, endpoint: Endpoint<ServerMsg>) {
+    loop {
+        let msg = match endpoint.recv() {
+            Ok(msg) => msg,
+            Err(_) => break, // endpoint deregistered
+        };
+        match msg {
+            ServerMsg::ShipBatch {
+                watermark,
+                frames,
+                reply,
+                ..
+            } => {
+                // Malformed frames abort the whole batch without advancing
+                // the watermark: the ack honestly reports how far the
+                // standby actually covers.
+                let _ = standby.apply_batch(watermark, &frames);
+                reply.send(standby.watermark());
+            }
+            ServerMsg::Shutdown => break,
+            // Stray traffic (e.g. a fault-layer duplicate routed oddly) is
+            // dropped; the standby only speaks the shipping protocol.
+            _ => {}
+        }
+    }
+}

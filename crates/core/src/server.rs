@@ -16,9 +16,10 @@ use aloha_control::Permit;
 use aloha_epoch::{EpochClient, Grant, RevokedAck};
 use aloha_functor::{Functor, VersionedRead};
 use aloha_net::{reply_pair, Addr, Batcher, Endpoint, Executor, ReplyHandle, ReplySlot, Transport};
+use aloha_replica::ShipFeed;
 use aloha_storage::{
-    ChainRead, ComputeEnv, DurableLog, FinalForm, Partition, SnapshotRead as ChainSnapshot,
-    WalRecord,
+    read_log, ChainRead, ComputeEnv, DurableLog, FinalForm, Partition,
+    SnapshotRead as ChainSnapshot, WalRecord,
 };
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
@@ -207,6 +208,12 @@ pub struct Server {
     /// *predecessor* server's partition (`None` when replication is off or
     /// the cluster has one server).
     replica: Option<ReplicaStore>,
+    /// Partial-replication shipping tap: while a standby is attached the
+    /// feed buffers a copy of every WAL frame this server logs, and
+    /// [`Server::commit_wal`] drains them into one `ShipBatch` per epoch —
+    /// *before* the revoke ack, so settled epochs are always covered by the
+    /// standby's queue. Costs one relaxed load per record when inactive.
+    ship: Arc<ShipFeed>,
     /// Cluster-shared commit history for the serializability checker
     /// (`None` unless history recording is enabled).
     history: Option<Arc<History>>,
@@ -391,6 +398,18 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// How one drained ship-buffer frame leaves the epoch group commit (see
+/// [`Server::settle_frame`]).
+enum ShipFrame {
+    /// Already final — ship the original bytes.
+    AsIs,
+    /// Resolved: ship re-encoded with the record's final form.
+    Settled(Vec<u8>),
+    /// Still uncomputed (a later epoch's frame racing into this drain) —
+    /// requeue for the next drain.
+    Hold,
+}
+
 impl Server {
     /// Creates a server; the caller spawns its dispatcher and processor
     /// threads. Returns the server and the processor queue's receive side.
@@ -448,6 +467,7 @@ impl Server {
             rpc_timeout,
             wal,
             replica: (replicated && total_servers > 1).then(ReplicaStore::default),
+            ship: Arc::new(ShipFeed::new()),
             history,
         });
         (server, queue_rx)
@@ -1186,6 +1206,20 @@ impl Server {
             if sink.log_installs(version, writes).is_err() {
                 return InstallOutcome::CheckFailed("wal closed during shutdown".into());
             }
+            // Partial replication: mirror the logged frames into the ship
+            // buffer (drained toward the standby at the epoch group commit).
+            if self.ship.is_active() {
+                for w in writes {
+                    let mut buf = Vec::new();
+                    WalRecord::Install {
+                        key: w.key.clone(),
+                        version,
+                        functor: w.functor.clone(),
+                    }
+                    .encode_into(&mut buf);
+                    self.ship.push(version.raw(), buf);
+                }
+            }
         }
         let installed_at = Instant::now();
         let mut mirrored = Vec::new();
@@ -1267,6 +1301,15 @@ impl Server {
                 self.forward_abort_to_successor(key, version);
                 return;
             }
+            if self.ship.is_active() {
+                let mut buf = Vec::new();
+                WalRecord::Abort {
+                    key: key.clone(),
+                    version,
+                }
+                .encode_into(&mut buf);
+                self.ship.push(version.raw(), buf);
+            }
         }
         // Mirror the rollback as an ABORTED record (replays idempotently:
         // the backup's rebuild path force-aborts the version).
@@ -1310,10 +1353,119 @@ impl Server {
 
     /// Epoch group commit: makes the records accumulated this epoch durable
     /// (flush + policy fsync) before the epoch's completion is acknowledged.
+    ///
+    /// With a standby attached, the epoch's ship buffer is drained here too
+    /// — on the transport's reliable lane, and strictly before the caller
+    /// emits the `RevokedAck` — so "the epoch settled" implies "its frames
+    /// reached the standby's apply queue". That ordering is the heart of the
+    /// failover safety argument (DESIGN.md §14).
     pub(crate) fn commit_wal(&self) {
         if let Some(sink) = &self.wal {
             sink.commit();
         }
+        if let Some(batch) = self.ship.drain() {
+            // The epoch just settled, so every version it logged is final on
+            // this partition: ship the final forms instead of the original
+            // functors. The standby then holds settled values — promotion
+            // re-seeds only the unsettled mid-epoch tail into the pending
+            // set, not the entire shipped history, and never recomputes a
+            // user functor whose remote read-set may since have been
+            // compacted away on its owners. A frame that does NOT resolve
+            // belongs to a later, still-open epoch that raced into this
+            // drain; it is held back for that epoch's drain — shipping it
+            // raw would leave a record on the standby that no later batch
+            // ever settles, pinning its chain's watermark (and compaction)
+            // forever.
+            let mut frames = Vec::with_capacity(batch.frames.len());
+            let mut held = Vec::new();
+            for (version, buf) in batch.frames {
+                match self.settle_frame(&buf) {
+                    ShipFrame::AsIs => frames.push((version, buf)),
+                    ShipFrame::Settled(out) => frames.push((version, out)),
+                    ShipFrame::Hold => held.push((version, buf)),
+                }
+            }
+            if !held.is_empty() {
+                // Held frames are the buffer's newest; frames pushed after
+                // the drain are newer still, so front-requeue keeps order.
+                self.ship.requeue(held);
+            }
+            if frames.is_empty() {
+                return;
+            }
+            let feed = Arc::clone(&self.ship);
+            // The standby acks with its post-apply watermark; the primary
+            // only records it (shipping is asynchronous — durability is the
+            // WAL's job, the standby is for availability).
+            let reply = ReplySlot::from_fn(move |wm| feed.note_acked(wm));
+            let frames = Arc::new(frames);
+            if self
+                .net
+                .send_reliable(
+                    Addr::Replica(self.id),
+                    ServerMsg::ShipBatch {
+                        from: aloha_common::PartitionId(self.id.0),
+                        watermark: batch.watermark,
+                        frames: Arc::clone(&frames),
+                        reply,
+                    },
+                )
+                .is_err()
+            {
+                // Refused send (standby endpoint mid-swap): keep the frames
+                // in the feed so promotion's leftover drain still sees them
+                // — every logged frame must be applied, queued at the
+                // standby, or buffered here.
+                let frames = Arc::try_unwrap(frames).unwrap_or_else(|a| (*a).clone());
+                self.ship.requeue(frames);
+            }
+        }
+    }
+
+    /// Classifies one buffered ship frame against the partition's record
+    /// state: already final (aborts, values, re-settled requeues) frames
+    /// ship as-is, a pending install whose record has since settled ships
+    /// re-encoded with the final form, and one still uncomputed — a frame
+    /// from a later, still-open epoch that raced into this drain — is held
+    /// for that epoch's drain.
+    fn settle_frame(&self, buf: &[u8]) -> ShipFrame {
+        let Some(Ok(WalRecord::Install {
+            key,
+            version,
+            functor,
+        })) = read_log(buf).next()
+        else {
+            return ShipFrame::AsIs;
+        };
+        if functor.is_final() {
+            return ShipFrame::AsIs;
+        }
+        let form = self
+            .partition
+            .store()
+            .chain(&key)
+            .and_then(|chain| chain.read_at(version))
+            .and_then(|read| match read {
+                ChainRead::Final(_, form) => Some(form),
+                ChainRead::Live(rec) => rec.final_form(),
+            });
+        let Some(form) = form else {
+            return ShipFrame::Hold;
+        };
+        let mut out = Vec::new();
+        WalRecord::Install {
+            key,
+            version,
+            functor: form.into_functor(),
+        }
+        .encode_into(&mut out);
+        ShipFrame::Settled(out)
+    }
+
+    /// The partial-replication shipping tap (inactive unless the replica
+    /// controller attached a standby for this partition).
+    pub(crate) fn ship_feed(&self) -> &Arc<ShipFeed> {
+        &self.ship
     }
 
     /// Replays a write-ahead log into this partition, skipping records at or
@@ -1410,6 +1562,29 @@ impl Server {
     /// outstanding a server vouches for everything settled so far.
     /// Piggybacked on each revoke ack; the EM min-merges the cluster and
     /// redistributes the result in grants as the compaction horizon.
+    /// Re-buffers every still-uncomputed record in the store as pending
+    /// compute work — the same seeding [`Server::new`] performs after
+    /// recovery. Needed whenever records are reinstated into a *running*
+    /// server behind `install_batch`'s back (a §III-A rebuild from a backup
+    /// dump): without it the compute frontier keeps vouching for versions
+    /// nothing will ever compute, and frontier snapshot reads serve stale
+    /// floors below them. Duplicate entries are harmless — computes are
+    /// idempotent and the processor turn dedups by key.
+    pub(crate) fn reseed_uncomputed(&self) {
+        let seeded_at = Instant::now();
+        let mut pending = self.pending.lock();
+        self.partition.store().for_each_chain(|key, chain| {
+            for record in chain.uncomputed_in(Timestamp::ZERO, Timestamp::MAX) {
+                pending.push(QueueEntry {
+                    key: key.clone(),
+                    version: record.version(),
+                    installed_at: seeded_at,
+                    released_at: seeded_at,
+                });
+            }
+        });
+    }
+
     pub(crate) fn compute_frontier(&self) -> Timestamp {
         let mut frontier = self.epoch.visible_bound();
         if let Some(min) = self.pending.lock().iter().map(|e| e.version).min() {
@@ -1759,6 +1934,11 @@ fn handle_msg(server: &Arc<Server>, msg: ServerMsg) -> std::ops::ControlFlow<()>
             }
         }
         ServerMsg::RevokedAck(_) => {} // only the EM endpoint receives these
+        // Log shipping targets `Addr::Replica(_)` endpoints, which run the
+        // standby apply loop (`replication::run_standby`) — a server
+        // endpoint drops a stray batch and lets the unanswered reply age
+        // out like a lost message.
+        ServerMsg::ShipBatch { .. } => {}
         // Per-key work runs on the executor's key-sharded lane: one FIFO
         // queue per worker, routed by `ServerMsg::shard_hash`, so same-key
         // messages never reorder while distinct keys proceed in parallel.
@@ -1905,8 +2085,12 @@ const CREW_SIZE: usize = 4;
 /// within a chain is enforced by the chain itself, and concurrent computes
 /// of the same key are idempotent.
 pub(crate) fn run_processor(server: Arc<Server>, queue: Receiver<QueueEntry>) {
+    // The poll slice bounds how long a kill waits for idle processors to
+    // notice the shutdown flag — it is the constant floor under every
+    // failover/restart downtime figure, so keep it tight; an idle wakeup
+    // every few ms costs nothing.
     while let Some(first) =
-        aloha_net::recv_while(&queue, Duration::from_millis(50), || !server.is_shutdown())
+        aloha_net::recv_while(&queue, Duration::from_millis(2), || !server.is_shutdown())
     {
         let mut entries = vec![first];
         while entries.len() < DRAIN_LIMIT {

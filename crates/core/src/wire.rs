@@ -55,6 +55,7 @@ const TAG_BATCH: u8 = 11;
 const TAG_SHUTDOWN: u8 = 12;
 const TAG_SNAPSHOT_READ: u8 = 13;
 const TAG_SNAPSHOT_READ_BATCH: u8 = 14;
+const TAG_SHIP_BATCH: u8 = 15;
 
 impl WireCodec<ServerMsg> for ServerMsgCodec {
     fn encode(&self, msg: &ServerMsg, pending: &PendingReplies, out: &mut Vec<u8>) -> Result<()> {
@@ -201,6 +202,21 @@ fn encode_msg(msg: &ServerMsg, pending: &PendingReplies, w: &mut Writer) -> Resu
                 encode_functor(w, functor);
             }
             w.put_u64(register_reply(pending, reply, decode_unit));
+        }
+        ServerMsg::ShipBatch {
+            from,
+            watermark,
+            frames,
+            reply,
+        } => {
+            w.put_u8(TAG_SHIP_BATCH)
+                .put_u16(from.0)
+                .put_u64(watermark.raw());
+            put_len(w, frames.len())?;
+            for (version, frame) in frames.iter() {
+                w.put_u64(*version).put_bytes(frame);
+            }
+            w.put_u64(register_reply(pending, reply, decode_timestamp));
         }
         ServerMsg::Batch(msgs) => {
             w.put_u8(TAG_BATCH);
@@ -381,6 +397,23 @@ fn decode_msg(r: &mut Reader<'_>, replier: &RemoteReplier) -> Result<ServerMsg> 
                 reply: remote_slot(replier, corr, encode_unit),
             }
         }
+        TAG_SHIP_BATCH => {
+            let from = PartitionId(r.get_u16()?);
+            let watermark = Timestamp::from_raw(r.get_u64()?);
+            let count = r.get_u32()?;
+            let mut frames = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let version = r.get_u64()?;
+                frames.push((version, r.get_bytes()?.to_vec()));
+            }
+            let corr = r.get_u64()?;
+            ServerMsg::ShipBatch {
+                from,
+                watermark,
+                frames: Arc::new(frames),
+                reply: remote_slot(replier, corr, encode_timestamp),
+            }
+        }
         TAG_BATCH => {
             let count = r.get_u32()?;
             let mut msgs = Vec::with_capacity(count as usize);
@@ -480,6 +513,14 @@ fn decode_write(r: &mut Reader<'_>) -> Result<Write> {
 }
 
 fn encode_unit(_: &(), _: &mut Writer) {}
+
+fn encode_timestamp(ts: &Timestamp, w: &mut Writer) {
+    w.put_u64(ts.raw());
+}
+
+fn decode_timestamp(r: &mut Reader<'_>) -> Result<Timestamp> {
+    Ok(Timestamp::from_raw(r.get_u64()?))
+}
 
 fn decode_unit(_: &mut Reader<'_>) -> Result<()> {
     Ok(())
@@ -1031,6 +1072,49 @@ mod tests {
         assert_eq!(records[0].0, Key::from("k"));
         reply.send(());
         handle.wait().expect("ack");
+    }
+
+    #[test]
+    fn ship_batch_round_trip_delivers_watermark_ack() {
+        let (slot, handle) = reply_pair();
+        let msg = ServerMsg::ShipBatch {
+            from: PartitionId(3),
+            watermark: Timestamp::from_raw(77),
+            frames: Arc::new(vec![(5, vec![0xa, 0xb]), (77, vec![0xc])]),
+            reply: slot,
+        };
+        let ServerMsg::ShipBatch {
+            from,
+            watermark,
+            frames,
+            reply,
+        } = round_trip(&msg)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(from, PartitionId(3));
+        assert_eq!(watermark, Timestamp::from_raw(77));
+        assert_eq!(*frames, vec![(5, vec![0xa, 0xb]), (77, vec![0xc])]);
+
+        // The standby's watermark ack routes back through the correlation
+        // table into the primary's handle.
+        reply.send(Timestamp::from_raw(77));
+        assert_eq!(handle.wait().expect("ack"), Timestamp::from_raw(77));
+    }
+
+    #[test]
+    fn ship_batch_flush_barrier_round_trips_empty() {
+        let (slot, _handle) = reply_pair();
+        let msg = ServerMsg::ShipBatch {
+            from: PartitionId(0),
+            watermark: Timestamp::ZERO,
+            frames: Arc::new(Vec::new()),
+            reply: slot,
+        };
+        let ServerMsg::ShipBatch { frames, .. } = round_trip(&msg) else {
+            panic!("wrong variant");
+        };
+        assert!(frames.is_empty());
     }
 
     #[test]

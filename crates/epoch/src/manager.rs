@@ -117,12 +117,22 @@ pub struct EmStats {
     epochs_completed: Counter,
     switch_micros: Histogram,
     epoch_duration_micros: Gauge,
+    revoke_resends: Counter,
 }
 
 impl EmStats {
     /// Number of fully completed (granted, revoked, drained) epochs.
     pub fn epochs_completed(&self) -> u64 {
         self.epochs_completed.get()
+    }
+
+    /// Revoke retransmissions sent to servers that had not answered within
+    /// [`EpochConfig::revoke_resend_interval`]. Nonzero under message loss —
+    /// or while a killed server's slot is down: the retransmissions are what
+    /// bridge the gap until its fresh incarnation (a promoted standby or a
+    /// WAL restart) answers and lets the epoch settle.
+    pub fn revoke_resends(&self) -> u64 {
+        self.revoke_resends.get()
     }
 
     /// Distribution of epoch-switch durations (revoke sent → all acks in),
@@ -140,6 +150,7 @@ impl EmStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut node = StatsSnapshot::new("epoch_manager");
         node.set_counter("epochs_completed", self.epochs_completed());
+        node.set_counter("revoke_resends", self.revoke_resends());
         node.set_gauge("epoch_duration_micros", self.epoch_duration_micros());
         node.set_stage(
             "epoch_switch",
@@ -321,6 +332,7 @@ fn run(
             if last_resend.elapsed() >= config.revoke_resend_interval {
                 for &server in &pending {
                     transport.send_revoke(server, epoch);
+                    stats.revoke_resends.incr();
                 }
                 last_resend = std::time::Instant::now();
             }

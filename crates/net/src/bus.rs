@@ -26,6 +26,9 @@ pub enum Addr {
     EpochManager,
     /// A client driver, identified by an arbitrary number.
     Client(u64),
+    /// The standby replica of server `ServerId`'s partition (partial
+    /// replication): the endpoint the primary ships its WAL batches to.
+    Replica(ServerId),
 }
 
 impl fmt::Display for Addr {
@@ -34,6 +37,7 @@ impl fmt::Display for Addr {
             Addr::Server(s) => write!(f, "{s}"),
             Addr::EpochManager => write!(f, "em"),
             Addr::Client(c) => write!(f, "c{c}"),
+            Addr::Replica(s) => write!(f, "r{s}"),
         }
     }
 }

@@ -129,6 +129,10 @@ fn put_addr(w: &mut Writer, addr: Addr) {
             w.put_u8(2);
             w.put_u64(c);
         }
+        Addr::Replica(s) => {
+            w.put_u8(3);
+            w.put_u16(s.0);
+        }
     }
 }
 
@@ -137,6 +141,7 @@ fn get_addr(r: &mut Reader<'_>) -> Result<Addr> {
         0 => Ok(Addr::Server(aloha_common::ServerId(r.get_u16()?))),
         1 => Ok(Addr::EpochManager),
         2 => Ok(Addr::Client(r.get_u64()?)),
+        3 => Ok(Addr::Replica(aloha_common::ServerId(r.get_u16()?))),
         tag => Err(Error::Codec(format!("unknown addr tag {tag}"))),
     }
 }

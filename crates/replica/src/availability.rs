@@ -1,0 +1,158 @@
+//! Downtime bookkeeping across kill, failover and restart.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use aloha_common::stats::StatsSnapshot;
+use parking_lot::Mutex;
+
+/// One partition's availability record.
+#[derive(Debug, Default, Clone, Copy)]
+struct PartitionAvailability {
+    downtime_micros: u64,
+    failovers: u64,
+    restarts: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    per: BTreeMap<u16, PartitionAvailability>,
+    down_since: BTreeMap<u16, Instant>,
+    kills: u64,
+    failovers: u64,
+    restarts: u64,
+}
+
+/// Cluster-wide availability accounting, exported as the `availability`
+/// stats subtree: per-partition downtime in microseconds accumulated across
+/// kill→failover and kill→restart windows, plus failover/restart counts.
+///
+/// The clock starts at [`AvailabilityStats::note_down`] (called by
+/// `kill_server` before teardown begins) and stops when the partition's slot
+/// holds a serving server again — either a promoted standby
+/// ([`AvailabilityStats::note_failover`]) or a WAL-restored restart
+/// ([`AvailabilityStats::note_restart`]).
+#[derive(Debug, Default)]
+pub struct AvailabilityStats {
+    inner: Mutex<Inner>,
+}
+
+impl AvailabilityStats {
+    /// Creates empty accounting.
+    pub fn new() -> AvailabilityStats {
+        AvailabilityStats::default()
+    }
+
+    /// Marks partition `id` down (a kill began). Starts its downtime clock.
+    pub fn note_down(&self, id: u16) {
+        let mut inner = self.inner.lock();
+        inner.kills += 1;
+        inner.down_since.insert(id, Instant::now());
+    }
+
+    /// Marks partition `id` back up via standby promotion; returns the
+    /// downtime window just closed.
+    pub fn note_failover(&self, id: u16) -> Duration {
+        self.note_up(id, true)
+    }
+
+    /// Marks partition `id` back up via restart-from-WAL; returns the
+    /// downtime window just closed.
+    pub fn note_restart(&self, id: u16) -> Duration {
+        self.note_up(id, false)
+    }
+
+    fn note_up(&self, id: u16, failover: bool) -> Duration {
+        let mut inner = self.inner.lock();
+        let down = inner
+            .down_since
+            .remove(&id)
+            .map(|t| t.elapsed())
+            .unwrap_or_default();
+        let entry = inner.per.entry(id).or_default();
+        entry.downtime_micros += down.as_micros() as u64;
+        if failover {
+            entry.failovers += 1;
+        } else {
+            entry.restarts += 1;
+        }
+        if failover {
+            inner.failovers += 1;
+        } else {
+            inner.restarts += 1;
+        }
+        down
+    }
+
+    /// Total kills observed.
+    pub fn kills(&self) -> u64 {
+        self.inner.lock().kills
+    }
+
+    /// Total standby promotions.
+    pub fn failovers(&self) -> u64 {
+        self.inner.lock().failovers
+    }
+
+    /// Total restart-from-WAL recoveries.
+    pub fn restarts(&self) -> u64 {
+        self.inner.lock().restarts
+    }
+
+    /// Accumulated downtime of partition `id` in microseconds.
+    pub fn downtime_micros(&self, id: u16) -> u64 {
+        self.inner
+            .lock()
+            .per
+            .get(&id)
+            .map_or(0, |p| p.downtime_micros)
+    }
+
+    /// Exports the `availability` stats subtree.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.inner.lock();
+        let mut node = StatsSnapshot::new("availability");
+        node.set_counter("kills", inner.kills);
+        node.set_counter("failovers", inner.failovers);
+        node.set_counter("restarts", inner.restarts);
+        for (id, p) in &inner.per {
+            let mut child = StatsSnapshot::new(format!("p{id}"));
+            child.set_counter("downtime_micros", p.downtime_micros);
+            child.set_counter("failovers", p.failovers);
+            child.set_counter("restarts", p.restarts);
+            node.push_child(child);
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_and_restart_accumulate_separately() {
+        let stats = AvailabilityStats::new();
+        stats.note_down(2);
+        let d = stats.note_failover(2);
+        stats.note_down(2);
+        stats.note_restart(2);
+        assert_eq!(stats.kills(), 2);
+        assert_eq!(stats.failovers(), 1);
+        assert_eq!(stats.restarts(), 1);
+        assert!(stats.downtime_micros(2) >= d.as_micros() as u64);
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.counter("failovers"), Some(1));
+        let p2 = snap.child("p2").expect("partition child");
+        assert_eq!(p2.counter("failovers"), Some(1));
+        assert_eq!(p2.counter("restarts"), Some(1));
+    }
+
+    #[test]
+    fn up_without_down_is_a_zero_window() {
+        let stats = AvailabilityStats::new();
+        assert_eq!(stats.note_restart(0), Duration::ZERO);
+        assert_eq!(stats.downtime_micros(0), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The primary-side shipping tap: buffered WAL frames + watermarks.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use aloha_common::metrics::Counter;
+use aloha_common::stats::StatsSnapshot;
+use aloha_common::Timestamp;
+use parking_lot::Mutex;
+
+/// One drained batch of WAL frames ready to ship to the standby.
+#[derive(Debug, Clone)]
+pub struct ShippedBatch {
+    /// Cumulative replicated watermark: once the standby applies this batch
+    /// it covers every record the primary ever logged with version at or
+    /// below this timestamp (shipping is in log order and reliable).
+    pub watermark: Timestamp,
+    /// `(version, encoded frame)` pairs in log order — the exact payloads
+    /// the [`aloha_storage::DurableLog`] group-commits.
+    pub frames: Vec<(u64, Vec<u8>)>,
+}
+
+/// The per-primary ship buffer.
+///
+/// The server's WAL sink pushes a copy of every encoded frame here while the
+/// feed is active; `Server::commit_wal` (the epoch group commit, which runs
+/// just before the `RevokedAck`) drains the buffer into one [`ShippedBatch`]
+/// per epoch. Because the drain happens *before* the ack, a settled epoch
+/// implies its frames were handed to the transport's reliable lane — the
+/// invariant the promotion safety argument rests on.
+///
+/// Inactive feeds cost one relaxed atomic load per logged record.
+#[derive(Debug, Default)]
+pub struct ShipFeed {
+    active: AtomicBool,
+    buf: Mutex<Vec<(u64, Vec<u8>)>>,
+    /// Highest version ever drained into a batch (raw timestamp).
+    shipped_watermark: AtomicU64,
+    /// Highest watermark the standby has acknowledged applying.
+    acked_watermark: AtomicU64,
+    batches: Counter,
+    records: Counter,
+    bytes: Counter,
+}
+
+impl ShipFeed {
+    /// Creates an inactive feed.
+    pub fn new() -> ShipFeed {
+        ShipFeed::default()
+    }
+
+    /// Whether frames are currently being buffered for shipping.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Starts buffering frames (idempotent).
+    pub fn activate(&self) {
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Stops buffering and discards anything not yet drained.
+    pub fn deactivate(&self) {
+        self.active.store(false, Ordering::Release);
+        self.buf.lock().clear();
+    }
+
+    /// Buffers one encoded WAL frame, if the feed is active.
+    pub fn push(&self, version: u64, frame: Vec<u8>) {
+        if !self.is_active() {
+            return;
+        }
+        self.buf.lock().push((version, frame));
+    }
+
+    /// Drains the buffered frames into one shipped batch, or `None` when
+    /// nothing was logged since the last drain (write-free epochs ship
+    /// nothing; the watermark only advances with actual records).
+    pub fn drain(&self) -> Option<ShippedBatch> {
+        if !self.is_active() {
+            return None;
+        }
+        let frames: Vec<(u64, Vec<u8>)> = std::mem::take(&mut *self.buf.lock());
+        if frames.is_empty() {
+            return None;
+        }
+        let high = frames.iter().map(|(v, _)| *v).max().unwrap_or(0);
+        let watermark = self
+            .shipped_watermark
+            .fetch_max(high, Ordering::AcqRel)
+            .max(high);
+        self.batches.incr();
+        self.records.add(frames.len() as u64);
+        self.bytes
+            .add(frames.iter().map(|(_, f)| f.len() as u64).sum());
+        Some(ShippedBatch {
+            watermark: Timestamp::from_raw(watermark),
+            frames,
+        })
+    }
+
+    /// Puts drained frames back at the *front* of the buffer. Used when the
+    /// transport refuses a ship send (e.g. the standby endpoint is being
+    /// swapped): the frames stay in the feed buffer, preserving the
+    /// promotion invariant that every logged frame is applied, queued at the
+    /// standby, or still sitting here.
+    pub fn requeue(&self, frames: Vec<(u64, Vec<u8>)>) {
+        if !self.is_active() || frames.is_empty() {
+            return;
+        }
+        let mut buf = self.buf.lock();
+        let tail = std::mem::replace(&mut *buf, frames);
+        buf.extend(tail);
+    }
+
+    /// Highest version ever drained for shipping.
+    pub fn shipped_watermark(&self) -> Timestamp {
+        Timestamp::from_raw(self.shipped_watermark.load(Ordering::Acquire))
+    }
+
+    /// Records the standby's applied-watermark acknowledgement (monotone).
+    pub fn note_acked(&self, watermark: Timestamp) {
+        self.acked_watermark
+            .fetch_max(watermark.raw(), Ordering::AcqRel);
+    }
+
+    /// Highest watermark the standby has acknowledged.
+    pub fn acked_watermark(&self) -> Timestamp {
+        Timestamp::from_raw(self.acked_watermark.load(Ordering::Acquire))
+    }
+
+    /// Total bytes drained for shipping (the replication bandwidth cost).
+    pub fn bytes_shipped(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Exports this feed as one stats node.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("ship_batches", self.batches.get());
+        node.set_counter("ship_records", self.records.get());
+        node.set_counter("ship_bytes", self.bytes.get());
+        node.set_gauge(
+            "shipped_watermark",
+            self.shipped_watermark.load(Ordering::Acquire),
+        );
+        node.set_gauge(
+            "acked_watermark",
+            self.acked_watermark.load(Ordering::Acquire),
+        );
+        node.set_gauge("active", u64::from(self.is_active()));
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_feed_buffers_nothing() {
+        let feed = ShipFeed::new();
+        feed.push(3, vec![1, 2, 3]);
+        assert!(feed.drain().is_none());
+    }
+
+    #[test]
+    fn drain_returns_frames_in_order_with_cumulative_watermark() {
+        let feed = ShipFeed::new();
+        feed.activate();
+        feed.push(5, vec![0xa]);
+        feed.push(3, vec![0xb]);
+        let batch = feed.drain().expect("first batch");
+        assert_eq!(batch.watermark, Timestamp::from_raw(5));
+        assert_eq!(batch.frames, vec![(5, vec![0xa]), (3, vec![0xb])]);
+
+        // Empty epoch: nothing to ship, watermark holds.
+        assert!(feed.drain().is_none());
+        assert_eq!(feed.shipped_watermark(), Timestamp::from_raw(5));
+
+        feed.push(9, vec![0xc]);
+        let batch = feed.drain().expect("second batch");
+        assert_eq!(batch.watermark, Timestamp::from_raw(9));
+        assert_eq!(feed.bytes_shipped(), 3);
+    }
+
+    #[test]
+    fn deactivate_discards_pending_frames() {
+        let feed = ShipFeed::new();
+        feed.activate();
+        feed.push(1, vec![0xff]);
+        feed.deactivate();
+        feed.activate();
+        assert!(feed.drain().is_none());
+    }
+
+    #[test]
+    fn acked_watermark_is_monotone() {
+        let feed = ShipFeed::new();
+        feed.note_acked(Timestamp::from_raw(7));
+        feed.note_acked(Timestamp::from_raw(4));
+        assert_eq!(feed.acked_watermark(), Timestamp::from_raw(7));
+    }
+}

@@ -1,0 +1,209 @@
+//! The hotness policy: which partitions deserve a standby under a budget.
+
+use std::collections::BTreeSet;
+
+/// One controller sampling round's raw signals for a partition, taken from
+/// counters the engines already export: the partition's push-cache hit/miss
+/// counters (§IV-B recipient-set pushes — a high hit rate means this
+/// partition's values are in many read sets, i.e. it is *hot*) and the
+/// server's functor-computing backlog (the same per-partition pressure the
+/// adaptive pacer folds into its control signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSignal {
+    /// The partition (== server) id.
+    pub id: u16,
+    /// Push-cache hits since start.
+    pub cache_hits: u64,
+    /// Push-cache misses since start.
+    pub cache_misses: u64,
+    /// Uncomputed/queued work at sampling time.
+    pub backlog: u64,
+}
+
+/// A ranked hotness score, exported per partition on the cluster's
+/// `hotness` stats subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotnessScore {
+    /// The partition id.
+    pub id: u16,
+    /// Push-cache hit rate in percent (0 when never probed).
+    pub hit_rate_pct: u64,
+    /// Backlog pressure at sampling time.
+    pub backlog: u64,
+    /// Combined score (higher = hotter).
+    pub score: u64,
+    /// Dense rank, 0 = hottest.
+    pub rank: usize,
+}
+
+/// Deterministic replica-placement policy.
+///
+/// The score is `hit_rate_pct * 100 + min(backlog, 10_000)`: the cache
+/// signal dominates (it is bounded and stable), backlog breaks ties and
+/// lifts partitions whose compute pipeline is drowning. Hysteresis keeps an
+/// incumbent its standby until a challenger beats it by `margin_pct`
+/// percent, so standbys are not torn down and rebuilt on signal noise —
+/// every attach costs a checkpoint transfer.
+#[derive(Debug, Clone)]
+pub struct HotnessPolicy {
+    budget: usize,
+    margin_pct: u64,
+}
+
+/// Backlog contribution cap, so one stalled queue cannot outvote the cache
+/// signal forever.
+const BACKLOG_CAP: u64 = 10_000;
+
+impl HotnessPolicy {
+    /// A policy replicating at most `budget` partitions, 20% hysteresis.
+    pub fn new(budget: usize) -> HotnessPolicy {
+        HotnessPolicy {
+            budget,
+            margin_pct: 20,
+        }
+    }
+
+    /// Overrides the hysteresis margin (percent a challenger must win by).
+    pub fn with_margin_pct(mut self, margin_pct: u64) -> HotnessPolicy {
+        self.margin_pct = margin_pct;
+        self
+    }
+
+    /// The replica budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Scores and ranks the partitions, hottest first; ties break toward
+    /// the lower id so the ranking is total and deterministic.
+    pub fn rank(&self, signals: &[PartitionSignal]) -> Vec<HotnessScore> {
+        let mut scored: Vec<HotnessScore> = signals
+            .iter()
+            .map(|s| {
+                let probes = s.cache_hits + s.cache_misses;
+                let hit_rate_pct = (s.cache_hits * 100).checked_div(probes).unwrap_or(0);
+                HotnessScore {
+                    id: s.id,
+                    hit_rate_pct,
+                    backlog: s.backlog,
+                    score: hit_rate_pct * 100 + s.backlog.min(BACKLOG_CAP),
+                    rank: 0,
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| b.score.cmp(&a.score).then(a.id.cmp(&b.id)));
+        for (i, s) in scored.iter_mut().enumerate() {
+            s.rank = i;
+        }
+        scored
+    }
+
+    /// Picks the partitions that should hold a standby: the top `budget` by
+    /// score, except an incumbent keeps its slot unless some unreplicated
+    /// challenger's score exceeds the incumbent's by the hysteresis margin.
+    pub fn desired(
+        &self,
+        incumbents: &BTreeSet<u16>,
+        signals: &[PartitionSignal],
+    ) -> BTreeSet<u16> {
+        let ranked = self.rank(signals);
+        if self.budget == 0 {
+            return BTreeSet::new();
+        }
+        if self.budget >= ranked.len() {
+            return ranked.iter().map(|s| s.id).collect();
+        }
+        let mut chosen: Vec<&HotnessScore> = Vec::with_capacity(self.budget);
+        // Incumbents first, hottest first, while the budget lasts.
+        for s in &ranked {
+            if chosen.len() < self.budget && incumbents.contains(&s.id) {
+                chosen.push(s);
+            }
+        }
+        // Challengers fill free slots outright; a full budget they must
+        // earn by beating the weakest incumbent by the margin.
+        for s in &ranked {
+            if incumbents.contains(&s.id) || chosen.iter().any(|c| c.id == s.id) {
+                continue;
+            }
+            if chosen.len() < self.budget {
+                chosen.push(s);
+                continue;
+            }
+            let (weakest_at, weakest) = chosen
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| (c.score, std::cmp::Reverse(c.id)))
+                .map(|(i, c)| (i, *c))
+                .expect("budget > 0");
+            if s.score * 100 > weakest.score * (100 + self.margin_pct) {
+                chosen[weakest_at] = s;
+            }
+        }
+        chosen.iter().map(|s| s.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(id: u16, hits: u64, misses: u64, backlog: u64) -> PartitionSignal {
+        PartitionSignal {
+            id,
+            cache_hits: hits,
+            cache_misses: misses,
+            backlog,
+        }
+    }
+
+    #[test]
+    fn rank_orders_by_score_then_id() {
+        let policy = HotnessPolicy::new(1);
+        let ranked = policy.rank(&[sig(0, 0, 0, 5), sig(1, 90, 10, 0), sig(2, 90, 10, 0)]);
+        assert_eq!(
+            ranked.iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
+        assert_eq!(ranked[0].rank, 0);
+        assert_eq!(ranked[0].hit_rate_pct, 90);
+    }
+
+    #[test]
+    fn desired_respects_budget() {
+        let policy = HotnessPolicy::new(2);
+        let signals = [sig(0, 10, 90, 0), sig(1, 80, 20, 0), sig(2, 50, 50, 0)];
+        let desired = policy.desired(&BTreeSet::new(), &signals);
+        assert_eq!(desired, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn hysteresis_protects_incumbents_from_noise() {
+        let policy = HotnessPolicy::new(1).with_margin_pct(20);
+        let incumbents = BTreeSet::from([0]);
+        // Challenger barely ahead: incumbent keeps the standby.
+        let close = [sig(0, 50, 50, 0), sig(1, 55, 45, 0)];
+        assert_eq!(policy.desired(&incumbents, &close), BTreeSet::from([0]));
+        // Challenger decisively hotter: the standby moves.
+        let clear = [sig(0, 10, 90, 0), sig(1, 90, 10, 0)];
+        assert_eq!(policy.desired(&incumbents, &clear), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn budget_covering_everything_replicates_everything() {
+        let policy = HotnessPolicy::new(8);
+        let signals = [sig(0, 0, 0, 0), sig(1, 0, 0, 0), sig(2, 0, 0, 0)];
+        assert_eq!(
+            policy.desired(&BTreeSet::new(), &signals),
+            BTreeSet::from([0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn zero_budget_never_replicates() {
+        let policy = HotnessPolicy::new(0);
+        assert!(policy
+            .desired(&BTreeSet::from([1]), &[sig(1, 9, 1, 0)])
+            .is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Hot-partition replication: log shipping, standby apply, failover policy.
+//!
+//! PR 6 made a backend crash survivable (restart replays the WAL) and the
+//! §III-A ring mirror protects against data loss, but neither keeps the
+//! partition *available*: a dead BE takes its keys offline until
+//! `restart_server` finishes a checkpoint restore plus WAL-suffix replay.
+//! This crate holds the engine-independent half of the fix — partial
+//! replication of only the *hot* partitions:
+//!
+//! * [`ShipFeed`] — the primary-side tap. When active, the server buffers a
+//!   copy of every WAL frame it group-commits and drains them into one
+//!   shipped batch per epoch close, stamped with a cumulative replicated
+//!   watermark.
+//! * [`Standby`] — the receive side. A shadow partition that applies shipped
+//!   frames through the same idempotent replay path recovery uses
+//!   ([`aloha_storage::wal::replay_records`]) and tracks the highest
+//!   watermark it fully covers.
+//! * [`HotnessPolicy`] — the controller's brain. Ranks partitions by
+//!   push-cache hit rate and backlog pressure and picks which ones deserve
+//!   a standby under a fixed replica budget, with hysteresis so the set
+//!   doesn't flap.
+//! * [`AvailabilityStats`] — downtime bookkeeping across kill, failover and
+//!   restart, exported as the cluster's `availability` stats subtree.
+//!
+//! The transport wiring (the `ShipBatch` message, attach/detach at epoch
+//! boundaries, standby promotion inside `kill_server`) lives in
+//! `aloha-core::replication`, which composes these pieces; Calvin does not
+//! support partial replication and keeps the restart-from-WAL path (see its
+//! `supports_partial_replication` note).
+
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod feed;
+pub mod hotness;
+pub mod standby;
+
+pub use availability::AvailabilityStats;
+pub use feed::{ShipFeed, ShippedBatch};
+pub use hotness::{HotnessPolicy, HotnessScore, PartitionSignal};
+pub use standby::Standby;

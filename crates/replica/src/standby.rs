@@ -1,0 +1,266 @@
+//! The standby: a shadow partition fed by shipped WAL frames.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aloha_common::metrics::Counter;
+use aloha_common::stats::StatsSnapshot;
+use aloha_common::{Key, Result, Timestamp};
+use aloha_storage::wal::{apply_records, read_log, WalRecord};
+use aloha_storage::{restore_checkpoint, Partition};
+
+/// A warm replica of one primary partition.
+///
+/// The standby applies the primary's shipped WAL batches through the exact
+/// idempotent replay path recovery uses: installs are first-write-wins puts
+/// (final forms settle pending duplicates in place) and aborts pre-insert
+/// `ABORTED`, so re-applied frames (bootstrap overlap, transport duplicates)
+/// are no-ops.
+///
+/// Group-commit frames carry *final forms* (the primary resolves them at the
+/// epoch drain, when the epoch has settled), so each applied final record
+/// also advances its chain's value watermark and the chains stay compactable
+/// — the standby's memory stays bounded like a primary's, and promotion's
+/// `Server::new` re-seeds only the uncomputed mid-epoch tail into its
+/// pending set, not the whole shipped history.
+#[derive(Debug)]
+pub struct Standby {
+    partition: Arc<Partition>,
+    /// Raw timestamp below which this standby covers every primary record.
+    watermark: AtomicU64,
+    batches: Counter,
+    records: Counter,
+    bytes: Counter,
+    /// Records applied since the last chain-compaction sweep.
+    since_compact: AtomicU64,
+}
+
+/// Applied records between standby compaction sweeps.
+const COMPACT_EVERY_RECORDS: u64 = 32_768;
+
+/// Committed versions each standby chain keeps when compacting — a small
+/// floor for snapshot reads that land just below the promotion frontier.
+const COMPACT_KEEP_VERSIONS: usize = 4;
+
+impl Standby {
+    /// Wraps an (empty) shadow partition.
+    pub fn new(partition: Arc<Partition>) -> Standby {
+        Standby {
+            partition,
+            watermark: AtomicU64::new(0),
+            batches: Counter::new(),
+            records: Counter::new(),
+            bytes: Counter::new(),
+            since_compact: AtomicU64::new(0),
+        }
+    }
+
+    /// The shadow partition (consumed by promotion).
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.partition
+    }
+
+    /// Applies one shipped batch and advances the replicated watermark.
+    /// Returns the number of records applied.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an undecodable frame — the reliable transport lane and the
+    /// WAL checksums make that a bug, not an expected fault.
+    pub fn apply_batch(&self, watermark: Timestamp, frames: &[(u64, Vec<u8>)]) -> Result<usize> {
+        let mut decoded = Vec::with_capacity(frames.len());
+        for (_, payload) in frames {
+            for record in read_log(payload) {
+                decoded.push(record?);
+            }
+        }
+        let applied = apply_records(&self.partition, &decoded, Timestamp::ZERO);
+        // Each applied final record tries to raise its chain's value
+        // watermark — *checked*, not assumed: batches can carry records out
+        // of settle order (a mid-epoch abort drained with the previous
+        // epoch, a promotion's unsettled tail), and covering a pending
+        // sibling would strand it forever. `try_advance_watermark` refuses
+        // exactly those; the pending record stays above its chain watermark
+        // and the promoted server's re-seed recomputes it. The advance keeps
+        // standby chains compactable and that re-seed scan bounded by the
+        // unsettled tail instead of the whole shipped history.
+        let mut advances: HashMap<&Key, Timestamp> = HashMap::new();
+        for record in &decoded {
+            let is_final = match record {
+                WalRecord::Install { functor, .. } => functor.is_final(),
+                WalRecord::Abort { .. } => true,
+            };
+            if is_final {
+                let upto = advances.entry(record.key()).or_insert(record.version());
+                *upto = (*upto).max(record.version());
+            }
+        }
+        for (key, upto) in advances {
+            if let Some(chain) = self.partition.store().chain(key) {
+                chain.try_advance_watermark(upto);
+            }
+        }
+        self.batches.incr();
+        self.records.add(applied as u64);
+        self.bytes
+            .add(frames.iter().map(|(_, f)| f.len() as u64).sum());
+        self.watermark.fetch_max(watermark.raw(), Ordering::AcqRel);
+        if self
+            .since_compact
+            .fetch_add(applied as u64, Ordering::Relaxed)
+            + (applied as u64)
+            >= COMPACT_EVERY_RECORDS
+        {
+            self.since_compact.store(0, Ordering::Relaxed);
+            self.partition
+                .store()
+                .compact(self.watermark(), COMPACT_KEEP_VERSIONS);
+        }
+        Ok(applied)
+    }
+
+    /// Applies the attach-time WAL snapshot: records at or below the
+    /// checkpoint cut are skipped (the checkpoint already covers them —
+    /// identical to the restart path's suffix replay), the rest install
+    /// idempotently.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an undecodable payload.
+    pub fn apply_wal_snapshot(&self, at: Timestamp, payload: &[u8]) -> Result<usize> {
+        let mut decoded = Vec::new();
+        for record in read_log(payload) {
+            decoded.push(record?);
+        }
+        let applied = apply_records(&self.partition, &decoded, at);
+        self.records.add(applied as u64);
+        self.bytes.add(payload.len() as u64);
+        self.watermark.fetch_max(at.raw(), Ordering::AcqRel);
+        Ok(applied)
+    }
+
+    /// Restores a checkpoint blob into the shadow partition (initial state
+    /// transfer at attach). Safe concurrently with `apply_batch`: restore
+    /// puts are first-write-wins at their original versions, so frames that
+    /// raced ahead of the bootstrap are never overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed blob.
+    pub fn bootstrap(&self, blob: &[u8]) -> Result<Timestamp> {
+        let at = restore_checkpoint(&self.partition, blob)?;
+        self.watermark.fetch_max(at.raw(), Ordering::AcqRel);
+        Ok(at)
+    }
+
+    /// The highest timestamp at or below which this standby covers every
+    /// record the primary logged.
+    pub fn watermark(&self) -> Timestamp {
+        Timestamp::from_raw(self.watermark.load(Ordering::Acquire))
+    }
+
+    /// Total shipped bytes this standby applied (the replication bandwidth
+    /// it consumed).
+    pub fn applied_bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Total shipped records this standby applied.
+    pub fn applied_records(&self) -> u64 {
+        self.records.get()
+    }
+
+    /// Exports this standby as one stats node.
+    pub fn snapshot(&self, name: impl Into<String>) -> StatsSnapshot {
+        let mut node = StatsSnapshot::new(name);
+        node.set_counter("applied_batches", self.batches.get());
+        node.set_counter("applied_records", self.records.get());
+        node.set_counter("applied_bytes", self.bytes.get());
+        node.set_gauge(
+            "replicated_watermark",
+            self.watermark.load(Ordering::Acquire),
+        );
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aloha_common::{Key, PartitionId, Value};
+    use aloha_functor::{Functor, HandlerRegistry};
+    use aloha_storage::partition::LocalOnlyEnv;
+    use aloha_storage::wal::WalRecord;
+
+    fn frame(record: &WalRecord) -> (u64, Vec<u8>) {
+        let mut buf = Vec::new();
+        record.encode_into(&mut buf);
+        (record.version().raw(), buf)
+    }
+
+    fn install(key: &str, version: u64, value: i64) -> WalRecord {
+        WalRecord::Install {
+            key: Key::from(key.as_bytes()),
+            version: Timestamp::from_raw(version),
+            functor: Functor::Value(Value::from_i64(value)),
+        }
+    }
+
+    #[test]
+    fn apply_batch_is_idempotent_and_advances_watermark() {
+        let standby = Standby::new(Arc::new(Partition::new(
+            PartitionId(0),
+            1,
+            Arc::new(HandlerRegistry::new()),
+        )));
+        let frames = vec![frame(&install("a", 3, 10)), frame(&install("b", 5, 20))];
+        assert_eq!(
+            standby
+                .apply_batch(Timestamp::from_raw(5), &frames)
+                .unwrap(),
+            2
+        );
+        // Re-applying the same batch (duplicate delivery) changes nothing.
+        standby
+            .apply_batch(Timestamp::from_raw(5), &frames)
+            .unwrap();
+        assert_eq!(standby.watermark(), Timestamp::from_raw(5));
+        let read = standby
+            .partition()
+            .get(
+                &Key::from("a".as_bytes()),
+                Timestamp::from_raw(9),
+                &LocalOnlyEnv,
+            )
+            .unwrap();
+        assert_eq!(read.value, Some(Value::from_i64(10)));
+    }
+
+    #[test]
+    fn aborts_apply_through_the_replay_path() {
+        let standby = Standby::new(Arc::new(Partition::new(
+            PartitionId(0),
+            1,
+            Arc::new(HandlerRegistry::new()),
+        )));
+        let abort = WalRecord::Abort {
+            key: Key::from("k".as_bytes()),
+            version: Timestamp::from_raw(4),
+        };
+        let frames = vec![frame(&install("k", 2, 1)), frame(&abort)];
+        standby
+            .apply_batch(Timestamp::from_raw(4), &frames)
+            .unwrap();
+        let read = standby
+            .partition()
+            .get(
+                &Key::from("k".as_bytes()),
+                Timestamp::from_raw(9),
+                &LocalOnlyEnv,
+            )
+            .unwrap();
+        // The abort at 4 is skipped; the committed install at 2 shows.
+        assert_eq!(read.version, Timestamp::from_raw(2));
+    }
+}

@@ -1,0 +1,129 @@
+//! The shipping-protocol safety property promotion rests on: a standby that
+//! applied any prefix of the shipped batches holds exactly the primary's
+//! state at that prefix's watermark — and duplicate deliveries (transport
+//! retries, bootstrap overlap) never change it.
+
+use std::sync::Arc;
+
+use aloha_common::{Key, PartitionId, Timestamp, Value};
+use aloha_functor::{Functor, HandlerRegistry};
+use aloha_replica::Standby;
+use aloha_storage::partition::LocalOnlyEnv;
+use aloha_storage::wal::WalRecord;
+use aloha_storage::Partition;
+use proptest::prelude::*;
+
+/// A ship batch as the wire carries it: watermark plus versioned frames.
+type Batch = (Timestamp, Vec<(u64, Vec<u8>)>);
+
+const KEYS: usize = 4;
+
+fn key(i: usize) -> Key {
+    Key::from_parts(&[b"pp", &(i as u32).to_be_bytes()])
+}
+
+fn fresh_standby() -> Standby {
+    Standby::new(Arc::new(Partition::new(
+        PartitionId(0),
+        1,
+        Arc::new(HandlerRegistry::new()),
+    )))
+}
+
+fn frame(record: &WalRecord) -> (u64, Vec<u8>) {
+    let mut buf = Vec::new();
+    record.encode_into(&mut buf);
+    (record.version().raw(), buf)
+}
+
+/// Observable state: every key's newest committed version and value, read
+/// far past any generated version.
+fn state(standby: &Standby) -> Vec<Option<(u64, Option<i64>)>> {
+    (0..KEYS)
+        .map(|i| {
+            standby
+                .partition()
+                .get(&key(i), Timestamp::from_raw(u64::MAX / 2), &LocalOnlyEnv)
+                .ok()
+                .map(|r| (r.version.raw(), r.value.as_ref().and_then(Value::as_i64)))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn standby_prefix_equals_primary_state_at_watermark(
+        ops in proptest::collection::vec(
+            (0usize..KEYS, any::<bool>(), -100i64..100),
+            1..40,
+        ),
+        splits in proptest::collection::vec(1usize..5, 1..12),
+        prefix_hint in any::<u64>(),
+    ) {
+        // A primary's log: strictly increasing versions, installs and
+        // aborts interleaved over a small key set.
+        let records: Vec<WalRecord> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, abort, v))| {
+                let version = Timestamp::from_raw((i as u64 + 1) * 3);
+                if abort {
+                    WalRecord::Abort { key: key(k), version }
+                } else {
+                    WalRecord::Install {
+                        key: key(k),
+                        version,
+                        functor: Functor::Value(Value::from_i64(v)),
+                    }
+                }
+            })
+            .collect();
+        // Group-commit boundaries: chunk the log into ShipBatch-shaped
+        // batches, each stamped with its highest version as the watermark.
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut rest = &records[..];
+        let mut si = 0;
+        while !rest.is_empty() {
+            let take = splits[si % splits.len()].min(rest.len());
+            si += 1;
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            let wm = chunk.last().unwrap().version();
+            batches.push((wm, chunk.iter().map(frame).collect()));
+        }
+        let prefix = (prefix_hint as usize) % (batches.len() + 1);
+        let watermark = if prefix == 0 {
+            Timestamp::ZERO
+        } else {
+            batches[prefix - 1].0
+        };
+
+        // Ship the prefix batch by batch, as the epoch group commits would.
+        let shipped = fresh_standby();
+        for (wm, frames) in &batches[..prefix] {
+            prop_assert!(shipped.apply_batch(*wm, frames).is_ok());
+        }
+        prop_assert_eq!(shipped.watermark(), watermark);
+
+        // The primary's state at that watermark: every logged record at or
+        // below it, replayed in one go (the recovery path's view).
+        let reference = fresh_standby();
+        let covered: Vec<(u64, Vec<u8>)> = records
+            .iter()
+            .filter(|r| r.version() <= watermark)
+            .map(frame)
+            .collect();
+        reference.apply_batch(watermark, &covered).unwrap();
+        prop_assert_eq!(state(&shipped), state(&reference));
+
+        // Duplicate delivery in any order is a no-op: re-apply the whole
+        // prefix backwards and nothing may change (first-write-wins).
+        for (wm, frames) in batches[..prefix].iter().rev() {
+            shipped.apply_batch(*wm, frames).unwrap();
+        }
+        prop_assert_eq!(state(&shipped), state(&reference));
+        prop_assert_eq!(shipped.watermark(), watermark);
+    }
+}

@@ -443,9 +443,76 @@ impl VersionChain {
             .insert(pos, Arc::new(Record::new(version, Functor::Aborted)));
     }
 
+    /// Settles `version` to `final_form`, inserting the record if the
+    /// version is unknown. Used by checkpoint restore, where each entry is
+    /// the authoritative final form of that exact version: a pending functor
+    /// already installed at the version (a shipped WAL frame that raced
+    /// ahead of the bootstrap) is finalized in place — a plain first-write-
+    /// wins put would lose to it and leave a non-final record under the
+    /// watermark the restore is about to raise. Records already final are
+    /// left untouched (computation is deterministic, the forms agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_form` is not final.
+    pub fn settle_at(&self, version: Timestamp, final_form: Functor) {
+        assert!(
+            final_form.is_final(),
+            "settle_at called with non-final functor {final_form}"
+        );
+        let mut inner = self.inner.write();
+        if version <= inner.compacted_floor || inner.settled_at(version).is_some() {
+            return;
+        }
+        if let Some(i) = inner.live_at(version) {
+            inner.live[i].finalize(final_form);
+            return;
+        }
+        let pos = inner.live.partition_point(|r| r.version < version);
+        inner
+            .live
+            .insert(pos, Arc::new(Record::new(version, final_form)));
+    }
+
     /// Current value watermark.
     pub fn watermark(&self) -> Timestamp {
         Timestamp::from_raw(self.watermark.load(Ordering::Acquire))
+    }
+
+    /// Raises the watermark to at least `to` only when every stored record
+    /// at or below `to` is final — the chain-local form of the watermark
+    /// invariant, checked instead of assumed. Returns whether the chain's
+    /// watermark now covers `to`.
+    ///
+    /// Replication standbys use this: shipped records arrive out of settle
+    /// order (an abort for a still-open epoch, a form the primary resolved
+    /// ahead of its neighbours, a promotion's unsettled tail), and a final
+    /// record must never cover a pending sibling below it — `compute` would
+    /// skip the range and leave the pending record stranded forever. The
+    /// check and the advance happen under one chain read lock, so no
+    /// concurrent insert can slip a pending record underneath.
+    pub fn try_advance_watermark(&self, to: Timestamp) -> bool {
+        // Records at or below the current watermark are final by invariant,
+        // so only the (watermark, to] span needs checking — the scan is
+        // amortized O(1) per record as the watermark ratchets forward.
+        let wm = self.watermark();
+        if to <= wm {
+            return true;
+        }
+        let inner = self.inner.read();
+        let start = inner.live.partition_point(|r| r.version <= wm);
+        if inner.live[start..]
+            .iter()
+            .take_while(|r| r.version <= to)
+            .any(|r| !r.is_final())
+        {
+            return false;
+        }
+        // Packed records are final by construction; the compacted floor only
+        // ever trails the watermark. Holding the read lock through the CAS
+        // keeps inserters (write lock) out until the advance lands.
+        self.advance_watermark(to);
+        true
     }
 
     /// Raises the watermark to at least `to` (Alg 1 lines 7-9: CAS loop).

@@ -75,11 +75,15 @@ pub fn restore_checkpoint(partition: &Partition, blob: &[u8]) -> Result<Timestam
         let key = Key::from(r.get_bytes()?);
         let version = Timestamp::from_raw(r.get_u64()?);
         let value = Value::from(r.get_bytes()?.to_vec());
-        partition.store().put(&key, version, Functor::Value(value));
+        // Settle, not put: a shipped WAL frame may already hold this exact
+        // version as a pending functor (the replica feed activates before
+        // the bootstrap checkpoint is cut), and a first-write-wins put would
+        // leave that record non-final under the watermark raised below —
+        // unreadable forever.
+        let chain = partition.store().chain_or_create(&key);
+        chain.settle_at(version, Functor::Value(value));
         // The restored record is settled by definition.
-        if let Some(chain) = partition.store().chain(&key) {
-            chain.advance_watermark(version);
-        }
+        chain.advance_watermark(version);
     }
     Ok(at)
 }
@@ -145,6 +149,27 @@ mod tests {
         restore_checkpoint(&restored, &blob).unwrap();
         let read = restored.get(&k, Timestamp::MAX, &LocalOnlyEnv).unwrap();
         assert!(read.value.is_none());
+    }
+
+    #[test]
+    fn restore_settles_a_pending_record_already_at_the_same_version() {
+        let primary = partition();
+        let k = Key::from("raced");
+        primary.install(&k, ts(5), Functor::value_i64(1)).unwrap();
+        primary.install(&k, ts(10), Functor::add(2)).unwrap();
+        let blob = write_checkpoint(&primary, ts(10), &LocalOnlyEnv).unwrap();
+
+        // A shipped WAL frame raced ahead of the bootstrap: the checkpointed
+        // version is already present as a pending functor. Restore must
+        // finalize it — a first-write-wins put would leave it non-final
+        // under the watermark restore raises, and reads would panic.
+        let standby = partition();
+        standby.store().put(&k, ts(10), Functor::add(2));
+        let at = restore_checkpoint(&standby, &blob).unwrap();
+        assert_eq!(at, ts(10));
+        let read = standby.get(&k, ts(10), &LocalOnlyEnv).unwrap();
+        assert_eq!(read.version, ts(10));
+        assert_eq!(read.value.unwrap().as_i64(), Some(3));
     }
 
     #[test]

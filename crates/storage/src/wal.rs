@@ -137,6 +137,13 @@ impl WalRecord {
         }
     }
 
+    /// The key this record touches.
+    pub fn key(&self) -> &Key {
+        match self {
+            WalRecord::Install { key, .. } | WalRecord::Abort { key, .. } => key,
+        }
+    }
+
     /// Appends this record to the durable log, keyed by its version.
     ///
     /// # Errors
@@ -264,7 +271,8 @@ pub fn replay_log(
 
 /// Replays decoded records into a partition, skipping versions at or below
 /// `checkpoint`. Returns the number of records applied. Replay is
-/// idempotent: installs are first-write-wins puts and aborts pre-insert
+/// idempotent: installs are first-write-wins puts (final forms settle an
+/// existing pending record in place — see below) and aborts pre-insert
 /// `ABORTED`, so applying the same suffix twice is a no-op.
 pub fn apply_records(partition: &Partition, records: &[WalRecord], checkpoint: Timestamp) -> usize {
     let mut applied = 0;
@@ -278,7 +286,20 @@ pub fn apply_records(partition: &Partition, records: &[WalRecord], checkpoint: T
                 version,
                 functor,
             } => {
-                partition.store().put(key, *version, functor.clone());
+                if functor.is_final() {
+                    // A duplicate delivery (catch-up overlap between the WAL
+                    // snapshot and a shipped final-form frame) may find this
+                    // version already present as a pending functor. The
+                    // final form is the version's deterministic outcome —
+                    // settle the record rather than discard the outcome and
+                    // leave it uncomputable once a watermark covers it.
+                    partition
+                        .store()
+                        .chain_or_create(key)
+                        .settle_at(*version, functor.clone());
+                } else {
+                    partition.store().put(key, *version, functor.clone());
+                }
             }
             WalRecord::Abort { key, version } => {
                 partition.abort_version(key, *version);

@@ -10,7 +10,7 @@
 //! copy the printed plan knobs into `fault_plan(seed)` and re-run.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use aloha_common::stats::StatsSnapshot;
@@ -23,12 +23,12 @@ use aloha_db::calvin::{
 use aloha_db::control::ControlConfig;
 use aloha_db::core_engine::{
     diff_states, fn_program, replay_history, BatchConfig, Cluster, ClusterConfig, CommitRecord,
-    DurableLogSpec, ProgramId, TxnOutcome, TxnPlan,
+    DurableLogSpec, PartialReplicationSpec, ProgramId, ServerMsgCodec, TxnOutcome, TxnPlan,
 };
 use aloha_functor::{
     ComputeInput, Functor, HandlerId, HandlerOutput, HandlerRegistry, UserFunctor,
 };
-use aloha_net::{CrashAlign, CrashPlan, ExecConfig, FaultPlan, LinkFault, NetConfig};
+use aloha_net::{CrashAlign, CrashPlan, ExecConfig, FaultPlan, LinkFault, NetConfig, TcpTransport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -373,6 +373,18 @@ fn aloha_snapshot_chaos_run(
     seed: u64,
     tune: impl FnOnce(ClusterConfig) -> ClusterConfig,
 ) -> Result<StatsSnapshot, String> {
+    aloha_snapshot_chaos_run_with(seed, None, tune)
+}
+
+/// [`aloha_snapshot_chaos_run`] with an optional mid-run kill of a
+/// *replicated* backend: the kill promotes the standby inside `kill_server`
+/// (no restart call), and the external-consistency checker then judges the
+/// snapshot reads taken before, across and after the failover.
+fn aloha_snapshot_chaos_run_with(
+    seed: u64,
+    crash: Option<CrashPlan>,
+    tune: impl FnOnce(ClusterConfig) -> ClusterConfig,
+) -> Result<StatsSnapshot, String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 60;
@@ -440,6 +452,24 @@ fn aloha_snapshot_chaos_run(
                         }
                     }
                 }
+            });
+        }
+        if let Some(crash) = &crash {
+            let db = db.clone();
+            let cluster = &cluster;
+            scope.spawn(move || {
+                std::thread::sleep(crash.kill_after);
+                align_kill(&db, crash.align);
+                cluster
+                    .kill_server(crash.target)
+                    .unwrap_or_else(|e| panic!("kill failed under {crash}: {e}"));
+                // Failover, not restart: the standby was promoted inside
+                // `kill_server`, so the slot is live again right here.
+                assert_eq!(
+                    cluster.availability().failovers(),
+                    1,
+                    "replicated kill must promote under seed {seed} with {crash}"
+                );
             });
         }
     });
@@ -835,6 +865,19 @@ fn align_kill(db: &aloha_db::core_engine::Database, align: CrashAlign) {
 }
 
 fn aloha_crash_chaos_run(seed: u64, align: CrashAlign) -> Result<(), String> {
+    aloha_crash_chaos_run_tuned(seed, align, |c, _| c)
+}
+
+/// [`aloha_crash_chaos_run`] with a hook over the cluster configuration
+/// (handed the seeded crash plan, so a tune can key off the victim), for
+/// variants like "partial replication enabled but the victim is not in the
+/// replica set" — where kill-and-restart-from-WAL must keep working exactly
+/// as it does without replication.
+fn aloha_crash_chaos_run_tuned(
+    seed: u64,
+    align: CrashAlign,
+    tune: impl FnOnce(ClusterConfig, &CrashPlan) -> ClusterConfig,
+) -> Result<(), String> {
     const KEYS: usize = 12;
     const THREADS: usize = 2;
     const TXNS_PER_THREAD: usize = 80;
@@ -863,7 +906,7 @@ fn aloha_crash_chaos_run(seed: u64, align: CrashAlign) -> Result<(), String> {
             DurableLogSpec::new(dir.path()).with_checkpoint_interval(Duration::from_millis(20)),
         )
         .with_history();
-    let mut builder = Cluster::builder(config);
+    let mut builder = Cluster::builder(tune(config, &crash));
     builder.register_handler(H_AFFINE, affine_handler);
     builder.register_program(
         AFFINE,
@@ -929,6 +972,18 @@ fn aloha_crash_chaos_run(seed: u64, align: CrashAlign) -> Result<(), String> {
     assert!(
         injected > 0,
         "fault layer injected nothing under seed {seed} with {plan}"
+    );
+    // Whatever the replication config, this run recovered through the WAL:
+    // exactly one restart, never a promotion.
+    assert_eq!(
+        cluster.availability().restarts(),
+        1,
+        "crash run must recover via restart-from-WAL under seed {seed} with {crash}"
+    );
+    assert_eq!(
+        cluster.availability().failovers(),
+        0,
+        "crash run must not promote a standby under seed {seed} with {crash}"
     );
     let report = report
         .lock()
@@ -1140,6 +1195,282 @@ fn calvin_serializable_across_quiescent_kill_and_restart() {
     for seed in seeds() {
         if let Err(msg) = retry_restored_nothing(|| calvin_crash_chaos_run(seed)) {
             panic!("calvin crash run: {msg}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failover chaos: the victim's partition is pinned into the replica set, so
+// its standby receives every epoch's WAL batches while the fault layer runs.
+// The seeded kill then promotes the standby at the next epoch boundary
+// *inside* `kill_server` — no restart call anywhere — and the run must pass
+// the same zero-divergence serializability checker as every other chaos run,
+// with the availability/replication subtrees proving the failover happened.
+// ---------------------------------------------------------------------
+
+fn aloha_failover_chaos_run(seed: u64, align: CrashAlign, tcp: bool) -> Result<(), String> {
+    const KEYS: usize = 12;
+    const THREADS: usize = 2;
+    const TXNS_PER_THREAD: usize = 80;
+
+    let plan = FaultPlan::new(seed).with_default_link(LinkFault::lossy(
+        0.03,
+        0.03,
+        0.05,
+        Duration::from_millis(1),
+    ));
+    let crash = CrashPlan::seeded(
+        seed,
+        3,
+        Duration::from_millis(200),
+        Duration::from_millis(40),
+    )
+    .with_align(align);
+    // The victim is pinned into the replica set: the kill must fail over to
+    // its standby instead of leaving the slot down. No durable log is
+    // configured on purpose — partial replication auto-enables the in-memory
+    // WAL it ships from, and promotion never replays a log.
+    let mut config = ClusterConfig::new(3)
+        .with_epoch_duration(EPOCH)
+        .with_rpc_timeout(Duration::from_millis(25))
+        .with_history()
+        .with_partial_replication_spec(
+            PartialReplicationSpec::new(1).with_pinned(vec![crash.target.0]),
+        );
+    config = if tcp {
+        // A real TcpTransport on a loopback socket hosts the whole cluster,
+        // exercising the kill/deregister/re-register lifecycle and the ship
+        // flow on the TCP transport object. The fault layer belongs to the
+        // simulated bus and does not apply here.
+        let transport = TcpTransport::bind("127.0.0.1:0", Arc::new(ServerMsgCodec))
+            .expect("bind loopback transport");
+        config.with_transport(Arc::new(transport))
+    } else {
+        config.with_net(NetConfig::instant().with_fault(plan.clone()))
+    };
+    let mut builder = Cluster::builder(config);
+    builder.register_handler(H_AFFINE, affine_handler);
+    builder.register_program(
+        AFFINE,
+        fn_program(|ctx| {
+            let (dst, src, _) = decode_affine(ctx.args);
+            let mut handler_args = src.as_bytes().to_vec();
+            handler_args.extend_from_slice(&ctx.args[ctx.args.len() - 8..]);
+            Ok(TxnPlan::new().write(
+                dst,
+                Functor::User(UserFunctor::new(H_AFFINE, vec![src], handler_args)),
+            ))
+        }),
+    );
+    let cluster = builder.start().unwrap();
+    let db = cluster.database();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let db = db.clone();
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
+                let mut handles = Vec::new();
+                for i in 0..TXNS_PER_THREAD {
+                    let dst = key(rng.gen_range(0..KEYS));
+                    let src = key(rng.gen_range(0..KEYS));
+                    let c: i64 = rng.gen_range(-100..=100);
+                    if let Ok(h) = db.execute(AFFINE, encode_affine(&dst, &src, c)) {
+                        handles.push(h);
+                    }
+                    if i % 8 == 0 {
+                        std::thread::sleep(Duration::from_millis(3));
+                    }
+                }
+                for h in handles {
+                    let _ = h.wait_processed();
+                }
+            });
+        }
+        let db = db.clone();
+        let cluster = &cluster;
+        let crash = &crash;
+        scope.spawn(move || {
+            std::thread::sleep(crash.kill_after);
+            align_kill(&db, crash.align);
+            cluster
+                .kill_server(crash.target)
+                .unwrap_or_else(|e| panic!("kill failed under {crash}: {e}"));
+            // The tentpole claim: when `kill_server` returns, the slot is
+            // already serving again through the promoted standby. A restart
+            // now is an argument error because the partition is not down.
+            assert_eq!(
+                cluster.availability().failovers(),
+                1,
+                "replicated kill must promote the standby under seed {seed} with {crash}"
+            );
+            assert!(
+                matches!(
+                    cluster.restart_server(crash.target),
+                    Err(aloha_common::Error::Config(_))
+                ),
+                "the promoted slot must refuse a restart under seed {seed} with {crash}"
+            );
+        });
+    });
+
+    if !tcp {
+        let injected = injected_faults(&cluster.snapshot());
+        assert!(
+            injected > 0,
+            "fault layer injected nothing under seed {seed} with {plan}"
+        );
+    }
+
+    // Liveness through the promoted server: a write landing on the victim's
+    // partition must commit (retries shield the lossy link, not the
+    // promotion — the slot never goes down again).
+    let dst = (0..KEYS)
+        .map(key)
+        .find(|k| k.partition(3).0 == crash.target.0)
+        .expect("some key maps to the victim partition");
+    let committed = (0..20).any(|_| {
+        db.execute(AFFINE, encode_affine(&dst, &key(0), 1))
+            .is_ok_and(|h| matches!(h.wait_processed(), Ok(TxnOutcome::Committed)))
+    });
+    if !committed {
+        return Err(format!(
+            "no post-failover commit landed on the promoted partition under seed {seed} with {crash}"
+        ));
+    }
+
+    let snapshot = cluster.snapshot();
+    let replication = snapshot
+        .child("replication")
+        .expect("replication stats subtree");
+    assert_eq!(
+        replication.counter("promotions"),
+        Some(1),
+        "exactly one promotion under seed {seed} with {crash}"
+    );
+    let availability = snapshot
+        .child("availability")
+        .expect("availability stats subtree");
+    assert_eq!(availability.counter("failovers"), Some(1));
+    assert_eq!(availability.counter("restarts"), Some(0));
+    let victim = availability
+        .child(&format!("p{}", crash.target.0))
+        .expect("victim partition availability child");
+    assert!(
+        victim.counter("downtime_micros").unwrap_or(0) > 0,
+        "the failover window must be accounted under seed {seed} with {crash}"
+    );
+    assert!(
+        snapshot.child("hotness").is_some(),
+        "hotness subtree must be exported"
+    );
+    if !tcp {
+        // The dead window plus the lossy links force the epoch manager to
+        // retransmit revokes; the promoted standby (a fresh incarnation,
+        // like a restart) answers them, which is the §III-C re-join path.
+        let em = snapshot
+            .child("epoch_manager")
+            .expect("epoch_manager stats subtree");
+        assert!(
+            em.counter("revoke_resends").unwrap_or(0) > 0,
+            "lossy links and the failover window must force revoke retransmissions \
+             under seed {seed} with {plan}"
+        );
+    }
+
+    let mut records = cluster
+        .history()
+        .expect("history recording enabled")
+        .snapshot();
+    records.sort_by_key(|r| r.ts);
+    let key_list: Vec<Key> = (0..KEYS).map(key).collect();
+    let finals = db
+        .read_latest(&key_list)
+        .map_err(|e| format!("final read failed under seed {seed} with {crash}: {e}"))?;
+    let actual: HashMap<Key, Option<Value>> = key_list.iter().cloned().zip(finals).collect();
+    cluster.shutdown();
+
+    let mut handlers = HandlerRegistry::new();
+    handlers.register(H_AFFINE, affine_handler);
+    let expected = replay_history(&records, &handlers)
+        .map_err(|e| format!("replay failed under seed {seed} with {crash}: {e}"))?;
+    let divergences = diff_states(&expected, &actual);
+    if divergences.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}\n  crash schedule: {crash}",
+            failure_report("ALOHA", seed, &plan, &divergences)
+        ))
+    }
+}
+
+#[test]
+fn aloha_failover_replicated_kill_at_epoch_boundary() {
+    for seed in seeds() {
+        if let Err(msg) = aloha_failover_chaos_run(seed, CrashAlign::EpochBoundary, false) {
+            panic!("epoch-boundary failover run: {msg}");
+        }
+    }
+}
+
+#[test]
+fn aloha_failover_replicated_kill_mid_epoch() {
+    for seed in seeds() {
+        if let Err(msg) = aloha_failover_chaos_run(seed, CrashAlign::MidEpoch, false) {
+            panic!("mid-epoch failover run: {msg}");
+        }
+    }
+}
+
+#[test]
+fn aloha_failover_over_tcp_transport() {
+    for seed in seeds() {
+        if let Err(msg) = aloha_failover_chaos_run(seed, CrashAlign::EpochBoundary, true) {
+            panic!("tcp failover run: {msg}");
+        }
+    }
+}
+
+/// Partial replication enabled, but the seeded victim holds no standby (the
+/// budget is pinned elsewhere): the kill leaves the slot down and the crash
+/// run's restart-from-WAL path — the documented fallback for un-replicated
+/// partitions — must behave exactly as it does without replication,
+/// including the one-restart/zero-failover accounting asserted inside
+/// [`aloha_crash_chaos_run_tuned`].
+#[test]
+fn aloha_unreplicated_kill_falls_back_to_wal_restart() {
+    for seed in seeds() {
+        if let Err(msg) = retry_restored_nothing(|| {
+            aloha_crash_chaos_run_tuned(seed, CrashAlign::MidEpoch, |config, crash| {
+                let pinned = (crash.target.0 + 1) % 3;
+                config.with_partial_replication_spec(
+                    PartialReplicationSpec::new(1).with_pinned(vec![pinned]),
+                )
+            })
+        }) {
+            panic!("unreplicated-victim crash run: {msg}");
+        }
+    }
+}
+
+/// External consistency across a failover: read-your-writes snapshot probes
+/// run before, across and after a replicated kill, and every observed
+/// snapshot must equal a serial-prefix state covering the reader's own
+/// commit — the promoted standby cannot serve a state that forgets or tears
+/// a committed prefix.
+#[test]
+fn aloha_snapshot_reads_externally_consistent_across_failover() {
+    for seed in seeds() {
+        let crash = CrashPlan::seeded(seed, 3, Duration::from_millis(100), Duration::ZERO)
+            .with_align(CrashAlign::EpochBoundary);
+        let pinned = crash.target.0;
+        if let Err(msg) = aloha_snapshot_chaos_run_with(seed, Some(crash), |c| {
+            c.with_partial_replication_spec(
+                PartialReplicationSpec::new(1).with_pinned(vec![pinned]),
+            )
+        }) {
+            panic!("failover snapshot run: {msg}");
         }
     }
 }
